@@ -1,0 +1,148 @@
+//! Byte-granular memory models with access accounting.
+
+/// An on-chip SRAM buffer: capacity plus read/write byte counters.
+///
+/// The simulator checks working sets against the capacity to decide spill
+/// behaviour; the counters feed the empirical cross-validation against the
+/// analytical framework.
+#[derive(Clone, Debug)]
+pub struct Sram {
+    name: &'static str,
+    capacity_bytes: usize,
+    read_bytes: u64,
+    write_bytes: u64,
+}
+
+impl Sram {
+    /// Creates a buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bytes == 0`.
+    pub fn new(name: &'static str, capacity_bytes: usize) -> Self {
+        assert!(capacity_bytes > 0, "SRAM capacity must be positive");
+        Sram {
+            name,
+            capacity_bytes,
+            read_bytes: 0,
+            write_bytes: 0,
+        }
+    }
+
+    /// The buffer's name (for diagnostics).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Whether a working set of `bytes` fits (boundary-inclusive, matching
+    /// the analytical framework).
+    pub fn fits(&self, bytes: f64) -> bool {
+        bytes <= self.capacity_bytes as f64
+    }
+
+    /// Records a read of `bytes`.
+    pub fn read(&mut self, bytes: u64) {
+        self.read_bytes += bytes;
+    }
+
+    /// Records a write of `bytes`.
+    pub fn write(&mut self, bytes: u64) {
+        self.write_bytes += bytes;
+    }
+
+    /// Total bytes read.
+    pub fn read_bytes(&self) -> u64 {
+        self.read_bytes
+    }
+
+    /// Total bytes written.
+    pub fn write_bytes(&self) -> u64 {
+        self.write_bytes
+    }
+
+    /// Total traffic in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.read_bytes + self.write_bytes
+    }
+}
+
+/// Off-chip DRAM: unbounded capacity, byte counters only.
+#[derive(Clone, Debug, Default)]
+pub struct Dram {
+    read_bytes: u64,
+    write_bytes: u64,
+}
+
+impl Dram {
+    /// Creates a DRAM model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a read of `bytes`.
+    pub fn read(&mut self, bytes: u64) {
+        self.read_bytes += bytes;
+    }
+
+    /// Records a write of `bytes`.
+    pub fn write(&mut self, bytes: u64) {
+        self.write_bytes += bytes;
+    }
+
+    /// Total bytes read.
+    pub fn read_bytes(&self) -> u64 {
+        self.read_bytes
+    }
+
+    /// Total bytes written.
+    pub fn write_bytes(&self) -> u64 {
+        self.write_bytes
+    }
+
+    /// Total traffic in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.read_bytes + self.write_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters() {
+        let mut s = Sram::new("ifmap", 1024);
+        s.read(100);
+        s.write(50);
+        assert_eq!(s.read_bytes(), 100);
+        assert_eq!(s.write_bytes(), 50);
+        assert_eq!(s.total_bytes(), 150);
+        assert_eq!(s.name(), "ifmap");
+    }
+
+    #[test]
+    fn fit_is_boundary_inclusive() {
+        let s = Sram::new("ofmap", 256);
+        assert!(s.fits(256.0));
+        assert!(!s.fits(256.1));
+    }
+
+    #[test]
+    fn dram_counters() {
+        let mut d = Dram::new();
+        d.read(7);
+        d.write(3);
+        assert_eq!(d.total_bytes(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        Sram::new("bad", 0);
+    }
+}

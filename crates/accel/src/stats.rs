@@ -1,0 +1,103 @@
+//! Empirical traffic statistics collected by the simulator.
+
+use apsq_dataflow::{EnergyBreakdown, EnergyTable};
+
+/// SRAM/DRAM byte traffic for one tensor.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemTraffic {
+    /// Bytes moved to/from on-chip SRAM.
+    pub sram_bytes: u64,
+    /// Bytes moved to/from off-chip DRAM.
+    pub dram_bytes: u64,
+}
+
+impl MemTraffic {
+    /// Total bytes.
+    pub fn total(&self) -> u64 {
+        self.sram_bytes + self.dram_bytes
+    }
+}
+
+/// Complete simulation statistics for one layer execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Ifmap traffic.
+    pub ifmap: MemTraffic,
+    /// Weight traffic.
+    pub weight: MemTraffic,
+    /// PSUM traffic.
+    pub psum: MemTraffic,
+    /// Ofmap traffic.
+    pub ofmap: MemTraffic,
+    /// Exact MAC operations performed.
+    pub macs: u64,
+    /// MAC-array invocations (one tile triple per cycle).
+    pub array_cycles: u64,
+}
+
+impl SimStats {
+    /// Total SRAM bytes across tensors.
+    pub fn sram_bytes(&self) -> u64 {
+        self.ifmap.sram_bytes + self.weight.sram_bytes + self.psum.sram_bytes
+            + self.ofmap.sram_bytes
+    }
+
+    /// Total DRAM bytes across tensors.
+    pub fn dram_bytes(&self) -> u64 {
+        self.ifmap.dram_bytes + self.weight.dram_bytes + self.psum.dram_bytes
+            + self.ofmap.dram_bytes
+    }
+
+    /// Converts the measured traffic into the same energy breakdown the
+    /// analytical framework produces, for apples-to-apples comparison.
+    pub fn energy(&self, table: &EnergyTable) -> EnergyBreakdown {
+        let move_energy = |t: &MemTraffic| {
+            t.sram_bytes as f64 * table.sram_pj_per_byte
+                + t.dram_bytes as f64 * table.dram_pj_per_byte
+        };
+        EnergyBreakdown {
+            ifmap: move_energy(&self.ifmap),
+            weight: move_energy(&self.weight),
+            psum: move_energy(&self.psum),
+            ofmap: move_energy(&self.ofmap),
+            op: self.macs as f64 * table.mac_pj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let s = SimStats {
+            ifmap: MemTraffic { sram_bytes: 10, dram_bytes: 1 },
+            weight: MemTraffic { sram_bytes: 20, dram_bytes: 2 },
+            psum: MemTraffic { sram_bytes: 30, dram_bytes: 3 },
+            ofmap: MemTraffic { sram_bytes: 40, dram_bytes: 4 },
+            macs: 5,
+            array_cycles: 1,
+        };
+        assert_eq!(s.sram_bytes(), 100);
+        assert_eq!(s.dram_bytes(), 10);
+    }
+
+    #[test]
+    fn energy_mapping() {
+        let s = SimStats {
+            psum: MemTraffic { sram_bytes: 100, dram_bytes: 0 },
+            macs: 10,
+            ..SimStats::default()
+        };
+        let t = EnergyTable {
+            dram_pj_per_byte: 100.0,
+            sram_pj_per_byte: 2.0,
+            reg_pj_per_byte: 0.1,
+            mac_pj: 0.5,
+        };
+        let e = s.energy(&t);
+        assert_eq!(e.psum, 200.0);
+        assert_eq!(e.op, 5.0);
+    }
+}

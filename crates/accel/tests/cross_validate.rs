@@ -1,0 +1,194 @@
+//! Cross-validation: the empirical loop-nest simulator must reproduce the
+//! analytical access-count model (paper eqs 3–6) for GEMM layers.
+//!
+//! Exact agreement is asserted where the two models coincide by
+//! construction (ifmap/weight/ofmap); PSUM traffic differs only by the
+//! boundary terms (the analytical `2(np−1)` vs the simulator's measured
+//! `2np−1` logical accesses per element), so it is checked with a tight
+//! relative bound.
+
+use apsq_accel::{GemmSimulator, PsumPath, SimStats};
+use apsq_dataflow::{
+    access_counts, AcceleratorConfig, AccessCounts, Dataflow, LayerShape, PsumFormat,
+};
+use apsq_quant::Bitwidth;
+use apsq_tensor::Int8Tensor;
+
+fn tensors_for(layer: &LayerShape) -> (Int8Tensor, Int8Tensor) {
+    let t = layer.output_pixels();
+    let (ci, co) = (layer.ci, layer.co);
+    let a = Int8Tensor::from_vec(
+        (0..t * ci).map(|x| ((x * 31 + 7) % 253) as i8).collect(),
+        [t, ci],
+    );
+    let w = Int8Tensor::from_vec(
+        (0..ci * co).map(|x| ((x * 89 + 3) % 241) as i8).collect(),
+        [ci, co],
+    );
+    (a, w)
+}
+
+fn arch() -> AcceleratorConfig {
+    // A scaled-down accelerator so test layers are quick but still tile.
+    AcceleratorConfig {
+        po: 8,
+        pci: 8,
+        pco: 8,
+        ifmap_buffer_bytes: 16 * 1024,
+        ofmap_buffer_bytes: 16 * 1024,
+        weight_buffer_bytes: 8 * 1024,
+    }
+}
+
+fn compare(
+    layer: &LayerShape,
+    dataflow: Dataflow,
+    psum_path: PsumPath,
+    psum_format: PsumFormat,
+) -> (SimStats, AccessCounts) {
+    let (a, w) = tensors_for(layer);
+    let sim = GemmSimulator::new(arch(), dataflow, psum_path);
+    let measured = sim.run(&a, &w).stats;
+    let predicted = access_counts(layer, &arch(), dataflow, &psum_format);
+    (measured, predicted)
+}
+
+fn assert_close(name: &str, measured: u64, predicted: f64, tol: f64) {
+    let m = measured as f64;
+    assert!(
+        (m - predicted).abs() <= tol * predicted.max(1.0),
+        "{name}: measured {m} vs predicted {predicted} (tol {tol})"
+    );
+}
+
+#[test]
+fn ws_exact_int32_matches_analytical() {
+    // np = 128/8 = 16; everything resident.
+    let layer = LayerShape::gemm("l", 64, 128, 64);
+    let (m, p) = compare(
+        &layer,
+        Dataflow::WeightStationary,
+        PsumPath::ExactInt32,
+        PsumFormat::int32_baseline(),
+    );
+    assert_eq!(m.ifmap.sram_bytes as f64, p.ifmap.sram_bytes);
+    assert_eq!(m.ifmap.dram_bytes as f64, p.ifmap.dram_bytes);
+    assert_eq!(m.weight.sram_bytes as f64, p.weight.sram_bytes);
+    assert_eq!(m.weight.dram_bytes as f64, p.weight.dram_bytes);
+    assert_eq!(m.ofmap.sram_bytes as f64, p.ofmap.sram_bytes);
+    assert_eq!(m.ofmap.dram_bytes as f64, p.ofmap.dram_bytes);
+    assert_eq!(m.macs as f64, p.macs);
+    // PSUM: boundary terms only — within 5% at np = 16.
+    assert_close("psum sram", m.psum.sram_bytes, p.psum.sram_bytes, 0.05);
+    assert_eq!(m.psum.dram_bytes, 0);
+    assert_eq!(p.psum.dram_bytes, 0.0);
+}
+
+#[test]
+fn is_exact_int32_matches_analytical_resident_weights() {
+    // Weights 32·64 = 2 KB < 8 KB buffer ⇒ resident.
+    let layer = LayerShape::gemm("l", 64, 32, 64);
+    let (m, p) = compare(
+        &layer,
+        Dataflow::InputStationary,
+        PsumPath::ExactInt32,
+        PsumFormat::int32_baseline(),
+    );
+    assert_eq!(m.ifmap.sram_bytes as f64, p.ifmap.sram_bytes);
+    assert_eq!(m.weight.sram_bytes as f64, p.weight.sram_bytes);
+    assert_eq!(m.weight.dram_bytes as f64, p.weight.dram_bytes);
+    assert_close("psum sram", m.psum.sram_bytes, p.psum.sram_bytes, 0.20);
+}
+
+#[test]
+fn is_weight_spill_matches_analytical() {
+    // Weights 256·64 = 16 KB > 8 KB ⇒ re-fetched per token-tile pass.
+    let layer = LayerShape::gemm("l", 32, 256, 64);
+    let (m, p) = compare(
+        &layer,
+        Dataflow::InputStationary,
+        PsumPath::ExactInt32,
+        PsumFormat::int32_baseline(),
+    );
+    assert!(m.weight.dram_bytes > (256 * 64) as u64, "weights must spill");
+    assert_eq!(m.weight.dram_bytes as f64, p.weight.dram_bytes);
+    assert_eq!(m.weight.sram_bytes as f64, p.weight.sram_bytes);
+}
+
+#[test]
+fn ws_psum_spill_matches_analytical() {
+    // INT32 PSUM working set = 4·T·Pco = 4·1024·8 = 32 KB > 16 KB ⇒ spill.
+    let layer = LayerShape::gemm("l", 1024, 64, 16);
+    let (m, p) = compare(
+        &layer,
+        Dataflow::WeightStationary,
+        PsumPath::ExactInt32,
+        PsumFormat::int32_baseline(),
+    );
+    assert!(m.psum.dram_bytes > 0, "PSUMs must spill");
+    assert!(p.psum.dram_bytes > 0.0, "analytical model must also spill");
+    assert_close("psum sram", m.psum.sram_bytes, p.psum.sram_bytes, 0.10);
+    assert_close("psum dram", m.psum.dram_bytes, p.psum.dram_bytes, 0.10);
+}
+
+#[test]
+fn apsq_psum_traffic_matches_analytical_beta_one() {
+    let layer = LayerShape::gemm("l", 64, 256, 32);
+    for gs in 1..=4 {
+        let (m, p) = compare(
+            &layer,
+            Dataflow::WeightStationary,
+            PsumPath::Apsq { bits: Bitwidth::INT8, gs },
+            PsumFormat::apsq_int8(gs),
+        );
+        assert_close("psum sram", m.psum.sram_bytes, p.psum.sram_bytes, 0.05);
+        assert_eq!(m.psum.dram_bytes as f64, p.psum.dram_bytes);
+    }
+}
+
+#[test]
+fn apsq_group_slots_trigger_spill_in_both_models() {
+    // INT8 ws = gs·T·Pco: T = 1024, Pco = 8 ⇒ 8 KB·gs vs 16 KB buffer:
+    // fits at gs ≤ 2, spills at gs ≥ 3 — in both models.
+    let layer = LayerShape::gemm("l", 1024, 64, 16);
+    for gs in 1..=4 {
+        let (m, p) = compare(
+            &layer,
+            Dataflow::WeightStationary,
+            PsumPath::Apsq { bits: Bitwidth::INT8, gs },
+            PsumFormat::apsq_int8(gs),
+        );
+        let should_spill = gs >= 3;
+        assert_eq!(m.psum.dram_bytes > 0, should_spill, "sim gs={gs}");
+        assert_eq!(p.psum.dram_bytes > 0.0, should_spill, "model gs={gs}");
+    }
+}
+
+#[test]
+fn normalized_energy_agrees_between_models() {
+    // The headline quantity (normalized energy, APSQ vs INT32 baseline)
+    // must agree between the empirical and analytical models.
+    use apsq_dataflow::{energy_breakdown, EnergyTable};
+    let layer = LayerShape::gemm("l", 128, 256, 64);
+    let table = EnergyTable::default_28nm();
+
+    let (m_base, p_base) = compare(
+        &layer,
+        Dataflow::WeightStationary,
+        PsumPath::ExactInt32,
+        PsumFormat::int32_baseline(),
+    );
+    let (m_apsq, p_apsq) = compare(
+        &layer,
+        Dataflow::WeightStationary,
+        PsumPath::Apsq { bits: Bitwidth::INT8, gs: 2 },
+        PsumFormat::apsq_int8(2),
+    );
+    let sim_ratio = m_apsq.energy(&table).total() / m_base.energy(&table).total();
+    let model_ratio =
+        energy_breakdown(&p_apsq, &table).total() / energy_breakdown(&p_base, &table).total();
+    assert!(
+        (sim_ratio - model_ratio).abs() < 0.02,
+        "normalized energy: sim {sim_ratio:.3} vs model {model_ratio:.3}"
+    );
+}

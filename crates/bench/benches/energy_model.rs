@@ -1,0 +1,60 @@
+//! Criterion: analytical energy framework evaluation speed over whole
+//! model inventories (the framework must be cheap enough for design-space
+//! sweeps).
+
+use apsq_dataflow::{workload_energy, AcceleratorConfig, Dataflow, EnergyTable, PsumFormat};
+use apsq_models::{bert_base_128, llama2_7b_prefill_decode, segformer_b0_512};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_energy(c: &mut Criterion) {
+    let table = EnergyTable::default_28nm();
+    let arch = AcceleratorConfig::transformer();
+    let llm_arch = AcceleratorConfig::llm();
+    let bert = bert_base_128();
+    let seg = segformer_b0_512();
+    let llama = llama2_7b_prefill_decode(4096, 1);
+
+    c.bench_function("energy_bert_ws_int32", |b| {
+        b.iter(|| {
+            workload_energy(
+                std::hint::black_box(&bert),
+                &arch,
+                Dataflow::WeightStationary,
+                &PsumFormat::int32_baseline(),
+                &table,
+            )
+        })
+    });
+    c.bench_function("energy_segformer_full_sweep", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for df in [Dataflow::InputStationary, Dataflow::WeightStationary] {
+                for gs in 1..=4 {
+                    total += workload_energy(
+                        std::hint::black_box(&seg),
+                        &arch,
+                        df,
+                        &PsumFormat::apsq_int8(gs),
+                        &table,
+                    )
+                    .total();
+                }
+            }
+            total
+        })
+    });
+    c.bench_function("energy_llama_prefill_decode", |b| {
+        b.iter(|| {
+            workload_energy(
+                std::hint::black_box(&llama),
+                &llm_arch,
+                Dataflow::WeightStationary,
+                &PsumFormat::apsq_int8(2),
+                &table,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_energy);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion: the matmul kernels behind QAT and the integer simulators,
+//! including the K-tiled PSUM variant's overhead over plain matmul.
+
+use apsq_tensor::{int8_matmul, matmul, matmul_psum_tiles, Int8Tensor, Tensor};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_matmul(c: &mut Criterion) {
+    let (m, k, n) = (64usize, 256usize, 64usize);
+    let a = Tensor::from_vec((0..m * k).map(|x| (x % 97) as f32 * 0.01).collect(), [m, k]);
+    let b = Tensor::from_vec((0..k * n).map(|x| (x % 89) as f32 * 0.01).collect(), [k, n]);
+    let flops = (2 * m * k * n) as u64;
+
+    let mut g = c.benchmark_group("matmul_f32");
+    g.throughput(Throughput::Elements(flops));
+    g.bench_function("plain", |bch| {
+        bch.iter(|| matmul(std::hint::black_box(&a), std::hint::black_box(&b)))
+    });
+    for k_tile in [8usize, 32] {
+        g.bench_with_input(
+            BenchmarkId::new("psum_tiles", k_tile),
+            &k_tile,
+            |bch, &kt| {
+                bch.iter(|| {
+                    matmul_psum_tiles(std::hint::black_box(&a), std::hint::black_box(&b), kt)
+                })
+            },
+        );
+    }
+    g.finish();
+
+    let ai = Int8Tensor::from_vec((0..m * k).map(|x| (x % 251) as i8).collect(), [m, k]);
+    let bi = Int8Tensor::from_vec((0..k * n).map(|x| (x % 241) as i8).collect(), [k, n]);
+    let mut g = c.benchmark_group("matmul_int8");
+    g.throughput(Throughput::Elements(flops));
+    g.bench_function("exact_i32_accumulate", |bch| {
+        bch.iter(|| int8_matmul(std::hint::black_box(&ai), std::hint::black_box(&bi)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_matmul);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion: RAE engine simulation throughput vs group size, and the
+//! modeled hardware cycles per tile.
+
+use apsq_core::{synthetic_psum_stream, GroupSize, ScaleSchedule};
+use apsq_quant::Bitwidth;
+use apsq_rae::{RaeConfig, RaeEngine};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_rae(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let stream = synthetic_psum_stream(&mut rng, 24, 2048, 8);
+    let elems = (stream.len() * stream[0].numel()) as u64;
+
+    let mut g = c.benchmark_group("rae_engine");
+    g.throughput(Throughput::Elements(elems));
+    for gs in 1..=4usize {
+        let sched = ScaleSchedule::calibrate(
+            std::slice::from_ref(&stream),
+            Bitwidth::INT8,
+            GroupSize::new(gs),
+        );
+        g.bench_with_input(BenchmarkId::new("process_stream", gs), &gs, |b, &gs| {
+            b.iter_with_setup(
+                || RaeEngine::new(RaeConfig::int8(gs)),
+                |mut engine| engine.process_stream(std::hint::black_box(&stream), &sched),
+            )
+        });
+    }
+    g.finish();
+
+    // Report modeled hardware cycles once per group size (printed, not
+    // timed — these are simulation outputs, not host timings).
+    for gs in 1..=4usize {
+        let sched = ScaleSchedule::calibrate(
+            std::slice::from_ref(&stream),
+            Bitwidth::INT8,
+            GroupSize::new(gs),
+        );
+        let mut engine = RaeEngine::new(RaeConfig::int8(gs));
+        engine.process_stream(&stream, &sched);
+        eprintln!(
+            "[rae model] gs={gs}: {} cycles for {} elements",
+            engine.stats().cycles,
+            elems
+        );
+    }
+}
+
+criterion_group!(benches, bench_rae);
+criterion_main!(benches);

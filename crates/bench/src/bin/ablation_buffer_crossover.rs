@@ -1,0 +1,62 @@
+//! Ablation beyond the paper: where exactly do the Fig 6b / Table IV
+//! energy cliffs sit as the ofmap buffer capacity varies?
+//!
+//! For each model and group size, sweeps the PSUM buffer from 64 KB to
+//! 1 MB and reports the normalized energy — making visible that the
+//! "gs = 3 loses the saving" effect is purely a residency crossover, and
+//! predicting how a bigger buffer would move it.
+
+use apsq_bench::report::{f, Table};
+use apsq_dataflow::{
+    max_resident_group_size, sweep_ofmap_buffer, AcceleratorConfig, Dataflow, EnergyTable,
+    PsumFormat,
+};
+use apsq_models::{bert_base_128, llama2_7b_prefill_decode, segformer_b0_512};
+
+fn main() {
+    let table = EnergyTable::default_28nm();
+    let caps: Vec<usize> = [64usize, 128, 256, 384, 512, 768, 1024]
+        .iter()
+        .map(|k| k * 1024)
+        .collect();
+
+    println!("Ablation — PSUM-buffer capacity vs normalized WS energy (INT8 APSQ)\n");
+    for (name, w, arch) in [
+        ("BERT-Base", bert_base_128(), AcceleratorConfig::transformer()),
+        ("Segformer-B0", segformer_b0_512(), AcceleratorConfig::transformer()),
+        (
+            "LLaMA2-7B (prefill+decode)",
+            llama2_7b_prefill_decode(4096, 1),
+            AcceleratorConfig::llm(),
+        ),
+    ] {
+        println!("{name}:");
+        let mut t = Table::new(&["gs", "64K", "128K", "256K", "384K", "512K", "768K", "1M"]);
+        for gs in [1usize, 2, 3, 4] {
+            let pts = sweep_ofmap_buffer(
+                &w,
+                &arch,
+                Dataflow::WeightStationary,
+                &PsumFormat::apsq_int8(gs),
+                &table,
+                &caps,
+            );
+            t.row(
+                std::iter::once(format!("{gs}"))
+                    .chain(pts.iter().map(|p| {
+                        let mark = if p.spills { "*" } else { "" };
+                        format!("{}{mark}", f(p.normalized_energy, 2))
+                    }))
+                    .collect(),
+            );
+        }
+        print!("{}", t.render());
+        let max_gs =
+            max_resident_group_size(&w, &arch, Dataflow::WeightStationary, 8, 8);
+        println!(
+            "largest fully-resident gs at 256 KB: {}\n",
+            max_gs.map_or("none".into(), |g| g.to_string())
+        );
+    }
+    println!("(* = at least one layer spills PSUMs to DRAM at that capacity)");
+}

@@ -1,0 +1,44 @@
+//! Ablation beyond the paper: how far does grouping help?
+//!
+//! Sweeps group sizes past the RAE's hardware limit (gs ≤ 4) and PSUM
+//! widths below INT8, measuring SQNR against exact accumulation on
+//! synthetic PSUM streams of several accumulation depths. This quantifies
+//! two design choices DESIGN.md calls out: why the paper stops at gs = 4
+//! (diminishing returns vs buffer working set) and why INT8 is the
+//! operating point (INT4/6 lose double-digit dB).
+
+use apsq_bench::report::{f, Table};
+use apsq_core::{error_vs_group_size, synthetic_psum_stream};
+use apsq_quant::Bitwidth;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    println!("Ablation — SQNR (dB) of grouped APSQ vs exact accumulation");
+    println!("streams: 512 elements, depth-8 tile products, np accumulation steps\n");
+
+    for np in [8usize, 32, 96] {
+        let stream = synthetic_psum_stream(&mut rng, np, 512, 8);
+        println!("np = {np} accumulation steps:");
+        let mut t = Table::new(&["bits", "gs=1", "gs=2", "gs=4", "gs=8", "gs=16", "gs=np"]);
+        for bits in [4u8, 6, 8] {
+            let sweep = error_vs_group_size(
+                &stream,
+                Bitwidth::new(bits),
+                &[1, 2, 4, 8, 16, np],
+            );
+            t.row(
+                std::iter::once(format!("INT{bits}"))
+                    .chain(sweep.iter().map(|p| f(p.sqnr_db, 1)))
+                    .collect(),
+            );
+        }
+        print!("{}", t.render());
+        println!();
+    }
+
+    println!("Reading: the big win is gs 1→4 (the RAE's supported range);");
+    println!("gains flatten beyond gs≈8 while the PSUM buffer working set");
+    println!("grows linearly in gs — the co-design sweet spot the paper picks.");
+}

@@ -1,0 +1,27 @@
+//! Regenerates paper Fig 1: energy breakdown of IS, WS and OS dataflows
+//! for BERT-Base with 128 input tokens, at PSUM widths 32/16/8.
+
+use apsq_bench::experiments::fig1;
+use apsq_bench::report::{f, Table};
+
+fn main() {
+    println!("Fig 1 — Energy breakdown, BERT-Base (128 tokens)");
+    println!("paper anchors: PSUM share IS 38/24/14%, WS 69/53/37%\n");
+    let mut t = Table::new(&[
+        "dataflow", "psum", "ifmap%", "ofmap%", "weight%", "op%", "psum%", "norm.energy",
+    ]);
+    for bar in fig1() {
+        let tot = bar.breakdown.total();
+        t.row(vec![
+            bar.dataflow.to_string(),
+            format!("INT{}", bar.psum_bits),
+            f(100.0 * bar.breakdown.ifmap / tot, 1),
+            f(100.0 * bar.breakdown.ofmap / tot, 1),
+            f(100.0 * bar.breakdown.weight / tot, 1),
+            f(100.0 * bar.breakdown.op / tot, 1),
+            f(100.0 * bar.psum_share, 1),
+            f(bar.normalized_total, 3),
+        ]);
+    }
+    print!("{}", t.render());
+}

@@ -1,0 +1,54 @@
+//! Regenerates paper Fig 5: normalized energy and accuracy across gs
+//! settings for MRPC under the WS dataflow on BERT-Base, at PSUM widths
+//! INT4 / INT6 / INT8.
+//!
+//! Pass `--quick` for a reduced smoke run of the accuracy axis.
+
+use apsq_bench::experiments::{fig5_accuracy, fig5_energy};
+use apsq_bench::report::{f, Table};
+
+fn main() {
+    let opts = apsq_bench::accuracy_options_from_args();
+    println!("Fig 5 — WS BERT-Base, MRPC: energy + accuracy vs gs and PSUM width");
+    println!("paper anchors (energy): INT4 0.41, INT6 0.45, INT8 0.50\n");
+
+    println!("Energy axis (normalized to INT32 baseline):");
+    let mut t = Table::new(&["psum", "gs=1", "gs=2", "gs=3", "gs=4"]);
+    let e = fig5_energy();
+    for bits in [4u32, 6, 8] {
+        let get = |gs: usize| {
+            e.iter()
+                .find(|p| p.bits == bits && p.gs == gs)
+                .map(|p| p.normalized)
+                .unwrap()
+        };
+        t.row(vec![
+            format!("INT{bits}"),
+            f(get(1), 2),
+            f(get(2), 2),
+            f(get(3), 2),
+            f(get(4), 2),
+        ]);
+    }
+    print!("{}", t.render());
+
+    println!("\nAccuracy axis (MRPC stand-in, {} steps):", opts.steps);
+    let acc = fig5_accuracy(&opts);
+    let mut t = Table::new(&["psum", "gs=1", "gs=2", "gs=3", "gs=4"]);
+    for bits in [4u32, 6, 8] {
+        let get = |gs: usize| {
+            acc.iter()
+                .find(|&&(b, g, _)| b == bits && g == gs)
+                .map(|&(_, _, a)| a)
+                .unwrap()
+        };
+        t.row(vec![
+            format!("INT{bits}"),
+            f(get(1), 1),
+            f(get(2), 1),
+            f(get(3), 1),
+            f(get(4), 1),
+        ]);
+    }
+    print!("{}", t.render());
+}

@@ -1,0 +1,38 @@
+//! Regenerates paper Fig 6: normalized energy across gs settings and
+//! models under (a) IS and (b) WS dataflows.
+
+use apsq_bench::experiments::fig6;
+use apsq_bench::report::{f, Table};
+use apsq_dataflow::Dataflow;
+
+fn main() {
+    println!("Fig 6 — Normalized energy (INT8 APSQ vs INT32 baseline)");
+    println!("paper anchors: IS bert .72 / seg .58 / evit .60;");
+    println!("               WS bert .50, seg .13->.34 @gs3, evit .32->.43 @gs3\n");
+    let pts = fig6();
+    for (title, df) in [
+        ("(a) Input Stationary", Dataflow::InputStationary),
+        ("(b) Weight Stationary", Dataflow::WeightStationary),
+    ] {
+        println!("{title}");
+        let mut t = Table::new(&["model", "baseline", "gs=1", "gs=2", "gs=3", "gs=4"]);
+        for model in ["BERT-Base", "Segformer-B0", "EfficientViT-B1"] {
+            let get = |gs: usize| {
+                pts.iter()
+                    .find(|p| p.model == model && p.dataflow == df && p.gs == gs)
+                    .map(|p| p.normalized)
+                    .unwrap_or(f64::NAN)
+            };
+            t.row(vec![
+                model.to_string(),
+                f(get(0), 2),
+                f(get(1), 2),
+                f(get(2), 2),
+                f(get(3), 2),
+                f(get(4), 2),
+            ]);
+        }
+        print!("{}", t.render());
+        println!();
+    }
+}

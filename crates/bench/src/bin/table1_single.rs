@@ -1,0 +1,40 @@
+//! Re-runs a single Table I row — useful when one task needs a larger
+//! training budget than the rest of the table.
+//!
+//! ```text
+//! cargo run --release -p apsq-bench --bin table1_single -- CoLA --steps 3500
+//! ```
+
+use apsq_bench::experiments::table1_glue;
+use apsq_bench::report::{f, Table};
+use apsq_nn::GlueTask;
+
+fn main() {
+    let opts = apsq_bench::accuracy_options_from_args();
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "CoLA".to_string());
+    let task = GlueTask::ALL
+        .into_iter()
+        .find(|t| t.name().eq_ignore_ascii_case(&name))
+        .unwrap_or_else(|| {
+            eprintln!("unknown task '{name}'");
+            std::process::exit(2);
+        });
+    println!(
+        "Table I single row — {} at {} steps x {}",
+        task.name(),
+        opts.steps,
+        opts.batch
+    );
+    let rows = table1_glue(&opts, &[task]);
+    let mut t = Table::new(&["task", "Baseline", "gs=1", "gs=2", "gs=3", "gs=4"]);
+    for row in rows {
+        t.row(
+            std::iter::once(row.task.clone())
+                .chain(row.scores.iter().map(|s| f(*s, 2)))
+                .collect(),
+        );
+    }
+    print!("{}", t.render());
+}

@@ -1,0 +1,34 @@
+//! Regenerates paper Table II: 28 nm synthesis area of the baseline DNN
+//! accelerator, the RAE, and the combined design.
+
+use apsq_bench::report::{f, Table};
+use apsq_rae::{baseline_accelerator_area, rae_area, table_two, RaeConfig};
+
+fn main() {
+    println!("Table II — Hardware synthesis resource consumption (28 nm model)");
+    println!("paper anchors: baseline 1,873,408 um2; RAE 86,410 um2; +3.21%\n");
+    let t2 = table_two();
+    let mut t = Table::new(&["block", "area (um2)"]);
+    t.row(vec!["Baseline DNN Accelerator".into(), f(t2.baseline, 0)]);
+    t.row(vec!["RAE".into(), f(t2.rae, 0)]);
+    t.row(vec!["DNN Accelerator w/ RAE".into(), f(t2.combined, 0)]);
+    print!("{}", t.render());
+    println!("\noverhead: {:.2}% (paper: 3.21%)\n", 100.0 * t2.overhead);
+
+    println!("RAE component breakdown:");
+    let r = rae_area(&RaeConfig::int8(4));
+    let mut t = Table::new(&["component", "area (um2)"]);
+    t.row(vec!["PSUM banks (4 x 8 KB)".into(), f(r.sram, 0)]);
+    t.row(vec!["shifters + adders + muxes".into(), f(r.datapath, 0)]);
+    t.row(vec!["scale/pipeline registers".into(), f(r.registers, 0)]);
+    t.row(vec!["controller".into(), f(r.control, 0)]);
+    print!("{}", t.render());
+
+    println!("\nBaseline accelerator breakdown:");
+    let b = baseline_accelerator_area();
+    let mut t = Table::new(&["component", "area (um2)"]);
+    t.row(vec!["SRAM (256+256+128 KB)".into(), f(b.sram, 0)]);
+    t.row(vec!["MAC array (1024 x INT8)".into(), f(b.mac_array, 0)]);
+    t.row(vec!["control".into(), f(b.control, 0)]);
+    print!("{}", t.render());
+}

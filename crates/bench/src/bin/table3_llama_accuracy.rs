@@ -1,0 +1,32 @@
+//! Regenerates paper Table III: baseline vs APSQ accuracy of the decoder
+//! LM on the seven zero-shot-reasoning stand-in families.
+//!
+//! Pass `--quick` for a reduced smoke run.
+
+use apsq_bench::experiments::table3;
+use apsq_bench::report::{f, Table};
+
+fn main() {
+    let opts = apsq_bench::accuracy_options_from_args();
+    println!("Table III — Decoder-LM accuracy, baseline vs APSQ (stand-in tasks)");
+    println!(
+        "config: {} steps x {} sequences, eval {} sequences/family",
+        opts.steps,
+        opts.batch,
+        opts.eval_examples / 8
+    );
+    println!("paper shape: gs=1 lowest; gs=3/4 near baseline\n");
+
+    let rows = table3(&opts);
+    let mut t = Table::new(&["Method", "BoolQ", "PIQA", "HellaS.", "WinoG.", "Arc-e", "Arc-c", "OBQA"]);
+    // Transpose: paper prints methods as rows.
+    let labels = ["Baseline", "gs=1", "gs=2", "gs=3", "gs=4"];
+    for (mi, label) in labels.iter().enumerate() {
+        t.row(
+            std::iter::once(label.to_string())
+                .chain(rows.iter().map(|r| f(r.scores[mi], 2)))
+                .collect(),
+        );
+    }
+    print!("{}", t.render());
+}

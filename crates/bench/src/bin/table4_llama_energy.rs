@@ -1,0 +1,24 @@
+//! Regenerates paper Table IV: normalized energy across gs settings under
+//! IS and WS on LLaMA2-7B (4096-token prefill + decode, Po=1 Pci=32
+//! Pco=32).
+
+use apsq_bench::experiments::table4;
+use apsq_bench::report::{f, Table};
+
+fn main() {
+    println!("Table IV — LLaMA2-7B normalized energy (relative to gs=1), seq 4096");
+    println!("paper anchors: IS base 1.02x, gs all 1x; WS base 31.7x, gs3/4 8.42x\n");
+    let mut t = Table::new(&["dataflow", "Baseline", "gs=1", "gs=2", "gs=3", "gs=4"]);
+    for (df, base, ratios) in table4() {
+        t.row(vec![
+            df.to_string(),
+            format!("{}x", f(base, 2)),
+            format!("{}x", f(ratios[0], 2)),
+            format!("{}x", f(ratios[1], 2)),
+            format!("{}x", f(ratios[2], 2)),
+            format!("{}x", f(ratios[3], 2)),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("\nnote: decode is counted as one pass over the model; see EXPERIMENTS.md.");
+}

@@ -1,0 +1,544 @@
+//! Structured experiment drivers — one function per paper table/figure.
+//!
+//! Each function returns plain data so the `bin/` generators can print it
+//! and integration tests can assert the paper's qualitative shape.
+
+use apsq_dataflow::{
+    workload_energy, AcceleratorConfig, Dataflow, EnergyBreakdown, EnergyTable, PsumFormat,
+    Workload,
+};
+use apsq_models::{
+    bert_base_128, efficientvit_b1_512, llama2_7b_prefill_decode, segformer_b0_512,
+};
+use apsq_nn::{
+    evaluate_glue, evaluate_lm, evaluate_seg, train_glue, train_lm, train_seg, GlueTask,
+    LmFamily, ModelConfig, PsumMode, SegTask, TrainConfig,
+};
+use apsq_quant::Bitwidth;
+
+/// One Fig 1 bar: a dataflow × PSUM-bit-width energy breakdown.
+#[derive(Clone, Debug)]
+pub struct Fig1Bar {
+    /// Dataflow of this bar.
+    pub dataflow: Dataflow,
+    /// PSUM storage bits.
+    pub psum_bits: u32,
+    /// Absolute energy breakdown (pJ).
+    pub breakdown: EnergyBreakdown,
+    /// Energy normalized to the dataflow-family maximum.
+    pub normalized_total: f64,
+    /// PSUM share of this bar's total.
+    pub psum_share: f64,
+}
+
+/// Fig 1: energy breakdown of IS/WS/OS on BERT-Base (128 tokens) at PSUM
+/// widths 32/16/8.
+pub fn fig1() -> Vec<Fig1Bar> {
+    let bert = bert_base_128();
+    let arch = AcceleratorConfig::transformer();
+    let table = EnergyTable::default_28nm();
+    let mut bars = Vec::new();
+    let mut max_total = 0.0f64;
+    for df in Dataflow::ALL {
+        for bits in [32u32, 16, 8] {
+            let b = workload_energy(&bert, &arch, df, &PsumFormat::exact(bits), &table);
+            max_total = max_total.max(b.total());
+            bars.push(Fig1Bar {
+                dataflow: df,
+                psum_bits: bits,
+                psum_share: b.psum_share(),
+                normalized_total: b.total(),
+                breakdown: b,
+            });
+        }
+    }
+    for b in &mut bars {
+        b.normalized_total /= max_total;
+    }
+    bars
+}
+
+/// One Fig 6 point: normalized energy of a model × dataflow × gs cell.
+#[derive(Clone, Debug)]
+pub struct Fig6Point {
+    /// Model name.
+    pub model: &'static str,
+    /// Dataflow.
+    pub dataflow: Dataflow,
+    /// Group size (0 denotes the INT32 baseline).
+    pub gs: usize,
+    /// Energy normalized to the INT32 baseline of the same model/dataflow.
+    pub normalized: f64,
+}
+
+/// Fig 6: normalized energy across gs settings and models under IS and WS.
+pub fn fig6() -> Vec<Fig6Point> {
+    let arch = AcceleratorConfig::transformer();
+    let table = EnergyTable::default_28nm();
+    let models: [(&'static str, Workload); 3] = [
+        ("BERT-Base", bert_base_128()),
+        ("Segformer-B0", segformer_b0_512()),
+        ("EfficientViT-B1", efficientvit_b1_512()),
+    ];
+    let mut out = Vec::new();
+    for (name, w) in &models {
+        for df in [Dataflow::InputStationary, Dataflow::WeightStationary] {
+            let base = workload_energy(w, &arch, df, &PsumFormat::int32_baseline(), &table)
+                .total();
+            out.push(Fig6Point {
+                model: name,
+                dataflow: df,
+                gs: 0,
+                normalized: 1.0,
+            });
+            for gs in 1..=4 {
+                let e = workload_energy(w, &arch, df, &PsumFormat::apsq_int8(gs), &table)
+                    .total();
+                out.push(Fig6Point {
+                    model: name,
+                    dataflow: df,
+                    gs,
+                    normalized: e / base,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// One Fig 5 energy point: WS BERT normalized energy at a PSUM width.
+#[derive(Clone, Debug)]
+pub struct Fig5EnergyPoint {
+    /// PSUM storage bits.
+    pub bits: u32,
+    /// Group size.
+    pub gs: usize,
+    /// Energy normalized to the INT32 baseline.
+    pub normalized: f64,
+}
+
+/// Fig 5 (energy axis): WS BERT-Base at PSUM INT4/INT6/INT8 across gs.
+pub fn fig5_energy() -> Vec<Fig5EnergyPoint> {
+    let bert = bert_base_128();
+    let arch = AcceleratorConfig::transformer();
+    let table = EnergyTable::default_28nm();
+    let base = workload_energy(
+        &bert,
+        &arch,
+        Dataflow::WeightStationary,
+        &PsumFormat::int32_baseline(),
+        &table,
+    )
+    .total();
+    let mut out = Vec::new();
+    for bits in [4u32, 6, 8] {
+        for gs in 1..=4 {
+            let e = workload_energy(
+                &bert,
+                &arch,
+                Dataflow::WeightStationary,
+                &PsumFormat::apsq(bits, gs),
+                &table,
+            )
+            .total();
+            out.push(Fig5EnergyPoint {
+                bits,
+                gs,
+                normalized: e / base,
+            });
+        }
+    }
+    out
+}
+
+/// Table IV: LLaMA2-7B normalized energy (relative to `gs = 1`) for the
+/// INT32 baseline and each group size, under IS and WS.
+///
+/// Returned as `(dataflow, baseline_ratio, [gs1..gs4 ratios])`.
+pub fn table4() -> Vec<(Dataflow, f64, [f64; 4])> {
+    let arch = AcceleratorConfig::llm();
+    let table = EnergyTable::default_28nm();
+    let w = llama2_7b_prefill_decode(4096, 1);
+    let mut out = Vec::new();
+    for df in [Dataflow::InputStationary, Dataflow::WeightStationary] {
+        let gs1 = workload_energy(&w, &arch, df, &PsumFormat::apsq_int8(1), &table).total();
+        let base = workload_energy(&w, &arch, df, &PsumFormat::int32_baseline(), &table).total();
+        let mut ratios = [0.0; 4];
+        for gs in 1..=4 {
+            let e = workload_energy(&w, &arch, df, &PsumFormat::apsq_int8(gs), &table).total();
+            ratios[gs - 1] = e / gs1;
+        }
+        out.push((df, base / gs1, ratios));
+    }
+    out
+}
+
+/// Accuracy-run options shared by Table I / Table III / Fig 5.
+#[derive(Clone, Copy, Debug)]
+pub struct AccuracyOptions {
+    /// Optimizer steps per training run.
+    pub steps: usize,
+    /// Sequences per step.
+    pub batch: usize,
+    /// Evaluation examples (sequences).
+    pub eval_examples: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl AccuracyOptions {
+    /// The full-quality configuration used for EXPERIMENTS.md.
+    pub fn standard() -> Self {
+        AccuracyOptions {
+            steps: 1500,
+            batch: 8,
+            eval_examples: 300,
+            seed: 17,
+        }
+    }
+
+    /// A reduced configuration for smoke runs (`--quick`).
+    pub fn quick() -> Self {
+        AccuracyOptions {
+            steps: 300,
+            batch: 8,
+            eval_examples: 150,
+            seed: 17,
+        }
+    }
+
+    fn train_config(&self) -> TrainConfig {
+        TrainConfig {
+            steps: self.steps,
+            batch: self.batch,
+            lr: 1.5e-3,
+            lr_quant: 1e-3,
+            distill_weight: 0.5,
+            temperature: 2.0,
+            seed: self.seed,
+        }
+    }
+}
+
+/// The PSUM tile width (`Pci`) used by the QAT models, matching the
+/// transformer accelerator configuration.
+pub const QAT_K_TILE: usize = 8;
+
+/// The model configuration used by the accuracy experiments.
+pub fn qat_model_config(psum_mode: PsumMode) -> ModelConfig {
+    ModelConfig {
+        vocab: 16,
+        max_len: 32,
+        d_model: 48,
+        heads: 4,
+        d_ff: 192,
+        layers: 2,
+        bits: Bitwidth::INT8,
+        psum_mode,
+    }
+}
+
+/// The five Table I / Table III method columns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// W8A8 QAT with exact INT32 PSUMs.
+    Baseline,
+    /// W8A8 QAT + INT8 grouped APSQ with this group size.
+    Apsq(usize),
+}
+
+impl Method {
+    /// All columns in table order.
+    pub const ALL: [Method; 5] = [
+        Method::Baseline,
+        Method::Apsq(1),
+        Method::Apsq(2),
+        Method::Apsq(3),
+        Method::Apsq(4),
+    ];
+
+    /// Column label.
+    pub fn label(&self) -> String {
+        match self {
+            Method::Baseline => "Baseline".into(),
+            Method::Apsq(gs) => format!("gs={gs}"),
+        }
+    }
+
+    /// The PSUM mode this column trains with, at the given width.
+    pub fn psum_mode(&self, bits: Bitwidth) -> PsumMode {
+        match self {
+            Method::Baseline => PsumMode::Exact,
+            Method::Apsq(gs) => PsumMode::Apsq {
+                bits,
+                gs: *gs,
+                k_tile: QAT_K_TILE,
+            },
+        }
+    }
+}
+
+/// One Table I row: a task and its five method scores.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    /// Row label (task or model name).
+    pub task: String,
+    /// Scores in `Method::ALL` order.
+    pub scores: [f64; 5],
+}
+
+/// Table I, GLUE block — default protocol: one FP teacher + one W8A8 QAT
+/// student per task; the APSQ columns evaluate the trained student with
+/// the PSUM path switched at inference (post-training APSQ on shared
+/// weights).
+///
+/// This isolates the PSUM-requantization noise and cuts compute 3× vs
+/// training five students per task; because the network cannot adapt to
+/// the noise during training, it *upper-bounds* the degradation the
+/// paper's full per-method QAT shows. Use [`table1_glue_qat_per_method`]
+/// (`--qat-per-method`) for the paper's full protocol.
+pub fn table1_glue(opts: &AccuracyOptions, tasks: &[GlueTask]) -> Vec<Table1Row> {
+    let tc = opts.train_config();
+    let mut rows = Vec::new();
+    for &task in tasks {
+        let mut teacher_cfg = qat_model_config(PsumMode::Exact);
+        teacher_cfg.bits = Bitwidth::INT32;
+        let teacher = train_glue(task, &teacher_cfg, &tc, None);
+        let cfg = qat_model_config(PsumMode::Exact);
+        let student = train_glue(task, &cfg, &tc, Some(&teacher));
+
+        let mut scores = [0.0; 5];
+        for (i, m) in Method::ALL.into_iter().enumerate() {
+            let mut s = apsq_nn::with_psum_mode(&student, m.psum_mode(Bitwidth::INT8));
+            scores[i] = evaluate_glue(&mut s, task, opts.eval_examples, opts.seed + 1000);
+        }
+        rows.push(Table1Row {
+            task: task.name().to_string(),
+            scores,
+        });
+    }
+    rows
+}
+
+/// Table I, GLUE block — the paper's full protocol: a separate QAT run per
+/// method column (1 teacher + 5 students per task, ~3× the compute of
+/// [`table1_glue`]).
+pub fn table1_glue_qat_per_method(opts: &AccuracyOptions, tasks: &[GlueTask]) -> Vec<Table1Row> {
+    let tc = opts.train_config();
+    let mut rows = Vec::new();
+    for &task in tasks {
+        // FP32-ish teacher (32-bit quantizers are numerically transparent).
+        let mut teacher_cfg = qat_model_config(PsumMode::Exact);
+        teacher_cfg.bits = Bitwidth::INT32;
+        let teacher = train_glue(task, &teacher_cfg, &tc, None);
+
+        let mut scores = [0.0; 5];
+        let cells: Vec<(usize, Method)> = Method::ALL.into_iter().enumerate().collect();
+        let results: Vec<(usize, f64)> = crossbeam::scope(|s| {
+            let handles: Vec<_> = cells
+                .iter()
+                .map(|(i, m)| {
+                    let teacher = &teacher;
+                    let tc = tc;
+                    let (i, m) = (*i, *m);
+                    s.spawn(move |_| {
+                        let cfg = qat_model_config(m.psum_mode(Bitwidth::INT8));
+                        let mut student = train_glue(task, &cfg, &tc, Some(teacher));
+                        let score =
+                            evaluate_glue(&mut student, task, opts.eval_examples, opts.seed + 1000);
+                        (i, score)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .expect("scoped training threads");
+        for (i, score) in results {
+            scores[i] = score;
+        }
+        rows.push(Table1Row {
+            task: task.name().to_string(),
+            scores,
+        });
+    }
+    rows
+}
+
+/// Table I, segmentation block: one teacher + one W8A8 student per model
+/// row; APSQ columns evaluated post-training on shared weights.
+pub fn table1_seg(opts: &AccuracyOptions) -> Vec<Table1Row> {
+    let tc = opts.train_config();
+    let mut rows = Vec::new();
+    for seg in [SegTask::segformer(), SegTask::efficientvit()] {
+        let mut teacher_cfg = qat_model_config(PsumMode::Exact);
+        teacher_cfg.bits = Bitwidth::INT32;
+        let teacher = train_seg(&seg, &teacher_cfg, &tc, None);
+        let cfg = qat_model_config(PsumMode::Exact);
+        let student = train_seg(&seg, &cfg, &tc, Some(&teacher));
+
+        let mut scores = [0.0; 5];
+        for (i, m) in Method::ALL.into_iter().enumerate() {
+            let mut s = student.clone();
+            s.set_psum_mode(m.psum_mode(Bitwidth::INT8));
+            scores[i] = evaluate_seg(&mut s, &seg, opts.eval_examples / 4, opts.seed + 1000);
+        }
+        rows.push(Table1Row {
+            task: seg.name.to_string(),
+            scores,
+        });
+    }
+    rows
+}
+
+/// Table III: one W8A8 QAT decoder LM; APSQ columns evaluated
+/// post-training on shared weights across the seven pattern families.
+/// Rows are families; columns are methods.
+pub fn table3(opts: &AccuracyOptions) -> Vec<Table1Row> {
+    let tc = opts.train_config();
+    let cfg = qat_model_config(PsumMode::Exact);
+    let lm = train_lm(&cfg, &tc);
+
+    LmFamily::ALL
+        .into_iter()
+        .map(|fam| {
+            let mut scores = [0.0; 5];
+            for (i, m) in Method::ALL.into_iter().enumerate() {
+                let mut s = lm.clone();
+                s.set_psum_mode(m.psum_mode(Bitwidth::INT8));
+                scores[i] =
+                    evaluate_lm(&mut s, fam, opts.eval_examples / 8, opts.seed + 2000, &cfg);
+            }
+            Table1Row {
+                task: fam.name().to_string(),
+                scores,
+            }
+        })
+        .collect()
+}
+
+/// Fig 5 (accuracy axis): MRPC accuracy at PSUM INT4/INT6/INT8 across gs,
+/// evaluated post-training on one shared W8A8 QAT student.
+/// Returns `(bits, gs, accuracy)` tuples.
+pub fn fig5_accuracy(opts: &AccuracyOptions) -> Vec<(u32, usize, f64)> {
+    let tc = opts.train_config();
+    let mut teacher_cfg = qat_model_config(PsumMode::Exact);
+    teacher_cfg.bits = Bitwidth::INT32;
+    let teacher = train_glue(GlueTask::Mrpc, &teacher_cfg, &tc, None);
+    let cfg = qat_model_config(PsumMode::Exact);
+    let student = train_glue(GlueTask::Mrpc, &cfg, &tc, Some(&teacher));
+
+    let mut results = Vec::new();
+    for bits in [4u32, 6, 8] {
+        for gs in 1..=4usize {
+            let mode = PsumMode::Apsq {
+                bits: Bitwidth::new(bits as u8),
+                gs,
+                k_tile: QAT_K_TILE,
+            };
+            let mut s = apsq_nn::with_psum_mode(&student, mode);
+            let acc =
+                evaluate_glue(&mut s, GlueTask::Mrpc, opts.eval_examples, opts.seed + 1000);
+            results.push((bits, gs, acc));
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_shape_matches_paper() {
+        let bars = fig1();
+        assert_eq!(bars.len(), 9);
+        let share = |df: Dataflow, bits: u32| {
+            bars.iter()
+                .find(|b| b.dataflow == df && b.psum_bits == bits)
+                .unwrap()
+                .psum_share
+        };
+        // WS INT32 PSUM share must be large (paper: 69%) and clearly above
+        // IS (paper: 38%); OS must be small.
+        assert!(share(Dataflow::WeightStationary, 32) > 0.55);
+        assert!(share(Dataflow::InputStationary, 32) > 0.25);
+        assert!(share(Dataflow::WeightStationary, 32) > share(Dataflow::InputStationary, 32));
+        assert!(share(Dataflow::OutputStationary, 32) < 0.2);
+        // Share decreases monotonically with PSUM width.
+        for df in [Dataflow::InputStationary, Dataflow::WeightStationary] {
+            assert!(share(df, 32) > share(df, 16));
+            assert!(share(df, 16) > share(df, 8));
+        }
+    }
+
+    #[test]
+    fn fig6_shape_matches_paper() {
+        let pts = fig6();
+        let get = |model: &str, df: Dataflow, gs: usize| {
+            pts.iter()
+                .find(|p| p.model == model && p.dataflow == df && p.gs == gs)
+                .unwrap()
+                .normalized
+        };
+        // WS BERT: ≈ 50% saving, flat in gs (short token length).
+        for gs in 1..=4 {
+            let v = get("BERT-Base", Dataflow::WeightStationary, gs);
+            assert!((0.4..0.6).contains(&v), "WS BERT gs={gs}: {v}");
+        }
+        // Segformer/EfficientViT WS: savings decline at gs ≥ 3 (spills).
+        for model in ["Segformer-B0", "EfficientViT-B1"] {
+            let g2 = get(model, Dataflow::WeightStationary, 2);
+            let g3 = get(model, Dataflow::WeightStationary, 3);
+            assert!(g3 > g2, "{model}: gs=3 ({g3}) must exceed gs=2 ({g2})");
+        }
+        // IS savings exist but are flat in gs.
+        for model in ["BERT-Base", "Segformer-B0", "EfficientViT-B1"] {
+            let g1 = get(model, Dataflow::InputStationary, 1);
+            let g4 = get(model, Dataflow::InputStationary, 4);
+            assert!(g1 < 1.0);
+            assert!((g1 - g4).abs() < 0.02, "{model} IS not flat");
+        }
+    }
+
+    #[test]
+    fn fig5_energy_ordering() {
+        let pts = fig5_energy();
+        let get = |bits: u32| {
+            pts.iter()
+                .find(|p| p.bits == bits && p.gs == 1)
+                .unwrap()
+                .normalized
+        };
+        // Paper: INT4 0.41 < INT6 0.45 < INT8 0.50.
+        assert!(get(4) < get(6));
+        assert!(get(6) < get(8));
+        assert!((get(8) - 0.5).abs() < 0.08);
+        assert!((get(4) - 0.41).abs() < 0.08);
+    }
+
+    #[test]
+    fn table4_shape_matches_paper() {
+        let rows = table4();
+        let (_, is_base, is_ratios) = rows
+            .iter()
+            .find(|(df, _, _)| *df == Dataflow::InputStationary)
+            .cloned()
+            .unwrap();
+        let (_, ws_base, ws_ratios) = rows
+            .iter()
+            .find(|(df, _, _)| *df == Dataflow::WeightStationary)
+            .cloned()
+            .unwrap();
+        // IS: everything ≈ 1×.
+        assert!((is_base - 1.0).abs() < 0.1, "IS base {is_base}");
+        for r in is_ratios {
+            assert!((r - 1.0).abs() < 0.05);
+        }
+        // WS: baseline tens of ×, gs1/gs2 = 1, gs3/gs4 several ×.
+        assert!(ws_base > 15.0, "WS base {ws_base}");
+        assert!((ws_ratios[0] - 1.0).abs() < 1e-9);
+        assert!((ws_ratios[1] - 1.0).abs() < 0.05);
+        assert!(ws_ratios[2] > 3.0, "WS gs3 {}", ws_ratios[2]);
+        assert!((ws_ratios[2] - ws_ratios[3]).abs() < 0.05);
+    }
+}

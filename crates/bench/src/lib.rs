@@ -1,0 +1,39 @@
+//! Experiment harness for the APSQ reproduction.
+//!
+//! One driver function per paper table/figure lives in [`experiments`];
+//! the `bin/` targets are thin printers over them:
+//!
+//! | artifact | binary |
+//! |---|---|
+//! | Fig 1 | `fig1_energy_breakdown` |
+//! | Fig 5 | `fig5_mrpc_energy_accuracy` |
+//! | Fig 6 | `fig6_energy_models` |
+//! | Table I | `table1_accuracy` |
+//! | Table II | `table2_area` |
+//! | Table III | `table3_llama_accuracy` |
+//! | Table IV | `table4_llama_energy` |
+//!
+//! Training-based generators accept `--quick` for a reduced smoke run.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+/// Parses the shared flags of the training-based generators:
+/// `--quick` selects the reduced smoke budget, and `--steps N` overrides
+/// the optimizer-step count of either base configuration.
+pub fn accuracy_options_from_args() -> experiments::AccuracyOptions {
+    let args: Vec<String> = std::env::args().collect();
+    let mut opts = if args.iter().any(|a| a == "--quick") {
+        experiments::AccuracyOptions::quick()
+    } else {
+        experiments::AccuracyOptions::standard()
+    };
+    if let Some(i) = args.iter().position(|a| a == "--steps") {
+        if let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+            opts.steps = n;
+        }
+    }
+    opts
+}

@@ -1,0 +1,212 @@
+//! Error analysis utilities and synthetic PSUM-stream generators.
+
+use crate::config::{ApsqConfig, GroupSize};
+use crate::grouped::grouped_apsq;
+use crate::reference::exact_accumulate;
+use crate::schedule::ScaleSchedule;
+use apsq_quant::Bitwidth;
+use apsq_tensor::Int32Tensor;
+use rand::Rng;
+
+/// Mean squared error between a reference and a test signal.
+///
+/// # Panics
+///
+/// Panics if lengths differ or are zero.
+pub fn mse(reference: &[i32], test: &[i32]) -> f64 {
+    assert_eq!(reference.len(), test.len(), "mse: length mismatch");
+    assert!(!reference.is_empty(), "mse of empty signals");
+    reference
+        .iter()
+        .zip(test.iter())
+        .map(|(&r, &t)| ((r as f64) - (t as f64)).powi(2))
+        .sum::<f64>()
+        / reference.len() as f64
+}
+
+/// Signal-to-quantization-noise ratio in dB:
+/// `10·log₁₀(Σ ref² / Σ (ref − test)²)`.
+///
+/// Returns `f64::INFINITY` when the test equals the reference exactly.
+///
+/// # Panics
+///
+/// Panics if lengths differ or are zero.
+pub fn sqnr_db(reference: &[i32], test: &[i32]) -> f64 {
+    assert_eq!(reference.len(), test.len(), "sqnr_db: length mismatch");
+    assert!(!reference.is_empty(), "sqnr of empty signals");
+    let sig: f64 = reference.iter().map(|&r| (r as f64).powi(2)).sum();
+    let noise: f64 = reference
+        .iter()
+        .zip(test.iter())
+        .map(|(&r, &t)| ((r as f64) - (t as f64)).powi(2))
+        .sum();
+    if noise == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (sig / noise).log10()
+    }
+}
+
+/// Maximum absolute error between a reference and a test signal.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn max_abs_err(reference: &[i32], test: &[i32]) -> i64 {
+    assert_eq!(reference.len(), test.len(), "max_abs_err: length mismatch");
+    reference
+        .iter()
+        .zip(test.iter())
+        .map(|(&r, &t)| ((r as i64) - (t as i64)).abs())
+        .max()
+        .unwrap_or(0)
+}
+
+/// Generates a synthetic PSUM tile stream resembling what a W8A8 PE array
+/// produces: each tile's entries are sums of `depth` random i8×i8 products
+/// (approximately Gaussian with σ ≈ 74·√depth by the CLT).
+///
+/// `depth` models the `Pci` accumulation inside one tile.
+///
+/// # Panics
+///
+/// Panics if `np`, `numel`, or `depth` is zero.
+pub fn synthetic_psum_stream<R: Rng + ?Sized>(
+    rng: &mut R,
+    np: usize,
+    numel: usize,
+    depth: usize,
+) -> Vec<Int32Tensor> {
+    assert!(np > 0 && numel > 0 && depth > 0, "degenerate stream shape");
+    (0..np)
+        .map(|_| {
+            let data: Vec<i32> = (0..numel)
+                .map(|_| {
+                    (0..depth)
+                        .map(|_| {
+                            let a = rng.gen_range(-128i32..=127);
+                            let w = rng.gen_range(-128i32..=127);
+                            a * w
+                        })
+                        .sum()
+                })
+                .collect();
+            Int32Tensor::from_vec(data, [numel])
+        })
+        .collect()
+}
+
+/// One row of a group-size sweep produced by [`error_vs_group_size`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GroupSweepPoint {
+    /// The group size evaluated.
+    pub group_size: usize,
+    /// SQNR of APSQ output vs exact accumulation, in dB.
+    pub sqnr_db: f64,
+    /// Mean squared error vs exact accumulation.
+    pub mse: f64,
+    /// Largest absolute deviation from the exact sum.
+    pub max_abs_err: i64,
+}
+
+/// Sweeps APSQ over group sizes on a given stream and reports accuracy vs
+/// the exact accumulation — the quantitative backbone of the paper's
+/// Section IV-B observation that `gs = 1` hurts and grouping recovers.
+///
+/// Scales are re-calibrated per group size (they see different values).
+///
+/// # Panics
+///
+/// Panics if `stream` is empty or `group_sizes` is empty.
+pub fn error_vs_group_size(
+    stream: &[Int32Tensor],
+    bits: Bitwidth,
+    group_sizes: &[usize],
+) -> Vec<GroupSweepPoint> {
+    assert!(!stream.is_empty(), "empty stream");
+    assert!(!group_sizes.is_empty(), "no group sizes requested");
+    let exact = exact_accumulate(stream);
+    group_sizes
+        .iter()
+        .map(|&gs| {
+            let group = GroupSize::new(gs);
+            let sched =
+                ScaleSchedule::calibrate(std::slice::from_ref(&stream.to_vec()), bits, group);
+            let run = grouped_apsq(
+                stream,
+                &sched,
+                &ApsqConfig {
+                    bits,
+                    group_size: group,
+                },
+            );
+            GroupSweepPoint {
+                group_size: gs,
+                sqnr_db: sqnr_db(exact.data(), run.output.data()),
+                mse: mse(exact.data(), run.output.data()),
+                max_abs_err: max_abs_err(exact.data(), run.output.data()),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sqnr_of_identical_signals_is_infinite() {
+        assert_eq!(sqnr_db(&[1, 2, 3], &[1, 2, 3]), f64::INFINITY);
+    }
+
+    #[test]
+    fn sqnr_drops_with_noise() {
+        let reference = [1000, -1000, 500];
+        let small = [1001, -1001, 501];
+        let big = [1100, -900, 600];
+        assert!(sqnr_db(&reference, &small) > sqnr_db(&reference, &big));
+    }
+
+    #[test]
+    fn mse_and_max_err() {
+        assert_eq!(mse(&[0, 0], &[3, 4]), 12.5);
+        assert_eq!(max_abs_err(&[0, 10], &[3, 4]), 6);
+    }
+
+    #[test]
+    fn synthetic_stream_statistics() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let s = synthetic_psum_stream(&mut rng, 4, 256, 8);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s[0].numel(), 256);
+        // CLT: σ ≈ 74·√8 ≈ 209; nearly all mass within 5σ ≈ 1045 — and the
+        // absolute bound is 8·16384.
+        let max = s
+            .iter()
+            .flat_map(|t| t.data().iter())
+            .map(|v| v.abs())
+            .max()
+            .unwrap();
+        assert!(max <= 8 * 16384);
+        assert!(max > 100, "suspiciously small PSUMs: {max}");
+    }
+
+    #[test]
+    fn sweep_reports_grouping_gains() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let stream = synthetic_psum_stream(&mut rng, 16, 512, 8);
+        let sweep = error_vs_group_size(&stream, Bitwidth::INT8, &[1, 2, 4, 16]);
+        assert_eq!(sweep.len(), 4);
+        // Requantizing the running sum fewer times cannot hurt on average:
+        // gs = 16 (pure PSQ) should beat gs = 1 clearly on this stream.
+        let gs1 = sweep[0].sqnr_db;
+        let gs16 = sweep[3].sqnr_db;
+        assert!(
+            gs16 > gs1,
+            "expected SQNR(gs=16) {gs16:.1} dB > SQNR(gs=1) {gs1:.1} dB"
+        );
+    }
+}

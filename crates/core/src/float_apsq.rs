@@ -1,0 +1,338 @@
+//! The float-domain twin of Algorithm 1 used during quantization-aware
+//! training (fake quantization).
+//!
+//! When all scales are powers of two and the inputs are integer-valued, this
+//! path agrees **bit-for-bit** with the integer golden model in
+//! [`crate::grouped_apsq`] — both round half away from zero.
+
+use crate::config::GroupSize;
+use apsq_quant::{Bitwidth, QRange};
+use apsq_tensor::Tensor;
+
+/// A per-step scale list for the float APSQ path.
+///
+/// Scales may be arbitrary positive reals during QAT; export to the integer
+/// engine requires snapping them to powers of two (see
+/// [`apsq_quant::Pow2LsqQuantizer`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FloatScaleSchedule {
+    scales: Vec<f32>,
+    bits: Bitwidth,
+}
+
+impl FloatScaleSchedule {
+    /// Builds a schedule from explicit per-step scales.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scales` is empty or any scale is non-positive/non-finite.
+    pub fn new(scales: Vec<f32>, bits: Bitwidth) -> Self {
+        assert!(!scales.is_empty(), "schedule must cover at least one step");
+        assert!(
+            scales.iter().all(|s| s.is_finite() && *s > 0.0),
+            "all scales must be positive and finite"
+        );
+        FloatScaleSchedule { scales, bits }
+    }
+
+    /// Calibrates per-step scales from a sample of tile streams so that no
+    /// step clips, mirroring [`crate::ScaleSchedule::calibrate`] but in the
+    /// float domain and snapping to powers of two.
+    ///
+    /// For a single stream this runs in one linear pass (committing each
+    /// step's scale as the replay advances — the QAT hot path); multiple
+    /// streams use the step-by-step fixed-point replay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams` is empty or ragged.
+    pub fn calibrate_pow2(streams: &[Vec<Tensor>], bits: Bitwidth, group_size: GroupSize) -> Self {
+        assert!(!streams.is_empty(), "need at least one calibration stream");
+        let np = streams[0].len();
+        assert!(np > 0, "streams must contain at least one tile");
+        assert!(streams.iter().all(|s| s.len() == np), "ragged streams");
+
+        if streams.len() == 1 {
+            return Self::calibrate_pow2_single(&streams[0], bits, group_size);
+        }
+
+        let gs = group_size.get();
+        let qp = bits.signed_range().qp as f32;
+        let mut scales: Vec<f32> = Vec::with_capacity(np);
+        for step in 0..np {
+            let mut max_abs = 0.0f32;
+            for stream in streams {
+                max_abs = max_abs.max(replay_input_max(stream, &scales, step, gs, bits));
+            }
+            let raw = if max_abs > 0.0 { max_abs / qp } else { 1.0 };
+            scales.push(raw.log2().ceil().exp2());
+        }
+        FloatScaleSchedule { scales, bits }
+    }
+
+    /// Single-stream linear-time calibration: one incremental replay,
+    /// committing each step's scale before executing it. Produces exactly
+    /// the same schedule as the multi-stream fixed-point path restricted
+    /// to one stream (each step's input depends only on already-committed
+    /// scales).
+    fn calibrate_pow2_single(stream: &[Tensor], bits: Bitwidth, group_size: GroupSize) -> Self {
+        let np = stream.len();
+        let numel = stream[0].numel();
+        let gs = group_size.get();
+        let qp = bits.signed_range().qp as f32;
+        let range = bits.signed_range();
+        let mut scales: Vec<f32> = Vec::with_capacity(np);
+        let mut stored: Vec<Vec<f32>> = Vec::with_capacity(np);
+        let mut acc_buf: Vec<f32> = vec![0.0; numel];
+
+        for i in 0..np {
+            let is_apsq_step = i % gs == 0;
+            let is_final = i == np - 1;
+            acc_buf.fill(0.0);
+            if is_apsq_step && i > 0 {
+                for prev in stored.iter().take(i).skip(i - gs) {
+                    for (a, &v) in acc_buf.iter_mut().zip(prev.iter()) {
+                        *a += v;
+                    }
+                }
+            } else if is_final && !is_apsq_step {
+                let group_start = (i / gs) * gs;
+                for prev in stored.iter().take(i).skip(group_start) {
+                    for (a, &v) in acc_buf.iter_mut().zip(prev.iter()) {
+                        *a += v;
+                    }
+                }
+            }
+            for (a, &t) in acc_buf.iter_mut().zip(stream[i].data().iter()) {
+                *a += t;
+            }
+            let max_abs = acc_buf.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            let raw = if max_abs > 0.0 { max_abs / qp } else { 1.0 };
+            let s = raw.log2().ceil().exp2();
+            scales.push(s);
+            stored.push(acc_buf.iter().map(|&v| fake_quant(v, s, range)).collect());
+        }
+        FloatScaleSchedule { scales, bits }
+    }
+
+    /// Number of steps covered.
+    pub fn len(&self) -> usize {
+        self.scales.len()
+    }
+
+    /// Whether the schedule is empty (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.scales.is_empty()
+    }
+
+    /// The scale at step `i`.
+    pub fn scale(&self, i: usize) -> f32 {
+        self.scales[i]
+    }
+
+    /// The shared bit-width.
+    pub fn bits(&self) -> Bitwidth {
+        self.bits
+    }
+
+    /// All scales in step order.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+}
+
+fn fake_quant(x: f32, scale: f32, range: QRange) -> f32 {
+    (x / scale).round().clamp(range.qn as f32, range.qp as f32) * scale
+}
+
+/// Runs grouped APSQ on float PSUM tiles (fake quantization), mirroring the
+/// integer golden model's control flow exactly.
+///
+/// Returns the dequantized output tile `To`.
+///
+/// # Panics
+///
+/// Panics if `tiles` is empty, ragged, or `schedule.len() != tiles.len()`.
+pub fn grouped_apsq_f32(
+    tiles: &[Tensor],
+    schedule: &FloatScaleSchedule,
+    group_size: GroupSize,
+) -> Tensor {
+    let np = tiles.len();
+    assert!(np > 0, "grouped_apsq_f32 requires at least one tile");
+    assert_eq!(schedule.len(), np, "schedule length mismatch");
+    let shape = tiles[0].shape().clone();
+    assert!(
+        tiles.iter().all(|t| t.shape() == &shape),
+        "all PSUM tiles must share one shape"
+    );
+    let numel = shape.numel();
+    let gs = group_size.get();
+    let range = schedule.bits().signed_range();
+
+    // Stored fake-quantized values (already dequantized — float domain).
+    let mut stored: Vec<Vec<f32>> = Vec::with_capacity(np);
+    let mut output: Option<Tensor> = None;
+
+    for i in 0..np {
+        let is_apsq_step = i % gs == 0;
+        let is_final = i == np - 1;
+        let s = schedule.scale(i);
+
+        let mut acc: Vec<f32> = vec![0.0; numel];
+        if is_apsq_step && i > 0 {
+            for prev in stored.iter().take(i).skip(i - gs) {
+                for (a, &v) in acc.iter_mut().zip(prev.iter()) {
+                    *a += v;
+                }
+            }
+        } else if is_final && !is_apsq_step {
+            let group_start = (i / gs) * gs;
+            for prev in stored.iter().take(i).skip(group_start) {
+                for (a, &v) in acc.iter_mut().zip(prev.iter()) {
+                    *a += v;
+                }
+            }
+        }
+        for (a, &t) in acc.iter_mut().zip(tiles[i].data().iter()) {
+            *a += t;
+        }
+        let q: Vec<f32> = acc.iter().map(|&v| fake_quant(v, s, range)).collect();
+        if is_final {
+            output = Some(Tensor::from_vec(q.clone(), shape.clone()));
+        }
+        stored.push(q);
+    }
+
+    output.expect("final step always produces the output tile")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ApsqConfig;
+    use crate::grouped::grouped_apsq;
+    use crate::schedule::ScaleSchedule;
+    use apsq_tensor::Int32Tensor;
+
+    #[test]
+    fn float_and_integer_paths_agree_bit_for_bit() {
+        // Integer-valued tiles + pow2 scales ⇒ exact agreement.
+        let int_tiles: Vec<Int32Tensor> = (0..6)
+            .map(|i| {
+                Int32Tensor::from_vec(
+                    (0..8).map(|j| ((i * 131 + j * 37) % 1001) as i32 - 500).collect(),
+                    [8],
+                )
+            })
+            .collect();
+        let float_tiles: Vec<Tensor> = int_tiles.iter().map(|t| t.to_f32()).collect();
+
+        for gs in [1usize, 2, 3, 4] {
+            let sched = ScaleSchedule::calibrate(
+                std::slice::from_ref(&int_tiles),
+                Bitwidth::INT8,
+                GroupSize::new(gs),
+            );
+            let fsched = FloatScaleSchedule::new(
+                sched.scales().iter().map(|s| s.scale()).collect(),
+                Bitwidth::INT8,
+            );
+            let int_out = grouped_apsq(&int_tiles, &sched, &ApsqConfig::int8(gs));
+            let f_out = grouped_apsq_f32(&float_tiles, &fsched, GroupSize::new(gs));
+            for (a, b) in int_out.output.data().iter().zip(f_out.data()) {
+                assert_eq!(*a, *b as i32, "gs={gs}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_and_multi_stream_calibration_agree() {
+        // The linear fast path must produce exactly the schedule the
+        // fixed-point replay produces for one stream (force the slow path
+        // by duplicating the stream).
+        let tiles: Vec<Tensor> = (0..9)
+            .map(|i| {
+                Tensor::from_vec(
+                    (0..6).map(|j| ((i * 131 + j * 37) % 2001) as f32 - 1000.0).collect(),
+                    [6],
+                )
+            })
+            .collect();
+        for gs in [1usize, 2, 3, 4] {
+            let fast = FloatScaleSchedule::calibrate_pow2(
+                std::slice::from_ref(&tiles),
+                Bitwidth::INT8,
+                GroupSize::new(gs),
+            );
+            let slow = FloatScaleSchedule::calibrate_pow2(
+                &[tiles.clone(), tiles.clone()],
+                Bitwidth::INT8,
+                GroupSize::new(gs),
+            );
+            assert_eq!(fast.scales(), slow.scales(), "gs={gs}");
+        }
+    }
+
+    #[test]
+    fn calibrate_pow2_produces_pow2_scales() {
+        let tiles: Vec<Tensor> = (0..4)
+            .map(|i| Tensor::from_vec(vec![100.0 * (i + 1) as f32; 4], [4]))
+            .collect();
+        let sched =
+            FloatScaleSchedule::calibrate_pow2(&[tiles], Bitwidth::INT8, GroupSize::new(2));
+        for &s in sched.scales() {
+            assert_eq!(s.log2().fract(), 0.0, "scale {s} is not a power of two");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn rejects_bad_scales() {
+        FloatScaleSchedule::new(vec![1.0, -1.0], Bitwidth::INT8);
+    }
+}
+
+/// Replays the float algorithm to find the max |input| to quantizer
+/// `target_step` (mirrors the integer calibrator).
+fn replay_input_max(
+    stream: &[Tensor],
+    scales: &[f32],
+    target_step: usize,
+    gs: usize,
+    bits: Bitwidth,
+) -> f32 {
+    debug_assert_eq!(scales.len(), target_step);
+    let np = stream.len();
+    let numel = stream[0].numel();
+    let range = bits.signed_range();
+    let mut stored: Vec<Vec<f32>> = Vec::with_capacity(target_step);
+    for i in 0..=target_step {
+        let is_apsq_step = i % gs == 0;
+        let is_final = i == np - 1;
+        let mut acc: Vec<f32> = vec![0.0; numel];
+        if is_apsq_step && i > 0 {
+            for prev in stored.iter().take(i).skip(i - gs) {
+                for (a, &v) in acc.iter_mut().zip(prev.iter()) {
+                    *a += v;
+                }
+            }
+        } else if is_final && !is_apsq_step {
+            let group_start = (i / gs) * gs;
+            for prev in stored.iter().take(i).skip(group_start) {
+                for (a, &v) in acc.iter_mut().zip(prev.iter()) {
+                    *a += v;
+                }
+            }
+        }
+        for (a, &t) in acc.iter_mut().zip(stream[i].data().iter()) {
+            *a += t;
+        }
+        if i == target_step {
+            return acc.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        }
+        let s = scales[i];
+        stored.push(acc.iter().map(|&v| fake_quant(v, s, range)).collect());
+    }
+    unreachable!()
+}

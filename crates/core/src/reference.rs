@@ -1,0 +1,114 @@
+//! Reference accumulation paths that APSQ is compared against.
+
+use crate::schedule::ScaleSchedule;
+use apsq_tensor::Int32Tensor;
+
+/// Exact i32 PSUM accumulation — the conventional high-precision baseline
+/// (paper Fig 3b): every tile is added at full precision.
+///
+/// Accumulation is performed in `i64` and the result is checked to fit in
+/// `i32`.
+///
+/// # Panics
+///
+/// Panics if `tiles` is empty, shapes mismatch, or the exact sum overflows
+/// `i32` (a genuine PSUM-overflow bug in the caller's configuration — the
+/// paper sizes PSUM storage at `16 + log2(Ci)` bits precisely to avoid
+/// this).
+pub fn exact_accumulate(tiles: &[Int32Tensor]) -> Int32Tensor {
+    assert!(!tiles.is_empty(), "exact_accumulate requires at least one tile");
+    let numel = tiles[0].numel();
+    assert!(
+        tiles.iter().all(|t| t.shape() == tiles[0].shape()),
+        "all PSUM tiles must share one shape"
+    );
+    let mut acc = vec![0i64; numel];
+    for t in tiles {
+        for (a, &v) in acc.iter_mut().zip(t.data().iter()) {
+            *a += v as i64;
+        }
+    }
+    let data = acc
+        .into_iter()
+        .map(|v| {
+            i32::try_from(v).unwrap_or_else(|_| {
+                panic!("exact PSUM accumulation overflowed i32 (sum = {v})")
+            })
+        })
+        .collect();
+    Int32Tensor::from_vec(data, tiles[0].shape().clone())
+}
+
+/// The ADC-style PSUM quantization of refs [19, 20]: each tile is quantized
+/// and *immediately dequantized back to full precision* before being
+/// accumulated and stored at high precision.
+///
+/// This reduces ADC resolution in a ReRAM accelerator but — as the paper
+/// points out — does **not** reduce the SRAM traffic, because the stored
+/// running sum stays at full precision. It is the quantity APSQ improves on.
+///
+/// # Panics
+///
+/// Panics if `tiles` is empty or `schedule.len() != tiles.len()`.
+pub fn psq_adc_reference(tiles: &[Int32Tensor], schedule: &ScaleSchedule) -> Int32Tensor {
+    assert!(!tiles.is_empty(), "psq_adc_reference requires at least one tile");
+    assert_eq!(schedule.len(), tiles.len(), "schedule length mismatch");
+    let numel = tiles[0].numel();
+    let mut acc = vec![0i64; numel];
+    for (i, t) in tiles.iter().enumerate() {
+        let s = schedule.scale(i);
+        for (a, &v) in acc.iter_mut().zip(t.data().iter()) {
+            *a += s.requantize(v) as i64;
+        }
+    }
+    let data = acc
+        .into_iter()
+        .map(|v| v.clamp(i32::MIN as i64, i32::MAX as i64) as i32)
+        .collect();
+    Int32Tensor::from_vec(data, tiles[0].shape().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apsq_quant::Bitwidth;
+
+    fn tiles_from(vals: &[&[i32]]) -> Vec<Int32Tensor> {
+        vals.iter()
+            .map(|v| Int32Tensor::from_vec(v.to_vec(), [v.len()]))
+            .collect()
+    }
+
+    #[test]
+    fn exact_sums() {
+        let tiles = tiles_from(&[&[1, 2], &[10, -20], &[100, 200]]);
+        assert_eq!(exact_accumulate(&tiles).data(), &[111, 182]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflowed")]
+    fn exact_detects_overflow() {
+        let tiles = tiles_from(&[&[i32::MAX], &[1]]);
+        exact_accumulate(&tiles);
+    }
+
+    #[test]
+    fn adc_psq_error_bounded_by_per_tile_half_step() {
+        let tiles = tiles_from(&[&[100], &[101], &[99], &[102]]);
+        let sched = ScaleSchedule::uniform(4, 1, Bitwidth::INT8); // α = 2
+        let exact = exact_accumulate(&tiles);
+        let psq = psq_adc_reference(&tiles, &sched);
+        // Each tile contributes ≤ α/2 = 1 of error.
+        assert!((psq.data()[0] - exact.data()[0]).abs() <= 4);
+    }
+
+    #[test]
+    fn adc_psq_exact_when_unit_scale() {
+        let tiles = tiles_from(&[&[5, -3], &[2, 2]]);
+        let sched = ScaleSchedule::uniform(2, 0, Bitwidth::INT8);
+        assert_eq!(
+            psq_adc_reference(&tiles, &sched),
+            exact_accumulate(&tiles)
+        );
+    }
+}

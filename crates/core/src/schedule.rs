@@ -1,0 +1,321 @@
+//! Per-step power-of-two scale schedules for the APSQ quantizers.
+//!
+//! Eq (10) gives every accumulation step its own quantizer `Q^i_k` with its
+//! own scaling factor `α_i`. In hardware the scales live in a register list
+//! (Algorithm 1, line 1) and are powers of two so that scaling is a shift.
+
+use crate::config::GroupSize;
+use apsq_quant::{Bitwidth, Pow2Scale};
+use apsq_tensor::Int32Tensor;
+
+/// The ordered list of power-of-two scales `α_0 .. α_{np−1}` used by one
+/// APSQ run of `np` PSUM tiles.
+///
+/// # Examples
+///
+/// ```
+/// use apsq_core::ScaleSchedule;
+/// use apsq_quant::Bitwidth;
+///
+/// let s = ScaleSchedule::uniform(4, 3, Bitwidth::INT8);
+/// assert_eq!(s.len(), 4);
+/// assert_eq!(s.scale(2).exponent(), 3);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScaleSchedule {
+    scales: Vec<Pow2Scale>,
+}
+
+impl ScaleSchedule {
+    /// Builds a schedule from explicit per-step exponents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exponents` is empty or any exponent exceeds 30.
+    pub fn from_exponents(exponents: &[u32], bits: Bitwidth) -> Self {
+        assert!(!exponents.is_empty(), "schedule must cover at least one step");
+        ScaleSchedule {
+            scales: exponents.iter().map(|&e| Pow2Scale::new(e, bits)).collect(),
+        }
+    }
+
+    /// Builds a schedule with the same exponent at every step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps == 0` or `exponent > 30`.
+    pub fn uniform(steps: usize, exponent: u32, bits: Bitwidth) -> Self {
+        assert!(steps > 0, "schedule must cover at least one step");
+        ScaleSchedule {
+            scales: vec![Pow2Scale::new(exponent, bits); steps],
+        }
+    }
+
+    /// Calibrates a schedule from sample PSUM-tile streams so that no
+    /// quantization step clips, for a given group size.
+    ///
+    /// For each step `i` the calibrator replays Algorithm 1 on every stream
+    /// and records the maximum absolute value entering quantizer `Q^i_k`;
+    /// the step's exponent is the tightest power of two covering it.
+    /// Because later steps see *dequantized* values produced by earlier
+    /// steps, calibration proceeds step by step, committing each exponent
+    /// before measuring the next — a fixed point of the replay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams` is empty, any stream is empty, or stream lengths
+    /// differ.
+    pub fn calibrate(
+        streams: &[Vec<Int32Tensor>],
+        bits: Bitwidth,
+        group_size: GroupSize,
+    ) -> Self {
+        assert!(!streams.is_empty(), "need at least one calibration stream");
+        let np = streams[0].len();
+        assert!(np > 0, "streams must contain at least one tile");
+        assert!(
+            streams.iter().all(|s| s.len() == np),
+            "calibration streams must have equal length"
+        );
+
+        if streams.len() == 1 {
+            return Self::calibrate_single(&streams[0], bits, group_size);
+        }
+
+        let gs = group_size.get();
+        let mut scales: Vec<Pow2Scale> = Vec::with_capacity(np);
+        for step in 0..np {
+            // Measure the worst-case |input| to quantizer `step` across all
+            // streams, replaying the committed prefix of the schedule.
+            let mut max_abs: i32 = 1;
+            for stream in streams {
+                let v = replay_quantizer_input(stream, &scales, step, gs);
+                max_abs = max_abs.max(v);
+            }
+            scales.push(Pow2Scale::covering(max_abs, bits));
+        }
+        ScaleSchedule { scales }
+    }
+
+    /// Single-stream linear-time calibration: one incremental replay that
+    /// commits each step's exponent before executing the step. Identical
+    /// to the fixed-point replay restricted to one stream.
+    fn calibrate_single(stream: &[Int32Tensor], bits: Bitwidth, group_size: GroupSize) -> Self {
+        let np = stream.len();
+        let numel = stream[0].numel();
+        let gs = group_size.get();
+        let mut scales: Vec<Pow2Scale> = Vec::with_capacity(np);
+        let mut stored: Vec<Vec<i32>> = Vec::with_capacity(np);
+        let mut acc: Vec<i64> = vec![0; numel];
+
+        for i in 0..np {
+            let is_apsq_step = i % gs == 0;
+            let is_final = i == np - 1;
+            acc.fill(0);
+            if is_apsq_step && i > 0 {
+                for l in i - gs..i {
+                    let s = scales[l];
+                    for (a, &c) in acc.iter_mut().zip(stored[l].iter()) {
+                        *a += s.dequantize(c) as i64;
+                    }
+                }
+            } else if is_final && !is_apsq_step {
+                let group_start = (i / gs) * gs;
+                for l in group_start..i {
+                    let s = scales[l];
+                    for (a, &c) in acc.iter_mut().zip(stored[l].iter()) {
+                        *a += s.dequantize(c) as i64;
+                    }
+                }
+            }
+            for (a, &t) in acc.iter_mut().zip(stream[i].data().iter()) {
+                *a += t as i64;
+            }
+            let max_abs = acc
+                .iter()
+                .map(|v| v.unsigned_abs())
+                .max()
+                .unwrap_or(0)
+                .min(i32::MAX as u64)
+                .max(1) as i32;
+            let s = Pow2Scale::covering(max_abs, bits);
+            scales.push(s);
+            stored.push(
+                acc.iter()
+                    .map(|&v| s.quantize(v.clamp(i32::MIN as i64, i32::MAX as i64) as i32))
+                    .collect(),
+            );
+        }
+        ScaleSchedule { scales }
+    }
+
+    /// Number of steps covered.
+    pub fn len(&self) -> usize {
+        self.scales.len()
+    }
+
+    /// Whether the schedule is empty (never true for constructed schedules).
+    pub fn is_empty(&self) -> bool {
+        self.scales.is_empty()
+    }
+
+    /// The scale for step `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn scale(&self, i: usize) -> Pow2Scale {
+        self.scales[i]
+    }
+
+    /// All scales in step order.
+    pub fn scales(&self) -> &[Pow2Scale] {
+        &self.scales
+    }
+
+    /// The shared bit-width of every scale in the schedule.
+    pub fn bits(&self) -> Bitwidth {
+        self.scales[0].bits()
+    }
+}
+
+/// Replays Algorithm 1 over `stream` with the committed `scales` prefix and
+/// returns the max |value| that would enter quantizer `target_step`.
+///
+/// Steps beyond the committed prefix never run (calibration is in step
+/// order, so `target_step == scales.len()`).
+fn replay_quantizer_input(
+    stream: &[Int32Tensor],
+    scales: &[Pow2Scale],
+    target_step: usize,
+    gs: usize,
+) -> i32 {
+    debug_assert_eq!(scales.len(), target_step);
+    let np = stream.len();
+    let numel = stream[0].numel();
+    // Stored codes for steps < target_step (already-committed quantizers).
+    let mut codes: Vec<Vec<i32>> = Vec::with_capacity(target_step);
+    for i in 0..=target_step {
+        let is_apsq_step = i % gs == 0;
+        let is_final = i == np - 1;
+        // Assemble the quantizer input for step i.
+        let mut input: Vec<i64> = vec![0; numel];
+        if is_apsq_step && i > 0 {
+            for l in i.saturating_sub(gs)..i {
+                let s = scales[l];
+                for (acc, &c) in input.iter_mut().zip(codes[l].iter()) {
+                    *acc += (s.dequantize(c)) as i64;
+                }
+            }
+        } else if is_final && !is_apsq_step {
+            let group_start = (i / gs) * gs;
+            for l in group_start..i {
+                let s = scales[l];
+                for (acc, &c) in input.iter_mut().zip(codes[l].iter()) {
+                    *acc += (s.dequantize(c)) as i64;
+                }
+            }
+        }
+        // Every step adds its own tile: APSQ steps on top of the dequantized
+        // previous group, the final step on top of the dequantized group
+        // prefix, and plain PSQ steps on top of nothing.
+        for (acc, &t) in input.iter_mut().zip(stream[i].data().iter()) {
+            *acc += t as i64;
+        }
+        if i == target_step {
+            let m = input
+                .iter()
+                .map(|v| v.unsigned_abs())
+                .max()
+                .unwrap_or(0)
+                .min(i32::MAX as u64) as i32;
+            return m;
+        }
+        // Commit step i's codes with the known scale.
+        let s = scales[i];
+        codes.push(input.iter().map(|&v| s.quantize(v.clamp(i32::MIN as i64, i32::MAX as i64) as i32)).collect());
+    }
+    unreachable!("target step is always reached")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tile(vals: &[i32]) -> Int32Tensor {
+        Int32Tensor::from_vec(vals.to_vec(), [vals.len()])
+    }
+
+    #[test]
+    fn uniform_schedule() {
+        let s = ScaleSchedule::uniform(3, 4, Bitwidth::INT8);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert!(s.scales().iter().all(|sc| sc.exponent() == 4));
+    }
+
+    #[test]
+    fn from_exponents_round_trip() {
+        let s = ScaleSchedule::from_exponents(&[0, 2, 5], Bitwidth::INT8);
+        assert_eq!(s.scale(0).exponent(), 0);
+        assert_eq!(s.scale(1).exponent(), 2);
+        assert_eq!(s.scale(2).exponent(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn empty_schedule_rejected() {
+        ScaleSchedule::from_exponents(&[], Bitwidth::INT8);
+    }
+
+    #[test]
+    fn single_and_multi_stream_calibration_agree() {
+        let tiles: Vec<Int32Tensor> = (0..9)
+            .map(|i| {
+                Int32Tensor::from_vec(
+                    (0..5).map(|j| ((i * 173 + j * 41) % 3001) - 1500).collect(),
+                    [5],
+                )
+            })
+            .collect();
+        for gs in [1usize, 2, 3, 4] {
+            let fast = ScaleSchedule::calibrate(
+                std::slice::from_ref(&tiles),
+                Bitwidth::INT8,
+                GroupSize::new(gs),
+            );
+            let slow = ScaleSchedule::calibrate(
+                &[tiles.clone(), tiles.clone()],
+                Bitwidth::INT8,
+                GroupSize::new(gs),
+            );
+            assert_eq!(fast, slow, "gs={gs}");
+        }
+    }
+
+    #[test]
+    fn calibration_covers_growing_stream_gs1() {
+        // Tiles of growing magnitude: the running sum grows, so later
+        // exponents must be at least as large as needed by the prefix sums.
+        let stream = vec![tile(&[100]), tile(&[200]), tile(&[400]), tile(&[800])];
+        let sched = ScaleSchedule::calibrate(&[stream.clone()], Bitwidth::INT8, GroupSize::new(1));
+        assert_eq!(sched.len(), 4);
+        // Step 0 sees 100 → covering exponent 0 (127 ≥ 100).
+        assert_eq!(sched.scale(0).exponent(), 0);
+        // Later steps see roughly the prefix sums 300, 700, 1500.
+        assert!(sched.scale(3).dequantize(127) >= 1400);
+    }
+
+    #[test]
+    fn calibration_mid_group_steps_only_cover_own_tile() {
+        // With gs = 4, steps 1..3 quantize only their own tile, so their
+        // exponents depend on the tile magnitude, not the prefix sum.
+        let stream = vec![tile(&[1000]), tile(&[50]), tile(&[50]), tile(&[50]), tile(&[50])];
+        let sched = ScaleSchedule::calibrate(&[stream], Bitwidth::INT8, GroupSize::new(4));
+        // Step 1 and 2 only see |50| → exponent 0.
+        assert_eq!(sched.scale(1).exponent(), 0);
+        assert_eq!(sched.scale(2).exponent(), 0);
+        // Step 0 sees 1000 → needs exponent 3 (127·8 = 1016 ≥ 1000).
+        assert_eq!(sched.scale(0).exponent(), 3);
+    }
+}

@@ -1,0 +1,137 @@
+//! Incremental (push-based) grouped APSQ, for simulators that produce PSUM
+//! tiles one accumulation step at a time.
+
+use crate::config::ApsqConfig;
+use crate::grouped::{grouped_apsq, ApsqRun};
+use crate::schedule::ScaleSchedule;
+use apsq_tensor::Int32Tensor;
+
+/// A push-based wrapper over [`grouped_apsq`] with identical semantics:
+/// feed PSUM tiles in accumulation order with [`StreamingApsq::push`], then
+/// call [`StreamingApsq::finish`] once all `schedule.len()` tiles have
+/// arrived.
+///
+/// # Examples
+///
+/// ```
+/// use apsq_core::{ApsqConfig, ScaleSchedule, StreamingApsq};
+/// use apsq_quant::Bitwidth;
+/// use apsq_tensor::Int32Tensor;
+///
+/// let sched = ScaleSchedule::uniform(2, 0, Bitwidth::INT8);
+/// let mut s = StreamingApsq::new(sched, ApsqConfig::int8(1));
+/// s.push(Int32Tensor::from_vec(vec![10], [1]));
+/// s.push(Int32Tensor::from_vec(vec![5], [1]));
+/// let run = s.finish();
+/// assert_eq!(run.output.data(), &[15]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct StreamingApsq {
+    schedule: ScaleSchedule,
+    config: ApsqConfig,
+    tiles: Vec<Int32Tensor>,
+}
+
+impl StreamingApsq {
+    /// Creates a stream expecting `schedule.len()` tiles.
+    pub fn new(schedule: ScaleSchedule, config: ApsqConfig) -> Self {
+        let np = schedule.len();
+        StreamingApsq {
+            schedule,
+            config,
+            tiles: Vec::with_capacity(np),
+        }
+    }
+
+    /// Number of tiles pushed so far.
+    pub fn steps_taken(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Number of tiles expected in total.
+    pub fn steps_expected(&self) -> usize {
+        self.schedule.len()
+    }
+
+    /// Pushes the next PSUM tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more tiles are pushed than the schedule covers, or if the
+    /// tile shape differs from the first tile's.
+    pub fn push(&mut self, tile: Int32Tensor) {
+        assert!(
+            self.tiles.len() < self.schedule.len(),
+            "stream already received all {} tiles",
+            self.schedule.len()
+        );
+        if let Some(first) = self.tiles.first() {
+            assert_eq!(
+                first.shape(),
+                tile.shape(),
+                "all PSUM tiles must share one shape"
+            );
+        }
+        self.tiles.push(tile);
+    }
+
+    /// Completes the stream and returns the APSQ result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer tiles were pushed than the schedule covers.
+    pub fn finish(self) -> ApsqRun {
+        assert_eq!(
+            self.tiles.len(),
+            self.schedule.len(),
+            "stream received {} of {} tiles",
+            self.tiles.len(),
+            self.schedule.len()
+        );
+        grouped_apsq(&self.tiles, &self.schedule, &self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apsq_quant::Bitwidth;
+
+    #[test]
+    fn matches_batch_api() {
+        let tiles: Vec<Int32Tensor> = (0..6)
+            .map(|i| Int32Tensor::from_vec(vec![i * 100 - 250, 37 * i], [2]))
+            .collect();
+        let sched = ScaleSchedule::calibrate(
+            std::slice::from_ref(&tiles),
+            Bitwidth::INT8,
+            crate::GroupSize::new(2),
+        );
+        let batch = grouped_apsq(&tiles, &sched, &ApsqConfig::int8(2));
+        let mut s = StreamingApsq::new(sched, ApsqConfig::int8(2));
+        for t in &tiles {
+            s.push(t.clone());
+        }
+        let run = s.finish();
+        assert_eq!(run.output, batch.output);
+        assert_eq!(run.traffic, batch.traffic);
+    }
+
+    #[test]
+    #[should_panic(expected = "already received")]
+    fn too_many_pushes() {
+        let sched = ScaleSchedule::uniform(1, 0, Bitwidth::INT8);
+        let mut s = StreamingApsq::new(sched, ApsqConfig::int8(1));
+        s.push(Int32Tensor::zeros([1]));
+        s.push(Int32Tensor::zeros([1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "received 1 of 2")]
+    fn too_few_pushes() {
+        let sched = ScaleSchedule::uniform(2, 0, Bitwidth::INT8);
+        let mut s = StreamingApsq::new(sched, ApsqConfig::int8(1));
+        s.push(Int32Tensor::zeros([1]));
+        s.finish();
+    }
+}

@@ -1,0 +1,155 @@
+//! Analytical error model for grouped APSQ.
+//!
+//! Under the standard high-resolution assumption — each quantization step
+//! contributes independent uniform rounding noise of variance `α²/12` —
+//! the output error variance of Algorithm 1 admits a closed form. This
+//! module derives it and provides a predicted SQNR, which the tests (and
+//! the `ablation_group_size` bench) compare against measurement.
+//!
+//! ## Derivation
+//!
+//! Let the stream have `np` tiles and group size `gs`. Walk the algorithm:
+//!
+//! - every **PSQ step** `j` quantizes tile `Tp_j` once with scale `α_j`:
+//!   variance `α_j²/12`, carried into the final output through (possibly
+//!   several) later APSQ requantizations;
+//! - every **APSQ step** `i > 0` re-quantizes the running sum with `α_i`:
+//!   it *adds* fresh rounding noise `α_i²/12` on top of whatever error the
+//!   inputs carried (rounding noises are uncorrelated, so variances add);
+//! - the **final step** adds one more `α²/12` term.
+//!
+//! Hence the predicted output error variance is simply the sum over all
+//! executed quantization events of `α²/12` — the grouping strategy wins
+//! because large `gs` lets most events use the *small per-tile scales*
+//! instead of the large running-sum scales.
+
+use crate::config::GroupSize;
+use crate::schedule::ScaleSchedule;
+
+/// Predicted output error variance of one grouped-APSQ run with the given
+/// per-step schedule, under the independent-uniform-rounding model.
+///
+/// # Panics
+///
+/// Panics if the schedule is empty.
+pub fn predicted_error_variance(schedule: &ScaleSchedule, group_size: GroupSize) -> f64 {
+    assert!(!schedule.is_empty(), "empty schedule");
+    let np = schedule.len();
+    let gs = group_size.get();
+    let mut var = 0.0f64;
+    for i in 0..np {
+        let is_apsq_step = i % gs == 0;
+        let is_final = i == np - 1;
+        // Every step quantizes exactly once; its noise reaches the output
+        // unchanged (later requantizations *add* noise rather than rescale
+        // it, to first order).
+        let alpha = schedule.scale(i).scale() as f64;
+        let _ = (is_apsq_step, is_final);
+        var += alpha * alpha / 12.0;
+    }
+    var
+}
+
+/// Predicted SQNR (dB) for a signal of the given power (mean square of the
+/// exact accumulation) under the schedule.
+///
+/// # Panics
+///
+/// Panics if `signal_power` is not positive or the schedule is empty.
+pub fn predicted_sqnr_db(
+    schedule: &ScaleSchedule,
+    group_size: GroupSize,
+    signal_power: f64,
+) -> f64 {
+    assert!(signal_power > 0.0, "signal power must be positive");
+    let noise = predicted_error_variance(schedule, group_size);
+    10.0 * (signal_power / noise).log10()
+}
+
+/// Mean-square signal power of an exact accumulation result.
+pub fn signal_power(exact: &apsq_tensor::Int32Tensor) -> f64 {
+    if exact.numel() == 0 {
+        return 0.0;
+    }
+    exact
+        .data()
+        .iter()
+        .map(|&v| (v as f64) * (v as f64))
+        .sum::<f64>()
+        / exact.numel() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{sqnr_db, synthetic_psum_stream};
+    use crate::config::ApsqConfig;
+    use crate::grouped::grouped_apsq;
+    use crate::reference::exact_accumulate;
+    use apsq_quant::Bitwidth;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn variance_sums_per_step() {
+        let sched = ScaleSchedule::from_exponents(&[2, 0, 0, 2], Bitwidth::INT8);
+        // α = 4,1,1,4 → Σα²/12 = (16+1+1+16)/12.
+        let v = predicted_error_variance(&sched, GroupSize::new(2));
+        assert!((v - 34.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prediction_tracks_measurement_within_3db() {
+        // The high-resolution model should predict measured SQNR within a
+        // few dB across group sizes and depths.
+        let mut rng = StdRng::seed_from_u64(31);
+        for np in [8usize, 32] {
+            let stream = synthetic_psum_stream(&mut rng, np, 2048, 8);
+            let exact = exact_accumulate(&stream);
+            let power = signal_power(&exact);
+            for gs in [1usize, 2, 4] {
+                let group = GroupSize::new(gs);
+                let sched = ScaleSchedule::calibrate(
+                    std::slice::from_ref(&stream),
+                    Bitwidth::INT8,
+                    group,
+                );
+                let run = grouped_apsq(&stream, &sched, &ApsqConfig::int8(gs));
+                let measured = sqnr_db(exact.data(), run.output.data());
+                let predicted = predicted_sqnr_db(&sched, group, power);
+                assert!(
+                    (measured - predicted).abs() < 3.0,
+                    "np={np} gs={gs}: measured {measured:.1} dB vs predicted {predicted:.1} dB"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prediction_explains_grouping_gain() {
+        // The predicted variance must decrease (or hold) as gs grows,
+        // because calibrated per-tile scales are smaller than running-sum
+        // scales.
+        let mut rng = StdRng::seed_from_u64(37);
+        let stream = synthetic_psum_stream(&mut rng, 32, 256, 8);
+        let mut last = f64::INFINITY;
+        for gs in [1usize, 2, 4, 8] {
+            let group = GroupSize::new(gs);
+            let sched = ScaleSchedule::calibrate(
+                std::slice::from_ref(&stream),
+                Bitwidth::INT8,
+                group,
+            );
+            let v = predicted_error_variance(&sched, group);
+            assert!(v <= last * 1.01, "gs={gs}: variance {v} > previous {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "signal power")]
+    fn zero_power_rejected() {
+        let sched = ScaleSchedule::uniform(2, 0, Bitwidth::INT8);
+        predicted_sqnr_db(&sched, GroupSize::new(1), 0.0);
+    }
+}

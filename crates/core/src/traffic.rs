@@ -1,0 +1,50 @@
+//! Buffer-traffic accounting for PSUM storage.
+//!
+//! The grouping strategy's key hardware claim (Section III-B) is that the
+//! total number of PSUM buffer reads and writes is *independent of `gs`*.
+//! These counters make that claim testable.
+
+use std::ops::AddAssign;
+
+/// Read/write traffic to the PSUM (ofmap) buffer, counted in stored words
+/// (one word = one quantized PSUM element at the configured bit-width).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BufferTraffic {
+    /// Words read from the PSUM buffer.
+    pub reads: u64,
+    /// Words written to the PSUM buffer.
+    pub writes: u64,
+}
+
+impl BufferTraffic {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total traffic (reads + writes).
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+impl AddAssign for BufferTraffic {
+    fn add_assign(&mut self, rhs: Self) {
+        self.reads += rhs.reads;
+        self.writes += rhs.writes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates() {
+        let mut t = BufferTraffic::new();
+        t += BufferTraffic { reads: 3, writes: 5 };
+        t += BufferTraffic { reads: 1, writes: 0 };
+        assert_eq!(t, BufferTraffic { reads: 4, writes: 5 });
+        assert_eq!(t.total(), 9);
+    }
+}

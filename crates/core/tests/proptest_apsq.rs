@@ -1,0 +1,140 @@
+//! Property-based tests for the APSQ algorithm invariants.
+
+use apsq_core::{
+    apsq_recursion_reference, exact_accumulate, grouped_apsq, grouped_apsq_f32, ApsqConfig,
+    FloatScaleSchedule, GroupSize, ScaleSchedule,
+};
+use apsq_quant::Bitwidth;
+use apsq_tensor::Int32Tensor;
+use proptest::prelude::*;
+
+fn stream_strategy() -> impl Strategy<Value = Vec<Int32Tensor>> {
+    (1usize..12, 1usize..16).prop_flat_map(|(np, numel)| {
+        proptest::collection::vec(
+            proptest::collection::vec(-20_000i32..20_000, numel..=numel),
+            np..=np,
+        )
+        .prop_map(move |tiles| {
+            tiles
+                .into_iter()
+                .map(|v| Int32Tensor::from_vec(v, [numel]))
+                .collect()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// gs = 1 must reduce exactly to the eq (10) recursion.
+    #[test]
+    fn gs1_equals_eq10(stream in stream_strategy()) {
+        let sched = ScaleSchedule::calibrate(
+            std::slice::from_ref(&stream),
+            Bitwidth::INT8,
+            GroupSize::new(1),
+        );
+        let run = grouped_apsq(&stream, &sched, &ApsqConfig::int8(1));
+        let reference = apsq_recursion_reference(&stream, &sched);
+        prop_assert_eq!(run.output, reference);
+    }
+
+    /// Buffer traffic is independent of group size: np·numel writes and
+    /// (np−1)·numel reads, exactly (paper Section III-B).
+    #[test]
+    fn traffic_invariant(stream in stream_strategy(), gs in 1usize..9) {
+        let np = stream.len() as u64;
+        let numel = stream[0].numel() as u64;
+        let sched = ScaleSchedule::calibrate(
+            std::slice::from_ref(&stream),
+            Bitwidth::INT8,
+            GroupSize::new(gs),
+        );
+        let run = grouped_apsq(&stream, &sched, &ApsqConfig::int8(gs));
+        prop_assert_eq!(run.traffic.writes, np * numel);
+        prop_assert_eq!(run.traffic.reads, (np - 1) * numel);
+    }
+
+    /// Every stored code must fit the configured bit-width.
+    #[test]
+    fn stored_codes_fit_bitwidth(stream in stream_strategy(), gs in 1usize..6, bits in 3u8..9) {
+        let b = Bitwidth::new(bits);
+        let sched = ScaleSchedule::calibrate(
+            std::slice::from_ref(&stream),
+            b,
+            GroupSize::new(gs),
+        );
+        let run = grouped_apsq(&stream, &sched, &ApsqConfig { bits: b, group_size: GroupSize::new(gs) });
+        let r = b.signed_range();
+        for codes in &run.stored_codes {
+            for &c in codes {
+                prop_assert!(r.contains(c), "code {} escapes {}", c, b);
+            }
+        }
+    }
+
+    /// With calibrated (non-clipping) scales, the APSQ output error vs the
+    /// exact sum is bounded by the sum of per-step half-steps.
+    #[test]
+    fn error_bounded_by_accumulated_rounding(stream in stream_strategy(), gs in 1usize..5) {
+        let sched = ScaleSchedule::calibrate(
+            std::slice::from_ref(&stream),
+            Bitwidth::INT8,
+            GroupSize::new(gs),
+        );
+        let run = grouped_apsq(&stream, &sched, &ApsqConfig::int8(gs));
+        let exact = exact_accumulate(&stream);
+        // Worst case: each of the np quantizations contributes α_i/2, and
+        // every earlier error can be carried through later requantization.
+        let bound: i64 = sched
+            .scales()
+            .iter()
+            .map(|s| (1i64 << s.exponent()) / 2 + 1)
+            .sum::<i64>()
+            * 2; // slack for error propagation through requantization
+        for (a, e) in run.output.data().iter().zip(exact.data()) {
+            prop_assert!(
+                ((*a as i64) - (*e as i64)).abs() <= bound,
+                "err {} exceeds bound {}",
+                (*a as i64) - (*e as i64),
+                bound
+            );
+        }
+    }
+
+    /// The float fake-quant twin agrees bit-for-bit with the integer golden
+    /// model when scales are powers of two and inputs are integers.
+    #[test]
+    fn float_twin_bit_exact(stream in stream_strategy(), gs in 1usize..5) {
+        let sched = ScaleSchedule::calibrate(
+            std::slice::from_ref(&stream),
+            Bitwidth::INT8,
+            GroupSize::new(gs),
+        );
+        let fsched = FloatScaleSchedule::new(
+            sched.scales().iter().map(|s| s.scale()).collect(),
+            Bitwidth::INT8,
+        );
+        let float_tiles: Vec<_> = stream.iter().map(|t| t.to_f32()).collect();
+        let int_run = grouped_apsq(&stream, &sched, &ApsqConfig::int8(gs));
+        let f_out = grouped_apsq_f32(&float_tiles, &fsched, GroupSize::new(gs));
+        for (a, b) in int_run.output.data().iter().zip(f_out.data()) {
+            prop_assert_eq!(*a, *b as i32);
+        }
+    }
+
+    /// Calibrated schedules never clip: the dequantized range covers the
+    /// exact partial results seen during the run.
+    #[test]
+    fn calibrated_run_is_deterministic(stream in stream_strategy(), gs in 1usize..5) {
+        let sched = ScaleSchedule::calibrate(
+            std::slice::from_ref(&stream),
+            Bitwidth::INT8,
+            GroupSize::new(gs),
+        );
+        let a = grouped_apsq(&stream, &sched, &ApsqConfig::int8(gs));
+        let b = grouped_apsq(&stream, &sched, &ApsqConfig::int8(gs));
+        prop_assert_eq!(a.output, b.output);
+        prop_assert_eq!(a.stored_codes, b.stored_codes);
+    }
+}

@@ -1,0 +1,104 @@
+//! Accelerator architecture parameters (paper Fig 2 and Section IV-A).
+
+/// Parallelism and buffer configuration of the analytical accelerator.
+///
+/// The MAC array is organized by `Po` (output-pixel parallelism), `Pci`
+/// (input-channel parallelism — one PSUM tile accumulates `Pci` input
+/// channels), and `Pco` (output-channel parallelism).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct AcceleratorConfig {
+    /// Output-pixel (token) parallelism `Po`.
+    pub po: usize,
+    /// Input-channel parallelism `Pci`.
+    pub pci: usize,
+    /// Output-channel parallelism `Pco`.
+    pub pco: usize,
+    /// Ifmap buffer capacity `Bi` in bytes.
+    pub ifmap_buffer_bytes: usize,
+    /// Ofmap/PSUM buffer capacity `Bo` in bytes.
+    pub ofmap_buffer_bytes: usize,
+    /// Weight buffer capacity `Bw` in bytes.
+    pub weight_buffer_bytes: usize,
+}
+
+impl AcceleratorConfig {
+    /// The paper's transformer configuration (Section IV-A): `Po = 16`,
+    /// `Pci = 8`, `Pco = 8`, 256 KB ifmap + 256 KB ofmap + 128 KB weight
+    /// buffers.
+    pub fn transformer() -> Self {
+        AcceleratorConfig {
+            po: 16,
+            pci: 8,
+            pco: 8,
+            ifmap_buffer_bytes: 256 * 1024,
+            ofmap_buffer_bytes: 256 * 1024,
+            weight_buffer_bytes: 128 * 1024,
+        }
+    }
+
+    /// The paper's LLM decode configuration: `Po = 1`, `Pci = 32`,
+    /// `Pco = 32` (the decoder input is a single-token vector), same
+    /// buffers.
+    pub fn llm() -> Self {
+        AcceleratorConfig {
+            po: 1,
+            pci: 32,
+            pco: 32,
+            ..Self::transformer()
+        }
+    }
+
+    /// Number of MAC units (`Po · Pci · Pco`).
+    pub fn mac_units(&self) -> usize {
+        self.po * self.pci * self.pco
+    }
+
+    /// Validates that every parallelism and buffer is positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero field.
+    pub fn validate(&self) {
+        assert!(
+            self.po > 0
+                && self.pci > 0
+                && self.pco > 0
+                && self.ifmap_buffer_bytes > 0
+                && self.ofmap_buffer_bytes > 0
+                && self.weight_buffer_bytes > 0,
+            "accelerator config has a zero field: {self:?}"
+        );
+    }
+}
+
+impl Default for AcceleratorConfig {
+    fn default() -> Self {
+        Self::transformer()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs() {
+        let t = AcceleratorConfig::transformer();
+        assert_eq!(t.mac_units(), 16 * 8 * 8);
+        assert_eq!(t.ofmap_buffer_bytes, 262144);
+
+        let l = AcceleratorConfig::llm();
+        assert_eq!(l.mac_units(), 32 * 32);
+        assert_eq!(l.po, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero field")]
+    fn zero_field_rejected() {
+        AcceleratorConfig {
+            po: 0,
+            ..AcceleratorConfig::transformer()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,74 @@
+//! Dataflow taxonomy (paper Section I / II-A).
+
+use std::fmt;
+
+/// The stationary-operand dataflow of a DNN accelerator.
+///
+/// - **Input Stationary (IS)** keeps input tiles in PE registers and streams
+///   weights; PSUMs live in the output buffer and are updated once per
+///   input-channel tile.
+/// - **Weight Stationary (WS)** keeps a `Pci × Pco` weight tile in the PE
+///   array and streams input tiles; PSUMs for the whole output map are
+///   buffered while accumulating over input channels.
+/// - **Output Stationary (OS)** accumulates PSUMs in PE registers, so PSUM
+///   precision never touches SRAM — at the cost of re-streaming inputs and
+///   weights.
+///
+/// APSQ targets IS and WS, where PSUM precision drives buffer traffic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dataflow {
+    /// Input stationary.
+    InputStationary,
+    /// Weight stationary.
+    WeightStationary,
+    /// Output stationary.
+    OutputStationary,
+}
+
+impl Dataflow {
+    /// All three dataflows, in the paper's Fig 1 order.
+    pub const ALL: [Dataflow; 3] = [
+        Dataflow::InputStationary,
+        Dataflow::WeightStationary,
+        Dataflow::OutputStationary,
+    ];
+
+    /// Whether this dataflow stores PSUMs in on-chip SRAM (true for IS/WS).
+    pub fn buffers_psums(self) -> bool {
+        !matches!(self, Dataflow::OutputStationary)
+    }
+
+    /// The conventional short name ("IS", "WS", "OS").
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Dataflow::InputStationary => "IS",
+            Dataflow::WeightStationary => "WS",
+            Dataflow::OutputStationary => "OS",
+        }
+    }
+}
+
+impl fmt::Display for Dataflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(Dataflow::InputStationary.to_string(), "IS");
+        assert_eq!(Dataflow::WeightStationary.to_string(), "WS");
+        assert_eq!(Dataflow::OutputStationary.to_string(), "OS");
+    }
+
+    #[test]
+    fn psum_buffering() {
+        assert!(Dataflow::InputStationary.buffers_psums());
+        assert!(Dataflow::WeightStationary.buffers_psums());
+        assert!(!Dataflow::OutputStationary.buffers_psums());
+    }
+}

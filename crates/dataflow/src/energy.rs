@@ -1,0 +1,179 @@
+//! Energy costs per access (eq 1) and the per-tensor energy breakdown.
+//!
+//! Per-access constants follow Horowitz, ISSCC 2014 (the paper's ref [21]):
+//! a DDR3 DRAM access costs on the order of 1.3–2.6 nJ per 64-bit word
+//! (≈ 160 pJ/byte), large on-chip SRAM costs a few pJ/byte, a register file
+//! is an order of magnitude cheaper still, and an INT8 MAC with INT32
+//! accumulate is ≈ 0.2–0.3 pJ. Energies in this model are reported in pJ;
+//! every experiment in the paper normalizes to a baseline, so only the
+//! *ratios* matter.
+
+use crate::access::AccessCounts;
+
+/// Per-access energy constants.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyTable {
+    /// DRAM access energy, pJ per byte.
+    pub dram_pj_per_byte: f64,
+    /// On-chip SRAM (buffer) access energy, pJ per byte.
+    pub sram_pj_per_byte: f64,
+    /// PE register-file access energy, pJ per byte.
+    pub reg_pj_per_byte: f64,
+    /// One INT8×INT8 MAC with INT32 accumulate, pJ.
+    pub mac_pj: f64,
+}
+
+impl EnergyTable {
+    /// Default 28 nm-class constants in the Horowitz ranges (see module
+    /// docs). These reproduce the paper's Fig 1 energy shares — e.g. PSUMs
+    /// at 69% of a WS BERT-Base layer stack with INT32 PSUMs.
+    pub fn default_28nm() -> Self {
+        EnergyTable {
+            dram_pj_per_byte: 160.0,
+            sram_pj_per_byte: 6.0,
+            reg_pj_per_byte: 0.3,
+            mac_pj: 0.28,
+        }
+    }
+
+    /// Validates that all entries are positive and finite.
+    ///
+    /// # Panics
+    ///
+    /// Panics otherwise.
+    pub fn validate(&self) {
+        let ok = |v: f64| v.is_finite() && v > 0.0;
+        assert!(
+            ok(self.dram_pj_per_byte)
+                && ok(self.sram_pj_per_byte)
+                && ok(self.reg_pj_per_byte)
+                && ok(self.mac_pj),
+            "energy table entries must be positive and finite: {self:?}"
+        );
+    }
+}
+
+impl Default for EnergyTable {
+    fn default() -> Self {
+        Self::default_28nm()
+    }
+}
+
+/// Energy attributed to each tensor/op category of Fig 1, in pJ.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Ifmap movement energy.
+    pub ifmap: f64,
+    /// Weight movement energy.
+    pub weight: f64,
+    /// PSUM movement energy (SRAM + DRAM + register accumulation).
+    pub psum: f64,
+    /// Ofmap movement energy.
+    pub ofmap: f64,
+    /// MAC operation energy (Fig 1's "op").
+    pub op: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in pJ (eq 1).
+    pub fn total(&self) -> f64 {
+        self.ifmap + self.weight + self.psum + self.ofmap + self.op
+    }
+
+    /// PSUM share of the total, in `[0, 1]`.
+    pub fn psum_share(&self) -> f64 {
+        if self.total() == 0.0 {
+            0.0
+        } else {
+            self.psum / self.total()
+        }
+    }
+
+    /// Adds another breakdown in place.
+    pub fn accumulate(&mut self, other: &EnergyBreakdown) {
+        self.ifmap += other.ifmap;
+        self.weight += other.weight;
+        self.psum += other.psum;
+        self.ofmap += other.ofmap;
+        self.op += other.op;
+    }
+}
+
+/// Converts an access inventory into the Fig 1 energy breakdown.
+pub fn energy_breakdown(counts: &AccessCounts, table: &EnergyTable) -> EnergyBreakdown {
+    table.validate();
+    let move_energy = |t: &crate::access::TensorAccess| {
+        t.sram_bytes * table.sram_pj_per_byte + t.dram_bytes * table.dram_pj_per_byte
+    };
+    EnergyBreakdown {
+        ifmap: move_energy(&counts.ifmap),
+        weight: move_energy(&counts.weight),
+        psum: move_energy(&counts.psum) + counts.psum_reg_bytes * table.reg_pj_per_byte,
+        ofmap: move_energy(&counts.ofmap),
+        op: counts.macs * table.mac_pj,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::TensorAccess;
+
+    #[test]
+    fn breakdown_totals() {
+        let counts = AccessCounts {
+            ifmap: TensorAccess {
+                sram_bytes: 100.0,
+                dram_bytes: 1.0,
+            },
+            weight: TensorAccess {
+                sram_bytes: 50.0,
+                dram_bytes: 2.0,
+            },
+            psum: TensorAccess {
+                sram_bytes: 1000.0,
+                dram_bytes: 0.0,
+            },
+            ofmap: TensorAccess {
+                sram_bytes: 10.0,
+                dram_bytes: 1.0,
+            },
+            psum_reg_bytes: 0.0,
+            macs: 1000.0,
+        };
+        let t = EnergyTable {
+            dram_pj_per_byte: 100.0,
+            sram_pj_per_byte: 1.0,
+            reg_pj_per_byte: 0.1,
+            mac_pj: 0.25,
+        };
+        let e = energy_breakdown(&counts, &t);
+        assert_eq!(e.ifmap, 200.0);
+        assert_eq!(e.weight, 250.0);
+        assert_eq!(e.psum, 1000.0);
+        assert_eq!(e.ofmap, 110.0);
+        assert_eq!(e.op, 250.0);
+        assert_eq!(e.total(), 1810.0);
+        assert!((e.psum_share() - 1000.0 / 1810.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_table_is_sane() {
+        let t = EnergyTable::default_28nm();
+        t.validate();
+        // DRAM must dominate SRAM by at least an order of magnitude.
+        assert!(t.dram_pj_per_byte / t.sram_pj_per_byte > 10.0);
+        // Registers are cheaper than SRAM.
+        assert!(t.reg_pj_per_byte < t.sram_pj_per_byte);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn bad_table_rejected() {
+        EnergyTable {
+            dram_pj_per_byte: -1.0,
+            ..EnergyTable::default_28nm()
+        }
+        .validate();
+    }
+}

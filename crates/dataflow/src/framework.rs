@@ -1,0 +1,191 @@
+//! Workload-level evaluation: fold per-layer access counts and energies
+//! over a whole network (eq 1 + eq 2 applied layer by layer).
+
+use crate::access::{access_counts, AccessCounts};
+use crate::arch::AcceleratorConfig;
+use crate::dataflow::Dataflow;
+use crate::energy::{energy_breakdown, EnergyBreakdown, EnergyTable};
+use crate::layer::LayerShape;
+use crate::psum::PsumFormat;
+
+/// A named list of layers forming one network workload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Workload {
+    /// Display name (e.g. `"BERT-Base (128 tokens)"`).
+    pub name: String,
+    /// The layers; each carries its own `repeat` multiplicity.
+    pub layers: Vec<LayerShape>,
+}
+
+impl Workload {
+    /// Creates a workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    pub fn new(name: impl Into<String>, layers: Vec<LayerShape>) -> Self {
+        assert!(!layers.is_empty(), "a workload needs at least one layer");
+        Workload {
+            name: name.into(),
+            layers,
+        }
+    }
+
+    /// Total MAC count across all layers and repeats.
+    pub fn total_macs(&self) -> f64 {
+        self.layers
+            .iter()
+            .map(|l| l.macs() * l.repeat as f64)
+            .sum()
+    }
+
+    /// Total weight bytes (model size at INT8).
+    pub fn total_weight_bytes(&self) -> f64 {
+        self.layers
+            .iter()
+            .map(|l| l.sw_bytes() * l.repeat as f64)
+            .sum()
+    }
+}
+
+/// Folds access counts over a workload.
+pub fn workload_access_counts(
+    workload: &Workload,
+    arch: &AcceleratorConfig,
+    dataflow: Dataflow,
+    psum: &PsumFormat,
+) -> AccessCounts {
+    let mut total = AccessCounts::default();
+    for layer in &workload.layers {
+        let c = access_counts(layer, arch, dataflow, psum);
+        total.accumulate(&c, layer.repeat as f64);
+    }
+    total
+}
+
+/// Folds the energy breakdown over a workload (eq 1).
+pub fn workload_energy(
+    workload: &Workload,
+    arch: &AcceleratorConfig,
+    dataflow: Dataflow,
+    psum: &PsumFormat,
+    table: &EnergyTable,
+) -> EnergyBreakdown {
+    let counts = workload_access_counts(workload, arch, dataflow, psum);
+    energy_breakdown(&counts, table)
+}
+
+/// Energy of `psum` normalized to the energy of `baseline` for the same
+/// workload/dataflow (the y-axes of Figs 5 and 6 and the ratios of
+/// Table IV).
+pub fn normalized_energy(
+    workload: &Workload,
+    arch: &AcceleratorConfig,
+    dataflow: Dataflow,
+    psum: &PsumFormat,
+    baseline: &PsumFormat,
+    table: &EnergyTable,
+) -> f64 {
+    let e = workload_energy(workload, arch, dataflow, psum, table).total();
+    let b = workload_energy(workload, arch, dataflow, baseline, table).total();
+    e / b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_workload() -> Workload {
+        Workload::new(
+            "tiny",
+            vec![
+                LayerShape::gemm("a", 128, 768, 3072),
+                LayerShape::gemm("b", 128, 3072, 768).with_repeat(2),
+            ],
+        )
+    }
+
+    #[test]
+    fn totals() {
+        let w = tiny_workload();
+        assert_eq!(
+            w.total_macs(),
+            128.0 * 768.0 * 3072.0 + 2.0 * 128.0 * 3072.0 * 768.0
+        );
+        assert_eq!(
+            w.total_weight_bytes(),
+            768.0 * 3072.0 + 2.0 * 3072.0 * 768.0
+        );
+    }
+
+    #[test]
+    fn apsq_reduces_ws_energy() {
+        let w = tiny_workload();
+        let arch = AcceleratorConfig::transformer();
+        let t = EnergyTable::default_28nm();
+        let r = normalized_energy(
+            &w,
+            &arch,
+            Dataflow::WeightStationary,
+            &PsumFormat::apsq_int8(1),
+            &PsumFormat::int32_baseline(),
+            &t,
+        );
+        assert!(r < 0.8, "expected large WS saving, got {r}");
+        assert!(r > 0.2, "saving implausibly large: {r}");
+    }
+
+    #[test]
+    fn os_insensitive_to_psum_storage_bits_in_memory_terms() {
+        let w = tiny_workload();
+        let arch = AcceleratorConfig::transformer();
+        let t = EnergyTable::default_28nm();
+        let e32 = workload_energy(
+            &w,
+            &arch,
+            Dataflow::OutputStationary,
+            &PsumFormat::int32_baseline(),
+            &t,
+        );
+        let e8 = workload_energy(
+            &w,
+            &arch,
+            Dataflow::OutputStationary,
+            &PsumFormat::apsq_int8(1),
+            &t,
+        );
+        // Only the register term moves; memory terms are identical.
+        assert_eq!(e32.ifmap, e8.ifmap);
+        assert_eq!(e32.weight, e8.weight);
+        assert_eq!(e32.ofmap, e8.ofmap);
+        assert!(e32.psum > e8.psum);
+    }
+
+    #[test]
+    fn mac_energy_constant_across_formats() {
+        let w = tiny_workload();
+        let arch = AcceleratorConfig::transformer();
+        let t = EnergyTable::default_28nm();
+        let a = workload_energy(
+            &w,
+            &arch,
+            Dataflow::WeightStationary,
+            &PsumFormat::int32_baseline(),
+            &t,
+        );
+        let b = workload_energy(
+            &w,
+            &arch,
+            Dataflow::WeightStationary,
+            &PsumFormat::apsq_int8(4),
+            &t,
+        );
+        assert_eq!(a.op, b.op);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_workload_rejected() {
+        Workload::new("empty", vec![]);
+    }
+}

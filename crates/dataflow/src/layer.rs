@@ -1,0 +1,202 @@
+//! Layer geometry: the shapes that drive the analytical framework.
+
+use std::fmt;
+
+/// The geometry of one MAC-dominated layer (GEMM, pointwise or spatial
+/// convolution, or an attention matmul), in the convolutional coordinates
+/// the paper's equations use.
+///
+/// Transformer GEMMs map onto 1×1 convolutions with `Ho·Wo = tokens`;
+/// attention score/context matmuls map per head with `Ci = head_dim` or
+/// `Ci = tokens`.
+///
+/// `repeat` counts identical instances (e.g. 12 encoder layers × 12 heads),
+/// so one `LayerShape` can describe a whole family.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct LayerShape {
+    /// Human-readable layer name (e.g. `"ffn1"`).
+    pub name: String,
+    /// Input channels `Ci` (the accumulation/reduction depth).
+    pub ci: usize,
+    /// Output channels `Co`.
+    pub co: usize,
+    /// Output height `Ho` (for sequences: the token count).
+    pub ho: usize,
+    /// Output width `Wo` (1 for sequences).
+    pub wo: usize,
+    /// Kernel height (1 for GEMM).
+    pub kh: usize,
+    /// Kernel width (1 for GEMM).
+    pub kw: usize,
+    /// Stride (1 for GEMM).
+    pub stride: usize,
+    /// Number of identical instances of this layer in the network.
+    pub repeat: usize,
+}
+
+impl LayerShape {
+    /// A GEMM of `tokens × ci → tokens × co` (a 1×1 convolution over a
+    /// `tokens × 1` map).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn gemm(name: impl Into<String>, tokens: usize, ci: usize, co: usize) -> Self {
+        let s = LayerShape {
+            name: name.into(),
+            ci,
+            co,
+            ho: tokens,
+            wo: 1,
+            kh: 1,
+            kw: 1,
+            stride: 1,
+            repeat: 1,
+        };
+        s.validate();
+        s
+    }
+
+    /// A spatial convolution with square kernel `k` and the given stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn conv(
+        name: impl Into<String>,
+        ho: usize,
+        wo: usize,
+        ci: usize,
+        co: usize,
+        k: usize,
+        stride: usize,
+    ) -> Self {
+        let s = LayerShape {
+            name: name.into(),
+            ci,
+            co,
+            ho,
+            wo,
+            kh: k,
+            kw: k,
+            stride,
+            repeat: 1,
+        };
+        s.validate();
+        s
+    }
+
+    /// Returns the same shape repeated `n` times.
+    pub fn with_repeat(mut self, n: usize) -> Self {
+        assert!(n > 0, "repeat must be positive");
+        self.repeat = n;
+        self
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.ci > 0
+                && self.co > 0
+                && self.ho > 0
+                && self.wo > 0
+                && self.kh > 0
+                && self.kw > 0
+                && self.stride > 0
+                && self.repeat > 0,
+            "layer {:?} has a zero dimension",
+            self.name
+        );
+    }
+
+    /// Input (enlarged ifmap) height `Hi = (Ho−1)·stride + Kh`.
+    pub fn hi(&self) -> usize {
+        (self.ho - 1) * self.stride + self.kh
+    }
+
+    /// Input (enlarged ifmap) width `Wi = (Wo−1)·stride + Kw`.
+    pub fn wi(&self) -> usize {
+        (self.wo - 1) * self.stride + self.kw
+    }
+
+    /// Ifmap size `Si` in INT8 bytes (`Ci·Hi·Wi`).
+    pub fn si_bytes(&self) -> f64 {
+        (self.ci * self.hi() * self.wi()) as f64
+    }
+
+    /// Weight size `Sw` in INT8 bytes (`Ci·Co·Kh·Kw`).
+    pub fn sw_bytes(&self) -> f64 {
+        (self.ci * self.co * self.kh * self.kw) as f64
+    }
+
+    /// Ofmap size `So` in INT8 bytes (`Co·Ho·Wo`).
+    pub fn so_bytes(&self) -> f64 {
+        (self.co * self.ho * self.wo) as f64
+    }
+
+    /// Total MAC count (`Ci·Co·Ho·Wo·Kh·Kw`), for one instance.
+    pub fn macs(&self) -> f64 {
+        (self.ci * self.kh * self.kw) as f64 * (self.co * self.ho * self.wo) as f64
+    }
+
+    /// Output pixels `Ho·Wo` (token count for sequences).
+    pub fn output_pixels(&self) -> usize {
+        self.ho * self.wo
+    }
+}
+
+impl fmt::Display for LayerShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}x{} Ci={} Co={} k={}x{}/{}{}",
+            self.name,
+            self.ho,
+            self.wo,
+            self.ci,
+            self.co,
+            self.kh,
+            self.kw,
+            self.stride,
+            if self.repeat > 1 {
+                format!(" ×{}", self.repeat)
+            } else {
+                String::new()
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_shape() {
+        let l = LayerShape::gemm("ffn1", 128, 768, 3072);
+        assert_eq!(l.hi(), 128);
+        assert_eq!(l.wi(), 1);
+        assert_eq!(l.si_bytes(), 128.0 * 768.0);
+        assert_eq!(l.sw_bytes(), 768.0 * 3072.0);
+        assert_eq!(l.so_bytes(), 128.0 * 3072.0);
+        assert_eq!(l.macs(), 768.0 * 3072.0 * 128.0);
+    }
+
+    #[test]
+    fn conv_enlarged_input() {
+        let l = LayerShape::conv("stem", 64, 64, 3, 32, 3, 2);
+        assert_eq!(l.hi(), 63 * 2 + 3);
+        assert_eq!(l.macs(), (3 * 3 * 3) as f64 * (32 * 64 * 64) as f64);
+    }
+
+    #[test]
+    fn repeat_multiplies() {
+        let l = LayerShape::gemm("qkv", 128, 768, 768).with_repeat(12);
+        assert_eq!(l.repeat, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero dimension")]
+    fn zero_dim_rejected() {
+        LayerShape::gemm("bad", 0, 1, 1);
+    }
+}

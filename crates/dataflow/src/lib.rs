@@ -1,0 +1,61 @@
+//! PSUM-precision-aware analytical energy framework for DNN accelerators
+//! (paper Section II-A, eqs 1–6).
+//!
+//! The framework models a tiled accelerator (MAC array `Po × Pci × Pco`,
+//! on-chip ifmap/ofmap/weight SRAM buffers, off-chip DRAM) and counts, for
+//! each layer and dataflow, how many times every byte of every tensor moves
+//! at each memory level:
+//!
+//! ```text
+//! E_total = N_d·E_dram + N_s·E_sram + N_m·E_mac                    (eq 1)
+//! N_d/s  = Si·Nⁱ + Sw·Nʷ + β·So·Nᵖ + So·Nᵒ                         (eq 2)
+//! ```
+//!
+//! The precision factor `β` is the ratio of PSUM precision to weight /
+//! activation precision — 4 for the INT32 PSUMs of a W8A8 accelerator, 1
+//! after APSQ compresses them to INT8. Grouped APSQ additionally multiplies
+//! the PSUM buffer *working set* by `gs`, which is what re-introduces DRAM
+//! spills at large group sizes on high-resolution models (Fig 6b).
+//!
+//! # Example
+//!
+//! ```
+//! use apsq_dataflow::{
+//!     normalized_energy, AcceleratorConfig, Dataflow, EnergyTable, LayerShape, PsumFormat,
+//!     Workload,
+//! };
+//!
+//! let w = Workload::new("ffn", vec![LayerShape::gemm("ffn1", 128, 768, 3072)]);
+//! let r = normalized_energy(
+//!     &w,
+//!     &AcceleratorConfig::transformer(),
+//!     Dataflow::WeightStationary,
+//!     &PsumFormat::apsq_int8(1),
+//!     &PsumFormat::int32_baseline(),
+//!     &EnergyTable::default_28nm(),
+//! );
+//! assert!(r < 1.0); // APSQ saves energy under WS
+//! ```
+
+#![warn(missing_docs)]
+
+mod access;
+mod arch;
+mod dataflow;
+mod energy;
+mod framework;
+mod layer;
+mod psum;
+mod sweep;
+
+pub use access::{access_counts, AccessCounts, TensorAccess};
+pub use arch::AcceleratorConfig;
+pub use dataflow::Dataflow;
+pub use energy::{energy_breakdown, EnergyBreakdown, EnergyTable};
+pub use framework::{normalized_energy, workload_access_counts, workload_energy, Workload};
+pub use layer::LayerShape;
+pub use sweep::{
+    energy_hotspots, max_resident_group_size, residency_threshold_bytes, sweep_ofmap_buffer,
+    BufferSweepPoint,
+};
+pub use psum::PsumFormat;

@@ -1,0 +1,110 @@
+//! PSUM storage formats: the precision factor β and grouping slots.
+
+/// How partial sums are stored in the ofmap buffer.
+///
+/// - `storage_bits` sets the paper's precision factor `β = bits / 8`
+///   (eq 2): INT32 baseline → β = 4; APSQ INT8 → β = 1; Fig 5 also sweeps
+///   INT4 / INT6 (β = 0.5 / 0.75).
+/// - `group_slots` is the number of stored entries per output element:
+///   1 for conventional accumulation, `gs` for grouped APSQ (Algorithm 1
+///   keeps a group of quantized PSUMs resident). Grouping does **not**
+///   change traffic — the total word count is invariant — but multiplies
+///   the buffer *working set*, which is what pushes high-resolution models
+///   into DRAM spills at large `gs` (paper Fig 6b).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PsumFormat {
+    /// Bits per stored PSUM entry.
+    pub storage_bits: f64,
+    /// Stored entries per output element (`gs` for grouped APSQ).
+    pub group_slots: usize,
+}
+
+impl PsumFormat {
+    /// Conventional exact accumulation at the given bit-width (one slot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not positive.
+    pub fn exact(bits: u32) -> Self {
+        assert!(bits > 0, "psum bits must be positive");
+        PsumFormat {
+            storage_bits: bits as f64,
+            group_slots: 1,
+        }
+    }
+
+    /// The INT32 baseline of an integer-only W8A8 accelerator (β = 4).
+    pub fn int32_baseline() -> Self {
+        Self::exact(32)
+    }
+
+    /// Grouped APSQ storage: `bits`-wide entries, `gs` slots per element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or `gs` is zero.
+    pub fn apsq(bits: u32, gs: usize) -> Self {
+        assert!(bits > 0, "psum bits must be positive");
+        assert!(gs > 0, "group size must be positive");
+        PsumFormat {
+            storage_bits: bits as f64,
+            group_slots: gs,
+        }
+    }
+
+    /// The paper's operating point: INT8 APSQ with group size `gs`.
+    pub fn apsq_int8(gs: usize) -> Self {
+        Self::apsq(8, gs)
+    }
+
+    /// The precision factor `β` of eq (2): bytes per PSUM *access*.
+    pub fn beta(&self) -> f64 {
+        self.storage_bits / 8.0
+    }
+
+    /// Bytes of buffer residency per output element:
+    /// `group_slots · storage_bits / 8`.
+    pub fn working_set_bytes_per_element(&self) -> f64 {
+        self.group_slots as f64 * self.storage_bits / 8.0
+    }
+}
+
+impl Default for PsumFormat {
+    fn default() -> Self {
+        Self::int32_baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_beta_is_four() {
+        let f = PsumFormat::int32_baseline();
+        assert_eq!(f.beta(), 4.0);
+        assert_eq!(f.working_set_bytes_per_element(), 4.0);
+    }
+
+    #[test]
+    fn apsq_int8_traffic_beta_is_one_regardless_of_gs() {
+        for gs in 1..=4 {
+            let f = PsumFormat::apsq_int8(gs);
+            assert_eq!(f.beta(), 1.0);
+            assert_eq!(f.working_set_bytes_per_element(), gs as f64);
+        }
+    }
+
+    #[test]
+    fn fractional_beta_for_sub_byte() {
+        assert_eq!(PsumFormat::apsq(4, 1).beta(), 0.5);
+        assert_eq!(PsumFormat::apsq(6, 2).beta(), 0.75);
+        assert_eq!(PsumFormat::apsq(6, 2).working_set_bytes_per_element(), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "group size")]
+    fn zero_gs_rejected() {
+        PsumFormat::apsq(8, 0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Design-space sweep utilities: where do the PSUM-residency crossovers
+//! fall as buffer capacity, group size, and precision vary?
+//!
+//! These drive the co-design analyses behind Fig 6b and Table IV — the
+//! energy cliffs appear exactly where `gs · bits/8 · working-set elements`
+//! crosses the ofmap buffer capacity.
+
+use crate::access::access_counts;
+use crate::arch::AcceleratorConfig;
+use crate::dataflow::Dataflow;
+use crate::energy::{energy_breakdown, EnergyTable};
+use crate::framework::{workload_energy, Workload};
+use crate::layer::LayerShape;
+use crate::psum::PsumFormat;
+
+/// One point of a buffer-capacity sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BufferSweepPoint {
+    /// Ofmap/PSUM buffer capacity in bytes.
+    pub ofmap_buffer_bytes: usize,
+    /// Normalized energy (vs the INT32 baseline at the same capacity).
+    pub normalized_energy: f64,
+    /// Whether any layer spilled PSUMs to DRAM at this capacity.
+    pub spills: bool,
+}
+
+/// Sweeps the ofmap buffer capacity for a fixed PSUM format, reporting the
+/// normalized energy and spill state at each size.
+///
+/// # Panics
+///
+/// Panics if `capacities` is empty.
+pub fn sweep_ofmap_buffer(
+    workload: &Workload,
+    base_arch: &AcceleratorConfig,
+    dataflow: Dataflow,
+    format: &PsumFormat,
+    table: &EnergyTable,
+    capacities: &[usize],
+) -> Vec<BufferSweepPoint> {
+    assert!(!capacities.is_empty(), "no capacities to sweep");
+    capacities
+        .iter()
+        .map(|&cap| {
+            let arch = AcceleratorConfig {
+                ofmap_buffer_bytes: cap,
+                ..*base_arch
+            };
+            let e = workload_energy(workload, &arch, dataflow, format, table).total();
+            let b = workload_energy(
+                workload,
+                &arch,
+                dataflow,
+                &PsumFormat::int32_baseline(),
+                table,
+            )
+            .total();
+            let spills = workload
+                .layers
+                .iter()
+                .any(|l| access_counts(l, &arch, dataflow, format).psum.dram_bytes > 0.0);
+            BufferSweepPoint {
+                ofmap_buffer_bytes: cap,
+                normalized_energy: e / b,
+                spills,
+            }
+        })
+        .collect()
+}
+
+/// The largest group size whose PSUM working set still fits on-chip for
+/// every layer of the workload (`None` if even `gs = 1` spills somewhere).
+pub fn max_resident_group_size(
+    workload: &Workload,
+    arch: &AcceleratorConfig,
+    dataflow: Dataflow,
+    bits: u32,
+    limit: usize,
+) -> Option<usize> {
+    (1..=limit)
+        .take_while(|&gs| {
+            workload.layers.iter().all(|l| {
+                access_counts(l, arch, dataflow, &PsumFormat::apsq(bits, gs))
+                    .psum
+                    .dram_bytes
+                    == 0.0
+            })
+        })
+        .last()
+}
+
+/// Per-layer energy attribution: which layers dominate a workload's energy
+/// under a given configuration? Returns `(layer name, total pJ incl.
+/// repeats)` sorted descending.
+pub fn energy_hotspots(
+    workload: &Workload,
+    arch: &AcceleratorConfig,
+    dataflow: Dataflow,
+    format: &PsumFormat,
+    table: &EnergyTable,
+) -> Vec<(String, f64)> {
+    let mut rows: Vec<(String, f64)> = workload
+        .layers
+        .iter()
+        .map(|l| {
+            let e = energy_breakdown(&access_counts(l, arch, dataflow, format), table).total()
+                * l.repeat as f64;
+            (l.name.clone(), e)
+        })
+        .collect();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    rows
+}
+
+/// The minimum ofmap-buffer capacity (bytes) at which a layer's PSUM
+/// working set becomes resident for the format, under the dataflow's
+/// working-set rule.
+pub fn residency_threshold_bytes(
+    layer: &LayerShape,
+    arch: &AcceleratorConfig,
+    dataflow: Dataflow,
+    format: &PsumFormat,
+) -> f64 {
+    let per_elem = format.working_set_bytes_per_element();
+    match dataflow {
+        Dataflow::InputStationary => per_elem * (arch.po * layer.co) as f64,
+        Dataflow::WeightStationary => per_elem * (layer.output_pixels() * arch.pco) as f64,
+        Dataflow::OutputStationary => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg_like() -> Workload {
+        Workload::new("seg", vec![LayerShape::gemm("big", 16384, 32, 128)])
+    }
+
+    #[test]
+    fn buffer_sweep_finds_the_cliff() {
+        let w = seg_like();
+        let arch = AcceleratorConfig::transformer();
+        let table = EnergyTable::default_28nm();
+        // gs=3 INT8 working set = 3·16384·8 = 384 KB.
+        let pts = sweep_ofmap_buffer(
+            &w,
+            &arch,
+            Dataflow::WeightStationary,
+            &PsumFormat::apsq_int8(3),
+            &table,
+            &[256 * 1024, 384 * 1024, 512 * 1024],
+        );
+        assert!(pts[0].spills, "256 KB must spill");
+        assert!(!pts[1].spills, "384 KB must fit (boundary-inclusive)");
+        assert!(!pts[2].spills);
+        assert!(pts[0].normalized_energy > pts[1].normalized_energy);
+    }
+
+    #[test]
+    fn max_resident_gs_matches_hand_calculation() {
+        // 16384 tokens × Pco 8 × 1 B = 128 KB per slot; 256 KB buffer ⇒
+        // two slots fit.
+        let w = seg_like();
+        let arch = AcceleratorConfig::transformer();
+        assert_eq!(
+            max_resident_group_size(&w, &arch, Dataflow::WeightStationary, 8, 8),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn max_resident_gs_none_when_even_gs1_spills() {
+        let w = Workload::new("huge", vec![LayerShape::gemm("x", 1 << 20, 32, 128)]);
+        let arch = AcceleratorConfig::transformer();
+        assert_eq!(
+            max_resident_group_size(&w, &arch, Dataflow::WeightStationary, 8, 4),
+            None
+        );
+    }
+
+    #[test]
+    fn hotspots_sorted_descending() {
+        let w = Workload::new(
+            "two",
+            vec![
+                LayerShape::gemm("small", 16, 64, 64),
+                LayerShape::gemm("large", 4096, 512, 512),
+            ],
+        );
+        let arch = AcceleratorConfig::transformer();
+        let table = EnergyTable::default_28nm();
+        let h = energy_hotspots(
+            &w,
+            &arch,
+            Dataflow::WeightStationary,
+            &PsumFormat::int32_baseline(),
+            &table,
+        );
+        assert_eq!(h[0].0, "large");
+        assert!(h[0].1 > h[1].1);
+    }
+
+    #[test]
+    fn residency_threshold_formulas() {
+        let l = LayerShape::gemm("x", 100, 64, 200);
+        let arch = AcceleratorConfig::transformer();
+        let f = PsumFormat::apsq_int8(2);
+        assert_eq!(
+            residency_threshold_bytes(&l, &arch, Dataflow::InputStationary, &f),
+            2.0 * (16 * 200) as f64
+        );
+        assert_eq!(
+            residency_threshold_bytes(&l, &arch, Dataflow::WeightStationary, &f),
+            2.0 * (100 * 8) as f64
+        );
+        assert_eq!(
+            residency_threshold_bytes(&l, &arch, Dataflow::OutputStationary, &f),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests of the analytical access-count/energy model.
+
+use apsq_dataflow::{
+    access_counts, energy_breakdown, AcceleratorConfig, Dataflow, EnergyTable, LayerShape,
+    PsumFormat,
+};
+use proptest::prelude::*;
+
+fn arch_strategy() -> impl Strategy<Value = AcceleratorConfig> {
+    (1usize..5, 1usize..5, 1usize..5, 10usize..18).prop_map(|(po, pci, pco, logbuf)| {
+        AcceleratorConfig {
+            po: 1 << po,
+            pci: 1 << pci,
+            pco: 1 << pco,
+            ifmap_buffer_bytes: 1 << logbuf,
+            ofmap_buffer_bytes: 1 << logbuf,
+            weight_buffer_bytes: 1 << (logbuf - 1),
+        }
+    })
+}
+
+fn layer_strategy() -> impl Strategy<Value = LayerShape> {
+    (1usize..2048, 1usize..2048, 1usize..2048)
+        .prop_map(|(t, ci, co)| LayerShape::gemm("l", t, ci, co))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// PSUM traffic scales exactly linearly with β when residency class
+    /// is unchanged (compare INT32 vs INT16 exact storage, both spilled or
+    /// both resident by construction of the same working-set class).
+    #[test]
+    fn psum_traffic_linear_in_beta_within_residency(
+        layer in layer_strategy(),
+        arch in arch_strategy(),
+        df in prop_oneof![Just(Dataflow::InputStationary), Just(Dataflow::WeightStationary)],
+    ) {
+        let c32 = access_counts(&layer, &arch, df, &PsumFormat::exact(32));
+        let c16 = access_counts(&layer, &arch, df, &PsumFormat::exact(16));
+        // Residency can differ (16-bit set is half the size); only compare
+        // when both are resident or both spilled.
+        let spilled32 = c32.psum.dram_bytes > 0.0;
+        let spilled16 = c16.psum.dram_bytes > 0.0;
+        if spilled32 == spilled16 {
+            prop_assert!((c32.psum.sram_bytes - 2.0 * c16.psum.sram_bytes).abs() < 1e-6);
+        } else {
+            // The smaller format can only move *out* of the spilled class.
+            prop_assert!(spilled32 && !spilled16);
+        }
+    }
+
+    /// OS never touches memory for PSUMs.
+    #[test]
+    fn os_psum_memory_free(layer in layer_strategy(), arch in arch_strategy()) {
+        let c = access_counts(&layer, &arch, Dataflow::OutputStationary, &PsumFormat::exact(32));
+        prop_assert_eq!(c.psum.sram_bytes, 0.0);
+        prop_assert_eq!(c.psum.dram_bytes, 0.0);
+        prop_assert!(c.psum_reg_bytes > 0.0);
+    }
+
+    /// Total energy is monotone non-decreasing in PSUM storage bits for
+    /// IS/WS (more bytes moved, potentially more spills).
+    #[test]
+    fn energy_monotone_in_psum_bits(
+        layer in layer_strategy(),
+        arch in arch_strategy(),
+        df in prop_oneof![Just(Dataflow::InputStationary), Just(Dataflow::WeightStationary)],
+    ) {
+        let table = EnergyTable::default_28nm();
+        let mut last = 0.0;
+        for bits in [8u32, 16, 32] {
+            let e = energy_breakdown(
+                &access_counts(&layer, &arch, df, &PsumFormat::exact(bits)),
+                &table,
+            )
+            .total();
+            prop_assert!(e >= last, "bits={bits}: {e} < {last}");
+            last = e;
+        }
+    }
+
+    /// Group slots never change traffic, only the working set: traffic at
+    /// gs=1 equals traffic at gs=4 unless the residency class changed.
+    #[test]
+    fn group_slots_traffic_invariant_or_spill(
+        layer in layer_strategy(),
+        arch in arch_strategy(),
+        df in prop_oneof![Just(Dataflow::InputStationary), Just(Dataflow::WeightStationary)],
+    ) {
+        let c1 = access_counts(&layer, &arch, df, &PsumFormat::apsq_int8(1));
+        let c4 = access_counts(&layer, &arch, df, &PsumFormat::apsq_int8(4));
+        let spilled1 = c1.psum.dram_bytes > 0.0;
+        let spilled4 = c4.psum.dram_bytes > 0.0;
+        if spilled1 == spilled4 {
+            prop_assert_eq!(c1.psum.sram_bytes, c4.psum.sram_bytes);
+            prop_assert_eq!(c1.psum.dram_bytes, c4.psum.dram_bytes);
+        } else {
+            // More slots can only move *into* the spilled class.
+            prop_assert!(spilled4 && !spilled1);
+            prop_assert!(c4.psum.sram_bytes > c1.psum.sram_bytes);
+        }
+        // Non-PSUM tensors are untouched by the PSUM format.
+        prop_assert_eq!(c1.ifmap, c4.ifmap);
+        prop_assert_eq!(c1.weight, c4.weight);
+        prop_assert_eq!(c1.ofmap, c4.ofmap);
+        prop_assert_eq!(c1.macs, c4.macs);
+    }
+
+    /// MAC count is the exact layer arithmetic regardless of dataflow.
+    #[test]
+    fn macs_independent_of_dataflow(layer in layer_strategy(), arch in arch_strategy()) {
+        let fmt = PsumFormat::int32_baseline();
+        let a = access_counts(&layer, &arch, Dataflow::InputStationary, &fmt).macs;
+        let b = access_counts(&layer, &arch, Dataflow::WeightStationary, &fmt).macs;
+        let c = access_counts(&layer, &arch, Dataflow::OutputStationary, &fmt).macs;
+        prop_assert_eq!(a, layer.macs());
+        prop_assert_eq!(b, layer.macs());
+        prop_assert_eq!(c, layer.macs());
+    }
+}

@@ -1,0 +1,115 @@
+//! BERT encoder GEMM inventories (Devlin et al., 2018).
+
+use apsq_dataflow::{LayerShape, Workload};
+
+/// Hyper-parameters of a BERT encoder stack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BertConfig {
+    /// Hidden dimension `d_model`.
+    pub hidden: usize,
+    /// Number of encoder layers.
+    pub layers: usize,
+    /// Number of attention heads.
+    pub heads: usize,
+    /// FFN intermediate dimension.
+    pub ffn: usize,
+    /// Input sequence length (tokens).
+    pub tokens: usize,
+}
+
+impl BertConfig {
+    /// BERT-Base: 768 hidden, 12 layers, 12 heads, 3072 FFN.
+    pub fn base(tokens: usize) -> Self {
+        BertConfig {
+            hidden: 768,
+            layers: 12,
+            heads: 12,
+            ffn: 3072,
+            tokens,
+        }
+    }
+
+    /// BERT-Large: 1024 hidden, 24 layers, 16 heads, 4096 FFN.
+    pub fn large(tokens: usize) -> Self {
+        BertConfig {
+            hidden: 1024,
+            layers: 24,
+            heads: 16,
+            ffn: 4096,
+            tokens,
+        }
+    }
+
+    /// Per-head dimension.
+    pub fn head_dim(&self) -> usize {
+        self.hidden / self.heads
+    }
+}
+
+/// Builds the GEMM workload of a BERT encoder stack.
+///
+/// Per layer: Q/K/V projections, the per-head attention score (`Q·Kᵀ`) and
+/// context (`P·V`) matmuls, the attention output projection, and the two
+/// FFN GEMMs. Embeddings, layer norms, softmax and residuals contribute no
+/// MAC-array GEMMs and are excluded, as in the paper's framework.
+pub fn bert_workload(config: &BertConfig) -> Workload {
+    let t = config.tokens;
+    let h = config.hidden;
+    let d = config.head_dim();
+    let layers = config.layers;
+    let heads = config.heads;
+
+    let layers_vec = vec![
+        LayerShape::gemm("qkv_proj", t, h, h).with_repeat(3 * layers),
+        LayerShape::gemm("attn_scores", t, d, t).with_repeat(heads * layers),
+        LayerShape::gemm("attn_context", t, t, d).with_repeat(heads * layers),
+        LayerShape::gemm("attn_out", t, h, h).with_repeat(layers),
+        LayerShape::gemm("ffn1", t, h, config.ffn).with_repeat(layers),
+        LayerShape::gemm("ffn2", t, config.ffn, h).with_repeat(layers),
+    ];
+    Workload::new(
+        format!("BERT(h={h},L={layers},t={t})"),
+        layers_vec,
+    )
+}
+
+/// The paper's NLP benchmark: BERT-Base with 128 input tokens.
+pub fn bert_base_128() -> Workload {
+    bert_workload(&BertConfig::base(128))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert_base_gemm_weight_count() {
+        // Encoder GEMM weights: 12 layers × (4·768² + 2·768·3072) = 85.0M.
+        let w = bert_base_128();
+        let expect = 12.0 * (4.0 * 768.0 * 768.0 + 2.0 * 768.0 * 3072.0);
+        // Attention score/context matmuls have no trained weights, but the
+        // framework counts their "weight" operand (K/V activations):
+        // 12 layers × 12 heads × 2 × (64·128) each.
+        let attn_operands = 12.0 * 12.0 * (64.0 * 128.0 + 128.0 * 64.0);
+        assert_eq!(w.total_weight_bytes(), expect + attn_operands);
+    }
+
+    #[test]
+    fn bert_base_macs() {
+        // GEMM MACs: 12 × 128 × (4·768² + 2·768·3072) ≈ 10.9 G plus
+        // attention ≈ 0.3 G.
+        let w = bert_base_128();
+        let gemm = 12.0 * 128.0 * (4.0 * 768.0 * 768.0 + 2.0 * 768.0 * 3072.0);
+        let attn = 12.0 * 12.0 * 2.0 * (128.0 * 64.0 * 128.0);
+        assert_eq!(w.total_macs(), gemm + attn);
+        assert!(w.total_macs() > 10.0e9 && w.total_macs() < 12.0e9);
+    }
+
+    #[test]
+    fn large_config() {
+        let c = BertConfig::large(128);
+        assert_eq!(c.head_dim(), 64);
+        let w = bert_workload(&c);
+        assert!(w.total_macs() > 3.0 * bert_base_128().total_macs());
+    }
+}

@@ -1,0 +1,141 @@
+//! EfficientViT-B1 inventory (Cai et al., ICCV 2023) at 512×512 — the
+//! paper's second ADE20K benchmark.
+//!
+//! Reconstructed from the published architecture: a convolutional stem,
+//! MBConv stages (expand 4), and EfficientViT modules whose lightweight
+//! multi-scale linear attention uses ReLU linear attention (per-head dim
+//! 16) plus depthwise aggregation convs, with widths
+//! [16, 32, 64, 128, 256] and depths [1, 2, 3, 3, 4], followed by a
+//! segmentation head at 1/8 resolution.
+
+use apsq_dataflow::{LayerShape, Workload};
+
+/// Appends one MBConv block (1×1 expand ×4, 3×3 depthwise, 1×1 project).
+fn mbconv(layers: &mut Vec<LayerShape>, tag: &str, h: usize, c_in: usize, c_out: usize, stride: usize) {
+    let mid = 4 * c_in;
+    let h_out = h / stride;
+    let n_out = h_out * h_out;
+    layers.push(LayerShape::gemm(format!("{tag}_expand"), h * h, c_in, mid));
+    layers.push(LayerShape::conv(format!("{tag}_dw"), h_out, h_out, 1, mid, 3, stride));
+    layers.push(LayerShape::gemm(format!("{tag}_project"), n_out, mid, c_out));
+}
+
+/// Appends one EfficientViT module: lite multi-scale linear attention
+/// (QKV 1×1, multi-scale 5×5 depthwise aggregation, ReLU linear attention
+/// `(Q·(KᵀV))`, output projection) followed by an MBConv FFN.
+fn evit_module(layers: &mut Vec<LayerShape>, tag: &str, h: usize, c: usize) {
+    let n = h * h;
+    let d_head = 16;
+    let heads = c / d_head;
+    // QKV projection (1×1 conv).
+    layers.push(LayerShape::gemm(format!("{tag}_qkv"), n, c, 3 * c));
+    // Multi-scale aggregation: 5×5 depthwise over the 3C qkv channels.
+    layers.push(LayerShape::conv(format!("{tag}_agg"), h, h, 1, 3 * c, 5, 1));
+    // Linear attention: KᵀV is a d×d GEMM per head over N tokens
+    // (Ci = N tokens reduce), then Q·(KᵀV) is N×d×d.
+    layers.push(
+        LayerShape::gemm(format!("{tag}_ktv"), d_head, n, d_head).with_repeat(heads),
+    );
+    layers.push(
+        LayerShape::gemm(format!("{tag}_qktv"), n, d_head, d_head).with_repeat(heads),
+    );
+    // Output projection.
+    layers.push(LayerShape::gemm(format!("{tag}_proj"), n, c, c));
+    // MBConv FFN.
+    mbconv(layers, &format!("{tag}_ffn"), h, c, c, 1);
+}
+
+/// Builds the EfficientViT-B1 segmentation workload at `input` × `input`.
+///
+/// # Panics
+///
+/// Panics if `input` is not divisible by 32.
+pub fn efficientvit_b1(input: usize) -> Workload {
+    assert!(input % 32 == 0, "input resolution must be divisible by 32");
+    let mut layers = Vec::new();
+
+    // Stem: 3×3 stride-2 conv to width 16 + one depthwise MBConv.
+    let h2 = input / 2;
+    layers.push(LayerShape::conv("stem", h2, h2, 3, 16, 3, 2));
+    mbconv(&mut layers, "stage1_mb1", h2, 16, 16, 1);
+
+    // Stage 2: stride to /4, width 32, 2 blocks.
+    mbconv(&mut layers, "stage2_mb1", h2, 16, 32, 2);
+    let h4 = input / 4;
+    mbconv(&mut layers, "stage2_mb2", h4, 32, 32, 1);
+
+    // Stage 3: stride to /8, width 64, 3 blocks.
+    mbconv(&mut layers, "stage3_mb1", h4, 32, 64, 2);
+    let h8 = input / 8;
+    mbconv(&mut layers, "stage3_mb2", h8, 64, 64, 1);
+    mbconv(&mut layers, "stage3_mb3", h8, 64, 64, 1);
+
+    // Stage 4: stride to /16, width 128, EfficientViT modules ×3.
+    mbconv(&mut layers, "stage4_down", h8, 64, 128, 2);
+    let h16 = input / 16;
+    for i in 0..3 {
+        evit_module(&mut layers, &format!("stage4_evit{}", i + 1), h16, 128);
+    }
+
+    // Stage 5: stride to /32, width 256, EfficientViT modules ×4.
+    mbconv(&mut layers, "stage5_down", h16, 128, 256, 2);
+    let h32 = input / 32;
+    for i in 0..4 {
+        evit_module(&mut layers, &format!("stage5_evit{}", i + 1), h32, 256);
+    }
+
+    // Segmentation head (EfficientViT-seg): fuse stage 3/4/5 features at
+    // 1/8 resolution into 64 channels, a few MBConv refinements, classify
+    // 150 ADE20K classes.
+    let n8 = h8 * h8;
+    layers.push(LayerShape::gemm("head_in_s3", n8, 64, 64));
+    layers.push(LayerShape::gemm("head_in_s4", h16 * h16, 128, 64));
+    layers.push(LayerShape::gemm("head_in_s5", h32 * h32, 256, 64));
+    mbconv(&mut layers, "head_mb1", h8, 64, 64, 1);
+    mbconv(&mut layers, "head_mb2", h8, 64, 64, 1);
+    layers.push(LayerShape::gemm("head_cls", n8, 64, 150));
+
+    Workload::new(format!("EfficientViT-B1 ({input}x{input})"), layers)
+}
+
+/// The paper's configuration: 512×512 ADE20K crops.
+pub fn efficientvit_b1_512() -> Workload {
+    efficientvit_b1(512)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_resolution_early_stages() {
+        let w = efficientvit_b1_512();
+        let stem = &w.layers[0];
+        assert_eq!(stem.output_pixels(), 256 * 256);
+    }
+
+    #[test]
+    fn parameter_scale_matches_b1() {
+        // EfficientViT-B1 ≈ 9.1 M params (classification); the seg variant
+        // trims the wide classification head, so accept a broad band.
+        let w = efficientvit_b1_512();
+        let params = w.total_weight_bytes();
+        assert!(
+            params > 2.0e6 && params < 15.0e6,
+            "B1 weight bytes {params:.2e} outside plausible range"
+        );
+    }
+
+    #[test]
+    fn linear_attention_avoids_quadratic_tokens() {
+        // No layer's MAC count may scale with tokens² (that is the point
+        // of ReLU linear attention): the `ktv` GEMM reduces over N but
+        // outputs d×d.
+        let w = efficientvit_b1_512();
+        for l in &w.layers {
+            if l.name.contains("ktv") {
+                assert!(l.co <= 16 && l.ho <= 16 || l.name.contains("qktv"));
+            }
+        }
+    }
+}

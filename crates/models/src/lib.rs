@@ -1,0 +1,29 @@
+//! GEMM/conv workload inventories for the networks evaluated in the APSQ
+//! paper: BERT-Base/Large, Segformer-B0, EfficientViT-B1, and LLaMA2-7B.
+//!
+//! Each builder returns an [`apsq_dataflow::Workload`] — a list of layer
+//! geometries with multiplicities — that feeds the analytical energy
+//! framework. Inventories are reconstructed from the architectures'
+//! published hyper-parameters; parameter- and MAC-count sanity tests pin
+//! them to the published model scales.
+//!
+//! # Example
+//!
+//! ```
+//! use apsq_models::bert_base_128;
+//!
+//! let w = bert_base_128();
+//! assert!(w.total_macs() > 1e10); // ~11 GMACs at 128 tokens
+//! ```
+
+#![warn(missing_docs)]
+
+mod bert;
+mod efficientvit;
+mod llama;
+mod segformer;
+
+pub use bert::{bert_base_128, bert_workload, BertConfig};
+pub use efficientvit::{efficientvit_b1, efficientvit_b1_512};
+pub use llama::{llama2_7b_prefill_decode, llama_decode_step, llama_prefill, LlamaConfig};
+pub use segformer::{segformer_b0, segformer_b0_512};

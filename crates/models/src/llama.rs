@@ -1,0 +1,145 @@
+//! LLaMA2-7B GEMM inventories (Touvron et al., 2023) for the paper's
+//! Section IV-D LLM experiments.
+
+use apsq_dataflow::{LayerShape, Workload};
+
+/// LLaMA2-7B hyper-parameters: 32 layers, 4096 hidden, 32 heads,
+/// 11008 FFN intermediate (SwiGLU), 32000 vocabulary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LlamaConfig {
+    /// Hidden dimension.
+    pub hidden: usize,
+    /// Decoder layers.
+    pub layers: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// FFN intermediate dimension.
+    pub ffn: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+}
+
+impl LlamaConfig {
+    /// LLaMA2-7B.
+    pub fn llama2_7b() -> Self {
+        LlamaConfig {
+            hidden: 4096,
+            layers: 32,
+            heads: 32,
+            ffn: 11008,
+            vocab: 32000,
+        }
+    }
+
+    /// Per-head dimension.
+    pub fn head_dim(&self) -> usize {
+        self.hidden / self.heads
+    }
+}
+
+/// Prefill-stage workload: all `seq` tokens processed at once.
+pub fn llama_prefill(config: &LlamaConfig, seq: usize) -> Workload {
+    let h = config.hidden;
+    let d = config.head_dim();
+    let l = config.layers;
+    let heads = config.heads;
+    let layers = vec![
+        LayerShape::gemm("qkvo_proj", seq, h, h).with_repeat(4 * l),
+        LayerShape::gemm("attn_scores", seq, d, seq).with_repeat(heads * l),
+        LayerShape::gemm("attn_context", seq, seq, d).with_repeat(heads * l),
+        LayerShape::gemm("ffn_gate_up", seq, h, config.ffn).with_repeat(2 * l),
+        LayerShape::gemm("ffn_down", seq, config.ffn, h).with_repeat(l),
+        LayerShape::gemm("lm_head", seq, h, config.vocab),
+    ];
+    Workload::new(format!("LLaMA2-7B prefill (seq={seq})"), layers)
+}
+
+/// One decode step: a single query token attending to a `kv_len`-entry KV
+/// cache (the autoregressive generation regime where the paper sets
+/// `Po = 1`).
+pub fn llama_decode_step(config: &LlamaConfig, kv_len: usize) -> Workload {
+    let h = config.hidden;
+    let d = config.head_dim();
+    let l = config.layers;
+    let heads = config.heads;
+    let layers = vec![
+        LayerShape::gemm("qkvo_proj", 1, h, h).with_repeat(4 * l),
+        LayerShape::gemm("attn_scores", 1, d, kv_len).with_repeat(heads * l),
+        LayerShape::gemm("attn_context", 1, kv_len, d).with_repeat(heads * l),
+        LayerShape::gemm("ffn_gate_up", 1, h, config.ffn).with_repeat(2 * l),
+        LayerShape::gemm("ffn_down", 1, config.ffn, h).with_repeat(l),
+        LayerShape::gemm("lm_head", 1, h, config.vocab),
+    ];
+    Workload::new(format!("LLaMA2-7B decode (kv={kv_len})"), layers)
+}
+
+/// The paper's Table IV workload: a prefill of `seq` tokens plus
+/// `decode_steps` single-token decode passes against the full `seq`-entry
+/// KV cache.
+///
+/// With `decode_steps = 1` this reproduces the paper's Table IV ratios
+/// (WS baseline ≈ 32–37×, `gs = 3/4` ≈ 8–10×): the table's normalized
+/// energies are PSUM-dominated, which only holds when decode-stage weight
+/// re-streaming (which is identical across all PSUM formats and grows
+/// linearly with generated tokens) does not swamp the ratio. Larger
+/// `decode_steps` values let callers study that dilution.
+pub fn llama2_7b_prefill_decode(seq: usize, decode_steps: usize) -> Workload {
+    let config = LlamaConfig::llama2_7b();
+    let mut layers = llama_prefill(&config, seq).layers;
+    if decode_steps > 0 {
+        let decode = llama_decode_step(&config, seq);
+        for mut l in decode.layers {
+            l.name = format!("decode_{}", l.name);
+            l.repeat *= decode_steps;
+            layers.push(l);
+        }
+    }
+    Workload::new(
+        format!("LLaMA2-7B prefill+decode (seq={seq}, steps={decode_steps})"),
+        layers,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_scale_matches_7b() {
+        // Per layer: 4·4096² + 3·4096·11008 = 202.3 M weights; ×32 layers
+        // ≈ 6.5 G + LM head 131 M.
+        let w = llama_prefill(&LlamaConfig::llama2_7b(), 4096);
+        let per_layer = 4.0 * 4096.0f64.powi(2) + 3.0 * 4096.0 * 11008.0;
+        let expected = 32.0 * per_layer + 4096.0 * 32000.0;
+        // Attention score/context "weights" are KV activations; subtract
+        // them from the inventory for this comparison.
+        let attn = 32.0 * 32.0 * (128.0 * 4096.0 + 4096.0 * 128.0);
+        assert_eq!(w.total_weight_bytes() - attn, expected);
+        assert!(expected > 6.0e9 && expected < 7.0e9);
+    }
+
+    #[test]
+    fn decode_step_is_vector_workload() {
+        let w = llama_decode_step(&LlamaConfig::llama2_7b(), 4096);
+        assert!(w.layers.iter().all(|l| l.ho == 1 || l.name.contains("scores") || l.name.contains("context")));
+        // One decode step ≈ model-size MACs (weights touched once).
+        assert!(w.total_macs() > 6.5e9 && w.total_macs() < 9.0e9);
+    }
+
+    #[test]
+    fn prefill_decode_mac_balance() {
+        // Generating seq tokens costs about as many GEMM MACs as the
+        // prefill (attention KV costs differ by ~2×, a small share).
+        let pd = llama2_7b_prefill_decode(4096, 4096);
+        let p = llama_prefill(&LlamaConfig::llama2_7b(), 4096);
+        let ratio = pd.total_macs() / p.total_macs();
+        assert!(ratio > 1.8 && ratio < 2.6, "ratio {ratio}");
+    }
+
+    #[test]
+    fn zero_decode_steps_is_prefill_only() {
+        let pd = llama2_7b_prefill_decode(1024, 0);
+        let p = llama_prefill(&LlamaConfig::llama2_7b(), 1024);
+        assert_eq!(pd.total_macs(), p.total_macs());
+    }
+}

@@ -1,0 +1,169 @@
+//! Segformer-B0 GEMM/conv inventory (Xie et al., NeurIPS 2021) at
+//! 512×512 input — the paper's first ADE20K benchmark.
+//!
+//! Reconstructed from the published architecture: four hierarchical stages
+//! with embed dims [32, 64, 160, 256], depths [2, 2, 2, 2], spatial-
+//! reduction-attention ratios [8, 4, 2, 1], heads [1, 2, 5, 8], Mix-FFN
+//! expansion 4 with a 3×3 depthwise conv, and the all-MLP decode head with
+//! 256 channels over 150 ADE20K classes.
+
+use apsq_dataflow::{LayerShape, Workload};
+
+/// Stage hyper-parameters for Segformer-B0 at a given input resolution.
+struct Stage {
+    /// Feature-map side length at this stage.
+    h: usize,
+    /// Embedding dim.
+    c: usize,
+    /// Blocks in this stage.
+    depth: usize,
+    /// Spatial-reduction ratio of the attention.
+    r: usize,
+    /// Attention heads.
+    heads: usize,
+    /// Patch-embed kernel and stride feeding this stage.
+    patch_k: usize,
+    patch_s: usize,
+    /// Input channels of the patch embed.
+    c_in: usize,
+}
+
+/// Builds the Segformer-B0 workload at `input` × `input` resolution.
+///
+/// # Panics
+///
+/// Panics if `input` is not divisible by 32.
+pub fn segformer_b0(input: usize) -> Workload {
+    assert!(input % 32 == 0, "input resolution must be divisible by 32");
+    let stages = [
+        Stage { h: input / 4, c: 32, depth: 2, r: 8, heads: 1, patch_k: 7, patch_s: 4, c_in: 3 },
+        Stage { h: input / 8, c: 64, depth: 2, r: 4, heads: 2, patch_k: 3, patch_s: 2, c_in: 32 },
+        Stage { h: input / 16, c: 160, depth: 2, r: 2, heads: 5, patch_k: 3, patch_s: 2, c_in: 64 },
+        Stage { h: input / 32, c: 256, depth: 2, r: 1, heads: 8, patch_k: 3, patch_s: 2, c_in: 160 },
+    ];
+
+    let mut layers = Vec::new();
+    for (si, st) in stages.iter().enumerate() {
+        let n = st.h * st.h; // tokens at this stage
+        let nr = (st.h / st.r).max(1).pow(2); // reduced tokens for K/V
+        let d_head = st.c / st.heads;
+        let tag = |name: &str| format!("s{}_{}", si + 1, name);
+
+        // Overlapped patch embedding (strided conv).
+        layers.push(LayerShape::conv(
+            tag("patch_embed"),
+            st.h,
+            st.h,
+            st.c_in,
+            st.c,
+            st.patch_k,
+            st.patch_s,
+        ));
+
+        // Transformer blocks.
+        let d = st.depth;
+        // Q projection on full tokens.
+        layers.push(LayerShape::gemm(tag("attn_q"), n, st.c, st.c).with_repeat(d));
+        if st.r > 1 {
+            // Spatial reduction: an r×r stride-r conv on C channels.
+            layers.push(
+                LayerShape::conv(tag("attn_sr"), st.h / st.r, st.h / st.r, st.c, st.c, st.r, st.r)
+                    .with_repeat(d),
+            );
+        }
+        // K and V projections on reduced tokens.
+        layers.push(LayerShape::gemm(tag("attn_kv"), nr, st.c, 2 * st.c).with_repeat(d));
+        // Per-head score (N × d_head → N × Nr) and context (N × Nr → N × d_head).
+        layers.push(
+            LayerShape::gemm(tag("attn_scores"), n, d_head, nr).with_repeat(d * st.heads),
+        );
+        layers.push(
+            LayerShape::gemm(tag("attn_context"), n, nr, d_head).with_repeat(d * st.heads),
+        );
+        // Output projection.
+        layers.push(LayerShape::gemm(tag("attn_out"), n, st.c, st.c).with_repeat(d));
+        // Mix-FFN: fc1 (×4), 3×3 depthwise on the expanded channels, fc2.
+        layers.push(LayerShape::gemm(tag("ffn_fc1"), n, st.c, 4 * st.c).with_repeat(d));
+        layers.push(
+            LayerShape::conv(tag("ffn_dw"), st.h, st.h, 1, 4 * st.c, 3, 1).with_repeat(d),
+        );
+        layers.push(LayerShape::gemm(tag("ffn_fc2"), n, 4 * st.c, st.c).with_repeat(d));
+    }
+
+    // All-MLP decode head at H/4 resolution with 256 channels, 150 classes.
+    let h4 = input / 4;
+    let n4 = h4 * h4;
+    for (si, st) in stages.iter().enumerate() {
+        // Per-stage linear to the unified 256-channel space (computed at
+        // the stage's own resolution, then upsampled — upsampling has no
+        // MACs).
+        layers.push(LayerShape::gemm(
+            format!("head_mlp_s{}", si + 1),
+            st.h * st.h,
+            st.c,
+            256,
+        ));
+    }
+    // Fusion of the 4 concatenated 256-channel maps at H/4.
+    layers.push(LayerShape::gemm("head_fuse", n4, 4 * 256, 256));
+    // Classifier over 150 ADE20K classes.
+    layers.push(LayerShape::gemm("head_cls", n4, 256, 150));
+
+    Workload::new(format!("Segformer-B0 ({input}x{input})"), layers)
+}
+
+/// The paper's configuration: 512×512 ADE20K crops.
+pub fn segformer_b0_512() -> Workload {
+    segformer_b0(512)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_counts() {
+        let w = segformer_b0_512();
+        // Stage 1 runs at 128×128 = 16384 tokens — the ">20,000 tokens"
+        // regime the paper's introduction motivates (with the head layers
+        // at the same resolution).
+        let s1 = w
+            .layers
+            .iter()
+            .find(|l| l.name == "s1_attn_q")
+            .expect("stage-1 attention present");
+        assert_eq!(s1.output_pixels(), 16384);
+    }
+
+    #[test]
+    fn parameter_scale_matches_b0() {
+        // Segformer-B0 has ≈ 3.8 M parameters; our GEMM/conv inventory
+        // (which counts attention K/V activation operands as "weights" and
+        // skips norms/embedding biases) should land in the same ballpark.
+        let w = segformer_b0_512();
+        let params = w.total_weight_bytes();
+        assert!(
+            params > 2.0e6 && params < 9.0e6,
+            "B0 weight bytes {params:.2e} outside plausible range"
+        );
+    }
+
+    #[test]
+    fn mac_scale() {
+        // Published ≈ 8.4 GFLOPs ⇒ ≈ 4.2 GMACs at 512²; allow the
+        // inventory (which includes per-head attention matmuls) a generous
+        // band.
+        let w = segformer_b0_512();
+        assert!(
+            w.total_macs() > 2.0e9 && w.total_macs() < 9.0e9,
+            "B0 MACs {:.2e} outside plausible range",
+            w.total_macs()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by 32")]
+    fn bad_resolution() {
+        segformer_b0(500);
+    }
+}

@@ -1,0 +1,161 @@
+//! A pre-LayerNorm transformer block with quantization-aware sub-layers.
+
+use crate::attention::MultiHeadAttention;
+use crate::linear::{PsumMode, QuantLinear};
+use crate::norm::LayerNorm;
+use crate::param::{HasParams, Param};
+use apsq_quant::Bitwidth;
+use apsq_tensor::{gelu, gelu_grad, Tensor};
+use rand::Rng;
+
+/// Pre-LN block: `x + Attn(LN(x))`, then `x + FFN(LN(x))` with a GELU MLP.
+#[derive(Clone, Debug)]
+pub struct TransformerBlock {
+    ln1: LayerNorm,
+    attn: MultiHeadAttention,
+    ln2: LayerNorm,
+    fc1: QuantLinear,
+    fc2: QuantLinear,
+    cache_h: Option<Tensor>, // pre-GELU activations
+}
+
+impl TransformerBlock {
+    /// Creates a block with FFN width `d_ff`.
+    pub fn new<R: Rng + ?Sized>(
+        d: usize,
+        heads: usize,
+        d_ff: usize,
+        bits: Bitwidth,
+        psum_mode: PsumMode,
+        causal: bool,
+        rng: &mut R,
+    ) -> Self {
+        TransformerBlock {
+            ln1: LayerNorm::new(d),
+            attn: MultiHeadAttention::new(d, heads, bits, psum_mode, causal, rng),
+            ln2: LayerNorm::new(d),
+            fc1: QuantLinear::new(d, d_ff, bits, psum_mode, rng),
+            fc2: QuantLinear::new(d_ff, d, bits, psum_mode, rng),
+            cache_h: None,
+        }
+    }
+
+    /// Switches the PSUM mode of every quantized matmul in the block.
+    pub fn set_psum_mode(&mut self, mode: PsumMode) {
+        self.attn.set_psum_mode(mode);
+        self.fc1.set_psum_mode(mode);
+        self.fc2.set_psum_mode(mode);
+    }
+
+    /// Forward over `[T, d]`.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        let a = self.ln1.forward(x);
+        let a = self.attn.forward(&a);
+        let x1 = x + &a;
+        let f = self.ln2.forward(&x1);
+        let h = self.fc1.forward(&f);
+        self.cache_h = Some(h.clone());
+        let g = gelu(&h);
+        let o = self.fc2.forward(&g);
+        &x1 + &o
+    }
+
+    /// Backward; returns `dL/dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let h = self.cache_h.take().expect("backward before forward");
+        // FFN branch.
+        let dg = self.fc2.backward(dy);
+        let dh = &dg * &gelu_grad(&h);
+        let df = self.fc1.backward(&dh);
+        let dx1_ffn = self.ln2.backward(&df);
+        let dx1 = dy + &dx1_ffn; // residual
+        // Attention branch.
+        let da = self.attn.backward(&dx1);
+        let dx_attn = self.ln1.backward(&da);
+        &dx1 + &dx_attn // residual
+    }
+
+    /// Applies LSQ step gradients in all quantized sub-layers.
+    pub fn apply_quantizer_grads(&mut self, lr: f32) {
+        self.attn.apply_quantizer_grads(lr);
+        self.fc1.apply_quantizer_grads(lr);
+        self.fc2.apply_quantizer_grads(lr);
+    }
+
+    /// Incremental decode step over one `[1, d]` token with the layer's
+    /// KV cache. Inference-only.
+    pub fn forward_decode(
+        &self,
+        x: &Tensor,
+        cache: &mut crate::kv_cache::AttentionKvCache,
+    ) -> Tensor {
+        let a = self.ln1.forward_inference(x);
+        let a = self.attn.forward_decode(&a, cache);
+        let x1 = x + &a;
+        let f = self.ln2.forward_inference(&x1);
+        let h = self.fc1.forward_inference(&f);
+        let g = gelu(&h);
+        let o = self.fc2.forward_inference(&g);
+        &x1 + &o
+    }
+}
+
+impl HasParams for TransformerBlock {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.ln1.visit_params(f);
+        self.attn.visit_params(f);
+        self.ln2.visit_params(f);
+        self.fc1.visit_params(f);
+        self.fc2.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_backward_shapes() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut b = TransformerBlock::new(
+            16,
+            4,
+            32,
+            Bitwidth::INT8,
+            PsumMode::Exact,
+            false,
+            &mut rng,
+        );
+        let x = apsq_tensor::randn([5, 16], 1.0, &mut rng);
+        let y = b.forward(&x);
+        assert_eq!(y.dims(), &[5, 16]);
+        let dx = b.backward(&Tensor::ones([5, 16]));
+        assert_eq!(dx.dims(), &[5, 16]);
+        assert!(b.param_count() > 0);
+    }
+
+    #[test]
+    fn residual_path_dominates_at_init() {
+        // With small random weights, the block output stays close to x.
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut b = TransformerBlock::new(
+            8,
+            2,
+            16,
+            Bitwidth::INT8,
+            PsumMode::Exact,
+            false,
+            &mut rng,
+        );
+        let x = apsq_tensor::randn([4, 8], 1.0, &mut rng);
+        let y = b.forward(&x);
+        let rel = (&y - &x).norm() / x.norm();
+        assert!(rel < 2.0, "block destroyed the signal: {rel}");
+    }
+}

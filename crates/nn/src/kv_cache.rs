@@ -1,0 +1,127 @@
+//! KV-cache incremental decoding — the autoregressive regime (one token
+//! at a time against a growing key/value cache) that motivates the paper's
+//! `Po = 1` LLM accelerator configuration.
+
+use apsq_tensor::Tensor;
+
+/// Growing key/value cache for one attention layer.
+///
+/// Rows are time steps; columns are the model width (heads are sliced at
+/// attention time, exactly as in the full forward pass).
+#[derive(Clone, Debug, Default)]
+pub struct AttentionKvCache {
+    k_rows: Vec<f32>,
+    v_rows: Vec<f32>,
+    width: usize,
+    len: usize,
+}
+
+impl AttentionKvCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached time steps.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends one `[1, d]` key row and value row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths are inconsistent with earlier appends.
+    pub fn append(&mut self, k: &Tensor, v: &Tensor) {
+        assert_eq!(k.dims(), v.dims(), "k/v row shape mismatch");
+        assert_eq!(k.dims()[0], 1, "append exactly one time step");
+        let d = k.dims()[1];
+        if self.len == 0 {
+            self.width = d;
+        }
+        assert_eq!(self.width, d, "cache width changed");
+        self.k_rows.extend_from_slice(k.data());
+        self.v_rows.extend_from_slice(v.data());
+        self.len += 1;
+    }
+
+    /// All cached keys as `[len, d]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is empty.
+    pub fn keys(&self) -> Tensor {
+        assert!(self.len > 0, "empty cache");
+        Tensor::from_vec(self.k_rows.clone(), [self.len, self.width])
+    }
+
+    /// All cached values as `[len, d]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is empty.
+    pub fn values(&self) -> Tensor {
+        assert!(self.len > 0, "empty cache");
+        Tensor::from_vec(self.v_rows.clone(), [self.len, self.width])
+    }
+}
+
+/// Per-layer cache bundle for a whole decoder stack.
+#[derive(Clone, Debug, Default)]
+pub struct DecoderKvState {
+    /// One cache per transformer block, in layer order.
+    pub layers: Vec<AttentionKvCache>,
+    /// Next position index (= tokens consumed so far).
+    pub position: usize,
+}
+
+impl DecoderKvState {
+    /// Creates state for a stack of `layers` blocks.
+    pub fn for_layers(layers: usize) -> Self {
+        DecoderKvState {
+            layers: (0..layers).map(|_| AttentionKvCache::new()).collect(),
+            position: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_read_back() {
+        let mut c = AttentionKvCache::new();
+        assert!(c.is_empty());
+        c.append(
+            &Tensor::from_vec(vec![1.0, 2.0], [1, 2]),
+            &Tensor::from_vec(vec![3.0, 4.0], [1, 2]),
+        );
+        c.append(
+            &Tensor::from_vec(vec![5.0, 6.0], [1, 2]),
+            &Tensor::from_vec(vec![7.0, 8.0], [1, 2]),
+        );
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.keys().dims(), &[2, 2]);
+        assert_eq!(c.values().data(), &[3.0, 4.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one time step")]
+    fn multi_row_append_rejected() {
+        let mut c = AttentionKvCache::new();
+        c.append(&Tensor::zeros([2, 4]), &Tensor::zeros([2, 4]));
+    }
+
+    #[test]
+    fn state_bundle() {
+        let s = DecoderKvState::for_layers(3);
+        assert_eq!(s.layers.len(), 3);
+        assert_eq!(s.position, 0);
+    }
+}

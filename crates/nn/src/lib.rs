@@ -1,0 +1,62 @@
+//! Neural-network substrate with manual backprop and quantization-aware
+//! training, wired for APSQ.
+//!
+//! The paper's accuracy experiments run W8A8 quantization-aware training
+//! (LSQ quantizers, full-precision-teacher distillation) with the APSQ
+//! grouped PSUM quantizer inside every matmul's accumulation path. This
+//! crate provides all of it, sized for offline reproduction:
+//!
+//! - [`QuantLinear`] — a linear layer whose K-tiled accumulation runs the
+//!   float twin of Algorithm 1 ([`PsumMode::Apsq`]), exactly as the RAE
+//!   would execute it at inference;
+//! - [`MultiHeadAttention`], [`TransformerBlock`], [`EncoderClassifier`],
+//!   [`TokenTagger`], [`DecoderLm`] — the task models (manual backprop);
+//! - [`GlueTask`], [`SegTask`], [`LmFamily`] — synthetic stand-ins for
+//!   GLUE / ADE20K / zero-shot-reasoning benchmarks (see DESIGN.md for the
+//!   substitution argument);
+//! - [`train_glue`] / [`train_seg`] / [`train_lm`] and the matching
+//!   evaluators — the QAT drivers behind Tables I and III and Fig 5.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use apsq_nn::{
+//!     evaluate_glue, train_glue, GlueTask, ModelConfig, PsumMode, TrainConfig,
+//! };
+//!
+//! let cfg = ModelConfig::tiny(PsumMode::Exact);
+//! let mut model = train_glue(GlueTask::Mrpc, &cfg, &TrainConfig::quick(), None);
+//! let acc = evaluate_glue(&mut model, GlueTask::Mrpc, 200, 0);
+//! println!("MRPC accuracy: {acc:.1}%");
+//! ```
+
+#![warn(missing_docs)]
+
+mod attention;
+mod block;
+mod data;
+mod embedding;
+mod kv_cache;
+mod linear;
+mod loss;
+mod metrics;
+mod models;
+mod norm;
+mod param;
+mod qat;
+
+pub use attention::MultiHeadAttention;
+pub use block::TransformerBlock;
+pub use data::{GlueTask, Label, LmFamily, MetricKind, SegTask, SeqExample};
+pub use embedding::Embedding;
+pub use kv_cache::{AttentionKvCache, DecoderKvState};
+pub use linear::{Linear, PsumMode, QuantLinear};
+pub use loss::{cross_entropy, distillation_loss, mse_loss};
+pub use metrics::{accuracy, matthews_corr, mean_iou, pearson, spearman_rho};
+pub use models::{DecoderLm, EncoderClassifier, ModelConfig, TokenTagger};
+pub use norm::LayerNorm;
+pub use param::{HasParams, Param};
+pub use qat::{
+    evaluate_glue, evaluate_lm, evaluate_seg, train_glue, train_lm, train_seg, with_psum_mode,
+    TrainConfig,
+};

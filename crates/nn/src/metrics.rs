@@ -1,0 +1,198 @@
+//! Evaluation metrics matching the paper's conventions: accuracy,
+//! Matthews correlation (CoLA), Spearman rank correlation (STS-B), and
+//! mean IoU (ADE20K).
+
+/// Classification accuracy in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if lengths differ or are zero.
+pub fn accuracy(pred: &[usize], gold: &[usize]) -> f64 {
+    assert_eq!(pred.len(), gold.len(), "accuracy: length mismatch");
+    assert!(!pred.is_empty(), "accuracy of empty predictions");
+    let hits = pred.iter().zip(gold.iter()).filter(|(p, g)| p == g).count();
+    hits as f64 / pred.len() as f64
+}
+
+/// Matthews correlation coefficient for binary labels.
+///
+/// Returns 0 when any marginal is degenerate (standard convention).
+///
+/// # Panics
+///
+/// Panics if lengths differ, are zero, or labels exceed 1.
+pub fn matthews_corr(pred: &[usize], gold: &[usize]) -> f64 {
+    assert_eq!(pred.len(), gold.len(), "mcc: length mismatch");
+    assert!(!pred.is_empty(), "mcc of empty predictions");
+    assert!(
+        pred.iter().chain(gold.iter()).all(|&x| x <= 1),
+        "mcc expects binary labels"
+    );
+    let (mut tp, mut tn, mut fp, mut fne) = (0f64, 0f64, 0f64, 0f64);
+    for (&p, &g) in pred.iter().zip(gold.iter()) {
+        match (p, g) {
+            (1, 1) => tp += 1.0,
+            (0, 0) => tn += 1.0,
+            (1, 0) => fp += 1.0,
+            (0, 1) => fne += 1.0,
+            _ => unreachable!(),
+        }
+    }
+    let denom = ((tp + fp) * (tp + fne) * (tn + fp) * (tn + fne)).sqrt();
+    if denom == 0.0 {
+        0.0
+    } else {
+        (tp * tn - fp * fne) / denom
+    }
+}
+
+/// Spearman rank correlation between two real-valued slices.
+///
+/// Ties receive average ranks.
+///
+/// # Panics
+///
+/// Panics if lengths differ or fewer than two points are given.
+pub fn spearman_rho(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "spearman: length mismatch");
+    assert!(x.len() >= 2, "spearman needs at least two points");
+    let rx = ranks(x);
+    let ry = ranks(y);
+    pearson(&rx, &ry)
+}
+
+/// Pearson correlation between two real-valued slices.
+///
+/// # Panics
+///
+/// Panics if lengths differ or fewer than two points are given.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "pearson: length mismatch");
+    assert!(x.len() >= 2, "pearson needs at least two points");
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&a, &b) in x.iter().zip(y.iter()) {
+        cov += (a - mx) * (b - my);
+        vx += (a - mx) * (a - mx);
+        vy += (b - my) * (b - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        0.0
+    } else {
+        cov / (vx * vy).sqrt()
+    }
+}
+
+fn ranks(x: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..x.len()).collect();
+    idx.sort_by(|&a, &b| x[a].partial_cmp(&x[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = vec![0.0; x.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && x[idx[j + 1]] == x[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Mean intersection-over-union over `classes` classes. Classes absent
+/// from both prediction and gold are skipped (standard mIoU convention).
+///
+/// # Panics
+///
+/// Panics if lengths differ, are zero, or a label is out of range.
+pub fn mean_iou(pred: &[usize], gold: &[usize], classes: usize) -> f64 {
+    assert_eq!(pred.len(), gold.len(), "miou: length mismatch");
+    assert!(!pred.is_empty(), "miou of empty predictions");
+    let mut inter = vec![0u64; classes];
+    let mut union = vec![0u64; classes];
+    for (&p, &g) in pred.iter().zip(gold.iter()) {
+        assert!(p < classes && g < classes, "label out of range");
+        if p == g {
+            inter[p] += 1;
+            union[p] += 1;
+        } else {
+            union[p] += 1;
+            union[g] += 1;
+        }
+    }
+    let mut total = 0.0;
+    let mut seen = 0;
+    for c in 0..classes {
+        if union[c] > 0 {
+            total += inter[c] as f64 / union[c] as f64;
+            seen += 1;
+        }
+    }
+    if seen == 0 {
+        0.0
+    } else {
+        total / seen as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[1, 0, 1], &[1, 1, 1]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[0], &[0]), 1.0);
+    }
+
+    #[test]
+    fn mcc_perfect_and_inverted() {
+        let gold = [0, 1, 0, 1, 1, 0];
+        assert_eq!(matthews_corr(&gold, &gold), 1.0);
+        let inv: Vec<usize> = gold.iter().map(|&x| 1 - x).collect();
+        assert_eq!(matthews_corr(&inv, &gold), -1.0);
+    }
+
+    #[test]
+    fn mcc_degenerate_is_zero() {
+        assert_eq!(matthews_corr(&[1, 1, 1], &[0, 1, 0]), 0.0);
+    }
+
+    #[test]
+    fn spearman_monotone_invariance() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 9.0, 100.0]; // monotone in x
+        assert!((spearman_rho(&x, &y) - 1.0).abs() < 1e-12);
+        let z = [5.0, 3.0, 2.0, 1.0];
+        assert!((spearman_rho(&x, &z) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let x = [1.0, 1.0, 2.0];
+        let y = [3.0, 3.0, 4.0];
+        assert!(spearman_rho(&x, &y) > 0.99);
+    }
+
+    #[test]
+    fn miou_perfect_is_one() {
+        let g = [0, 1, 2, 1, 0];
+        assert_eq!(mean_iou(&g, &g, 3), 1.0);
+    }
+
+    #[test]
+    fn miou_counts_partial_overlap() {
+        // class 0: pred {0}, gold {0,1}: inter 1, union 2 → 0.5
+        // class 1: pred {1}, gold {}: union 1 → 0
+        let pred = [0, 1];
+        let gold = [0, 0];
+        assert!((mean_iou(&pred, &gold, 2) - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,129 @@
+//! Trainable parameters with gradient and Adam state.
+
+use apsq_tensor::Tensor;
+
+/// A trainable tensor: value, accumulated gradient, and Adam moments.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+    m: Tensor,
+    v: Tensor,
+}
+
+impl Param {
+    /// Wraps an initial value.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape().clone());
+        let m = Tensor::zeros(value.shape().clone());
+        let v = Tensor::zeros(value.shape().clone());
+        Param { value, grad, m, v }
+    }
+
+    /// Adds `g` into the accumulated gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn accumulate(&mut self, g: &Tensor) {
+        assert_eq!(
+            self.grad.shape(),
+            g.shape(),
+            "gradient shape mismatch for parameter"
+        );
+        self.grad = &self.grad + g;
+    }
+
+    /// Clears the gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad = Tensor::zeros(self.value.shape().clone());
+    }
+
+    /// One Adam update (β₁ = 0.9, β₂ = 0.999, ε = 1e-8), with bias
+    /// correction driven by the caller-supplied step count `t ≥ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t == 0`.
+    pub fn adam_step(&mut self, lr: f32, t: u64) {
+        assert!(t >= 1, "Adam step count starts at 1");
+        const B1: f32 = 0.9;
+        const B2: f32 = 0.999;
+        const EPS: f32 = 1e-8;
+        let g = &self.grad;
+        self.m = &(&self.m * B1) + &(g * (1.0 - B1));
+        self.v = &(&self.v * B2) + &(&(g * g) * (1.0 - B2));
+        let bc1 = 1.0 - B1.powi(t as i32);
+        let bc2 = 1.0 - B2.powi(t as i32);
+        let update = self
+            .m
+            .data()
+            .iter()
+            .zip(self.v.data().iter())
+            .map(|(&m, &v)| lr * (m / bc1) / ((v / bc2).sqrt() + EPS))
+            .collect::<Vec<_>>();
+        let update = Tensor::from_vec(update, self.value.shape().clone());
+        self.value = &self.value - &update;
+    }
+
+    /// One plain SGD update.
+    pub fn sgd_step(&mut self, lr: f32) {
+        self.value = &self.value - &(&self.grad * lr);
+    }
+}
+
+/// Anything that owns [`Param`]s and can hand them to an optimizer.
+pub trait HasParams {
+    /// Calls `f` once per owned parameter.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Zeroes every owned gradient.
+    fn zero_grads(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Total scalar parameter count.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.value.numel());
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adam_reduces_simple_quadratic() {
+        // Minimize f(x) = x² from x = 1.
+        let mut p = Param::new(Tensor::from_vec(vec![1.0], [1]));
+        for t in 1..=300 {
+            p.zero_grad();
+            let g = Tensor::from_vec(vec![2.0 * p.value.data()[0]], [1]);
+            p.accumulate(&g);
+            p.adam_step(0.05, t);
+        }
+        assert!(p.value.data()[0].abs() < 0.05, "x = {}", p.value.data()[0]);
+    }
+
+    #[test]
+    fn sgd_step_direction() {
+        let mut p = Param::new(Tensor::from_vec(vec![1.0], [1]));
+        p.accumulate(&Tensor::from_vec(vec![0.5], [1]));
+        p.sgd_step(0.1);
+        assert!((p.value.data()[0] - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accumulate_sums() {
+        let mut p = Param::new(Tensor::zeros([2]));
+        p.accumulate(&Tensor::from_vec(vec![1.0, 2.0], [2]));
+        p.accumulate(&Tensor::from_vec(vec![1.0, -1.0], [2]));
+        assert_eq!(p.grad.data(), &[2.0, 1.0]);
+        p.zero_grad();
+        assert_eq!(p.grad.data(), &[0.0, 0.0]);
+    }
+}

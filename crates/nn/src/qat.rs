@@ -1,0 +1,312 @@
+//! Training and evaluation drivers: FP32-teacher pretraining, W8A8 QAT
+//! with knowledge distillation, and the APSQ PSUM path — the paper's
+//! Section IV-A recipe on the synthetic stand-in tasks.
+
+use crate::data::{GlueTask, Label, LmFamily, MetricKind, SegTask};
+use crate::linear::PsumMode;
+use crate::loss::{cross_entropy, distillation_loss, mse_loss};
+use crate::metrics::{accuracy, matthews_corr, mean_iou, spearman_rho};
+use crate::models::{DecoderLm, EncoderClassifier, ModelConfig, TokenTagger};
+use crate::param::HasParams;
+use apsq_tensor::{argmax_axis1, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Hyper-parameters of one training run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrainConfig {
+    /// Optimizer steps.
+    pub steps: usize,
+    /// Sequences per step (gradient accumulation).
+    pub batch: usize,
+    /// Adam learning rate for weights.
+    pub lr: f32,
+    /// SGD learning rate for LSQ step sizes.
+    pub lr_quant: f32,
+    /// Weight of the distillation term (0 disables distillation).
+    pub distill_weight: f32,
+    /// Distillation temperature.
+    pub temperature: f32,
+    /// RNG seed (data + init).
+    pub seed: u64,
+}
+
+impl TrainConfig {
+    /// A fast configuration for unit tests.
+    pub fn quick() -> Self {
+        TrainConfig {
+            steps: 120,
+            batch: 8,
+            lr: 3e-3,
+            lr_quant: 1e-3,
+            distill_weight: 0.5,
+            temperature: 2.0,
+            seed: 17,
+        }
+    }
+
+    /// The configuration the experiment harness uses.
+    pub fn standard() -> Self {
+        TrainConfig {
+            steps: 500,
+            batch: 16,
+            lr: 2e-3,
+            lr_quant: 1e-3,
+            distill_weight: 0.5,
+            temperature: 2.0,
+            seed: 17,
+        }
+    }
+}
+
+/// Trains an encoder classifier on a GLUE stand-in task. When `teacher`
+/// is given, its logits distill into the student (the paper's QAT recipe).
+pub fn train_glue(
+    task: GlueTask,
+    model_cfg: &ModelConfig,
+    tc: &TrainConfig,
+    teacher: Option<&EncoderClassifier>,
+) -> EncoderClassifier {
+    let mut rng = StdRng::seed_from_u64(tc.seed);
+    let mut model = EncoderClassifier::new(model_cfg, task.num_outputs(), &mut rng);
+    let mut teacher = teacher.cloned();
+    let mut t = 0u64;
+    for _ in 0..tc.steps {
+        for _ in 0..tc.batch {
+            let ex = task.sample(&mut rng);
+            let logits = model.forward(&ex.tokens);
+            let mut grad = match ex.label {
+                Label::Class(c) => cross_entropy(&logits, &[c]).1,
+                Label::Value(v) => mse_loss(&logits, &Tensor::from_vec(vec![v], [1, 1])).1,
+            };
+            if let Some(te) = teacher.as_mut() {
+                if tc.distill_weight > 0.0 {
+                    let t_logits = te.forward(&ex.tokens);
+                    let dgrad = if task.is_regression() {
+                        mse_loss(&logits, &t_logits).1
+                    } else {
+                        distillation_loss(&logits, &t_logits, tc.temperature).1
+                    };
+                    grad = &grad + &(&dgrad * tc.distill_weight);
+                }
+            }
+            model.backward(&grad);
+        }
+        t += 1;
+        model.visit_params(&mut |p| p.adam_step(tc.lr, t));
+        model.apply_quantizer_grads(tc.lr_quant);
+        model.zero_grads();
+    }
+    model
+}
+
+/// Evaluates a classifier on `n` fresh examples with the task's metric
+/// (accuracy, Matthews correlation, or Spearman ρ — all reported in
+/// percent, matching Table I).
+pub fn evaluate_glue(model: &mut EncoderClassifier, task: GlueTask, n: usize, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut preds = Vec::with_capacity(n);
+    let mut golds = Vec::with_capacity(n);
+    let mut pred_vals = Vec::with_capacity(n);
+    let mut gold_vals = Vec::with_capacity(n);
+    for _ in 0..n {
+        let ex = task.sample(&mut rng);
+        let logits = model.forward(&ex.tokens);
+        match ex.label {
+            Label::Class(c) => {
+                preds.push(argmax_axis1(&logits)[0]);
+                golds.push(c);
+            }
+            Label::Value(v) => {
+                pred_vals.push(logits.data()[0] as f64);
+                gold_vals.push(v as f64);
+            }
+        }
+    }
+    100.0
+        * match task.metric() {
+            MetricKind::Accuracy => accuracy(&preds, &golds),
+            MetricKind::Matthews => matthews_corr(&preds, &golds),
+            MetricKind::Spearman => spearman_rho(&pred_vals, &gold_vals),
+            MetricKind::MeanIou => unreachable!("GLUE tasks never report mIoU"),
+        }
+}
+
+/// Trains a per-token tagger on a segmentation stand-in task.
+pub fn train_seg(
+    task: &SegTask,
+    model_cfg: &ModelConfig,
+    tc: &TrainConfig,
+    teacher: Option<&TokenTagger>,
+) -> TokenTagger {
+    let mut rng = StdRng::seed_from_u64(tc.seed);
+    let mut model = TokenTagger::new(model_cfg, task.classes, &mut rng);
+    let mut teacher = teacher.cloned();
+    let mut t = 0u64;
+    for _ in 0..tc.steps {
+        for _ in 0..tc.batch {
+            let (tokens, labels) = task.sample(&mut rng);
+            let logits = model.forward(&tokens);
+            let mut grad = cross_entropy(&logits, &labels).1;
+            if let Some(te) = teacher.as_mut() {
+                if tc.distill_weight > 0.0 {
+                    let t_logits = te.forward(&tokens);
+                    let dgrad = distillation_loss(&logits, &t_logits, tc.temperature).1;
+                    grad = &grad + &(&dgrad * tc.distill_weight);
+                }
+            }
+            model.backward(&grad);
+        }
+        t += 1;
+        model.visit_params(&mut |p| p.adam_step(tc.lr, t));
+        model.apply_quantizer_grads(tc.lr_quant);
+        model.zero_grads();
+    }
+    model
+}
+
+/// Evaluates a tagger's mIoU (percent) on `n` fresh examples.
+pub fn evaluate_seg(model: &mut TokenTagger, task: &SegTask, n: usize, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut preds = Vec::new();
+    let mut golds = Vec::new();
+    for _ in 0..n {
+        let (tokens, labels) = task.sample(&mut rng);
+        let logits = model.forward(&tokens);
+        preds.extend(argmax_axis1(&logits));
+        golds.extend(labels);
+    }
+    100.0 * mean_iou(&preds, &golds, task.classes)
+}
+
+/// Trains a causal LM on the uniform mixture of all seven pattern
+/// families (sequence length = the model's `max_len`).
+pub fn train_lm(model_cfg: &ModelConfig, tc: &TrainConfig) -> DecoderLm {
+    let mut rng = StdRng::seed_from_u64(tc.seed);
+    let mut model = DecoderLm::new(model_cfg, &mut rng);
+    let len = model_cfg.max_len;
+    let vocab = model_cfg.vocab;
+    let mut t = 0u64;
+    for _ in 0..tc.steps {
+        for _ in 0..tc.batch {
+            let fam = LmFamily::ALL[rng.gen_range(0..LmFamily::ALL.len())];
+            let seq = fam.sequence(len, vocab, &mut rng);
+            let logits = model.forward(&seq[..len - 1]);
+            let targets: Vec<usize> = seq[1..].to_vec();
+            let (_, grad) = cross_entropy(&logits, &targets);
+            model.backward(&grad);
+        }
+        t += 1;
+        model.visit_params(&mut |p| p.adam_step(tc.lr, t));
+        model.apply_quantizer_grads(tc.lr_quant);
+        model.zero_grads();
+    }
+    model
+}
+
+/// Next-token accuracy (percent) of the LM on one family's scored
+/// positions, over `n` fresh sequences.
+pub fn evaluate_lm(model: &mut DecoderLm, family: LmFamily, n: usize, seed: u64, cfg: &ModelConfig) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for _ in 0..n {
+        let seq = family.sequence(cfg.max_len, cfg.vocab, &mut rng);
+        let logits = model.forward(&seq[..cfg.max_len - 1]);
+        let preds = argmax_axis1(&logits);
+        for &t in &family.scored_positions(&seq) {
+            if t + 1 < seq.len() && t < preds.len() {
+                total += 1;
+                if preds[t] == seq[t + 1] {
+                    hits += 1;
+                }
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        100.0 * hits as f64 / total as f64
+    }
+}
+
+/// Converts a trained QAT model to a new PSUM mode without retraining
+/// (used to sweep `gs` on shared weights, isolating the PSUM effect).
+pub fn with_psum_mode(model: &EncoderClassifier, mode: PsumMode) -> EncoderClassifier {
+    let mut m = model.clone();
+    m.set_psum_mode(mode);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apsq_quant::Bitwidth;
+
+    fn micro_cfg(psum: PsumMode) -> ModelConfig {
+        ModelConfig {
+            vocab: 16,
+            max_len: 32,
+            d_model: 32,
+            heads: 2,
+            d_ff: 64,
+            layers: 1,
+            bits: Bitwidth::INT8,
+            psum_mode: psum,
+        }
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "training loop; run with --release")]
+    fn fp_teacher_learns_mnli_above_chance() {
+        // MNLI (count comparison) is the fastest-learning stand-in; the
+        // slower tasks are exercised at full budget by the Table I
+        // harness, not by unit tests.
+        let cfg = micro_cfg(PsumMode::Exact);
+        let mut tc = TrainConfig::quick();
+        tc.steps = 200;
+        let mut m = train_glue(GlueTask::Mnli, &cfg, &tc, None);
+        let acc = evaluate_glue(&mut m, GlueTask::Mnli, 200, 999);
+        assert!(acc > 45.0, "MNLI accuracy {acc:.1}% not above chance (33%)");
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "training loop; run with --release")]
+    fn seg_tagger_learns_above_chance() {
+        let cfg = micro_cfg(PsumMode::Exact);
+        let mut tc = TrainConfig::quick();
+        tc.steps = 80;
+        let task = SegTask::segformer();
+        let mut m = train_seg(&task, &cfg, &tc, None);
+        let miou = evaluate_seg(&mut m, &task, 50, 999);
+        // Chance mIoU for 5 classes ≈ 11%; learning must beat it.
+        assert!(miou > 14.0, "mIoU {miou:.1}% not above chance");
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "training loop; run with --release")]
+    fn lm_learns_increment_family() {
+        let cfg = micro_cfg(PsumMode::Exact);
+        let mut tc = TrainConfig::quick();
+        tc.steps = 100;
+        let mut m = train_lm(&cfg, &tc);
+        let acc = evaluate_lm(&mut m, LmFamily::Increment, 30, 999, &cfg);
+        assert!(acc > 20.0, "Increment accuracy {acc:.1}% (chance 6.25%)");
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "training loop; run with --release")]
+    fn apsq_mode_trains_without_blowup() {
+        let cfg = micro_cfg(PsumMode::Apsq {
+            bits: Bitwidth::INT8,
+            gs: 2,
+            k_tile: 8,
+        });
+        let mut tc = TrainConfig::quick();
+        tc.steps = 40;
+        let mut m = train_glue(GlueTask::Mrpc, &cfg, &tc, None);
+        let acc = evaluate_glue(&mut m, GlueTask::Mrpc, 100, 999);
+        assert!(acc.is_finite());
+        assert!(acc >= 30.0, "training diverged: {acc:.1}%");
+    }
+}

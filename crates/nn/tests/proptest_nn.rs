@@ -1,0 +1,109 @@
+//! Property-based tests for the NN substrate: metric ranges, data
+//! generator validity, and quantized-layer invariants.
+
+use apsq_nn::{
+    accuracy, matthews_corr, mean_iou, spearman_rho, GlueTask, Label, LmFamily, PsumMode,
+    QuantLinear, SegTask,
+};
+use apsq_quant::Bitwidth;
+use apsq_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn metrics_stay_in_range(
+        preds in proptest::collection::vec(0usize..2, 2..64),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let gold: Vec<usize> = (0..preds.len()).map(|_| rng.gen_range(0..2)).collect();
+        let acc = accuracy(&preds, &gold);
+        prop_assert!((0.0..=1.0).contains(&acc));
+        let mcc = matthews_corr(&preds, &gold);
+        prop_assert!((-1.0..=1.0).contains(&mcc));
+        let miou = mean_iou(&preds, &gold, 2);
+        prop_assert!((0.0..=1.0).contains(&miou));
+    }
+
+    #[test]
+    fn spearman_in_range(
+        x in proptest::collection::vec(-100.0f64..100.0, 3..32),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let y: Vec<f64> = (0..x.len()).map(|_| rng.gen_range(-10.0..10.0)).collect();
+        let rho = spearman_rho(&x, &y);
+        prop_assert!((-1.0001..=1.0001).contains(&rho), "rho {rho}");
+    }
+
+    #[test]
+    fn glue_examples_always_valid(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for task in GlueTask::ALL {
+            let ex = task.sample(&mut rng);
+            prop_assert!(ex.tokens.len() <= 32);
+            prop_assert!(ex.tokens.iter().all(|&t| t < 16));
+            match ex.label {
+                Label::Class(c) => prop_assert!(c < task.num_outputs()),
+                Label::Value(v) => prop_assert!((0.0..=1.0).contains(&v)),
+            }
+        }
+    }
+
+    #[test]
+    fn seg_examples_always_valid(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for task in [SegTask::segformer(), SegTask::efficientvit()] {
+            let (tokens, labels) = task.sample(&mut rng);
+            prop_assert_eq!(tokens.len(), labels.len());
+            prop_assert!(labels.iter().all(|&l| l < task.classes));
+        }
+    }
+
+    #[test]
+    fn lm_sequences_always_valid(seed in any::<u64>(), len in 8usize..40, vocab in 8usize..24) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for fam in LmFamily::ALL {
+            let s = fam.sequence(len, vocab, &mut rng);
+            prop_assert_eq!(s.len(), len);
+            prop_assert!(s.iter().all(|&t| t < vocab));
+            for &p in &fam.scored_positions(&s) {
+                prop_assert!(p + 1 < len, "{fam:?}: scored position {p} out of range");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The APSQ forward perturbs outputs but never produces NaN/Inf, for
+    /// any group size and bit-width.
+    #[test]
+    fn quant_linear_apsq_forward_is_finite(
+        gs in 1usize..6,
+        bits in 4u8..9,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layer = QuantLinear::new(
+            32,
+            8,
+            Bitwidth::INT8,
+            PsumMode::Apsq { bits: Bitwidth::new(bits), gs, k_tile: 8 },
+            &mut rng,
+        );
+        let x = apsq_tensor::randn([4, 32], 1.0, &mut rng);
+        let y = layer.forward(&x);
+        prop_assert!(y.data().iter().all(|v| v.is_finite()));
+        // Backward also stays finite.
+        let dx = layer.backward(&Tensor::ones([4, 8]));
+        prop_assert!(dx.data().iter().all(|v| v.is_finite()));
+    }
+}

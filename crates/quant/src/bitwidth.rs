@@ -1,0 +1,151 @@
+//! Bit-widths and integer quantization ranges.
+
+use std::fmt;
+
+/// A validated quantization bit-width in `1..=32`.
+///
+/// # Examples
+///
+/// ```
+/// use apsq_quant::Bitwidth;
+///
+/// let b = Bitwidth::new(8);
+/// assert_eq!(b.get(), 8);
+/// assert_eq!(Bitwidth::try_new(0), None);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bitwidth(u8);
+
+impl Bitwidth {
+    /// 8-bit, the paper's operating point for APSQ PSUMs.
+    pub const INT8: Bitwidth = Bitwidth(8);
+    /// 16-bit.
+    pub const INT16: Bitwidth = Bitwidth(16);
+    /// 32-bit (the exact PSUM baseline).
+    pub const INT32: Bitwidth = Bitwidth(32);
+
+    /// Creates a bit-width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not in `1..=32`.
+    pub fn new(bits: u8) -> Self {
+        Self::try_new(bits).unwrap_or_else(|| panic!("bit-width {bits} not in 1..=32"))
+    }
+
+    /// Creates a bit-width, returning `None` if `bits` is not in `1..=32`.
+    pub fn try_new(bits: u8) -> Option<Self> {
+        (1..=32).contains(&bits).then_some(Bitwidth(bits))
+    }
+
+    /// The number of bits.
+    pub fn get(self) -> u8 {
+        self.0
+    }
+
+    /// The signed quantization range `[-2^(k-1), 2^(k-1)-1]` for this width.
+    pub fn signed_range(self) -> QRange {
+        if self.0 == 32 {
+            return QRange {
+                qn: i32::MIN,
+                qp: i32::MAX,
+            };
+        }
+        QRange {
+            qn: -(1i32 << (self.0 - 1)),
+            qp: (1i32 << (self.0 - 1)) - 1,
+        }
+    }
+
+    /// The unsigned quantization range `[0, 2^k - 1]` for this width.
+    pub fn unsigned_range(self) -> QRange {
+        if self.0 >= 31 {
+            return QRange { qn: 0, qp: i32::MAX };
+        }
+        QRange {
+            qn: 0,
+            qp: (1i32 << self.0) - 1,
+        }
+    }
+}
+
+impl fmt::Display for Bitwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "INT{}", self.0)
+    }
+}
+
+/// An inclusive integer code range `[qn, qp]` (the paper's `Q_n`, `Q_p`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct QRange {
+    /// Lower bound of the representable codes.
+    pub qn: i32,
+    /// Upper bound of the representable codes.
+    pub qp: i32,
+}
+
+impl QRange {
+    /// Clamps a code into the range.
+    pub fn clamp_i32(&self, v: i32) -> i32 {
+        v.clamp(self.qn, self.qp)
+    }
+
+    /// Clamps a real value into the range (used by fake-quant paths).
+    pub fn clamp_f32(&self, v: f32) -> f32 {
+        v.clamp(self.qn as f32, self.qp as f32)
+    }
+
+    /// Whether a code lies inside the range.
+    pub fn contains(&self, v: i32) -> bool {
+        (self.qn..=self.qp).contains(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_ranges() {
+        assert_eq!(Bitwidth::INT8.signed_range(), QRange { qn: -128, qp: 127 });
+        assert_eq!(
+            Bitwidth::new(4).signed_range(),
+            QRange { qn: -8, qp: 7 }
+        );
+        assert_eq!(
+            Bitwidth::INT32.signed_range(),
+            QRange {
+                qn: i32::MIN,
+                qp: i32::MAX
+            }
+        );
+    }
+
+    #[test]
+    fn unsigned_ranges() {
+        assert_eq!(Bitwidth::new(4).unsigned_range(), QRange { qn: 0, qp: 15 });
+        assert_eq!(Bitwidth::INT8.unsigned_range(), QRange { qn: 0, qp: 255 });
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Bitwidth::try_new(0).is_none());
+        assert!(Bitwidth::try_new(33).is_none());
+        assert!(Bitwidth::try_new(1).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "not in 1..=32")]
+    fn new_panics() {
+        Bitwidth::new(0);
+    }
+
+    #[test]
+    fn clamp() {
+        let r = Bitwidth::INT8.signed_range();
+        assert_eq!(r.clamp_i32(300), 127);
+        assert_eq!(r.clamp_i32(-300), -128);
+        assert_eq!(r.clamp_i32(5), 5);
+        assert!(r.contains(-128) && r.contains(127) && !r.contains(128));
+    }
+}

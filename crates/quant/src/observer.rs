@@ -1,0 +1,172 @@
+//! Range observers for post-training calibration.
+
+use crate::bitwidth::Bitwidth;
+use crate::uniform::UniformQuantizer;
+use apsq_tensor::Tensor;
+
+/// Tracks the running min/max of observed tensors and proposes a symmetric
+/// quantizer scale.
+///
+/// # Examples
+///
+/// ```
+/// use apsq_quant::{Bitwidth, MinMaxObserver};
+/// use apsq_tensor::Tensor;
+///
+/// let mut obs = MinMaxObserver::new();
+/// obs.observe(&Tensor::from_vec(vec![-3.0, 1.0, 2.5], [3]));
+/// let q = obs.suggest_quantizer(Bitwidth::INT8);
+/// assert!((q.scale() - 3.0 / 127.0).abs() < 1e-6);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct MinMaxObserver {
+    min: Option<f32>,
+    max: Option<f32>,
+}
+
+impl MinMaxObserver {
+    /// Creates an empty observer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds a tensor's range into the running statistics.
+    pub fn observe(&mut self, x: &Tensor) {
+        if x.numel() == 0 {
+            return;
+        }
+        let (mn, mx) = (x.min(), x.max());
+        self.min = Some(self.min.map_or(mn, |m| m.min(mn)));
+        self.max = Some(self.max.map_or(mx, |m| m.max(mx)));
+    }
+
+    /// The observed minimum, if anything has been observed.
+    pub fn min(&self) -> Option<f32> {
+        self.min
+    }
+
+    /// The observed maximum, if anything has been observed.
+    pub fn max(&self) -> Option<f32> {
+        self.max
+    }
+
+    /// Largest absolute observed value (0 when nothing observed).
+    pub fn max_abs(&self) -> f32 {
+        self.min
+            .map(f32::abs)
+            .unwrap_or(0.0)
+            .max(self.max.map(f32::abs).unwrap_or(0.0))
+    }
+
+    /// Builds a signed symmetric quantizer covering the observed range.
+    ///
+    /// Falls back to scale 1.0 when nothing (or only zeros) was observed.
+    pub fn suggest_quantizer(&self, bits: Bitwidth) -> UniformQuantizer {
+        let qp = bits.signed_range().qp as f32;
+        let max_abs = self.max_abs();
+        let scale = if max_abs > 0.0 { max_abs / qp } else { 1.0 };
+        UniformQuantizer::signed(scale, bits)
+    }
+}
+
+/// Exponential-moving-average min/max observer (the common QAT activation
+/// observer).
+#[derive(Clone, Debug)]
+pub struct EmaObserver {
+    momentum: f32,
+    min: Option<f32>,
+    max: Option<f32>,
+}
+
+impl EmaObserver {
+    /// Creates an observer with the given momentum in `(0, 1]` (weight of
+    /// the *old* statistics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `momentum` is outside `(0, 1]`.
+    pub fn new(momentum: f32) -> Self {
+        assert!(
+            momentum > 0.0 && momentum <= 1.0,
+            "momentum must be in (0, 1], got {momentum}"
+        );
+        EmaObserver {
+            momentum,
+            min: None,
+            max: None,
+        }
+    }
+
+    /// Folds a tensor's range into the moving statistics.
+    pub fn observe(&mut self, x: &Tensor) {
+        if x.numel() == 0 {
+            return;
+        }
+        let (mn, mx) = (x.min(), x.max());
+        let m = self.momentum;
+        self.min = Some(self.min.map_or(mn, |old| old * m + mn * (1.0 - m)));
+        self.max = Some(self.max.map_or(mx, |old| old * m + mx * (1.0 - m)));
+    }
+
+    /// Largest absolute tracked value (0 when nothing observed).
+    pub fn max_abs(&self) -> f32 {
+        self.min
+            .map(f32::abs)
+            .unwrap_or(0.0)
+            .max(self.max.map(f32::abs).unwrap_or(0.0))
+    }
+
+    /// Builds a signed symmetric quantizer covering the tracked range.
+    pub fn suggest_quantizer(&self, bits: Bitwidth) -> UniformQuantizer {
+        let qp = bits.signed_range().qp as f32;
+        let max_abs = self.max_abs();
+        let scale = if max_abs > 0.0 { max_abs / qp } else { 1.0 };
+        UniformQuantizer::signed(scale, bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_max_tracks_extremes() {
+        let mut obs = MinMaxObserver::new();
+        obs.observe(&Tensor::from_vec(vec![1.0, 2.0], [2]));
+        obs.observe(&Tensor::from_vec(vec![-5.0, 0.5], [2]));
+        assert_eq!(obs.min(), Some(-5.0));
+        assert_eq!(obs.max(), Some(2.0));
+        assert_eq!(obs.max_abs(), 5.0);
+    }
+
+    #[test]
+    fn empty_observer_suggests_unit_scale() {
+        let obs = MinMaxObserver::new();
+        assert_eq!(obs.suggest_quantizer(Bitwidth::INT8).scale(), 1.0);
+    }
+
+    #[test]
+    fn suggested_quantizer_covers_range() {
+        let mut obs = MinMaxObserver::new();
+        let x = Tensor::from_vec(vec![-7.3, 2.2, 6.9], [3]);
+        obs.observe(&x);
+        let q = obs.suggest_quantizer(Bitwidth::INT8);
+        // The extreme observed value must not clip.
+        assert_eq!(q.quantize(-7.3), -127);
+    }
+
+    #[test]
+    fn ema_converges_to_stationary_range() {
+        let mut obs = EmaObserver::new(0.9);
+        for _ in 0..200 {
+            obs.observe(&Tensor::from_vec(vec![-2.0, 2.0], [2]));
+        }
+        assert!((obs.max_abs() - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum")]
+    fn bad_momentum() {
+        EmaObserver::new(0.0);
+    }
+}

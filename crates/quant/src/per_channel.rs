@@ -1,0 +1,221 @@
+//! Per-output-channel weight quantization.
+//!
+//! Weight tensors quantize markedly better when each output channel gets
+//! its own step size (the standard practice in W8A8 deployments, and what
+//! a `Pco`-parallel accelerator's per-column scale registers support).
+//! This module provides the per-channel twin of [`crate::LsqQuantizer`]
+//! for `[in, out]` weight matrices.
+
+use crate::bitwidth::{Bitwidth, QRange};
+use apsq_tensor::Tensor;
+
+/// A per-output-channel LSQ fake-quantizer for `[in, out]` weights: one
+/// learnable step per column.
+#[derive(Clone, Debug)]
+pub struct PerChannelLsq {
+    steps: Vec<f32>,
+    bits: Bitwidth,
+    range: QRange,
+    grad_steps: Vec<f32>,
+}
+
+impl PerChannelLsq {
+    /// Initializes one step per column with the LSQ rule
+    /// `α₀ = 2·E[|w_col|]/√Qp`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not rank-2 or has zero columns.
+    pub fn with_init(w: &Tensor, bits: Bitwidth) -> Self {
+        assert_eq!(w.rank(), 2, "per-channel quantizer expects [in, out]");
+        let (rows, cols) = (w.dims()[0], w.dims()[1]);
+        assert!(cols > 0, "no output channels");
+        let range = bits.signed_range();
+        let qp = (range.qp.max(1) as f32).sqrt();
+        let steps = (0..cols)
+            .map(|c| {
+                let mean_abs = (0..rows)
+                    .map(|r| w.at(&[r, c]).abs())
+                    .sum::<f32>()
+                    / rows.max(1) as f32;
+                (2.0 * mean_abs / qp).max(1e-6)
+            })
+            .collect();
+        PerChannelLsq {
+            steps,
+            bits,
+            range,
+            grad_steps: vec![0.0; cols],
+        }
+    }
+
+    /// The per-column steps.
+    pub fn steps(&self) -> &[f32] {
+        &self.steps
+    }
+
+    /// The bit-width.
+    pub fn bits(&self) -> Bitwidth {
+        self.bits
+    }
+
+    /// Fake-quantizes a `[in, out]` weight, column `c` with step `α_c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from initialization.
+    pub fn forward(&self, w: &Tensor) -> Tensor {
+        let (rows, cols) = (w.dims()[0], w.dims()[1]);
+        assert_eq!(cols, self.steps.len(), "column count changed");
+        let (qn, qp) = (self.range.qn as f32, self.range.qp as f32);
+        let mut out = vec![0.0f32; rows * cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                let s = self.steps[c];
+                out[r * cols + c] = (w.at(&[r, c]) / s).round().clamp(qn, qp) * s;
+            }
+        }
+        Tensor::from_vec(out, [rows, cols])
+    }
+
+    /// Backward pass: STE for the weight gradient, per-column LSQ rule for
+    /// the step gradients (scaled by `1/√(rows·Qp)` per column).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ from initialization.
+    pub fn backward(&mut self, w: &Tensor, grad_out: &Tensor) -> Tensor {
+        assert_eq!(w.shape(), grad_out.shape(), "shape mismatch");
+        let (rows, cols) = (w.dims()[0], w.dims()[1]);
+        assert_eq!(cols, self.steps.len(), "column count changed");
+        let (qn, qp) = (self.range.qn as f32, self.range.qp as f32);
+        let mut grad_in = vec![0.0f32; rows * cols];
+        for c in 0..cols {
+            let s = self.steps[c];
+            let g = 1.0 / ((rows as f32) * qp.max(1.0)).sqrt();
+            let mut gs = 0.0f32;
+            for r in 0..rows {
+                let v = w.at(&[r, c]);
+                let go = grad_out.at(&[r, c]);
+                let ratio = v / s;
+                if ratio <= qn {
+                    gs += qn * go;
+                } else if ratio >= qp {
+                    gs += qp * go;
+                } else {
+                    grad_in[r * cols + c] = go;
+                    gs += (ratio.round() - ratio) * go;
+                }
+            }
+            self.grad_steps[c] += gs * g;
+        }
+        Tensor::from_vec(grad_in, [rows, cols])
+    }
+
+    /// Applies one SGD step to every column's step and clears gradients.
+    pub fn apply_grad(&mut self, lr: f32) {
+        for (s, g) in self.steps.iter_mut().zip(self.grad_steps.iter_mut()) {
+            *s = (*s - lr * *g).max(1e-8);
+            *g = 0.0;
+        }
+    }
+
+    /// Clears accumulated step gradients.
+    pub fn zero_grad(&mut self) {
+        self.grad_steps.fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skewed_weight() -> Tensor {
+        // Column 0 tiny, column 1 large: per-tensor quantization would
+        // crush column 0.
+        Tensor::from_vec(
+            vec![
+                0.01, 10.0, //
+                -0.02, -8.0, //
+                0.015, 9.0, //
+                -0.005, 7.0,
+            ],
+            [4, 2],
+        )
+    }
+
+    #[test]
+    fn per_channel_preserves_small_columns() {
+        // The point of per-channel scales: a column of tiny weights next
+        // to a column of large ones keeps its information. Under a
+        // per-tensor step sized for the large column, the tiny column
+        // collapses to zero.
+        let w = skewed_weight();
+        let pc = PerChannelLsq::with_init(&w, Bitwidth::INT8);
+        let y_pc = pc.forward(&w);
+        let pt = crate::lsq::LsqQuantizer::with_init(&w, Bitwidth::INT8, true);
+        let y_pt = pt.forward(&w);
+
+        let col_norm = |y: &Tensor, c: usize| -> f32 {
+            (0..4).map(|r| y.at(&[r, c]).powi(2)).sum::<f32>().sqrt()
+        };
+        let w_small = col_norm(&w, 0);
+        // Per-tensor: the small column is quantized to (nearly) nothing.
+        assert!(col_norm(&y_pt, 0) < 0.1 * w_small, "per-tensor kept col 0?");
+        // Per-channel: the small column survives with small relative error.
+        let rel = (0..4)
+            .map(|r| (y_pc.at(&[r, 0]) - w.at(&[r, 0])).abs())
+            .sum::<f32>()
+            / (0..4).map(|r| w.at(&[r, 0]).abs()).sum::<f32>();
+        assert!(rel < 0.2, "per-channel relative error {rel}");
+    }
+
+    #[test]
+    fn forward_respects_each_channel_range() {
+        let w = skewed_weight();
+        let pc = PerChannelLsq::with_init(&w, Bitwidth::INT8);
+        let y = pc.forward(&w);
+        // Each output must be an integer multiple of its column step.
+        for r in 0..4 {
+            for c in 0..2 {
+                let q = y.at(&[r, c]) / pc.steps()[c];
+                assert!((q - q.round()).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn backward_masks_clipped_per_channel() {
+        let w = Tensor::from_vec(vec![0.4, 1000.0, 0.2, -1000.0], [2, 2]);
+        let mut pc = PerChannelLsq::with_init(&w, Bitwidth::new(4));
+        // Force tiny steps so the large entries clip.
+        let _ = pc.forward(&w);
+        let gi = pc.backward(&w, &Tensor::ones([2, 2]));
+        // Small entries pass through; the huge ones in each column clip
+        // (with LSQ init on a column containing 1000, step ≈ 2·500/√7 —
+        // entries of 0.4/0.2 are then interior, 1000s are at Qp edge).
+        assert!(gi.data().iter().any(|&g| g != 0.0));
+    }
+
+    #[test]
+    fn apply_grad_moves_steps_independently() {
+        let w = skewed_weight();
+        let mut pc = PerChannelLsq::with_init(&w, Bitwidth::INT8);
+        let before = pc.steps().to_vec();
+        // Gradient only on column 1.
+        let mut go = Tensor::zeros([4, 2]);
+        for r in 0..4 {
+            go.set(&[r, 1], 1.0);
+        }
+        pc.backward(&w, &go);
+        pc.apply_grad(0.1);
+        assert_eq!(pc.steps()[0], before[0], "untouched column must not move");
+        assert_ne!(pc.steps()[1], before[1], "column with gradient must move");
+    }
+
+    #[test]
+    #[should_panic(expected = "expects [in, out]")]
+    fn rank1_rejected() {
+        PerChannelLsq::with_init(&Tensor::zeros([4]), Bitwidth::INT8);
+    }
+}

@@ -1,0 +1,188 @@
+//! Uniform (affine-free, symmetric) quantization — paper eq. (7):
+//! `x̃ = α · ⌊clip(x/α, Qn, Qp)⌉`.
+
+use crate::bitwidth::{Bitwidth, QRange};
+use apsq_tensor::Tensor;
+
+/// Parameters of a symmetric uniform quantizer: a positive scale `α` and a
+/// bit-width with signedness.
+///
+/// # Examples
+///
+/// ```
+/// use apsq_quant::{Bitwidth, UniformQuantizer};
+///
+/// let q = UniformQuantizer::signed(0.5, Bitwidth::INT8);
+/// assert_eq!(q.quantize(1.3), 3);          // 1.3 / 0.5 = 2.6 → 3
+/// assert_eq!(q.dequantize(3), 1.5);
+/// assert_eq!(q.fake_quantize(1.3), 1.5);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UniformQuantizer {
+    scale: f32,
+    bits: Bitwidth,
+    range: QRange,
+}
+
+impl UniformQuantizer {
+    /// Creates a signed symmetric quantizer with range `[-2^(k-1), 2^(k-1)-1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not finite and positive.
+    pub fn signed(scale: f32, bits: Bitwidth) -> Self {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "quantizer scale must be positive and finite, got {scale}"
+        );
+        UniformQuantizer {
+            scale,
+            bits,
+            range: bits.signed_range(),
+        }
+    }
+
+    /// Creates an unsigned quantizer with range `[0, 2^k - 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not finite and positive.
+    pub fn unsigned(scale: f32, bits: Bitwidth) -> Self {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "quantizer scale must be positive and finite, got {scale}"
+        );
+        UniformQuantizer {
+            scale,
+            bits,
+            range: bits.unsigned_range(),
+        }
+    }
+
+    /// The scale `α`.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The bit-width `k`.
+    pub fn bits(&self) -> Bitwidth {
+        self.bits
+    }
+
+    /// The code range `[Qn, Qp]`.
+    pub fn range(&self) -> QRange {
+        self.range
+    }
+
+    /// Quantizes one value to its integer code (round-half-away-from-zero,
+    /// then clip).
+    pub fn quantize(&self, x: f32) -> i32 {
+        let v = (x / self.scale).round();
+        self.range.clamp_f32(v) as i32
+    }
+
+    /// Reconstructs a real value from a code.
+    pub fn dequantize(&self, code: i32) -> f32 {
+        code as f32 * self.scale
+    }
+
+    /// Quantize-then-dequantize (the "fake quantization" used in QAT).
+    pub fn fake_quantize(&self, x: f32) -> f32 {
+        self.dequantize(self.quantize(x))
+    }
+
+    /// Elementwise [`Self::quantize`] over a tensor, producing codes as `i32`.
+    pub fn quantize_tensor(&self, x: &Tensor) -> Vec<i32> {
+        x.data().iter().map(|&v| self.quantize(v)).collect()
+    }
+
+    /// Elementwise [`Self::fake_quantize`] over a tensor.
+    pub fn fake_quantize_tensor(&self, x: &Tensor) -> Tensor {
+        x.map(|v| self.fake_quantize(v))
+    }
+
+    /// Worst-case reconstruction error for in-range inputs (`α/2`).
+    pub fn max_in_range_error(&self) -> f32 {
+        self.scale * 0.5
+    }
+}
+
+/// Picks the smallest power-of-two scale such that `max_abs` quantizes
+/// without clipping at the given signed bit-width.
+///
+/// Returns the exponent `e` with `α = 2^e`.
+///
+/// # Examples
+///
+/// ```
+/// use apsq_quant::{pow2_exponent_for, Bitwidth};
+///
+/// // Values up to 1000 need α = 8 at INT8 (127 · 8 = 1016 ≥ 1000).
+/// assert_eq!(pow2_exponent_for(1000.0, Bitwidth::INT8), 3);
+/// ```
+pub fn pow2_exponent_for(max_abs: f32, bits: Bitwidth) -> i32 {
+    let qp = bits.signed_range().qp as f32;
+    if max_abs <= 0.0 || !max_abs.is_finite() {
+        return 0;
+    }
+    (max_abs / qp).log2().ceil() as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_dequantize_error_bound() {
+        let q = UniformQuantizer::signed(0.25, Bitwidth::INT8);
+        for i in -120..=120 {
+            let x = i as f32 * 0.26;
+            if x.abs() < 0.25 * 127.0 {
+                let err = (q.fake_quantize(x) - x).abs();
+                assert!(err <= 0.125 + 1e-6, "x={x}, err={err}");
+            }
+        }
+    }
+
+    #[test]
+    fn clipping() {
+        let q = UniformQuantizer::signed(1.0, Bitwidth::new(4));
+        assert_eq!(q.quantize(100.0), 7);
+        assert_eq!(q.quantize(-100.0), -8);
+    }
+
+    #[test]
+    fn unsigned_range_clamps_negative() {
+        let q = UniformQuantizer::unsigned(1.0, Bitwidth::new(4));
+        assert_eq!(q.quantize(-3.0), 0);
+        assert_eq!(q.quantize(20.0), 15);
+    }
+
+    #[test]
+    fn round_half_away_from_zero() {
+        let q = UniformQuantizer::signed(1.0, Bitwidth::INT8);
+        assert_eq!(q.quantize(0.5), 1);
+        assert_eq!(q.quantize(-0.5), -1);
+        assert_eq!(q.quantize(1.5), 2);
+        assert_eq!(q.quantize(-1.5), -2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_scale_rejected() {
+        UniformQuantizer::signed(0.0, Bitwidth::INT8);
+    }
+
+    #[test]
+    fn pow2_exponent_covers_range() {
+        for (max_abs, bits) in [(1000.0, 8u8), (5.0, 8), (1e6, 8), (3.0, 4)] {
+            let b = Bitwidth::new(bits);
+            let e = pow2_exponent_for(max_abs, b);
+            let alpha = (e as f32).exp2();
+            let qp = b.signed_range().qp as f32;
+            assert!(alpha * qp >= max_abs, "alpha too small");
+            // One step tighter would clip:
+            assert!(alpha / 2.0 * qp < max_abs, "alpha not tight");
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the quantizer crate.
+
+use apsq_quant::{
+    rounding_shift_right, saturating_add_in_range, Bitwidth, LsqQuantizer, Pow2LsqQuantizer,
+    Pow2Scale, UniformQuantizer,
+};
+use apsq_tensor::Tensor;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn uniform_error_bounded_in_range(
+        scale in 0.01f32..10.0,
+        bits in 2u8..9,
+        x in -100.0f32..100.0,
+    ) {
+        let b = Bitwidth::new(bits);
+        let q = UniformQuantizer::signed(scale, b);
+        let lim = scale * b.signed_range().qp as f32;
+        if x.abs() <= lim {
+            let err = (q.fake_quantize(x) - x).abs();
+            prop_assert!(err <= scale / 2.0 + scale * 1e-4, "err {err} scale {scale}");
+        }
+    }
+
+    #[test]
+    fn uniform_codes_in_range(
+        scale in 0.01f32..10.0,
+        bits in 2u8..9,
+        x in proptest::num::f32::NORMAL,
+    ) {
+        let b = Bitwidth::new(bits);
+        let q = UniformQuantizer::signed(scale, b);
+        let code = q.quantize(x);
+        prop_assert!(b.signed_range().contains(code));
+    }
+
+    #[test]
+    fn uniform_monotone(
+        scale in 0.05f32..4.0,
+        x in -50.0f32..50.0,
+        dx in 0.0f32..20.0,
+    ) {
+        let q = UniformQuantizer::signed(scale, Bitwidth::INT8);
+        prop_assert!(q.quantize(x + dx) >= q.quantize(x));
+    }
+
+    #[test]
+    fn rounding_shift_matches_float(x in any::<i32>(), sh in 0u32..20) {
+        let expect = ((x as f64) / (1u64 << sh) as f64).round() as i64;
+        prop_assert_eq!(rounding_shift_right(x, sh) as i64, expect);
+    }
+
+    #[test]
+    fn pow2_quantize_never_escapes_range(x in any::<i32>(), e in 0u32..20) {
+        let s = Pow2Scale::new(e, Bitwidth::INT8);
+        let code = s.quantize(x);
+        prop_assert!((-128..=127).contains(&code));
+    }
+
+    #[test]
+    fn pow2_requantize_idempotent(x in any::<i32>(), e in 0u32..16) {
+        let s = Pow2Scale::new(e, Bitwidth::INT8);
+        let once = s.requantize(x);
+        let twice = s.requantize(once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn pow2_requantize_error_bound(x in -1_000_000i32..1_000_000, e in 0u32..16) {
+        let s = Pow2Scale::new(e, Bitwidth::INT8);
+        let alpha = 1i64 << e;
+        if (x as i64).abs() <= 127 * alpha {
+            let r = s.requantize(x) as i64;
+            prop_assert!((r - x as i64).abs() <= alpha / 2 + 1, "x={x}, e={e}, r={r}");
+        }
+    }
+
+    #[test]
+    fn saturating_add_stays_in_range(a in any::<i32>(), b in any::<i32>(), bits in 2u8..9) {
+        let r = Bitwidth::new(bits).signed_range();
+        let s = saturating_add_in_range(a, b, r);
+        prop_assert!(r.contains(s));
+    }
+
+    #[test]
+    fn lsq_forward_equals_uniform_fake_quant(
+        step in 0.01f32..4.0,
+        vals in proptest::collection::vec(-20.0f32..20.0, 1..32),
+    ) {
+        let n = vals.len();
+        let x = Tensor::from_vec(vals, [n]);
+        let lsq = LsqQuantizer::new(step, Bitwidth::INT8, true);
+        let uni = UniformQuantizer::signed(step, Bitwidth::INT8);
+        let a = lsq.forward(&x);
+        let b = uni.fake_quantize_tensor(&x);
+        for (p, q) in a.data().iter().zip(b.data()) {
+            prop_assert!((p - q).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn lsq_grad_in_is_zero_outside_range(
+        step in 0.05f32..2.0,
+        v in -1000.0f32..1000.0,
+    ) {
+        let mut q = LsqQuantizer::new(step, Bitwidth::new(4), true);
+        let x = Tensor::from_vec(vec![v], [1]);
+        let gi = q.backward(&x, &Tensor::ones([1]));
+        let r = v / step;
+        let inside = r > -8.0 && r < 7.0;
+        prop_assert_eq!(gi.data()[0] != 0.0, inside);
+    }
+
+    #[test]
+    fn pow2_lsq_integer_float_agreement(
+        e in 0i32..12,
+        codes in proptest::collection::vec(-200_000i32..200_000, 1..16),
+    ) {
+        let q = Pow2LsqQuantizer::new(e as f32, Bitwidth::INT8, true);
+        let s = q.to_pow2_scale().unwrap();
+        let n = codes.len();
+        let xt = Tensor::from_vec(codes.iter().map(|&v| v as f32).collect(), [n]);
+        let yf = q.forward(&xt);
+        for (i, &x) in codes.iter().enumerate() {
+            prop_assert_eq!(yf.data()[i] as i32, s.requantize(x), "x={}, e={}", x, e);
+        }
+    }
+}

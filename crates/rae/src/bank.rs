@@ -1,0 +1,106 @@
+//! PSUM bank model: a single-port SRAM of quantized PSUM words with access
+//! accounting.
+
+/// One of the RAE's four PSUM SRAM banks, storing signed codes at the
+/// configured bit-width (≤ 8 bits stored in `i8` words).
+#[derive(Clone, Debug)]
+pub struct PsumBank {
+    words: Vec<i8>,
+    reads: u64,
+    writes: u64,
+}
+
+impl PsumBank {
+    /// Creates a zero-initialized bank of `depth` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "bank depth must be positive");
+        PsumBank {
+            words: vec![0; depth],
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Bank capacity in words.
+    pub fn depth(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Reads the word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn read(&mut self, addr: usize) -> i8 {
+        assert!(addr < self.words.len(), "bank read address {addr} out of range");
+        self.reads += 1;
+        self.words[addr]
+    }
+
+    /// Writes `value` at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn write(&mut self, addr: usize, value: i8) {
+        assert!(addr < self.words.len(), "bank write address {addr} out of range");
+        self.writes += 1;
+        self.words[addr] = value;
+    }
+
+    /// Total reads so far.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total writes so far.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Non-counting debug view of the current contents.
+    pub fn snapshot(&self) -> &[i8] {
+        &self.words
+    }
+
+    /// Clears contents and counters.
+    pub fn reset(&mut self) {
+        self.words.fill(0);
+        self.reads = 0;
+        self.writes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_counted() {
+        let mut b = PsumBank::new(16);
+        b.write(3, -7);
+        assert_eq!(b.read(3), -7);
+        assert_eq!(b.reads(), 1);
+        assert_eq!(b.writes(), 1);
+        assert_eq!(b.read(0), 0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut b = PsumBank::new(4);
+        b.write(0, 1);
+        b.reset();
+        assert_eq!(b.snapshot(), &[0, 0, 0, 0]);
+        assert_eq!(b.writes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_read() {
+        PsumBank::new(2).read(2);
+    }
+}

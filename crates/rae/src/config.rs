@@ -1,0 +1,115 @@
+//! RAE configuration: group sizes, static mode encodings, and the
+//! predefined configuration table of Fig 2.
+
+use apsq_core::GroupSize;
+use apsq_quant::Bitwidth;
+use std::fmt;
+
+/// The static mode encodings `s0` (2 bits) and `s1` (1 bit) that configure
+/// the RAE multiplexer network for a group size (paper Fig 2, "Config.
+/// Table"). The dynamic encoding `s2` — APSQ vs plain PSUM quantization —
+/// is sequenced per step by the controller.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct StaticEncoding {
+    /// 2-bit bank-pair select.
+    pub s0: u8,
+    /// 1-bit second-stage select (meaningful only when `s0 == 0b10`).
+    pub s1: bool,
+}
+
+impl fmt::Display for StaticEncoding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s0={:02b} s1={}", self.s0, self.s1 as u8)
+    }
+}
+
+/// Looks up the static encodings for a group size, per the Fig 2 table:
+///
+/// | gs | s0 | s1 |
+/// |----|----|----|
+/// | 1  | 00 | –  |
+/// | 2  | 01 | –  |
+/// | 3  | 10 | 0  |
+/// | 4  | 10 | 1  |
+///
+/// # Panics
+///
+/// Panics if `gs` is not in `1..=4` (the RAE's four banks support at most
+/// four group slots; larger groups exist only in the software model).
+pub fn config_table(gs: GroupSize) -> StaticEncoding {
+    match gs.get() {
+        1 => StaticEncoding { s0: 0b00, s1: false },
+        2 => StaticEncoding { s0: 0b01, s1: false },
+        3 => StaticEncoding { s0: 0b10, s1: false },
+        4 => StaticEncoding { s0: 0b10, s1: true },
+        other => panic!("RAE supports group sizes 1..=4, got {other}"),
+    }
+}
+
+/// Number of PSUM banks in the engine (fixed by the architecture).
+pub const NUM_BANKS: usize = 4;
+
+/// Full RAE instance configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RaeConfig {
+    /// Group size (1..=4).
+    pub group_size: GroupSize,
+    /// Stored PSUM width (the paper operates at INT8).
+    pub bits: Bitwidth,
+    /// Words per PSUM bank (default 8 KB of INT8 words).
+    pub bank_words: usize,
+}
+
+impl RaeConfig {
+    /// The paper's operating point: INT8 storage, 8 K-word banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gs` is not in `1..=4`.
+    pub fn int8(gs: usize) -> Self {
+        let group_size = GroupSize::new(gs);
+        let _ = config_table(group_size); // validate gs ≤ 4 eagerly
+        RaeConfig {
+            group_size,
+            bits: Bitwidth::INT8,
+            bank_words: 8 * 1024,
+        }
+    }
+
+    /// The static encodings for this configuration.
+    pub fn encoding(&self) -> StaticEncoding {
+        config_table(self.group_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_fig2() {
+        assert_eq!(config_table(GroupSize::new(1)), StaticEncoding { s0: 0b00, s1: false });
+        assert_eq!(config_table(GroupSize::new(2)), StaticEncoding { s0: 0b01, s1: false });
+        assert_eq!(config_table(GroupSize::new(3)), StaticEncoding { s0: 0b10, s1: false });
+        assert_eq!(config_table(GroupSize::new(4)), StaticEncoding { s0: 0b10, s1: true });
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=4")]
+    fn gs5_rejected() {
+        config_table(GroupSize::new(5));
+    }
+
+    #[test]
+    fn int8_config() {
+        let c = RaeConfig::int8(3);
+        assert_eq!(c.encoding().s0, 0b10);
+        assert!(!c.encoding().s1);
+        assert_eq!(c.bank_words, 8192);
+    }
+
+    #[test]
+    fn encoding_display() {
+        assert_eq!(config_table(GroupSize::new(4)).to_string(), "s0=10 s1=1");
+    }
+}

@@ -1,0 +1,51 @@
+//! Bit-accurate simulator of the Reconfigurable APSQ Engine (RAE, paper
+//! Section III-C and Fig 2).
+//!
+//! The RAE sits on the PSUM path of an IS/WS accelerator and replaces
+//! conventional high-precision PSUM accumulation: four INT8 PSUM banks, a
+//! shifter-based quantization/dequantization datapath (all scales are
+//! powers of two), a two-stage adder pipeline, and a controller driven by
+//! static encodings `s0`/`s1` (from the group-size [`config_table`]) and
+//! the dynamic encoding `s2` (APSQ vs plain PSUM quantization per step).
+//!
+//! [`RaeEngine::process_stream`] is verified bit-for-bit against the
+//! software golden model [`apsq_core::grouped_apsq`] for every supported
+//! group size; [`rae_area`] and [`table_two`] reproduce the paper's 28 nm
+//! synthesis Table II structurally.
+//!
+//! # Example
+//!
+//! ```
+//! use apsq_core::{GroupSize, ScaleSchedule};
+//! use apsq_quant::Bitwidth;
+//! use apsq_rae::{RaeConfig, RaeEngine};
+//! use apsq_tensor::Int32Tensor;
+//!
+//! let tiles = vec![
+//!     Int32Tensor::from_vec(vec![500, -200], [2]),
+//!     Int32Tensor::from_vec(vec![100, 300], [2]),
+//! ];
+//! let sched = ScaleSchedule::calibrate(
+//!     std::slice::from_ref(&tiles),
+//!     Bitwidth::INT8,
+//!     GroupSize::new(2),
+//! );
+//! let mut engine = RaeEngine::new(RaeConfig::int8(2));
+//! let to = engine.process_stream(&tiles, &sched);
+//! assert_eq!(to.dims(), &[2]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod area;
+mod bank;
+mod config;
+mod engine;
+
+pub use area::{
+    baseline_accelerator_area, rae_area, table_two, AreaReport, TableTwo, ADDER_GE_PER_BIT,
+    GE_UM2, INTEGRATION_SRAM_CREDIT_BYTES, MUX2_GE, REG_BIT_UM2, SRAM_UM2_PER_BIT,
+};
+pub use bank::PsumBank;
+pub use config::{config_table, RaeConfig, StaticEncoding, NUM_BANKS};
+pub use engine::{RaeEnergyTable, RaeEngine, RaeOp, RaeStats, TraceEvent, APSQ_PIPELINE_DEPTH};

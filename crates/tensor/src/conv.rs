@@ -1,0 +1,215 @@
+//! Convolution lowering (im2col): turns spatial convolutions into the
+//! GEMMs the tile-based accelerator actually executes, so conv layers in
+//! the model inventories share the same PSUM path as everything else.
+
+use crate::int_tensor::{int8_matmul, Int32Tensor, Int8Tensor};
+use crate::tensor::Tensor;
+
+/// Lowers an `[C, H, W]` input into the im2col matrix
+/// `[Ho·Wo, C·K·K]` for a `K×K` / stride-`s` convolution (no padding —
+/// matching the "enlarged ifmap" convention of the analytical framework).
+///
+/// # Panics
+///
+/// Panics if the input is not rank-3, `k == 0`, `stride == 0`, or the
+/// kernel does not fit the spatial extent.
+pub fn im2col(input: &Tensor, k: usize, stride: usize) -> Tensor {
+    assert_eq!(input.rank(), 3, "im2col expects [C, H, W]");
+    assert!(k > 0 && stride > 0, "degenerate kernel/stride");
+    let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+    assert!(h >= k && w >= k, "kernel {k} does not fit {h}x{w}");
+    let ho = (h - k) / stride + 1;
+    let wo = (w - k) / stride + 1;
+    let cols = c * k * k;
+    let mut out = vec![0.0f32; ho * wo * cols];
+    for oy in 0..ho {
+        for ox in 0..wo {
+            let row = oy * wo + ox;
+            let mut col = 0;
+            for ch in 0..c {
+                for ky in 0..k {
+                    for kx in 0..k {
+                        out[row * cols + col] =
+                            input.at(&[ch, oy * stride + ky, ox * stride + kx]);
+                        col += 1;
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, [ho * wo, cols])
+}
+
+/// Integer im2col for the bit-accurate path.
+///
+/// # Panics
+///
+/// Same conditions as [`im2col`].
+pub fn im2col_i8(input: &Int8Tensor, k: usize, stride: usize) -> Int8Tensor {
+    assert_eq!(input.shape().rank(), 3, "im2col expects [C, H, W]");
+    assert!(k > 0 && stride > 0, "degenerate kernel/stride");
+    let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+    assert!(h >= k && w >= k, "kernel {k} does not fit {h}x{w}");
+    let ho = (h - k) / stride + 1;
+    let wo = (w - k) / stride + 1;
+    let cols = c * k * k;
+    let mut out = vec![0i8; ho * wo * cols];
+    for oy in 0..ho {
+        for ox in 0..wo {
+            let row = oy * wo + ox;
+            let mut col = 0;
+            for ch in 0..c {
+                for ky in 0..k {
+                    for kx in 0..k {
+                        out[row * cols + col] =
+                            input.at(&[ch, oy * stride + ky, ox * stride + kx]);
+                        col += 1;
+                    }
+                }
+            }
+        }
+    }
+    Int8Tensor::from_vec(out, [ho * wo, cols])
+}
+
+/// Direct (nested-loop) integer convolution: `[C, H, W] ⊛ [Co, C, K, K]`
+/// with stride `s`, producing `[Co, Ho, Wo]` in exact i32. The reference
+/// that im2col+GEMM must match.
+///
+/// # Panics
+///
+/// Panics on rank/shape mismatches.
+pub fn conv2d_i8_reference(input: &Int8Tensor, weight: &Int8Tensor, stride: usize) -> Int32Tensor {
+    assert_eq!(input.shape().rank(), 3, "input must be [C, H, W]");
+    assert_eq!(weight.shape().rank(), 4, "weight must be [Co, C, K, K]");
+    let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+    let (co, cw, kh, kw) = (
+        weight.dims()[0],
+        weight.dims()[1],
+        weight.dims()[2],
+        weight.dims()[3],
+    );
+    assert_eq!(c, cw, "channel mismatch");
+    assert_eq!(kh, kw, "only square kernels");
+    let k = kh;
+    let ho = (h - k) / stride + 1;
+    let wo = (w - k) / stride + 1;
+    let mut out = vec![0i32; co * ho * wo];
+    for oc in 0..co {
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let mut acc = 0i32;
+                for ch in 0..c {
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            acc += input.at(&[ch, oy * stride + ky, ox * stride + kx]) as i32
+                                * weight.at(&[oc, ch, ky, kx]) as i32;
+                        }
+                    }
+                }
+                out[oc * ho * wo + oy * wo + ox] = acc;
+            }
+        }
+    }
+    Int32Tensor::from_vec(out, [co, ho, wo])
+}
+
+/// Convolution via im2col + GEMM: returns `[Ho·Wo, Co]` (the GEMM layout
+/// the accelerator produces; transpose of the reference's channel-major
+/// layout).
+///
+/// # Panics
+///
+/// Panics on rank/shape mismatches.
+pub fn conv2d_i8_gemm(input: &Int8Tensor, weight: &Int8Tensor, stride: usize) -> Int32Tensor {
+    assert_eq!(weight.shape().rank(), 4, "weight must be [Co, C, K, K]");
+    let (co, c, k) = (weight.dims()[0], weight.dims()[1], weight.dims()[2]);
+    let lowered = im2col_i8(input, k, stride);
+    // Reshape weights to [C·K·K, Co].
+    let cols = c * k * k;
+    let mut wmat = vec![0i8; cols * co];
+    for oc in 0..co {
+        let mut idx = 0;
+        for ch in 0..c {
+            for ky in 0..k {
+                for kx in 0..k {
+                    wmat[idx * co + oc] = weight.at(&[oc, ch, ky, kx]);
+                    idx += 1;
+                }
+            }
+        }
+    }
+    let wmat = Int8Tensor::from_vec(wmat, [cols, co]);
+    int8_matmul(&lowered, &wmat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input(c: usize, h: usize, w: usize) -> Int8Tensor {
+        Int8Tensor::from_vec(
+            (0..c * h * w).map(|x| ((x * 29 + 3) % 251) as i8).collect(),
+            [c, h, w],
+        )
+    }
+
+    fn weight(co: usize, c: usize, k: usize) -> Int8Tensor {
+        Int8Tensor::from_vec(
+            (0..co * c * k * k)
+                .map(|x| ((x * 53 + 1) % 241) as i8)
+                .collect(),
+            [co, c, k, k],
+        )
+    }
+
+    #[test]
+    fn im2col_shape_and_content() {
+        let x = Tensor::from_vec((0..1 * 3 * 3).map(|v| v as f32).collect(), [1, 3, 3]);
+        let m = im2col(&x, 2, 1);
+        assert_eq!(m.dims(), &[4, 4]);
+        // First patch is the top-left 2×2 window.
+        assert_eq!(&m.data()[..4], &[0.0, 1.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn gemm_lowering_matches_direct_convolution() {
+        for (c, h, k, s, co) in [(3usize, 8usize, 3usize, 1usize, 4usize), (2, 9, 3, 2, 5), (1, 6, 2, 2, 3)] {
+            let x = input(c, h, h);
+            let wt = weight(co, c, k);
+            let direct = conv2d_i8_reference(&x, &wt, s);
+            let gemm = conv2d_i8_gemm(&x, &wt, s);
+            let ho = (h - k) / s + 1;
+            for oc in 0..co {
+                for oy in 0..ho {
+                    for ox in 0..ho {
+                        assert_eq!(
+                            gemm.at(&[oy * ho + ox, oc]),
+                            direct.at(&[oc, oy, ox]),
+                            "c={c} h={h} k={k} s={s} co={co} at ({oc},{oy},{ox})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pointwise_conv_is_plain_gemm() {
+        // A 1×1 conv lowers to exactly the input reshaped to [H·W, C].
+        let x = input(4, 5, 5);
+        let m = im2col_i8(&x, 1, 1);
+        assert_eq!(m.dims(), &[25, 4]);
+        for p in 0..25 {
+            for ch in 0..4 {
+                assert_eq!(m.at(&[p, ch]), x.at(&[ch, p / 5, p % 5]));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_kernel_rejected() {
+        im2col(&Tensor::zeros([1, 2, 2]), 3, 1);
+    }
+}

@@ -1,0 +1,296 @@
+//! Integer tensors for the bit-accurate hardware path.
+//!
+//! In the paper's W8A8 setting, weights and activations are `i8`, a MAC
+//! product is `i16`, and partial sums (PSUMs) accumulate in `i32`
+//! (Section II-A: a depth-`Ci` accumulation needs `16 + log2(Ci)` bits).
+
+use crate::shape::Shape;
+use std::fmt;
+
+macro_rules! int_tensor {
+    ($(#[$meta:meta])* $name:ident, $elem:ty) => {
+        $(#[$meta])*
+        #[derive(Clone, PartialEq, Eq)]
+        pub struct $name {
+            data: Vec<$elem>,
+            shape: Shape,
+        }
+
+        impl $name {
+            /// Creates a tensor from raw data and a shape.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `data.len() != shape.numel()`.
+            pub fn from_vec<S: Into<Shape>>(data: Vec<$elem>, shape: S) -> Self {
+                let shape = shape.into();
+                assert_eq!(
+                    data.len(),
+                    shape.numel(),
+                    "data length {} does not match shape {}",
+                    data.len(),
+                    shape
+                );
+                Self { data, shape }
+            }
+
+            /// Creates a zero-filled tensor.
+            pub fn zeros<S: Into<Shape>>(shape: S) -> Self {
+                let shape = shape.into();
+                Self { data: vec![0; shape.numel()], shape }
+            }
+
+            /// The shape of the tensor.
+            pub fn shape(&self) -> &Shape {
+                &self.shape
+            }
+
+            /// The extents of the tensor.
+            pub fn dims(&self) -> &[usize] {
+                self.shape.dims()
+            }
+
+            /// The number of elements.
+            pub fn numel(&self) -> usize {
+                self.shape.numel()
+            }
+
+            /// Borrow of the underlying row-major storage.
+            pub fn data(&self) -> &[$elem] {
+                &self.data
+            }
+
+            /// Mutable borrow of the underlying row-major storage.
+            pub fn data_mut(&mut self) -> &mut [$elem] {
+                &mut self.data
+            }
+
+            /// Consumes the tensor and returns the underlying storage.
+            pub fn into_vec(self) -> Vec<$elem> {
+                self.data
+            }
+
+            /// Value at a multi-index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if the index is out of bounds or the wrong rank.
+            pub fn at(&self, index: &[usize]) -> $elem {
+                self.data[self.shape.offset(index)]
+            }
+
+            /// Sets the value at a multi-index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if the index is out of bounds or the wrong rank.
+            pub fn set(&mut self, index: &[usize], value: $elem) {
+                let off = self.shape.offset(index);
+                self.data[off] = value;
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if self.numel() <= 16 {
+                    write!(f, "{}({}, {:?})", stringify!($name), self.shape, self.data)
+                } else {
+                    write!(
+                        f,
+                        "{}({}, [{}, .., {}])",
+                        stringify!($name),
+                        self.shape,
+                        self.data[0],
+                        self.data[self.data.len() - 1]
+                    )
+                }
+            }
+        }
+    };
+}
+
+int_tensor!(
+    /// A dense row-major `i8` tensor: quantized weights and activations.
+    Int8Tensor,
+    i8
+);
+
+int_tensor!(
+    /// A dense row-major `i32` tensor: exact partial sums / accumulators.
+    Int32Tensor,
+    i32
+);
+
+impl Int32Tensor {
+    /// Elementwise wrapping addition of two same-shaped tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn wrapping_add(&self, other: &Int32Tensor) -> Int32Tensor {
+        assert_eq!(self.shape, other.shape, "wrapping_add: shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| a.wrapping_add(b))
+            .collect();
+        Int32Tensor {
+            data,
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Elementwise checked addition; returns `None` on any i32 overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn checked_add(&self, other: &Int32Tensor) -> Option<Int32Tensor> {
+        assert_eq!(self.shape, other.shape, "checked_add: shape mismatch");
+        let mut data = Vec::with_capacity(self.data.len());
+        for (&a, &b) in self.data.iter().zip(other.data.iter()) {
+            data.push(a.checked_add(b)?);
+        }
+        Some(Int32Tensor {
+            data,
+            shape: self.shape.clone(),
+        })
+    }
+
+    /// Widens to `f32` for comparisons against the float reference path.
+    pub fn to_f32(&self) -> crate::tensor::Tensor {
+        crate::tensor::Tensor::from_vec(
+            self.data.iter().map(|&v| v as f32).collect(),
+            self.shape.clone(),
+        )
+    }
+}
+
+impl Int8Tensor {
+    /// Widens to `i32`.
+    pub fn to_i32(&self) -> Int32Tensor {
+        Int32Tensor::from_vec(
+            self.data.iter().map(|&v| v as i32).collect(),
+            self.shape.clone(),
+        )
+    }
+}
+
+/// Exact integer matmul: `a` (`[M, K]` i8) × `b` (`[K, N]` i8) → `[M, N]` i32.
+///
+/// Products are formed in `i32` and accumulated in `i32`; for `K ≤ 2^15`
+/// this cannot overflow (|product| ≤ 2^14, so |sum| ≤ 2^29).
+///
+/// # Panics
+///
+/// Panics if operands are not rank-2 or inner dims disagree.
+pub fn int8_matmul(a: &Int8Tensor, b: &Int8Tensor) -> Int32Tensor {
+    let (m, k, n) = check_dims(a, b);
+    let mut out = vec![0i32; m * n];
+    for i in 0..m {
+        for l in 0..k {
+            let av = a.data()[i * k + l] as i32;
+            if av == 0 {
+                continue;
+            }
+            let brow = &b.data()[l * n..(l + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv as i32;
+            }
+        }
+    }
+    Int32Tensor::from_vec(out, [m, n])
+}
+
+/// K-tiled exact integer matmul: returns the stream of i32 PSUM tiles
+/// `Tp_i` (each `[M, N]`), whose elementwise sum is [`int8_matmul`].
+///
+/// Tile `i` covers input-channel rows `i·k_tile .. (i+1)·k_tile` of `b` —
+/// this models the PE array producing one PSUM tile per `Pci` input-channel
+/// slice (eq 8 of the paper).
+///
+/// # Panics
+///
+/// Panics if operands are not rank-2, inner dims disagree, or `k_tile == 0`.
+pub fn int8_matmul_psum_tiles(a: &Int8Tensor, b: &Int8Tensor, k_tile: usize) -> Vec<Int32Tensor> {
+    assert!(k_tile > 0, "k_tile must be positive");
+    let (m, k, n) = check_dims(a, b);
+    let np = k.div_ceil(k_tile);
+    let mut tiles = Vec::with_capacity(np);
+    for t in 0..np {
+        let k0 = t * k_tile;
+        let k1 = usize::min(k0 + k_tile, k);
+        let mut out = vec![0i32; m * n];
+        for i in 0..m {
+            for l in k0..k1 {
+                let av = a.data()[i * k + l] as i32;
+                if av == 0 {
+                    continue;
+                }
+                let brow = &b.data()[l * n..(l + 1) * n];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += av * bv as i32;
+                }
+            }
+        }
+        tiles.push(Int32Tensor::from_vec(out, [m, n]));
+    }
+    tiles
+}
+
+fn check_dims(a: &Int8Tensor, b: &Int8Tensor) -> (usize, usize, usize) {
+    assert_eq!(a.shape().rank(), 2, "int8_matmul: `a` must be rank-2");
+    assert_eq!(b.shape().rank(), 2, "int8_matmul: `b` must be rank-2");
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (kb, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, kb, "int8_matmul: inner dimensions {k} vs {kb} disagree");
+    (m, k, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_matmul() {
+        let a = Int8Tensor::from_vec(vec![1, -2, 3, 4], [2, 2]);
+        let b = Int8Tensor::from_vec(vec![5, 6, -7, 8], [2, 2]);
+        let c = int8_matmul(&a, &b);
+        assert_eq!(c.data(), &[1 * 5 + -2 * -7, 1 * 6 + -2 * 8, 3 * 5 + 4 * -7, 3 * 6 + 4 * 8]);
+    }
+
+    #[test]
+    fn psum_tiles_sum_to_exact() {
+        let a = Int8Tensor::from_vec((0..6 * 16).map(|x| (x % 17) as i8 - 8).collect(), [6, 16]);
+        let b = Int8Tensor::from_vec((0..16 * 4).map(|x| (x % 11) as i8 - 5).collect(), [16, 4]);
+        let exact = int8_matmul(&a, &b);
+        for k_tile in [1, 3, 4, 8, 16, 32] {
+            let tiles = int8_matmul_psum_tiles(&a, &b, k_tile);
+            let mut acc = Int32Tensor::zeros([6, 4]);
+            for t in &tiles {
+                acc = acc.checked_add(t).unwrap();
+            }
+            assert_eq!(acc, exact, "k_tile={k_tile}");
+        }
+    }
+
+    #[test]
+    fn extreme_values_no_overflow() {
+        // Worst case |product| = 128 * 128 = 16384; depth 512 ⇒ |sum| ≤ 2^23.
+        let a = Int8Tensor::from_vec(vec![-128i8; 512], [1, 512]);
+        let b = Int8Tensor::from_vec(vec![-128i8; 512], [512, 1]);
+        let c = int8_matmul(&a, &b);
+        assert_eq!(c.data()[0], 512 * 16384);
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        let a = Int32Tensor::from_vec(vec![i32::MAX], [1]);
+        let b = Int32Tensor::from_vec(vec![1], [1]);
+        assert!(a.checked_add(&b).is_none());
+        assert_eq!(a.wrapping_add(&b).data(), &[i32::MIN]);
+    }
+}

@@ -1,0 +1,298 @@
+//! Matrix multiplication kernels, including the K-tiled variant that exposes
+//! partial-sum (PSUM) tiles — the integration point for APSQ.
+
+use crate::tensor::Tensor;
+
+/// Multiplies `a` (`[M, K]`) by `b` (`[K, N]`) producing `[M, N]`.
+///
+/// The kernel uses the cache-friendly `i-k-j` loop order over row-major
+/// storage, which LLVM auto-vectorizes.
+///
+/// # Panics
+///
+/// Panics if either operand is not rank-2 or the inner dimensions disagree.
+///
+/// # Examples
+///
+/// ```
+/// use apsq_tensor::{matmul, Tensor};
+///
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+/// let i = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], [2, 2]);
+/// assert_eq!(matmul(&a, &i), a);
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k, n) = check_matmul_dims(a, b);
+    let mut out = vec![0.0f32; m * n];
+    matmul_into(a.data(), b.data(), &mut out, m, k, n);
+    Tensor::from_vec(out, [m, n])
+}
+
+/// Multiplies `a` (`[M, K]`) by the transpose of `b` (`[N, K]`), producing
+/// `[M, N]` without materializing the transpose.
+///
+/// This is the common backward-pass primitive (`dX = dY · Wᵀ`).
+///
+/// # Panics
+///
+/// Panics if either operand is not rank-2 or the K dimensions disagree.
+pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 2, "matmul_bt: `a` must be rank-2");
+    assert_eq!(b.rank(), 2, "matmul_bt: `b` must be rank-2");
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (n, kb) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, kb, "matmul_bt: inner dimensions {k} vs {kb} disagree");
+    let (ad, bd) = (a.data(), b.data());
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (x, y) in arow.iter().zip(brow.iter()) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
+    }
+    Tensor::from_vec(out, [m, n])
+}
+
+/// Multiplies the transpose of `a` (`[K, M]`) by `b` (`[K, N]`), producing
+/// `[M, N]` without materializing the transpose.
+///
+/// This is the weight-gradient primitive (`dW = Xᵀ · dY`).
+///
+/// # Panics
+///
+/// Panics if either operand is not rank-2 or the K dimensions disagree.
+pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 2, "matmul_at: `a` must be rank-2");
+    assert_eq!(b.rank(), 2, "matmul_at: `b` must be rank-2");
+    let (k, m) = (a.dims()[0], a.dims()[1]);
+    let (kb, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, kb, "matmul_at: inner dimensions {k} vs {kb} disagree");
+    let (ad, bd) = (a.data(), b.data());
+    let mut out = vec![0.0f32; m * n];
+    for l in 0..k {
+        let arow = &ad[l * m..(l + 1) * m];
+        let brow = &bd[l * n..(l + 1) * n];
+        for (i, &aval) in arow.iter().enumerate() {
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bval) in orow.iter_mut().zip(brow.iter()) {
+                *o += aval * bval;
+            }
+        }
+    }
+    Tensor::from_vec(out, [m, n])
+}
+
+/// Batched matmul: `[B, M, K] × [B, K, N] → [B, M, N]`.
+///
+/// # Panics
+///
+/// Panics if operands are not rank-3 or batch/inner dims disagree.
+pub fn batched_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 3, "batched_matmul: `a` must be rank-3");
+    assert_eq!(b.rank(), 3, "batched_matmul: `b` must be rank-3");
+    let (ba, m, k) = (a.dims()[0], a.dims()[1], a.dims()[2]);
+    let (bb, kb, n) = (b.dims()[0], b.dims()[1], b.dims()[2]);
+    assert_eq!(ba, bb, "batched_matmul: batch sizes {ba} vs {bb} disagree");
+    assert_eq!(k, kb, "batched_matmul: inner dims {k} vs {kb} disagree");
+    let mut out = vec![0.0f32; ba * m * n];
+    for batch in 0..ba {
+        matmul_into(
+            &a.data()[batch * m * k..(batch + 1) * m * k],
+            &b.data()[batch * k * n..(batch + 1) * k * n],
+            &mut out[batch * m * n..(batch + 1) * m * n],
+            m,
+            k,
+            n,
+        );
+    }
+    Tensor::from_vec(out, [ba, m, n])
+}
+
+/// Splits the reduction axis of `a · b` into `ceil(K / k_tile)` tiles and
+/// returns the sequence of partial-sum matrices `Tp_i` (each `[M, N]`).
+///
+/// The full product is exactly `Σ_i Tp_i` (eq 8 of the paper). This is how
+/// both the QAT path and the hardware simulators obtain realistic PSUM tile
+/// streams: tile `i` covers input-channel columns `i·k_tile .. (i+1)·k_tile`.
+///
+/// # Panics
+///
+/// Panics if operands are not rank-2, inner dims disagree, or `k_tile == 0`.
+pub fn matmul_psum_tiles(a: &Tensor, b: &Tensor, k_tile: usize) -> Vec<Tensor> {
+    assert!(k_tile > 0, "k_tile must be positive");
+    let (m, k, n) = check_matmul_dims(a, b);
+    let np = k.div_ceil(k_tile);
+    let mut tiles = Vec::with_capacity(np);
+    for t in 0..np {
+        let k0 = t * k_tile;
+        let k1 = usize::min(k0 + k_tile, k);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for l in k0..k1 {
+                let aval = a.data()[i * k + l];
+                let brow = &b.data()[l * n..(l + 1) * n];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += aval * bv;
+                }
+            }
+        }
+        tiles.push(Tensor::from_vec(out, [m, n]));
+    }
+    tiles
+}
+
+/// Computes `a · b` by folding the K-tiled PSUM stream through `fold`.
+///
+/// `fold(step, running, tile)` is called once per PSUM tile with the running
+/// accumulation so far (`running` initially zero). The default fold —
+/// `running += tile` — reproduces plain matmul; a fold that requantizes
+/// `running` after adding implements APSQ in the fake-quant (float) domain.
+///
+/// # Panics
+///
+/// Panics if operands are not rank-2, inner dims disagree, or `k_tile == 0`.
+pub fn matmul_tiled_fold(
+    a: &Tensor,
+    b: &Tensor,
+    k_tile: usize,
+    mut fold: impl FnMut(usize, &mut Tensor, &Tensor),
+) -> Tensor {
+    let (m, _, n) = check_matmul_dims(a, b);
+    let mut running = Tensor::zeros([m, n]);
+    for (step, tile) in matmul_psum_tiles(a, b, k_tile).into_iter().enumerate() {
+        fold(step, &mut running, &tile);
+    }
+    running
+}
+
+fn check_matmul_dims(a: &Tensor, b: &Tensor) -> (usize, usize, usize) {
+    assert_eq!(a.rank(), 2, "matmul: `a` must be rank-2, got {}", a.shape());
+    assert_eq!(b.rank(), 2, "matmul: `b` must be rank-2, got {}", b.shape());
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (kb, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, kb, "matmul: inner dimensions {k} vs {kb} disagree");
+    (m, k, n)
+}
+
+fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (l, &aval) in arow.iter().enumerate() {
+            if aval == 0.0 {
+                continue;
+            }
+            let brow = &b[l * n..(l + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += aval * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut out = Tensor::zeros([m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for l in 0..k {
+                    acc += a.at(&[i, l]) * b.at(&[l, j]);
+                }
+                out.set(&[i, j], acc);
+            }
+        }
+        out
+    }
+
+    fn arange(m: usize, n: usize) -> Tensor {
+        Tensor::from_vec((0..m * n).map(|x| (x as f32) * 0.25 - 3.0).collect(), [m, n])
+    }
+
+    #[test]
+    fn matches_naive() {
+        let a = arange(4, 6);
+        let b = arange(6, 5);
+        let c = matmul(&a, &b);
+        let r = naive(&a, &b);
+        for (x, y) in c.data().iter().zip(r.data()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn bt_and_at_match() {
+        let a = arange(3, 4);
+        let b = arange(4, 5);
+        let c = matmul(&a, &b);
+        let c_bt = matmul_bt(&a, &b.transpose());
+        let c_at = matmul_at(&a.transpose(), &b);
+        for (x, y) in c.data().iter().zip(c_bt.data()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+        for (x, y) in c.data().iter().zip(c_at.data()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn psum_tiles_sum_to_product() {
+        let a = arange(3, 10);
+        let b = arange(10, 4);
+        let full = matmul(&a, &b);
+        for k_tile in [1, 2, 3, 4, 10, 16] {
+            let tiles = matmul_psum_tiles(&a, &b, k_tile);
+            assert_eq!(tiles.len(), 10usize.div_ceil(k_tile));
+            let mut acc = Tensor::zeros([3, 4]);
+            for t in &tiles {
+                acc = &acc + t;
+            }
+            for (x, y) in acc.data().iter().zip(full.data()) {
+                assert!((x - y).abs() < 1e-3, "k_tile={k_tile}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_fold_default_is_matmul() {
+        let a = arange(2, 8);
+        let b = arange(8, 3);
+        let folded = matmul_tiled_fold(&a, &b, 3, |_, run, tile| {
+            *run = &*run + tile;
+        });
+        let full = matmul(&a, &b);
+        for (x, y) in folded.data().iter().zip(full.data()) {
+            assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn batched() {
+        let a = Tensor::from_vec((0..2 * 2 * 3).map(|x| x as f32).collect(), [2, 2, 3]);
+        let b = Tensor::from_vec((0..2 * 3 * 2).map(|x| x as f32 * 0.5).collect(), [2, 3, 2]);
+        let c = batched_matmul(&a, &b);
+        assert_eq!(c.dims(), &[2, 2, 2]);
+        // Check one element by hand: batch 1, row 0, col 0.
+        // a[1,0,:] = [6,7,8]; b[1,:,0] = [3,4,5] (×0.5 applied already in data)
+        let expect = 6.0 * 3.0 + 7.0 * 4.0 + 8.0 * 5.0;
+        assert!((c.at(&[1, 0, 0]) - expect).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn dim_mismatch() {
+        matmul(&Tensor::zeros([2, 3]), &Tensor::zeros([4, 2]));
+    }
+}

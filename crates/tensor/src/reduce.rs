@@ -1,0 +1,117 @@
+//! Axis reductions over rank-2 tensors.
+
+use crate::tensor::Tensor;
+
+/// Sums a rank-2 tensor over axis 0, producing a vector of length `N`.
+///
+/// # Panics
+///
+/// Panics if `x` is not rank-2.
+pub fn sum_axis0(x: &Tensor) -> Tensor {
+    assert_eq!(x.rank(), 2, "sum_axis0 requires a rank-2 tensor");
+    let (m, n) = (x.dims()[0], x.dims()[1]);
+    let mut out = vec![0.0f32; n];
+    for i in 0..m {
+        for (o, &v) in out.iter_mut().zip(&x.data()[i * n..(i + 1) * n]) {
+            *o += v;
+        }
+    }
+    Tensor::from_vec(out, [n])
+}
+
+/// Sums a rank-2 tensor over axis 1, producing a vector of length `M`.
+///
+/// # Panics
+///
+/// Panics if `x` is not rank-2.
+pub fn sum_axis1(x: &Tensor) -> Tensor {
+    assert_eq!(x.rank(), 2, "sum_axis1 requires a rank-2 tensor");
+    let (m, n) = (x.dims()[0], x.dims()[1]);
+    let out: Vec<f32> = (0..m)
+        .map(|i| x.data()[i * n..(i + 1) * n].iter().sum())
+        .collect();
+    Tensor::from_vec(out, [m])
+}
+
+/// Per-row mean of a rank-2 tensor.
+///
+/// # Panics
+///
+/// Panics if `x` is not rank-2 or has zero columns.
+pub fn mean_axis1(x: &Tensor) -> Tensor {
+    let n = x.dims()[1];
+    assert!(n > 0, "mean_axis1 over zero columns");
+    let s = sum_axis1(x);
+    &s / (n as f32)
+}
+
+/// Per-row (biased) variance of a rank-2 tensor.
+///
+/// # Panics
+///
+/// Panics if `x` is not rank-2 or has zero columns.
+pub fn var_axis1(x: &Tensor) -> Tensor {
+    assert_eq!(x.rank(), 2, "var_axis1 requires a rank-2 tensor");
+    let (m, n) = (x.dims()[0], x.dims()[1]);
+    assert!(n > 0, "var_axis1 over zero columns");
+    let mu = mean_axis1(x);
+    let out: Vec<f32> = (0..m)
+        .map(|i| {
+            let mean = mu.data()[i];
+            x.data()[i * n..(i + 1) * n]
+                .iter()
+                .map(|&v| (v - mean) * (v - mean))
+                .sum::<f32>()
+                / n as f32
+        })
+        .collect();
+    Tensor::from_vec(out, [m])
+}
+
+/// Per-row argmax of a rank-2 tensor.
+///
+/// # Panics
+///
+/// Panics if `x` is not rank-2 or has zero columns.
+pub fn argmax_axis1(x: &Tensor) -> Vec<usize> {
+    assert_eq!(x.rank(), 2, "argmax_axis1 requires a rank-2 tensor");
+    let (m, n) = (x.dims()[0], x.dims()[1]);
+    assert!(n > 0, "argmax_axis1 over zero columns");
+    (0..m)
+        .map(|i| {
+            let row = &x.data()[i * n..(i + 1) * n];
+            let mut best = 0;
+            for (j, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = j;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
+        assert_eq!(sum_axis0(&x).data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(sum_axis1(&x).data(), &[6.0, 15.0]);
+    }
+
+    #[test]
+    fn mean_var() {
+        let x = Tensor::from_vec(vec![1.0, 3.0, 2.0, 2.0], [2, 2]);
+        assert_eq!(mean_axis1(&x).data(), &[2.0, 2.0]);
+        assert_eq!(var_axis1(&x).data(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn argmax_rows() {
+        let x = Tensor::from_vec(vec![0.1, 0.9, 0.5, 0.2, 0.1, 0.0], [2, 3]);
+        assert_eq!(argmax_axis1(&x), vec![1, 0]);
+    }
+}

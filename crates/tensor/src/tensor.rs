@@ -1,0 +1,430 @@
+//! The dense `f32` tensor type.
+
+use crate::shape::Shape;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A dense, row-major, contiguously stored `f32` tensor.
+///
+/// This is the numeric workhorse of the APSQ reproduction: big enough to
+/// express transformer forward/backward passes and the quantization-aware
+/// training loop, small enough to audit. All operations are eager and
+/// allocate their results.
+///
+/// # Examples
+///
+/// ```
+/// use apsq_tensor::Tensor;
+///
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+/// let b = Tensor::full([2, 2], 0.5);
+/// let c = &a * &b;
+/// assert_eq!(c.data(), &[0.5, 1.0, 1.5, 2.0]);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Shape,
+}
+
+impl Tensor {
+    /// Creates a tensor from raw data and a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != shape.numel()`.
+    pub fn from_vec<S: Into<Shape>>(data: Vec<f32>, shape: S) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            data.len(),
+            shape.numel(),
+            "data length {} does not match shape {} ({} elements)",
+            data.len(),
+            shape,
+            shape.numel()
+        );
+        Tensor { data, shape }
+    }
+
+    /// Creates a tensor filled with zeros.
+    pub fn zeros<S: Into<Shape>>(shape: S) -> Self {
+        let shape = shape.into();
+        Tensor {
+            data: vec![0.0; shape.numel()],
+            shape,
+        }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones<S: Into<Shape>>(shape: S) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full<S: Into<Shape>>(shape: S, value: f32) -> Self {
+        let shape = shape.into();
+        Tensor {
+            data: vec![value; shape.numel()],
+            shape,
+        }
+    }
+
+    /// Creates a rank-0 tensor holding one value.
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            data: vec![value],
+            shape: Shape::new(vec![]),
+        }
+    }
+
+    /// The shape of the tensor.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The extents of the tensor as a slice.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// The number of elements.
+    pub fn numel(&self) -> usize {
+        self.shape.numel()
+    }
+
+    /// The number of axes.
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Borrow of the underlying row-major storage.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable borrow of the underlying row-major storage.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the underlying storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Value at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds or the wrong rank.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Sets the value at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds or the wrong rank.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let off = self.shape.offset(index);
+        self.data[off] = value;
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape<S: Into<Shape>>(&self, shape: S) -> Tensor {
+        let shape = shape.into();
+        assert_eq!(
+            self.numel(),
+            shape.numel(),
+            "cannot reshape {} ({} elements) into {} ({} elements)",
+            self.shape,
+            self.numel(),
+            shape,
+            shape.numel()
+        );
+        Tensor {
+            data: self.data.clone(),
+            shape,
+        }
+    }
+
+    /// Applies `f` to every element, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Combines two same-shaped (or row-broadcast) tensors elementwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are not elementwise compatible (equal, or `other`
+    /// is a vector matching the last axis of `self`).
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert!(
+            self.shape.elementwise_compatible(&other.shape),
+            "elementwise op on incompatible shapes {} and {}",
+            self.shape,
+            other.shape
+        );
+        if self.shape == other.shape {
+            let data = self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect();
+            Tensor {
+                data,
+                shape: self.shape.clone(),
+            }
+        } else {
+            // Row-broadcast: `other` is a vector over the last axis.
+            let n = other.numel();
+            let data = self
+                .data
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| f(a, other.data[i % n]))
+                .collect();
+            Tensor {
+                data,
+                shape: self.shape.clone(),
+            }
+        }
+    }
+
+    /// Transposes a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-2.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "transpose requires a rank-2 tensor");
+        let (m, n) = (self.dims()[0], self.dims()[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor::from_vec(out, [n, m])
+    }
+
+    /// Extracts row `r` of a rank-2 tensor as a rank-1 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-2 or `r` is out of bounds.
+    pub fn row(&self, r: usize) -> Tensor {
+        assert_eq!(self.rank(), 2, "row() requires a rank-2 tensor");
+        let n = self.dims()[1];
+        assert!(r < self.dims()[0], "row {} out of bounds", r);
+        Tensor::from_vec(self.data[r * n..(r + 1) * n].to_vec(), [n])
+    }
+
+    /// Concatenates rank-2 tensors along axis 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty, any part is not rank-2, or column counts
+    /// differ.
+    pub fn concat_rows(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat_rows requires at least one part");
+        let n = parts[0].dims()[1];
+        let mut data = Vec::new();
+        let mut rows = 0;
+        for p in parts {
+            assert_eq!(p.rank(), 2, "concat_rows requires rank-2 tensors");
+            assert_eq!(p.dims()[1], n, "concat_rows requires equal column counts");
+            data.extend_from_slice(p.data());
+            rows += p.dims()[0];
+        }
+        Tensor::from_vec(data, [rows, n])
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element (−∞ for empty tensors).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (+∞ for empty tensors).
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Mean of squared elements.
+    pub fn mean_sq(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().map(|&x| x * x).sum::<f32>() / self.data.len() as f32
+        }
+    }
+
+    /// Index of the maximum element in a rank-1 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty.
+    pub fn argmax(&self) -> usize {
+        assert!(!self.data.is_empty(), "argmax of empty tensor");
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Frobenius (L2) norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.numel() <= 16 {
+            write!(f, "Tensor({}, {:?})", self.shape, self.data)
+        } else {
+            write!(
+                f,
+                "Tensor({}, [{:.4}, {:.4}, .., {:.4}])",
+                self.shape,
+                self.data[0],
+                self.data[1],
+                self.data[self.data.len() - 1]
+            )
+        }
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait<&Tensor> for &Tensor {
+            type Output = Tensor;
+            fn $method(self, rhs: &Tensor) -> Tensor {
+                self.zip(rhs, |a, b| a $op b)
+            }
+        }
+        impl $trait<f32> for &Tensor {
+            type Output = Tensor;
+            fn $method(self, rhs: f32) -> Tensor {
+                self.map(|a| a $op rhs)
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, +);
+impl_binop!(Sub, sub, -);
+impl_binop!(Mul, mul, *);
+impl_binop!(Div, div, /);
+
+impl Neg for &Tensor {
+    type Output = Tensor;
+    fn neg(self) -> Tensor {
+        self.map(|a| -a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
+        assert_eq!(t.at(&[0, 0]), 1.0);
+        assert_eq!(t.at(&[1, 2]), 6.0);
+        assert_eq!(t.numel(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn bad_construction() {
+        Tensor::from_vec(vec![1.0], [2, 3]);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], [2]);
+        let b = Tensor::from_vec(vec![3.0, 5.0], [2]);
+        assert_eq!((&a + &b).data(), &[4.0, 7.0]);
+        assert_eq!((&a - &b).data(), &[-2.0, -3.0]);
+        assert_eq!((&a * &b).data(), &[3.0, 10.0]);
+        assert_eq!((&b / 2.0).data(), &[1.5, 2.5]);
+        assert_eq!((-&a).data(), &[-1.0, -2.0]);
+    }
+
+    #[test]
+    fn row_broadcast_add() {
+        let m = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        let v = Tensor::from_vec(vec![10.0, 20.0], [2]);
+        let r = &m + &v;
+        assert_eq!(r.data(), &[11.0, 22.0, 13.0, 24.0]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let t = Tensor::from_vec((0..12).map(|x| x as f32).collect(), [3, 4]);
+        let tt = t.transpose().transpose();
+        assert_eq!(t, tt);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![1.0, -2.0, 3.0], [3]);
+        assert_eq!(t.sum(), 2.0);
+        assert_eq!(t.max(), 3.0);
+        assert_eq!(t.min(), -2.0);
+        assert_eq!(t.argmax(), 2);
+        assert!((t.mean() - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn concat_rows() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], [1, 2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0, 5.0, 6.0], [2, 2]);
+        let c = Tensor::concat_rows(&[&a, &b]);
+        assert_eq!(c.dims(), &[3, 2]);
+        assert_eq!(c.data(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        let r = t.reshape([4]);
+        assert_eq!(r.data(), t.data());
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the tensor substrate.
+
+use apsq_tensor::{
+    int8_matmul, int8_matmul_psum_tiles, matmul, matmul_at, matmul_bt, matmul_psum_tiles,
+    softmax_rows, Int32Tensor, Int8Tensor, Tensor,
+};
+use proptest::prelude::*;
+use proptest::strategy::ValueTree;
+
+fn small_dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..8, 1usize..12, 1usize..8)
+}
+
+fn tensor_strategy(m: usize, n: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-4.0f32..4.0, m * n).prop_map(move |v| Tensor::from_vec(v, [m, n]))
+}
+
+fn int8_strategy(m: usize, n: usize) -> impl Strategy<Value = Int8Tensor> {
+    proptest::collection::vec(any::<i8>(), m * n).prop_map(move |v| Int8Tensor::from_vec(v, [m, n]))
+}
+
+fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let n = b.dims()[1];
+    let mut out = Tensor::zeros([m, n]);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            for l in 0..k {
+                acc += (a.at(&[i, l]) as f64) * (b.at(&[l, j]) as f64);
+            }
+            out.set(&[i, j], acc as f32);
+        }
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn matmul_matches_naive(((m, k, n), seed) in (small_dims(), any::<u64>())) {
+        let _ = seed;
+        let strat = (tensor_strategy(m, k), tensor_strategy(k, n));
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let (a, b) = strat.new_tree(&mut runner).unwrap().current();
+        let fast = matmul(&a, &b);
+        let slow = naive_matmul(&a, &b);
+        for (x, y) in fast.data().iter().zip(slow.data()) {
+            prop_assert!((x - y).abs() <= 1e-3 * (1.0 + y.abs()));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn psum_tiles_partition_reduction(
+        (m, k, n) in small_dims(),
+        k_tile in 1usize..16,
+        vals in proptest::collection::vec(-2.0f32..2.0, 8 * 12 + 12 * 8),
+    ) {
+        let a = Tensor::from_vec(vals[..m * k].to_vec(), [m, k]);
+        let b = Tensor::from_vec(vals[vals.len() - k * n..].to_vec(), [k, n]);
+        let tiles = matmul_psum_tiles(&a, &b, k_tile);
+        prop_assert_eq!(tiles.len(), k.div_ceil(k_tile));
+        let mut acc = Tensor::zeros([m, n]);
+        for t in &tiles {
+            acc = &acc + t;
+        }
+        let full = matmul(&a, &b);
+        for (x, y) in acc.data().iter().zip(full.data()) {
+            prop_assert!((x - y).abs() <= 1e-3 * (1.0 + y.abs()));
+        }
+    }
+
+    #[test]
+    fn transpose_variants_agree(
+        (m, k, n) in small_dims(),
+        vals in proptest::collection::vec(-2.0f32..2.0, 8 * 12 + 12 * 8),
+    ) {
+        let a = Tensor::from_vec(vals[..m * k].to_vec(), [m, k]);
+        let b = Tensor::from_vec(vals[vals.len() - k * n..].to_vec(), [k, n]);
+        let c = matmul(&a, &b);
+        let c_bt = matmul_bt(&a, &b.transpose());
+        let c_at = matmul_at(&a.transpose(), &b);
+        for (x, y) in c.data().iter().zip(c_bt.data()) {
+            prop_assert!((x - y).abs() <= 1e-3 * (1.0 + y.abs()));
+        }
+        for (x, y) in c.data().iter().zip(c_at.data()) {
+            prop_assert!((x - y).abs() <= 1e-3 * (1.0 + y.abs()));
+        }
+    }
+
+    #[test]
+    fn softmax_rows_is_distribution(
+        m in 1usize..6,
+        n in 1usize..10,
+        vals in proptest::collection::vec(-30.0f32..30.0, 60),
+    ) {
+        let x = Tensor::from_vec(vals[..m * n].to_vec(), [m, n]);
+        let y = softmax_rows(&x);
+        for i in 0..m {
+            let row = &y.data()[i * n..(i + 1) * n];
+            let s: f32 = row.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn int8_psum_tiles_exact_partition(
+        (m, k, n) in small_dims(),
+        k_tile in 1usize..16,
+        seed in any::<u16>(),
+    ) {
+        let _ = seed;
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let a = int8_strategy(m, k).new_tree(&mut runner).unwrap().current();
+        let b = int8_strategy(k, n).new_tree(&mut runner).unwrap().current();
+        let exact = int8_matmul(&a, &b);
+        let tiles = int8_matmul_psum_tiles(&a, &b, k_tile);
+        let mut acc = Int32Tensor::zeros([m, n]);
+        for t in &tiles {
+            acc = acc.checked_add(t).expect("no overflow at these depths");
+        }
+        prop_assert_eq!(acc, exact);
+    }
+}

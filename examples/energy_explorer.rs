@@ -1,0 +1,69 @@
+//! Energy explorer: evaluate the analytical framework on any bundled model
+//! under any dataflow and PSUM format.
+//!
+//! ```text
+//! cargo run --release --example energy_explorer -- bert ws 8 2
+//! #                                        model ^  ^  ^ ^
+//! #                     bert|segformer|efficientvit|llama
+//! #                              is|ws|os dataflow ^  | |
+//! #                                  psum bits (4..32) |
+//! #                                     group size (1..4)
+//! ```
+
+use apsq::dataflow::{
+    workload_energy, AcceleratorConfig, Dataflow, EnergyTable, PsumFormat, Workload,
+};
+use apsq::models::{
+    bert_base_128, efficientvit_b1_512, llama2_7b_prefill_decode, segformer_b0_512,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let model = args.get(1).map(String::as_str).unwrap_or("bert");
+    let dataflow = args.get(2).map(String::as_str).unwrap_or("ws");
+    let bits: u32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let gs: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(1);
+
+    let (workload, arch): (Workload, AcceleratorConfig) = match model {
+        "bert" => (bert_base_128(), AcceleratorConfig::transformer()),
+        "segformer" => (segformer_b0_512(), AcceleratorConfig::transformer()),
+        "efficientvit" => (efficientvit_b1_512(), AcceleratorConfig::transformer()),
+        "llama" => (llama2_7b_prefill_decode(4096, 1), AcceleratorConfig::llm()),
+        other => {
+            eprintln!("unknown model '{other}' (bert|segformer|efficientvit|llama)");
+            std::process::exit(2);
+        }
+    };
+    let df = match dataflow {
+        "is" => Dataflow::InputStationary,
+        "ws" => Dataflow::WeightStationary,
+        "os" => Dataflow::OutputStationary,
+        other => {
+            eprintln!("unknown dataflow '{other}' (is|ws|os)");
+            std::process::exit(2);
+        }
+    };
+
+    let table = EnergyTable::default_28nm();
+    let fmt = PsumFormat::apsq(bits, gs);
+    let base = PsumFormat::int32_baseline();
+
+    println!("model     : {}", workload.name);
+    println!("dataflow  : {df}");
+    println!("psum      : INT{bits}, gs={gs} (β = {}, ws factor = {})",
+        fmt.beta(), fmt.working_set_bytes_per_element());
+    println!("MACs      : {:.3e}", workload.total_macs());
+    println!("weights   : {:.3e} bytes\n", workload.total_weight_bytes());
+
+    let e = workload_energy(&workload, &arch, df, &fmt, &table);
+    let b = workload_energy(&workload, &arch, df, &base, &table);
+    let tot = e.total();
+    println!("energy breakdown (this format):");
+    println!("  ifmap  {:10.3e} pJ  ({:4.1}%)", e.ifmap, 100.0 * e.ifmap / tot);
+    println!("  weight {:10.3e} pJ  ({:4.1}%)", e.weight, 100.0 * e.weight / tot);
+    println!("  psum   {:10.3e} pJ  ({:4.1}%)", e.psum, 100.0 * e.psum / tot);
+    println!("  ofmap  {:10.3e} pJ  ({:4.1}%)", e.ofmap, 100.0 * e.ofmap / tot);
+    println!("  op     {:10.3e} pJ  ({:4.1}%)", e.op, 100.0 * e.op / tot);
+    println!("  total  {:10.3e} pJ", tot);
+    println!("\nnormalized vs INT32 baseline: {:.3}", tot / b.total());
+}

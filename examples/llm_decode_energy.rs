@@ -1,0 +1,49 @@
+//! LLM energy exploration: how prefill vs decode and the PSUM format shape
+//! LLaMA2-7B accelerator energy (the regime behind paper Table IV).
+//!
+//! ```text
+//! cargo run --release --example llm_decode_energy -- 4096
+//! #                             sequence length ^
+//! ```
+
+use apsq::dataflow::{
+    workload_energy, AcceleratorConfig, Dataflow, EnergyTable, PsumFormat,
+};
+use apsq::models::{llama_decode_step, llama_prefill, LlamaConfig};
+
+fn main() {
+    let seq: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4096);
+    let cfg = LlamaConfig::llama2_7b();
+    let arch = AcceleratorConfig::llm();
+    let table = EnergyTable::default_28nm();
+
+    println!("LLaMA2-7B @ seq {seq}, accelerator Po=1 Pci=32 Pco=32\n");
+
+    for (stage, w) in [
+        ("prefill", llama_prefill(&cfg, seq)),
+        ("decode-step", llama_decode_step(&cfg, seq)),
+    ] {
+        println!("── {stage} ({:.3e} MACs)", w.total_macs());
+        for df in [Dataflow::InputStationary, Dataflow::WeightStationary] {
+            let base =
+                workload_energy(&w, &arch, df, &PsumFormat::int32_baseline(), &table).total();
+            print!("  {df}: baseline {base:9.3e} pJ │ APSQ INT8");
+            for gs in 1..=4 {
+                let e =
+                    workload_energy(&w, &arch, df, &PsumFormat::apsq_int8(gs), &table).total();
+                print!("  gs{gs} {:5.2}x", e / base);
+            }
+            println!();
+        }
+        println!();
+    }
+
+    println!("Reading: in prefill under WS, INT32 PSUMs spill to DRAM (4096·32·4 B");
+    println!("= 512 KB > 256 KB buffer) — APSQ at gs ≤ 2 fits on-chip and removes");
+    println!("that traffic entirely; gs ≥ 3 re-spills (3 slots × 128 KB). In decode,");
+    println!("weight streaming dominates and the PSUM format barely matters — the");
+    println!("paper's \"minimal enhancement of APSQ on IS\" observation.");
+}

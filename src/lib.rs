@@ -1,0 +1,60 @@
+//! # APSQ: Additive Partial Sum Quantization — full-system reproduction
+//!
+//! This crate re-exports the whole APSQ workspace behind one façade:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `apsq-core` | the APSQ recursion (eq 10), grouping strategy (Algorithm 1), PSQ/exact baselines, SQNR analysis |
+//! | [`quant`] | `apsq-quant` | uniform / LSQ / power-of-two quantizers, saturating fixed-point primitives |
+//! | [`tensor`] | `apsq-tensor` | dense f32/int tensors, K-tiled matmul exposing PSUM streams |
+//! | [`dataflow`] | `apsq-dataflow` | the PSUM-precision-aware analytical energy framework (eqs 1–6) |
+//! | [`rae`] | `apsq-rae` | bit-accurate Reconfigurable APSQ Engine simulator + 28 nm area model |
+//! | [`accel`] | `apsq-accel` | IS/WS loop-nest accelerator simulator with byte-accurate traffic counting |
+//! | [`nn`] | `apsq-nn` | transformer layers with manual backprop, W8A8 QAT with the APSQ PSUM path, synthetic tasks |
+//! | [`models`] | `apsq-models` | BERT / Segformer / EfficientViT / LLaMA2-7B workload inventories |
+//!
+//! ## Quick start
+//!
+//! Quantize a PSUM stream with grouped APSQ and compare against exact
+//! accumulation:
+//!
+//! ```
+//! use apsq::core::{error_vs_group_size, synthetic_psum_stream};
+//! use apsq::quant::Bitwidth;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let stream = synthetic_psum_stream(&mut rng, 16, 128, 8);
+//! for point in error_vs_group_size(&stream, Bitwidth::INT8, &[1, 2, 3, 4]) {
+//!     println!("gs={}: SQNR {:.1} dB", point.group_size, point.sqnr_db);
+//! }
+//! ```
+//!
+//! Estimate the energy saving of INT8 APSQ on BERT-Base under the
+//! weight-stationary dataflow (the paper's Fig 6b):
+//!
+//! ```
+//! use apsq::dataflow::{
+//!     normalized_energy, AcceleratorConfig, Dataflow, EnergyTable, PsumFormat,
+//! };
+//! use apsq::models::bert_base_128;
+//!
+//! let r = normalized_energy(
+//!     &bert_base_128(),
+//!     &AcceleratorConfig::transformer(),
+//!     Dataflow::WeightStationary,
+//!     &PsumFormat::apsq_int8(1),
+//!     &PsumFormat::int32_baseline(),
+//!     &EnergyTable::default_28nm(),
+//! );
+//! assert!(r < 0.6); // ≈ 50% saving, as the paper reports
+//! ```
+
+pub use apsq_accel as accel;
+pub use apsq_core as core;
+pub use apsq_dataflow as dataflow;
+pub use apsq_models as models;
+pub use apsq_nn as nn;
+pub use apsq_quant as quant;
+pub use apsq_rae as rae;
+pub use apsq_tensor as tensor;
