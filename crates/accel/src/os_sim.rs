@@ -99,8 +99,8 @@ impl OsGemmSimulator {
             for oc in 0..co {
                 let mut acc = 0i32;
                 for icn in 0..ci {
-                    acc += ifmap.data()[tok * ci + icn] as i32
-                        * weight.data()[icn * co + oc] as i32;
+                    acc +=
+                        ifmap.data()[tok * ci + icn] as i32 * weight.data()[icn * co + oc] as i32;
                 }
                 out[tok * co + oc] = acc;
             }

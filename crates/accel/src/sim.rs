@@ -168,7 +168,7 @@ impl GemmSimulator {
                                     * weight.data()[icn * co + oc] as i32;
                             }
                             tile[tok * (co1 - co0) + (oc - co0)] = acc;
-                            stats.macs += ((ci1 - ci0)) as u64;
+                            stats.macs += (ci1 - ci0) as u64;
                         }
                     }
                     stats.array_cycles += 1;
@@ -370,7 +370,11 @@ mod tests {
     #[test]
     fn ws_exact_output_matches_reference_gemm() {
         let (a, w) = test_tensors(10, 24, 12);
-        let sim = GemmSimulator::new(small_arch(), Dataflow::WeightStationary, PsumPath::ExactInt32);
+        let sim = GemmSimulator::new(
+            small_arch(),
+            Dataflow::WeightStationary,
+            PsumPath::ExactInt32,
+        );
         let r = sim.run(&a, &w);
         assert_eq!(r.output, int8_matmul(&a, &w));
         assert_eq!(r.stats.macs, (10 * 24 * 12) as u64);
@@ -379,7 +383,11 @@ mod tests {
     #[test]
     fn is_exact_output_matches_reference_gemm() {
         let (a, w) = test_tensors(9, 17, 13); // deliberately ragged tiles
-        let sim = GemmSimulator::new(small_arch(), Dataflow::InputStationary, PsumPath::ExactInt32);
+        let sim = GemmSimulator::new(
+            small_arch(),
+            Dataflow::InputStationary,
+            PsumPath::ExactInt32,
+        );
         let r = sim.run(&a, &w);
         assert_eq!(r.output, int8_matmul(&a, &w));
         assert_eq!(r.stats.macs, (9 * 17 * 13) as u64);
@@ -393,16 +401,16 @@ mod tests {
             let sim = GemmSimulator::new(
                 small_arch(),
                 Dataflow::WeightStationary,
-                PsumPath::Apsq { bits: Bitwidth::INT8, gs },
+                PsumPath::Apsq {
+                    bits: Bitwidth::INT8,
+                    gs,
+                },
             );
             let r = sim.run(&a, &w);
             // Relative error of the INT8 APSQ path stays small.
             for (x, e) in r.output.data().iter().zip(exact.data()) {
                 let tol = (e.abs() as f64 * 0.05).max(2000.0);
-                assert!(
-                    ((x - e).abs() as f64) <= tol,
-                    "gs={gs}: {x} vs {e}"
-                );
+                assert!(((x - e).abs() as f64) <= tol, "gs={gs}: {x} vs {e}");
             }
         }
     }
@@ -418,7 +426,10 @@ mod tests {
         let apsq_sim = GemmSimulator::new(
             small_arch(),
             Dataflow::WeightStationary,
-            PsumPath::Apsq { bits: Bitwidth::INT8, gs: 2 },
+            PsumPath::Apsq {
+                bits: Bitwidth::INT8,
+                gs: 2,
+            },
         );
         let e = exact_sim.run(&a, &w).stats;
         let q = apsq_sim.run(&a, &w).stats;
@@ -433,7 +444,10 @@ mod tests {
             let sim = GemmSimulator::new(
                 small_arch(),
                 Dataflow::WeightStationary,
-                PsumPath::Apsq { bits: Bitwidth::INT8, gs },
+                PsumPath::Apsq {
+                    bits: Bitwidth::INT8,
+                    gs,
+                },
             );
             traffics.push(sim.run(&a, &w).stats.psum);
         }
@@ -450,8 +464,11 @@ mod tests {
         let r = sim.run(&a, &w);
         assert!(r.stats.psum.dram_bytes > 0);
         // Spilled SRAM traffic doubles.
-        let fit_sim =
-            GemmSimulator::new(small_arch(), Dataflow::WeightStationary, PsumPath::ExactInt32);
+        let fit_sim = GemmSimulator::new(
+            small_arch(),
+            Dataflow::WeightStationary,
+            PsumPath::ExactInt32,
+        );
         let f = fit_sim.run(&a, &w);
         assert_eq!(r.stats.psum.sram_bytes, 2 * f.stats.psum.sram_bytes);
         // And the output is still exact.
@@ -461,6 +478,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "IS/WS")]
     fn os_rejected() {
-        GemmSimulator::new(small_arch(), Dataflow::OutputStationary, PsumPath::ExactInt32);
+        GemmSimulator::new(
+            small_arch(),
+            Dataflow::OutputStationary,
+            PsumPath::ExactInt32,
+        );
     }
 }

@@ -38,13 +38,17 @@ pub struct SimStats {
 impl SimStats {
     /// Total SRAM bytes across tensors.
     pub fn sram_bytes(&self) -> u64 {
-        self.ifmap.sram_bytes + self.weight.sram_bytes + self.psum.sram_bytes
+        self.ifmap.sram_bytes
+            + self.weight.sram_bytes
+            + self.psum.sram_bytes
             + self.ofmap.sram_bytes
     }
 
     /// Total DRAM bytes across tensors.
     pub fn dram_bytes(&self) -> u64 {
-        self.ifmap.dram_bytes + self.weight.dram_bytes + self.psum.dram_bytes
+        self.ifmap.dram_bytes
+            + self.weight.dram_bytes
+            + self.psum.dram_bytes
             + self.ofmap.dram_bytes
     }
 
@@ -72,10 +76,22 @@ mod tests {
     #[test]
     fn totals() {
         let s = SimStats {
-            ifmap: MemTraffic { sram_bytes: 10, dram_bytes: 1 },
-            weight: MemTraffic { sram_bytes: 20, dram_bytes: 2 },
-            psum: MemTraffic { sram_bytes: 30, dram_bytes: 3 },
-            ofmap: MemTraffic { sram_bytes: 40, dram_bytes: 4 },
+            ifmap: MemTraffic {
+                sram_bytes: 10,
+                dram_bytes: 1,
+            },
+            weight: MemTraffic {
+                sram_bytes: 20,
+                dram_bytes: 2,
+            },
+            psum: MemTraffic {
+                sram_bytes: 30,
+                dram_bytes: 3,
+            },
+            ofmap: MemTraffic {
+                sram_bytes: 40,
+                dram_bytes: 4,
+            },
             macs: 5,
             array_cycles: 1,
         };
@@ -86,7 +102,10 @@ mod tests {
     #[test]
     fn energy_mapping() {
         let s = SimStats {
-            psum: MemTraffic { sram_bytes: 100, dram_bytes: 0 },
+            psum: MemTraffic {
+                sram_bytes: 100,
+                dram_bytes: 0,
+            },
             macs: 10,
             ..SimStats::default()
         };

@@ -110,7 +110,10 @@ fn is_weight_spill_matches_analytical() {
         PsumPath::ExactInt32,
         PsumFormat::int32_baseline(),
     );
-    assert!(m.weight.dram_bytes > (256 * 64) as u64, "weights must spill");
+    assert!(
+        m.weight.dram_bytes > (256 * 64) as u64,
+        "weights must spill"
+    );
     assert_eq!(m.weight.dram_bytes as f64, p.weight.dram_bytes);
     assert_eq!(m.weight.sram_bytes as f64, p.weight.sram_bytes);
 }
@@ -138,7 +141,10 @@ fn apsq_psum_traffic_matches_analytical_beta_one() {
         let (m, p) = compare(
             &layer,
             Dataflow::WeightStationary,
-            PsumPath::Apsq { bits: Bitwidth::INT8, gs },
+            PsumPath::Apsq {
+                bits: Bitwidth::INT8,
+                gs,
+            },
             PsumFormat::apsq_int8(gs),
         );
         assert_close("psum sram", m.psum.sram_bytes, p.psum.sram_bytes, 0.05);
@@ -155,7 +161,10 @@ fn apsq_group_slots_trigger_spill_in_both_models() {
         let (m, p) = compare(
             &layer,
             Dataflow::WeightStationary,
-            PsumPath::Apsq { bits: Bitwidth::INT8, gs },
+            PsumPath::Apsq {
+                bits: Bitwidth::INT8,
+                gs,
+            },
             PsumFormat::apsq_int8(gs),
         );
         let should_spill = gs >= 3;
@@ -181,7 +190,10 @@ fn normalized_energy_agrees_between_models() {
     let (m_apsq, p_apsq) = compare(
         &layer,
         Dataflow::WeightStationary,
-        PsumPath::Apsq { bits: Bitwidth::INT8, gs: 2 },
+        PsumPath::Apsq {
+            bits: Bitwidth::INT8,
+            gs: 2,
+        },
         PsumFormat::apsq_int8(2),
     );
     let sim_ratio = m_apsq.energy(&table).total() / m_base.energy(&table).total();

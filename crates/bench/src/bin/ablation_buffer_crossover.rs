@@ -22,8 +22,16 @@ fn main() {
 
     println!("Ablation — PSUM-buffer capacity vs normalized WS energy (INT8 APSQ)\n");
     for (name, w, arch) in [
-        ("BERT-Base", bert_base_128(), AcceleratorConfig::transformer()),
-        ("Segformer-B0", segformer_b0_512(), AcceleratorConfig::transformer()),
+        (
+            "BERT-Base",
+            bert_base_128(),
+            AcceleratorConfig::transformer(),
+        ),
+        (
+            "Segformer-B0",
+            segformer_b0_512(),
+            AcceleratorConfig::transformer(),
+        ),
         (
             "LLaMA2-7B (prefill+decode)",
             llama2_7b_prefill_decode(4096, 1),
@@ -51,8 +59,7 @@ fn main() {
             );
         }
         print!("{}", t.render());
-        let max_gs =
-            max_resident_group_size(&w, &arch, Dataflow::WeightStationary, 8, 8);
+        let max_gs = max_resident_group_size(&w, &arch, Dataflow::WeightStationary, 8, 8);
         println!(
             "largest fully-resident gs at 256 KB: {}\n",
             max_gs.map_or("none".into(), |g| g.to_string())

@@ -23,11 +23,7 @@ fn main() {
         println!("np = {np} accumulation steps:");
         let mut t = Table::new(&["bits", "gs=1", "gs=2", "gs=4", "gs=8", "gs=16", "gs=np"]);
         for bits in [4u8, 6, 8] {
-            let sweep = error_vs_group_size(
-                &stream,
-                Bitwidth::new(bits),
-                &[1, 2, 4, 8, 16, np],
-            );
+            let sweep = error_vs_group_size(&stream, Bitwidth::new(bits), &[1, 2, 4, 8, 16, np]);
             t.row(
                 std::iter::once(format!("INT{bits}"))
                     .chain(sweep.iter().map(|p| f(p.sqnr_db, 1)))

@@ -8,7 +8,14 @@ fn main() {
     println!("Fig 1 — Energy breakdown, BERT-Base (128 tokens)");
     println!("paper anchors: PSUM share IS 38/24/14%, WS 69/53/37%\n");
     let mut t = Table::new(&[
-        "dataflow", "psum", "ifmap%", "ofmap%", "weight%", "op%", "psum%", "norm.energy",
+        "dataflow",
+        "psum",
+        "ifmap%",
+        "ofmap%",
+        "weight%",
+        "op%",
+        "psum%",
+        "norm.energy",
     ]);
     for bar in fig1() {
         let tot = bar.breakdown.total();

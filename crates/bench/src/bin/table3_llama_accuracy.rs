@@ -18,7 +18,9 @@ fn main() {
     println!("paper shape: gs=1 lowest; gs=3/4 near baseline\n");
 
     let rows = table3(&opts);
-    let mut t = Table::new(&["Method", "BoolQ", "PIQA", "HellaS.", "WinoG.", "Arc-e", "Arc-c", "OBQA"]);
+    let mut t = Table::new(&[
+        "Method", "BoolQ", "PIQA", "HellaS.", "WinoG.", "Arc-e", "Arc-c", "OBQA",
+    ]);
     // Transpose: paper prints methods as rows.
     let labels = ["Baseline", "gs=1", "gs=2", "gs=3", "gs=4"];
     for (mi, label) in labels.iter().enumerate() {

@@ -7,12 +7,10 @@ use apsq_dataflow::{
     workload_energy, AcceleratorConfig, Dataflow, EnergyBreakdown, EnergyTable, PsumFormat,
     Workload,
 };
-use apsq_models::{
-    bert_base_128, efficientvit_b1_512, llama2_7b_prefill_decode, segformer_b0_512,
-};
+use apsq_models::{bert_base_128, efficientvit_b1_512, llama2_7b_prefill_decode, segformer_b0_512};
 use apsq_nn::{
-    evaluate_glue, evaluate_lm, evaluate_seg, train_glue, train_lm, train_seg, GlueTask,
-    LmFamily, ModelConfig, PsumMode, SegTask, TrainConfig,
+    evaluate_glue, evaluate_lm, evaluate_seg, train_glue, train_lm, train_seg, GlueTask, LmFamily,
+    ModelConfig, PsumMode, SegTask, TrainConfig,
 };
 use apsq_quant::Bitwidth;
 
@@ -83,8 +81,7 @@ pub fn fig6() -> Vec<Fig6Point> {
     let mut out = Vec::new();
     for (name, w) in &models {
         for df in [Dataflow::InputStationary, Dataflow::WeightStationary] {
-            let base = workload_energy(w, &arch, df, &PsumFormat::int32_baseline(), &table)
-                .total();
+            let base = workload_energy(w, &arch, df, &PsumFormat::int32_baseline(), &table).total();
             out.push(Fig6Point {
                 model: name,
                 dataflow: df,
@@ -92,8 +89,7 @@ pub fn fig6() -> Vec<Fig6Point> {
                 normalized: 1.0,
             });
             for gs in 1..=4 {
-                let e = workload_energy(w, &arch, df, &PsumFormat::apsq_int8(gs), &table)
-                    .total();
+                let e = workload_energy(w, &arch, df, &PsumFormat::apsq_int8(gs), &table).total();
                 out.push(Fig6Point {
                     model: name,
                     dataflow: df,
@@ -334,14 +330,13 @@ pub fn table1_glue_qat_per_method(opts: &AccuracyOptions, tasks: &[GlueTask]) ->
 
         let mut scores = [0.0; 5];
         let cells: Vec<(usize, Method)> = Method::ALL.into_iter().enumerate().collect();
-        let results: Vec<(usize, f64)> = crossbeam::scope(|s| {
+        let results: Vec<(usize, f64)> = std::thread::scope(|s| {
             let handles: Vec<_> = cells
                 .iter()
                 .map(|(i, m)| {
                     let teacher = &teacher;
-                    let tc = tc;
                     let (i, m) = (*i, *m);
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         let cfg = qat_model_config(m.psum_mode(Bitwidth::INT8));
                         let mut student = train_glue(task, &cfg, &tc, Some(teacher));
                         let score =
@@ -351,8 +346,7 @@ pub fn table1_glue_qat_per_method(opts: &AccuracyOptions, tasks: &[GlueTask]) ->
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
-        .expect("scoped training threads");
+        });
         for (i, score) in results {
             scores[i] = score;
         }
@@ -436,8 +430,7 @@ pub fn fig5_accuracy(opts: &AccuracyOptions) -> Vec<(u32, usize, f64)> {
                 k_tile: QAT_K_TILE,
             };
             let mut s = apsq_nn::with_psum_mode(&student, mode);
-            let acc =
-                evaluate_glue(&mut s, GlueTask::Mrpc, opts.eval_examples, opts.seed + 1000);
+            let acc = evaluate_glue(&mut s, GlueTask::Mrpc, opts.eval_examples, opts.seed + 1000);
             results.push((bits, gs, acc));
         }
     }

@@ -85,6 +85,8 @@ impl FloatScaleSchedule {
         let mut stored: Vec<Vec<f32>> = Vec::with_capacity(np);
         let mut acc_buf: Vec<f32> = vec![0.0; numel];
 
+        // `i` is the algorithm's PSUM step number, not a slice cursor.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..np {
             let is_apsq_step = i % gs == 0;
             let is_final = i == np - 1;
@@ -174,6 +176,8 @@ pub fn grouped_apsq_f32(
     let mut stored: Vec<Vec<f32>> = Vec::with_capacity(np);
     let mut output: Option<Tensor> = None;
 
+    // `i` is the algorithm's PSUM step number, not a slice cursor.
+    #[allow(clippy::needless_range_loop)]
     for i in 0..np {
         let is_apsq_step = i % gs == 0;
         let is_final = i == np - 1;
@@ -205,92 +209,6 @@ pub fn grouped_apsq_f32(
     }
 
     output.expect("final step always produces the output tile")
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::config::ApsqConfig;
-    use crate::grouped::grouped_apsq;
-    use crate::schedule::ScaleSchedule;
-    use apsq_tensor::Int32Tensor;
-
-    #[test]
-    fn float_and_integer_paths_agree_bit_for_bit() {
-        // Integer-valued tiles + pow2 scales ⇒ exact agreement.
-        let int_tiles: Vec<Int32Tensor> = (0..6)
-            .map(|i| {
-                Int32Tensor::from_vec(
-                    (0..8).map(|j| ((i * 131 + j * 37) % 1001) as i32 - 500).collect(),
-                    [8],
-                )
-            })
-            .collect();
-        let float_tiles: Vec<Tensor> = int_tiles.iter().map(|t| t.to_f32()).collect();
-
-        for gs in [1usize, 2, 3, 4] {
-            let sched = ScaleSchedule::calibrate(
-                std::slice::from_ref(&int_tiles),
-                Bitwidth::INT8,
-                GroupSize::new(gs),
-            );
-            let fsched = FloatScaleSchedule::new(
-                sched.scales().iter().map(|s| s.scale()).collect(),
-                Bitwidth::INT8,
-            );
-            let int_out = grouped_apsq(&int_tiles, &sched, &ApsqConfig::int8(gs));
-            let f_out = grouped_apsq_f32(&float_tiles, &fsched, GroupSize::new(gs));
-            for (a, b) in int_out.output.data().iter().zip(f_out.data()) {
-                assert_eq!(*a, *b as i32, "gs={gs}");
-            }
-        }
-    }
-
-    #[test]
-    fn single_and_multi_stream_calibration_agree() {
-        // The linear fast path must produce exactly the schedule the
-        // fixed-point replay produces for one stream (force the slow path
-        // by duplicating the stream).
-        let tiles: Vec<Tensor> = (0..9)
-            .map(|i| {
-                Tensor::from_vec(
-                    (0..6).map(|j| ((i * 131 + j * 37) % 2001) as f32 - 1000.0).collect(),
-                    [6],
-                )
-            })
-            .collect();
-        for gs in [1usize, 2, 3, 4] {
-            let fast = FloatScaleSchedule::calibrate_pow2(
-                std::slice::from_ref(&tiles),
-                Bitwidth::INT8,
-                GroupSize::new(gs),
-            );
-            let slow = FloatScaleSchedule::calibrate_pow2(
-                &[tiles.clone(), tiles.clone()],
-                Bitwidth::INT8,
-                GroupSize::new(gs),
-            );
-            assert_eq!(fast.scales(), slow.scales(), "gs={gs}");
-        }
-    }
-
-    #[test]
-    fn calibrate_pow2_produces_pow2_scales() {
-        let tiles: Vec<Tensor> = (0..4)
-            .map(|i| Tensor::from_vec(vec![100.0 * (i + 1) as f32; 4], [4]))
-            .collect();
-        let sched =
-            FloatScaleSchedule::calibrate_pow2(&[tiles], Bitwidth::INT8, GroupSize::new(2));
-        for &s in sched.scales() {
-            assert_eq!(s.log2().fract(), 0.0, "scale {s} is not a power of two");
-        }
-    }
-
-    #[test]
-    #[should_panic(expected = "positive and finite")]
-    fn rejects_bad_scales() {
-        FloatScaleSchedule::new(vec![1.0, -1.0], Bitwidth::INT8);
-    }
 }
 
 /// Replays the float algorithm to find the max |input| to quantizer
@@ -335,4 +253,91 @@ fn replay_input_max(
         stored.push(acc.iter().map(|&v| fake_quant(v, s, range)).collect());
     }
     unreachable!()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ApsqConfig;
+    use crate::grouped::grouped_apsq;
+    use crate::schedule::ScaleSchedule;
+    use apsq_tensor::Int32Tensor;
+
+    #[test]
+    fn float_and_integer_paths_agree_bit_for_bit() {
+        // Integer-valued tiles + pow2 scales ⇒ exact agreement.
+        let int_tiles: Vec<Int32Tensor> = (0..6)
+            .map(|i| {
+                Int32Tensor::from_vec(
+                    (0..8).map(|j| ((i * 131 + j * 37) % 1001) - 500).collect(),
+                    [8],
+                )
+            })
+            .collect();
+        let float_tiles: Vec<Tensor> = int_tiles.iter().map(|t| t.to_f32()).collect();
+
+        for gs in [1usize, 2, 3, 4] {
+            let sched = ScaleSchedule::calibrate(
+                std::slice::from_ref(&int_tiles),
+                Bitwidth::INT8,
+                GroupSize::new(gs),
+            );
+            let fsched = FloatScaleSchedule::new(
+                sched.scales().iter().map(|s| s.scale()).collect(),
+                Bitwidth::INT8,
+            );
+            let int_out = grouped_apsq(&int_tiles, &sched, &ApsqConfig::int8(gs));
+            let f_out = grouped_apsq_f32(&float_tiles, &fsched, GroupSize::new(gs));
+            for (a, b) in int_out.output.data().iter().zip(f_out.data()) {
+                assert_eq!(*a, *b as i32, "gs={gs}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_and_multi_stream_calibration_agree() {
+        // The linear fast path must produce exactly the schedule the
+        // fixed-point replay produces for one stream (force the slow path
+        // by duplicating the stream).
+        let tiles: Vec<Tensor> = (0..9)
+            .map(|i| {
+                Tensor::from_vec(
+                    (0..6)
+                        .map(|j| ((i * 131 + j * 37) % 2001) as f32 - 1000.0)
+                        .collect(),
+                    [6],
+                )
+            })
+            .collect();
+        for gs in [1usize, 2, 3, 4] {
+            let fast = FloatScaleSchedule::calibrate_pow2(
+                std::slice::from_ref(&tiles),
+                Bitwidth::INT8,
+                GroupSize::new(gs),
+            );
+            let slow = FloatScaleSchedule::calibrate_pow2(
+                &[tiles.clone(), tiles.clone()],
+                Bitwidth::INT8,
+                GroupSize::new(gs),
+            );
+            assert_eq!(fast.scales(), slow.scales(), "gs={gs}");
+        }
+    }
+
+    #[test]
+    fn calibrate_pow2_produces_pow2_scales() {
+        let tiles: Vec<Tensor> = (0..4)
+            .map(|i| Tensor::from_vec(vec![100.0 * (i + 1) as f32; 4], [4]))
+            .collect();
+        let sched = FloatScaleSchedule::calibrate_pow2(&[tiles], Bitwidth::INT8, GroupSize::new(2));
+        for &s in sched.scales() {
+            assert_eq!(s.log2().fract(), 0.0, "scale {s} is not a power of two");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn rejects_bad_scales() {
+        FloatScaleSchedule::new(vec![1.0, -1.0], Bitwidth::INT8);
+    }
 }

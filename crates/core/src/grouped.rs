@@ -93,6 +93,8 @@ pub fn grouped_apsq(
     let mut stored_codes: Vec<Vec<i32>> = Vec::with_capacity(np);
     let mut output: Option<Int32Tensor> = None;
 
+    // `i` is the algorithm's PSUM step number, not a slice cursor.
+    #[allow(clippy::needless_range_loop)]
     for i in 0..np {
         let is_apsq_step = i % gs == 0;
         let is_final = i == np - 1;
@@ -113,10 +115,7 @@ pub fn grouped_apsq(
             for (a, &t) in acc.iter_mut().zip(tiles[i].data().iter()) {
                 *a += t as i64;
             }
-            let codes: Vec<i32> = acc
-                .iter()
-                .map(|&v| scale.quantize(clamp_i64(v)))
-                .collect();
+            let codes: Vec<i32> = acc.iter().map(|&v| scale.quantize(clamp_i64(v))).collect();
             traffic.writes += numel as u64;
             if is_final {
                 output = Some(dequant_tile(&codes, scale, &tiles[i]));
@@ -124,11 +123,7 @@ pub fn grouped_apsq(
             stored_codes.push(codes);
         } else if !is_final {
             // Lines 9–11: plain PSUM quantization of Tp_i.
-            let codes: Vec<i32> = tiles[i]
-                .data()
-                .iter()
-                .map(|&v| scale.quantize(v))
-                .collect();
+            let codes: Vec<i32> = tiles[i].data().iter().map(|&v| scale.quantize(v)).collect();
             traffic.writes += numel as u64;
             stored_codes.push(codes);
         } else {
@@ -146,10 +141,7 @@ pub fn grouped_apsq(
             for (a, &t) in acc.iter_mut().zip(tiles[i].data().iter()) {
                 *a += t as i64;
             }
-            let codes: Vec<i32> = acc
-                .iter()
-                .map(|&v| scale.quantize(clamp_i64(v)))
-                .collect();
+            let codes: Vec<i32> = acc.iter().map(|&v| scale.quantize(clamp_i64(v))).collect();
             traffic.writes += numel as u64;
             output = Some(dequant_tile(&codes, scale, &tiles[i]));
             stored_codes.push(codes);
@@ -182,6 +174,8 @@ pub fn apsq_recursion_reference(tiles: &[Int32Tensor], schedule: &ScaleSchedule)
         .iter()
         .map(|&v| schedule.scale(0).quantize(v))
         .collect();
+    // `i` is the algorithm's PSUM step number, not a slice cursor.
+    #[allow(clippy::needless_range_loop)]
     for i in 1..np {
         let prev_scale = schedule.scale(i - 1);
         let scale = schedule.scale(i);
@@ -282,11 +276,7 @@ mod tests {
         // The cumulative value is requantized np/gs times, so error shrinks
         // as gs grows. Construct a stream with non-trivial rounding error.
         let vals: Vec<Vec<i32>> = (0..12)
-            .map(|i| {
-                (0..16)
-                    .map(|j| ((i * 37 + j * 101) % 513) as i32 - 256)
-                    .collect()
-            })
+            .map(|i| (0..16).map(|j| ((i * 37 + j * 101) % 513) - 256).collect())
             .collect();
         let tiles: Vec<Int32Tensor> = vals
             .iter()

@@ -16,7 +16,10 @@ use apsq_tensor::Int32Tensor;
 /// paper sizes PSUM storage at `16 + log2(Ci)` bits precisely to avoid
 /// this).
 pub fn exact_accumulate(tiles: &[Int32Tensor]) -> Int32Tensor {
-    assert!(!tiles.is_empty(), "exact_accumulate requires at least one tile");
+    assert!(
+        !tiles.is_empty(),
+        "exact_accumulate requires at least one tile"
+    );
     let numel = tiles[0].numel();
     assert!(
         tiles.iter().all(|t| t.shape() == tiles[0].shape()),
@@ -31,9 +34,8 @@ pub fn exact_accumulate(tiles: &[Int32Tensor]) -> Int32Tensor {
     let data = acc
         .into_iter()
         .map(|v| {
-            i32::try_from(v).unwrap_or_else(|_| {
-                panic!("exact PSUM accumulation overflowed i32 (sum = {v})")
-            })
+            i32::try_from(v)
+                .unwrap_or_else(|_| panic!("exact PSUM accumulation overflowed i32 (sum = {v})"))
         })
         .collect();
     Int32Tensor::from_vec(data, tiles[0].shape().clone())
@@ -51,7 +53,10 @@ pub fn exact_accumulate(tiles: &[Int32Tensor]) -> Int32Tensor {
 ///
 /// Panics if `tiles` is empty or `schedule.len() != tiles.len()`.
 pub fn psq_adc_reference(tiles: &[Int32Tensor], schedule: &ScaleSchedule) -> Int32Tensor {
-    assert!(!tiles.is_empty(), "psq_adc_reference requires at least one tile");
+    assert!(
+        !tiles.is_empty(),
+        "psq_adc_reference requires at least one tile"
+    );
     assert_eq!(schedule.len(), tiles.len(), "schedule length mismatch");
     let numel = tiles[0].numel();
     let mut acc = vec![0i64; numel];
@@ -106,9 +111,6 @@ mod tests {
     fn adc_psq_exact_when_unit_scale() {
         let tiles = tiles_from(&[&[5, -3], &[2, 2]]);
         let sched = ScaleSchedule::uniform(2, 0, Bitwidth::INT8);
-        assert_eq!(
-            psq_adc_reference(&tiles, &sched),
-            exact_accumulate(&tiles)
-        );
+        assert_eq!(psq_adc_reference(&tiles, &sched), exact_accumulate(&tiles));
     }
 }

@@ -33,7 +33,10 @@ impl ScaleSchedule {
     ///
     /// Panics if `exponents` is empty or any exponent exceeds 30.
     pub fn from_exponents(exponents: &[u32], bits: Bitwidth) -> Self {
-        assert!(!exponents.is_empty(), "schedule must cover at least one step");
+        assert!(
+            !exponents.is_empty(),
+            "schedule must cover at least one step"
+        );
         ScaleSchedule {
             scales: exponents.iter().map(|&e| Pow2Scale::new(e, bits)).collect(),
         }
@@ -65,11 +68,7 @@ impl ScaleSchedule {
     ///
     /// Panics if `streams` is empty, any stream is empty, or stream lengths
     /// differ.
-    pub fn calibrate(
-        streams: &[Vec<Int32Tensor>],
-        bits: Bitwidth,
-        group_size: GroupSize,
-    ) -> Self {
+    pub fn calibrate(streams: &[Vec<Int32Tensor>], bits: Bitwidth, group_size: GroupSize) -> Self {
         assert!(!streams.is_empty(), "need at least one calibration stream");
         let np = streams[0].len();
         assert!(np > 0, "streams must contain at least one tile");
@@ -108,6 +107,8 @@ impl ScaleSchedule {
         let mut stored: Vec<Vec<i32>> = Vec::with_capacity(np);
         let mut acc: Vec<i64> = vec![0; numel];
 
+        // `i` is the algorithm's PSUM step number, not a slice cursor.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..np {
             let is_apsq_step = i % gs == 0;
             let is_final = i == np - 1;
@@ -233,7 +234,12 @@ fn replay_quantizer_input(
         }
         // Commit step i's codes with the known scale.
         let s = scales[i];
-        codes.push(input.iter().map(|&v| s.quantize(v.clamp(i32::MIN as i64, i32::MAX as i64) as i32)).collect());
+        codes.push(
+            input
+                .iter()
+                .map(|&v| s.quantize(v.clamp(i32::MIN as i64, i32::MAX as i64) as i32))
+                .collect(),
+        );
     }
     unreachable!("target step is always reached")
 }
@@ -298,7 +304,11 @@ mod tests {
         // Tiles of growing magnitude: the running sum grows, so later
         // exponents must be at least as large as needed by the prefix sums.
         let stream = vec![tile(&[100]), tile(&[200]), tile(&[400]), tile(&[800])];
-        let sched = ScaleSchedule::calibrate(&[stream.clone()], Bitwidth::INT8, GroupSize::new(1));
+        let sched = ScaleSchedule::calibrate(
+            std::slice::from_ref(&stream),
+            Bitwidth::INT8,
+            GroupSize::new(1),
+        );
         assert_eq!(sched.len(), 4);
         // Step 0 sees 100 → covering exponent 0 (127 ≥ 100).
         assert_eq!(sched.scale(0).exponent(), 0);
@@ -310,7 +320,13 @@ mod tests {
     fn calibration_mid_group_steps_only_cover_own_tile() {
         // With gs = 4, steps 1..3 quantize only their own tile, so their
         // exponents depend on the tile magnitude, not the prefix sum.
-        let stream = vec![tile(&[1000]), tile(&[50]), tile(&[50]), tile(&[50]), tile(&[50])];
+        let stream = vec![
+            tile(&[1000]),
+            tile(&[50]),
+            tile(&[50]),
+            tile(&[50]),
+            tile(&[50]),
+        ];
         let sched = ScaleSchedule::calibrate(&[stream], Bitwidth::INT8, GroupSize::new(4));
         // Step 1 and 2 only see |50| → exponent 0.
         assert_eq!(sched.scale(1).exponent(), 0);

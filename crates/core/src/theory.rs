@@ -109,11 +109,8 @@ mod tests {
             let power = signal_power(&exact);
             for gs in [1usize, 2, 4] {
                 let group = GroupSize::new(gs);
-                let sched = ScaleSchedule::calibrate(
-                    std::slice::from_ref(&stream),
-                    Bitwidth::INT8,
-                    group,
-                );
+                let sched =
+                    ScaleSchedule::calibrate(std::slice::from_ref(&stream), Bitwidth::INT8, group);
                 let run = grouped_apsq(&stream, &sched, &ApsqConfig::int8(gs));
                 let measured = sqnr_db(exact.data(), run.output.data());
                 let predicted = predicted_sqnr_db(&sched, group, power);
@@ -135,11 +132,8 @@ mod tests {
         let mut last = f64::INFINITY;
         for gs in [1usize, 2, 4, 8] {
             let group = GroupSize::new(gs);
-            let sched = ScaleSchedule::calibrate(
-                std::slice::from_ref(&stream),
-                Bitwidth::INT8,
-                group,
-            );
+            let sched =
+                ScaleSchedule::calibrate(std::slice::from_ref(&stream), Bitwidth::INT8, group);
             let v = predicted_error_variance(&sched, group);
             assert!(v <= last * 1.01, "gs={gs}: variance {v} > previous {last}");
             last = v;

@@ -42,9 +42,21 @@ mod tests {
     #[test]
     fn accumulates() {
         let mut t = BufferTraffic::new();
-        t += BufferTraffic { reads: 3, writes: 5 };
-        t += BufferTraffic { reads: 1, writes: 0 };
-        assert_eq!(t, BufferTraffic { reads: 4, writes: 5 });
+        t += BufferTraffic {
+            reads: 3,
+            writes: 5,
+        };
+        t += BufferTraffic {
+            reads: 1,
+            writes: 0,
+        };
+        assert_eq!(
+            t,
+            BufferTraffic {
+                reads: 4,
+                writes: 5
+            }
+        );
         assert_eq!(t.total(), 9);
     }
 }

@@ -69,13 +69,17 @@ pub struct AccessCounts {
 impl AccessCounts {
     /// Sum of all SRAM bytes.
     pub fn sram_bytes(&self) -> f64 {
-        self.ifmap.sram_bytes + self.weight.sram_bytes + self.psum.sram_bytes
+        self.ifmap.sram_bytes
+            + self.weight.sram_bytes
+            + self.psum.sram_bytes
             + self.ofmap.sram_bytes
     }
 
     /// Sum of all DRAM bytes.
     pub fn dram_bytes(&self) -> f64 {
-        self.ifmap.dram_bytes + self.weight.dram_bytes + self.psum.dram_bytes
+        self.ifmap.dram_bytes
+            + self.weight.dram_bytes
+            + self.psum.dram_bytes
             + self.ofmap.dram_bytes
     }
 
@@ -137,7 +141,11 @@ fn is_counts(layer: &LayerShape, arch: &AcceleratorConfig, psum: &PsumFormat) ->
     // PSUM working set: (Co/Pco)·S̃p = slots·bits/8 · Po · Co bytes.
     let psum_ws = psum.working_set_bytes_per_element() * (arch.po * layer.co) as f64;
     let p_fits = psum_ws <= arch.ofmap_buffer_bytes as f64;
-    let n_p_s = if p_fits { 2.0 * (np - 1.0) } else { 4.0 * (np - 1.0) };
+    let n_p_s = if p_fits {
+        2.0 * (np - 1.0)
+    } else {
+        4.0 * (np - 1.0)
+    };
     let n_p_d = if p_fits { 0.0 } else { 2.0 * (np - 1.0) };
 
     AccessCounts {
@@ -161,9 +169,7 @@ fn ws_counts(layer: &LayerShape, arch: &AcceleratorConfig, psum: &PsumFormat) ->
 
     // Input-tile residency: eq (5) checks the *tile* S̃i — the receptive
     // field of Po output pixels across all Ci — against Bi.
-    let si_tile = (layer.ci
-        * ((arch.po - 1) * layer.stride + layer.kh)
-        * layer.kw) as f64;
+    let si_tile = (layer.ci * ((arch.po - 1) * layer.stride + layer.kh) * layer.kw) as f64;
     let i_fits = si_tile <= arch.ifmap_buffer_bytes as f64;
     let n_i_s = if i_fits {
         1.0 + co_passes
@@ -173,10 +179,13 @@ fn ws_counts(layer: &LayerShape, arch: &AcceleratorConfig, psum: &PsumFormat) ->
     let n_i_d = if i_fits { 1.0 } else { co_passes };
 
     // PSUM working set: (Ho·Wo/Po)·S̃p = slots·bits/8 · Ho·Wo · Pco bytes.
-    let psum_ws =
-        psum.working_set_bytes_per_element() * (layer.output_pixels() * arch.pco) as f64;
+    let psum_ws = psum.working_set_bytes_per_element() * (layer.output_pixels() * arch.pco) as f64;
     let p_fits = psum_ws <= arch.ofmap_buffer_bytes as f64;
-    let n_p_s = if p_fits { 2.0 * (np - 1.0) } else { 4.0 * (np - 1.0) };
+    let n_p_s = if p_fits {
+        2.0 * (np - 1.0)
+    } else {
+        4.0 * (np - 1.0)
+    };
     let n_p_d = if p_fits { 0.0 } else { 2.0 * (np - 1.0) };
 
     AccessCounts {

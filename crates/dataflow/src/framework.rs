@@ -33,10 +33,7 @@ impl Workload {
 
     /// Total MAC count across all layers and repeats.
     pub fn total_macs(&self) -> f64 {
-        self.layers
-            .iter()
-            .map(|l| l.macs() * l.repeat as f64)
-            .sum()
+        self.layers.iter().map(|l| l.macs() * l.repeat as f64).sum()
     }
 
     /// Total weight bytes (model size at INT8).

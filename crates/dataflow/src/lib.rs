@@ -54,8 +54,8 @@ pub use dataflow::Dataflow;
 pub use energy::{energy_breakdown, EnergyBreakdown, EnergyTable};
 pub use framework::{normalized_energy, workload_access_counts, workload_energy, Workload};
 pub use layer::LayerShape;
+pub use psum::PsumFormat;
 pub use sweep::{
     energy_hotspots, max_resident_group_size, residency_threshold_bytes, sweep_ofmap_buffer,
     BufferSweepPoint,
 };
-pub use psum::PsumFormat;

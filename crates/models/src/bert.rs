@@ -67,10 +67,7 @@ pub fn bert_workload(config: &BertConfig) -> Workload {
         LayerShape::gemm("ffn1", t, h, config.ffn).with_repeat(layers),
         LayerShape::gemm("ffn2", t, config.ffn, h).with_repeat(layers),
     ];
-    Workload::new(
-        format!("BERT(h={h},L={layers},t={t})"),
-        layers_vec,
-    )
+    Workload::new(format!("BERT(h={h},L={layers},t={t})"), layers_vec)
 }
 
 /// The paper's NLP benchmark: BERT-Base with 128 input tokens.

@@ -11,13 +11,33 @@
 use apsq_dataflow::{LayerShape, Workload};
 
 /// Appends one MBConv block (1×1 expand ×4, 3×3 depthwise, 1×1 project).
-fn mbconv(layers: &mut Vec<LayerShape>, tag: &str, h: usize, c_in: usize, c_out: usize, stride: usize) {
+fn mbconv(
+    layers: &mut Vec<LayerShape>,
+    tag: &str,
+    h: usize,
+    c_in: usize,
+    c_out: usize,
+    stride: usize,
+) {
     let mid = 4 * c_in;
     let h_out = h / stride;
     let n_out = h_out * h_out;
     layers.push(LayerShape::gemm(format!("{tag}_expand"), h * h, c_in, mid));
-    layers.push(LayerShape::conv(format!("{tag}_dw"), h_out, h_out, 1, mid, 3, stride));
-    layers.push(LayerShape::gemm(format!("{tag}_project"), n_out, mid, c_out));
+    layers.push(LayerShape::conv(
+        format!("{tag}_dw"),
+        h_out,
+        h_out,
+        1,
+        mid,
+        3,
+        stride,
+    ));
+    layers.push(LayerShape::gemm(
+        format!("{tag}_project"),
+        n_out,
+        mid,
+        c_out,
+    ));
 }
 
 /// Appends one EfficientViT module: lite multi-scale linear attention
@@ -33,12 +53,8 @@ fn evit_module(layers: &mut Vec<LayerShape>, tag: &str, h: usize, c: usize) {
     layers.push(LayerShape::conv(format!("{tag}_agg"), h, h, 1, 3 * c, 5, 1));
     // Linear attention: KᵀV is a d×d GEMM per head over N tokens
     // (Ci = N tokens reduce), then Q·(KᵀV) is N×d×d.
-    layers.push(
-        LayerShape::gemm(format!("{tag}_ktv"), d_head, n, d_head).with_repeat(heads),
-    );
-    layers.push(
-        LayerShape::gemm(format!("{tag}_qktv"), n, d_head, d_head).with_repeat(heads),
-    );
+    layers.push(LayerShape::gemm(format!("{tag}_ktv"), d_head, n, d_head).with_repeat(heads));
+    layers.push(LayerShape::gemm(format!("{tag}_qktv"), n, d_head, d_head).with_repeat(heads));
     // Output projection.
     layers.push(LayerShape::gemm(format!("{tag}_proj"), n, c, c));
     // MBConv FFN.
@@ -51,7 +67,10 @@ fn evit_module(layers: &mut Vec<LayerShape>, tag: &str, h: usize, c: usize) {
 ///
 /// Panics if `input` is not divisible by 32.
 pub fn efficientvit_b1(input: usize) -> Workload {
-    assert!(input % 32 == 0, "input resolution must be divisible by 32");
+    assert!(
+        input.is_multiple_of(32),
+        "input resolution must be divisible by 32"
+    );
     let mut layers = Vec::new();
 
     // Stem: 3×3 stride-2 conv to width 16 + one depthwise MBConv.

@@ -121,7 +121,10 @@ mod tests {
     #[test]
     fn decode_step_is_vector_workload() {
         let w = llama_decode_step(&LlamaConfig::llama2_7b(), 4096);
-        assert!(w.layers.iter().all(|l| l.ho == 1 || l.name.contains("scores") || l.name.contains("context")));
+        assert!(w
+            .layers
+            .iter()
+            .all(|l| l.ho == 1 || l.name.contains("scores") || l.name.contains("context")));
         // One decode step ≈ model-size MACs (weights touched once).
         assert!(w.total_macs() > 6.5e9 && w.total_macs() < 9.0e9);
     }

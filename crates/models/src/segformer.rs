@@ -34,12 +34,51 @@ struct Stage {
 ///
 /// Panics if `input` is not divisible by 32.
 pub fn segformer_b0(input: usize) -> Workload {
-    assert!(input % 32 == 0, "input resolution must be divisible by 32");
+    assert!(
+        input.is_multiple_of(32),
+        "input resolution must be divisible by 32"
+    );
     let stages = [
-        Stage { h: input / 4, c: 32, depth: 2, r: 8, heads: 1, patch_k: 7, patch_s: 4, c_in: 3 },
-        Stage { h: input / 8, c: 64, depth: 2, r: 4, heads: 2, patch_k: 3, patch_s: 2, c_in: 32 },
-        Stage { h: input / 16, c: 160, depth: 2, r: 2, heads: 5, patch_k: 3, patch_s: 2, c_in: 64 },
-        Stage { h: input / 32, c: 256, depth: 2, r: 1, heads: 8, patch_k: 3, patch_s: 2, c_in: 160 },
+        Stage {
+            h: input / 4,
+            c: 32,
+            depth: 2,
+            r: 8,
+            heads: 1,
+            patch_k: 7,
+            patch_s: 4,
+            c_in: 3,
+        },
+        Stage {
+            h: input / 8,
+            c: 64,
+            depth: 2,
+            r: 4,
+            heads: 2,
+            patch_k: 3,
+            patch_s: 2,
+            c_in: 32,
+        },
+        Stage {
+            h: input / 16,
+            c: 160,
+            depth: 2,
+            r: 2,
+            heads: 5,
+            patch_k: 3,
+            patch_s: 2,
+            c_in: 64,
+        },
+        Stage {
+            h: input / 32,
+            c: 256,
+            depth: 2,
+            r: 1,
+            heads: 8,
+            patch_k: 3,
+            patch_s: 2,
+            c_in: 160,
+        },
     ];
 
     let mut layers = Vec::new();
@@ -67,26 +106,28 @@ pub fn segformer_b0(input: usize) -> Workload {
         if st.r > 1 {
             // Spatial reduction: an r×r stride-r conv on C channels.
             layers.push(
-                LayerShape::conv(tag("attn_sr"), st.h / st.r, st.h / st.r, st.c, st.c, st.r, st.r)
-                    .with_repeat(d),
+                LayerShape::conv(
+                    tag("attn_sr"),
+                    st.h / st.r,
+                    st.h / st.r,
+                    st.c,
+                    st.c,
+                    st.r,
+                    st.r,
+                )
+                .with_repeat(d),
             );
         }
         // K and V projections on reduced tokens.
         layers.push(LayerShape::gemm(tag("attn_kv"), nr, st.c, 2 * st.c).with_repeat(d));
         // Per-head score (N × d_head → N × Nr) and context (N × Nr → N × d_head).
-        layers.push(
-            LayerShape::gemm(tag("attn_scores"), n, d_head, nr).with_repeat(d * st.heads),
-        );
-        layers.push(
-            LayerShape::gemm(tag("attn_context"), n, nr, d_head).with_repeat(d * st.heads),
-        );
+        layers.push(LayerShape::gemm(tag("attn_scores"), n, d_head, nr).with_repeat(d * st.heads));
+        layers.push(LayerShape::gemm(tag("attn_context"), n, nr, d_head).with_repeat(d * st.heads));
         // Output projection.
         layers.push(LayerShape::gemm(tag("attn_out"), n, st.c, st.c).with_repeat(d));
         // Mix-FFN: fc1 (×4), 3×3 depthwise on the expanded channels, fc2.
         layers.push(LayerShape::gemm(tag("ffn_fc1"), n, st.c, 4 * st.c).with_repeat(d));
-        layers.push(
-            LayerShape::conv(tag("ffn_dw"), st.h, st.h, 1, 4 * st.c, 3, 1).with_repeat(d),
-        );
+        layers.push(LayerShape::conv(tag("ffn_dw"), st.h, st.h, 1, 4 * st.c, 3, 1).with_repeat(d));
         layers.push(LayerShape::gemm(tag("ffn_fc2"), n, 4 * st.c, st.c).with_repeat(d));
     }
 

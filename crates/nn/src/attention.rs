@@ -41,7 +41,10 @@ impl MultiHeadAttention {
         causal: bool,
         rng: &mut R,
     ) -> Self {
-        assert!(d % heads == 0, "d = {d} not divisible by heads = {heads}");
+        assert!(
+            d.is_multiple_of(heads),
+            "d = {d} not divisible by heads = {heads}"
+        );
         MultiHeadAttention {
             wq: QuantLinear::new(d, d, bits, psum_mode, rng),
             wk: QuantLinear::new(d, d, bits, psum_mode, rng),
@@ -278,7 +281,12 @@ mod tests {
 
         let loss = |x: &Tensor| -> f32 {
             let mut a = attn.clone();
-            a.forward(x).data().iter().zip(dy.data()).map(|(p, q)| p * q).sum()
+            a.forward(x)
+                .data()
+                .iter()
+                .zip(dy.data())
+                .map(|(p, q)| p * q)
+                .sum()
         };
         let eps = 2e-3;
         let mut checked = 0;

@@ -73,6 +73,7 @@ impl TransformerBlock {
         let df = self.fc1.backward(&dh);
         let dx1_ffn = self.ln2.backward(&df);
         let dx1 = dy + &dx1_ffn; // residual
+
         // Attention branch.
         let da = self.attn.backward(&dx1);
         let dx_attn = self.ln1.backward(&da);
@@ -123,15 +124,8 @@ mod tests {
     #[test]
     fn forward_backward_shapes() {
         let mut rng = StdRng::seed_from_u64(6);
-        let mut b = TransformerBlock::new(
-            16,
-            4,
-            32,
-            Bitwidth::INT8,
-            PsumMode::Exact,
-            false,
-            &mut rng,
-        );
+        let mut b =
+            TransformerBlock::new(16, 4, 32, Bitwidth::INT8, PsumMode::Exact, false, &mut rng);
         let x = apsq_tensor::randn([5, 16], 1.0, &mut rng);
         let y = b.forward(&x);
         assert_eq!(y.dims(), &[5, 16]);
@@ -144,15 +138,8 @@ mod tests {
     fn residual_path_dominates_at_init() {
         // With small random weights, the block output stays close to x.
         let mut rng = StdRng::seed_from_u64(8);
-        let mut b = TransformerBlock::new(
-            8,
-            2,
-            16,
-            Bitwidth::INT8,
-            PsumMode::Exact,
-            false,
-            &mut rng,
-        );
+        let mut b =
+            TransformerBlock::new(8, 2, 16, Bitwidth::INT8, PsumMode::Exact, false, &mut rng);
         let x = apsq_tensor::randn([4, 8], 1.0, &mut rng);
         let y = b.forward(&x);
         let rel = (&y - &x).norm() / x.norm();

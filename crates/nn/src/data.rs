@@ -123,15 +123,13 @@ impl GlueTask {
                 // a paraphrase iff every upper token is the +8 partner of
                 // some first-half token. Negatives plant 2–3 orphans.
                 let first: Vec<usize> = loop {
-                    let f: Vec<usize> =
-                        (0..HALF).map(|_| rng.gen_range(0..V / 2)).collect();
+                    let f: Vec<usize> = (0..HALF).map(|_| rng.gen_range(0..V / 2)).collect();
                     // Need at least one absent symbol to build orphans.
                     if (0..V / 2).any(|s| !f.contains(&s)) {
                         break f;
                     }
                 };
-                let absent: Vec<usize> =
-                    (0..V / 2).filter(|s| !first.contains(s)).collect();
+                let absent: Vec<usize> = (0..V / 2).filter(|s| !first.contains(s)).collect();
                 let mut second: Vec<usize> = (0..HALF)
                     .map(|_| first[rng.gen_range(0..HALF)] + V / 2)
                     .collect();
@@ -162,8 +160,7 @@ impl GlueTask {
             GlueTask::Rte => {
                 // Entailment stand-in: monotone non-decreasing body
                 // (positive) vs a body with 2–3 planted descents.
-                let mut tokens: Vec<usize> =
-                    (0..2 * HALF).map(|_| rng.gen_range(0..V)).collect();
+                let mut tokens: Vec<usize> = (0..2 * HALF).map(|_| rng.gen_range(0..V)).collect();
                 tokens.sort_unstable();
                 let positive = rng.gen_bool(0.5);
                 if !positive {
@@ -423,9 +420,7 @@ impl LmFamily {
                 // anchor, repeat (anchor, payload) twice.
                 let anchor = 0usize;
                 let payload = rng.gen_range(2..vocab);
-                let mut s: Vec<usize> = (0..len)
-                    .map(|_| rng.gen_range(1..vocab))
-                    .collect();
+                let mut s: Vec<usize> = (0..len).map(|_| rng.gen_range(1..vocab)).collect();
                 let p1 = rng.gen_range(1..len / 2 - 1);
                 s[p1] = anchor;
                 s[p1 + 1] = payload;
@@ -448,13 +443,16 @@ impl LmFamily {
             LmFamily::CopyLag4 => (4..len - 1).collect(),
             LmFamily::Mirror => (len / 2..len - 1).collect(),
             LmFamily::Runs4 => (4..len - 1)
-                .filter(|&t| seq[t] == seq[t - 1] && seq[t] == seq[t - 2] && seq[t - 2] != seq[t.saturating_sub(3)])
+                .filter(|&t| {
+                    seq[t] == seq[t - 1]
+                        && seq[t] == seq[t - 2]
+                        && seq[t - 2] != seq[t.saturating_sub(3)]
+                })
                 .collect(),
             LmFamily::Induction => {
                 // Score the position right after the second anchor.
-                let anchors: Vec<usize> =
-                    (0..len - 1).filter(|&i| seq[i] == 0).collect();
-                anchors.iter().skip(1).map(|&i| i).collect()
+                let anchors: Vec<usize> = (0..len - 1).filter(|&i| seq[i] == 0).collect();
+                anchors.iter().skip(1).copied().collect()
             }
         }
     }
@@ -513,7 +511,12 @@ mod tests {
     #[test]
     fn glue_labels_roughly_balanced() {
         let mut rng = StdRng::seed_from_u64(2);
-        for task in [GlueTask::Mrpc, GlueTask::Rte, GlueTask::Qnli, GlueTask::Cola] {
+        for task in [
+            GlueTask::Mrpc,
+            GlueTask::Rte,
+            GlueTask::Qnli,
+            GlueTask::Cola,
+        ] {
             let n = 400;
             let pos = task
                 .dataset(n, &mut rng)
@@ -556,9 +559,7 @@ mod tests {
         for _ in 0..200 {
             let ex = GlueTask::Mrpc.sample(&mut rng);
             let lower: Vec<usize> = ex.tokens[..8].to_vec();
-            let all_members = ex.tokens[8..]
-                .iter()
-                .all(|&t| lower.contains(&(t - 8)));
+            let all_members = ex.tokens[8..].iter().all(|&t| lower.contains(&(t - 8)));
             assert_eq!(Label::Class(all_members as usize), ex.label);
         }
     }
@@ -571,8 +572,8 @@ mod tests {
         assert_eq!(tokens.len(), labels.len());
         assert!(labels.iter().all(|&l| l < t.classes));
         // Deterministic recomputation agrees.
-        for i in 0..tokens.len() {
-            assert_eq!(labels[i], t.label_at(&tokens, i));
+        for (i, &label) in labels.iter().enumerate() {
+            assert_eq!(label, t.label_at(&tokens, i));
         }
         // The label is monotone in the window sum: all-zero tokens map to
         // class 0, all-max tokens map to the top class.

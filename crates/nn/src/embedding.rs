@@ -67,8 +67,7 @@ impl Embedding {
         for (i, &id) in ids.iter().enumerate() {
             assert!(id < vocab, "token id {id} out of vocabulary {vocab}");
             for j in 0..d {
-                out[i * d + j] =
-                    self.tokens.value.at(&[id, j]) + self.positions.value.at(&[i, j]);
+                out[i * d + j] = self.tokens.value.at(&[id, j]) + self.positions.value.at(&[i, j]);
             }
         }
         Tensor::from_vec(out, [ids.len(), d])
@@ -116,9 +115,7 @@ mod tests {
         let y = e.forward(&[1, 1, 3]);
         assert_eq!(y.dims(), &[3, 4]);
         // Same token at different positions differs by position vectors.
-        let delta: f32 = (0..4)
-            .map(|j| (y.at(&[0, j]) - y.at(&[1, j])).abs())
-            .sum();
+        let delta: f32 = (0..4).map(|j| (y.at(&[0, j]) - y.at(&[1, j])).abs()).sum();
         assert!(delta > 0.0);
 
         let dy = Tensor::ones([3, 4]);

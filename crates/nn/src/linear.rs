@@ -340,16 +340,20 @@ mod tests {
         let mut errs = Vec::new();
         for gs in [1usize, 8] {
             let mut rng2 = StdRng::seed_from_u64(7); // same init
-            let _warm: Tensor;
+
             let mut ql = QuantLinear::new(
                 64,
                 16,
                 Bitwidth::INT8,
-                PsumMode::Apsq { bits: Bitwidth::INT8, gs, k_tile: 8 },
+                PsumMode::Apsq {
+                    bits: Bitwidth::INT8,
+                    gs,
+                    k_tile: 8,
+                },
                 &mut rng2,
             );
             // Warm the observers, then measure.
-            _warm = ql.forward(&x);
+            let _warm: Tensor = ql.forward(&x);
             let y = ql.forward(&x);
             errs.push(((&y - &base).norm(), gs));
         }
@@ -368,7 +372,11 @@ mod tests {
             8,
             4,
             Bitwidth::INT8,
-            PsumMode::Apsq { bits: Bitwidth::INT8, gs: 2, k_tile: 4 },
+            PsumMode::Apsq {
+                bits: Bitwidth::INT8,
+                gs: 2,
+                k_tile: 4,
+            },
             &mut rng,
         );
         let x = apsq_tensor::randn([2, 8], 1.0, &mut rng);

@@ -109,19 +109,14 @@ impl EncoderClassifier {
         self.seq_len_cache = ids.len();
         // Mean pool over tokens, then the nonlinear pooler.
         let pooled = &sum_axis0(&h) * (1.0 / ids.len() as f32);
-        let z = self
-            .pooler
-            .forward(&pooled.reshape([1, pooled.numel()]));
+        let z = self.pooler.forward(&pooled.reshape([1, pooled.numel()]));
         self.pooler_pre_act = Some(z.clone());
         self.head.forward(&apsq_tensor::gelu(&z))
     }
 
     /// Backward from `[1, classes]` logits gradient.
     pub fn backward(&mut self, dlogits: &Tensor) {
-        let z = self
-            .pooler_pre_act
-            .take()
-            .expect("backward before forward");
+        let z = self.pooler_pre_act.take().expect("backward before forward");
         let dgelu_out = self.head.backward(dlogits);
         let dz = &dgelu_out * &apsq_tensor::gelu_grad(&z);
         let dpool = self.pooler.backward(&dz);
@@ -325,11 +320,7 @@ impl DecoderLm {
     ///
     /// Panics if the state was built for a different depth or the position
     /// exceeds the model's `max_len`.
-    pub fn decode_step(
-        &self,
-        token: usize,
-        state: &mut crate::kv_cache::DecoderKvState,
-    ) -> Tensor {
+    pub fn decode_step(&self, token: usize, state: &mut crate::kv_cache::DecoderKvState) -> Tensor {
         assert_eq!(
             state.layers.len(),
             self.blocks.len(),

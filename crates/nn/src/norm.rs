@@ -38,8 +38,7 @@ impl LayerNorm {
     ///
     /// Panics if `x` is not rank-2 with the configured feature width.
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
-        let y = self.normalize(x, true);
-        y
+        self.normalize(x, true)
     }
 
     /// Inference-only forward.
@@ -54,7 +53,11 @@ impl LayerNorm {
         assert_eq!(d, self.gamma.value.numel(), "feature width mismatch");
         let mu = mean_axis1(x);
         let var = var_axis1(x);
-        let inv_std: Vec<f32> = var.data().iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        let inv_std: Vec<f32> = var
+            .data()
+            .iter()
+            .map(|&v| 1.0 / (v + self.eps).sqrt())
+            .collect();
         let mut x_hat = vec![0.0f32; n * d];
         for i in 0..n {
             for j in 0..d {

@@ -70,8 +70,7 @@ pub fn train_glue(
     let mut rng = StdRng::seed_from_u64(tc.seed);
     let mut model = EncoderClassifier::new(model_cfg, task.num_outputs(), &mut rng);
     let mut teacher = teacher.cloned();
-    let mut t = 0u64;
-    for _ in 0..tc.steps {
+    for step in 0..tc.steps {
         for _ in 0..tc.batch {
             let ex = task.sample(&mut rng);
             let logits = model.forward(&ex.tokens);
@@ -92,8 +91,7 @@ pub fn train_glue(
             }
             model.backward(&grad);
         }
-        t += 1;
-        model.visit_params(&mut |p| p.adam_step(tc.lr, t));
+        model.visit_params(&mut |p| p.adam_step(tc.lr, step as u64 + 1));
         model.apply_quantizer_grads(tc.lr_quant);
         model.zero_grads();
     }
@@ -142,8 +140,7 @@ pub fn train_seg(
     let mut rng = StdRng::seed_from_u64(tc.seed);
     let mut model = TokenTagger::new(model_cfg, task.classes, &mut rng);
     let mut teacher = teacher.cloned();
-    let mut t = 0u64;
-    for _ in 0..tc.steps {
+    for step in 0..tc.steps {
         for _ in 0..tc.batch {
             let (tokens, labels) = task.sample(&mut rng);
             let logits = model.forward(&tokens);
@@ -157,8 +154,7 @@ pub fn train_seg(
             }
             model.backward(&grad);
         }
-        t += 1;
-        model.visit_params(&mut |p| p.adam_step(tc.lr, t));
+        model.visit_params(&mut |p| p.adam_step(tc.lr, step as u64 + 1));
         model.apply_quantizer_grads(tc.lr_quant);
         model.zero_grads();
     }
@@ -186,8 +182,7 @@ pub fn train_lm(model_cfg: &ModelConfig, tc: &TrainConfig) -> DecoderLm {
     let mut model = DecoderLm::new(model_cfg, &mut rng);
     let len = model_cfg.max_len;
     let vocab = model_cfg.vocab;
-    let mut t = 0u64;
-    for _ in 0..tc.steps {
+    for step in 0..tc.steps {
         for _ in 0..tc.batch {
             let fam = LmFamily::ALL[rng.gen_range(0..LmFamily::ALL.len())];
             let seq = fam.sequence(len, vocab, &mut rng);
@@ -196,8 +191,7 @@ pub fn train_lm(model_cfg: &ModelConfig, tc: &TrainConfig) -> DecoderLm {
             let (_, grad) = cross_entropy(&logits, &targets);
             model.backward(&grad);
         }
-        t += 1;
-        model.visit_params(&mut |p| p.adam_step(tc.lr, t));
+        model.visit_params(&mut |p| p.adam_step(tc.lr, step as u64 + 1));
         model.apply_quantizer_grads(tc.lr_quant);
         model.zero_grads();
     }
@@ -206,7 +200,13 @@ pub fn train_lm(model_cfg: &ModelConfig, tc: &TrainConfig) -> DecoderLm {
 
 /// Next-token accuracy (percent) of the LM on one family's scored
 /// positions, over `n` fresh sequences.
-pub fn evaluate_lm(model: &mut DecoderLm, family: LmFamily, n: usize, seed: u64, cfg: &ModelConfig) -> f64 {
+pub fn evaluate_lm(
+    model: &mut DecoderLm,
+    family: LmFamily,
+    n: usize,
+    seed: u64,
+    cfg: &ModelConfig,
+) -> f64 {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut hits = 0usize;
     let mut total = 0usize;

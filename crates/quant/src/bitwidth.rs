@@ -60,7 +60,10 @@ impl Bitwidth {
     /// The unsigned quantization range `[0, 2^k - 1]` for this width.
     pub fn unsigned_range(self) -> QRange {
         if self.0 >= 31 {
-            return QRange { qn: 0, qp: i32::MAX };
+            return QRange {
+                qn: 0,
+                qp: i32::MAX,
+            };
         }
         QRange {
             qn: 0,
@@ -108,10 +111,7 @@ mod tests {
     #[test]
     fn signed_ranges() {
         assert_eq!(Bitwidth::INT8.signed_range(), QRange { qn: -128, qp: 127 });
-        assert_eq!(
-            Bitwidth::new(4).signed_range(),
-            QRange { qn: -8, qp: 7 }
-        );
+        assert_eq!(Bitwidth::new(4).signed_range(), QRange { qn: -8, qp: 7 });
         assert_eq!(
             Bitwidth::INT32.signed_range(),
             QRange {

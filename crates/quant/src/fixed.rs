@@ -77,11 +77,7 @@ mod tests {
         for sh in 0u32..8 {
             for x in -1000i32..1000 {
                 let expect = ((x as f64) / f64::from(1u32 << sh)).round() as i32;
-                assert_eq!(
-                    rounding_shift_right(x, sh),
-                    expect,
-                    "x={x}, sh={sh}"
-                );
+                assert_eq!(rounding_shift_right(x, sh), expect, "x={x}, sh={sh}");
             }
         }
     }

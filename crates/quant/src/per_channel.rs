@@ -34,10 +34,8 @@ impl PerChannelLsq {
         let qp = (range.qp.max(1) as f32).sqrt();
         let steps = (0..cols)
             .map(|c| {
-                let mean_abs = (0..rows)
-                    .map(|r| w.at(&[r, c]).abs())
-                    .sum::<f32>()
-                    / rows.max(1) as f32;
+                let mean_abs =
+                    (0..rows).map(|r| w.at(&[r, c]).abs()).sum::<f32>() / rows.max(1) as f32;
                 (2.0 * mean_abs / qp).max(1e-6)
             })
             .collect();

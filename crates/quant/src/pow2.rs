@@ -196,7 +196,9 @@ impl Pow2LsqQuantizer {
     /// cannot be realized as a right shift on integer PSUMs).
     pub fn to_pow2_scale(&self) -> Option<Pow2Scale> {
         let e = self.effective_exponent();
-        (0..=30).contains(&e).then(|| Pow2Scale::new(e as u32, self.bits))
+        (0..=30)
+            .contains(&e)
+            .then(|| Pow2Scale::new(e as u32, self.bits))
     }
 
     fn as_lsq(&self) -> LsqQuantizer {
@@ -213,7 +215,18 @@ mod tests {
         // Integer shift quantization must equal round(x / 2^e) with clip.
         for e in 0u32..12 {
             let s = Pow2Scale::new(e, Bitwidth::INT8);
-            for &x in &[0i32, 1, -1, 5, -5, 1000, -1000, 123456, -123456, i32::MAX / 2] {
+            for &x in &[
+                0i32,
+                1,
+                -1,
+                5,
+                -5,
+                1000,
+                -1000,
+                123456,
+                -123456,
+                i32::MAX / 2,
+            ] {
                 let f = ((x as f64) / f64::from(1u32 << e)).round();
                 let clipped = f.clamp(-128.0, 127.0) as i32;
                 assert_eq!(s.quantize(x), clipped, "x={x}, e={e}");
@@ -282,11 +295,7 @@ mod tests {
         let xt = Tensor::from_vec(xs.iter().map(|&v| v as f32).collect(), [xs.len()]);
         let yf = q.forward(&xt);
         for (i, &x) in xs.iter().enumerate() {
-            assert_eq!(
-                yf.data()[i] as i32,
-                s.requantize(x),
-                "x={x}"
-            );
+            assert_eq!(yf.data()[i] as i32, s.requantize(x), "x={x}");
         }
     }
 }

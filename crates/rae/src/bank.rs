@@ -36,7 +36,10 @@ impl PsumBank {
     ///
     /// Panics if `addr` is out of range.
     pub fn read(&mut self, addr: usize) -> i8 {
-        assert!(addr < self.words.len(), "bank read address {addr} out of range");
+        assert!(
+            addr < self.words.len(),
+            "bank read address {addr} out of range"
+        );
         self.reads += 1;
         self.words[addr]
     }
@@ -47,7 +50,10 @@ impl PsumBank {
     ///
     /// Panics if `addr` is out of range.
     pub fn write(&mut self, addr: usize, value: i8) {
-        assert!(addr < self.words.len(), "bank write address {addr} out of range");
+        assert!(
+            addr < self.words.len(),
+            "bank write address {addr} out of range"
+        );
         self.writes += 1;
         self.words[addr] = value;
     }

@@ -38,9 +38,18 @@ impl fmt::Display for StaticEncoding {
 /// four group slots; larger groups exist only in the software model).
 pub fn config_table(gs: GroupSize) -> StaticEncoding {
     match gs.get() {
-        1 => StaticEncoding { s0: 0b00, s1: false },
-        2 => StaticEncoding { s0: 0b01, s1: false },
-        3 => StaticEncoding { s0: 0b10, s1: false },
+        1 => StaticEncoding {
+            s0: 0b00,
+            s1: false,
+        },
+        2 => StaticEncoding {
+            s0: 0b01,
+            s1: false,
+        },
+        3 => StaticEncoding {
+            s0: 0b10,
+            s1: false,
+        },
         4 => StaticEncoding { s0: 0b10, s1: true },
         other => panic!("RAE supports group sizes 1..=4, got {other}"),
     }
@@ -88,10 +97,31 @@ mod tests {
 
     #[test]
     fn table_matches_fig2() {
-        assert_eq!(config_table(GroupSize::new(1)), StaticEncoding { s0: 0b00, s1: false });
-        assert_eq!(config_table(GroupSize::new(2)), StaticEncoding { s0: 0b01, s1: false });
-        assert_eq!(config_table(GroupSize::new(3)), StaticEncoding { s0: 0b10, s1: false });
-        assert_eq!(config_table(GroupSize::new(4)), StaticEncoding { s0: 0b10, s1: true });
+        assert_eq!(
+            config_table(GroupSize::new(1)),
+            StaticEncoding {
+                s0: 0b00,
+                s1: false
+            }
+        );
+        assert_eq!(
+            config_table(GroupSize::new(2)),
+            StaticEncoding {
+                s0: 0b01,
+                s1: false
+            }
+        );
+        assert_eq!(
+            config_table(GroupSize::new(3)),
+            StaticEncoding {
+                s0: 0b10,
+                s1: false
+            }
+        );
+        assert_eq!(
+            config_table(GroupSize::new(4)),
+            StaticEncoding { s0: 0b10, s1: true }
+        );
     }
 
     #[test]

@@ -107,7 +107,9 @@ impl RaeEngine {
     pub fn new(config: RaeConfig) -> Self {
         RaeEngine {
             config,
-            banks: (0..NUM_BANKS).map(|_| PsumBank::new(config.bank_words)).collect(),
+            banks: (0..NUM_BANKS)
+                .map(|_| PsumBank::new(config.bank_words))
+                .collect(),
             stats: RaeStats::default(),
             trace: None,
         }
@@ -387,10 +389,7 @@ mod tests {
         engine.process_stream(&tiles, &sched);
         // Steps: 0 PSQ, 1 PSQ(wait: 1 % 2 == 1 and not final → PSQ),
         // 2 APSQ, 3 final APSQ ⇒ 4·10 + 2·(depth−1).
-        assert_eq!(
-            engine.stats().cycles,
-            40 + 2 * (APSQ_PIPELINE_DEPTH - 1)
-        );
+        assert_eq!(engine.stats().cycles, 40 + 2 * (APSQ_PIPELINE_DEPTH - 1));
     }
 
     #[test]

@@ -43,8 +43,8 @@ mod config;
 mod engine;
 
 pub use area::{
-    baseline_accelerator_area, rae_area, table_two, AreaReport, TableTwo, ADDER_GE_PER_BIT,
-    GE_UM2, INTEGRATION_SRAM_CREDIT_BYTES, MUX2_GE, REG_BIT_UM2, SRAM_UM2_PER_BIT,
+    baseline_accelerator_area, rae_area, table_two, AreaReport, TableTwo, ADDER_GE_PER_BIT, GE_UM2,
+    INTEGRATION_SRAM_CREDIT_BYTES, MUX2_GE, REG_BIT_UM2, SRAM_UM2_PER_BIT,
 };
 pub use bank::PsumBank;
 pub use config::{config_table, RaeConfig, StaticEncoding, NUM_BANKS};

@@ -29,8 +29,7 @@ pub fn im2col(input: &Tensor, k: usize, stride: usize) -> Tensor {
             for ch in 0..c {
                 for ky in 0..k {
                     for kx in 0..k {
-                        out[row * cols + col] =
-                            input.at(&[ch, oy * stride + ky, ox * stride + kx]);
+                        out[row * cols + col] = input.at(&[ch, oy * stride + ky, ox * stride + kx]);
                         col += 1;
                     }
                 }
@@ -61,8 +60,7 @@ pub fn im2col_i8(input: &Int8Tensor, k: usize, stride: usize) -> Int8Tensor {
             for ch in 0..c {
                 for ky in 0..k {
                     for kx in 0..k {
-                        out[row * cols + col] =
-                            input.at(&[ch, oy * stride + ky, ox * stride + kx]);
+                        out[row * cols + col] = input.at(&[ch, oy * stride + ky, ox * stride + kx]);
                         col += 1;
                     }
                 }
@@ -165,7 +163,7 @@ mod tests {
 
     #[test]
     fn im2col_shape_and_content() {
-        let x = Tensor::from_vec((0..1 * 3 * 3).map(|v| v as f32).collect(), [1, 3, 3]);
+        let x = Tensor::from_vec((0..3 * 3).map(|v| v as f32).collect(), [1, 3, 3]);
         let m = im2col(&x, 2, 1);
         assert_eq!(m.dims(), &[4, 4]);
         // First patch is the top-left 2×2 window.
@@ -174,7 +172,11 @@ mod tests {
 
     #[test]
     fn gemm_lowering_matches_direct_convolution() {
-        for (c, h, k, s, co) in [(3usize, 8usize, 3usize, 1usize, 4usize), (2, 9, 3, 2, 5), (1, 6, 2, 2, 3)] {
+        for (c, h, k, s, co) in [
+            (3usize, 8usize, 3usize, 1usize, 4usize),
+            (2, 9, 3, 2, 5),
+            (1, 6, 2, 2, 3),
+        ] {
             let x = input(c, h, h);
             let wt = weight(co, c, k);
             let direct = conv2d_i8_reference(&x, &wt, s);

@@ -259,7 +259,10 @@ mod tests {
         let a = Int8Tensor::from_vec(vec![1, -2, 3, 4], [2, 2]);
         let b = Int8Tensor::from_vec(vec![5, 6, -7, 8], [2, 2]);
         let c = int8_matmul(&a, &b);
-        assert_eq!(c.data(), &[1 * 5 + -2 * -7, 1 * 6 + -2 * 8, 3 * 5 + 4 * -7, 3 * 6 + 4 * 8]);
+        assert_eq!(
+            c.data(),
+            &[5 + -2 * -7, 6 + -2 * 8, 3 * 5 + 4 * -7, 3 * 6 + 4 * 8]
+        );
     }
 
     #[test]

@@ -218,7 +218,10 @@ mod tests {
     }
 
     fn arange(m: usize, n: usize) -> Tensor {
-        Tensor::from_vec((0..m * n).map(|x| (x as f32) * 0.25 - 3.0).collect(), [m, n])
+        Tensor::from_vec(
+            (0..m * n).map(|x| (x as f32) * 0.25 - 3.0).collect(),
+            [m, n],
+        )
     }
 
     #[test]

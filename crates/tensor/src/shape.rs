@@ -165,7 +165,7 @@ mod tests {
     #[test]
     fn offset_round_trip() {
         let s = Shape::from([3, 5]);
-        let mut seen = vec![false; 15];
+        let mut seen = [false; 15];
         for i in 0..3 {
             for j in 0..5 {
                 let off = s.offset(&[i, j]);

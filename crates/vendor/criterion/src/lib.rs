@@ -1,0 +1,211 @@
+//! Minimal, self-contained reimplementation of the subset of the `criterion`
+//! 0.5 API used by this workspace's benches.
+//!
+//! The build environment has no network route to a crates.io mirror, so the
+//! workspace vendors this stub instead of the real crate. It performs a real
+//! (if statistically unsophisticated) measurement: warm up, then time batches
+//! until ~100 ms has elapsed, and report the best per-iteration time plus
+//! throughput when configured. There is no outlier analysis, no HTML report,
+//! and no baseline comparison.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Target measurement budget per benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(100);
+const WARMUP_ITERS: u64 = 3;
+const MAX_ITERS: u64 = 1_000_000;
+
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Default)]
+pub struct Bencher {
+    /// Best observed per-iteration time, filled in by `iter*`.
+    best: Option<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let mut iters = 0u64;
+        let mut best = Duration::MAX;
+        let started = Instant::now();
+        while started.elapsed() < MEASURE_BUDGET && iters < MAX_ITERS {
+            let t = Instant::now();
+            black_box(routine());
+            best = best.min(t.elapsed());
+            iters += 1;
+        }
+        self.best = Some(best);
+    }
+
+    pub fn iter_with_setup<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+    ) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine(setup()));
+        }
+        let mut iters = 0u64;
+        let mut best = Duration::MAX;
+        let started = Instant::now();
+        while started.elapsed() < MEASURE_BUDGET && iters < MAX_ITERS {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            best = best.min(t.elapsed());
+            iters += 1;
+        }
+        self.best = Some(best);
+    }
+}
+
+fn report(label: &str, best: Option<Duration>, throughput: Option<Throughput>) {
+    let Some(best) = best else {
+        println!("{label:<48} (no measurement: routine never ran)");
+        return;
+    };
+    let secs = best.as_secs_f64();
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if secs > 0.0 => {
+            format!("  {:>12.3e} elem/s", n as f64 / secs)
+        }
+        Some(Throughput::Bytes(n)) if secs > 0.0 => {
+            format!("  {:>12.3e} B/s", n as f64 / secs)
+        }
+        _ => String::new(),
+    };
+    println!("{label:<48} best {best:>12.3?}{rate}");
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(&id.label, b.best, None);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id.label),
+            b.best,
+            self.throughput,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        report(
+            &format!("{}/{}", self.name, id.label),
+            b.best,
+            self.throughput,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

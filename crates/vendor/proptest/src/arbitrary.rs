@@ -1,0 +1,34 @@
+//! `any::<T>()` — full-value-space generation for primitive types.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Any;
+use crate::test_runner::TestRunner;
+
+pub trait ArbitraryValue: Sized {
+    fn arbitrary(runner: &mut TestRunner) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(runner: &mut TestRunner) -> Self {
+                use rand::RngCore;
+                runner.rng().next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryValue for bool {
+    fn arbitrary(runner: &mut TestRunner) -> Self {
+        use rand::RngCore;
+        runner.rng().next_u64() & 1 == 1
+    }
+}
+
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(PhantomData)
+}

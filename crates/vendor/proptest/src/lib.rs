@@ -1,0 +1,93 @@
+//! Minimal, self-contained reimplementation of the subset of the `proptest`
+//! 1.x API used by this workspace.
+//!
+//! The build environment has no network route to a crates.io mirror, so the
+//! workspace vendors this stub instead of the real crate. Key differences
+//! from upstream, by design:
+//!
+//! - **No shrinking.** A failing case panics with the generated inputs in the
+//!   assertion message but is not minimised.
+//! - **Fully deterministic.** Every runner is seeded from a fixed constant,
+//!   so CI failures always reproduce locally.
+//! - Covered surface: the [`proptest!`] / [`prop_assert!`] /
+//!   [`prop_assert_eq!`] / [`prop_oneof!`] macros, [`strategy::Strategy`]
+//!   (`prop_map`, `prop_flat_map`, `new_tree`, `boxed`), [`strategy::Just`],
+//!   range and tuple strategies, [`arbitrary::any`], [`collection::vec`],
+//!   [`num::f32::NORMAL`], [`test_runner::TestRunner`] and
+//!   [`test_runner::ProptestConfig`].
+//!
+//! Extend the stub rather than reaching for unvendored APIs.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod num;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union, ValueTree};
+    pub use crate::test_runner::{ProptestConfig, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Declares property tests. Each argument is drawn fresh from its strategy
+/// for every case; the body runs once per case and panics on failure.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                let __cases = __config.cases;
+                let mut __runner = $crate::test_runner::TestRunner::new(__config);
+                for __case in 0..__cases {
+                    let _ = __case;
+                    $(let $arg = $crate::strategy::Strategy::generate(
+                        &($strat), &mut __runner);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Stub `prop_assert!`: plain `assert!` (no shrink phase to abort).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Stub `prop_assert_eq!`: plain `assert_eq!` (no shrink phase to abort).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Uniform choice among same-valued strategies. Upstream's weighted
+/// `weight => strategy` arms are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}

@@ -1,0 +1,43 @@
+//! Numeric strategies mirroring `proptest::num`.
+
+pub mod f32 {
+    use rand::Rng;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+
+    /// Generates normal (non-zero, non-subnormal, finite) `f32` values of
+    /// either sign, spanning the full exponent range like upstream's
+    /// `f32::NORMAL`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Normal;
+
+    pub const NORMAL: Normal = Normal;
+
+    impl Strategy for Normal {
+        type Value = f32;
+        fn generate(&self, runner: &mut TestRunner) -> f32 {
+            let rng = runner.rng();
+            let sign = u32::from(rng.gen_bool(0.5)) << 31;
+            // Biased exponent 1..=254: excludes zero/subnormals (0) and
+            // inf/NaN (255).
+            let exponent: u32 = rng.gen_range(1u32..=254) << 23;
+            let mantissa: u32 = rng.gen_range(0u32..1 << 23);
+            f32::from_bits(sign | exponent | mantissa)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn normal_values_are_normal() {
+            let mut runner = TestRunner::deterministic();
+            for _ in 0..10_000 {
+                let x = NORMAL.generate(&mut runner);
+                assert!(x.is_normal(), "{x} should be normal");
+            }
+        }
+    }
+}

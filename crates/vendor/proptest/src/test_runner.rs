@@ -1,0 +1,57 @@
+//! Deterministic test runner and configuration.
+
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Fixed seed: CI and local runs always see the same cases.
+const DETERMINISTIC_SEED: u64 = 0x4150_5351_2d44_4143; // "APSQ-DAC"
+
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: StdRng,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner {
+            config,
+            rng: StdRng::seed_from_u64(DETERMINISTIC_SEED),
+        }
+    }
+
+    /// Upstream-compatible constructor used by tests that drive strategies
+    /// manually via `new_tree`.
+    pub fn deterministic() -> Self {
+        TestRunner::new(ProptestConfig::default())
+    }
+
+    pub fn config(&self) -> &ProptestConfig {
+        &self.config
+    }
+
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+impl Default for TestRunner {
+    fn default() -> Self {
+        TestRunner::deterministic()
+    }
+}

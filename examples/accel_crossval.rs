@@ -8,9 +8,7 @@
 //! ```
 
 use apsq::accel::{GemmSimulator, PsumPath};
-use apsq::dataflow::{
-    access_counts, AcceleratorConfig, Dataflow, LayerShape, PsumFormat,
-};
+use apsq::dataflow::{access_counts, AcceleratorConfig, Dataflow, LayerShape, PsumFormat};
 use apsq::quant::Bitwidth;
 use apsq::tensor::Int8Tensor;
 
@@ -55,7 +53,10 @@ fn main() {
             ("INT32", PsumPath::ExactInt32, PsumFormat::int32_baseline()),
             (
                 "APSQ gs=2",
-                PsumPath::Apsq { bits: Bitwidth::INT8, gs: 2 },
+                PsumPath::Apsq {
+                    bits: Bitwidth::INT8,
+                    gs: 2,
+                },
                 PsumFormat::apsq_int8(2),
             ),
         ] {
@@ -63,12 +64,36 @@ fn main() {
             let model = access_counts(&layer, &arch, df, &fmt);
             println!("{name} {pname}:");
             let rows = [
-                ("  ifmap SRAM bytes", sim.stats.ifmap.sram_bytes as f64, model.ifmap.sram_bytes),
-                ("  weight SRAM bytes", sim.stats.weight.sram_bytes as f64, model.weight.sram_bytes),
-                ("  weight DRAM bytes", sim.stats.weight.dram_bytes as f64, model.weight.dram_bytes),
-                ("  psum SRAM bytes", sim.stats.psum.sram_bytes as f64, model.psum.sram_bytes),
-                ("  psum DRAM bytes", sim.stats.psum.dram_bytes as f64, model.psum.dram_bytes),
-                ("  ofmap SRAM bytes", sim.stats.ofmap.sram_bytes as f64, model.ofmap.sram_bytes),
+                (
+                    "  ifmap SRAM bytes",
+                    sim.stats.ifmap.sram_bytes as f64,
+                    model.ifmap.sram_bytes,
+                ),
+                (
+                    "  weight SRAM bytes",
+                    sim.stats.weight.sram_bytes as f64,
+                    model.weight.sram_bytes,
+                ),
+                (
+                    "  weight DRAM bytes",
+                    sim.stats.weight.dram_bytes as f64,
+                    model.weight.dram_bytes,
+                ),
+                (
+                    "  psum SRAM bytes",
+                    sim.stats.psum.sram_bytes as f64,
+                    model.psum.sram_bytes,
+                ),
+                (
+                    "  psum DRAM bytes",
+                    sim.stats.psum.dram_bytes as f64,
+                    model.psum.dram_bytes,
+                ),
+                (
+                    "  ofmap SRAM bytes",
+                    sim.stats.ofmap.sram_bytes as f64,
+                    model.ofmap.sram_bytes,
+                ),
                 ("  MACs", sim.stats.macs as f64, model.macs),
             ];
             for (label, s, m) in rows {

@@ -50,8 +50,11 @@ fn main() {
 
     println!("model     : {}", workload.name);
     println!("dataflow  : {df}");
-    println!("psum      : INT{bits}, gs={gs} (β = {}, ws factor = {})",
-        fmt.beta(), fmt.working_set_bytes_per_element());
+    println!(
+        "psum      : INT{bits}, gs={gs} (β = {}, ws factor = {})",
+        fmt.beta(),
+        fmt.working_set_bytes_per_element()
+    );
     println!("MACs      : {:.3e}", workload.total_macs());
     println!("weights   : {:.3e} bytes\n", workload.total_weight_bytes());
 
@@ -59,10 +62,26 @@ fn main() {
     let b = workload_energy(&workload, &arch, df, &base, &table);
     let tot = e.total();
     println!("energy breakdown (this format):");
-    println!("  ifmap  {:10.3e} pJ  ({:4.1}%)", e.ifmap, 100.0 * e.ifmap / tot);
-    println!("  weight {:10.3e} pJ  ({:4.1}%)", e.weight, 100.0 * e.weight / tot);
-    println!("  psum   {:10.3e} pJ  ({:4.1}%)", e.psum, 100.0 * e.psum / tot);
-    println!("  ofmap  {:10.3e} pJ  ({:4.1}%)", e.ofmap, 100.0 * e.ofmap / tot);
+    println!(
+        "  ifmap  {:10.3e} pJ  ({:4.1}%)",
+        e.ifmap,
+        100.0 * e.ifmap / tot
+    );
+    println!(
+        "  weight {:10.3e} pJ  ({:4.1}%)",
+        e.weight,
+        100.0 * e.weight / tot
+    );
+    println!(
+        "  psum   {:10.3e} pJ  ({:4.1}%)",
+        e.psum,
+        100.0 * e.psum / tot
+    );
+    println!(
+        "  ofmap  {:10.3e} pJ  ({:4.1}%)",
+        e.ofmap,
+        100.0 * e.ofmap / tot
+    );
     println!("  op     {:10.3e} pJ  ({:4.1}%)", e.op, 100.0 * e.op / tot);
     println!("  total  {:10.3e} pJ", tot);
     println!("\nnormalized vs INT32 baseline: {:.3}", tot / b.total());

@@ -6,9 +6,7 @@
 //! #                             sequence length ^
 //! ```
 
-use apsq::dataflow::{
-    workload_energy, AcceleratorConfig, Dataflow, EnergyTable, PsumFormat,
-};
+use apsq::dataflow::{workload_energy, AcceleratorConfig, Dataflow, EnergyTable, PsumFormat};
 use apsq::models::{llama_decode_step, llama_prefill, LlamaConfig};
 
 fn main() {
@@ -32,8 +30,7 @@ fn main() {
                 workload_energy(&w, &arch, df, &PsumFormat::int32_baseline(), &table).total();
             print!("  {df}: baseline {base:9.3e} pJ │ APSQ INT8");
             for gs in 1..=4 {
-                let e =
-                    workload_energy(&w, &arch, df, &PsumFormat::apsq_int8(gs), &table).total();
+                let e = workload_energy(&w, &arch, df, &PsumFormat::apsq_int8(gs), &table).total();
                 print!("  gs{gs} {:5.2}x", e / base);
             }
             println!();

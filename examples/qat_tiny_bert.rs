@@ -9,9 +9,7 @@
 //! #                      needs 1000+ steps to train)
 //! ```
 
-use apsq::nn::{
-    evaluate_glue, train_glue, GlueTask, ModelConfig, PsumMode, TrainConfig,
-};
+use apsq::nn::{evaluate_glue, train_glue, GlueTask, ModelConfig, PsumMode, TrainConfig};
 use apsq::quant::Bitwidth;
 
 fn main() {
@@ -33,7 +31,10 @@ fn main() {
     // FP32 teacher (32-bit fake-quant is numerically transparent).
     let mut fp_cfg = ModelConfig::tiny(PsumMode::Exact);
     fp_cfg.bits = Bitwidth::INT32;
-    println!("training FP32 teacher on the {} stand-in ({steps} steps)…", task.name());
+    println!(
+        "training FP32 teacher on the {} stand-in ({steps} steps)…",
+        task.name()
+    );
     let mut teacher = train_glue(task, &fp_cfg, &tc, None);
     let t_acc = evaluate_glue(&mut teacher, task, 300, 999);
     println!("  teacher accuracy: {t_acc:.1}%\n");

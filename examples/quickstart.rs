@@ -39,8 +39,7 @@ fn main() {
     // Grouped APSQ: INT8 storage for every additive partial sum.
     for gs in [1usize, 2, 3, 4] {
         let group = GroupSize::new(gs);
-        let sched =
-            ScaleSchedule::calibrate(std::slice::from_ref(&stream), Bitwidth::INT8, group);
+        let sched = ScaleSchedule::calibrate(std::slice::from_ref(&stream), Bitwidth::INT8, group);
         let run = grouped_apsq(&stream, &sched, &ApsqConfig::int8(gs));
         println!(
             "APSQ gs={gs}       : SQNR {:6.1} dB  (INT8 storage; {} buffer reads, {} writes)",

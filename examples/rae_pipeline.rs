@@ -6,7 +6,7 @@
 //! #                          group size (1..4) ^
 //! ```
 
-use apsq::core::{grouped_apsq, ApsqConfig, GroupSize, ScaleSchedule, synthetic_psum_stream};
+use apsq::core::{grouped_apsq, synthetic_psum_stream, ApsqConfig, GroupSize, ScaleSchedule};
 use apsq::quant::Bitwidth;
 use apsq::rae::{config_table, RaeConfig, RaeEngine};
 use rand::rngs::StdRng;
@@ -24,8 +24,14 @@ fn main() {
     let sched = ScaleSchedule::calibrate(std::slice::from_ref(&tiles), Bitwidth::INT8, group);
 
     println!("RAE configuration: gs={gs} → {}", config_table(group));
-    println!("scale register list (exponents): {:?}\n",
-        sched.scales().iter().map(|s| s.exponent()).collect::<Vec<_>>());
+    println!(
+        "scale register list (exponents): {:?}\n",
+        sched
+            .scales()
+            .iter()
+            .map(|s| s.exponent())
+            .collect::<Vec<_>>()
+    );
 
     let mut engine = RaeEngine::new(RaeConfig::int8(gs));
     engine.enable_trace();
@@ -45,8 +51,10 @@ fn main() {
     }
 
     let stats = engine.stats();
-    println!("\nstats: {} cycles, {} bank reads, {} bank writes, {} adds, {} shifts",
-        stats.cycles, stats.bank_reads, stats.bank_writes, stats.adds, stats.shifts);
+    println!(
+        "\nstats: {} cycles, {} bank reads, {} bank writes, {} adds, {} shifts",
+        stats.cycles, stats.bank_reads, stats.bank_writes, stats.adds, stats.shifts
+    );
 
     // Bit-exactness against the software golden model.
     let golden = grouped_apsq(&tiles, &sched, &ApsqConfig::int8(gs));

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Local mirror of .github/workflows/ci.yml — run before pushing.
+# Any command failing fails the script, exactly like the CI gate.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo build --examples"
+cargo build --examples
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo test -q --release -p apsq-nn --lib  (release-gated QAT tests)"
+cargo test -q --release -p apsq-nn --lib
+
+echo "All checks passed."

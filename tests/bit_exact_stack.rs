@@ -30,10 +30,7 @@ fn golden_equals_rae_on_gemm_psum_streams() {
     let (a, w) = tensors(6, 64, 4, 5);
     // PSUM tiles exactly as a Pci=8 PE array would produce them.
     let tiles = int8_matmul_psum_tiles(&a, &w, 8);
-    let flat: Vec<_> = tiles
-        .iter()
-        .map(|t| t.clone())
-        .collect();
+    let flat = tiles.to_vec();
     for gs in 1..=4 {
         let sched = ScaleSchedule::calibrate(
             std::slice::from_ref(&flat),
@@ -114,16 +111,21 @@ fn convolution_through_the_accelerator_is_bit_exact() {
     // the WS simulator: output must equal the direct convolution.
     use apsq::tensor::{conv2d_i8_reference, im2col_i8};
     let input = Int8Tensor::from_vec(
-        (0..3 * 11 * 11).map(|x| ((x * 41 + 9) % 253) as i8 ).collect(),
+        (0..3 * 11 * 11)
+            .map(|x| ((x * 41 + 9) % 253) as i8)
+            .collect(),
         [3, 11, 11],
     );
     let weight4 = Int8Tensor::from_vec(
-        (0..8 * 3 * 3 * 3).map(|x| ((x * 67 + 5) % 247) as i8).collect(),
+        (0..8 * 3 * 3 * 3)
+            .map(|x| ((x * 67 + 5) % 247) as i8)
+            .collect(),
         [8, 3, 3, 3],
     );
     let direct = conv2d_i8_reference(&input, &weight4, 2);
 
     let lowered = im2col_i8(&input, 3, 2); // [25, 27]
+
     // Weights as [C·K·K, Co].
     let mut wmat = vec![0i8; 27 * 8];
     for oc in 0..8 {

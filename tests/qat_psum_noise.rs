@@ -48,15 +48,10 @@ fn lower_psum_bits_mean_more_noise() {
 fn grouping_reduces_noise_at_int8() {
     // Table I's direction: gs=1 noisiest, larger groups recover. Averaged
     // over seeds to suppress draw-to-draw variance.
-    let avg = |gs: usize| -> f32 {
-        (0..6).map(|s| psum_noise(8, gs, 100 + s)).sum::<f32>() / 6.0
-    };
+    let avg = |gs: usize| -> f32 { (0..6).map(|s| psum_noise(8, gs, 100 + s)).sum::<f32>() / 6.0 };
     let g1 = avg(1);
     let g4 = avg(4);
-    assert!(
-        g4 < g1,
-        "gs=4 noise {g4} should be below gs=1 noise {g1}"
-    );
+    assert!(g4 < g1, "gs=4 noise {g4} should be below gs=1 noise {g1}");
 }
 
 #[test]
@@ -90,8 +85,5 @@ fn apsq_training_step_converges_with_noise() {
         layer.zero_grads();
     }
     let l1 = loss(&layer.forward(&x));
-    assert!(
-        l1 < 0.8 * l0,
-        "loss did not improve: {l0} → {l1}"
-    );
+    assert!(l1 < 0.8 * l0, "loss did not improve: {l0} → {l1}");
 }
