@@ -6,7 +6,7 @@ use crate::stats::SimStats;
 use apsq_core::{grouped_apsq, ApsqConfig, GroupSize, ScaleSchedule};
 use apsq_dataflow::{AcceleratorConfig, Dataflow};
 use apsq_quant::Bitwidth;
-use apsq_tensor::{Int32Tensor, Int8Tensor};
+use apsq_tensor::{ExecEngine, Int32Tensor, Int8Tensor};
 
 /// How the simulator treats partial sums.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -58,6 +58,7 @@ pub struct GemmSimulator {
     arch: AcceleratorConfig,
     dataflow: Dataflow,
     psum_path: PsumPath,
+    engine: ExecEngine,
 }
 
 impl GemmSimulator {
@@ -69,6 +70,22 @@ impl GemmSimulator {
     /// output-stationary (the PSUM path under study does not exist there),
     /// or if an APSQ path has `gs = 0`.
     pub fn new(arch: AcceleratorConfig, dataflow: Dataflow, psum_path: PsumPath) -> Self {
+        Self::with_engine(arch, dataflow, psum_path, ExecEngine::serial())
+    }
+
+    /// Creates a simulator whose PE-array tile computations dispatch on
+    /// `engine` (parallelized over output-tile rows). Traffic accounting
+    /// and outputs are bit-identical for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`GemmSimulator::new`].
+    pub fn with_engine(
+        arch: AcceleratorConfig,
+        dataflow: Dataflow,
+        psum_path: PsumPath,
+        engine: ExecEngine,
+    ) -> Self {
         arch.validate();
         assert!(
             dataflow.buffers_psums(),
@@ -81,6 +98,7 @@ impl GemmSimulator {
             arch,
             dataflow,
             psum_path,
+            engine,
         }
     }
 
@@ -148,31 +166,34 @@ impl GemmSimulator {
                 stats.ifmap.sram_bytes += (t * ci) as u64;
             }
 
-            // Produce the PSUM tile stream for this co-group.
+            // Produce the PSUM tile stream for this co-group. The MAC
+            // arithmetic runs through the execution engine (bit-identical
+            // to the scalar loops for every thread count); the traffic and
+            // cycle accounting below is the closed form of the per-token-
+            // tile loop it replaces.
             let mut tiles: Vec<Int32Tensor> = Vec::with_capacity(np);
             for cig in 0..np {
                 let ci0 = cig * pci;
                 let ci1 = usize::min(ci0 + pci, ci);
                 let mut tile = vec![0i32; t * (co1 - co0)];
-                for tt in 0..tok_tiles {
-                    let t0 = tt * po;
-                    let t1 = usize::min(t0 + po, t);
-                    // Stream the input tile out of SRAM.
-                    stats.ifmap.sram_bytes += ((t1 - t0) * (ci1 - ci0)) as u64;
-                    // MAC the tile triple.
-                    for tok in t0..t1 {
-                        for oc in co0..co1 {
-                            let mut acc = 0i32;
-                            for icn in ci0..ci1 {
-                                acc += ifmap.data()[tok * ci + icn] as i32
-                                    * weight.data()[icn * co + oc] as i32;
-                            }
-                            tile[tok * (co1 - co0) + (oc - co0)] = acc;
-                            stats.macs += (ci1 - ci0) as u64;
-                        }
-                    }
-                    stats.array_cycles += 1;
-                }
+                self.engine.int8_gemm_block(
+                    ifmap.data(),
+                    ci,
+                    &weight.data()[co0..],
+                    co,
+                    &mut tile,
+                    co1 - co0,
+                    t,
+                    co1 - co0,
+                    ci0,
+                    ci1,
+                );
+                // One ifmap SRAM read per (token, input-channel) pair…
+                stats.ifmap.sram_bytes += (t * (ci1 - ci0)) as u64;
+                // …one MAC per (token, output-channel, input-channel)…
+                stats.macs += (t * (co1 - co0) * (ci1 - ci0)) as u64;
+                // …and one array pass per Po-token tile.
+                stats.array_cycles += tok_tiles as u64;
                 tiles.push(Int32Tensor::from_vec(tile, [t * (co1 - co0)]));
             }
 
@@ -240,27 +261,27 @@ impl GemmSimulator {
                 stats.weight.sram_bytes += 2 * (ci * co) as u64;
             }
 
+            // Tile MACs run through the engine; accounting is the closed
+            // form of the per-co-group loop it replaces.
             let mut tiles: Vec<Int32Tensor> = Vec::with_capacity(np);
             for cig in 0..np {
                 let ci0 = cig * pci;
                 let ci1 = usize::min(ci0 + pci, ci);
                 let mut tile = vec![0i32; (t1 - t0) * co];
-                for cog in 0..co_groups {
-                    let co0 = cog * pco;
-                    let co1 = usize::min(co0 + pco, co);
-                    for tok in t0..t1 {
-                        for oc in co0..co1 {
-                            let mut acc = 0i32;
-                            for icn in ci0..ci1 {
-                                acc += ifmap.data()[tok * ci + icn] as i32
-                                    * weight.data()[icn * co + oc] as i32;
-                            }
-                            tile[(tok - t0) * co + oc] = acc;
-                            stats.macs += (ci1 - ci0) as u64;
-                        }
-                    }
-                    stats.array_cycles += 1;
-                }
+                self.engine.int8_gemm_block(
+                    &ifmap.data()[t0 * ci..],
+                    ci,
+                    weight.data(),
+                    co,
+                    &mut tile,
+                    co,
+                    t1 - t0,
+                    co,
+                    ci0,
+                    ci1,
+                );
+                stats.macs += ((t1 - t0) * co * (ci1 - ci0)) as u64;
+                stats.array_cycles += co_groups as u64;
                 tiles.push(Int32Tensor::from_vec(tile, [(t1 - t0) * co]));
             }
 
@@ -391,6 +412,31 @@ mod tests {
         let r = sim.run(&a, &w);
         assert_eq!(r.output, int8_matmul(&a, &w));
         assert_eq!(r.stats.macs, (9 * 17 * 13) as u64);
+    }
+
+    #[test]
+    fn parallel_engine_simulation_is_bit_identical() {
+        let (a, w) = test_tensors(33, 70, 21); // ragged against every tile dim
+        for dataflow in [Dataflow::WeightStationary, Dataflow::InputStationary] {
+            for path in [
+                PsumPath::ExactInt32,
+                PsumPath::Apsq {
+                    bits: Bitwidth::INT8,
+                    gs: 2,
+                },
+            ] {
+                let serial = GemmSimulator::new(small_arch(), dataflow, path).run(&a, &w);
+                let parallel = GemmSimulator::with_engine(
+                    small_arch(),
+                    dataflow,
+                    path,
+                    ExecEngine::with_threads(4).with_spawn_threshold(0),
+                )
+                .run(&a, &w);
+                assert_eq!(parallel.output, serial.output, "{dataflow:?} {path:?}");
+                assert_eq!(parallel.stats, serial.stats, "{dataflow:?} {path:?}");
+            }
+        }
     }
 
     #[test]

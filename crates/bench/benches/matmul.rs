@@ -1,7 +1,9 @@
-//! Criterion: the matmul kernels behind QAT and the integer simulators,
-//! including the K-tiled PSUM variant's overhead over plain matmul.
+//! Criterion: the matmul kernels behind QAT and the integer simulators —
+//! the legacy serial kernel vs the `ExecEngine` thread sweep at paper
+//! scale, plus the K-tiled PSUM variant's overhead over plain matmul.
 
-use apsq_tensor::{int8_matmul, matmul, matmul_psum_tiles, Int8Tensor, Tensor};
+use apsq_bench::baseline::matmul_reference;
+use apsq_tensor::{int8_matmul, matmul, matmul_psum_tiles, ExecEngine, Int8Tensor, Tensor};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench_matmul(c: &mut Criterion) {
@@ -38,5 +40,46 @@ fn bench_matmul(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_matmul);
+/// The tentpole comparison: legacy serial kernel vs the cache-blocked
+/// engine at 1/2/4/8 threads on a paper-scale square GEMM (every large
+/// FFN/attention GEMM in the model inventories lives in this regime).
+fn bench_engine_scaling(c: &mut Criterion) {
+    let n = 512usize;
+    let a = Tensor::from_vec((0..n * n).map(|x| (x % 97) as f32 * 0.01).collect(), [n, n]);
+    let b = Tensor::from_vec((0..n * n).map(|x| (x % 89) as f32 * 0.01).collect(), [n, n]);
+    let flops = 2 * (n as u64).pow(3);
+
+    let mut g = c.benchmark_group(format!("engine_f32_{n}cubed"));
+    g.throughput(Throughput::Elements(flops));
+    g.bench_function("serial_reference", |bch| {
+        bch.iter(|| matmul_reference(std::hint::black_box(&a), std::hint::black_box(&b)))
+    });
+    for threads in [1usize, 2, 4, 8] {
+        let eng = ExecEngine::with_threads(threads);
+        g.bench_with_input(
+            BenchmarkId::new("engine_threads", threads),
+            &threads,
+            |bch, _| bch.iter(|| eng.matmul(std::hint::black_box(&a), std::hint::black_box(&b))),
+        );
+    }
+    g.finish();
+
+    let ai = Int8Tensor::from_vec((0..n * n).map(|x| (x % 251) as i8).collect(), [n, n]);
+    let bi = Int8Tensor::from_vec((0..n * n).map(|x| (x % 241) as i8).collect(), [n, n]);
+    let mut g = c.benchmark_group(format!("engine_int8_{n}cubed"));
+    g.throughput(Throughput::Elements(flops));
+    for threads in [1usize, 4] {
+        let eng = ExecEngine::with_threads(threads);
+        g.bench_with_input(
+            BenchmarkId::new("engine_threads", threads),
+            &threads,
+            |bch, _| {
+                bch.iter(|| eng.int8_matmul(std::hint::black_box(&ai), std::hint::black_box(&bi)))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_engine_scaling);
 criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! The pre-engine scalar GEMM kernel, frozen as the speedup baseline.
+//!
+//! This is the exact `i-k-j` loop the workspace shipped before the
+//! [`apsq_tensor::ExecEngine`] existed (see `crates/tensor/src/matmul.rs`
+//! history): one output row live at a time, `b` re-streamed for every row
+//! of `a`, no cache blocking, no register tiling. The engine benches and
+//! `engine_speedup` measure against it so the reported speedups mean
+//! "engine vs what every hot path used to run".
+
+use apsq_tensor::Tensor;
+
+/// Serial reference matmul: `[M, K] × [K, N] → [M, N]` with the legacy
+/// unblocked kernel.
+///
+/// # Panics
+///
+/// Panics if either operand is not rank-2 or inner dims disagree.
+pub fn matmul_reference(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 2, "matmul: `a` must be rank-2");
+    assert_eq!(b.rank(), 2, "matmul: `b` must be rank-2");
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (kb, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, kb, "matmul: inner dimensions {k} vs {kb} disagree");
+    let (ad, bd) = (a.data(), b.data());
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (l, &aval) in arow.iter().enumerate() {
+            if aval == 0.0 {
+                continue;
+            }
+            let brow = &bd[l * n..(l + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += aval * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, [m, n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apsq_tensor::ExecEngine;
+
+    #[test]
+    fn reference_agrees_with_engine_within_rounding() {
+        let a = Tensor::from_vec(
+            (0..32 * 48).map(|x| (x % 13) as f32 - 6.0).collect(),
+            [32, 48],
+        );
+        let b = Tensor::from_vec(
+            (0..48 * 24).map(|x| (x % 7) as f32 - 3.0).collect(),
+            [48, 24],
+        );
+        let r = matmul_reference(&a, &b);
+        let e = ExecEngine::serial().matmul(&a, &b);
+        for (x, y) in r.data().iter().zip(e.data()) {
+            assert!((x - y).abs() <= 1e-3 * (1.0 + y.abs()));
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Measures the `ExecEngine` speedup over the legacy serial matmul kernel
+//! at a paper-scale GEMM and records the result as machine-readable JSON
+//! (`BENCH_matmul.json`, or the path given with `--out`).
+//!
+//! ```text
+//! cargo run --release -p apsq-bench --bin engine_speedup [-- --size 1024] [--quick] [--out PATH]
+//! ```
+//!
+//! `--quick` drops to a 256³ smoke size (CI); the default 1024³ is the
+//! scale at which the naive kernel's cache behavior collapses and the
+//! blocked engine pulls ahead — the regime every large FFN/attention GEMM
+//! in the model inventories lives in.
+
+use apsq_bench::baseline::matmul_reference;
+use apsq_bench::report::Table;
+use apsq_tensor::{ExecEngine, Tensor};
+use std::time::Instant;
+
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+const REPS: usize = 3;
+
+fn best_seconds(mut f: impl FnMut() -> Tensor) -> (Tensor, f64) {
+    let mut best = f64::MAX;
+    let mut out = None;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        let y = std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+        out = Some(y);
+    }
+    (out.expect("REPS > 0"), best)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut size: usize = 1024;
+    if args.iter().any(|a| a == "--quick") {
+        size = 256;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--size") {
+        if let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+            size = n;
+        }
+    }
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_matmul.json".to_string());
+
+    let n = size;
+    let a = Tensor::from_vec(
+        (0..n * n).map(|x| ((x % 97) as f32) * 0.01).collect(),
+        [n, n],
+    );
+    let b = Tensor::from_vec(
+        (0..n * n).map(|x| ((x % 89) as f32) * 0.01).collect(),
+        [n, n],
+    );
+    let gflop = 2.0 * (n as f64).powi(3) / 1e9;
+
+    println!("== ExecEngine speedup at {n}x{n}x{n} (best of {REPS}) ==\n");
+    let (_, t_ref) = best_seconds(|| matmul_reference(&a, &b));
+
+    let mut table = Table::new(&["kernel", "seconds", "GFLOP/s", "speedup"]);
+    table.row(vec![
+        "serial reference".into(),
+        format!("{t_ref:.4}"),
+        format!("{:.2}", gflop / t_ref),
+        "1.00x".into(),
+    ]);
+
+    let serial_out = ExecEngine::serial().matmul(&a, &b);
+    let mut entries = Vec::new();
+    let mut bit_identical = true;
+    let mut speedup_at_4 = 0.0f64;
+    for threads in THREAD_SWEEP {
+        let eng = ExecEngine::with_threads(threads);
+        let (y, t) = best_seconds(|| eng.matmul(&a, &b));
+        bit_identical &= y == serial_out;
+        let speedup = t_ref / t;
+        if threads == 4 {
+            speedup_at_4 = speedup;
+        }
+        table.row(vec![
+            format!("engine {threads}t"),
+            format!("{t:.4}"),
+            format!("{:.2}", gflop / t),
+            format!("{speedup:.2}x"),
+        ]);
+        entries.push(format!(
+            "    {{\"threads\": {threads}, \"seconds\": {t:.6}, \"speedup\": {speedup:.4}}}"
+        ));
+    }
+    println!("{}", table.render());
+    println!(
+        "engine output bit-identical to serial across thread sweep: {}",
+        bit_identical
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"matmul_exec_engine\",\n  \"shape\": {{\"m\": {n}, \"k\": {n}, \"n\": {n}}},\n  \"reference_serial_seconds\": {t_ref:.6},\n  \"engine\": [\n{}\n  ],\n  \"bit_identical_across_threads\": {bit_identical},\n  \"speedup_at_4_threads\": {speedup_at_4:.4}\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("\nwrote {out_path}");
+    assert!(
+        bit_identical,
+        "parallel engine output diverged from serial — determinism contract broken"
+    );
+}

@@ -212,6 +212,7 @@ impl AccuracyOptions {
             distill_weight: 0.5,
             temperature: 2.0,
             seed: self.seed,
+            threads: 1,
         }
     }
 }

@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod experiments;
 pub mod report;
 

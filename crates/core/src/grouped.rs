@@ -82,77 +82,19 @@ pub fn grouped_apsq(
         schedule.len(),
         np
     );
-    let numel = tiles[0].numel();
     assert!(
         tiles.iter().all(|t| t.shape() == tiles[0].shape()),
         "all PSUM tiles must share one shape"
     );
 
-    let gs = config.group_size.get();
-    let mut traffic = BufferTraffic::new();
-    let mut stored_codes: Vec<Vec<i32>> = Vec::with_capacity(np);
-    let mut output: Option<Int32Tensor> = None;
-
-    // `i` is the algorithm's PSUM step number, not a slice cursor.
-    #[allow(clippy::needless_range_loop)]
-    for i in 0..np {
-        let is_apsq_step = i % gs == 0;
-        let is_final = i == np - 1;
-        let scale = schedule.scale(i);
-
-        if is_apsq_step {
-            // Lines 4–7: accumulate the previous group (if any) + Tp_i.
-            let mut acc: Vec<i64> = vec![0; numel];
-            if i > 0 {
-                for l in i - gs..i {
-                    let ls = schedule.scale(l);
-                    for (a, &c) in acc.iter_mut().zip(stored_codes[l].iter()) {
-                        *a += ls.dequantize(c) as i64;
-                    }
-                    traffic.reads += numel as u64;
-                }
-            }
-            for (a, &t) in acc.iter_mut().zip(tiles[i].data().iter()) {
-                *a += t as i64;
-            }
-            let codes: Vec<i32> = acc.iter().map(|&v| scale.quantize(clamp_i64(v))).collect();
-            traffic.writes += numel as u64;
-            if is_final {
-                output = Some(dequant_tile(&codes, scale, &tiles[i]));
-            }
-            stored_codes.push(codes);
-        } else if !is_final {
-            // Lines 9–11: plain PSUM quantization of Tp_i.
-            let codes: Vec<i32> = tiles[i].data().iter().map(|&v| scale.quantize(v)).collect();
-            traffic.writes += numel as u64;
-            stored_codes.push(codes);
-        } else {
-            // Lines 13–14: final tile inside a group — fold the stored
-            // group prefix with Tp_{np−1} and produce To.
-            let group_start = (i / gs) * gs;
-            let mut acc: Vec<i64> = vec![0; numel];
-            for l in group_start..i {
-                let ls = schedule.scale(l);
-                for (a, &c) in acc.iter_mut().zip(stored_codes[l].iter()) {
-                    *a += ls.dequantize(c) as i64;
-                }
-                traffic.reads += numel as u64;
-            }
-            for (a, &t) in acc.iter_mut().zip(tiles[i].data().iter()) {
-                *a += t as i64;
-            }
-            let codes: Vec<i32> = acc.iter().map(|&v| scale.quantize(clamp_i64(v))).collect();
-            traffic.writes += numel as u64;
-            output = Some(dequant_tile(&codes, scale, &tiles[i]));
-            stored_codes.push(codes);
-        }
+    // One incremental step per tile — `StreamingApsq` IS the algorithm;
+    // this batch entry point just drives it, so the push-based and batch
+    // APIs stay bit-identical by construction.
+    let mut stream = crate::streaming::StreamingApsq::new(schedule.clone(), *config);
+    for tile in tiles {
+        stream.push_ref(tile);
     }
-
-    ApsqRun {
-        output: output.expect("final step always produces the output tile"),
-        stored_codes,
-        traffic,
-    }
+    stream.finish()
 }
 
 /// The pure eq (10) recursion (`gs = 1`), written independently of
@@ -193,15 +135,8 @@ pub fn apsq_recursion_reference(tiles: &[Int32Tensor], schedule: &ScaleSchedule)
     )
 }
 
-fn clamp_i64(v: i64) -> i32 {
+pub(crate) fn clamp_i64(v: i64) -> i32 {
     v.clamp(i32::MIN as i64, i32::MAX as i64) as i32
-}
-
-fn dequant_tile(codes: &[i32], scale: apsq_quant::Pow2Scale, like: &Int32Tensor) -> Int32Tensor {
-    Int32Tensor::from_vec(
-        codes.iter().map(|&c| scale.dequantize(c)).collect(),
-        like.shape().clone(),
-    )
 }
 
 #[cfg(test)]

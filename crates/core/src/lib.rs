@@ -20,6 +20,10 @@
 //! - [`apsq_recursion_reference`] — an independent eq (10) implementation
 //!   for cross-checking `gs = 1`;
 //! - [`grouped_apsq_f32`] — the float fake-quant twin used during QAT;
+//! - [`StreamingApsq`] / [`grouped_apsq_streamed`] — the incremental form:
+//!   one algorithm step per pushed tile, and an
+//!   [`apsq_tensor::ExecEngine`]-driven GEMM that folds APSQ quantization
+//!   directly into the K loop without materializing the tile stream;
 //! - [`exact_accumulate`] / [`psq_adc_reference`] — the baselines;
 //! - [`ScaleSchedule`] — per-step power-of-two scale calibration;
 //! - [`error_vs_group_size`] and friends — SQNR analysis.
@@ -58,6 +62,6 @@ pub use float_apsq::{grouped_apsq_f32, FloatScaleSchedule};
 pub use grouped::{apsq_recursion_reference, grouped_apsq, ApsqRun};
 pub use reference::{exact_accumulate, psq_adc_reference};
 pub use schedule::ScaleSchedule;
-pub use streaming::StreamingApsq;
+pub use streaming::{grouped_apsq_streamed, StreamingApsq};
 pub use theory::{predicted_error_variance, predicted_sqnr_db, signal_power};
 pub use traffic::BufferTraffic;

@@ -1,15 +1,20 @@
-//! Incremental (push-based) grouped APSQ, for simulators that produce PSUM
-//! tiles one accumulation step at a time.
+//! Incremental (push-based) grouped APSQ, for simulators and execution
+//! engines that produce PSUM tiles one accumulation step at a time.
 
 use crate::config::ApsqConfig;
-use crate::grouped::{grouped_apsq, ApsqRun};
+use crate::grouped::{clamp_i64, ApsqRun};
 use crate::schedule::ScaleSchedule;
-use apsq_tensor::Int32Tensor;
+use crate::traffic::BufferTraffic;
+use apsq_tensor::{ExecEngine, Int32Tensor, Int8Tensor};
 
-/// A push-based wrapper over [`grouped_apsq`] with identical semantics:
-/// feed PSUM tiles in accumulation order with [`StreamingApsq::push`], then
-/// call [`StreamingApsq::finish`] once all `schedule.len()` tiles have
-/// arrived.
+/// A truly incremental implementation of Algorithm 1 (grouped APSQ):
+/// each [`StreamingApsq::push`] executes one algorithm step immediately,
+/// so only the INT8 code bank — the state the hardware itself keeps — is
+/// retained between steps. The incoming PSUM tiles are **not** collected;
+/// peak tile memory is one tile regardless of stream length.
+///
+/// [`crate::grouped_apsq`] is a thin batch wrapper over this type, so the
+/// two stay bit-identical by construction.
 ///
 /// # Examples
 ///
@@ -29,7 +34,11 @@ use apsq_tensor::Int32Tensor;
 pub struct StreamingApsq {
     schedule: ScaleSchedule,
     config: ApsqConfig,
-    tiles: Vec<Int32Tensor>,
+    step: usize,
+    shape: Option<apsq_tensor::Shape>,
+    stored_codes: Vec<Vec<i32>>,
+    traffic: BufferTraffic,
+    output: Option<Int32Tensor>,
 }
 
 impl StreamingApsq {
@@ -39,13 +48,17 @@ impl StreamingApsq {
         StreamingApsq {
             schedule,
             config,
-            tiles: Vec::with_capacity(np),
+            step: 0,
+            shape: None,
+            stored_codes: Vec::with_capacity(np),
+            traffic: BufferTraffic::new(),
+            output: None,
         }
     }
 
     /// Number of tiles pushed so far.
     pub fn steps_taken(&self) -> usize {
-        self.tiles.len()
+        self.step
     }
 
     /// Number of tiles expected in total.
@@ -60,19 +73,77 @@ impl StreamingApsq {
     /// Panics if more tiles are pushed than the schedule covers, or if the
     /// tile shape differs from the first tile's.
     pub fn push(&mut self, tile: Int32Tensor) {
-        assert!(
-            self.tiles.len() < self.schedule.len(),
-            "stream already received all {} tiles",
-            self.schedule.len()
-        );
-        if let Some(first) = self.tiles.first() {
-            assert_eq!(
-                first.shape(),
-                tile.shape(),
-                "all PSUM tiles must share one shape"
-            );
+        self.push_ref(&tile);
+    }
+
+    /// Pushes the next PSUM tile by reference — the zero-copy entry point
+    /// for engines that stream tiles through one reusable buffer
+    /// ([`ExecEngine::int8_for_each_k_tile`]).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`StreamingApsq::push`].
+    pub fn push_ref(&mut self, tile: &Int32Tensor) {
+        let np = self.schedule.len();
+        assert!(self.step < np, "stream already received all {} tiles", np);
+        match &self.shape {
+            Some(shape) => assert_eq!(shape, tile.shape(), "all PSUM tiles must share one shape"),
+            None => self.shape = Some(tile.shape().clone()),
         }
-        self.tiles.push(tile);
+        let numel = tile.numel();
+        let gs = self.config.group_size.get();
+        let i = self.step;
+        let is_apsq_step = i.is_multiple_of(gs);
+        let is_final = i == np - 1;
+        let scale = self.schedule.scale(i);
+
+        if is_apsq_step {
+            // Lines 4–7: accumulate the previous group (if any) + Tp_i.
+            let mut acc: Vec<i64> = vec![0; numel];
+            if i > 0 {
+                for l in i - gs..i {
+                    let ls = self.schedule.scale(l);
+                    for (a, &c) in acc.iter_mut().zip(self.stored_codes[l].iter()) {
+                        *a += ls.dequantize(c) as i64;
+                    }
+                    self.traffic.reads += numel as u64;
+                }
+            }
+            for (a, &t) in acc.iter_mut().zip(tile.data().iter()) {
+                *a += t as i64;
+            }
+            let codes: Vec<i32> = acc.iter().map(|&v| scale.quantize(clamp_i64(v))).collect();
+            self.traffic.writes += numel as u64;
+            if is_final {
+                self.output = Some(dequant_tile(&codes, scale, tile));
+            }
+            self.stored_codes.push(codes);
+        } else if !is_final {
+            // Lines 9–11: plain PSUM quantization of Tp_i.
+            let codes: Vec<i32> = tile.data().iter().map(|&v| scale.quantize(v)).collect();
+            self.traffic.writes += numel as u64;
+            self.stored_codes.push(codes);
+        } else {
+            // Lines 13–14: final tile inside a group — fold the stored
+            // group prefix with Tp_{np−1} and produce To.
+            let group_start = (i / gs) * gs;
+            let mut acc: Vec<i64> = vec![0; numel];
+            for l in group_start..i {
+                let ls = self.schedule.scale(l);
+                for (a, &c) in acc.iter_mut().zip(self.stored_codes[l].iter()) {
+                    *a += ls.dequantize(c) as i64;
+                }
+                self.traffic.reads += numel as u64;
+            }
+            for (a, &t) in acc.iter_mut().zip(tile.data().iter()) {
+                *a += t as i64;
+            }
+            let codes: Vec<i32> = acc.iter().map(|&v| scale.quantize(clamp_i64(v))).collect();
+            self.traffic.writes += numel as u64;
+            self.output = Some(dequant_tile(&codes, scale, tile));
+            self.stored_codes.push(codes);
+        }
+        self.step += 1;
     }
 
     /// Completes the stream and returns the APSQ result.
@@ -82,19 +153,92 @@ impl StreamingApsq {
     /// Panics if fewer tiles were pushed than the schedule covers.
     pub fn finish(self) -> ApsqRun {
         assert_eq!(
-            self.tiles.len(),
+            self.step,
             self.schedule.len(),
             "stream received {} of {} tiles",
-            self.tiles.len(),
+            self.step,
             self.schedule.len()
         );
-        grouped_apsq(&self.tiles, &self.schedule, &self.config)
+        ApsqRun {
+            output: self
+                .output
+                .expect("final step always produces the output tile"),
+            stored_codes: self.stored_codes,
+            traffic: self.traffic,
+        }
     }
+}
+
+fn dequant_tile(codes: &[i32], scale: apsq_quant::Pow2Scale, like: &Int32Tensor) -> Int32Tensor {
+    Int32Tensor::from_vec(
+        codes.iter().map(|&c| scale.dequantize(c)).collect(),
+        like.shape().clone(),
+    )
+}
+
+/// Grouped APSQ folded directly into the K loop of an INT8 GEMM: the
+/// engine streams each `Pci`-deep PSUM tile of `a · b` through one
+/// reusable buffer, and each tile is quantized/accumulated the moment it
+/// is produced — no `Vec<Int32Tensor>` is ever materialized. This is the
+/// software shape of the RAE sitting next to the PE array.
+///
+/// Produces exactly the same [`ApsqRun`] as running [`crate::grouped_apsq`]
+/// over [`apsq_tensor::int8_matmul_psum_tiles`] (verified by property
+/// tests), for every group size and engine thread count.
+///
+/// # Panics
+///
+/// Panics if operands are not rank-2, inner dims disagree, `k_tile == 0`,
+/// or `schedule.len() != ceil(K / k_tile)`.
+///
+/// # Examples
+///
+/// ```
+/// use apsq_core::{grouped_apsq, grouped_apsq_streamed, ApsqConfig, GroupSize, ScaleSchedule};
+/// use apsq_quant::Bitwidth;
+/// use apsq_tensor::{int8_matmul_psum_tiles, ExecEngine, Int8Tensor};
+///
+/// let a = Int8Tensor::from_vec((0..4 * 16).map(|x| (x % 17) as i8 - 8).collect(), [4, 16]);
+/// let b = Int8Tensor::from_vec((0..16 * 3).map(|x| (x % 11) as i8 - 5).collect(), [16, 3]);
+/// let tiles = int8_matmul_psum_tiles(&a, &b, 4);
+/// let sched = ScaleSchedule::calibrate(
+///     std::slice::from_ref(&tiles),
+///     Bitwidth::INT8,
+///     GroupSize::new(2),
+/// );
+/// let batch = grouped_apsq(&tiles, &sched, &ApsqConfig::int8(2));
+/// let streamed = grouped_apsq_streamed(
+///     &ExecEngine::serial(), &a, &b, 4, &sched, &ApsqConfig::int8(2),
+/// );
+/// assert_eq!(streamed.output, batch.output);
+/// ```
+pub fn grouped_apsq_streamed(
+    engine: &ExecEngine,
+    a: &Int8Tensor,
+    b: &Int8Tensor,
+    k_tile: usize,
+    schedule: &ScaleSchedule,
+    config: &ApsqConfig,
+) -> ApsqRun {
+    assert!(k_tile > 0, "k_tile must be positive");
+    let k = a.dims()[1];
+    let np = k.div_ceil(k_tile);
+    assert_eq!(
+        schedule.len(),
+        np,
+        "schedule covers {} steps but the GEMM produces {} PSUM tiles",
+        schedule.len(),
+        np
+    );
+    let mut stream = StreamingApsq::new(schedule.clone(), *config);
+    engine.int8_for_each_k_tile(a, b, k_tile, |_, tile| stream.push_ref(tile));
+    stream.finish()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::grouped::grouped_apsq;
     use apsq_quant::Bitwidth;
 
     #[test]
@@ -118,6 +262,35 @@ mod tests {
     }
 
     #[test]
+    fn streamed_gemm_matches_batch_over_collected_tiles() {
+        let a = Int8Tensor::from_vec(
+            (0..8 * 48).map(|x| ((x * 37) % 255) as i8).collect(),
+            [8, 48],
+        );
+        let b = Int8Tensor::from_vec(
+            (0..48 * 6).map(|x| ((x * 73) % 251) as i8).collect(),
+            [48, 6],
+        );
+        for (k_tile, gs) in [(8usize, 1usize), (8, 2), (8, 4), (8, 6), (7, 3), (48, 1)] {
+            let tiles = apsq_tensor::int8_matmul_psum_tiles(&a, &b, k_tile);
+            let sched = ScaleSchedule::calibrate(
+                std::slice::from_ref(&tiles),
+                Bitwidth::INT8,
+                crate::GroupSize::new(gs),
+            );
+            let cfg = ApsqConfig::int8(gs);
+            let batch = grouped_apsq(&tiles, &sched, &cfg);
+            for threads in [1usize, 4] {
+                let eng = ExecEngine::with_threads(threads).with_spawn_threshold(0);
+                let run = grouped_apsq_streamed(&eng, &a, &b, k_tile, &sched, &cfg);
+                assert_eq!(run.output, batch.output, "k_tile={k_tile} gs={gs}");
+                assert_eq!(run.stored_codes, batch.stored_codes);
+                assert_eq!(run.traffic, batch.traffic);
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "already received")]
     fn too_many_pushes() {
         let sched = ScaleSchedule::uniform(1, 0, Bitwidth::INT8);
@@ -133,5 +306,29 @@ mod tests {
         let mut s = StreamingApsq::new(sched, ApsqConfig::int8(1));
         s.push(Int32Tensor::zeros([1]));
         s.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "share one shape")]
+    fn shape_drift_rejected() {
+        let sched = ScaleSchedule::uniform(2, 0, Bitwidth::INT8);
+        let mut s = StreamingApsq::new(sched, ApsqConfig::int8(1));
+        s.push(Int32Tensor::zeros([2]));
+        s.push(Int32Tensor::zeros([3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule covers")]
+    fn streamed_schedule_mismatch_rejected() {
+        let a = Int8Tensor::zeros([2, 8]);
+        let b = Int8Tensor::zeros([8, 2]);
+        grouped_apsq_streamed(
+            &ExecEngine::serial(),
+            &a,
+            &b,
+            4,
+            &ScaleSchedule::uniform(3, 0, Bitwidth::INT8),
+            &ApsqConfig::int8(1),
+        );
     }
 }

@@ -1,11 +1,11 @@
 //! Property-based tests for the APSQ algorithm invariants.
 
 use apsq_core::{
-    apsq_recursion_reference, exact_accumulate, grouped_apsq, grouped_apsq_f32, ApsqConfig,
-    FloatScaleSchedule, GroupSize, ScaleSchedule,
+    apsq_recursion_reference, exact_accumulate, grouped_apsq, grouped_apsq_f32,
+    grouped_apsq_streamed, ApsqConfig, FloatScaleSchedule, GroupSize, ScaleSchedule,
 };
 use apsq_quant::Bitwidth;
-use apsq_tensor::Int32Tensor;
+use apsq_tensor::{int8_matmul_psum_tiles, ExecEngine, Int32Tensor, Int8Tensor};
 use proptest::prelude::*;
 
 fn stream_strategy() -> impl Strategy<Value = Vec<Int32Tensor>> {
@@ -121,6 +121,42 @@ proptest! {
         for (a, b) in int_run.output.data().iter().zip(f_out.data()) {
             prop_assert_eq!(*a, *b as i32);
         }
+    }
+
+    /// The engine-driven streamed GEMM fold agrees with the batch API run
+    /// over collected PSUM tiles — same output, same code bank, same
+    /// traffic — for every group size, tile size, and thread count.
+    #[test]
+    fn streamed_equals_batch_for_all_group_sizes(
+        (m, k, n) in (1usize..6, 2usize..40, 1usize..6),
+        k_tile in 1usize..12,
+        gs in 1usize..9,
+        threads in 1usize..5,
+        seed in any::<u32>(),
+    ) {
+        let a = Int8Tensor::from_vec(
+            (0..m * k).map(|x| ((x as u32).wrapping_mul(37).wrapping_add(seed) % 255) as i8).collect(),
+            [m, k],
+        );
+        let b = Int8Tensor::from_vec(
+            (0..k * n).map(|x| ((x as u32).wrapping_mul(73).wrapping_add(seed / 3) % 251) as i8).collect(),
+            [k, n],
+        );
+        let tiles = int8_matmul_psum_tiles(&a, &b, k_tile);
+        let sched = ScaleSchedule::calibrate(
+            std::slice::from_ref(&tiles),
+            Bitwidth::INT8,
+            GroupSize::new(gs),
+        );
+        let cfg = ApsqConfig { bits: Bitwidth::INT8, group_size: GroupSize::new(gs) };
+        let batch = grouped_apsq(&tiles, &sched, &cfg);
+        let streamed = grouped_apsq_streamed(
+            &ExecEngine::with_threads(threads).with_spawn_threshold(0),
+            &a, &b, k_tile, &sched, &cfg,
+        );
+        prop_assert_eq!(streamed.output, batch.output);
+        prop_assert_eq!(streamed.stored_codes, batch.stored_codes);
+        prop_assert_eq!(streamed.traffic, batch.traffic);
     }
 
     /// Calibrated schedules never clip: the dequantized range covers the

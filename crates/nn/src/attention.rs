@@ -4,7 +4,7 @@
 use crate::linear::{PsumMode, QuantLinear};
 use crate::param::{HasParams, Param};
 use apsq_quant::Bitwidth;
-use apsq_tensor::{matmul, matmul_at, matmul_bt, softmax_rows, softmax_rows_grad, Tensor};
+use apsq_tensor::{softmax_rows, softmax_rows_grad, ExecEngine, Tensor};
 use rand::Rng;
 
 /// Multi-head self-attention over a single `[T, d]` sequence.
@@ -70,12 +70,19 @@ impl MultiHeadAttention {
 
     /// Forward pass over `[T, d]`.
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.forward_with(x, &ExecEngine::serial())
+    }
+
+    /// [`MultiHeadAttention::forward`] routed through an execution engine
+    /// context: projections, score/context matmuls, and output projection
+    /// all dispatch on `eng`.
+    pub fn forward_with(&mut self, x: &Tensor, eng: &ExecEngine) -> Tensor {
         let d = x.dims()[1];
         let dh = self.head_dim(d);
         let t = x.dims()[0];
-        let q = self.wq.forward(x);
-        let k = self.wk.forward(x);
-        let v = self.wv.forward(x);
+        let q = self.wq.forward_with(x, eng);
+        let k = self.wk.forward_with(x, eng);
+        let v = self.wv.forward_with(x, eng);
 
         let mut ctx = Tensor::zeros([t, d]);
         let mut probs = Vec::with_capacity(self.heads);
@@ -83,18 +90,18 @@ impl MultiHeadAttention {
             let qh = slice_cols(&q, h * dh, dh);
             let kh = slice_cols(&k, h * dh, dh);
             let vh = slice_cols(&v, h * dh, dh);
-            let mut scores = matmul_bt(&qh, &kh);
+            let mut scores = eng.matmul_bt(&qh, &kh);
             scores = &scores * (1.0 / (dh as f32).sqrt());
             if self.causal {
                 apply_causal_mask(&mut scores);
             }
             let p = softmax_rows(&scores);
-            let ctx_h = matmul(&p, &vh);
+            let ctx_h = eng.matmul(&p, &vh);
             write_cols(&mut ctx, &ctx_h, h * dh);
             probs.push(p);
         }
         self.cache = Some(AttnCache { q, k, v, probs });
-        self.wo.forward(&ctx)
+        self.wo.forward_with(&ctx, eng)
     }
 
     /// Backward pass; returns `dL/dx`.
@@ -103,12 +110,21 @@ impl MultiHeadAttention {
     ///
     /// Panics if called before `forward`.
     pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        self.backward_with(dy, &ExecEngine::serial())
+    }
+
+    /// [`MultiHeadAttention::backward`] routed through an execution engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward_with(&mut self, dy: &Tensor, eng: &ExecEngine) -> Tensor {
         let cache = self.cache.take().expect("backward before forward");
         let d = cache.q.dims()[1];
         let dh = self.head_dim(d);
         let t = cache.q.dims()[0];
 
-        let dctx = self.wo.backward(dy);
+        let dctx = self.wo.backward_with(dy, eng);
         let mut dq = Tensor::zeros([t, d]);
         let mut dk = Tensor::zeros([t, d]);
         let mut dv = Tensor::zeros([t, d]);
@@ -118,20 +134,20 @@ impl MultiHeadAttention {
             let vh = slice_cols(&cache.v, h * dh, dh);
             let p = &cache.probs[h];
             let dctx_h = slice_cols(&dctx, h * dh, dh);
-            let dp = matmul_bt(&dctx_h, &vh);
-            let dvh = matmul_at(p, &dctx_h);
+            let dp = eng.matmul_bt(&dctx_h, &vh);
+            let dvh = eng.matmul_at(p, &dctx_h);
             let mut dscores = softmax_rows_grad(p, &dp);
             dscores = &dscores * (1.0 / (dh as f32).sqrt());
             // Causal-masked entries have p = 0, so their softmax grad is 0.
-            let dqh = matmul(&dscores, &kh);
-            let dkh = matmul_at(&dscores, &qh);
+            let dqh = eng.matmul(&dscores, &kh);
+            let dkh = eng.matmul_at(&dscores, &qh);
             write_cols(&mut dq, &dqh, h * dh);
             write_cols(&mut dk, &dkh, h * dh);
             write_cols(&mut dv, &dvh, h * dh);
         }
-        let dx_q = self.wq.backward(&dq);
-        let dx_k = self.wk.backward(&dk);
-        let dx_v = self.wv.backward(&dv);
+        let dx_q = self.wq.backward_with(&dq, eng);
+        let dx_k = self.wk.backward_with(&dk, eng);
+        let dx_v = self.wv.backward_with(&dv, eng);
         &(&dx_q + &dx_k) + &dx_v
     }
 
@@ -158,12 +174,27 @@ impl MultiHeadAttention {
         x: &Tensor,
         cache: &mut crate::kv_cache::AttentionKvCache,
     ) -> Tensor {
+        self.forward_decode_with(x, cache, &ExecEngine::serial())
+    }
+
+    /// [`MultiHeadAttention::forward_decode`] routed through an execution
+    /// engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[1, d]`.
+    pub fn forward_decode_with(
+        &self,
+        x: &Tensor,
+        cache: &mut crate::kv_cache::AttentionKvCache,
+        eng: &ExecEngine,
+    ) -> Tensor {
         assert_eq!(x.dims()[0], 1, "decode processes one token at a time");
         let d = x.dims()[1];
         let dh = self.head_dim(d);
-        let q = self.wq.forward_inference(x);
-        let k = self.wk.forward_inference(x);
-        let v = self.wv.forward_inference(x);
+        let q = self.wq.forward_inference_with(x, eng);
+        let k = self.wk.forward_inference_with(x, eng);
+        let v = self.wv.forward_inference_with(x, eng);
         cache.append(&k, &v);
         let keys = cache.keys();
         let values = cache.values();
@@ -174,14 +205,14 @@ impl MultiHeadAttention {
             let qh = slice_cols(&q, h * dh, dh);
             let kh = slice_cols(&keys, h * dh, dh);
             let vh = slice_cols(&values, h * dh, dh);
-            let mut scores = matmul_bt(&qh, &kh); // [1, t]
+            let mut scores = eng.matmul_bt(&qh, &kh); // [1, t]
             scores = &scores * (1.0 / (dh as f32).sqrt());
             let p = softmax_rows(&scores);
-            let ctx_h = matmul(&p, &vh); // [1, dh]
+            let ctx_h = eng.matmul(&p, &vh); // [1, dh]
             write_cols(&mut ctx, &ctx_h, h * dh);
         }
         let _ = t;
-        self.wo.forward_inference(&ctx)
+        self.wo.forward_inference_with(&ctx, eng)
     }
 }
 

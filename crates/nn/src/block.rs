@@ -5,7 +5,7 @@ use crate::linear::{PsumMode, QuantLinear};
 use crate::norm::LayerNorm;
 use crate::param::{HasParams, Param};
 use apsq_quant::Bitwidth;
-use apsq_tensor::{gelu, gelu_grad, Tensor};
+use apsq_tensor::{gelu, gelu_grad, ExecEngine, Tensor};
 use rand::Rng;
 
 /// Pre-LN block: `x + Attn(LN(x))`, then `x + FFN(LN(x))` with a GELU MLP.
@@ -49,14 +49,20 @@ impl TransformerBlock {
 
     /// Forward over `[T, d]`.
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.forward_with(x, &ExecEngine::serial())
+    }
+
+    /// [`TransformerBlock::forward`] routed through an execution engine
+    /// context (attention and both FFN GEMMs dispatch on `eng`).
+    pub fn forward_with(&mut self, x: &Tensor, eng: &ExecEngine) -> Tensor {
         let a = self.ln1.forward(x);
-        let a = self.attn.forward(&a);
+        let a = self.attn.forward_with(&a, eng);
         let x1 = x + &a;
         let f = self.ln2.forward(&x1);
-        let h = self.fc1.forward(&f);
+        let h = self.fc1.forward_with(&f, eng);
         self.cache_h = Some(h.clone());
         let g = gelu(&h);
-        let o = self.fc2.forward(&g);
+        let o = self.fc2.forward_with(&g, eng);
         &x1 + &o
     }
 
@@ -66,16 +72,25 @@ impl TransformerBlock {
     ///
     /// Panics if called before `forward`.
     pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        self.backward_with(dy, &ExecEngine::serial())
+    }
+
+    /// [`TransformerBlock::backward`] routed through an execution engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward_with(&mut self, dy: &Tensor, eng: &ExecEngine) -> Tensor {
         let h = self.cache_h.take().expect("backward before forward");
         // FFN branch.
-        let dg = self.fc2.backward(dy);
+        let dg = self.fc2.backward_with(dy, eng);
         let dh = &dg * &gelu_grad(&h);
-        let df = self.fc1.backward(&dh);
+        let df = self.fc1.backward_with(&dh, eng);
         let dx1_ffn = self.ln2.backward(&df);
         let dx1 = dy + &dx1_ffn; // residual
 
         // Attention branch.
-        let da = self.attn.backward(&dx1);
+        let da = self.attn.backward_with(&dx1, eng);
         let dx_attn = self.ln1.backward(&da);
         &dx1 + &dx_attn // residual
     }
@@ -94,13 +109,24 @@ impl TransformerBlock {
         x: &Tensor,
         cache: &mut crate::kv_cache::AttentionKvCache,
     ) -> Tensor {
+        self.forward_decode_with(x, cache, &ExecEngine::serial())
+    }
+
+    /// [`TransformerBlock::forward_decode`] routed through an execution
+    /// engine.
+    pub fn forward_decode_with(
+        &self,
+        x: &Tensor,
+        cache: &mut crate::kv_cache::AttentionKvCache,
+        eng: &ExecEngine,
+    ) -> Tensor {
         let a = self.ln1.forward_inference(x);
-        let a = self.attn.forward_decode(&a, cache);
+        let a = self.attn.forward_decode_with(&a, cache, eng);
         let x1 = x + &a;
         let f = self.ln2.forward_inference(&x1);
-        let h = self.fc1.forward_inference(&f);
+        let h = self.fc1.forward_inference_with(&f, eng);
         let g = gelu(&h);
-        let o = self.fc2.forward_inference(&g);
+        let o = self.fc2.forward_inference_with(&g, eng);
         &x1 + &o
     }
 }
@@ -132,6 +158,34 @@ mod tests {
         let dx = b.backward(&Tensor::ones([5, 16]));
         assert_eq!(dx.dims(), &[5, 16]);
         assert!(b.param_count() > 0);
+    }
+
+    #[test]
+    fn parallel_engine_context_is_bit_identical_to_serial() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let b = TransformerBlock::new(16, 4, 32, Bitwidth::INT8, PsumMode::Exact, false, &mut rng);
+        let x = apsq_tensor::randn([6, 16], 1.0, &mut rng);
+        let dy = apsq_tensor::randn([6, 16], 1.0, &mut rng);
+
+        let mut serial = b.clone();
+        let y_serial = serial.forward(&x);
+        let dx_serial = serial.backward(&dy);
+
+        let eng = ExecEngine::with_threads(4).with_spawn_threshold(0);
+        let mut par = b;
+        let y_par = par.forward_with(&x, &eng);
+        let dx_par = par.backward_with(&dy, &eng);
+
+        assert_eq!(y_par, y_serial);
+        assert_eq!(dx_par, dx_serial);
+        // Accumulated parameter gradients agree bitwise too.
+        let mut grads_serial = Vec::new();
+        serial.visit_params(&mut |p| grads_serial.push(p.grad.clone()));
+        let mut i = 0;
+        par.visit_params(&mut |p| {
+            assert_eq!(p.grad, grads_serial[i], "grad {i} differs");
+            i += 1;
+        });
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use crate::param::{HasParams, Param};
 use apsq_core::{grouped_apsq_f32, FloatScaleSchedule, GroupSize};
 use apsq_quant::{Bitwidth, LsqQuantizer};
-use apsq_tensor::{matmul, matmul_at, matmul_bt, matmul_psum_tiles, sum_axis0, Tensor};
+use apsq_tensor::{sum_axis0, ExecEngine, Tensor};
 use rand::Rng;
 
 /// A plain FP32 linear layer `y = x·W + b` with manual backprop.
@@ -29,13 +29,23 @@ impl Linear {
 
     /// Forward pass over `[n, in]`, caching the input for backward.
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.forward_with(x, &ExecEngine::serial())
+    }
+
+    /// [`Linear::forward`] routed through an execution engine context.
+    pub fn forward_with(&mut self, x: &Tensor, eng: &ExecEngine) -> Tensor {
         self.cache_x = Some(x.clone());
-        &matmul(x, &self.w.value) + &self.b.value
+        &eng.matmul(x, &self.w.value) + &self.b.value
     }
 
     /// Inference-only forward (no caches touched).
     pub fn forward_inference(&self, x: &Tensor) -> Tensor {
-        &matmul(x, &self.w.value) + &self.b.value
+        self.forward_inference_with(x, &ExecEngine::serial())
+    }
+
+    /// [`Linear::forward_inference`] routed through an execution engine.
+    pub fn forward_inference_with(&self, x: &Tensor, eng: &ExecEngine) -> Tensor {
+        &eng.matmul(x, &self.w.value) + &self.b.value
     }
 
     /// Backward pass: accumulates parameter grads, returns `dL/dx`.
@@ -44,10 +54,21 @@ impl Linear {
     ///
     /// Panics if called before `forward`.
     pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        self.backward_with(dy, &ExecEngine::serial())
+    }
+
+    /// [`Linear::backward`] routed through an execution engine. The weight
+    /// gradient accumulates straight into the parameter's gradient buffer
+    /// (no per-step `dW` allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward_with(&mut self, dy: &Tensor, eng: &ExecEngine) -> Tensor {
         let x = self.cache_x.as_ref().expect("backward before forward");
-        self.w.accumulate(&matmul_at(x, dy));
+        eng.matmul_at_acc(x, dy, &mut self.w.grad);
         self.b.accumulate(&sum_axis0(dy));
-        matmul_bt(dy, &self.w.value)
+        eng.matmul_bt(dy, &self.w.value)
     }
 }
 
@@ -143,6 +164,11 @@ impl QuantLinear {
     /// Forward pass with fake quantization (training mode: caches for
     /// backward, updates PSUM range observers).
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.forward_with(x, &ExecEngine::serial())
+    }
+
+    /// [`QuantLinear::forward`] routed through an execution engine context.
+    pub fn forward_with(&mut self, x: &Tensor, eng: &ExecEngine) -> Tensor {
         if self.xq.is_none() {
             self.xq = Some(LsqQuantizer::with_init(x, self.wq.bits(), true));
         }
@@ -150,19 +176,25 @@ impl QuantLinear {
         let wq = self.wq.forward(&self.inner.w.value);
         self.cache_x = Some(x.clone());
         self.cache_xq = Some(xq.clone());
-        let y = self.matmul_with_psum_path(&xq, &wq, true);
+        let y = self.matmul_with_psum_path(&xq, &wq, eng);
         &y + &self.inner.b.value
     }
 
     /// Inference-only forward (uses frozen observers; no caches).
     pub fn forward_inference(&self, x: &Tensor) -> Tensor {
+        self.forward_inference_with(x, &ExecEngine::serial())
+    }
+
+    /// [`QuantLinear::forward_inference`] routed through an execution
+    /// engine. Reads the frozen observers in place — no caches touched, no
+    /// layer state copied.
+    pub fn forward_inference_with(&self, x: &Tensor, eng: &ExecEngine) -> Tensor {
         let xq = match &self.xq {
             Some(q) => q.forward(x),
             None => x.clone(),
         };
         let wq = self.wq.forward(&self.inner.w.value);
-        let mut me = self.clone();
-        let y = me.matmul_with_psum_path(&xq, &wq, false);
+        let y = self.matmul_psum_inference(&xq, &wq, eng);
         &y + &self.inner.b.value
     }
 
@@ -172,65 +204,41 @@ impl QuantLinear {
         ax * self.wq.step()
     }
 
-    fn matmul_with_psum_path(&mut self, xq: &Tensor, wq: &Tensor, update_obs: bool) -> Tensor {
+    /// Training-mode matmul through the configured PSUM path: the
+    /// observers are resized to the stream and EMA-updated.
+    fn matmul_with_psum_path(&mut self, xq: &Tensor, wq: &Tensor, eng: &ExecEngine) -> Tensor {
         match self.psum_mode {
-            PsumMode::Exact => matmul(xq, wq),
-            PsumMode::Apsq { bits, gs, k_tile } => {
-                let base = self.product_scale().max(1e-12);
-                let tiles = matmul_psum_tiles(xq, wq, k_tile);
-                let np = tiles.len();
-                // Scale tiles into the integer PSUM domain.
-                let scaled: Vec<Tensor> = tiles.iter().map(|t| t * (1.0 / base)).collect();
-                if self.psum_obs.len() != np {
-                    self.psum_obs = vec![0.0; np];
-                }
-                // Per-step required range, replayed in stream order.
-                let sched = self.schedule_for(&scaled, bits, gs, update_obs);
-                let out = grouped_apsq_f32(&scaled, &sched, GroupSize::new(gs));
-                &out * base
-            }
+            PsumMode::Exact => eng.matmul(xq, wq),
+            PsumMode::Apsq { bits, gs, k_tile } => apsq_matmul(
+                xq,
+                wq,
+                self.product_scale().max(1e-12),
+                bits,
+                gs,
+                k_tile,
+                eng,
+                Observers::Train(&mut self.psum_obs),
+            ),
         }
     }
 
-    /// Builds the power-of-two schedule from the EMA observers, updating
-    /// them from the current stream when `update_obs` is set.
-    fn schedule_for(
-        &mut self,
-        scaled: &[Tensor],
-        bits: Bitwidth,
-        gs: usize,
-        update_obs: bool,
-    ) -> FloatScaleSchedule {
-        // Candidate schedule from the current batch alone.
-        let batch = FloatScaleSchedule::calibrate_pow2(
-            std::slice::from_ref(&scaled.to_vec()),
-            bits,
-            GroupSize::new(gs),
-        );
-        let qp = bits.signed_range().qp as f32;
-        if update_obs {
-            for (obs, s) in self.psum_obs.iter_mut().zip(batch.scales()) {
-                let need = s * qp;
-                *obs = if *obs == 0.0 {
-                    need
-                } else {
-                    (*obs * PSUM_EMA + need * (1.0 - PSUM_EMA)).max(need * 0.5)
-                };
-            }
+    /// The read-only twin of [`Self::matmul_with_psum_path`] for inference:
+    /// observers are consulted but never resized or updated, so no layer
+    /// state needs to be copied per call.
+    fn matmul_psum_inference(&self, xq: &Tensor, wq: &Tensor, eng: &ExecEngine) -> Tensor {
+        match self.psum_mode {
+            PsumMode::Exact => eng.matmul(xq, wq),
+            PsumMode::Apsq { bits, gs, k_tile } => apsq_matmul(
+                xq,
+                wq,
+                self.product_scale().max(1e-12),
+                bits,
+                gs,
+                k_tile,
+                eng,
+                Observers::Frozen(&self.psum_obs),
+            ),
         }
-        let scales: Vec<f32> = self
-            .psum_obs
-            .iter()
-            .zip(batch.scales())
-            .map(|(&obs, &bs)| {
-                if obs > 0.0 {
-                    (obs / qp).log2().ceil().exp2()
-                } else {
-                    bs
-                }
-            })
-            .collect();
-        FloatScaleSchedule::new(scales, bits)
     }
 
     /// Backward pass: straight-through past the PSUM quantizers, LSQ
@@ -240,16 +248,25 @@ impl QuantLinear {
     ///
     /// Panics if called before `forward`.
     pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        self.backward_with(dy, &ExecEngine::serial())
+    }
+
+    /// [`QuantLinear::backward`] routed through an execution engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward_with(&mut self, dy: &Tensor, eng: &ExecEngine) -> Tensor {
         let x = self.cache_x.take().expect("backward before forward");
         let xq = self.cache_xq.take().expect("backward before forward");
         // dW through the weight fake-quantizer (LSQ / STE).
-        let dwq = matmul_at(&xq, dy);
+        let dwq = eng.matmul_at(&xq, dy);
         let dw = self.wq.backward(&self.inner.w.value, &dwq);
         self.inner.w.accumulate(&dw);
         self.inner.b.accumulate(&sum_axis0(dy));
         // dX through the activation fake-quantizer.
         let wq_val = self.wq.forward(&self.inner.w.value);
-        let dxq = matmul_bt(dy, &wq_val);
+        let dxq = eng.matmul_bt(dy, &wq_val);
         match &mut self.xq {
             Some(q) => q.backward(&x, &dxq),
             None => dxq,
@@ -268,6 +285,77 @@ impl QuantLinear {
     pub fn inner(&self) -> &Linear {
         &self.inner
     }
+}
+
+/// Observer state handed to [`apsq_matmul`]: training resizes and
+/// EMA-updates the ranges; inference reads them frozen.
+enum Observers<'a> {
+    Train(&'a mut Vec<f32>),
+    Frozen(&'a [f32]),
+}
+
+/// The one APSQ fake-quant matmul both forward paths share: collect the
+/// K-tiled PSUM stream (engine-parallel per tile — calibration needs every
+/// tile), scale into the integer PSUM domain, build the power-of-two
+/// schedule from observers + batch calibration, and fold through the
+/// grouped float twin of Algorithm 1.
+#[allow(clippy::too_many_arguments)]
+fn apsq_matmul(
+    xq: &Tensor,
+    wq: &Tensor,
+    base: f32,
+    bits: Bitwidth,
+    gs: usize,
+    k_tile: usize,
+    eng: &ExecEngine,
+    obs: Observers<'_>,
+) -> Tensor {
+    let tiles = eng.matmul_psum_tiles(xq, wq, k_tile);
+    let scaled: Vec<Tensor> = tiles.iter().map(|t| t * (1.0 / base)).collect();
+    let batch =
+        FloatScaleSchedule::calibrate_pow2(std::slice::from_ref(&scaled), bits, GroupSize::new(gs));
+    let sched = match obs {
+        Observers::Train(o) => {
+            if o.len() != scaled.len() {
+                *o = vec![0.0; scaled.len()];
+            }
+            let qp = bits.signed_range().qp as f32;
+            for (obs, s) in o.iter_mut().zip(batch.scales()) {
+                let need = s * qp;
+                *obs = if *obs == 0.0 {
+                    need
+                } else {
+                    (*obs * PSUM_EMA + need * (1.0 - PSUM_EMA)).max(need * 0.5)
+                };
+            }
+            blended_schedule(o, &batch, bits)
+        }
+        // Unwarmed observers (wrong length) contribute nothing — exactly
+        // the zero-filled state training would start from.
+        Observers::Frozen(o) => {
+            let o = if o.len() == scaled.len() { o } else { &[] };
+            blended_schedule(o, &batch, bits)
+        }
+    };
+    let out = grouped_apsq_f32(&scaled, &sched, GroupSize::new(gs));
+    &out * base
+}
+
+/// Per-step scales from the EMA observers where warmed (`obs > 0`),
+/// falling back to the batch calibration; an empty/short `obs` slice means
+/// every remaining step uses the batch scale.
+fn blended_schedule(obs: &[f32], batch: &FloatScaleSchedule, bits: Bitwidth) -> FloatScaleSchedule {
+    let qp = bits.signed_range().qp as f32;
+    let scales: Vec<f32> = batch
+        .scales()
+        .iter()
+        .enumerate()
+        .map(|(i, &bs)| match obs.get(i) {
+            Some(&o) if o > 0.0 => (o / qp).log2().ceil().exp2(),
+            _ => bs,
+        })
+        .collect();
+    FloatScaleSchedule::new(scales, bits)
 }
 
 impl HasParams for QuantLinear {

@@ -7,7 +7,7 @@ use crate::linear::{Linear, PsumMode};
 use crate::norm::LayerNorm;
 use crate::param::{HasParams, Param};
 use apsq_quant::Bitwidth;
-use apsq_tensor::{sum_axis0, Tensor};
+use apsq_tensor::{sum_axis0, ExecEngine, Tensor};
 use rand::Rng;
 
 /// Shared hyper-parameters for the tiny task models.
@@ -101,25 +101,42 @@ impl EncoderClassifier {
 
     /// Forward: token ids → `[1, classes]` logits (mean-pooled).
     pub fn forward(&mut self, ids: &[usize]) -> Tensor {
+        self.forward_with(ids, &ExecEngine::serial())
+    }
+
+    /// [`EncoderClassifier::forward`] routed through an execution engine
+    /// context shared by every block, projection, and head GEMM.
+    pub fn forward_with(&mut self, ids: &[usize], eng: &ExecEngine) -> Tensor {
         let mut h = self.embed.forward(ids);
         for b in &mut self.blocks {
-            h = b.forward(&h);
+            h = b.forward_with(&h, eng);
         }
         let h = self.ln.forward(&h);
         self.seq_len_cache = ids.len();
         // Mean pool over tokens, then the nonlinear pooler.
         let pooled = &sum_axis0(&h) * (1.0 / ids.len() as f32);
-        let z = self.pooler.forward(&pooled.reshape([1, pooled.numel()]));
+        let z = self
+            .pooler
+            .forward_with(&pooled.reshape([1, pooled.numel()]), eng);
         self.pooler_pre_act = Some(z.clone());
-        self.head.forward(&apsq_tensor::gelu(&z))
+        self.head.forward_with(&apsq_tensor::gelu(&z), eng)
     }
 
     /// Backward from `[1, classes]` logits gradient.
     pub fn backward(&mut self, dlogits: &Tensor) {
+        self.backward_with(dlogits, &ExecEngine::serial())
+    }
+
+    /// [`EncoderClassifier::backward`] routed through an execution engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward_with(&mut self, dlogits: &Tensor, eng: &ExecEngine) {
         let z = self.pooler_pre_act.take().expect("backward before forward");
-        let dgelu_out = self.head.backward(dlogits);
+        let dgelu_out = self.head.backward_with(dlogits, eng);
         let dz = &dgelu_out * &apsq_tensor::gelu_grad(&z);
-        let dpool = self.pooler.backward(&dz);
+        let dpool = self.pooler.backward_with(&dz, eng);
         let t = self.seq_len_cache;
         let d = dpool.numel();
         // Broadcast pooled gradient back over tokens.
@@ -132,7 +149,7 @@ impl EncoderClassifier {
         let mut dh = Tensor::from_vec(dh, [t, d]);
         dh = self.ln.backward(&dh);
         for b in self.blocks.iter_mut().rev() {
-            dh = b.backward(&dh);
+            dh = b.backward_with(&dh, eng);
         }
         self.embed.backward(&dh);
     }
@@ -199,20 +216,34 @@ impl TokenTagger {
 
     /// Forward: token ids → `[T, classes]` per-token logits.
     pub fn forward(&mut self, ids: &[usize]) -> Tensor {
+        self.forward_with(ids, &ExecEngine::serial())
+    }
+
+    /// [`TokenTagger::forward`] routed through an execution engine.
+    pub fn forward_with(&mut self, ids: &[usize], eng: &ExecEngine) -> Tensor {
         let mut h = self.embed.forward(ids);
         for b in &mut self.blocks {
-            h = b.forward(&h);
+            h = b.forward_with(&h, eng);
         }
         let h = self.ln.forward(&h);
-        self.head.forward(&h)
+        self.head.forward_with(&h, eng)
     }
 
     /// Backward from `[T, classes]` logits gradient.
     pub fn backward(&mut self, dlogits: &Tensor) {
-        let mut dh = self.head.backward(dlogits);
+        self.backward_with(dlogits, &ExecEngine::serial())
+    }
+
+    /// [`TokenTagger::backward`] routed through an execution engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward_with(&mut self, dlogits: &Tensor, eng: &ExecEngine) {
+        let mut dh = self.head.backward_with(dlogits, eng);
         dh = self.ln.backward(&dh);
         for b in self.blocks.iter_mut().rev() {
-            dh = b.backward(&dh);
+            dh = b.backward_with(&dh, eng);
         }
         self.embed.backward(&dh);
     }
@@ -277,20 +308,34 @@ impl DecoderLm {
 
     /// Forward: token ids → `[T, vocab]` next-token logits.
     pub fn forward(&mut self, ids: &[usize]) -> Tensor {
+        self.forward_with(ids, &ExecEngine::serial())
+    }
+
+    /// [`DecoderLm::forward`] routed through an execution engine.
+    pub fn forward_with(&mut self, ids: &[usize], eng: &ExecEngine) -> Tensor {
         let mut h = self.embed.forward(ids);
         for b in &mut self.blocks {
-            h = b.forward(&h);
+            h = b.forward_with(&h, eng);
         }
         let h = self.ln.forward(&h);
-        self.lm_head.forward(&h)
+        self.lm_head.forward_with(&h, eng)
     }
 
     /// Backward from `[T, vocab]` logits gradient.
     pub fn backward(&mut self, dlogits: &Tensor) {
-        let mut dh = self.lm_head.backward(dlogits);
+        self.backward_with(dlogits, &ExecEngine::serial())
+    }
+
+    /// [`DecoderLm::backward`] routed through an execution engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward_with(&mut self, dlogits: &Tensor, eng: &ExecEngine) {
+        let mut dh = self.lm_head.backward_with(dlogits, eng);
         dh = self.ln.backward(&dh);
         for b in self.blocks.iter_mut().rev() {
-            dh = b.backward(&dh);
+            dh = b.backward_with(&dh, eng);
         }
         self.embed.backward(&dh);
     }
@@ -321,6 +366,20 @@ impl DecoderLm {
     /// Panics if the state was built for a different depth or the position
     /// exceeds the model's `max_len`.
     pub fn decode_step(&self, token: usize, state: &mut crate::kv_cache::DecoderKvState) -> Tensor {
+        self.decode_step_with(token, state, &ExecEngine::serial())
+    }
+
+    /// [`DecoderLm::decode_step`] routed through an execution engine.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`DecoderLm::decode_step`].
+    pub fn decode_step_with(
+        &self,
+        token: usize,
+        state: &mut crate::kv_cache::DecoderKvState,
+        eng: &ExecEngine,
+    ) -> Tensor {
         assert_eq!(
             state.layers.len(),
             self.blocks.len(),
@@ -328,11 +387,11 @@ impl DecoderLm {
         );
         let mut h = self.embed.embed_one(token, state.position);
         for (b, cache) in self.blocks.iter().zip(state.layers.iter_mut()) {
-            h = b.forward_decode(&h, cache);
+            h = b.forward_decode_with(&h, cache, eng);
         }
         let h = self.ln.forward_inference(&h);
         state.position += 1;
-        self.lm_head.forward_inference(&h)
+        self.lm_head.forward_inference_with(&h, eng)
     }
 
     /// Greedy generation: consumes `prompt`, then emits `new_tokens`

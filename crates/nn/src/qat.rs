@@ -8,7 +8,7 @@ use crate::loss::{cross_entropy, distillation_loss, mse_loss};
 use crate::metrics::{accuracy, matthews_corr, mean_iou, spearman_rho};
 use crate::models::{DecoderLm, EncoderClassifier, ModelConfig, TokenTagger};
 use crate::param::HasParams;
-use apsq_tensor::{argmax_axis1, Tensor};
+use apsq_tensor::{argmax_axis1, ExecEngine, Tensor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -29,6 +29,9 @@ pub struct TrainConfig {
     pub temperature: f32,
     /// RNG seed (data + init).
     pub seed: u64,
+    /// Worker threads for the execution engine every forward/backward GEMM
+    /// dispatches on (1 = serial; results are bit-identical either way).
+    pub threads: usize,
 }
 
 impl TrainConfig {
@@ -42,6 +45,7 @@ impl TrainConfig {
             distill_weight: 0.5,
             temperature: 2.0,
             seed: 17,
+            threads: 1,
         }
     }
 
@@ -55,7 +59,13 @@ impl TrainConfig {
             distill_weight: 0.5,
             temperature: 2.0,
             seed: 17,
+            threads: 1,
         }
+    }
+
+    /// The engine context this configuration trains with.
+    pub fn engine(&self) -> ExecEngine {
+        ExecEngine::with_threads(self.threads.max(1))
     }
 }
 
@@ -68,19 +78,20 @@ pub fn train_glue(
     teacher: Option<&EncoderClassifier>,
 ) -> EncoderClassifier {
     let mut rng = StdRng::seed_from_u64(tc.seed);
+    let eng = tc.engine();
     let mut model = EncoderClassifier::new(model_cfg, task.num_outputs(), &mut rng);
     let mut teacher = teacher.cloned();
     for step in 0..tc.steps {
         for _ in 0..tc.batch {
             let ex = task.sample(&mut rng);
-            let logits = model.forward(&ex.tokens);
+            let logits = model.forward_with(&ex.tokens, &eng);
             let mut grad = match ex.label {
                 Label::Class(c) => cross_entropy(&logits, &[c]).1,
                 Label::Value(v) => mse_loss(&logits, &Tensor::from_vec(vec![v], [1, 1])).1,
             };
             if let Some(te) = teacher.as_mut() {
                 if tc.distill_weight > 0.0 {
-                    let t_logits = te.forward(&ex.tokens);
+                    let t_logits = te.forward_with(&ex.tokens, &eng);
                     let dgrad = if task.is_regression() {
                         mse_loss(&logits, &t_logits).1
                     } else {
@@ -89,7 +100,7 @@ pub fn train_glue(
                     grad = &grad + &(&dgrad * tc.distill_weight);
                 }
             }
-            model.backward(&grad);
+            model.backward_with(&grad, &eng);
         }
         model.visit_params(&mut |p| p.adam_step(tc.lr, step as u64 + 1));
         model.apply_quantizer_grads(tc.lr_quant);
@@ -138,21 +149,22 @@ pub fn train_seg(
     teacher: Option<&TokenTagger>,
 ) -> TokenTagger {
     let mut rng = StdRng::seed_from_u64(tc.seed);
+    let eng = tc.engine();
     let mut model = TokenTagger::new(model_cfg, task.classes, &mut rng);
     let mut teacher = teacher.cloned();
     for step in 0..tc.steps {
         for _ in 0..tc.batch {
             let (tokens, labels) = task.sample(&mut rng);
-            let logits = model.forward(&tokens);
+            let logits = model.forward_with(&tokens, &eng);
             let mut grad = cross_entropy(&logits, &labels).1;
             if let Some(te) = teacher.as_mut() {
                 if tc.distill_weight > 0.0 {
-                    let t_logits = te.forward(&tokens);
+                    let t_logits = te.forward_with(&tokens, &eng);
                     let dgrad = distillation_loss(&logits, &t_logits, tc.temperature).1;
                     grad = &grad + &(&dgrad * tc.distill_weight);
                 }
             }
-            model.backward(&grad);
+            model.backward_with(&grad, &eng);
         }
         model.visit_params(&mut |p| p.adam_step(tc.lr, step as u64 + 1));
         model.apply_quantizer_grads(tc.lr_quant);
@@ -179,6 +191,7 @@ pub fn evaluate_seg(model: &mut TokenTagger, task: &SegTask, n: usize, seed: u64
 /// families (sequence length = the model's `max_len`).
 pub fn train_lm(model_cfg: &ModelConfig, tc: &TrainConfig) -> DecoderLm {
     let mut rng = StdRng::seed_from_u64(tc.seed);
+    let eng = tc.engine();
     let mut model = DecoderLm::new(model_cfg, &mut rng);
     let len = model_cfg.max_len;
     let vocab = model_cfg.vocab;
@@ -186,10 +199,10 @@ pub fn train_lm(model_cfg: &ModelConfig, tc: &TrainConfig) -> DecoderLm {
         for _ in 0..tc.batch {
             let fam = LmFamily::ALL[rng.gen_range(0..LmFamily::ALL.len())];
             let seq = fam.sequence(len, vocab, &mut rng);
-            let logits = model.forward(&seq[..len - 1]);
+            let logits = model.forward_with(&seq[..len - 1], &eng);
             let targets: Vec<usize> = seq[1..].to_vec();
             let (_, grad) = cross_entropy(&logits, &targets);
-            model.backward(&grad);
+            model.backward_with(&grad, &eng);
         }
         model.visit_params(&mut |p| p.adam_step(tc.lr, step as u64 + 1));
         model.apply_quantizer_grads(tc.lr_quant);

@@ -2,7 +2,7 @@
 //! GEMMs the tile-based accelerator actually executes, so conv layers in
 //! the model inventories share the same PSUM path as everything else.
 
-use crate::int_tensor::{int8_matmul, Int32Tensor, Int8Tensor};
+use crate::int_tensor::{Int32Tensor, Int8Tensor};
 use crate::tensor::Tensor;
 
 /// Lowers an `[C, H, W]` input into the im2col matrix
@@ -14,29 +14,7 @@ use crate::tensor::Tensor;
 /// Panics if the input is not rank-3, `k == 0`, `stride == 0`, or the
 /// kernel does not fit the spatial extent.
 pub fn im2col(input: &Tensor, k: usize, stride: usize) -> Tensor {
-    assert_eq!(input.rank(), 3, "im2col expects [C, H, W]");
-    assert!(k > 0 && stride > 0, "degenerate kernel/stride");
-    let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
-    assert!(h >= k && w >= k, "kernel {k} does not fit {h}x{w}");
-    let ho = (h - k) / stride + 1;
-    let wo = (w - k) / stride + 1;
-    let cols = c * k * k;
-    let mut out = vec![0.0f32; ho * wo * cols];
-    for oy in 0..ho {
-        for ox in 0..wo {
-            let row = oy * wo + ox;
-            let mut col = 0;
-            for ch in 0..c {
-                for ky in 0..k {
-                    for kx in 0..k {
-                        out[row * cols + col] = input.at(&[ch, oy * stride + ky, ox * stride + kx]);
-                        col += 1;
-                    }
-                }
-            }
-        }
-    }
-    Tensor::from_vec(out, [ho * wo, cols])
+    crate::exec::ExecEngine::serial().im2col(input, k, stride)
 }
 
 /// Integer im2col for the bit-accurate path.
@@ -45,29 +23,7 @@ pub fn im2col(input: &Tensor, k: usize, stride: usize) -> Tensor {
 ///
 /// Same conditions as [`im2col`].
 pub fn im2col_i8(input: &Int8Tensor, k: usize, stride: usize) -> Int8Tensor {
-    assert_eq!(input.shape().rank(), 3, "im2col expects [C, H, W]");
-    assert!(k > 0 && stride > 0, "degenerate kernel/stride");
-    let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
-    assert!(h >= k && w >= k, "kernel {k} does not fit {h}x{w}");
-    let ho = (h - k) / stride + 1;
-    let wo = (w - k) / stride + 1;
-    let cols = c * k * k;
-    let mut out = vec![0i8; ho * wo * cols];
-    for oy in 0..ho {
-        for ox in 0..wo {
-            let row = oy * wo + ox;
-            let mut col = 0;
-            for ch in 0..c {
-                for ky in 0..k {
-                    for kx in 0..k {
-                        out[row * cols + col] = input.at(&[ch, oy * stride + ky, ox * stride + kx]);
-                        col += 1;
-                    }
-                }
-            }
-        }
-    }
-    Int8Tensor::from_vec(out, [ho * wo, cols])
+    crate::exec::ExecEngine::serial().im2col_i8(input, k, stride)
 }
 
 /// Direct (nested-loop) integer convolution: `[C, H, W] ⊛ [Co, C, K, K]`
@@ -120,25 +76,7 @@ pub fn conv2d_i8_reference(input: &Int8Tensor, weight: &Int8Tensor, stride: usiz
 ///
 /// Panics on rank/shape mismatches.
 pub fn conv2d_i8_gemm(input: &Int8Tensor, weight: &Int8Tensor, stride: usize) -> Int32Tensor {
-    assert_eq!(weight.shape().rank(), 4, "weight must be [Co, C, K, K]");
-    let (co, c, k) = (weight.dims()[0], weight.dims()[1], weight.dims()[2]);
-    let lowered = im2col_i8(input, k, stride);
-    // Reshape weights to [C·K·K, Co].
-    let cols = c * k * k;
-    let mut wmat = vec![0i8; cols * co];
-    for oc in 0..co {
-        let mut idx = 0;
-        for ch in 0..c {
-            for ky in 0..k {
-                for kx in 0..k {
-                    wmat[idx * co + oc] = weight.at(&[oc, ch, ky, kx]);
-                    idx += 1;
-                }
-            }
-        }
-    }
-    let wmat = Int8Tensor::from_vec(wmat, [cols, co]);
-    int8_matmul(&lowered, &wmat)
+    crate::exec::ExecEngine::serial().conv2d_i8_gemm(input, weight, stride)
 }
 
 #[cfg(test)]

@@ -186,22 +186,7 @@ impl Int8Tensor {
 ///
 /// Panics if operands are not rank-2 or inner dims disagree.
 pub fn int8_matmul(a: &Int8Tensor, b: &Int8Tensor) -> Int32Tensor {
-    let (m, k, n) = check_dims(a, b);
-    let mut out = vec![0i32; m * n];
-    for i in 0..m {
-        for l in 0..k {
-            let av = a.data()[i * k + l] as i32;
-            if av == 0 {
-                continue;
-            }
-            let brow = &b.data()[l * n..(l + 1) * n];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                *o += av * bv as i32;
-            }
-        }
-    }
-    Int32Tensor::from_vec(out, [m, n])
+    crate::exec::ExecEngine::serial().int8_matmul(a, b)
 }
 
 /// K-tiled exact integer matmul: returns the stream of i32 PSUM tiles
@@ -215,39 +200,7 @@ pub fn int8_matmul(a: &Int8Tensor, b: &Int8Tensor) -> Int32Tensor {
 ///
 /// Panics if operands are not rank-2, inner dims disagree, or `k_tile == 0`.
 pub fn int8_matmul_psum_tiles(a: &Int8Tensor, b: &Int8Tensor, k_tile: usize) -> Vec<Int32Tensor> {
-    assert!(k_tile > 0, "k_tile must be positive");
-    let (m, k, n) = check_dims(a, b);
-    let np = k.div_ceil(k_tile);
-    let mut tiles = Vec::with_capacity(np);
-    for t in 0..np {
-        let k0 = t * k_tile;
-        let k1 = usize::min(k0 + k_tile, k);
-        let mut out = vec![0i32; m * n];
-        for i in 0..m {
-            for l in k0..k1 {
-                let av = a.data()[i * k + l] as i32;
-                if av == 0 {
-                    continue;
-                }
-                let brow = &b.data()[l * n..(l + 1) * n];
-                let orow = &mut out[i * n..(i + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                    *o += av * bv as i32;
-                }
-            }
-        }
-        tiles.push(Int32Tensor::from_vec(out, [m, n]));
-    }
-    tiles
-}
-
-fn check_dims(a: &Int8Tensor, b: &Int8Tensor) -> (usize, usize, usize) {
-    assert_eq!(a.shape().rank(), 2, "int8_matmul: `a` must be rank-2");
-    assert_eq!(b.shape().rank(), 2, "int8_matmul: `b` must be rank-2");
-    let (m, k) = (a.dims()[0], a.dims()[1]);
-    let (kb, n) = (b.dims()[0], b.dims()[1]);
-    assert_eq!(k, kb, "int8_matmul: inner dimensions {k} vs {kb} disagree");
-    (m, k, n)
+    crate::exec::ExecEngine::serial().int8_matmul_psum_tiles(a, b, k_tile)
 }
 
 #[cfg(test)]

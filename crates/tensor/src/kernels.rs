@@ -1,0 +1,355 @@
+//! Cache-blocked, register-tiled GEMM micro-kernels.
+//!
+//! These are the serial building blocks the [`crate::exec::ExecEngine`]
+//! dispatches over its worker pool. Every kernel:
+//!
+//! - operates on an explicit `[k0, k1)` slice of the reduction axis, so the
+//!   same code path serves full GEMMs and K-tiled partial-sum (PSUM) tiles;
+//! - takes leading dimensions (`lda`/`ldb`/`ldo`), so the accelerator
+//!   simulator can run it over sub-blocks of larger matrices in place;
+//! - **accumulates** into `out` (callers zero the buffer when they want a
+//!   plain product), which is what makes K-panel streaming additive;
+//! - sums each K panel into register-resident accumulators before touching
+//!   `out`, with a fixed panel schedule, so the floating-point reduction
+//!   order for any output element depends only on the kernel — never on
+//!   how rows were partitioned across threads. Integer kernels are exact
+//!   regardless; this is what makes the parallel engine bit-identical to
+//!   the serial one.
+//!
+//! The blocking constants follow the classic BLIS/GotoBLAS decomposition,
+//! sized for the L1/L2 of a commodity core: `MR×NR` register tiles swept
+//! over `KC`-deep panels.
+
+// BLAS-convention argument lists (operand/ld/extent/k-range) are the
+// clearest way to spell these kernels.
+#![allow(clippy::too_many_arguments)]
+
+/// Register-tile height: rows of `a` processed together.
+pub(crate) const MR: usize = 4;
+/// Register-tile width: columns of `out` processed together.
+const NR: usize = 8;
+/// K-panel depth: reduction slice summed into registers per pass.
+const KC: usize = 256;
+
+/// `out[i, j] += Σ_{l ∈ [k0, k1)} a[i, l] · b[l, j]` for `i < m`, `j < n`,
+/// with row strides `lda`, `ldb`, `ldo`.
+pub(crate) fn gemm_f32(
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    out: &mut [f32],
+    ldo: usize,
+    m: usize,
+    n: usize,
+    k0: usize,
+    k1: usize,
+) {
+    let mut kp = k0;
+    while kp < k1 {
+        let kq = usize::min(kp + KC, k1);
+        let mut i = 0;
+        while i + MR <= m {
+            let mut j = 0;
+            while j + NR <= n {
+                // Full MR×NR register tile.
+                let mut acc = [[0.0f32; NR]; MR];
+                for l in kp..kq {
+                    let brow = &b[l * ldb + j..l * ldb + j + NR];
+                    for (r, accr) in acc.iter_mut().enumerate() {
+                        let av = a[(i + r) * lda + l];
+                        for (c, accv) in accr.iter_mut().enumerate() {
+                            *accv += av * brow[c];
+                        }
+                    }
+                }
+                for (r, accr) in acc.iter().enumerate() {
+                    let orow = &mut out[(i + r) * ldo + j..(i + r) * ldo + j + NR];
+                    for (o, &v) in orow.iter_mut().zip(accr.iter()) {
+                        *o += v;
+                    }
+                }
+                j += NR;
+            }
+            // Column remainder: same panel-local accumulation order.
+            if j < n {
+                for r in 0..MR {
+                    let mut acc = [0.0f32; NR];
+                    for l in kp..kq {
+                        let av = a[(i + r) * lda + l];
+                        for (c, accv) in acc[..n - j].iter_mut().enumerate() {
+                            *accv += av * b[l * ldb + j + c];
+                        }
+                    }
+                    let orow = &mut out[(i + r) * ldo + j..(i + r) * ldo + n];
+                    for (o, &v) in orow.iter_mut().zip(acc.iter()) {
+                        *o += v;
+                    }
+                }
+            }
+            i += MR;
+        }
+        // Row remainder: one row at a time, still panel-accumulated.
+        while i < m {
+            let mut j = 0;
+            while j < n {
+                let jn = usize::min(j + NR, n);
+                let mut acc = [0.0f32; NR];
+                for l in kp..kq {
+                    let av = a[i * lda + l];
+                    for (c, accv) in acc[..jn - j].iter_mut().enumerate() {
+                        *accv += av * b[l * ldb + j + c];
+                    }
+                }
+                let orow = &mut out[i * ldo + j..i * ldo + jn];
+                for (o, &v) in orow.iter_mut().zip(acc.iter()) {
+                    *o += v;
+                }
+                j = jn;
+            }
+            i += 1;
+        }
+        kp = kq;
+    }
+}
+
+/// `out[i, j] += Σ_{l ∈ [k0, k1)} a[i, l] · b[j, l]` — `b` transposed
+/// (`[N, K]` row-major), the backward-pass `dY · Wᵀ` primitive.
+pub(crate) fn gemm_bt_f32(
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    out: &mut [f32],
+    ldo: usize,
+    m: usize,
+    n: usize,
+    k0: usize,
+    k1: usize,
+) {
+    for i in 0..m {
+        let arow = &a[i * lda + k0..i * lda + k1];
+        for j in 0..n {
+            let brow = &b[j * ldb + k0..j * ldb + k1];
+            let mut acc = 0.0f32;
+            for (x, y) in arow.iter().zip(brow.iter()) {
+                acc += x * y;
+            }
+            out[i * ldo + j] += acc;
+        }
+    }
+}
+
+/// `out[i, j] += Σ_{l ∈ [k0, k1)} a[l, i] · b[l, j]` — `a` transposed
+/// (`[K, M]` row-major), the weight-gradient `Xᵀ · dY` primitive.
+///
+/// Rows of `out` (columns of `a`) are independent, so the engine can
+/// partition `[0, m)` across threads; the reduction order per element is
+/// `l` increasing regardless of the partition.
+pub(crate) fn gemm_at_f32(
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    out: &mut [f32],
+    ldo: usize,
+    i0: usize,
+    i1: usize,
+    n: usize,
+    k0: usize,
+    k1: usize,
+) {
+    for l in k0..k1 {
+        let brow = &b[l * ldb..l * ldb + n];
+        for i in i0..i1 {
+            // No zero-skip: 0.0 * inf/NaN must still poison the gradient,
+            // exactly as the pre-engine matmul_at did.
+            let av = a[l * lda + i];
+            let orow = &mut out[(i - i0) * ldo..(i - i0) * ldo + n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Exact integer micro-kernel:
+/// `out[i, j] += Σ_{l ∈ [k0, k1)} a[i, l] · b[l, j]` with `i8` operands
+/// widened to `i32` products, `i32` accumulation.
+pub(crate) fn gemm_i8(
+    a: &[i8],
+    lda: usize,
+    b: &[i8],
+    ldb: usize,
+    out: &mut [i32],
+    ldo: usize,
+    m: usize,
+    n: usize,
+    k0: usize,
+    k1: usize,
+) {
+    let mut kp = k0;
+    while kp < k1 {
+        let kq = usize::min(kp + KC, k1);
+        let mut i = 0;
+        while i + MR <= m {
+            let mut j = 0;
+            while j + NR <= n {
+                let mut acc = [[0i32; NR]; MR];
+                for l in kp..kq {
+                    let brow = &b[l * ldb + j..l * ldb + j + NR];
+                    for (r, accr) in acc.iter_mut().enumerate() {
+                        let av = a[(i + r) * lda + l] as i32;
+                        for (c, accv) in accr.iter_mut().enumerate() {
+                            *accv += av * brow[c] as i32;
+                        }
+                    }
+                }
+                for (r, accr) in acc.iter().enumerate() {
+                    let orow = &mut out[(i + r) * ldo + j..(i + r) * ldo + j + NR];
+                    for (o, &v) in orow.iter_mut().zip(accr.iter()) {
+                        *o += v;
+                    }
+                }
+                j += NR;
+            }
+            if j < n {
+                for r in 0..MR {
+                    let mut acc = [0i32; NR];
+                    for l in kp..kq {
+                        let av = a[(i + r) * lda + l] as i32;
+                        for (c, accv) in acc[..n - j].iter_mut().enumerate() {
+                            *accv += av * b[l * ldb + j + c] as i32;
+                        }
+                    }
+                    let orow = &mut out[(i + r) * ldo + j..(i + r) * ldo + n];
+                    for (o, &v) in orow.iter_mut().zip(acc.iter()) {
+                        *o += v;
+                    }
+                }
+            }
+            i += MR;
+        }
+        while i < m {
+            let mut j = 0;
+            while j < n {
+                let jn = usize::min(j + NR, n);
+                let mut acc = [0i32; NR];
+                for l in kp..kq {
+                    let av = a[i * lda + l] as i32;
+                    for (c, accv) in acc[..jn - j].iter_mut().enumerate() {
+                        *accv += av * b[l * ldb + j + c] as i32;
+                    }
+                }
+                let orow = &mut out[i * ldo + j..i * ldo + jn];
+                for (o, &v) in orow.iter_mut().zip(acc.iter()) {
+                    *o += v;
+                }
+                j = jn;
+            }
+            i += 1;
+        }
+        kp = kq;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_f32(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f64;
+                for l in 0..k {
+                    acc += (a[i * k + l] as f64) * (b[l * n + j] as f64);
+                }
+                out[i * n + j] = acc as f32;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn blocked_matches_naive_at_awkward_sizes() {
+        for (m, k, n) in [(1, 1, 1), (5, 7, 9), (13, 300, 17), (MR, KC + 3, NR)] {
+            let a: Vec<f32> = (0..m * k)
+                .map(|x| ((x % 23) as f32) * 0.125 - 1.0)
+                .collect();
+            let b: Vec<f32> = (0..k * n).map(|x| ((x % 19) as f32) * 0.25 - 2.0).collect();
+            let mut out = vec![0.0f32; m * n];
+            gemm_f32(&a, k, &b, n, &mut out, n, m, n, 0, k);
+            let want = naive_f32(&a, &b, m, k, n);
+            for (x, y) in out.iter().zip(want.iter()) {
+                assert!((x - y).abs() <= 1e-3 * (1.0 + y.abs()), "{m}x{k}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn k_ranges_partition_the_reduction_exactly_i8() {
+        let (m, k, n) = (6, 40, 10);
+        let a: Vec<i8> = (0..m * k).map(|x| ((x * 37 + 5) % 255) as i8).collect();
+        let b: Vec<i8> = (0..k * n).map(|x| ((x * 53 + 7) % 251) as i8).collect();
+        let mut full = vec![0i32; m * n];
+        gemm_i8(&a, k, &b, n, &mut full, n, m, n, 0, k);
+        let mut tiled = vec![0i32; m * n];
+        for (k0, k1) in [(0, 13), (13, 14), (14, 40)] {
+            gemm_i8(&a, k, &b, n, &mut tiled, n, m, n, k0, k1);
+        }
+        assert_eq!(full, tiled);
+    }
+
+    #[test]
+    fn leading_dimensions_address_sub_blocks() {
+        // Compute into the top-left 2×3 corner of a 4×5 out buffer, reading
+        // a 2-column slice of b.
+        let (m, k, n) = (2usize, 3usize, 3usize);
+        let a: Vec<f32> = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // [2,3]
+        let b: Vec<f32> = (0..k * 5).map(|x| x as f32).collect(); // [3,5], ldb=5
+        let mut out = vec![0.0f32; 4 * 5];
+        gemm_f32(&a, k, &b, 5, &mut out, 5, m, n, 0, k);
+        for i in 0..m {
+            for j in 0..n {
+                let want: f32 = (0..k).map(|l| a[i * k + l] * b[l * 5 + j]).sum();
+                assert_eq!(out[i * 5 + j], want);
+            }
+        }
+        // Untouched region stays zero.
+        assert!(out[5 * 3..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn bt_and_at_match_plain() {
+        let (m, k, n) = (5, 11, 4);
+        let a: Vec<f32> = (0..m * k).map(|x| (x % 13) as f32 - 6.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|x| (x % 7) as f32 - 3.0).collect();
+        let mut plain = vec![0.0f32; m * n];
+        gemm_f32(&a, k, &b, n, &mut plain, n, m, n, 0, k);
+
+        // bᵀ stored [N, K].
+        let mut bt = vec![0.0f32; n * k];
+        for l in 0..k {
+            for j in 0..n {
+                bt[j * k + l] = b[l * n + j];
+            }
+        }
+        let mut out = vec![0.0f32; m * n];
+        gemm_bt_f32(&a, k, &bt, k, &mut out, n, m, n, 0, k);
+        assert_eq!(out, plain);
+
+        // aᵀ stored [K, M].
+        let mut at = vec![0.0f32; k * m];
+        for i in 0..m {
+            for l in 0..k {
+                at[l * m + i] = a[i * k + l];
+            }
+        }
+        let mut out = vec![0.0f32; m * n];
+        gemm_at_f32(&at, m, &b, n, &mut out, n, 0, m, n, 0, k);
+        for (x, y) in out.iter().zip(plain.iter()) {
+            assert!((x - y).abs() <= 1e-4 * (1.0 + y.abs()));
+        }
+    }
+}

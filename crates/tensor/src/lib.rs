@@ -9,7 +9,12 @@
 //!   [`matmul_psum_tiles`], which splits the reduction axis into tiles and
 //!   exposes the partial-sum (PSUM) stream that the APSQ algorithm quantizes;
 //! - [`Int8Tensor`] / [`Int32Tensor`] and [`int8_matmul_psum_tiles`] — the
-//!   exact integer path used by the bit-accurate hardware simulators.
+//!   exact integer path used by the bit-accurate hardware simulators;
+//! - [`ExecEngine`] — the parallel tiled execution engine behind every
+//!   GEMM/conv entry point: cache-blocked micro-kernels dispatched over a
+//!   scoped thread pool, bit-identical results for any thread count, plus
+//!   the buffer-reusing `*_into` variants and the `for_each_k_tile`
+//!   PSUM-streaming API.
 //!
 //! # Example
 //!
@@ -33,8 +38,10 @@
 
 mod activation;
 mod conv;
+mod exec;
 mod init;
 mod int_tensor;
+mod kernels;
 mod matmul;
 mod reduce;
 mod shape;
@@ -45,10 +52,12 @@ pub use activation::{
     softmax_rows_grad,
 };
 pub use conv::{conv2d_i8_gemm, conv2d_i8_reference, im2col, im2col_i8};
+pub use exec::ExecEngine;
 pub use init::{kaiming_normal, rand_uniform, randn, xavier_uniform};
 pub use int_tensor::{int8_matmul, int8_matmul_psum_tiles, Int32Tensor, Int8Tensor};
 pub use matmul::{
-    batched_matmul, matmul, matmul_at, matmul_bt, matmul_psum_tiles, matmul_tiled_fold,
+    batched_matmul, matmul, matmul_at, matmul_at_into, matmul_bt, matmul_bt_into, matmul_into,
+    matmul_psum_tiles, matmul_tiled_fold,
 };
 pub use reduce::{argmax_axis1, mean_axis1, sum_axis0, sum_axis1, var_axis1};
 pub use shape::Shape;

@@ -1,12 +1,18 @@
-//! Matrix multiplication kernels, including the K-tiled variant that exposes
-//! partial-sum (PSUM) tiles — the integration point for APSQ.
+//! Matrix multiplication entry points, including the K-tiled variant that
+//! exposes partial-sum (PSUM) tiles — the integration point for APSQ.
+//!
+//! These free functions are thin serial-engine wrappers over
+//! [`crate::ExecEngine`], kept for ergonomic call sites; pass an engine
+//! explicitly (and pick a thread count) to parallelize the same kernels.
 
+use crate::exec::ExecEngine;
 use crate::tensor::Tensor;
 
 /// Multiplies `a` (`[M, K]`) by `b` (`[K, N]`) producing `[M, N]`.
 ///
-/// The kernel uses the cache-friendly `i-k-j` loop order over row-major
-/// storage, which LLVM auto-vectorizes.
+/// Runs the cache-blocked micro-kernel on the calling thread; use
+/// [`ExecEngine::matmul`] for the multi-threaded version (bit-identical
+/// output for any thread count).
 ///
 /// # Panics
 ///
@@ -22,10 +28,17 @@ use crate::tensor::Tensor;
 /// assert_eq!(matmul(&a, &i), a);
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
-    let (m, k, n) = check_matmul_dims(a, b);
-    let mut out = vec![0.0f32; m * n];
-    matmul_into(a.data(), b.data(), &mut out, m, k, n);
-    Tensor::from_vec(out, [m, n])
+    ExecEngine::serial().matmul(a, b)
+}
+
+/// [`matmul`] into a caller-owned `[M, N]` buffer (overwritten), avoiding
+/// the output allocation.
+///
+/// # Panics
+///
+/// Panics on rank/shape mismatches, including `out`.
+pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    ExecEngine::serial().matmul_into(a, b, out);
 }
 
 /// Multiplies `a` (`[M, K]`) by the transpose of `b` (`[N, K]`), producing
@@ -37,26 +50,16 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 ///
 /// Panics if either operand is not rank-2 or the K dimensions disagree.
 pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
-    assert_eq!(a.rank(), 2, "matmul_bt: `a` must be rank-2");
-    assert_eq!(b.rank(), 2, "matmul_bt: `b` must be rank-2");
-    let (m, k) = (a.dims()[0], a.dims()[1]);
-    let (n, kb) = (b.dims()[0], b.dims()[1]);
-    assert_eq!(k, kb, "matmul_bt: inner dimensions {k} vs {kb} disagree");
-    let (ad, bd) = (a.data(), b.data());
-    let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (j, o) in orow.iter_mut().enumerate() {
-            let brow = &bd[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (x, y) in arow.iter().zip(brow.iter()) {
-                acc += x * y;
-            }
-            *o = acc;
-        }
-    }
-    Tensor::from_vec(out, [m, n])
+    ExecEngine::serial().matmul_bt(a, b)
+}
+
+/// [`matmul_bt`] into a caller-owned `[M, N]` buffer (overwritten).
+///
+/// # Panics
+///
+/// Panics on rank/shape mismatches, including `out`.
+pub fn matmul_bt_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    ExecEngine::serial().matmul_bt_into(a, b, out);
 }
 
 /// Multiplies the transpose of `a` (`[K, M]`) by `b` (`[K, N]`), producing
@@ -68,24 +71,16 @@ pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
 ///
 /// Panics if either operand is not rank-2 or the K dimensions disagree.
 pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
-    assert_eq!(a.rank(), 2, "matmul_at: `a` must be rank-2");
-    assert_eq!(b.rank(), 2, "matmul_at: `b` must be rank-2");
-    let (k, m) = (a.dims()[0], a.dims()[1]);
-    let (kb, n) = (b.dims()[0], b.dims()[1]);
-    assert_eq!(k, kb, "matmul_at: inner dimensions {k} vs {kb} disagree");
-    let (ad, bd) = (a.data(), b.data());
-    let mut out = vec![0.0f32; m * n];
-    for l in 0..k {
-        let arow = &ad[l * m..(l + 1) * m];
-        let brow = &bd[l * n..(l + 1) * n];
-        for (i, &aval) in arow.iter().enumerate() {
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (o, &bval) in orow.iter_mut().zip(brow.iter()) {
-                *o += aval * bval;
-            }
-        }
-    }
-    Tensor::from_vec(out, [m, n])
+    ExecEngine::serial().matmul_at(a, b)
+}
+
+/// [`matmul_at`] into a caller-owned `[M, N]` buffer (overwritten).
+///
+/// # Panics
+///
+/// Panics on rank/shape mismatches, including `out`.
+pub fn matmul_at_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    ExecEngine::serial().matmul_at_into(a, b, out);
 }
 
 /// Batched matmul: `[B, M, K] × [B, K, N] → [B, M, N]`.
@@ -94,24 +89,7 @@ pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
 ///
 /// Panics if operands are not rank-3 or batch/inner dims disagree.
 pub fn batched_matmul(a: &Tensor, b: &Tensor) -> Tensor {
-    assert_eq!(a.rank(), 3, "batched_matmul: `a` must be rank-3");
-    assert_eq!(b.rank(), 3, "batched_matmul: `b` must be rank-3");
-    let (ba, m, k) = (a.dims()[0], a.dims()[1], a.dims()[2]);
-    let (bb, kb, n) = (b.dims()[0], b.dims()[1], b.dims()[2]);
-    assert_eq!(ba, bb, "batched_matmul: batch sizes {ba} vs {bb} disagree");
-    assert_eq!(k, kb, "batched_matmul: inner dims {k} vs {kb} disagree");
-    let mut out = vec![0.0f32; ba * m * n];
-    for batch in 0..ba {
-        matmul_into(
-            &a.data()[batch * m * k..(batch + 1) * m * k],
-            &b.data()[batch * k * n..(batch + 1) * k * n],
-            &mut out[batch * m * n..(batch + 1) * m * n],
-            m,
-            k,
-            n,
-        );
-    }
-    Tensor::from_vec(out, [ba, m, n])
+    ExecEngine::serial().batched_matmul(a, b)
 }
 
 /// Splits the reduction axis of `a · b` into `ceil(K / k_tile)` tiles and
@@ -121,31 +99,14 @@ pub fn batched_matmul(a: &Tensor, b: &Tensor) -> Tensor {
 /// both the QAT path and the hardware simulators obtain realistic PSUM tile
 /// streams: tile `i` covers input-channel columns `i·k_tile .. (i+1)·k_tile`.
 ///
+/// Prefer [`ExecEngine::for_each_k_tile`] when the tiles feed a sequential
+/// fold — it reuses one buffer instead of materializing the whole stream.
+///
 /// # Panics
 ///
 /// Panics if operands are not rank-2, inner dims disagree, or `k_tile == 0`.
 pub fn matmul_psum_tiles(a: &Tensor, b: &Tensor, k_tile: usize) -> Vec<Tensor> {
-    assert!(k_tile > 0, "k_tile must be positive");
-    let (m, k, n) = check_matmul_dims(a, b);
-    let np = k.div_ceil(k_tile);
-    let mut tiles = Vec::with_capacity(np);
-    for t in 0..np {
-        let k0 = t * k_tile;
-        let k1 = usize::min(k0 + k_tile, k);
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for l in k0..k1 {
-                let aval = a.data()[i * k + l];
-                let brow = &b.data()[l * n..(l + 1) * n];
-                let orow = &mut out[i * n..(i + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                    *o += aval * bv;
-                }
-            }
-        }
-        tiles.push(Tensor::from_vec(out, [m, n]));
-    }
-    tiles
+    ExecEngine::serial().matmul_psum_tiles(a, b, k_tile)
 }
 
 /// Computes `a · b` by folding the K-tiled PSUM stream through `fold`.
@@ -155,6 +116,9 @@ pub fn matmul_psum_tiles(a: &Tensor, b: &Tensor, k_tile: usize) -> Vec<Tensor> {
 /// `running += tile` — reproduces plain matmul; a fold that requantizes
 /// `running` after adding implements APSQ in the fake-quant (float) domain.
 ///
+/// Tiles are streamed through one reusable buffer (no `Vec<Tensor>` is
+/// materialized).
+///
 /// # Panics
 ///
 /// Panics if operands are not rank-2, inner dims disagree, or `k_tile == 0`.
@@ -162,39 +126,9 @@ pub fn matmul_tiled_fold(
     a: &Tensor,
     b: &Tensor,
     k_tile: usize,
-    mut fold: impl FnMut(usize, &mut Tensor, &Tensor),
+    fold: impl FnMut(usize, &mut Tensor, &Tensor),
 ) -> Tensor {
-    let (m, _, n) = check_matmul_dims(a, b);
-    let mut running = Tensor::zeros([m, n]);
-    for (step, tile) in matmul_psum_tiles(a, b, k_tile).into_iter().enumerate() {
-        fold(step, &mut running, &tile);
-    }
-    running
-}
-
-fn check_matmul_dims(a: &Tensor, b: &Tensor) -> (usize, usize, usize) {
-    assert_eq!(a.rank(), 2, "matmul: `a` must be rank-2, got {}", a.shape());
-    assert_eq!(b.rank(), 2, "matmul: `b` must be rank-2, got {}", b.shape());
-    let (m, k) = (a.dims()[0], a.dims()[1]);
-    let (kb, n) = (b.dims()[0], b.dims()[1]);
-    assert_eq!(k, kb, "matmul: inner dimensions {k} vs {kb} disagree");
-    (m, k, n)
-}
-
-fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (l, &aval) in arow.iter().enumerate() {
-            if aval == 0.0 {
-                continue;
-            }
-            let brow = &b[l * n..(l + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                *o += aval * bv;
-            }
-        }
-    }
+    ExecEngine::serial().matmul_tiled_fold(a, b, k_tile, fold)
 }
 
 #[cfg(test)]
@@ -248,6 +182,35 @@ mod tests {
         for (x, y) in c.data().iter().zip(c_at.data()) {
             assert!((x - y).abs() < 1e-4);
         }
+    }
+
+    #[test]
+    fn into_variants_match_allocating_ones() {
+        let a = arange(3, 7);
+        let b = arange(7, 4);
+        let mut out = Tensor::full([3, 4], f32::NAN);
+        matmul_into(&a, &b, &mut out);
+        assert_eq!(out, matmul(&a, &b));
+
+        let bt = arange(5, 7); // [N, K] operand for the bt variant
+        let mut out = Tensor::full([3, 5], f32::NAN);
+        matmul_bt_into(&a, &bt, &mut out);
+        assert_eq!(out, matmul_bt(&a, &bt));
+
+        let at = b; // [K, M] operand: at = [7, 4] ⇒ atᵀ·a2 needs a2 [7, N]
+        let a2 = arange(7, 6);
+        let mut out = Tensor::full([4, 6], f32::NAN);
+        matmul_at_into(&at, &a2, &mut out);
+        assert_eq!(out, matmul_at(&at, &a2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out must be")]
+    fn into_shape_mismatch_rejected() {
+        let a = arange(2, 3);
+        let b = arange(3, 2);
+        let mut out = Tensor::zeros([2, 3]);
+        matmul_into(&a, &b, &mut out);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use apsq_tensor::{
     int8_matmul, int8_matmul_psum_tiles, matmul, matmul_at, matmul_bt, matmul_psum_tiles,
-    softmax_rows, Int32Tensor, Int8Tensor, Tensor,
+    softmax_rows, ExecEngine, Int32Tensor, Int8Tensor, Tensor,
 };
 use proptest::prelude::*;
 use proptest::strategy::ValueTree;
@@ -17,6 +17,17 @@ fn tensor_strategy(m: usize, n: usize) -> impl Strategy<Value = Tensor> {
 
 fn int8_strategy(m: usize, n: usize) -> impl Strategy<Value = Int8Tensor> {
     proptest::collection::vec(any::<i8>(), m * n).prop_map(move |v| Int8Tensor::from_vec(v, [m, n]))
+}
+
+/// Deterministic seed-mixed i8 fill, so proptest-drawn seeds really vary
+/// the operand data across cases.
+fn seeded_i8(m: usize, n: usize, seed: u32) -> Int8Tensor {
+    Int8Tensor::from_vec(
+        (0..m * n)
+            .map(|x| ((x as u32).wrapping_mul(37).wrapping_add(seed) % 255) as i8)
+            .collect(),
+        [m, n],
+    )
 }
 
 fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
@@ -110,6 +121,70 @@ proptest! {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The engine's parallel integer matmul is bit-exact against the serial
+    /// reference for every thread count, at sizes large enough to really
+    /// cross the engine's spawn threshold.
+    #[test]
+    fn engine_parallel_int8_matmul_bit_exact(
+        (m, extra_k, n) in (9usize..70, 0usize..80, 5usize..40),
+        threads in 2usize..9,
+        seed in any::<u16>(),
+    ) {
+        let k = 64 + extra_k;
+        let a = seeded_i8(m, k, seed as u32);
+        let b = seeded_i8(k, n, seed as u32 ^ 0x9e37);
+        let serial = int8_matmul(&a, &b);
+        let parallel = ExecEngine::with_threads(threads)
+            .with_spawn_threshold(0)
+            .int8_matmul(&a, &b);
+        prop_assert_eq!(parallel, serial);
+    }
+
+    /// Float results are also bit-identical across thread counts (the
+    /// engine's per-element reduction order never depends on the
+    /// partition).
+    #[test]
+    fn engine_parallel_f32_matmul_bit_exact(
+        (m, extra_k, n) in (9usize..70, 0usize..80, 5usize..40),
+        threads in 2usize..9,
+        vals in proptest::collection::vec(-3.0f32..3.0, 70 * 144),
+    ) {
+        let k = 64 + extra_k;
+        let a = Tensor::from_vec(vals[..m * k].to_vec(), [m, k]);
+        let b = Tensor::from_vec(vals[vals.len() - k * n..].to_vec(), [k, n]);
+        let serial = ExecEngine::serial().matmul(&a, &b);
+        let parallel = ExecEngine::with_threads(threads)
+            .with_spawn_threshold(0)
+            .matmul(&a, &b);
+        prop_assert_eq!(parallel, serial);
+    }
+
+    /// The streaming K-tile API partitions the exact integer reduction:
+    /// folding the streamed tiles with checked adds reproduces the full
+    /// product for any tile size and thread count.
+    #[test]
+    fn engine_int8_k_tile_stream_partitions_reduction(
+        (m, k, n) in small_dims(),
+        k_tile in 1usize..16,
+        threads in 1usize..5,
+        seed in any::<u16>(),
+    ) {
+        let a = seeded_i8(m, k, seed as u32);
+        let b = seeded_i8(k, n, seed as u32 ^ 0x51ed);
+        let exact = int8_matmul(&a, &b);
+        let mut acc = Int32Tensor::zeros([m, n]);
+        let mut steps = 0usize;
+        ExecEngine::with_threads(threads)
+            .with_spawn_threshold(0)
+            .int8_for_each_k_tile(&a, &b, k_tile, |step, tile| {
+            prop_assert_eq!(step, steps);
+            acc = acc.checked_add(tile).expect("no overflow at these depths");
+            steps += 1;
+        });
+        prop_assert_eq!(steps, k.div_ceil(k_tile));
+        prop_assert_eq!(acc, exact);
+    }
 
     #[test]
     fn int8_psum_tiles_exact_partition(

@@ -26,6 +26,7 @@ fn main() {
         distill_weight: 0.5,
         temperature: 2.0,
         seed: 17,
+        threads: 1,
     };
 
     // FP32 teacher (32-bit fake-quant is numerically transparent).

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Runs the matmul benches and records the ExecEngine speedup as
+# machine-readable JSON (BENCH_matmul.json at the repo root).
+#
+#   ./scripts/bench.sh            # full run: 1024^3 engine sweep
+#   ./scripts/bench.sh --quick    # CI smoke: 256^3
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo bench -p apsq-bench --bench matmul"
+cargo bench -p apsq-bench --bench matmul
+
+echo
+echo "==> engine_speedup ${1:-} (writes BENCH_matmul.json)"
+if [[ "${1:-}" == "--quick" ]]; then
+  cargo run -q --release -p apsq-bench --bin engine_speedup -- --quick
+else
+  cargo run -q --release -p apsq-bench --bin engine_speedup
+fi

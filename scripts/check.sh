@@ -23,4 +23,10 @@ cargo test -q --workspace
 echo "==> cargo test -q --release -p apsq-nn --lib  (release-gated QAT tests)"
 cargo test -q --release -p apsq-nn --lib
 
+echo "==> cargo test -q --release -p apsq-tensor  (engine kernels at release opt)"
+cargo test -q --release -p apsq-tensor
+
+echo "==> bench smoke: engine_speedup --quick (writes BENCH_matmul.json)"
+cargo run -q --release -p apsq-bench --bin engine_speedup -- --quick --out target/BENCH_matmul.smoke.json
+
 echo "All checks passed."
