@@ -12,7 +12,7 @@
 //! in the model inventories lives in.
 
 use apsq_bench::baseline::matmul_reference;
-use apsq_bench::report::Table;
+use apsq_bench::report::{JsonObject, Table};
 use apsq_tensor::{ExecEngine, Tensor};
 use std::time::Instant;
 
@@ -71,7 +71,7 @@ fn main() {
     ]);
 
     let serial_out = ExecEngine::serial().matmul(&a, &b);
-    let mut entries = Vec::new();
+    let mut sweep = Table::new(&["threads", "seconds", "speedup"]);
     let mut bit_identical = true;
     let mut speedup_at_4 = 0.0f64;
     for threads in THREAD_SWEEP {
@@ -88,9 +88,11 @@ fn main() {
             format!("{:.2}", gflop / t),
             format!("{speedup:.2}x"),
         ]);
-        entries.push(format!(
-            "    {{\"threads\": {threads}, \"seconds\": {t:.6}, \"speedup\": {speedup:.4}}}"
-        ));
+        sweep.row(vec![
+            threads.to_string(),
+            format!("{t:.6}"),
+            format!("{speedup:.4}"),
+        ]);
     }
     println!("{}", table.render());
     println!(
@@ -98,10 +100,23 @@ fn main() {
         bit_identical
     );
 
-    let json = format!(
-        "{{\n  \"bench\": \"matmul_exec_engine\",\n  \"shape\": {{\"m\": {n}, \"k\": {n}, \"n\": {n}}},\n  \"reference_serial_seconds\": {t_ref:.6},\n  \"engine\": [\n{}\n  ],\n  \"bit_identical_across_threads\": {bit_identical},\n  \"speedup_at_4_threads\": {speedup_at_4:.4}\n}}\n",
-        entries.join(",\n")
-    );
+    let json = JsonObject::new()
+        .str("bench", "matmul_exec_engine")
+        .raw(
+            "shape",
+            JsonObject::new()
+                .int("m", n as i64)
+                .int("k", n as i64)
+                .int("n", n as i64)
+                .render()
+                .trim_end()
+                .to_string(),
+        )
+        .num("reference_serial_seconds", t_ref)
+        .raw("engine", sweep.to_json())
+        .bool("bit_identical_across_threads", bit_identical)
+        .num("speedup_at_4_threads", speedup_at_4)
+        .render();
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
     println!("\nwrote {out_path}");
     assert!(

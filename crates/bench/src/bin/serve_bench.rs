@@ -1,0 +1,90 @@
+//! Closed-loop serving benchmark over `apsq-serve`: the llama decode
+//! scenario at batch-size-1 vs dynamic batching (same resources, same
+//! seed, same traffic), plus a mixed bert/segformer/llama scenario —
+//! recorded as machine-readable JSON (`BENCH_serve.json`, or `--out PATH`)
+//! through the shared report emitter.
+//!
+//! ```text
+//! cargo run --release -p apsq-bench --bin serve_bench [-- --quick] [--out PATH]
+//! ```
+//!
+//! Because the two decode runs replay identical traffic, their response
+//! fingerprints must match — the benchmark doubles as an end-to-end check
+//! that batching never changes results — and the recorded
+//! `batched_speedup` is the pure dynamic-batching win.
+
+use apsq_bench::report::JsonObject;
+use apsq_bench::serve_report::{latency_table, occupancy_table, report_json, summary_table};
+use apsq_serve::{BatchPolicy, LoadGenerator, LoadReport, Scenario, ServeConfig};
+
+const SEED: u64 = 0xA95C_BEEF;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+
+    let (clients, steps, mixed_steps) = if quick { (8, 8, 4) } else { (16, 48, 16) };
+    let mut base = ServeConfig::smoke();
+    base.workers = 2;
+    base.engine_threads = 1;
+    base.prefill_max_macs = if quick { 30_000 } else { 200_000 };
+    let max_batch = 8;
+
+    println!(
+        "== apsq-serve load benchmark ({} decode clients x {steps} steps{}) ==\n",
+        clients,
+        if quick { ", --quick" } else { "" }
+    );
+
+    let decode = LoadGenerator::new(SEED, Scenario::llama_decode(clients, steps));
+    let mut b1 = decode.run(&base.clone().with_batch(BatchPolicy::single()));
+    b1.scenario.push_str("_batch1");
+    let mut batched = decode.run(&base.clone().with_batch(BatchPolicy::batched(max_batch)));
+    batched.scenario.push_str(&format!("_batch{max_batch}"));
+    assert_eq!(
+        b1.fingerprint, batched.fingerprint,
+        "batching changed response payloads — determinism contract broken"
+    );
+    assert_eq!(b1.errors + batched.errors, 0, "decode traffic errored");
+    let speedup = batched.tokens_per_s / b1.tokens_per_s;
+
+    let mixed = LoadGenerator::new(SEED, Scenario::mixed(SEED, clients, mixed_steps))
+        .run(&base.clone().with_batch(BatchPolicy::batched(max_batch)));
+
+    let reports: Vec<&LoadReport> = vec![&b1, &batched, &mixed];
+    println!("{}", summary_table(&reports).render());
+    println!("batched decode latency by lane:");
+    println!("{}", latency_table(&batched).render());
+    println!("batched decode batch occupancy:");
+    println!("{}", occupancy_table(&batched).render());
+    println!(
+        "llama decode throughput: {:.1} tok/s (batch 1) -> {:.1} tok/s (batch {max_batch}) = {speedup:.2}x",
+        b1.tokens_per_s, batched.tokens_per_s
+    );
+    println!(
+        "fingerprints identical across batching configs: {:016x}",
+        b1.fingerprint
+    );
+
+    let scenarios = apsq_bench::report::json_array(reports.iter().map(|r| report_json(r)));
+    let json = JsonObject::new()
+        .str("bench", "apsq_serve_loadgen")
+        .bool("quick", quick)
+        .int("decode_clients", clients as i64)
+        .int("decode_steps", steps as i64)
+        .int("workers", base.workers as i64)
+        .int("max_batch", max_batch as i64)
+        .num("tokens_per_s_batch1", b1.tokens_per_s)
+        .num("tokens_per_s_batched", batched.tokens_per_s)
+        .num("batched_speedup", speedup)
+        .bool("fingerprints_match_across_batching", true)
+        .raw("scenarios", scenarios)
+        .render();
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("\nwrote {out_path}");
+}

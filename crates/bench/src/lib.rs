@@ -20,6 +20,7 @@
 pub mod baseline;
 pub mod experiments;
 pub mod report;
+pub mod serve_report;
 
 /// Parses the shared flags of the training-based generators:
 /// `--quick` selects the reduced smoke budget, and `--steps N` overrides

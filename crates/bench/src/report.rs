@@ -1,4 +1,7 @@
-//! Minimal fixed-width table rendering for experiment reports.
+//! Minimal fixed-width table rendering for experiment reports, plus the
+//! one shared machine-readable JSON emitter every `BENCH_*.json` artifact
+//! goes through ([`Table::to_json`] / [`JsonObject`]) — no ad-hoc JSON
+//! formatting in individual bins.
 
 /// A printable table: header row plus data rows.
 #[derive(Clone, Debug, Default)]
@@ -80,11 +83,148 @@ impl Table {
         }
         out
     }
+
+    /// Renders the table as a JSON object `{"columns": [...], "rows":
+    /// [[...], ...]}`. Cells that are canonical JSON numbers are emitted
+    /// bare; everything else becomes an escaped string, so `"1.50"` stays
+    /// a number while `"1.50x"` stays a string.
+    pub fn to_json(&self) -> String {
+        let cell = |c: &String| -> String {
+            if is_json_number(c) {
+                c.clone()
+            } else {
+                json_escape(c)
+            }
+        };
+        let columns = json_array(self.header.iter().map(json_escape));
+        let rows = json_array(self.rows.iter().map(|r| json_array(r.iter().map(cell))));
+        format!("{{\"columns\": {columns}, \"rows\": {rows}}}")
+    }
 }
 
 /// Formats a float with the given precision.
 pub fn f(v: f64, prec: usize) -> String {
     format!("{v:.prec$}")
+}
+
+/// Whether `s` is a canonical JSON number (so it may be emitted unquoted).
+fn is_json_number(s: &str) -> bool {
+    let mut rest = s.strip_prefix('-').unwrap_or(s);
+    // Integer part: "0" or a nonzero-led digit run.
+    let digits = rest.bytes().take_while(|b| b.is_ascii_digit()).count();
+    if digits == 0 || (digits > 1 && rest.starts_with('0')) {
+        return false;
+    }
+    rest = &rest[digits..];
+    if let Some(frac) = rest.strip_prefix('.') {
+        let digits = frac.bytes().take_while(|b| b.is_ascii_digit()).count();
+        if digits == 0 {
+            return false;
+        }
+        rest = &frac[digits..];
+    }
+    if let Some(exp) = rest.strip_prefix(['e', 'E']) {
+        let exp = exp.strip_prefix(['+', '-']).unwrap_or(exp);
+        let digits = exp.bytes().take_while(|b| b.is_ascii_digit()).count();
+        if digits == 0 || digits != exp.len() {
+            return false;
+        }
+        rest = "";
+    }
+    rest.is_empty()
+}
+
+/// JSON-escapes a string, quotes included.
+pub fn json_escape(s: impl AsRef<str>) -> String {
+    let mut out = String::with_capacity(s.as_ref().len() + 2);
+    out.push('"');
+    for c in s.as_ref().chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders pre-rendered JSON values as an array.
+pub fn json_array(items: impl IntoIterator<Item = String>) -> String {
+    let items: Vec<String> = items.into_iter().collect();
+    format!("[{}]", items.join(", "))
+}
+
+/// An ordered JSON-object builder: every `BENCH_*.json` file is assembled
+/// from these instead of hand-formatted strings.
+#[derive(Clone, Debug, Default)]
+pub struct JsonObject {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObject {
+    /// An empty object.
+    pub fn new() -> Self {
+        JsonObject::default()
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: impl AsRef<str>) -> Self {
+        self.fields.push((key.to_string(), json_escape(value)));
+        self
+    }
+
+    /// Adds a finite number field (non-finite values become `null`).
+    pub fn num(mut self, key: &str, value: f64) -> Self {
+        let v = if value.is_finite() {
+            format!("{value}")
+        } else {
+            "null".to_string()
+        };
+        self.fields.push((key.to_string(), v));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(mut self, key: &str, value: i64) -> Self {
+        self.fields.push((key.to_string(), format!("{value}")));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.fields.push((key.to_string(), format!("{value}")));
+        self
+    }
+
+    /// Adds a pre-rendered JSON value (array, nested object, or a
+    /// [`Table::to_json`] result).
+    pub fn raw(mut self, key: &str, raw: impl Into<String>) -> Self {
+        self.fields.push((key.to_string(), raw.into()));
+        self
+    }
+
+    /// Renders the object with one field per line (nested values indented
+    /// along), trailing newline included.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            out.push_str("  ");
+            out.push_str(&json_escape(k));
+            out.push_str(": ");
+            out.push_str(&v.replace('\n', "\n  "));
+            if i + 1 < self.fields.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("}\n");
+        out
+    }
 }
 
 #[cfg(test)]
@@ -107,5 +247,57 @@ mod tests {
     #[should_panic(expected = "row width")]
     fn ragged_row_rejected() {
         Table::new(&["a"]).row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn to_json_distinguishes_numbers_from_strings() {
+        let mut t = Table::new(&["name", "value", "speedup"]);
+        t.row(vec!["engine 4t".into(), "1.50".into(), "2.30x".into()]);
+        t.row(vec!["007".into(), "-3e-2".into(), "0".into()]);
+        assert_eq!(
+            t.to_json(),
+            "{\"columns\": [\"name\", \"value\", \"speedup\"], \
+             \"rows\": [[\"engine 4t\", 1.50, \"2.30x\"], [\"007\", -3e-2, 0]]}"
+        );
+    }
+
+    #[test]
+    fn json_number_grammar() {
+        for ok in ["0", "-1", "12.5", "1e9", "2.5E-3", "-0.25"] {
+            assert!(is_json_number(ok), "{ok}");
+        }
+        for bad in [
+            "", "007", "1.", ".5", "1e", "0x1", "1.2.3", "nan", "inf", "+1", "1 ",
+        ] {
+            assert!(!is_json_number(bad), "{bad}");
+        }
+    }
+
+    #[test]
+    fn json_object_renders_ordered_fields() {
+        let obj = JsonObject::new()
+            .str("bench", "serve")
+            .int("requests", 64)
+            .num("speedup", 1.75)
+            .bool("quick", false)
+            .num("bad", f64::NAN)
+            .raw("inner", Table::new(&["a"]).to_json());
+        let r = obj.render();
+        assert!(r.starts_with("{\n  \"bench\": \"serve\",\n"));
+        assert!(r.contains("\"requests\": 64,"));
+        assert!(r.contains("\"speedup\": 1.75,"));
+        assert!(r.contains("\"bad\": null,"));
+        assert!(r.contains("\"inner\": {\"columns\": [\"a\"], \"rows\": []}"));
+        assert!(r.ends_with("}\n"));
+        // Order preserved.
+        let bench = r.find("bench").unwrap();
+        let quick = r.find("quick").unwrap();
+        assert!(bench < quick);
+    }
+
+    #[test]
+    fn escaping_covers_quotes_and_control_chars() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_escape("\u{1}"), "\"\\u0001\"");
     }
 }

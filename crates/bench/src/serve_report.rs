@@ -1,0 +1,119 @@
+//! Rendering `apsq-serve` load-generator results: metrics tables for the
+//! console and the scenario objects inside `BENCH_serve.json` — all
+//! through the shared [`report`](crate::report) emitter.
+
+use crate::report::{f, JsonObject, Table};
+use apsq_serve::{LatencyStats, LoadReport};
+
+/// One row per scenario: volume, throughput, latency percentiles, and
+/// batching behavior side by side.
+pub fn summary_table(reports: &[&LoadReport]) -> Table {
+    let mut t = Table::new(&[
+        "scenario", "ok", "err", "tok/s", "req/s", "p50 ms", "p95 ms", "p99 ms", "occ mean",
+        "occ max",
+    ]);
+    for r in reports {
+        t.row(vec![
+            r.scenario.clone(),
+            r.ok.to_string(),
+            r.errors.to_string(),
+            f(r.tokens_per_s, 1),
+            f(r.requests_per_s, 1),
+            f(r.snapshot.latency.p50_us as f64 / 1e3, 3),
+            f(r.snapshot.latency.p95_us as f64 / 1e3, 3),
+            f(r.snapshot.latency.p99_us as f64 / 1e3, 3),
+            f(r.snapshot.batch_occupancy_mean, 2),
+            r.snapshot.batch_occupancy_max.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Per-lane latency breakdown for one run.
+pub fn latency_table(report: &LoadReport) -> Table {
+    let mut t = Table::new(&[
+        "lane", "count", "mean ms", "p50 ms", "p95 ms", "p99 ms", "max ms",
+    ]);
+    let mut lane = |name: &str, s: &LatencyStats| {
+        t.row(vec![
+            name.to_string(),
+            s.count.to_string(),
+            f(s.mean_us / 1e3, 3),
+            f(s.p50_us as f64 / 1e3, 3),
+            f(s.p95_us as f64 / 1e3, 3),
+            f(s.p99_us as f64 / 1e3, 3),
+            f(s.max_us as f64 / 1e3, 3),
+        ]);
+    };
+    lane("all", &report.snapshot.latency);
+    lane("decode", &report.snapshot.decode_latency);
+    lane("prefill", &report.snapshot.prefill_latency);
+    t
+}
+
+/// Batch-occupancy histogram for one run.
+pub fn occupancy_table(report: &LoadReport) -> Table {
+    let mut t = Table::new(&["batch size", "batches"]);
+    for &(size, count) in &report.snapshot.batch_occupancy_hist {
+        t.row(vec![size.to_string(), count.to_string()]);
+    }
+    t
+}
+
+/// One scenario's JSON object for `BENCH_serve.json`.
+pub fn report_json(report: &LoadReport) -> String {
+    let s = &report.snapshot;
+    JsonObject::new()
+        .str("scenario", &report.scenario)
+        .int("ok", report.ok as i64)
+        .int("errors", report.errors as i64)
+        .int("shed_queue", s.shed_queue as i64)
+        .int("evictions", s.evictions as i64)
+        .int("sessions_peak", s.sessions_peak as i64)
+        .int("decode_tokens", s.decode_tokens as i64)
+        .num("elapsed_s", report.elapsed_s)
+        .num("tokens_per_s", report.tokens_per_s)
+        .num("requests_per_s", report.requests_per_s)
+        .int("latency_p50_us", s.latency.p50_us as i64)
+        .int("latency_p95_us", s.latency.p95_us as i64)
+        .int("latency_p99_us", s.latency.p99_us as i64)
+        .num("batch_occupancy_mean", s.batch_occupancy_mean)
+        .int("batch_occupancy_max", s.batch_occupancy_max as i64)
+        .num("queue_depth_mean", s.queue_depth_mean)
+        .int("queue_depth_max", s.queue_depth_max as i64)
+        .str("fingerprint", format!("{:016x}", report.fingerprint))
+        .raw("latency_table", latency_table(report).to_json())
+        .raw("occupancy_table", occupancy_table(report).to_json())
+        .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apsq_serve::{LoadGenerator, Scenario, ServeConfig};
+
+    fn tiny_report() -> LoadReport {
+        let mut cfg = ServeConfig::smoke();
+        cfg.model.d_model = 32;
+        cfg.model.d_ff = 64;
+        cfg.model.heads = 2;
+        cfg.model.vocab = 16;
+        cfg.model.max_len = 16;
+        cfg.prefill_max_macs = 5_000;
+        LoadGenerator::new(3, Scenario::mixed(3, 4, 3)).run(&cfg)
+    }
+
+    #[test]
+    fn tables_and_json_render() {
+        let r = tiny_report();
+        let summary = summary_table(&[&r]);
+        assert_eq!(summary.len(), 1);
+        assert!(summary.render().contains("tok/s"));
+        assert_eq!(latency_table(&r).len(), 3);
+        assert!(!occupancy_table(&r).is_empty());
+        let json = report_json(&r);
+        assert!(json.contains("\"scenario\""));
+        assert!(json.contains("\"tokens_per_s\""));
+        assert!(json.contains("\"occupancy_table\""));
+    }
+}

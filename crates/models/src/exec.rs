@@ -132,6 +132,19 @@ pub fn execute_workload(eng: &ExecEngine, w: &Workload, max_macs_per_layer: u64)
     }
 }
 
+/// Executes a coalesced batch of workload instances back-to-back on one
+/// engine context — the serving-layer entry point for a prefill batch.
+/// Each `(workload, max_macs_per_layer)` pair runs exactly as
+/// [`execute_workload`] would alone, so results are independent of how
+/// requests were grouped; coalescing amortizes the per-dispatch cost of
+/// waking an executor.
+pub fn execute_workloads(eng: &ExecEngine, batch: &[(&Workload, u64)]) -> Vec<WorkloadRun> {
+    batch
+        .iter()
+        .map(|(w, budget)| execute_workload(eng, w, *budget))
+        .collect()
+}
+
 struct SyntheticVec {
     data: Vec<i8>,
 }
@@ -216,6 +229,16 @@ mod tests {
         );
         assert_eq!(a, b);
         assert_eq!(a.macs_executed, (8 * 8 * 16 * 3 * 3 * 3) as u64);
+    }
+
+    #[test]
+    fn coalesced_batch_matches_individual_runs() {
+        let w1 = tiny_bert();
+        let w2 = tiny_bert();
+        let eng = ExecEngine::serial();
+        let batched = execute_workloads(&eng, &[(&w1, 0), (&w2, 50_000)]);
+        assert_eq!(batched[0], execute_workload(&eng, &w1, 0));
+        assert_eq!(batched[1], execute_workload(&eng, &w2, 50_000));
     }
 
     #[test]

@@ -159,6 +159,35 @@ impl MultiHeadAttention {
         self.wo.apply_quantizer_grads(lr);
     }
 
+    /// Inference-only forward over `[T, d]` — same math as
+    /// [`Self::forward`] with frozen quantizers and no training caches
+    /// touched. The full-sequence twin of the decode path, used to verify
+    /// incremental decoding bit-for-bit.
+    pub fn forward_inference_with(&self, x: &Tensor, eng: &ExecEngine) -> Tensor {
+        let d = x.dims()[1];
+        let dh = self.head_dim(d);
+        let t = x.dims()[0];
+        let q = self.wq.forward_inference_with(x, eng);
+        let k = self.wk.forward_inference_with(x, eng);
+        let v = self.wv.forward_inference_with(x, eng);
+
+        let mut ctx = Tensor::zeros([t, d]);
+        for h in 0..self.heads {
+            let qh = slice_cols(&q, h * dh, dh);
+            let kh = slice_cols(&k, h * dh, dh);
+            let vh = slice_cols(&v, h * dh, dh);
+            let mut scores = eng.matmul_bt(&qh, &kh);
+            scores = &scores * (1.0 / (dh as f32).sqrt());
+            if self.causal {
+                apply_causal_mask(&mut scores);
+            }
+            let p = softmax_rows(&scores);
+            let ctx_h = eng.matmul(&p, &vh);
+            write_cols(&mut ctx, &ctx_h, h * dh);
+        }
+        self.wo.forward_inference_with(&ctx, eng)
+    }
+
     /// Incremental decode step: attends one `[1, d]` query over the
     /// key/value cache (appending this step's K/V first). Inference-only —
     /// no training caches are touched.
@@ -190,28 +219,57 @@ impl MultiHeadAttention {
         eng: &ExecEngine,
     ) -> Tensor {
         assert_eq!(x.dims()[0], 1, "decode processes one token at a time");
+        self.forward_decode_batch_with(x, &mut [cache], eng)
+    }
+
+    /// Batched decode step: one query row per sequence, each attending its
+    /// own KV cache (this step's K/V appended first). The projections and
+    /// the output GEMM run once over the whole `[B, d]` stack — the
+    /// serving-path batching win — while the per-sequence attention reads
+    /// each cache without materializing it.
+    ///
+    /// Every engine kernel reduces each output element in a fixed order
+    /// independent of the batch partition, so row `b` of the result is
+    /// bit-identical to running that sequence alone — batching decisions
+    /// can never change what a request returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[B, d]` with one cache per row.
+    pub fn forward_decode_batch_with(
+        &self,
+        x: &Tensor,
+        caches: &mut [&mut crate::kv_cache::AttentionKvCache],
+        eng: &ExecEngine,
+    ) -> Tensor {
+        let b = x.dims()[0];
+        assert_eq!(b, caches.len(), "one KV cache per batched sequence");
         let d = x.dims()[1];
         let dh = self.head_dim(d);
         let q = self.wq.forward_inference_with(x, eng);
         let k = self.wk.forward_inference_with(x, eng);
         let v = self.wv.forward_inference_with(x, eng);
-        cache.append(&k, &v);
-        let keys = cache.keys();
-        let values = cache.values();
-        let t = cache.len();
-
-        let mut ctx = Tensor::zeros([1, d]);
-        for h in 0..self.heads {
-            let qh = slice_cols(&q, h * dh, dh);
-            let kh = slice_cols(&keys, h * dh, dh);
-            let vh = slice_cols(&values, h * dh, dh);
-            let mut scores = eng.matmul_bt(&qh, &kh); // [1, t]
-            scores = &scores * (1.0 / (dh as f32).sqrt());
-            let p = softmax_rows(&scores);
-            let ctx_h = eng.matmul(&p, &vh); // [1, dh]
-            write_cols(&mut ctx, &ctx_h, h * dh);
+        for (i, cache) in caches.iter_mut().enumerate() {
+            cache.append_row(&k.data()[i * d..(i + 1) * d], &v.data()[i * d..(i + 1) * d]);
         }
-        let _ = t;
+
+        let mut ctx = Tensor::zeros([b, d]);
+        for (i, cache) in caches.iter().enumerate() {
+            let t = cache.len();
+            let qi = Tensor::from_vec(q.data()[i * d..(i + 1) * d].to_vec(), [1, d]);
+            let mut ctx_i = Tensor::zeros([1, d]);
+            for h in 0..self.heads {
+                let qh = slice_cols(&qi, h * dh, dh);
+                let kh = head_from_rows(cache.keys_data(), t, d, h * dh, dh);
+                let vh = head_from_rows(cache.values_data(), t, d, h * dh, dh);
+                let mut scores = eng.matmul_bt(&qh, &kh); // [1, t]
+                scores = &scores * (1.0 / (dh as f32).sqrt());
+                let p = softmax_rows(&scores);
+                let ctx_h = eng.matmul(&p, &vh); // [1, dh]
+                write_cols(&mut ctx_i, &ctx_h, h * dh);
+            }
+            ctx.data_mut()[i * d..(i + 1) * d].copy_from_slice(ctx_i.data());
+        }
         self.wo.forward_inference_with(&ctx, eng)
     }
 }
@@ -223,6 +281,18 @@ impl HasParams for MultiHeadAttention {
         self.wv.visit_params(f);
         self.wo.visit_params(f);
     }
+}
+
+/// Column slice `[rows, width]` taken directly from a flat row-major
+/// buffer with leading dimension `ld` — the zero-clone twin of
+/// [`slice_cols`] for KV-cache reads.
+fn head_from_rows(data: &[f32], rows: usize, ld: usize, start: usize, width: usize) -> Tensor {
+    let mut out = vec![0.0f32; rows * width];
+    for i in 0..rows {
+        out[i * width..(i + 1) * width]
+            .copy_from_slice(&data[i * ld + start..i * ld + start + width]);
+    }
+    Tensor::from_vec(out, [rows, width])
 }
 
 fn slice_cols(x: &Tensor, start: usize, width: usize) -> Tensor {

@@ -102,6 +102,16 @@ impl TransformerBlock {
         self.fc2.apply_quantizer_grads(lr);
     }
 
+    /// Inference-only forward over `[T, d]`: frozen quantizers, no
+    /// training caches. The full-sequence reference the decode path is
+    /// verified bit-for-bit against.
+    pub fn forward_inference_with(&self, x: &Tensor, eng: &ExecEngine) -> Tensor {
+        let a = self.ln1.forward_inference(x);
+        let a = self.attn.forward_inference_with(&a, eng);
+        let x1 = x + &a;
+        self.ffn_inference(&x1, eng)
+    }
+
     /// Incremental decode step over one `[1, d]` token with the layer's
     /// KV cache. Inference-only.
     pub fn forward_decode(
@@ -120,14 +130,33 @@ impl TransformerBlock {
         cache: &mut crate::kv_cache::AttentionKvCache,
         eng: &ExecEngine,
     ) -> Tensor {
+        self.forward_decode_batch_with(x, &mut [cache], eng)
+    }
+
+    /// Batched decode step over `[B, d]` — one row and one KV cache per
+    /// sequence. FFN and projection GEMMs run once over the whole stack;
+    /// row `b` is bit-identical to decoding that sequence alone (see
+    /// [`crate::MultiHeadAttention::forward_decode_batch_with`]).
+    pub fn forward_decode_batch_with(
+        &self,
+        x: &Tensor,
+        caches: &mut [&mut crate::kv_cache::AttentionKvCache],
+        eng: &ExecEngine,
+    ) -> Tensor {
         let a = self.ln1.forward_inference(x);
-        let a = self.attn.forward_decode_with(&a, cache, eng);
+        let a = self.attn.forward_decode_batch_with(&a, caches, eng);
         let x1 = x + &a;
-        let f = self.ln2.forward_inference(&x1);
+        self.ffn_inference(&x1, eng)
+    }
+
+    /// The shared post-attention half of every inference path: pre-LN FFN
+    /// with residual.
+    fn ffn_inference(&self, x1: &Tensor, eng: &ExecEngine) -> Tensor {
+        let f = self.ln2.forward_inference(x1);
         let h = self.fc1.forward_inference_with(&f, eng);
         let g = gelu(&h);
         let o = self.fc2.forward_inference_with(&g, eng);
-        &x1 + &o
+        x1 + &o
     }
 }
 

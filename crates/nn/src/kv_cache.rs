@@ -7,7 +7,13 @@ use apsq_tensor::Tensor;
 /// Growing key/value cache for one attention layer.
 ///
 /// Rows are time steps; columns are the model width (heads are sliced at
-/// attention time, exactly as in the full forward pass).
+/// attention time, exactly as in the full forward pass). Both K and V live
+/// in single flat buffers that grow by capacity doubling, so a decode of
+/// `T` tokens costs `O(T·d)` appended floats total — not the `O(T²·d)` a
+/// per-step re-concatenation would. The hot read path is the zero-copy
+/// [`Self::keys_data`]/[`Self::values_data`] slices; [`Self::keys`] and
+/// [`Self::values`] still materialize owned tensors for callers that want
+/// them.
 #[derive(Clone, Debug, Default)]
 pub struct AttentionKvCache {
     k_rows: Vec<f32>,
@@ -22,6 +28,17 @@ impl AttentionKvCache {
         Self::default()
     }
 
+    /// An empty cache with room for `rows` time steps of width `width`
+    /// preallocated — no growth reallocations up to that sequence length.
+    pub fn with_capacity(width: usize, rows: usize) -> Self {
+        AttentionKvCache {
+            k_rows: Vec::with_capacity(width * rows),
+            v_rows: Vec::with_capacity(width * rows),
+            width,
+            len: 0,
+        }
+    }
+
     /// Number of cached time steps.
     pub fn len(&self) -> usize {
         self.len
@@ -32,6 +49,17 @@ impl AttentionKvCache {
         self.len == 0
     }
 
+    /// Model width `d` of the cached rows (0 before the first append of an
+    /// unsized cache).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Time steps the buffers can hold before the next reallocation.
+    pub fn capacity_rows(&self) -> usize {
+        self.k_rows.capacity().checked_div(self.width).unwrap_or(0)
+    }
+
     /// Appends one `[1, d]` key row and value row.
     ///
     /// # Panics
@@ -40,14 +68,42 @@ impl AttentionKvCache {
     pub fn append(&mut self, k: &Tensor, v: &Tensor) {
         assert_eq!(k.dims(), v.dims(), "k/v row shape mismatch");
         assert_eq!(k.dims()[0], 1, "append exactly one time step");
-        let d = k.dims()[1];
-        if self.len == 0 {
+        self.append_row(k.data(), v.data());
+    }
+
+    /// Appends one key row and value row given as raw `d`-length slices —
+    /// the allocation-free twin of [`Self::append`] used by the decode hot
+    /// path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths are inconsistent with earlier appends.
+    pub fn append_row(&mut self, k: &[f32], v: &[f32]) {
+        assert_eq!(k.len(), v.len(), "k/v row length mismatch");
+        let d = k.len();
+        if self.len == 0 && self.width == 0 {
             self.width = d;
         }
         assert_eq!(self.width, d, "cache width changed");
-        self.k_rows.extend_from_slice(k.data());
-        self.v_rows.extend_from_slice(v.data());
+        // Grow by doubling so T appends reallocate O(log T) times.
+        if self.k_rows.len() + d > self.k_rows.capacity() {
+            let grow = (self.k_rows.capacity().max(d)).max(1);
+            self.k_rows.reserve(grow);
+            self.v_rows.reserve(grow);
+        }
+        self.k_rows.extend_from_slice(k);
+        self.v_rows.extend_from_slice(v);
         self.len += 1;
+    }
+
+    /// All cached keys as one `[len · d]` row-major slice — zero-copy.
+    pub fn keys_data(&self) -> &[f32] {
+        &self.k_rows
+    }
+
+    /// All cached values as one `[len · d]` row-major slice — zero-copy.
+    pub fn values_data(&self) -> &[f32] {
+        &self.v_rows
     }
 
     /// All cached keys as `[len, d]`.
@@ -88,6 +144,25 @@ impl DecoderKvState {
             position: 0,
         }
     }
+
+    /// Creates state with every layer cache preallocated for `rows` steps
+    /// of width `width` (no growth reallocations during decode).
+    pub fn for_layers_with_capacity(layers: usize, width: usize, rows: usize) -> Self {
+        DecoderKvState {
+            layers: (0..layers)
+                .map(|_| AttentionKvCache::with_capacity(width, rows))
+                .collect(),
+            position: 0,
+        }
+    }
+
+    /// Total floats held across all layer K and V buffers.
+    pub fn kv_floats(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|c| c.keys_data().len() + c.values_data().len())
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -109,6 +184,8 @@ mod tests {
         assert_eq!(c.len(), 2);
         assert_eq!(c.keys().dims(), &[2, 2]);
         assert_eq!(c.values().data(), &[3.0, 4.0, 7.0, 8.0]);
+        assert_eq!(c.keys_data(), c.keys().data());
+        assert_eq!(c.width(), 2);
     }
 
     #[test]
@@ -119,9 +196,48 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "cache width changed")]
+    fn width_change_rejected() {
+        let mut c = AttentionKvCache::with_capacity(4, 8);
+        c.append_row(&[0.0; 3], &[0.0; 3]);
+    }
+
+    #[test]
+    fn with_capacity_never_reallocates_within_bound() {
+        let mut c = AttentionKvCache::with_capacity(8, 16);
+        let base = c.capacity_rows();
+        assert!(base >= 16);
+        for i in 0..16 {
+            let row = [i as f32; 8];
+            c.append_row(&row, &row);
+        }
+        assert_eq!(c.capacity_rows(), base, "preallocated cache reallocated");
+        assert_eq!(c.len(), 16);
+    }
+
+    #[test]
+    fn growth_is_amortized_doubling() {
+        let mut c = AttentionKvCache::new();
+        let mut reallocs = 0;
+        let mut last_cap = 0;
+        for i in 0..1024 {
+            let row = [i as f32; 4];
+            c.append_row(&row, &row);
+            if c.k_rows.capacity() != last_cap {
+                reallocs += 1;
+                last_cap = c.k_rows.capacity();
+            }
+        }
+        assert!(reallocs <= 16, "{reallocs} reallocations for 1024 appends");
+    }
+
+    #[test]
     fn state_bundle() {
         let s = DecoderKvState::for_layers(3);
         assert_eq!(s.layers.len(), 3);
         assert_eq!(s.position, 0);
+        let s = DecoderKvState::for_layers_with_capacity(2, 8, 32);
+        assert!(s.layers.iter().all(|c| c.capacity_rows() >= 32));
+        assert_eq!(s.kv_floats(), 0);
     }
 }

@@ -347,9 +347,51 @@ impl DecoderLm {
         }
     }
 
+    /// Inference-only full-sequence forward: frozen quantizers, no
+    /// training caches touched. The reference the incremental decode path
+    /// is verified bit-for-bit against.
+    pub fn forward_inference_with(&self, ids: &[usize], eng: &ExecEngine) -> Tensor {
+        let mut h = self.embed.forward_inference(ids);
+        for b in &self.blocks {
+            h = b.forward_inference_with(&h, eng);
+        }
+        let h = self.ln.forward_inference(&h);
+        self.lm_head.forward_inference_with(&h, eng)
+    }
+
+    /// Decoder depth (transformer blocks).
+    pub fn num_layers(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Hidden width `d_model`.
+    pub fn width(&self) -> usize {
+        self.ln.gamma.value.numel()
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.embed.tokens.value.dims()[0]
+    }
+
+    /// Maximum sequence length (positional-table rows).
+    pub fn max_len(&self) -> usize {
+        self.embed.positions.value.dims()[0]
+    }
+
     /// Initializes KV-cache state for this model's depth.
     pub fn new_kv_state(&self) -> crate::kv_cache::DecoderKvState {
         crate::kv_cache::DecoderKvState::for_layers(self.blocks.len())
+    }
+
+    /// KV-cache state with every layer preallocated for the model's full
+    /// `max_len` — no buffer growth during decode.
+    pub fn new_kv_state_with_capacity(&self) -> crate::kv_cache::DecoderKvState {
+        crate::kv_cache::DecoderKvState::for_layers_with_capacity(
+            self.blocks.len(),
+            self.width(),
+            self.max_len(),
+        )
     }
 
     /// One autoregressive decode step: consumes `token` at the state's
@@ -380,17 +422,51 @@ impl DecoderLm {
         state: &mut crate::kv_cache::DecoderKvState,
         eng: &ExecEngine,
     ) -> Tensor {
-        assert_eq!(
-            state.layers.len(),
-            self.blocks.len(),
-            "KV state depth mismatch"
-        );
-        let mut h = self.embed.embed_one(token, state.position);
-        for (b, cache) in self.blocks.iter().zip(state.layers.iter_mut()) {
-            h = b.forward_decode_with(&h, cache, eng);
+        self.decode_batch_with(&[token], std::slice::from_mut(state), eng)
+    }
+
+    /// Batched decode: one token and one KV state per sequence, returning
+    /// `[B, vocab]` next-token logits (row order follows the inputs).
+    /// Projection, FFN, and LM-head GEMMs run once over the whole batch —
+    /// the dynamic-batching win a serving layer exploits — while each
+    /// sequence attends only its own cache at its own position.
+    ///
+    /// Row `b` is bit-identical to calling [`Self::decode_step_with`] on
+    /// that sequence alone: every engine kernel reduces each output
+    /// element in a fixed order independent of the batch partition, and
+    /// every non-GEMM op is per-row. Batch composition can therefore never
+    /// change a sequence's logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` and `states` lengths differ, the batch is empty,
+    /// a state was built for a different depth, or a position exceeds
+    /// `max_len`.
+    pub fn decode_batch_with(
+        &self,
+        tokens: &[usize],
+        states: &mut [crate::kv_cache::DecoderKvState],
+        eng: &ExecEngine,
+    ) -> Tensor {
+        assert_eq!(tokens.len(), states.len(), "one KV state per token");
+        assert!(!tokens.is_empty(), "empty decode batch");
+        let d = self.width();
+        let mut x = Tensor::zeros([tokens.len(), d]);
+        for (i, (&t, s)) in tokens.iter().zip(states.iter()).enumerate() {
+            assert_eq!(s.layers.len(), self.blocks.len(), "KV state depth mismatch");
+            let row = self.embed.embed_one(t, s.position);
+            x.data_mut()[i * d..(i + 1) * d].copy_from_slice(row.data());
+        }
+        let mut h = x;
+        for (l, b) in self.blocks.iter().enumerate() {
+            let mut caches: Vec<&mut crate::kv_cache::AttentionKvCache> =
+                states.iter_mut().map(|s| &mut s.layers[l]).collect();
+            h = b.forward_decode_batch_with(&h, &mut caches, eng);
         }
         let h = self.ln.forward_inference(&h);
-        state.position += 1;
+        for s in states.iter_mut() {
+            s.position += 1;
+        }
         self.lm_head.forward_inference_with(&h, eng)
     }
 

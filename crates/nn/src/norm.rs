@@ -38,16 +38,17 @@ impl LayerNorm {
     ///
     /// Panics if `x` is not rank-2 with the configured feature width.
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
-        self.normalize(x, true)
+        let (y, cache) = self.normalize(x);
+        self.cache = Some(cache);
+        y
     }
 
-    /// Inference-only forward.
+    /// Inference-only forward (no layer state cloned or touched).
     pub fn forward_inference(&self, x: &Tensor) -> Tensor {
-        let mut me = self.clone();
-        me.normalize(x, false)
+        self.normalize(x).0
     }
 
-    fn normalize(&mut self, x: &Tensor, cache: bool) -> Tensor {
+    fn normalize(&self, x: &Tensor) -> (Tensor, NormCache) {
         assert_eq!(x.rank(), 2, "LayerNorm expects [n, d]");
         let (n, d) = (x.dims()[0], x.dims()[1]);
         assert_eq!(d, self.gamma.value.numel(), "feature width mismatch");
@@ -66,10 +67,7 @@ impl LayerNorm {
         }
         let x_hat = Tensor::from_vec(x_hat, [n, d]);
         let y = &(&x_hat * &self.gamma.value) + &self.beta.value;
-        if cache {
-            self.cache = Some(NormCache { x_hat, inv_std });
-        }
-        y
+        (y, NormCache { x_hat, inv_std })
     }
 
     /// Backward pass: accumulates γ/β grads, returns `dL/dx`.

@@ -1,0 +1,268 @@
+//! The dynamic batching scheduler core: two lanes (latency-sensitive
+//! decode, throughput-oriented prefill), max-batch-size and
+//! max-wait-deadline coalescing, and per-session FIFO ordering.
+//!
+//! The batcher is a pure data structure driven by the scheduler thread —
+//! no locks, no channels — so its policy is unit-testable in isolation.
+
+use crate::config::BatchPolicy;
+use crate::request::{Request, RequestKind, SessionId};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::Instant;
+
+/// A request waiting to be batched, stamped with its submit time.
+#[derive(Clone, Debug)]
+pub struct Pending {
+    /// The request.
+    pub req: Request,
+    /// When the client submitted it (latency accounting + wait deadline).
+    pub submitted: Instant,
+}
+
+/// Which execution lane a batch belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Lane {
+    /// Autoregressive decode steps (batched into one GEMM stack).
+    Decode,
+    /// Workload-inventory prefills (coalesced, executed back-to-back).
+    Prefill,
+}
+
+/// Lane queues plus the dispatch policy.
+#[derive(Debug)]
+pub struct Batcher {
+    policy: BatchPolicy,
+    decode: VecDeque<Pending>,
+    prefill: VecDeque<Pending>,
+    /// Sessions with a request already queued in `decode` or in flight;
+    /// their later requests wait in `held` to preserve per-session order
+    /// and the one-in-flight-batch-per-session invariant.
+    queued_or_busy: HashSet<SessionId>,
+    held: HashMap<SessionId, VecDeque<Pending>>,
+}
+
+impl Batcher {
+    /// An empty batcher with the given policy.
+    pub fn new(policy: BatchPolicy) -> Self {
+        Batcher {
+            policy,
+            decode: VecDeque::new(),
+            prefill: VecDeque::new(),
+            queued_or_busy: HashSet::new(),
+            held: HashMap::new(),
+        }
+    }
+
+    /// Requests waiting in both lanes (holdbacks included).
+    pub fn depth(&self) -> usize {
+        self.decode.len() + self.prefill.len() + self.held.values().map(|q| q.len()).sum::<usize>()
+    }
+
+    /// Whether nothing is waiting anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.depth() == 0
+    }
+
+    /// Enqueues an admitted request into its lane. Decode requests for a
+    /// session that already has one queued or in flight are held back to
+    /// preserve arrival order.
+    pub fn push(&mut self, p: Pending) {
+        match p.req.kind {
+            RequestKind::Decode { session, .. } => {
+                if self.queued_or_busy.contains(&session) {
+                    self.held.entry(session).or_default().push_back(p);
+                } else {
+                    self.queued_or_busy.insert(session);
+                    self.decode.push_back(p);
+                }
+            }
+            RequestKind::Prefill { .. } => self.prefill.push_back(p),
+        }
+    }
+
+    /// Marks a session's in-flight batch complete, promoting its oldest
+    /// held-back request (if any) into the decode lane.
+    pub fn on_session_done(&mut self, session: SessionId) {
+        self.queued_or_busy.remove(&session);
+        if let Some(q) = self.held.get_mut(&session) {
+            if let Some(next) = q.pop_front() {
+                self.queued_or_busy.insert(session);
+                self.decode.push_back(next);
+            }
+            if q.is_empty() {
+                self.held.remove(&session);
+            }
+        }
+    }
+
+    /// Whether `lane` should dispatch now: a full batch is ready, the
+    /// oldest pending request has waited out the coalescing deadline, or
+    /// the server is `draining`.
+    pub fn dispatchable(&self, lane: Lane, now: Instant, draining: bool) -> bool {
+        let q = self.lane(lane);
+        match q.front() {
+            None => false,
+            Some(oldest) => {
+                q.len() >= self.policy.max_batch
+                    || draining
+                    || now.duration_since(oldest.submitted) >= self.policy.max_wait
+            }
+        }
+    }
+
+    /// The lane to dispatch next, decode first (latency-sensitive).
+    pub fn next_lane(&self, now: Instant, draining: bool) -> Option<Lane> {
+        if self.dispatchable(Lane::Decode, now, draining) {
+            Some(Lane::Decode)
+        } else if self.dispatchable(Lane::Prefill, now, draining) {
+            Some(Lane::Prefill)
+        } else {
+            None
+        }
+    }
+
+    /// Earliest instant at which a currently-waiting partial batch becomes
+    /// dispatchable by deadline — the scheduler's sleep bound.
+    pub fn next_deadline(&self) -> Option<Instant> {
+        [&self.decode, &self.prefill]
+            .into_iter()
+            .filter_map(|q| q.front())
+            .map(|p| p.submitted + self.policy.max_wait)
+            .min()
+    }
+
+    /// Requests currently queued in `lane` (holdbacks excluded).
+    pub fn lane_len(&self, lane: Lane) -> usize {
+        self.lane(lane).len()
+    }
+
+    /// Pops up to `max_batch` requests from `lane`, oldest first. Decode
+    /// batches contain at most one request per session by construction.
+    pub fn take(&mut self, lane: Lane) -> Vec<Pending> {
+        self.take_up_to(lane, self.policy.max_batch)
+    }
+
+    /// Pops up to `min(limit, max_batch)` requests from `lane`, oldest
+    /// first — the scheduler uses this to spread prefill work across idle
+    /// workers instead of coalescing maximally.
+    pub fn take_up_to(&mut self, lane: Lane, limit: usize) -> Vec<Pending> {
+        let max = self.policy.max_batch.min(limit).max(1);
+        let q = self.lane_mut(lane);
+        let n = q.len().min(max);
+        q.drain(..n).collect()
+    }
+
+    fn lane(&self, lane: Lane) -> &VecDeque<Pending> {
+        match lane {
+            Lane::Decode => &self.decode,
+            Lane::Prefill => &self.prefill,
+        }
+    }
+
+    fn lane_mut(&mut self, lane: Lane) -> &mut VecDeque<Pending> {
+        match lane {
+            Lane::Decode => &mut self.decode,
+            Lane::Prefill => &mut self.prefill,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::PrefillModel;
+    use std::time::Duration;
+
+    fn pending(req: Request) -> Pending {
+        Pending {
+            req,
+            submitted: Instant::now(),
+        }
+    }
+
+    fn batcher(max_batch: usize, max_wait: Duration) -> Batcher {
+        Batcher::new(BatchPolicy {
+            max_batch,
+            max_wait,
+        })
+    }
+
+    #[test]
+    fn full_batch_dispatches_immediately_and_respects_cap() {
+        let mut b = batcher(2, Duration::from_secs(3600));
+        for i in 0..5 {
+            b.push(pending(Request::decode(i, 100 + i, 0)));
+        }
+        let now = Instant::now();
+        assert_eq!(b.next_lane(now, false), Some(Lane::Decode));
+        let batch = b.take(Lane::Decode);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0].req.id, 0);
+        assert_eq!(batch[1].req.id, 1);
+        // 3 left: still a full batch available.
+        assert!(b.dispatchable(Lane::Decode, now, false));
+        b.take(Lane::Decode);
+        // 1 left: partial, long deadline, not draining => hold.
+        assert!(!b.dispatchable(Lane::Decode, now, false));
+        // Draining flushes partials.
+        assert!(b.dispatchable(Lane::Decode, now, true));
+    }
+
+    #[test]
+    fn expired_wait_dispatches_partial_batch() {
+        let mut b = batcher(8, Duration::ZERO);
+        b.push(pending(Request::decode(1, 1, 0)));
+        assert_eq!(b.next_lane(Instant::now(), false), Some(Lane::Decode));
+        assert_eq!(b.take(Lane::Decode).len(), 1);
+    }
+
+    #[test]
+    fn same_session_requests_are_held_back_in_order() {
+        let mut b = batcher(8, Duration::ZERO);
+        b.push(pending(Request::decode(1, 7, 0)));
+        b.push(pending(Request::decode(2, 7, 1))); // same session: held
+        b.push(pending(Request::decode(3, 9, 0)));
+        let batch = b.take(Lane::Decode);
+        assert_eq!(
+            batch.iter().map(|p| p.req.id).collect::<Vec<_>>(),
+            vec![1, 3]
+        );
+        assert_eq!(b.depth(), 1); // id 2 held
+        assert!(b.take(Lane::Decode).is_empty());
+        b.on_session_done(7);
+        let batch = b.take(Lane::Decode);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].req.id, 2);
+        b.on_session_done(9);
+        b.on_session_done(7);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn decode_lane_has_priority_over_prefill() {
+        let mut b = batcher(4, Duration::ZERO);
+        b.push(pending(Request::prefill(1, PrefillModel::BertBase128)));
+        b.push(pending(Request::decode(2, 1, 0)));
+        assert_eq!(b.next_lane(Instant::now(), false), Some(Lane::Decode));
+        b.take(Lane::Decode);
+        assert_eq!(b.next_lane(Instant::now(), false), Some(Lane::Prefill));
+        assert_eq!(b.take(Lane::Prefill).len(), 1);
+    }
+
+    #[test]
+    fn deadline_tracks_oldest_pending() {
+        let wait = Duration::from_millis(50);
+        let mut b = batcher(8, wait);
+        assert!(b.next_deadline().is_none());
+        let t0 = Instant::now();
+        b.push(Pending {
+            req: Request::decode(1, 1, 0),
+            submitted: t0,
+        });
+        b.push(Pending {
+            req: Request::decode(2, 2, 0),
+            submitted: t0 + Duration::from_millis(10),
+        });
+        assert_eq!(b.next_deadline(), Some(t0 + wait));
+    }
+}

@@ -1,0 +1,220 @@
+//! Server configuration: model spec, batching policy, session budget, and
+//! the knobs tying them together.
+
+use apsq_nn::{DecoderLm, ModelConfig, PsumMode};
+use apsq_quant::Bitwidth;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// The decoder model a server instance serves, built deterministically
+/// from a seed. Weights are random-initialized and the quantizers are
+/// primed by one training-mode forward over a fixed sequence, after which
+/// the model is frozen — every server built from the same spec computes
+/// bit-identical logits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ModelSpec {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Context window (KV-cache capacity per session).
+    pub max_len: usize,
+    /// Hidden width.
+    pub d_model: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// FFN width.
+    pub d_ff: usize,
+    /// Decoder blocks.
+    pub layers: usize,
+    /// PSUM path for every quantized matmul (the APSQ integration point).
+    pub psum_mode: PsumMode,
+    /// Weight-init / priming seed.
+    pub seed: u64,
+}
+
+impl ModelSpec {
+    /// A llama-style tiny decoder with the APSQ grouped PSUM path active —
+    /// large enough that batched GEMMs dominate per-request overhead,
+    /// small enough to decode thousands of tokens per second on a CPU.
+    pub fn tiny_llama() -> Self {
+        ModelSpec {
+            vocab: 64,
+            max_len: 64,
+            d_model: 128,
+            heads: 4,
+            d_ff: 256,
+            layers: 2,
+            psum_mode: PsumMode::Apsq {
+                bits: Bitwidth::INT8,
+                gs: 3,
+                k_tile: 16,
+            },
+            seed: 0xA95C,
+        }
+    }
+
+    /// The equivalent `apsq-nn` model config.
+    pub fn model_config(&self) -> ModelConfig {
+        ModelConfig {
+            vocab: self.vocab,
+            max_len: self.max_len,
+            d_model: self.d_model,
+            heads: self.heads,
+            d_ff: self.d_ff,
+            layers: self.layers,
+            bits: Bitwidth::INT8,
+            psum_mode: self.psum_mode,
+        }
+    }
+
+    /// Builds and primes the decoder: one training-mode forward over the
+    /// fixed sequence `i % vocab` initializes activation quantizers and
+    /// PSUM observers; the model is immutable afterwards.
+    pub fn build(&self) -> DecoderLm {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut model = DecoderLm::new(&self.model_config(), &mut rng);
+        let prime: Vec<usize> = (0..self.max_len).map(|i| i % self.vocab).collect();
+        let _ = model.forward(&prime);
+        model
+    }
+}
+
+/// Dynamic batching policy, applied per lane.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Hard cap on requests coalesced into one executor dispatch.
+    pub max_batch: usize,
+    /// How long the oldest pending request may wait for co-batchable
+    /// traffic before a partial batch is dispatched to an idle worker.
+    /// `ZERO` disables coalescing-by-waiting (dispatch immediately).
+    pub max_wait: Duration,
+}
+
+impl BatchPolicy {
+    /// No batching: every request dispatches alone, immediately.
+    pub fn single() -> Self {
+        BatchPolicy {
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+        }
+    }
+
+    /// Batch up to `max_batch`, holding partial batches up to 2 ms.
+    pub fn batched(max_batch: usize) -> Self {
+        BatchPolicy {
+            max_batch,
+            max_wait: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Session (KV-cache) budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SessionConfig {
+    /// Maximum resident sessions; beyond it, idle sessions are LRU-evicted
+    /// and, when none is evictable, new sessions are rejected with
+    /// [`crate::ServeError::SessionCapacity`].
+    pub max_sessions: usize,
+}
+
+/// Full server configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// The decode model served.
+    pub model: ModelSpec,
+    /// Executor threads (each runs its own `ExecEngine`).
+    pub workers: usize,
+    /// `ExecEngine` worker threads per executor (1 = serial engine; the
+    /// engine itself only spawns above its MAC threshold).
+    pub engine_threads: usize,
+    /// Dynamic batching policy for both lanes.
+    pub batch: BatchPolicy,
+    /// Admission-queue capacity; submits beyond it shed with
+    /// [`crate::ServeError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Session budget.
+    pub sessions: SessionConfig,
+    /// Per-layer MAC budget for prefill inventories (0 = unlimited —
+    /// do not use 0 with paper-scale inventories).
+    pub prefill_max_macs: u64,
+}
+
+impl ServeConfig {
+    /// A small config for tests and smoke runs: 2 workers, batching on.
+    pub fn smoke() -> Self {
+        ServeConfig {
+            model: ModelSpec::tiny_llama(),
+            workers: 2,
+            engine_threads: 1,
+            batch: BatchPolicy::batched(8),
+            queue_capacity: 256,
+            sessions: SessionConfig { max_sessions: 64 },
+            prefill_max_macs: 30_000,
+        }
+    }
+
+    /// Sets the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the batching policy.
+    pub fn with_batch(mut self, batch: BatchPolicy) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Validates invariants (non-zero workers, batch, queue, sessions).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-sized resource.
+    pub fn validate(&self) {
+        assert!(self.workers > 0, "need at least one worker");
+        assert!(self.engine_threads > 0, "need at least one engine thread");
+        assert!(self.batch.max_batch > 0, "max_batch must be positive");
+        assert!(self.queue_capacity > 0, "queue_capacity must be positive");
+        assert!(
+            self.sessions.max_sessions > 0,
+            "max_sessions must be positive"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_spec_builds_deterministically() {
+        let spec = ModelSpec {
+            vocab: 16,
+            max_len: 16,
+            d_model: 32,
+            heads: 2,
+            d_ff: 64,
+            layers: 1,
+            psum_mode: PsumMode::Exact,
+            seed: 3,
+        };
+        let a = spec.build();
+        let b = spec.build();
+        let eng = apsq_tensor::ExecEngine::serial();
+        let ids = [1usize, 2, 3];
+        assert_eq!(
+            a.forward_inference_with(&ids, &eng),
+            b.forward_inference_with(&ids, &eng)
+        );
+        assert_eq!(a.max_len(), 16);
+        assert_eq!(a.vocab(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let mut c = ServeConfig::smoke();
+        c.workers = 0;
+        c.validate();
+    }
+}

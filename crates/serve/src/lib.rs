@@ -1,0 +1,75 @@
+//! `apsq-serve` — a dynamic-batching inference server over the
+//! [`ExecEngine`](apsq_tensor::ExecEngine).
+//!
+//! The serving stack turns the workspace's kernels, model inventories, and
+//! quantized decode path into an end-to-end traffic-bearing system:
+//!
+//! ```text
+//!  clients ── submit ──▶ RequestQueue ──▶ scheduler thread
+//!                         (admission:      │  Batcher: prefill / decode
+//!                          shed typed      │  lanes, max-batch + max-wait
+//!                          errors over     │  coalescing
+//!                          budget)         ▼
+//!                                    worker pool (ExecEngine each)
+//!                                     │          │
+//!                decode lane: DecoderLm::decode_batch_with over the
+//!                sessions' KV caches   │          │
+//!                prefill lane: execute_workloads on bert / segformer /
+//!                llama inventories     ▼          ▼
+//!                                SessionManager checkin ── responses ──▶
+//! ```
+//!
+//! Std-only: threads are [`std::thread`], channels are [`std::sync::mpsc`],
+//! and the only RNG is the workspace's vendored deterministic `rand`.
+//!
+//! # Determinism
+//!
+//! A response's payload is **bit-identical for every worker count, batch
+//! size limit, and batching decision**: the engine reduces each output
+//! element in a fixed order independent of the batch partition, so row `b`
+//! of a coalesced decode GEMM equals the batch-size-1 result exactly (see
+//! `DecoderLm::decode_batch_with`), and prefill requests execute
+//! independently inside a coalesced task. Scheduling changes *when* a
+//! request runs and *with whom* — never what it returns. The end-to-end
+//! property is pinned by `tests/determinism.rs`: one seed, many server
+//! shapes, one response fingerprint.
+//!
+//! Load-dependent shedding ([`ServeError::QueueFull`],
+//! [`ServeError::SessionCapacity`], and LRU eviction surfacing as
+//! [`ServeError::SessionEvicted`]) is the one timing-coupled outcome —
+//! and it is always a *typed error*, never a silently different payload
+//! (an evicted session's id is tombstoned, so its context can never
+//! silently restart from scratch). Closed-loop workloads sized within the
+//! configured budgets (as the [`LoadGenerator`] is) never shed at all.
+//!
+//! # Quick start
+//!
+//! ```
+//! use apsq_serve::{LoadGenerator, Scenario, ServeConfig};
+//!
+//! let cfg = ServeConfig::smoke();
+//! let gen = LoadGenerator::new(7, Scenario::llama_decode(4, 4));
+//! let report = gen.run(&cfg);
+//! assert_eq!(report.ok, 16);
+//! assert!(report.tokens_per_s > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod batcher;
+mod config;
+mod error;
+mod loadgen;
+mod metrics;
+mod request;
+mod server;
+mod session;
+
+pub use batcher::{Batcher, Lane, Pending};
+pub use config::{BatchPolicy, ModelSpec, ServeConfig, SessionConfig};
+pub use error::ServeError;
+pub use loadgen::{ClientKind, LoadGenerator, LoadReport, Scenario};
+pub use metrics::{LatencyStats, Metrics, MetricsSnapshot};
+pub use request::{Payload, PrefillModel, Request, RequestId, Response, SessionId};
+pub use server::{Server, ServerHandle};
+pub use session::SessionManager;

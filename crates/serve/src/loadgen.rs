@@ -1,0 +1,319 @@
+//! A deterministic closed-loop load generator: seeded clients, mixed
+//! bert / segformer / llama scenarios, and a response fingerprint that
+//! pins the end-to-end determinism contract.
+//!
+//! Each client keeps exactly one request in flight (closed loop). Decode
+//! clients feed the server's own greedy `next_token` back as the following
+//! step's input, so the traffic itself depends on the computation being
+//! bit-exact. Every client draws from its **own** RNG stream (derived
+//! from the run seed and the client index) and request ids encode
+//! `(client, sequence)` — request content therefore never depends on the
+//! completion interleaving, which is what makes the fingerprint comparable
+//! across server shapes.
+
+use crate::config::ServeConfig;
+use crate::metrics::MetricsSnapshot;
+use crate::request::{fnv1a, Payload, PrefillModel, Request, Response, FNV_OFFSET};
+use crate::server::Server;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Request-id stride per client: `id = client * STRIDE + sequence`.
+const CLIENT_STRIDE: u64 = 1 << 20;
+/// Session ids start here so they never collide with small test ids.
+const SESSION_BASE: u64 = 1_000;
+
+/// What one closed-loop client sends.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClientKind {
+    /// Autoregressive decode: one session, greedy token feedback.
+    LlamaDecode,
+    /// BERT-Base encode inventories.
+    BertPrefill,
+    /// Segformer-B0 segmentation inventories.
+    SegformerPrefill,
+    /// LLaMA2-7B prompt-prefill inventories.
+    LlamaPrefill,
+}
+
+impl ClientKind {
+    fn prefill_model(&self) -> Option<PrefillModel> {
+        match self {
+            ClientKind::LlamaDecode => None,
+            ClientKind::BertPrefill => Some(PrefillModel::BertBase128),
+            ClientKind::SegformerPrefill => Some(PrefillModel::SegformerB0),
+            ClientKind::LlamaPrefill => Some(PrefillModel::LlamaPrefill128),
+        }
+    }
+}
+
+/// A named traffic mix: one [`ClientKind`] per concurrent client.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Scenario {
+    /// Display name (reports, JSON).
+    pub name: String,
+    /// Concurrent closed-loop clients.
+    pub clients: Vec<ClientKind>,
+    /// Requests each client issues before stopping.
+    pub requests_per_client: usize,
+}
+
+impl Scenario {
+    /// Pure llama-decode traffic: `clients` sessions, `steps` tokens each.
+    pub fn llama_decode(clients: usize, steps: usize) -> Self {
+        Scenario {
+            name: format!("llama_decode_c{clients}_s{steps}"),
+            clients: vec![ClientKind::LlamaDecode; clients],
+            requests_per_client: steps,
+        }
+    }
+
+    /// A seeded mixed workload: ~1/2 decode sessions, the rest split
+    /// across bert / segformer / llama-prefill traffic.
+    pub fn mixed(seed: u64, clients: usize, requests_per_client: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5CEA_A210);
+        let kinds = (0..clients)
+            .map(|_| match rng.gen_range(0..6u32) {
+                0..=2 => ClientKind::LlamaDecode,
+                3 => ClientKind::BertPrefill,
+                4 => ClientKind::SegformerPrefill,
+                _ => ClientKind::LlamaPrefill,
+            })
+            .collect();
+        Scenario {
+            name: format!("mixed_c{clients}_s{requests_per_client}"),
+            clients: kinds,
+            requests_per_client,
+        }
+    }
+
+    /// Decode clients in this mix.
+    pub fn decode_clients(&self) -> usize {
+        self.clients
+            .iter()
+            .filter(|k| matches!(k, ClientKind::LlamaDecode))
+            .count()
+    }
+}
+
+/// End-of-run report from one load-generator execution.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Responses received.
+    pub responses: u64,
+    /// Successful responses.
+    pub ok: u64,
+    /// Typed-error responses.
+    pub errors: u64,
+    /// Submissions shed at the client (queue full / shutdown).
+    pub client_shed: u64,
+    /// FNV fold over all response digests, ordered by request id — equal
+    /// across runs iff every response payload is bit-identical.
+    pub fingerprint: u64,
+    /// Client-observed wall time, seconds.
+    pub elapsed_s: f64,
+    /// Generated tokens per second (client-observed).
+    pub tokens_per_s: f64,
+    /// Completed requests per second (client-observed).
+    pub requests_per_s: f64,
+    /// Server-side metrics.
+    pub snapshot: MetricsSnapshot,
+}
+
+/// Drives a [`Server`] with a [`Scenario`] in a closed loop.
+#[derive(Clone, Debug)]
+pub struct LoadGenerator {
+    /// Run seed: initial tokens and scenario-independent draws.
+    pub seed: u64,
+    /// The traffic mix.
+    pub scenario: Scenario,
+}
+
+struct ClientState {
+    kind: ClientKind,
+    issued: usize,
+    last_token: usize,
+    rng: StdRng,
+}
+
+impl LoadGenerator {
+    /// A generator for `scenario` with the given seed.
+    pub fn new(seed: u64, scenario: Scenario) -> Self {
+        LoadGenerator { seed, scenario }
+    }
+
+    /// Starts a server with `cfg`, runs the scenario to completion, shuts
+    /// the server down, and reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config cannot carry the scenario without
+    /// load-dependent shedding, which would make fingerprints
+    /// timing-dependent and throughput comparisons meaningless:
+    /// `queue_capacity` below the client count (a client shed at submit
+    /// has no response to wake it and silently goes dead), or more decode
+    /// sessions than `max_sessions` (which session gets LRU-evicted
+    /// between a response and the resubmit depends on timing). Drive
+    /// overload/shed scenarios through [`crate::ServerHandle`] directly
+    /// instead.
+    pub fn run(&self, cfg: &ServeConfig) -> LoadReport {
+        assert!(
+            cfg.queue_capacity >= self.scenario.clients.len(),
+            "closed-loop load needs queue_capacity >= clients ({} < {})",
+            cfg.queue_capacity,
+            self.scenario.clients.len()
+        );
+        assert!(
+            self.scenario.decode_clients() <= cfg.sessions.max_sessions,
+            "closed-loop load needs max_sessions >= decode clients ({} < {})",
+            cfg.sessions.max_sessions,
+            self.scenario.decode_clients()
+        );
+        let (server, resp_rx) = Server::start(cfg);
+        let handle = server.handle();
+        let vocab = cfg.model.vocab;
+        let mut clients: Vec<ClientState> = self
+            .scenario
+            .clients
+            .iter()
+            .enumerate()
+            .map(|(i, &kind)| ClientState {
+                kind,
+                issued: 0,
+                last_token: 0,
+                rng: StdRng::seed_from_u64(self.seed ^ (0x9E37 + i as u64 * 0x1_0001)),
+            })
+            .collect();
+
+        let mut client_shed = 0u64;
+        let mut digests: Vec<(u64, u64)> = Vec::new();
+        let mut ok = 0u64;
+        let mut errors = 0u64;
+        let mut tokens = 0u64;
+        let mut outstanding = 0usize;
+        let started = Instant::now();
+
+        let per_client = self.scenario.requests_per_client;
+        if per_client > 0 {
+            for (i, c) in clients.iter_mut().enumerate() {
+                if submit_next(&handle, c, i, vocab) {
+                    outstanding += 1;
+                } else {
+                    client_shed += 1;
+                }
+            }
+        }
+
+        while outstanding > 0 {
+            let r: Response = resp_rx.recv().expect("server alive while work outstanding");
+            outstanding -= 1;
+            digests.push((r.id, r.digest()));
+            match &r.result {
+                Ok(Payload::Decode { next_token, .. }) => {
+                    ok += 1;
+                    tokens += 1;
+                    let ci = (r.id / CLIENT_STRIDE) as usize;
+                    clients[ci].last_token = *next_token;
+                }
+                Ok(_) => ok += 1,
+                Err(_) => errors += 1,
+            }
+            let ci = (r.id / CLIENT_STRIDE) as usize;
+            if clients[ci].issued < per_client {
+                if submit_next(&handle, &mut clients[ci], ci, vocab) {
+                    outstanding += 1;
+                } else {
+                    client_shed += 1;
+                }
+            }
+        }
+        let elapsed_s = started.elapsed().as_secs_f64();
+        let snapshot = server.shutdown();
+
+        digests.sort_unstable();
+        let fingerprint = digests
+            .iter()
+            .fold(FNV_OFFSET, |h, &(id, d)| fnv1a(fnv1a(h, id), d));
+        LoadReport {
+            scenario: self.scenario.name.clone(),
+            responses: ok + errors,
+            ok,
+            errors,
+            client_shed,
+            fingerprint,
+            elapsed_s,
+            tokens_per_s: if elapsed_s > 0.0 {
+                tokens as f64 / elapsed_s
+            } else {
+                0.0
+            },
+            requests_per_s: if elapsed_s > 0.0 {
+                (ok + errors) as f64 / elapsed_s
+            } else {
+                0.0
+            },
+            snapshot,
+        }
+    }
+}
+
+/// Submits client `ci`'s next request; returns whether it was admitted.
+fn submit_next(
+    handle: &crate::server::ServerHandle,
+    c: &mut ClientState,
+    ci: usize,
+    vocab: usize,
+) -> bool {
+    let id = ci as u64 * CLIENT_STRIDE + c.issued as u64;
+    let req = match c.kind.prefill_model() {
+        Some(model) => Request::prefill(id, model),
+        None => {
+            let token = if c.issued == 0 {
+                c.rng.gen_range(0..vocab)
+            } else {
+                c.last_token
+            };
+            Request::decode(id, SESSION_BASE + ci as u64, token)
+        }
+    };
+    c.issued += 1;
+    handle.submit(req).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_mix_is_seed_deterministic() {
+        let a = Scenario::mixed(7, 12, 4);
+        let b = Scenario::mixed(7, 12, 4);
+        let c = Scenario::mixed(8, 12, 4);
+        assert_eq!(a, b);
+        assert_ne!(a.clients, c.clients);
+        assert!(a.decode_clients() > 0);
+        assert!(a.decode_clients() < 12);
+    }
+
+    #[test]
+    fn closed_loop_completes_every_request() {
+        let mut cfg = ServeConfig::smoke();
+        cfg.model.d_model = 32;
+        cfg.model.d_ff = 64;
+        cfg.model.heads = 2;
+        cfg.model.vocab = 16;
+        cfg.model.max_len = 16;
+        cfg.prefill_max_macs = 5_000;
+        let gen = LoadGenerator::new(11, Scenario::mixed(11, 6, 3));
+        let report = gen.run(&cfg);
+        assert_eq!(report.responses, 18);
+        assert_eq!(report.ok, 18);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.client_shed, 0);
+        assert_eq!(report.snapshot.completed, 18);
+        assert!(report.tokens_per_s > 0.0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Serving metrics: latency percentiles per lane, queue depth, batch
+//! occupancy, throughput, and shed/eviction counters.
+//!
+//! The [`Metrics`] accumulator is owned by the scheduler thread (no
+//! locks); only the submit-side shed counter is shared, via an atomic in
+//! the server handle. A [`MetricsSnapshot`] is computed once at shutdown.
+
+use crate::batcher::Lane;
+
+/// Percentile summary of a latency population.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Samples observed.
+    pub count: u64,
+    /// Arithmetic mean, microseconds.
+    pub mean_us: f64,
+    /// Median (nearest-rank), microseconds.
+    pub p50_us: u64,
+    /// 95th percentile (nearest-rank), microseconds.
+    pub p95_us: u64,
+    /// 99th percentile (nearest-rank), microseconds.
+    pub p99_us: u64,
+    /// Maximum, microseconds.
+    pub max_us: u64,
+}
+
+impl LatencyStats {
+    fn from_samples(samples: &mut [u64]) -> Self {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        samples.sort_unstable();
+        let count = samples.len() as u64;
+        let sum: u64 = samples.iter().sum();
+        LatencyStats {
+            count,
+            mean_us: sum as f64 / count as f64,
+            p50_us: percentile_nearest_rank(samples, 0.50),
+            p95_us: percentile_nearest_rank(samples, 0.95),
+            p99_us: percentile_nearest_rank(samples, 0.99),
+            max_us: *samples.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Nearest-rank percentile over a **sorted ascending** slice:
+/// the smallest value ≥ `q` of the population.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub(crate) fn percentile_nearest_rank(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty(), "percentile of empty population");
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Scheduler-owned metrics accumulator.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    all_us: Vec<u64>,
+    decode_us: Vec<u64>,
+    prefill_us: Vec<u64>,
+    batch_sizes: Vec<usize>,
+    queue_depth_sum: u64,
+    queue_depth_max: usize,
+    queue_samples: u64,
+    completed: u64,
+    errors: u64,
+    decode_tokens: u64,
+}
+
+impl Metrics {
+    /// A fresh accumulator.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records one completed request.
+    pub fn record_response(&mut self, lane: Lane, latency_us: u64, is_error: bool) {
+        self.completed += 1;
+        if is_error {
+            self.errors += 1;
+        }
+        self.all_us.push(latency_us);
+        match lane {
+            Lane::Decode => {
+                if !is_error {
+                    self.decode_tokens += 1;
+                }
+                self.decode_us.push(latency_us);
+            }
+            Lane::Prefill => self.prefill_us.push(latency_us),
+        }
+    }
+
+    /// Records a dispatched batch's occupancy.
+    pub fn record_batch(&mut self, size: usize) {
+        self.batch_sizes.push(size);
+    }
+
+    /// Samples the pending-queue depth (taken each scheduler iteration).
+    pub fn sample_queue_depth(&mut self, depth: usize) {
+        self.queue_depth_sum += depth as u64;
+        self.queue_depth_max = self.queue_depth_max.max(depth);
+        self.queue_samples += 1;
+    }
+
+    /// Freezes the accumulator into a snapshot. `elapsed_s` is the
+    /// measured serving interval; shed/eviction/session counters come from
+    /// the server's shared state.
+    pub fn snapshot(
+        mut self,
+        elapsed_s: f64,
+        shed_queue: u64,
+        evictions: u64,
+        sessions_peak: usize,
+    ) -> MetricsSnapshot {
+        let occupancy_hist = {
+            let mut hist: Vec<(usize, u64)> = Vec::new();
+            let mut sizes = self.batch_sizes.clone();
+            sizes.sort_unstable();
+            for s in sizes {
+                match hist.last_mut() {
+                    Some((v, n)) if *v == s => *n += 1,
+                    _ => hist.push((s, 1)),
+                }
+            }
+            hist
+        };
+        let occ_mean = if self.batch_sizes.is_empty() {
+            0.0
+        } else {
+            self.batch_sizes.iter().sum::<usize>() as f64 / self.batch_sizes.len() as f64
+        };
+        MetricsSnapshot {
+            completed: self.completed,
+            errors: self.errors,
+            shed_queue,
+            evictions,
+            sessions_peak,
+            decode_tokens: self.decode_tokens,
+            elapsed_s,
+            latency: LatencyStats::from_samples(&mut self.all_us),
+            decode_latency: LatencyStats::from_samples(&mut self.decode_us),
+            prefill_latency: LatencyStats::from_samples(&mut self.prefill_us),
+            batches: self.batch_sizes.len() as u64,
+            batch_occupancy_mean: occ_mean,
+            batch_occupancy_max: self.batch_sizes.iter().copied().max().unwrap_or(0),
+            batch_occupancy_hist: occupancy_hist,
+            queue_depth_mean: if self.queue_samples == 0 {
+                0.0
+            } else {
+                self.queue_depth_sum as f64 / self.queue_samples as f64
+            },
+            queue_depth_max: self.queue_depth_max,
+            tokens_per_s: if elapsed_s > 0.0 {
+                self.decode_tokens as f64 / elapsed_s
+            } else {
+                0.0
+            },
+            requests_per_s: if elapsed_s > 0.0 {
+                self.completed as f64 / elapsed_s
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Immutable end-of-run metrics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Responses emitted (ok + error).
+    pub completed: u64,
+    /// Error responses among `completed`.
+    pub errors: u64,
+    /// Submits shed at admission ([`crate::ServeError::QueueFull`]).
+    pub shed_queue: u64,
+    /// Sessions LRU-evicted.
+    pub evictions: u64,
+    /// Peak resident sessions.
+    pub sessions_peak: usize,
+    /// Successful decode steps (= tokens generated).
+    pub decode_tokens: u64,
+    /// Serving interval in seconds.
+    pub elapsed_s: f64,
+    /// Latency over all responses.
+    pub latency: LatencyStats,
+    /// Latency over decode responses.
+    pub decode_latency: LatencyStats,
+    /// Latency over prefill responses.
+    pub prefill_latency: LatencyStats,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Mean batch occupancy.
+    pub batch_occupancy_mean: f64,
+    /// Largest batch dispatched.
+    pub batch_occupancy_max: usize,
+    /// `(occupancy, batch count)` pairs, ascending occupancy.
+    pub batch_occupancy_hist: Vec<(usize, u64)>,
+    /// Mean pending-queue depth across scheduler iterations.
+    pub queue_depth_mean: f64,
+    /// Peak pending-queue depth.
+    pub queue_depth_max: usize,
+    /// Generated tokens per second.
+    pub tokens_per_s: f64,
+    /// Completed requests per second.
+    pub requests_per_s: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_nearest_rank(&v, 0.50), 50);
+        assert_eq!(percentile_nearest_rank(&v, 0.95), 95);
+        assert_eq!(percentile_nearest_rank(&v, 0.99), 99);
+        assert_eq!(percentile_nearest_rank(&[7], 0.99), 7);
+        assert_eq!(percentile_nearest_rank(&[1, 2], 0.50), 1);
+        assert_eq!(percentile_nearest_rank(&[1, 2], 0.51), 2);
+    }
+
+    #[test]
+    fn snapshot_aggregates_lanes_and_occupancy() {
+        let mut m = Metrics::new();
+        m.record_response(Lane::Decode, 100, false);
+        m.record_response(Lane::Decode, 300, false);
+        m.record_response(Lane::Prefill, 1000, false);
+        m.record_response(Lane::Decode, 200, true); // errored decode: no token
+        m.record_batch(2);
+        m.record_batch(2);
+        m.record_batch(4);
+        m.sample_queue_depth(3);
+        m.sample_queue_depth(5);
+        let s = m.snapshot(2.0, 7, 1, 9);
+        assert_eq!(s.completed, 4);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.decode_tokens, 2);
+        assert_eq!(s.tokens_per_s, 1.0);
+        assert_eq!(s.requests_per_s, 2.0);
+        assert_eq!(s.latency.count, 4);
+        assert_eq!(s.decode_latency.p50_us, 200);
+        assert_eq!(s.prefill_latency.max_us, 1000);
+        assert_eq!(s.batches, 3);
+        assert!((s.batch_occupancy_mean - 8.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.batch_occupancy_max, 4);
+        assert_eq!(s.batch_occupancy_hist, vec![(2, 2), (4, 1)]);
+        assert_eq!(s.queue_depth_max, 5);
+        assert_eq!(s.queue_depth_mean, 4.0);
+        assert_eq!(s.shed_queue, 7);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.sessions_peak, 9);
+    }
+
+    #[test]
+    fn empty_metrics_snapshot_is_all_zero() {
+        let s = Metrics::new().snapshot(0.0, 0, 0, 0);
+        assert_eq!(s.latency, LatencyStats::default());
+        assert_eq!(s.tokens_per_s, 0.0);
+        assert_eq!(s.batch_occupancy_hist, vec![]);
+    }
+}

@@ -1,0 +1,245 @@
+//! Request and response types flowing through the serving stack.
+
+use crate::error::ServeError;
+
+/// Client-assigned request identifier. IDs must be unique per run; the
+/// [`crate::LoadGenerator`] derives them from `(client, sequence)` so they
+/// never depend on completion interleaving.
+pub type RequestId = u64;
+
+/// Identifier of a decode session (one KV-cache lineage).
+pub type SessionId = u64;
+
+/// Which prefill inventory a request executes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrefillModel {
+    /// BERT-Base at 128 tokens (encoder classification traffic).
+    BertBase128,
+    /// Segformer-B0 at 512×512 (segmentation traffic).
+    SegformerB0,
+    /// One LLaMA2-7B prompt-prefill inventory slice (seq = 128).
+    LlamaPrefill128,
+}
+
+impl PrefillModel {
+    /// Display name used in payloads and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PrefillModel::BertBase128 => "bert_base_128",
+            PrefillModel::SegformerB0 => "segformer_b0_512",
+            PrefillModel::LlamaPrefill128 => "llama_prefill_128",
+        }
+    }
+}
+
+/// What a request asks the server to compute.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RequestKind {
+    /// One autoregressive decode step for `session`, consuming `token`.
+    Decode {
+        /// Session whose KV cache this step extends.
+        session: SessionId,
+        /// Token id to consume.
+        token: usize,
+    },
+    /// Run a (MAC-budget-scaled) workload inventory through the engine.
+    Prefill {
+        /// Which inventory.
+        model: PrefillModel,
+    },
+}
+
+/// A unit of work submitted to the server.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Client-assigned unique id, echoed in the response.
+    pub id: RequestId,
+    /// The work to perform.
+    pub kind: RequestKind,
+}
+
+impl Request {
+    /// A decode-step request.
+    pub fn decode(id: RequestId, session: SessionId, token: usize) -> Self {
+        Request {
+            id,
+            kind: RequestKind::Decode { session, token },
+        }
+    }
+
+    /// A prefill request.
+    pub fn prefill(id: RequestId, model: PrefillModel) -> Self {
+        Request {
+            id,
+            kind: RequestKind::Prefill { model },
+        }
+    }
+
+    /// The session this request touches, if any.
+    pub fn session(&self) -> Option<SessionId> {
+        match self.kind {
+            RequestKind::Decode { session, .. } => Some(session),
+            RequestKind::Prefill { .. } => None,
+        }
+    }
+}
+
+/// Successful result payload. Payloads are pure functions of the request
+/// stream and the server's model seed — never of batching or thread
+/// timing — which is what the determinism fingerprint pins.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Payload {
+    /// One decode step's outcome.
+    Decode {
+        /// The session decoded.
+        session: SessionId,
+        /// Position of the consumed token (pre-increment).
+        position: usize,
+        /// Greedy next token (argmax of the logits row).
+        next_token: usize,
+        /// FNV-1a over the raw logits bit patterns — a bit-exactness probe.
+        logits_digest: u64,
+    },
+    /// One executed workload inventory.
+    Prefill {
+        /// Inventory display name.
+        workload: &'static str,
+        /// Combined output checksum across all executed layers.
+        checksum: i64,
+        /// MACs actually executed after budget scaling.
+        macs: u64,
+    },
+}
+
+/// Seed value for [`fnv1a`] folds.
+pub(crate) const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+
+/// One FNV-1a step.
+pub(crate) fn fnv1a(hash: u64, word: u64) -> u64 {
+    let mut h = hash;
+    for b in word.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl Payload {
+    /// Order-insensitive-foldable digest of the payload contents.
+    pub fn digest(&self) -> u64 {
+        match self {
+            Payload::Decode {
+                session,
+                position,
+                next_token,
+                logits_digest,
+            } => {
+                let mut h = fnv1a(FNV_OFFSET, 0xDEC0);
+                h = fnv1a(h, *session);
+                h = fnv1a(h, *position as u64);
+                h = fnv1a(h, *next_token as u64);
+                fnv1a(h, *logits_digest)
+            }
+            Payload::Prefill {
+                workload,
+                checksum,
+                macs,
+            } => {
+                let mut h = fnv1a(FNV_OFFSET, 0xF111);
+                for b in workload.bytes() {
+                    h = fnv1a(h, b as u64);
+                }
+                h = fnv1a(h, *checksum as u64);
+                fnv1a(h, *macs)
+            }
+        }
+    }
+}
+
+/// What the server sends back for every admitted request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// Echo of the request id.
+    pub id: RequestId,
+    /// Payload, or a typed error (e.g. context overflow).
+    pub result: Result<Payload, ServeError>,
+    /// Submit-to-completion latency in microseconds (timing metadata —
+    /// excluded from determinism fingerprints).
+    pub latency_us: u64,
+    /// Occupancy of the batch that served this request.
+    pub batch_size: usize,
+}
+
+impl Response {
+    /// Digest over the deterministic part of the response (id + payload or
+    /// error code) — timing and batch occupancy excluded.
+    pub fn digest(&self) -> u64 {
+        let h = fnv1a(FNV_OFFSET, self.id);
+        match &self.result {
+            Ok(p) => fnv1a(h, p.digest()),
+            Err(e) => fnv1a(h, 0xE000 + e.code() as u64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digests_separate_payloads() {
+        let a = Payload::Decode {
+            session: 1,
+            position: 0,
+            next_token: 3,
+            logits_digest: 77,
+        };
+        let b = Payload::Decode {
+            session: 1,
+            position: 0,
+            next_token: 4,
+            logits_digest: 77,
+        };
+        assert_ne!(a.digest(), b.digest());
+        let p = Payload::Prefill {
+            workload: "bert_base_128",
+            checksum: -5,
+            macs: 1000,
+        };
+        assert_ne!(a.digest(), p.digest());
+    }
+
+    #[test]
+    fn response_digest_covers_errors_but_not_timing() {
+        let ok = Response {
+            id: 9,
+            result: Ok(Payload::Prefill {
+                workload: "x",
+                checksum: 1,
+                macs: 2,
+            }),
+            latency_us: 10,
+            batch_size: 1,
+        };
+        let mut slow = ok.clone();
+        slow.latency_us = 99_999;
+        slow.batch_size = 8;
+        assert_eq!(ok.digest(), slow.digest());
+        let err = Response {
+            id: 9,
+            result: Err(ServeError::ShuttingDown),
+            latency_us: 0,
+            batch_size: 0,
+        };
+        assert_ne!(ok.digest(), err.digest());
+    }
+
+    #[test]
+    fn request_session_accessor() {
+        assert_eq!(Request::decode(1, 42, 0).session(), Some(42));
+        assert_eq!(
+            Request::prefill(2, PrefillModel::BertBase128).session(),
+            None
+        );
+    }
+}

@@ -1,0 +1,812 @@
+//! The server runtime: admission handle, scheduler thread, and the
+//! `ExecEngine`-backed worker pool.
+//!
+//! One scheduler thread owns the [`Batcher`], the [`SessionManager`], and
+//! the [`Metrics`] accumulator; `workers` executor threads pull coalesced
+//! batches from a shared work channel and run them on their own engines.
+//! All communication is `std::sync::mpsc` — submissions and batch
+//! completions multiplex onto a single event channel so the scheduler can
+//! block on one receiver with a batching deadline.
+
+use crate::batcher::{Batcher, Lane, Pending};
+use crate::config::ServeConfig;
+use crate::error::ServeError;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::request::{fnv1a, Payload, Request, RequestKind, Response, SessionId, FNV_OFFSET};
+use apsq_dataflow::Workload;
+use apsq_models::{bert_base_128, execute_workloads, llama_prefill, segformer_b0_512, LlamaConfig};
+use apsq_nn::{DecoderKvState, DecoderLm};
+use apsq_tensor::ExecEngine;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Everything flowing into the scheduler.
+enum Event {
+    Submit(Pending),
+    Done(BatchDone),
+    Shutdown,
+}
+
+/// One request's outcome inside a completed batch.
+struct DoneItem {
+    req: Request,
+    submitted: Instant,
+    result: Result<Payload, ServeError>,
+}
+
+/// A completed batch returning from a worker.
+struct BatchDone {
+    lane: Lane,
+    occupancy: usize,
+    items: Vec<DoneItem>,
+    /// KV states to check back in (decode batches only).
+    states: Vec<(SessionId, DecoderKvState)>,
+}
+
+/// A coalesced batch dispatched to the worker pool.
+enum WorkItem {
+    Decode {
+        items: Vec<Pending>,
+        states: Vec<(SessionId, DecoderKvState)>,
+    },
+    Prefill {
+        items: Vec<Pending>,
+    },
+}
+
+/// The prefill inventories servable by this instance, built once.
+struct PrefillLib {
+    bert: Workload,
+    segformer: Workload,
+    llama: Workload,
+}
+
+impl PrefillLib {
+    fn build() -> Self {
+        PrefillLib {
+            bert: bert_base_128(),
+            segformer: segformer_b0_512(),
+            llama: llama_prefill(&LlamaConfig::llama2_7b(), 128),
+        }
+    }
+
+    fn get(&self, model: crate::request::PrefillModel) -> &Workload {
+        match model {
+            crate::request::PrefillModel::BertBase128 => &self.bert,
+            crate::request::PrefillModel::SegformerB0 => &self.segformer,
+            crate::request::PrefillModel::LlamaPrefill128 => &self.llama,
+        }
+    }
+}
+
+/// State shared between client handles and the scheduler.
+struct Shared {
+    /// Requests admitted but not yet dispatched or error-responded.
+    depth: AtomicUsize,
+    /// Submits shed with [`ServeError::QueueFull`].
+    shed_queue: AtomicU64,
+    /// Cleared when draining begins.
+    accepting: AtomicBool,
+}
+
+/// Cloneable submission handle.
+#[derive(Clone)]
+pub struct ServerHandle {
+    tx: Sender<Event>,
+    shared: Arc<Shared>,
+    queue_capacity: usize,
+    vocab: usize,
+}
+
+impl ServerHandle {
+    /// Submits a request. Admission control runs here, on the client's
+    /// thread: over-budget submissions shed immediately with a typed
+    /// error and never enter the system.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::QueueFull`] over the queue budget,
+    /// [`ServeError::ShuttingDown`] after shutdown began.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a decode request's token is outside the model vocabulary
+    /// (a client programming error, not load-dependent).
+    pub fn submit(&self, req: Request) -> Result<(), ServeError> {
+        if let RequestKind::Decode { token, .. } = req.kind {
+            assert!(
+                token < self.vocab,
+                "token {token} outside vocabulary {}",
+                self.vocab
+            );
+        }
+        if !self.shared.accepting.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let mut depth = self.shared.depth.load(Ordering::Relaxed);
+        loop {
+            if depth >= self.queue_capacity {
+                self.shared.shed_queue.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::QueueFull {
+                    depth,
+                    capacity: self.queue_capacity,
+                });
+            }
+            match self.shared.depth.compare_exchange_weak(
+                depth,
+                depth + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(d) => depth = d,
+            }
+        }
+        let pending = Pending {
+            req,
+            submitted: Instant::now(),
+        };
+        self.tx.send(Event::Submit(pending)).map_err(|_| {
+            self.shared.depth.fetch_sub(1, Ordering::Relaxed);
+            ServeError::ShuttingDown
+        })
+    }
+}
+
+/// A running server instance.
+pub struct Server {
+    handle: ServerHandle,
+    scheduler: Option<JoinHandle<MetricsSnapshot>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Builds the model, spawns the scheduler and worker pool, and
+    /// returns the server plus the response stream.
+    pub fn start(cfg: &ServeConfig) -> (Server, Receiver<Response>) {
+        cfg.validate();
+        let model = Arc::new(cfg.model.build());
+        let lib = Arc::new(PrefillLib::build());
+        let (evt_tx, evt_rx) = mpsc::channel::<Event>();
+        let (resp_tx, resp_rx) = mpsc::channel::<Response>();
+        let (work_tx, work_rx) = mpsc::channel::<WorkItem>();
+        let work_rx = Arc::new(Mutex::new(work_rx));
+        let shared = Arc::new(Shared {
+            depth: AtomicUsize::new(0),
+            shed_queue: AtomicU64::new(0),
+            accepting: AtomicBool::new(true),
+        });
+
+        let workers: Vec<JoinHandle<()>> = (0..cfg.workers)
+            .map(|_| {
+                let model = Arc::clone(&model);
+                let lib = Arc::clone(&lib);
+                let work_rx = Arc::clone(&work_rx);
+                let evt_tx = evt_tx.clone();
+                let eng = ExecEngine::with_threads(cfg.engine_threads);
+                let budget = cfg.prefill_max_macs;
+                std::thread::spawn(move || {
+                    worker_loop(&model, &lib, &work_rx, &evt_tx, eng, budget)
+                })
+            })
+            .collect();
+
+        let scheduler = {
+            let cfg = cfg.clone();
+            let shared = Arc::clone(&shared);
+            let max_len = model.max_len();
+            std::thread::spawn(move || {
+                scheduler_loop(&cfg, max_len, shared, evt_rx, work_tx, resp_tx)
+            })
+        };
+
+        let handle = ServerHandle {
+            tx: evt_tx,
+            shared,
+            queue_capacity: cfg.queue_capacity,
+            vocab: cfg.model.vocab,
+        };
+        (
+            Server {
+                handle,
+                scheduler: Some(scheduler),
+                workers,
+            },
+            resp_rx,
+        )
+    }
+
+    /// A cloneable submission handle.
+    pub fn handle(&self) -> ServerHandle {
+        self.handle.clone()
+    }
+
+    /// Stops accepting work, drains every pending and in-flight request,
+    /// joins all threads, and returns the end-of-run metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheduler or a worker panicked.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.stop().expect("shutdown called once")
+    }
+
+    /// The shared shutdown path behind [`Self::shutdown`] and [`Drop`]:
+    /// signals the scheduler, joins every thread, and returns the
+    /// snapshot (`None` if already stopped).
+    fn stop(&mut self) -> Option<MetricsSnapshot> {
+        let scheduler = self.scheduler.take()?;
+        let _ = self.handle.tx.send(Event::Shutdown);
+        let snap = scheduler.join().expect("scheduler panicked");
+        for w in self.workers.drain(..) {
+            w.join().expect("worker panicked");
+        }
+        Some(snap)
+    }
+}
+
+impl Drop for Server {
+    /// A `Server` dropped without [`Self::shutdown`] still drains and
+    /// joins its threads — leaking a server can never pin the scheduler
+    /// and worker pool (blocked on channels only each other hold) forever.
+    fn drop(&mut self) {
+        let _ = self.stop();
+    }
+}
+
+/// Executor thread: pull a coalesced batch, run it on this worker's
+/// engine, report completion. Exits when the work channel closes.
+fn worker_loop(
+    model: &DecoderLm,
+    lib: &PrefillLib,
+    work_rx: &Mutex<Receiver<WorkItem>>,
+    evt_tx: &Sender<Event>,
+    eng: ExecEngine,
+    prefill_budget: u64,
+) {
+    loop {
+        // Hold the lock only while pulling, never while executing.
+        let item = match work_rx.lock().expect("work queue poisoned").recv() {
+            Ok(i) => i,
+            Err(_) => return,
+        };
+        let done = match item {
+            WorkItem::Decode { items, states } => run_decode(model, &eng, items, states),
+            WorkItem::Prefill { items } => run_prefill(lib, &eng, items, prefill_budget),
+        };
+        if evt_tx.send(Event::Done(done)).is_err() {
+            return;
+        }
+    }
+}
+
+/// Runs one decode batch: every request's token row goes through one
+/// GEMM-stacked `decode_batch_with` call; each row is bit-identical to a
+/// batch-of-one execution, so the response payload never depends on the
+/// batch composition.
+fn run_decode(
+    model: &DecoderLm,
+    eng: &ExecEngine,
+    items: Vec<Pending>,
+    states: Vec<(SessionId, DecoderKvState)>,
+) -> BatchDone {
+    let tokens: Vec<usize> = items
+        .iter()
+        .map(|p| match p.req.kind {
+            RequestKind::Decode { token, .. } => token,
+            RequestKind::Prefill { .. } => unreachable!("prefill in decode batch"),
+        })
+        .collect();
+    let (sids, mut sts): (Vec<SessionId>, Vec<DecoderKvState>) = states.into_iter().unzip();
+    let positions: Vec<usize> = sts.iter().map(|s| s.position).collect();
+    let logits = model.decode_batch_with(&tokens, &mut sts, eng);
+    let vocab = logits.dims()[1];
+    let next = apsq_tensor::argmax_axis1(&logits);
+    let occupancy = items.len();
+    let done_items = items
+        .into_iter()
+        .enumerate()
+        .map(|(b, p)| {
+            let row = &logits.data()[b * vocab..(b + 1) * vocab];
+            let digest = row
+                .iter()
+                .fold(FNV_OFFSET, |h, v| fnv1a(h, v.to_bits() as u64));
+            DoneItem {
+                submitted: p.submitted,
+                result: Ok(Payload::Decode {
+                    session: sids[b],
+                    position: positions[b],
+                    next_token: next[b],
+                    logits_digest: digest,
+                }),
+                req: p.req,
+            }
+        })
+        .collect();
+    BatchDone {
+        lane: Lane::Decode,
+        occupancy,
+        items: done_items,
+        states: sids.into_iter().zip(sts).collect(),
+    }
+}
+
+/// Runs one coalesced prefill batch back-to-back on this worker's engine.
+fn run_prefill(lib: &PrefillLib, eng: &ExecEngine, items: Vec<Pending>, budget: u64) -> BatchDone {
+    let batch: Vec<(&Workload, u64)> = items
+        .iter()
+        .map(|p| match p.req.kind {
+            RequestKind::Prefill { model } => (lib.get(model), budget),
+            RequestKind::Decode { .. } => unreachable!("decode in prefill batch"),
+        })
+        .collect();
+    let runs = execute_workloads(eng, &batch);
+    let occupancy = items.len();
+    let done_items = items
+        .into_iter()
+        .zip(runs)
+        .map(|(p, run)| {
+            let name = match p.req.kind {
+                RequestKind::Prefill { model } => model.name(),
+                RequestKind::Decode { .. } => unreachable!(),
+            };
+            DoneItem {
+                submitted: p.submitted,
+                result: Ok(Payload::Prefill {
+                    workload: name,
+                    checksum: run.checksum(),
+                    macs: run.total_macs_executed(),
+                }),
+                req: p.req,
+            }
+        })
+        .collect();
+    BatchDone {
+        lane: Lane::Prefill,
+        occupancy,
+        items: done_items,
+        states: Vec::new(),
+    }
+}
+
+/// The scheduler: admission, batching, dispatch, completion bookkeeping,
+/// and metrics. Returns the end-of-run snapshot when drained.
+fn scheduler_loop(
+    cfg: &ServeConfig,
+    max_len: usize,
+    shared: Arc<Shared>,
+    evt_rx: Receiver<Event>,
+    work_tx: Sender<WorkItem>,
+    resp_tx: Sender<Response>,
+) -> MetricsSnapshot {
+    let started = Instant::now();
+    let mut batcher = Batcher::new(cfg.batch);
+    let mut sessions = crate::session::SessionManager::new(
+        cfg.sessions.max_sessions,
+        cfg.model.layers,
+        cfg.model.d_model,
+        cfg.model.max_len,
+    );
+    let mut metrics = Metrics::new();
+    let mut idle = cfg.workers;
+    let mut inflight = 0usize;
+    let mut draining = false;
+
+    let respond = |metrics: &mut Metrics,
+                   p: Pending,
+                   result: Result<Payload, ServeError>,
+                   occupancy: usize,
+                   lane: Lane| {
+        let latency_us = p.submitted.elapsed().as_micros() as u64;
+        metrics.record_response(lane, latency_us, result.is_err());
+        let _ = resp_tx.send(Response {
+            id: p.req.id,
+            result,
+            latency_us,
+            batch_size: occupancy,
+        });
+    };
+
+    loop {
+        metrics.sample_queue_depth(batcher.depth());
+
+        // Dispatch to idle workers while a lane is ready.
+        while idle > 0 {
+            let now = Instant::now();
+            let Some(lane) = batcher.next_lane(now, draining) else {
+                break;
+            };
+            // Prefill requests execute independently even when coalesced,
+            // so once the lane fires, spread the whole burst across every
+            // idle worker right away — one div_ceil-sized chunk per worker
+            // (capped at max_batch inside take_up_to). Taking a single
+            // chunk and re-evaluating would strand the remainder (below
+            // the full-batch trigger again) until the max-wait deadline
+            // while the other workers sit idle.
+            if lane == Lane::Prefill {
+                while idle > 0 && batcher.lane_len(Lane::Prefill) > 0 {
+                    let chunk = batcher.lane_len(Lane::Prefill).div_ceil(idle);
+                    let items = batcher.take_up_to(Lane::Prefill, chunk);
+                    shared.depth.fetch_sub(items.len(), Ordering::Relaxed);
+                    metrics.record_batch(items.len());
+                    idle -= 1;
+                    inflight += 1;
+                    work_tx
+                        .send(WorkItem::Prefill { items })
+                        .expect("worker pool alive");
+                }
+                continue;
+            }
+            // Decode batches coalesce greedily — stacked rows share one
+            // GEMM, so occupancy is pure win.
+            let items = batcher.take(lane);
+            let work = match lane {
+                Lane::Decode => {
+                    let mut batch = Vec::with_capacity(items.len());
+                    let mut states = Vec::with_capacity(items.len());
+                    for p in items {
+                        let session = p.req.session().expect("decode lane request has a session");
+                        let position = sessions.position(session);
+                        if position >= max_len {
+                            shared.depth.fetch_sub(1, Ordering::Relaxed);
+                            respond(
+                                &mut metrics,
+                                p,
+                                Err(ServeError::ContextOverflow {
+                                    session,
+                                    position,
+                                    max_len,
+                                }),
+                                0,
+                                Lane::Decode,
+                            );
+                            sessions.release(session);
+                            batcher.on_session_done(session);
+                            continue;
+                        }
+                        states.push((session, sessions.checkout(session)));
+                        batch.push(p);
+                    }
+                    if batch.is_empty() {
+                        continue;
+                    }
+                    shared.depth.fetch_sub(batch.len(), Ordering::Relaxed);
+                    metrics.record_batch(batch.len());
+                    WorkItem::Decode {
+                        items: batch,
+                        states,
+                    }
+                }
+                Lane::Prefill => unreachable!("prefill dispatches through the spread loop"),
+            };
+            idle -= 1;
+            inflight += 1;
+            work_tx.send(work).expect("worker pool alive");
+        }
+
+        if draining && inflight == 0 && batcher.is_empty() {
+            break;
+        }
+
+        // Block for the next event; with a partial batch pending and an
+        // idle worker, wake at the coalescing deadline instead.
+        let first = if idle > 0 {
+            match batcher.next_deadline() {
+                Some(deadline) => {
+                    let timeout = deadline.saturating_duration_since(Instant::now());
+                    match evt_rx.recv_timeout(timeout) {
+                        Ok(e) => Some(e),
+                        Err(RecvTimeoutError::Timeout) => None,
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+                None => match evt_rx.recv() {
+                    Ok(e) => Some(e),
+                    Err(_) => break,
+                },
+            }
+        } else {
+            match evt_rx.recv() {
+                Ok(e) => Some(e),
+                Err(_) => break,
+            }
+        };
+
+        // Handle the blocking event plus everything already queued.
+        let mut next = first;
+        while let Some(ev) = next {
+            match ev {
+                Event::Submit(p) => match p.req.kind {
+                    RequestKind::Decode { session, .. } => match sessions.admit(session) {
+                        Ok(()) => batcher.push(p),
+                        Err(e) => {
+                            shared.depth.fetch_sub(1, Ordering::Relaxed);
+                            respond(&mut metrics, p, Err(e), 0, Lane::Decode);
+                        }
+                    },
+                    RequestKind::Prefill { .. } => batcher.push(p),
+                },
+                Event::Done(done) => {
+                    idle += 1;
+                    inflight -= 1;
+                    for (sid, st) in done.states {
+                        sessions.checkin(sid, st);
+                    }
+                    for item in done.items {
+                        let session = item.req.session();
+                        respond(
+                            &mut metrics,
+                            Pending {
+                                req: item.req,
+                                submitted: item.submitted,
+                            },
+                            item.result,
+                            done.occupancy,
+                            done.lane,
+                        );
+                        if let Some(s) = session {
+                            sessions.release(s);
+                            batcher.on_session_done(s);
+                        }
+                    }
+                }
+                Event::Shutdown => {
+                    shared.accepting.store(false, Ordering::Release);
+                    draining = true;
+                }
+            }
+            next = evt_rx.try_recv().ok();
+        }
+    }
+
+    // A submit can race the drain: it observes `accepting == true` and
+    // lands its event after the loop above decided everything was done.
+    // Every such submit incremented `depth` *before* sending, so drain
+    // until the depth reaches zero and answer the stragglers with
+    // `ShuttingDown` instead of silently dropping an accepted request
+    // (`inflight == 0` here, so only Submit and Shutdown events remain).
+    // The timeout only fires if a client died between its depth increment
+    // and its send.
+    while shared.depth.load(Ordering::Acquire) > 0 {
+        let ev = match evt_rx.recv_timeout(std::time::Duration::from_millis(50)) {
+            Ok(ev) => ev,
+            Err(_) => break,
+        };
+        if let Event::Submit(p) = ev {
+            shared.depth.fetch_sub(1, Ordering::Relaxed);
+            let lane = match p.req.kind {
+                RequestKind::Decode { .. } => Lane::Decode,
+                RequestKind::Prefill { .. } => Lane::Prefill,
+            };
+            respond(&mut metrics, p, Err(ServeError::ShuttingDown), 0, lane);
+        }
+    }
+
+    metrics.snapshot(
+        started.elapsed().as_secs_f64(),
+        shared.shed_queue.load(Ordering::Relaxed),
+        sessions.evictions(),
+        sessions.peak(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BatchPolicy;
+    use crate::request::PrefillModel;
+
+    fn tiny_cfg() -> ServeConfig {
+        let mut cfg = ServeConfig::smoke();
+        cfg.model.d_model = 32;
+        cfg.model.d_ff = 64;
+        cfg.model.heads = 2;
+        cfg.model.vocab = 16;
+        cfg.model.max_len = 16;
+        cfg.prefill_max_macs = 5_000;
+        cfg
+    }
+
+    #[test]
+    fn serves_decode_and_prefill_end_to_end() {
+        let (server, rx) = Server::start(&tiny_cfg());
+        let h = server.handle();
+        h.submit(Request::decode(1, 100, 3)).unwrap();
+        h.submit(Request::decode(2, 101, 5)).unwrap();
+        h.submit(Request::prefill(3, PrefillModel::BertBase128))
+            .unwrap();
+        let mut got: Vec<Response> = (0..3).map(|_| rx.recv().unwrap()).collect();
+        got.sort_by_key(|r| r.id);
+        assert!(matches!(
+            got[0].result,
+            Ok(Payload::Decode {
+                session: 100,
+                position: 0,
+                ..
+            })
+        ));
+        assert!(matches!(got[2].result, Ok(Payload::Prefill { .. })));
+        let snap = server.shutdown();
+        assert_eq!(snap.completed, 3);
+        assert_eq!(snap.errors, 0);
+        assert_eq!(snap.decode_tokens, 2);
+        assert_eq!(snap.sessions_peak, 2);
+    }
+
+    #[test]
+    fn same_session_steps_advance_in_order() {
+        let (server, rx) = Server::start(&tiny_cfg());
+        let h = server.handle();
+        for i in 0..4 {
+            h.submit(Request::decode(i, 7, i as usize % 16)).unwrap();
+        }
+        let mut positions = Vec::new();
+        for _ in 0..4 {
+            let r = rx.recv().unwrap();
+            if let Ok(Payload::Decode { position, .. }) = r.result {
+                positions.push((r.id, position));
+            }
+        }
+        positions.sort();
+        assert_eq!(
+            positions,
+            vec![(0, 0), (1, 1), (2, 2), (3, 3)],
+            "per-session FIFO violated"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn context_overflow_is_a_typed_error_response() {
+        let mut cfg = tiny_cfg();
+        cfg.model.max_len = 4;
+        cfg.batch = BatchPolicy::single();
+        let (server, rx) = Server::start(&cfg);
+        let h = server.handle();
+        // max_len steps fit; the next one overflows.
+        for i in 0..5 {
+            h.submit(Request::decode(i, 9, 1)).unwrap();
+        }
+        let mut errs = 0;
+        for _ in 0..5 {
+            let r = rx.recv().unwrap();
+            if let Err(e) = &r.result {
+                assert!(
+                    matches!(
+                        e,
+                        ServeError::ContextOverflow {
+                            session: 9,
+                            position: 4,
+                            max_len: 4
+                        }
+                    ),
+                    "{e:?}"
+                );
+                errs += 1;
+            }
+        }
+        assert_eq!(errs, 1);
+        let snap = server.shutdown();
+        assert_eq!(snap.errors, 1);
+        assert_eq!(snap.decode_tokens, 4);
+    }
+
+    #[test]
+    fn queue_budget_sheds_with_typed_error() {
+        let mut cfg = tiny_cfg();
+        cfg.queue_capacity = 2;
+        cfg.workers = 1;
+        // Long coalescing wait so submissions pile up in the queue.
+        cfg.batch = BatchPolicy {
+            max_batch: 64,
+            max_wait: std::time::Duration::from_secs(5),
+        };
+        let (server, rx) = Server::start(&cfg);
+        let h = server.handle();
+        h.submit(Request::decode(1, 1, 0)).unwrap();
+        h.submit(Request::decode(2, 2, 0)).unwrap();
+        let err = h.submit(Request::decode(3, 3, 0)).unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::QueueFull {
+                depth: 2,
+                capacity: 2
+            }
+        ));
+        drop(rx);
+        let snap = server.shutdown();
+        assert_eq!(snap.shed_queue, 1);
+        assert_eq!(snap.completed, 2);
+    }
+
+    #[test]
+    fn session_capacity_rejection_reaches_the_client() {
+        let mut cfg = tiny_cfg();
+        cfg.sessions.max_sessions = 1;
+        cfg.workers = 1;
+        cfg.batch = BatchPolicy {
+            max_batch: 64,
+            max_wait: std::time::Duration::from_secs(5),
+        };
+        let (server, rx) = Server::start(&cfg);
+        let h = server.handle();
+        // Session 1 queued (pinned); session 2 cannot be admitted.
+        h.submit(Request::decode(1, 1, 0)).unwrap();
+        h.submit(Request::decode(2, 2, 0)).unwrap();
+        let mut results: Vec<Response> = (0..2).map(|_| rx.recv().unwrap()).collect();
+        results.sort_by_key(|r| r.id);
+        assert!(results[0].result.is_ok());
+        assert!(matches!(
+            results[1].result,
+            Err(ServeError::SessionCapacity {
+                active: 1,
+                capacity: 1
+            })
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn prefill_burst_spreads_across_idle_workers() {
+        let mut cfg = tiny_cfg();
+        cfg.workers = 2;
+        // Only the full-batch trigger can fire: if the burst were not
+        // spread, one worker would serialize all 4 requests while the
+        // other idled out the 5-second deadline.
+        cfg.batch = BatchPolicy {
+            max_batch: 4,
+            max_wait: std::time::Duration::from_secs(5),
+        };
+        let (server, rx) = Server::start(&cfg);
+        let h = server.handle();
+        for i in 0..4 {
+            h.submit(Request::prefill(i, PrefillModel::BertBase128))
+                .unwrap();
+        }
+        for _ in 0..4 {
+            assert!(rx.recv().unwrap().result.is_ok());
+        }
+        let snap = server.shutdown();
+        assert_eq!(
+            snap.batch_occupancy_hist,
+            vec![(2, 2)],
+            "4-request prefill burst should split 2+2 over 2 idle workers"
+        );
+    }
+
+    #[test]
+    fn dropping_a_server_without_shutdown_joins_cleanly() {
+        // A leaked Server must not pin its scheduler/worker threads
+        // forever; Drop drains and joins (this test would hang otherwise).
+        let (server, rx) = Server::start(&tiny_cfg());
+        server.handle().submit(Request::decode(1, 3, 2)).unwrap();
+        assert!(rx.recv().unwrap().result.is_ok());
+        drop(server);
+        // Threads are gone: the response channel is disconnected.
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_rejected() {
+        let (server, _rx) = Server::start(&tiny_cfg());
+        let h = server.handle();
+        let snap = server.shutdown();
+        assert_eq!(snap.completed, 0);
+        assert!(matches!(
+            h.submit(Request::decode(1, 1, 0)),
+            Err(ServeError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside vocabulary")]
+    fn out_of_vocab_token_is_a_client_bug() {
+        let (server, _rx) = Server::start(&tiny_cfg());
+        let h = server.handle();
+        let _ = h.submit(Request::decode(1, 1, 999));
+        server.shutdown();
+    }
+}

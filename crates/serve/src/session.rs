@@ -1,0 +1,308 @@
+//! Session lifecycle: per-session KV-cache ownership, LRU eviction, and
+//! capacity-based admission control.
+
+use crate::error::ServeError;
+use crate::request::SessionId;
+use apsq_nn::DecoderKvState;
+use std::collections::{HashMap, HashSet};
+
+/// One resident session.
+#[derive(Debug)]
+struct Entry {
+    /// `Some` while idle; `None` while checked out to an executor.
+    state: Option<DecoderKvState>,
+    /// Logical LRU clock value of the last touch.
+    last_used: u64,
+    /// Requests admitted but not yet completed; pinned entries are never
+    /// evicted (their KV lineage is still needed).
+    pins: u32,
+}
+
+/// Owns every session's [`DecoderKvState`], hands states to executors for
+/// the duration of a batch, and enforces the session budget with LRU
+/// eviction of idle, unpinned sessions.
+///
+/// All methods run on the scheduler thread; no internal locking.
+#[derive(Debug)]
+pub struct SessionManager {
+    capacity: usize,
+    layers: usize,
+    width: usize,
+    max_len: usize,
+    entries: HashMap<SessionId, Entry>,
+    /// Tombstones of evicted ids: a decode for one of these must fail with
+    /// a typed error, never silently restart from an empty context. Grows
+    /// with the number of *evicted* sessions (a production deployment
+    /// would age these out with generation counters).
+    evicted_ids: HashSet<SessionId>,
+    clock: u64,
+    evictions: u64,
+    peak: usize,
+}
+
+impl SessionManager {
+    /// A manager for models of the given depth/width/context, admitting at
+    /// most `capacity` resident sessions.
+    pub fn new(capacity: usize, layers: usize, width: usize, max_len: usize) -> Self {
+        SessionManager {
+            capacity,
+            layers,
+            width,
+            max_len,
+            entries: HashMap::new(),
+            evicted_ids: HashSet::new(),
+            clock: 0,
+            evictions: 0,
+            peak: 0,
+        }
+    }
+
+    /// Resident session count.
+    pub fn active(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Most sessions ever resident at once.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Sessions evicted so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Total floats held across all resident idle KV caches.
+    pub fn kv_floats(&self) -> usize {
+        self.entries
+            .values()
+            .filter_map(|e| e.state.as_ref())
+            .map(|s| s.kv_floats())
+            .sum()
+    }
+
+    /// Admits a request for `id`: touches the LRU clock, pins the session,
+    /// and creates it if absent — evicting the least-recently-used idle
+    /// unpinned session when at capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::SessionEvicted`] if `id` was evicted earlier (its KV
+    /// lineage is gone — silently restarting it from an empty context
+    /// would return wrong continuations); [`ServeError::SessionCapacity`]
+    /// when the budget is exhausted and nothing is evictable.
+    pub fn admit(&mut self, id: SessionId) -> Result<(), ServeError> {
+        self.clock += 1;
+        if self.evicted_ids.contains(&id) {
+            return Err(ServeError::SessionEvicted { session: id });
+        }
+        if let Some(e) = self.entries.get_mut(&id) {
+            e.last_used = self.clock;
+            e.pins += 1;
+            return Ok(());
+        }
+        if self.entries.len() >= self.capacity && !self.evict_lru_idle() {
+            return Err(ServeError::SessionCapacity {
+                active: self.entries.len(),
+                capacity: self.capacity,
+            });
+        }
+        self.entries.insert(
+            id,
+            Entry {
+                state: Some(DecoderKvState::for_layers_with_capacity(
+                    self.layers,
+                    self.width,
+                    self.max_len,
+                )),
+                last_used: self.clock,
+                pins: 1,
+            },
+        );
+        self.peak = self.peak.max(self.entries.len());
+        Ok(())
+    }
+
+    /// Whether the session's state is currently checked out to a batch.
+    pub fn is_busy(&self, id: SessionId) -> bool {
+        self.entries
+            .get(&id)
+            .map(|e| e.state.is_none())
+            .unwrap_or(false)
+    }
+
+    /// Next decode position for an idle session (tokens consumed so far).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session is absent or checked out.
+    pub fn position(&self, id: SessionId) -> usize {
+        self.entries
+            .get(&id)
+            .and_then(|e| e.state.as_ref())
+            .expect("position of absent or busy session")
+            .position
+    }
+
+    /// Takes the session's KV state for a batch dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session is absent or already checked out — the
+    /// batcher guarantees one in-flight batch per session.
+    pub fn checkout(&mut self, id: SessionId) -> DecoderKvState {
+        self.entries
+            .get_mut(&id)
+            .expect("checkout of unknown session")
+            .state
+            .take()
+            .expect("session already checked out")
+    }
+
+    /// Returns a state after batch completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session is absent or not checked out.
+    pub fn checkin(&mut self, id: SessionId, state: DecoderKvState) {
+        let e = self
+            .entries
+            .get_mut(&id)
+            .expect("checkin of unknown session");
+        assert!(e.state.is_none(), "checkin of idle session");
+        e.state = Some(state);
+    }
+
+    /// Releases one admission pin after the response is emitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session is absent or has no pins.
+    pub fn release(&mut self, id: SessionId) {
+        let e = self
+            .entries
+            .get_mut(&id)
+            .expect("release of unknown session");
+        assert!(e.pins > 0, "release without matching admit");
+        e.pins -= 1;
+    }
+
+    /// Evicts the least-recently-used idle, unpinned session. Returns
+    /// whether anything was evicted.
+    fn evict_lru_idle(&mut self) -> bool {
+        let victim = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.state.is_some() && e.pins == 0)
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(&id, _)| id);
+        match victim {
+            Some(id) => {
+                self.entries.remove(&id);
+                self.evicted_ids.insert(id);
+                self.evictions += 1;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr(cap: usize) -> SessionManager {
+        SessionManager::new(cap, 2, 8, 16)
+    }
+
+    /// Admit + complete immediately (no in-flight work).
+    fn touch(m: &mut SessionManager, id: SessionId) {
+        m.admit(id).unwrap();
+        m.release(id);
+    }
+
+    #[test]
+    fn admission_creates_and_touches() {
+        let mut m = mgr(2);
+        touch(&mut m, 1);
+        touch(&mut m, 2);
+        assert_eq!(m.active(), 2);
+        assert_eq!(m.peak(), 2);
+        touch(&mut m, 1); // touch existing: no growth
+        assert_eq!(m.active(), 2);
+        assert_eq!(m.position(1), 0);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_idle_and_tombstones_it() {
+        let mut m = mgr(2);
+        touch(&mut m, 1);
+        touch(&mut m, 2);
+        touch(&mut m, 1); // 2 is now least-recently-used
+        touch(&mut m, 3); // evicts 2
+        assert_eq!(m.evictions(), 1);
+        assert!(m.entries.contains_key(&1));
+        assert!(m.entries.contains_key(&3));
+        assert!(!m.entries.contains_key(&2));
+        // The evicted id is dead: a later request must get a typed error,
+        // never a silent restart from an empty KV context.
+        assert_eq!(m.admit(2), Err(ServeError::SessionEvicted { session: 2 }));
+        assert!(!m.entries.contains_key(&2));
+    }
+
+    #[test]
+    fn pinned_and_busy_sessions_survive_eviction() {
+        let mut m = mgr(2);
+        m.admit(1).unwrap(); // pinned (in flight)
+        m.admit(2).unwrap();
+        let s2 = m.checkout(2); // busy
+        let err = m.admit(3).unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::SessionCapacity {
+                active: 2,
+                capacity: 2
+            }
+        ));
+        // Completing session 2 makes it evictable.
+        m.checkin(2, s2);
+        m.release(2);
+        m.admit(3).unwrap();
+        assert_eq!(m.evictions(), 1);
+        assert!(!m.entries.contains_key(&2));
+    }
+
+    #[test]
+    fn checkout_checkin_roundtrip_preserves_position() {
+        let mut m = mgr(1);
+        m.admit(7).unwrap();
+        let mut s = m.checkout(7);
+        assert!(m.is_busy(7));
+        s.position = 5;
+        m.checkin(7, s);
+        m.release(7);
+        assert!(!m.is_busy(7));
+        assert_eq!(m.position(7), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "already checked out")]
+    fn double_checkout_panics() {
+        let mut m = mgr(1);
+        m.admit(1).unwrap();
+        let _a = m.checkout(1);
+        let _b = m.checkout(1);
+    }
+
+    #[test]
+    fn kv_floats_tracks_resident_idle_caches() {
+        let mut m = mgr(2);
+        m.admit(1).unwrap();
+        assert_eq!(m.kv_floats(), 0); // empty caches
+        let mut s = m.checkout(1);
+        s.layers[0].append_row(&[1.0; 8], &[2.0; 8]);
+        m.checkin(1, s);
+        assert_eq!(m.kv_floats(), 16);
+    }
+}

@@ -1,0 +1,134 @@
+//! The serving determinism contract, end to end: one seed and one traffic
+//! scenario must produce **bit-identical response payloads** for every
+//! worker-thread count and batch-size limit — batching and scheduling
+//! decisions change timing, never results.
+//!
+//! The closed-loop decode traffic makes this a strong test: each client
+//! feeds the server's greedy `next_token` back as its next input, so a
+//! single bit of divergence anywhere in the quantized decode path
+//! compounds into a different token stream and a different fingerprint.
+
+use apsq_serve::{BatchPolicy, LoadGenerator, Scenario, ServeConfig};
+use std::time::Duration;
+
+fn base_cfg() -> ServeConfig {
+    let mut cfg = ServeConfig::smoke();
+    // Small model: the test sweeps five server shapes.
+    cfg.model.d_model = 32;
+    cfg.model.d_ff = 64;
+    cfg.model.heads = 2;
+    cfg.model.vocab = 16;
+    cfg.model.max_len = 16;
+    cfg.prefill_max_macs = 5_000;
+    cfg
+}
+
+fn shapes() -> Vec<(ServeConfig, &'static str)> {
+    let base = base_cfg();
+    vec![
+        (
+            base.clone()
+                .with_workers(1)
+                .with_batch(BatchPolicy::single()),
+            "1 worker, batch 1",
+        ),
+        (
+            base.clone()
+                .with_workers(1)
+                .with_batch(BatchPolicy::batched(8)),
+            "1 worker, batch 8",
+        ),
+        (
+            base.clone()
+                .with_workers(2)
+                .with_batch(BatchPolicy::batched(4)),
+            "2 workers, batch 4",
+        ),
+        (
+            base.clone()
+                .with_workers(4)
+                .with_batch(BatchPolicy::batched(8)),
+            "4 workers, batch 8",
+        ),
+        (
+            base.with_workers(3).with_batch(BatchPolicy {
+                max_batch: 2,
+                max_wait: Duration::from_micros(200),
+            }),
+            "3 workers, batch 2, 200us wait",
+        ),
+    ]
+}
+
+/// Pure decode traffic: every response in every configuration must hash
+/// to the same fingerprint, and every request must succeed.
+#[test]
+fn decode_traffic_is_bit_identical_across_server_shapes() {
+    let scenario = Scenario::llama_decode(8, 8);
+    let gen = LoadGenerator::new(42, scenario);
+    let mut fingerprints = Vec::new();
+    for (cfg, label) in shapes() {
+        let report = gen.run(&cfg);
+        assert_eq!(report.ok, 64, "{label}: not all requests succeeded");
+        assert_eq!(report.errors, 0, "{label}");
+        assert_eq!(report.client_shed, 0, "{label}");
+        fingerprints.push((report.fingerprint, label));
+    }
+    let first = fingerprints[0].0;
+    for (fp, label) in &fingerprints {
+        assert_eq!(
+            *fp, first,
+            "response payloads diverged between '{}' and '{}'",
+            fingerprints[0].1, label
+        );
+    }
+}
+
+/// Mixed decode + prefill traffic: same contract with both lanes active.
+#[test]
+fn mixed_traffic_is_bit_identical_across_server_shapes() {
+    let scenario = Scenario::mixed(7, 10, 5);
+    assert!(scenario.decode_clients() > 0);
+    let gen = LoadGenerator::new(7, scenario);
+    let mut fingerprints = Vec::new();
+    for (cfg, label) in shapes() {
+        let report = gen.run(&cfg);
+        assert_eq!(report.ok, 50, "{label}");
+        assert_eq!(report.errors, 0, "{label}");
+        fingerprints.push((report.fingerprint, label));
+    }
+    assert!(
+        fingerprints.iter().all(|(fp, _)| *fp == fingerprints[0].0),
+        "mixed-traffic fingerprints diverged: {fingerprints:?}"
+    );
+}
+
+/// A different seed must change the fingerprint (the fingerprint actually
+/// depends on the traffic, not just on counts).
+#[test]
+fn fingerprint_depends_on_seed() {
+    let cfg = base_cfg();
+    let a = LoadGenerator::new(1, Scenario::llama_decode(4, 4)).run(&cfg);
+    let b = LoadGenerator::new(2, Scenario::llama_decode(4, 4)).run(&cfg);
+    assert_ne!(a.fingerprint, b.fingerprint);
+}
+
+/// Overflowing a session's context window sheds deterministically: the
+/// same typed errors appear in every server shape, and the fingerprint
+/// (which folds error codes) still matches.
+#[test]
+fn context_overflow_errors_are_deterministic_too() {
+    let mut base = base_cfg();
+    base.model.max_len = 6;
+    let scenario = Scenario::llama_decode(3, 9); // 3 steps past the window
+    let gen = LoadGenerator::new(5, scenario);
+    let mut fingerprints = Vec::new();
+    for workers in [1usize, 4] {
+        let cfg = base.clone().with_workers(workers);
+        let report = gen.run(&cfg);
+        assert_eq!(report.ok, 18, "{workers} workers");
+        assert_eq!(report.errors, 9, "{workers} workers");
+        fingerprints.push(report.fingerprint);
+    }
+    assert_eq!(fingerprints[0], fingerprints[1]);
+}

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Runs the matmul benches and records the ExecEngine speedup as
-# machine-readable JSON (BENCH_matmul.json at the repo root).
+# Runs the matmul benches and the serving load benchmark, recording both
+# as machine-readable JSON (BENCH_matmul.json / BENCH_serve.json at the
+# repo root) through the shared report emitter.
 #
-#   ./scripts/bench.sh            # full run: 1024^3 engine sweep
-#   ./scripts/bench.sh --quick    # CI smoke: 256^3
+#   ./scripts/bench.sh            # full run: 1024^3 engine sweep + 16x48 serve load
+#   ./scripts/bench.sh --quick    # CI smoke: 256^3 + 8x8 serve load
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,4 +18,12 @@ if [[ "${1:-}" == "--quick" ]]; then
   cargo run -q --release -p apsq-bench --bin engine_speedup -- --quick
 else
   cargo run -q --release -p apsq-bench --bin engine_speedup
+fi
+
+echo
+echo "==> serve_bench ${1:-} (writes BENCH_serve.json)"
+if [[ "${1:-}" == "--quick" ]]; then
+  cargo run -q --release -p apsq-bench --bin serve_bench -- --quick
+else
+  cargo run -q --release -p apsq-bench --bin serve_bench
 fi

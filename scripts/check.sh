@@ -26,7 +26,16 @@ cargo test -q --release -p apsq-nn --lib
 echo "==> cargo test -q --release -p apsq-tensor  (engine kernels at release opt)"
 cargo test -q --release -p apsq-tensor
 
+echo "==> cargo test -q --release -p apsq-serve  (server + determinism suite at release opt)"
+cargo test -q --release -p apsq-serve
+
 echo "==> bench smoke: engine_speedup --quick (writes BENCH_matmul.json)"
 cargo run -q --release -p apsq-bench --bin engine_speedup -- --quick --out target/BENCH_matmul.smoke.json
+
+echo "==> bench smoke: serve_bench --quick (writes BENCH_serve.json)"
+cargo run -q --release -p apsq-bench --bin serve_bench -- --quick --out target/BENCH_serve.smoke.json
+
+echo "==> serve example smoke"
+cargo run -q --release --example serve_traffic -- --quick
 
 echo "All checks passed."

@@ -12,6 +12,8 @@
 //! | [`accel`] | `apsq-accel` | IS/WS loop-nest accelerator simulator with byte-accurate traffic counting |
 //! | [`nn`] | `apsq-nn` | transformer layers with manual backprop, W8A8 QAT with the APSQ PSUM path, synthetic tasks |
 //! | [`models`] | `apsq-models` | BERT / Segformer / EfficientViT / LLaMA2-7B workload inventories |
+//! | [`serve`] | `apsq-serve` | dynamic-batching inference server: request queue, prefill/decode lanes, KV-cache sessions, metrics, load generator |
+//! | [`bench`] | `apsq-bench` | experiment drivers, table/JSON report emitters, serve-report rendering |
 //!
 //! ## Quick start
 //!
@@ -49,12 +51,26 @@
 //! );
 //! assert!(r < 0.6); // ≈ 50% saving, as the paper reports
 //! ```
+//!
+//! Serve closed-loop decode traffic through the dynamic-batching server
+//! and read back the metrics:
+//!
+//! ```
+//! use apsq::serve::{LoadGenerator, Scenario, ServeConfig};
+//!
+//! let report = LoadGenerator::new(7, Scenario::llama_decode(4, 4))
+//!     .run(&ServeConfig::smoke());
+//! assert_eq!(report.ok, 16);
+//! assert!(report.snapshot.tokens_per_s > 0.0);
+//! ```
 
 pub use apsq_accel as accel;
+pub use apsq_bench as bench;
 pub use apsq_core as core;
 pub use apsq_dataflow as dataflow;
 pub use apsq_models as models;
 pub use apsq_nn as nn;
 pub use apsq_quant as quant;
 pub use apsq_rae as rae;
+pub use apsq_serve as serve;
 pub use apsq_tensor as tensor;

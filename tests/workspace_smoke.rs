@@ -52,4 +52,31 @@ fn facade_remaining_modules_resolve() {
     let _ = apsq::rae::RaeConfig::int8(1);
     let _ = apsq::accel::PsumPath::ExactInt32;
     let _ = apsq::nn::PsumMode::Exact;
+    let _ = apsq::serve::ServeConfig::smoke();
+    let _ = apsq::bench::report::Table::new(&["a"]).to_json();
+}
+
+#[test]
+fn facade_serve_path_resolves_and_serves() {
+    use apsq::serve::{Payload, Request, ServeConfig, Server};
+    let mut cfg = ServeConfig::smoke();
+    cfg.model.d_model = 32;
+    cfg.model.d_ff = 64;
+    cfg.model.heads = 2;
+    cfg.model.vocab = 16;
+    cfg.model.max_len = 8;
+    let (server, rx) = Server::start(&cfg);
+    server.handle().submit(Request::decode(1, 5, 3)).unwrap();
+    let resp = rx.recv().unwrap();
+    assert!(matches!(
+        resp.result,
+        Ok(Payload::Decode {
+            session: 5,
+            position: 0,
+            ..
+        })
+    ));
+    let snapshot = server.shutdown();
+    assert_eq!(snapshot.completed, 1);
+    assert_eq!(snapshot.decode_tokens, 1);
 }
