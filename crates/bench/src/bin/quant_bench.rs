@@ -1,0 +1,176 @@
+//! f32 fake-quant vs int8+APSQ serving benchmark: the same closed-loop
+//! llama-decode traffic (same seed, same resources, same batching) runs
+//! once per [`Precision`], recording decode throughput and the PSUM
+//! buffer bytes each datapath moves — written as machine-readable JSON
+//! (`BENCH_quant.json`, or `--out PATH`) through the shared report
+//! emitter.
+//!
+//! ```text
+//! cargo run --release -p apsq-bench --bin quant_bench [-- --quick] [--out PATH]
+//! ```
+//!
+//! The run asserts the acceptance contract: the integer datapath (no
+//! per-call weight fake-quant, no schedule recalibration, i8 operand
+//! traffic) must decode at least as fast as the f32 fake-quant reference,
+//! and a layer-level microbench records the pure per-GEMM gap. PSUM
+//! bytes use `apsq-dataflow`'s accounting: identical word counts per
+//! Algorithm 1 (traffic is invariant in `gs`), scaled by each storage
+//! format's bytes-per-word β — INT32 baseline (β = 4) for the f32 path
+//! vs INT8 APSQ (β = 1).
+
+use apsq_bench::report::{f, JsonObject, Table};
+use apsq_bench::serve_report::summary_table;
+use apsq_dataflow::PsumFormat;
+use apsq_nn::{Int8DecoderLm, Int8Linear, PsumMode, QuantLinear};
+use apsq_quant::Bitwidth;
+use apsq_serve::{LoadGenerator, Precision, Scenario, ServeConfig};
+use apsq_tensor::ExecEngine;
+use std::time::Instant;
+
+const SEED: u64 = 0xA95C_0123;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_quant.json".to_string());
+
+    let (clients, steps) = if quick { (8, 8) } else { (16, 48) };
+    let base = ServeConfig::smoke().with_workers(2);
+
+    println!(
+        "== f32 vs int8+APSQ decode benchmark ({clients} clients x {steps} steps{}) ==\n",
+        if quick { ", --quick" } else { "" }
+    );
+
+    // Same seed and traffic through both datapaths.
+    let gen = LoadGenerator::new(SEED, Scenario::llama_decode(clients, steps));
+    let mut r_f32 = gen.run(&base.clone().with_precision(Precision::F32));
+    r_f32.scenario.push_str("_f32");
+    let mut r_int8 = gen.run(&base.clone().with_precision(Precision::Int8Apsq));
+    r_int8.scenario.push_str("_int8_apsq");
+    assert_eq!(r_f32.errors + r_int8.errors, 0, "decode traffic errored");
+    let speedup = r_int8.tokens_per_s / r_f32.tokens_per_s;
+
+    // PSUM traffic: word counts from the served model's integer twin,
+    // bytes via the storage formats' β.
+    let spec = base.model;
+    let gs = match spec.psum_mode {
+        PsumMode::Apsq { gs, .. } => gs,
+        PsumMode::Exact => 1,
+    };
+    let f32_model = spec.build();
+    let prime: Vec<usize> = (0..spec.max_len).map(|i| i % spec.vocab).collect();
+    let eng = ExecEngine::serial();
+    let int8_model = Int8DecoderLm::from_decoder(&f32_model, &prime, &eng);
+    let words = int8_model.psum_words_per_token();
+    let bytes_int32 = words.total() as f64 * PsumFormat::int32_baseline().beta();
+    let bytes_int8 = words.total() as f64 * PsumFormat::apsq_int8(gs).beta();
+
+    // Layer microbench: one llama-ish FFN GEMM, fake-quant vs integer.
+    let (us_fakequant, us_int8) = layer_microbench(if quick { 20 } else { 100 });
+
+    let reports = vec![&r_f32, &r_int8];
+    println!("{}", summary_table(&reports).render());
+    let mut layer_table = Table::new(&["path", "us_per_call"]);
+    layer_table.row(vec!["fake_quant_f32".into(), f(us_fakequant, 1)]);
+    layer_table.row(vec!["int8_apsq".into(), f(us_int8, 1)]);
+    println!("FFN layer [8, 256] x [256, 512], gs=3, k_tile=16:");
+    println!("{}", layer_table.render());
+    println!(
+        "decode throughput: {:.1} tok/s (f32) -> {:.1} tok/s (int8+APSQ) = {speedup:.2}x",
+        r_f32.tokens_per_s, r_int8.tokens_per_s
+    );
+    println!(
+        "psum traffic per decode token: {} words -> {:.0} B (INT32 baseline) vs {:.0} B (INT8 APSQ, gs={gs})",
+        words.total(),
+        bytes_int32,
+        bytes_int8
+    );
+    // Acceptance contract: the integer datapath must not be slower. The
+    // --quick smoke keeps a small noise margin (tiny runs are dominated
+    // by scheduling, not GEMMs); the recorded full run asserts ≥ 1.0.
+    let floor = if quick { 0.85 } else { 1.0 };
+    assert!(
+        speedup >= floor,
+        "int8+APSQ decode ({:.1} tok/s) fell below the f32 fake-quant path ({:.1} tok/s)",
+        r_int8.tokens_per_s,
+        r_f32.tokens_per_s
+    );
+    // Same quick-mode noise margin: 20 reps on a shared CPU jitter.
+    let layer_margin = if quick { 1.15 } else { 1.0 };
+    assert!(
+        us_int8 <= us_fakequant * layer_margin,
+        "integer FFN layer ({us_int8:.1} us) slower than fake-quant ({us_fakequant:.1} us)"
+    );
+
+    let scenarios = apsq_bench::report::json_array(
+        reports
+            .iter()
+            .map(|r| apsq_bench::serve_report::report_json(r)),
+    );
+    let json = JsonObject::new()
+        .str("bench", "apsq_quant_decode")
+        .bool("quick", quick)
+        .int("decode_clients", clients as i64)
+        .int("decode_steps", steps as i64)
+        .int("workers", base.workers as i64)
+        .int("apsq_gs", gs as i64)
+        .num("tokens_per_s_f32", r_f32.tokens_per_s)
+        .num("tokens_per_s_int8_apsq", r_int8.tokens_per_s)
+        .num("int8_speedup", speedup)
+        .num("layer_us_fake_quant", us_fakequant)
+        .num("layer_us_int8_apsq", us_int8)
+        .int("psum_words_per_token", words.total() as i64)
+        .num("psum_bytes_per_token_int32_baseline", bytes_int32)
+        .num("psum_bytes_per_token_int8_apsq", bytes_int8)
+        .num(
+            "psum_byte_reduction",
+            PsumFormat::int32_baseline().beta() / PsumFormat::apsq_int8(gs).beta(),
+        )
+        .str("fingerprint_f32", format!("{:016x}", r_f32.fingerprint))
+        .str("fingerprint_int8", format!("{:016x}", r_int8.fingerprint))
+        .raw("scenarios", scenarios)
+        .render();
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("\nwrote {out_path}");
+}
+
+/// Times one batched FFN GEMM (`[8, 256] × [256, 512]`, APSQ gs=3,
+/// k_tile=16) through the fake-quant path and the converted integer
+/// path; returns (µs f32 fake-quant, µs int8).
+fn layer_microbench(reps: usize) -> (f64, f64) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mode = PsumMode::Apsq {
+        bits: Bitwidth::INT8,
+        gs: 3,
+        k_tile: 16,
+    };
+    let mut ql = QuantLinear::new(256, 512, Bitwidth::INT8, mode, &mut rng);
+    let eng = ExecEngine::serial();
+    let calib = apsq_tensor::randn([8, 256], 1.0, &mut rng);
+    ql.calibrate(&calib, &eng);
+    ql.snap_pow2();
+    let il = Int8Linear::from_quant_linear(&ql);
+    let x = apsq_tensor::randn([8, 256], 1.0, &mut rng);
+
+    let time = |body: &dyn Fn() -> f32| -> f64 {
+        let mut sink = 0.0f32;
+        sink += body(); // warm up
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            sink += body();
+        }
+        let us = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
+        assert!(sink.is_finite());
+        us
+    };
+    let fq = time(&|| ql.forward_inference_with(&x, &eng).data()[0]);
+    let i8t = time(&|| il.forward_inference_with(&x, &eng).data()[0]);
+    (fq, i8t)
+}

@@ -29,6 +29,8 @@ mod segformer;
 
 pub use bert::{bert_base_128, bert_workload, BertConfig};
 pub use efficientvit::{efficientvit_b1, efficientvit_b1_512};
-pub use exec::{execute_layer, execute_workload, execute_workloads, LayerRun, WorkloadRun};
+pub use exec::{
+    execute_layer, execute_workload, execute_workloads, LayerRun, Precision, WorkloadRun,
+};
 pub use llama::{llama2_7b_prefill_decode, llama_decode_step, llama_prefill, LlamaConfig};
 pub use segformer::{segformer_b0, segformer_b0_512};

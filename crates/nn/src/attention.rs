@@ -56,6 +56,22 @@ impl MultiHeadAttention {
         }
     }
 
+    /// Attention heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Whether a causal mask is applied.
+    pub fn is_causal(&self) -> bool {
+        self.causal
+    }
+
+    /// The four projections `(wq, wk, wv, wo)` — the PTQ conversion's
+    /// read-only view.
+    pub(crate) fn projections(&self) -> (&QuantLinear, &QuantLinear, &QuantLinear, &QuantLinear) {
+        (&self.wq, &self.wk, &self.wv, &self.wo)
+    }
+
     /// Switches the PSUM mode of all four projections.
     pub fn set_psum_mode(&mut self, mode: PsumMode) {
         self.wq.set_psum_mode(mode);
@@ -286,7 +302,13 @@ impl HasParams for MultiHeadAttention {
 /// Column slice `[rows, width]` taken directly from a flat row-major
 /// buffer with leading dimension `ld` — the zero-clone twin of
 /// [`slice_cols`] for KV-cache reads.
-fn head_from_rows(data: &[f32], rows: usize, ld: usize, start: usize, width: usize) -> Tensor {
+pub(crate) fn head_from_rows(
+    data: &[f32],
+    rows: usize,
+    ld: usize,
+    start: usize,
+    width: usize,
+) -> Tensor {
     let mut out = vec![0.0f32; rows * width];
     for i in 0..rows {
         out[i * width..(i + 1) * width]
@@ -295,7 +317,7 @@ fn head_from_rows(data: &[f32], rows: usize, ld: usize, start: usize, width: usi
     Tensor::from_vec(out, [rows, width])
 }
 
-fn slice_cols(x: &Tensor, start: usize, width: usize) -> Tensor {
+pub(crate) fn slice_cols(x: &Tensor, start: usize, width: usize) -> Tensor {
     let (t, d) = (x.dims()[0], x.dims()[1]);
     let mut out = vec![0.0f32; t * width];
     for i in 0..t {
@@ -305,7 +327,7 @@ fn slice_cols(x: &Tensor, start: usize, width: usize) -> Tensor {
     Tensor::from_vec(out, [t, width])
 }
 
-fn write_cols(dst: &mut Tensor, src: &Tensor, start: usize) {
+pub(crate) fn write_cols(dst: &mut Tensor, src: &Tensor, start: usize) {
     let (t, d) = (dst.dims()[0], dst.dims()[1]);
     let w = src.dims()[1];
     for i in 0..t {
@@ -314,7 +336,7 @@ fn write_cols(dst: &mut Tensor, src: &Tensor, start: usize) {
     }
 }
 
-fn apply_causal_mask(scores: &mut Tensor) {
+pub(crate) fn apply_causal_mask(scores: &mut Tensor) {
     let t = scores.dims()[0];
     for i in 0..t {
         for j in (i + 1)..t {

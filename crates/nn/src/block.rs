@@ -40,6 +40,20 @@ impl TransformerBlock {
         }
     }
 
+    /// The block's sub-layers `(ln1, attn, ln2, fc1, fc2)` — the PTQ
+    /// conversion's read-only view.
+    pub(crate) fn parts(
+        &self,
+    ) -> (
+        &LayerNorm,
+        &MultiHeadAttention,
+        &LayerNorm,
+        &QuantLinear,
+        &QuantLinear,
+    ) {
+        (&self.ln1, &self.attn, &self.ln2, &self.fc1, &self.fc2)
+    }
+
     /// Switches the PSUM mode of every quantized matmul in the block.
     pub fn set_psum_mode(&mut self, mode: PsumMode) {
         self.attn.set_psum_mode(mode);

@@ -1,0 +1,868 @@
+//! The true integer inference datapath: i8×i8→i32 GEMMs with grouped
+//! APSQ folded into the K loop, produced from trained fake-quant models
+//! by a PTQ conversion pass.
+//!
+//! [`QuantLinear`] *simulates* the W8A8 + APSQ accumulation path in f32
+//! (fake quantization). [`Int8Linear`] *executes* it: activations are
+//! quantized to i8 codes, weights are stored as i8 codes in the
+//! weight-stationary `[out, in]` layout, the GEMM runs through
+//! [`ExecEngine::int8_bt_for_each_k_tile`], and every `Pci`-deep PSUM
+//! tile is pushed into a [`StreamingApsq`] fold the moment it is produced
+//! — exactly the dataflow of the RAE sitting next to the PE array.
+//! Nothing leaves the integer domain between the input quantizer and the
+//! single dequantize-and-bias epilogue.
+//!
+//! # Bit-identity contract
+//!
+//! When the source layer's learned scales are exact powers of two and its
+//! bias sits on the product-scale grid (see [`QuantLinear::snap_pow2`]),
+//! the integer path is **bit-identical** to
+//! [`QuantLinear::forward_inference_with`] for every shape, group size,
+//! `k_tile`, and engine thread count: products `α_x q_x · α_w q_w` and
+//! their partial sums are exactly representable in f32 (|Σ q_x q_w| <
+//! 2²⁴), the frozen-observer PSUM schedule is derived from the **same
+//! float expression** both paths evaluate, and the integer and float
+//! APSQ recursions agree bit-for-bit under power-of-two scales. The
+//! property tests in `tests/proptest_int8.rs` pin this across random
+//! shapes/gs/k_tile/threads.
+
+use crate::attention::{apply_causal_mask, head_from_rows, slice_cols, write_cols};
+use crate::embedding::Embedding;
+use crate::kv_cache::{AttentionKvCache, DecoderKvState};
+use crate::linear::{observer_pow2_scale, Linear, PsumMode, QuantLinear};
+use crate::models::{DecoderLm, EncoderClassifier};
+use crate::norm::LayerNorm;
+use apsq_core::{ApsqConfig, BufferTraffic, GroupSize, ScaleSchedule, StreamingApsq};
+use apsq_quant::{Bitwidth, LsqQuantizer};
+use apsq_tensor::{gelu, softmax_rows, sum_axis0, ExecEngine, Int8Tensor, Tensor};
+
+/// Snaps a positive step to the nearest power of two (identity on values
+/// that already are).
+fn pow2_snap(step: f32) -> f32 {
+    step.log2().round().exp2()
+}
+
+/// How an [`Int8Linear`] treats its i32 PSUM stream.
+#[derive(Clone, Debug)]
+enum Int8PsumPath {
+    /// Exact i32 accumulation (the W8A8 baseline).
+    Exact,
+    /// Grouped APSQ with a frozen per-step power-of-two schedule.
+    Apsq {
+        config: ApsqConfig,
+        k_tile: usize,
+        schedule: ScaleSchedule,
+    },
+}
+
+/// A fully integer linear layer: i8 weight codes in the weight-stationary
+/// `[out, in]` layout, power-of-two activation/weight scales frozen from
+/// the trained LSQ observers, and an i32 bias on the product-scale grid.
+///
+/// Built by the PTQ conversion pass from either a [`QuantLinear`]
+/// ([`Int8Linear::from_quant_linear`] — preserves the APSQ PSUM path and
+/// is bit-identical after [`QuantLinear::snap_pow2`]) or a plain f32
+/// [`Linear`] plus a calibration batch ([`Int8Linear::from_linear`] —
+/// best-effort W8A8 PTQ for classifier heads).
+#[derive(Clone, Debug)]
+pub struct Int8Linear {
+    /// Weight codes `[out, in]`.
+    codes: Int8Tensor,
+    x_scale: f32,
+    w_scale: f32,
+    /// Bias codes at the product scale `α_x·α_w`.
+    bias_q: Vec<i32>,
+    /// Dequantized bias (`bias_q · α_x·α_w`), precomputed for the epilogue.
+    bias_f: Vec<f32>,
+    psum: Int8PsumPath,
+}
+
+impl Int8Linear {
+    /// Converts a trained fake-quant layer to the integer datapath,
+    /// freezing the APSQ schedule from the layer's warmed PSUM observers.
+    ///
+    /// Call [`QuantLinear::snap_pow2`] on the source first to get the
+    /// bit-identity guarantee; otherwise the learned steps are snapped to
+    /// the nearest power of two here and the conversion is best-effort
+    /// PTQ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer is not INT8, was never calibrated (no input
+    /// quantizer), or — in APSQ mode — its PSUM observers were never
+    /// warmed.
+    pub fn from_quant_linear(ql: &QuantLinear) -> Int8Linear {
+        assert_eq!(
+            ql.bits(),
+            Bitwidth::INT8,
+            "the integer datapath stores i8 weights/activations"
+        );
+        let ax = pow2_snap(ql.input_step().expect(
+            "uncalibrated QuantLinear: run a training forward or `calibrate` before conversion",
+        ));
+        let aw = pow2_snap(ql.weight_step());
+        let w = &ql.inner().w.value;
+        let d_in = w.dims()[0];
+        let psum = match ql.psum_mode() {
+            PsumMode::Exact => Int8PsumPath::Exact,
+            PsumMode::Apsq { bits, gs, k_tile } => {
+                let np = d_in.div_ceil(k_tile);
+                let obs = ql.psum_observers();
+                assert_eq!(
+                    obs.len(),
+                    np,
+                    "PSUM observers not warmed ({} steps recorded, GEMM produces {np}): run a \
+                     training forward or `calibrate` before conversion",
+                    obs.len()
+                );
+                let qp = bits.signed_range().qp as f32;
+                let exponents: Vec<u32> = obs
+                    .iter()
+                    .map(|&o| {
+                        // The same float expression the frozen fake-quant
+                        // schedule evaluates, floored at 2^0 — shared so
+                        // the two datapaths agree bit-for-bit. Observers
+                        // large enough to exceed the shifter range (never
+                        // reachable from i32 PSUMs) saturate at 2^30.
+                        let s = observer_pow2_scale(o, qp).max(1.0);
+                        apsq_quant::Pow2Scale::from_f32(s, bits).map_or(30, |p| p.exponent())
+                    })
+                    .collect();
+                Int8PsumPath::Apsq {
+                    config: ApsqConfig {
+                        bits,
+                        group_size: GroupSize::new(gs),
+                    },
+                    k_tile,
+                    schedule: ScaleSchedule::from_exponents(&exponents, bits),
+                }
+            }
+        };
+        Self::build(w, &ql.inner().b.value, ax, aw, psum)
+    }
+
+    /// Best-effort W8A8 PTQ of a plain f32 layer: activation scale from a
+    /// calibration batch, weight scale from the weights (both LSQ-init
+    /// rules snapped to powers of two), exact i32 accumulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `calib_x` is empty.
+    pub fn from_linear(l: &Linear, calib_x: &Tensor) -> Int8Linear {
+        let ax = pow2_snap(LsqQuantizer::with_init(calib_x, Bitwidth::INT8, true).step());
+        let aw = pow2_snap(LsqQuantizer::with_init(&l.w.value, Bitwidth::INT8, true).step());
+        Self::build(&l.w.value, &l.b.value, ax, aw, Int8PsumPath::Exact)
+    }
+
+    /// Shared constructor: quantizes `w` (`[in, out]`) into the `[out,
+    /// in]` code layout and `b` onto the product-scale grid.
+    fn build(w: &Tensor, b: &Tensor, x_scale: f32, w_scale: f32, psum: Int8PsumPath) -> Int8Linear {
+        let (d_in, d_out) = (w.dims()[0], w.dims()[1]);
+        let mut codes = vec![0i8; d_out * d_in];
+        for i in 0..d_in {
+            for o in 0..d_out {
+                codes[o * d_in + i] = (w.at(&[i, o]) / w_scale).round().clamp(-128.0, 127.0) as i8;
+            }
+        }
+        let base = x_scale * w_scale;
+        let bias_q: Vec<i32> = b
+            .data()
+            .iter()
+            .map(|&v| {
+                let q = (v / base).round();
+                debug_assert!(
+                    q.abs() < (1 << 23) as f32,
+                    "bias {v} overflows the i32 grid"
+                );
+                q as i32
+            })
+            .collect();
+        let bias_f: Vec<f32> = bias_q.iter().map(|&q| q as f32 * base).collect();
+        Int8Linear {
+            codes: Int8Tensor::from_vec(codes, [d_out, d_in]),
+            x_scale,
+            w_scale,
+            bias_q,
+            bias_f,
+            psum,
+        }
+    }
+
+    /// Input features.
+    pub fn d_in(&self) -> usize {
+        self.codes.dims()[1]
+    }
+
+    /// Output features.
+    pub fn d_out(&self) -> usize {
+        self.codes.dims()[0]
+    }
+
+    /// The frozen power-of-two activation scale `α_x`.
+    pub fn x_scale(&self) -> f32 {
+        self.x_scale
+    }
+
+    /// The frozen power-of-two weight scale `α_w`.
+    pub fn w_scale(&self) -> f32 {
+        self.w_scale
+    }
+
+    /// The i32 bias codes at the product scale.
+    pub fn bias_codes(&self) -> &[i32] {
+        &self.bias_q
+    }
+
+    /// Integer inference over `[n, in]`: quantize → i8 GEMM (+ APSQ fold)
+    /// → dequantize + bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[n, d_in]`.
+    pub fn forward_inference_with(&self, x: &Tensor, eng: &ExecEngine) -> Tensor {
+        self.forward_traced(x, eng).0
+    }
+
+    /// [`Int8Linear::forward_inference_with`] also returning the PSUM
+    /// buffer traffic the APSQ fold incurred (zero for the exact path,
+    /// whose accumulator never leaves registers in this model).
+    pub fn forward_traced(&self, x: &Tensor, eng: &ExecEngine) -> (Tensor, BufferTraffic) {
+        let q = Int8Tensor::quantize(x, self.x_scale);
+        let (acc, traffic) = match &self.psum {
+            Int8PsumPath::Exact => (eng.int8_matmul_bt(&q, &self.codes), BufferTraffic::new()),
+            Int8PsumPath::Apsq {
+                config,
+                k_tile,
+                schedule,
+            } => {
+                let mut stream = StreamingApsq::new(schedule.clone(), *config);
+                eng.int8_bt_for_each_k_tile(&q, &self.codes, *k_tile, |_, tile| {
+                    stream.push_ref(tile)
+                });
+                let run = stream.finish();
+                (run.output, run.traffic)
+            }
+        };
+        let base = self.x_scale * self.w_scale;
+        let (m, d_out) = (x.dims()[0], self.d_out());
+        let mut y = vec![0.0f32; m * d_out];
+        for i in 0..m {
+            for j in 0..d_out {
+                // Multiply-then-add in the same order as the fake-quant
+                // epilogue (`out * base` then `+ b`), preserving bit-identity.
+                y[i * d_out + j] = acc.data()[i * d_out + j] as f32 * base + self.bias_f[j];
+            }
+        }
+        (Tensor::from_vec(y, [m, d_out]), traffic)
+    }
+
+    /// PSUM-buffer traffic (in stored words) one `m`-row call incurs —
+    /// the Algorithm-1 invariant counts: `np` writes and `np − 1` reads
+    /// per output element regardless of `gs`, zero for the exact
+    /// register-resident path.
+    pub fn psum_words(&self, m: usize) -> BufferTraffic {
+        let numel = (m * self.d_out()) as u64;
+        match &self.psum {
+            Int8PsumPath::Exact => BufferTraffic::new(),
+            Int8PsumPath::Apsq { schedule, .. } => {
+                let np = schedule.len() as u64;
+                BufferTraffic {
+                    writes: np * numel,
+                    reads: (np - 1) * numel,
+                }
+            }
+        }
+    }
+}
+
+/// Integer-datapath multi-head self-attention: the four projections run
+/// as [`Int8Linear`] GEMMs; the activation-activation score/context
+/// matmuls and the softmax stay in f32, as on an accelerator whose PE
+/// array serves the weight GEMMs.
+#[derive(Clone, Debug)]
+pub struct Int8MultiHeadAttention {
+    wq: Int8Linear,
+    wk: Int8Linear,
+    wv: Int8Linear,
+    wo: Int8Linear,
+    heads: usize,
+    causal: bool,
+}
+
+impl Int8MultiHeadAttention {
+    /// PTQ-converts a trained attention layer (all four projections).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Int8Linear::from_quant_linear`].
+    pub fn from_float(attn: &crate::MultiHeadAttention) -> Self {
+        let (wq, wk, wv, wo) = attn.projections();
+        Int8MultiHeadAttention {
+            wq: Int8Linear::from_quant_linear(wq),
+            wk: Int8Linear::from_quant_linear(wk),
+            wv: Int8Linear::from_quant_linear(wv),
+            wo: Int8Linear::from_quant_linear(wo),
+            heads: attn.heads(),
+            causal: attn.is_causal(),
+        }
+    }
+
+    /// Full-sequence inference over `[T, d]` — the integer twin of
+    /// [`crate::MultiHeadAttention::forward_inference_with`].
+    pub fn forward_inference_with(&self, x: &Tensor, eng: &ExecEngine) -> Tensor {
+        let d = x.dims()[1];
+        let dh = d / self.heads;
+        let t = x.dims()[0];
+        let q = self.wq.forward_inference_with(x, eng);
+        let k = self.wk.forward_inference_with(x, eng);
+        let v = self.wv.forward_inference_with(x, eng);
+
+        let mut ctx = Tensor::zeros([t, d]);
+        for h in 0..self.heads {
+            let qh = slice_cols(&q, h * dh, dh);
+            let kh = slice_cols(&k, h * dh, dh);
+            let vh = slice_cols(&v, h * dh, dh);
+            let mut scores = eng.matmul_bt(&qh, &kh);
+            scores = &scores * (1.0 / (dh as f32).sqrt());
+            if self.causal {
+                apply_causal_mask(&mut scores);
+            }
+            let p = softmax_rows(&scores);
+            let ctx_h = eng.matmul(&p, &vh);
+            write_cols(&mut ctx, &ctx_h, h * dh);
+        }
+        self.wo.forward_inference_with(&ctx, eng)
+    }
+
+    /// Batched decode step over `[B, d]` with one KV cache per row — the
+    /// integer twin of
+    /// [`crate::MultiHeadAttention::forward_decode_batch_with`]; row `b`
+    /// is bit-identical to decoding that sequence alone (integer GEMMs
+    /// are row-independent, and the f32 attention math already is).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[B, d]` with one cache per row.
+    pub fn forward_decode_batch_with(
+        &self,
+        x: &Tensor,
+        caches: &mut [&mut AttentionKvCache],
+        eng: &ExecEngine,
+    ) -> Tensor {
+        let b = x.dims()[0];
+        assert_eq!(b, caches.len(), "one KV cache per batched sequence");
+        let d = x.dims()[1];
+        let dh = d / self.heads;
+        let q = self.wq.forward_inference_with(x, eng);
+        let k = self.wk.forward_inference_with(x, eng);
+        let v = self.wv.forward_inference_with(x, eng);
+        for (i, cache) in caches.iter_mut().enumerate() {
+            cache.append_row(&k.data()[i * d..(i + 1) * d], &v.data()[i * d..(i + 1) * d]);
+        }
+
+        let mut ctx = Tensor::zeros([b, d]);
+        for (i, cache) in caches.iter().enumerate() {
+            let t = cache.len();
+            let qi = Tensor::from_vec(q.data()[i * d..(i + 1) * d].to_vec(), [1, d]);
+            let mut ctx_i = Tensor::zeros([1, d]);
+            for h in 0..self.heads {
+                let qh = slice_cols(&qi, h * dh, dh);
+                let kh = head_from_rows(cache.keys_data(), t, d, h * dh, dh);
+                let vh = head_from_rows(cache.values_data(), t, d, h * dh, dh);
+                let mut scores = eng.matmul_bt(&qh, &kh);
+                scores = &scores * (1.0 / (dh as f32).sqrt());
+                let p = softmax_rows(&scores);
+                let ctx_h = eng.matmul(&p, &vh);
+                write_cols(&mut ctx_i, &ctx_h, h * dh);
+            }
+            ctx.data_mut()[i * d..(i + 1) * d].copy_from_slice(ctx_i.data());
+        }
+        self.wo.forward_inference_with(&ctx, eng)
+    }
+
+    /// PSUM words for one `m`-row call across all four projections.
+    fn psum_words(&self, m: usize) -> BufferTraffic {
+        let mut t = self.wq.psum_words(m);
+        t += self.wk.psum_words(m);
+        t += self.wv.psum_words(m);
+        t += self.wo.psum_words(m);
+        t
+    }
+}
+
+/// Integer-datapath pre-LN transformer block: LayerNorm / GELU /
+/// residuals in f32, every weight GEMM through [`Int8Linear`] with
+/// requantization at each integer layer's input.
+#[derive(Clone, Debug)]
+pub struct Int8TransformerBlock {
+    ln1: LayerNorm,
+    attn: Int8MultiHeadAttention,
+    ln2: LayerNorm,
+    fc1: Int8Linear,
+    fc2: Int8Linear,
+}
+
+impl Int8TransformerBlock {
+    /// PTQ-converts a trained block.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Int8Linear::from_quant_linear`].
+    pub fn from_float(block: &crate::TransformerBlock) -> Self {
+        let (ln1, attn, ln2, fc1, fc2) = block.parts();
+        Int8TransformerBlock {
+            ln1: ln1.clone(),
+            attn: Int8MultiHeadAttention::from_float(attn),
+            ln2: ln2.clone(),
+            fc1: Int8Linear::from_quant_linear(fc1),
+            fc2: Int8Linear::from_quant_linear(fc2),
+        }
+    }
+
+    /// Full-sequence inference over `[T, d]`.
+    pub fn forward_inference_with(&self, x: &Tensor, eng: &ExecEngine) -> Tensor {
+        let a = self.ln1.forward_inference(x);
+        let a = self.attn.forward_inference_with(&a, eng);
+        let x1 = x + &a;
+        self.ffn_inference(&x1, eng)
+    }
+
+    /// Batched decode step over `[B, d]` — one row and one KV cache per
+    /// sequence.
+    pub fn forward_decode_batch_with(
+        &self,
+        x: &Tensor,
+        caches: &mut [&mut AttentionKvCache],
+        eng: &ExecEngine,
+    ) -> Tensor {
+        let a = self.ln1.forward_inference(x);
+        let a = self.attn.forward_decode_batch_with(&a, caches, eng);
+        let x1 = x + &a;
+        self.ffn_inference(&x1, eng)
+    }
+
+    fn ffn_inference(&self, x1: &Tensor, eng: &ExecEngine) -> Tensor {
+        let f = self.ln2.forward_inference(x1);
+        let h = self.fc1.forward_inference_with(&f, eng);
+        let g = gelu(&h);
+        let o = self.fc2.forward_inference_with(&g, eng);
+        x1 + &o
+    }
+
+    fn psum_words(&self, m: usize) -> BufferTraffic {
+        let mut t = self.attn.psum_words(m);
+        t += self.fc1.psum_words(m);
+        t += self.fc2.psum_words(m);
+        t
+    }
+}
+
+/// Integer-datapath causal decoder LM: the serving-path model. Embedding
+/// lookups, LayerNorms, and KV caches stay f32; every projection, FFN,
+/// and the LM head run as [`Int8Linear`] GEMMs with the APSQ fold active
+/// wherever the source model's PSUM mode was APSQ.
+#[derive(Clone, Debug)]
+pub struct Int8DecoderLm {
+    embed: Embedding,
+    blocks: Vec<Int8TransformerBlock>,
+    ln: LayerNorm,
+    lm_head: Int8Linear,
+}
+
+impl Int8DecoderLm {
+    /// PTQ conversion pass: converts every [`QuantLinear`] site from its
+    /// frozen training state and calibrates the (plain f32) LM head from
+    /// the activations `calib_ids` produces at its input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source model was never primed (uncalibrated
+    /// quantizers / unwarmed observers) or `calib_ids` is empty.
+    pub fn from_decoder(m: &DecoderLm, calib_ids: &[usize], eng: &ExecEngine) -> Self {
+        assert!(
+            !calib_ids.is_empty(),
+            "need a non-empty calibration sequence"
+        );
+        let (embed, blocks, ln, lm_head) = m.parts();
+        let mut h = embed.forward_inference(calib_ids);
+        let mut int8_blocks = Vec::with_capacity(blocks.len());
+        for b in blocks {
+            int8_blocks.push(Int8TransformerBlock::from_float(b));
+            h = b.forward_inference_with(&h, eng);
+        }
+        let hn = ln.forward_inference(&h);
+        Int8DecoderLm {
+            embed: embed.clone(),
+            blocks: int8_blocks,
+            ln: ln.clone(),
+            lm_head: Int8Linear::from_linear(lm_head, &hn),
+        }
+    }
+
+    /// Decoder depth (transformer blocks).
+    pub fn num_layers(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Hidden width `d_model`.
+    pub fn width(&self) -> usize {
+        self.embed.tokens.value.dims()[1]
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.embed.tokens.value.dims()[0]
+    }
+
+    /// Maximum sequence length (positional-table rows).
+    pub fn max_len(&self) -> usize {
+        self.embed.positions.value.dims()[0]
+    }
+
+    /// KV-cache state with every layer preallocated for `max_len`.
+    pub fn new_kv_state_with_capacity(&self) -> DecoderKvState {
+        DecoderKvState::for_layers_with_capacity(self.blocks.len(), self.width(), self.max_len())
+    }
+
+    /// Full-sequence inference: token ids → `[T, vocab]` logits.
+    pub fn forward_inference_with(&self, ids: &[usize], eng: &ExecEngine) -> Tensor {
+        let mut h = self.embed.forward_inference(ids);
+        for b in &self.blocks {
+            h = b.forward_inference_with(&h, eng);
+        }
+        let h = self.ln.forward_inference(&h);
+        self.lm_head.forward_inference_with(&h, eng)
+    }
+
+    /// One autoregressive decode step (batch of one).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Int8DecoderLm::decode_batch_with`].
+    pub fn decode_step_with(
+        &self,
+        token: usize,
+        state: &mut DecoderKvState,
+        eng: &ExecEngine,
+    ) -> Tensor {
+        self.decode_batch_with(&[token], std::slice::from_mut(state), eng)
+    }
+
+    /// Batched decode through the integer datapath: one token and one KV
+    /// state per sequence, returning `[B, vocab]` next-token logits. Row
+    /// `b` is bit-identical to decoding that sequence alone, for every
+    /// engine thread count — integer GEMM rows are independent and exact,
+    /// and the f32 glue is per-row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` and `states` lengths differ, the batch is
+    /// empty, a state was built for a different depth, or a position
+    /// exceeds `max_len`.
+    pub fn decode_batch_with(
+        &self,
+        tokens: &[usize],
+        states: &mut [DecoderKvState],
+        eng: &ExecEngine,
+    ) -> Tensor {
+        assert_eq!(tokens.len(), states.len(), "one KV state per token");
+        assert!(!tokens.is_empty(), "empty decode batch");
+        let d = self.width();
+        let mut x = Tensor::zeros([tokens.len(), d]);
+        for (i, (&t, s)) in tokens.iter().zip(states.iter()).enumerate() {
+            assert_eq!(s.layers.len(), self.blocks.len(), "KV state depth mismatch");
+            let row = self.embed.embed_one(t, s.position);
+            x.data_mut()[i * d..(i + 1) * d].copy_from_slice(row.data());
+        }
+        let mut h = x;
+        for (l, b) in self.blocks.iter().enumerate() {
+            let mut caches: Vec<&mut AttentionKvCache> =
+                states.iter_mut().map(|s| &mut s.layers[l]).collect();
+            h = b.forward_decode_batch_with(&h, &mut caches, eng);
+        }
+        let h = self.ln.forward_inference(&h);
+        for s in states.iter_mut() {
+            s.position += 1;
+        }
+        self.lm_head.forward_inference_with(&h, eng)
+    }
+
+    /// PSUM-buffer traffic (stored words) one decode token incurs across
+    /// every integer GEMM in the model — the Algorithm-1 invariant
+    /// counts, independent of `gs`. Multiply by the storage format's
+    /// bytes-per-word (`apsq_dataflow::PsumFormat::beta`) for bytes.
+    pub fn psum_words_per_token(&self) -> BufferTraffic {
+        let mut t = BufferTraffic::new();
+        for b in &self.blocks {
+            t += b.psum_words(1);
+        }
+        t += self.lm_head.psum_words(1);
+        t
+    }
+}
+
+/// Integer-datapath encoder classifier: quantized blocks plus the
+/// nonlinear pooler/head converted by best-effort W8A8 PTQ.
+#[derive(Clone, Debug)]
+pub struct Int8EncoderClassifier {
+    embed: Embedding,
+    blocks: Vec<Int8TransformerBlock>,
+    ln: LayerNorm,
+    pooler: Int8Linear,
+    head: Int8Linear,
+}
+
+impl Int8EncoderClassifier {
+    /// PTQ conversion pass: converts every [`QuantLinear`] site and
+    /// calibrates the pooler/head from the activations `calib_ids`
+    /// produce at their inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source model was never trained/primed or
+    /// `calib_ids` is empty.
+    pub fn from_classifier(m: &EncoderClassifier, calib_ids: &[usize], eng: &ExecEngine) -> Self {
+        assert!(
+            !calib_ids.is_empty(),
+            "need a non-empty calibration sequence"
+        );
+        let (embed, blocks, ln, pooler, head) = m.parts();
+        let mut h = embed.forward_inference(calib_ids);
+        let mut int8_blocks = Vec::with_capacity(blocks.len());
+        for b in blocks {
+            int8_blocks.push(Int8TransformerBlock::from_float(b));
+            h = b.forward_inference_with(&h, eng);
+        }
+        let hn = ln.forward_inference(&h);
+        let pooled = &sum_axis0(&hn) * (1.0 / calib_ids.len() as f32);
+        let pooled = pooled.reshape([1, hn.dims()[1]]);
+        let z = pooler.forward_inference_with(&pooled, eng);
+        Int8EncoderClassifier {
+            embed: embed.clone(),
+            blocks: int8_blocks,
+            ln: ln.clone(),
+            pooler: Int8Linear::from_linear(pooler, &pooled),
+            head: Int8Linear::from_linear(head, &gelu(&z)),
+        }
+    }
+
+    /// Inference: token ids → `[1, classes]` logits (mean-pooled).
+    pub fn forward_inference_with(&self, ids: &[usize], eng: &ExecEngine) -> Tensor {
+        let mut h = self.embed.forward_inference(ids);
+        for b in &self.blocks {
+            h = b.forward_inference_with(&h, eng);
+        }
+        let h = self.ln.forward_inference(&h);
+        let pooled = &sum_axis0(&h) * (1.0 / ids.len() as f32);
+        let pooled = pooled.reshape([1, h.dims()[1]]);
+        let z = self.pooler.forward_inference_with(&pooled, eng);
+        self.head.forward_inference_with(&gelu(&z), eng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ModelConfig, TrainConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn apsq_mode(gs: usize, k_tile: usize) -> PsumMode {
+        PsumMode::Apsq {
+            bits: Bitwidth::INT8,
+            gs,
+            k_tile,
+        }
+    }
+
+    /// A calibrated + pow2-snapped QuantLinear and a matching input batch.
+    fn snapped_layer(
+        d_in: usize,
+        d_out: usize,
+        mode: PsumMode,
+        seed: u64,
+    ) -> (QuantLinear, Tensor) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ql = QuantLinear::new(d_in, d_out, Bitwidth::INT8, mode, &mut rng);
+        let calib = apsq_tensor::randn([4, d_in], 1.0, &mut rng);
+        ql.calibrate(&calib, &ExecEngine::serial());
+        ql.snap_pow2();
+        let x = apsq_tensor::randn([3, d_in], 1.0, &mut rng);
+        (ql, x)
+    }
+
+    #[test]
+    fn exact_mode_is_bit_identical_to_fake_quant() {
+        let (ql, x) = snapped_layer(24, 10, PsumMode::Exact, 3);
+        let il = Int8Linear::from_quant_linear(&ql);
+        for threads in [1usize, 4] {
+            let eng = ExecEngine::with_threads(threads).with_spawn_threshold(0);
+            assert_eq!(
+                il.forward_inference_with(&x, &eng),
+                ql.forward_inference_with(&x, &eng),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn apsq_mode_is_bit_identical_to_fake_quant() {
+        for (gs, k_tile) in [(1usize, 8usize), (2, 8), (3, 7), (4, 16)] {
+            let (ql, x) = snapped_layer(32, 12, apsq_mode(gs, k_tile), 7);
+            let il = Int8Linear::from_quant_linear(&ql);
+            for threads in [1usize, 3] {
+                let eng = ExecEngine::with_threads(threads).with_spawn_threshold(0);
+                assert_eq!(
+                    il.forward_inference_with(&x, &eng),
+                    ql.forward_inference_with(&x, &eng),
+                    "gs={gs} k_tile={k_tile} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn traced_forward_reports_invariant_traffic() {
+        let (ql, x) = snapped_layer(32, 6, apsq_mode(2, 8), 11);
+        let il = Int8Linear::from_quant_linear(&ql);
+        let (_, traffic) = il.forward_traced(&x, &ExecEngine::serial());
+        // np = 4 tiles over 3 rows × 6 cols.
+        assert_eq!(traffic.writes, 4 * 18);
+        assert_eq!(traffic.reads, 3 * 18);
+        assert_eq!(il.psum_words(3), traffic);
+    }
+
+    #[test]
+    #[should_panic(expected = "uncalibrated QuantLinear")]
+    fn conversion_requires_calibration() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ql = QuantLinear::new(8, 4, Bitwidth::INT8, PsumMode::Exact, &mut rng);
+        let _ = Int8Linear::from_quant_linear(&ql);
+    }
+
+    #[test]
+    fn from_linear_is_close_to_f32() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let l = Linear::new(32, 8, &mut rng);
+        let calib = apsq_tensor::randn([8, 32], 1.0, &mut rng);
+        let il = Int8Linear::from_linear(&l, &calib);
+        let x = apsq_tensor::randn([4, 32], 1.0, &mut rng);
+        let eng = ExecEngine::serial();
+        let y_fp = l.forward_inference_with(&x, &eng);
+        let y_q = il.forward_inference_with(&x, &eng);
+        let rel = (&y_q - &y_fp).norm() / y_fp.norm().max(1e-6);
+        assert!(rel < 0.1, "PTQ error {rel}");
+    }
+
+    #[test]
+    fn int8_decoder_decode_matches_its_full_forward() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let cfg = ModelConfig::tiny(apsq_mode(2, 16));
+        let mut m = crate::DecoderLm::new(&cfg, &mut rng);
+        let prime: Vec<usize> = (0..cfg.max_len).map(|i| i % cfg.vocab).collect();
+        let _ = m.forward(&prime);
+        let eng = ExecEngine::serial();
+        let im = Int8DecoderLm::from_decoder(&m, &prime, &eng);
+        assert_eq!(im.num_layers(), 2);
+        assert_eq!(im.vocab(), cfg.vocab);
+
+        let ids = [3usize, 7, 1, 12, 5, 9];
+        let full = im.forward_inference_with(&ids, &eng);
+        let mut state = im.new_kv_state_with_capacity();
+        let mut dec = Tensor::zeros([1, 1]);
+        for &t in &ids {
+            dec = im.decode_step_with(t, &mut state, &eng);
+        }
+        let last = ids.len() - 1;
+        for j in 0..cfg.vocab {
+            assert!(
+                (full.at(&[last, j]) - dec.at(&[0, j])).abs() < 1e-4,
+                "logit {j}: {} vs {}",
+                full.at(&[last, j]),
+                dec.at(&[0, j])
+            );
+        }
+        let words = im.psum_words_per_token();
+        assert!(words.writes > 0 && words.reads > 0);
+    }
+
+    #[test]
+    fn int8_decoder_batched_decode_is_bit_identical_to_sequential() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let cfg = ModelConfig::tiny(apsq_mode(3, 8));
+        let mut m = crate::DecoderLm::new(&cfg, &mut rng);
+        let prime: Vec<usize> = (0..cfg.max_len).map(|i| i % cfg.vocab).collect();
+        let _ = m.forward(&prime);
+        let eng = ExecEngine::with_threads(4).with_spawn_threshold(0);
+        let im = Int8DecoderLm::from_decoder(&m, &prime, &eng);
+
+        let seqs: [&[usize]; 3] = [&[1, 2, 3], &[7, 7], &[4, 9, 2]];
+        // Sequential reference.
+        let mut solo_logits = Vec::new();
+        for seq in &seqs {
+            let mut st = im.new_kv_state_with_capacity();
+            let mut last = Tensor::zeros([1, 1]);
+            for &t in *seq {
+                last = im.decode_step_with(t, &mut st, &eng);
+            }
+            solo_logits.push(last);
+        }
+        // Batched: step through in lockstep while sequences remain.
+        let mut states: Vec<DecoderKvState> =
+            (0..3).map(|_| im.new_kv_state_with_capacity()).collect();
+        let mut batched_last: Vec<Option<Tensor>> = vec![None; 3];
+        for step in 0..3 {
+            let active: Vec<usize> = (0..3).filter(|&i| step < seqs[i].len()).collect();
+            let tokens: Vec<usize> = active.iter().map(|&i| seqs[i][step]).collect();
+            let mut sts: Vec<DecoderKvState> = Vec::new();
+            for &i in &active {
+                sts.push(states[i].clone());
+            }
+            let logits = im.decode_batch_with(&tokens, &mut sts, &eng);
+            let vocab = logits.dims()[1];
+            for (row, &i) in active.iter().enumerate() {
+                states[i] = sts[row].clone();
+                batched_last[i] = Some(Tensor::from_vec(
+                    logits.data()[row * vocab..(row + 1) * vocab].to_vec(),
+                    [1, vocab],
+                ));
+            }
+        }
+        for (i, solo) in solo_logits.iter().enumerate() {
+            assert_eq!(batched_last[i].as_ref().unwrap(), solo, "sequence {i}");
+        }
+    }
+
+    #[test]
+    fn int8_classifier_tracks_the_float_model() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let cfg = ModelConfig::tiny(PsumMode::Exact);
+        let mut m = EncoderClassifier::new(&cfg, 3, &mut rng);
+        let calib: Vec<usize> = (0..8).map(|i| i % cfg.vocab).collect();
+        let y_fp = m.forward(&calib);
+        let eng = ExecEngine::serial();
+        let im = Int8EncoderClassifier::from_classifier(&m, &calib, &eng);
+        let y_q = im.forward_inference_with(&calib, &eng);
+        assert_eq!(y_q.dims(), &[1, 3]);
+        let rel = (&y_q - &y_fp).norm() / y_fp.norm().max(1e-6);
+        assert!(rel < 0.35, "int8 classifier drifted: {rel}");
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "QAT training is only fast enough in release"
+    )]
+    fn training_pipeline_to_int8_conversion_end_to_end() {
+        // The full story: QAT-train a tiny decoder, convert, decode.
+        let cfg = ModelConfig::tiny(apsq_mode(2, 16));
+        let m = crate::qat::train_lm(&cfg, &TrainConfig::quick());
+        let eng = ExecEngine::serial();
+        let prime: Vec<usize> = (0..cfg.max_len).map(|i| i % cfg.vocab).collect();
+        let im = Int8DecoderLm::from_decoder(&m, &prime, &eng);
+        let mut st = im.new_kv_state_with_capacity();
+        let logits = im.decode_step_with(1, &mut st, &eng);
+        assert_eq!(logits.dims(), &[1, cfg.vocab]);
+        assert!(logits.data().iter().all(|v| v.is_finite()));
+    }
+}

@@ -11,6 +11,10 @@
 //!   would execute it at inference;
 //! - [`MultiHeadAttention`], [`TransformerBlock`], [`EncoderClassifier`],
 //!   [`TokenTagger`], [`DecoderLm`] — the task models (manual backprop);
+//! - [`Int8Linear`], [`Int8TransformerBlock`], [`Int8DecoderLm`], … — the
+//!   **true integer inference datapath**: i8×i8→i32 GEMMs with grouped
+//!   APSQ folded into the K loop, produced by a PTQ conversion pass and
+//!   bit-identical to the fake-quant path under power-of-two scales;
 //! - [`GlueTask`], [`SegTask`], [`LmFamily`] — synthetic stand-ins for
 //!   GLUE / ADE20K / zero-shot-reasoning benchmarks (see DESIGN.md for the
 //!   substitution argument);
@@ -36,6 +40,7 @@ mod attention;
 mod block;
 mod data;
 mod embedding;
+mod int8;
 mod kv_cache;
 mod linear;
 mod loss;
@@ -49,6 +54,9 @@ pub use attention::MultiHeadAttention;
 pub use block::TransformerBlock;
 pub use data::{GlueTask, Label, LmFamily, MetricKind, SegTask, SeqExample};
 pub use embedding::Embedding;
+pub use int8::{
+    Int8DecoderLm, Int8EncoderClassifier, Int8Linear, Int8MultiHeadAttention, Int8TransformerBlock,
+};
 pub use kv_cache::{AttentionKvCache, DecoderKvState};
 pub use linear::{Linear, PsumMode, QuantLinear};
 pub use loss::{cross_entropy, distillation_loss, mse_loss};

@@ -180,6 +180,28 @@ impl QuantLinear {
         &y + &self.inner.b.value
     }
 
+    /// Calibrates the layer for inference without running a training
+    /// step: initializes the input quantizer from `batch` (when absent)
+    /// and warms the PSUM range observers by replaying the configured
+    /// PSUM path — the PTQ entry point for layers that never saw a
+    /// training forward. Backward caches are untouched; call it as many
+    /// times as there are calibration batches.
+    pub fn calibrate(&mut self, batch: &Tensor, eng: &ExecEngine) {
+        if self.xq.is_none() {
+            self.xq = Some(LsqQuantizer::with_init(batch, self.wq.bits(), true));
+        }
+        let xq = self.xq.as_ref().unwrap().forward(batch);
+        let wq = self.wq.forward(&self.inner.w.value);
+        let _ = self.matmul_with_psum_path(&xq, &wq, eng);
+    }
+
+    /// Whether the input quantizer has been initialized (by a training
+    /// forward or [`QuantLinear::calibrate`]). Inference before
+    /// calibration is a debug assertion.
+    pub fn is_calibrated(&self) -> bool {
+        self.xq.is_some()
+    }
+
     /// Inference-only forward (uses frozen observers; no caches).
     pub fn forward_inference(&self, x: &Tensor) -> Tensor {
         self.forward_inference_with(x, &ExecEngine::serial())
@@ -188,14 +210,67 @@ impl QuantLinear {
     /// [`QuantLinear::forward_inference`] routed through an execution
     /// engine. Reads the frozen observers in place — no caches touched, no
     /// layer state copied.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic when the layer was never calibrated (the input
+    /// quantizer is uninitialized); release builds fall through to an f32
+    /// passthrough of the input, which silently misrepresents the W8A8
+    /// datapath — run one training forward or [`QuantLinear::calibrate`]
+    /// first.
     pub fn forward_inference_with(&self, x: &Tensor, eng: &ExecEngine) -> Tensor {
         let xq = match &self.xq {
             Some(q) => q.forward(x),
-            None => x.clone(),
+            None => {
+                debug_assert!(
+                    false,
+                    "QuantLinear inference before calibration: the input quantizer was never \
+                     initialized — run one training forward or QuantLinear::calibrate first"
+                );
+                x.clone()
+            }
         };
         let wq = self.wq.forward(&self.inner.w.value);
         let y = self.matmul_psum_inference(&xq, &wq, eng);
         &y + &self.inner.b.value
+    }
+
+    /// Snaps the learned weight/activation steps to exact powers of two
+    /// and the bias onto the resulting product-scale grid — the
+    /// hardware-consistent reparameterization that makes the fake-quant
+    /// inference path exactly representable by the integer datapath
+    /// (`Int8Linear`). Idempotent; PSUM observers are kept (they live in
+    /// product-scale units and are re-read under the new base).
+    pub fn snap_pow2(&mut self) {
+        let snap = |s: f32| s.log2().round().exp2();
+        self.wq.set_step(snap(self.wq.step()));
+        if let Some(q) = &mut self.xq {
+            q.set_step(snap(q.step()));
+        }
+        let base = self.product_scale();
+        self.inner.b.value = self.inner.b.value.map(|v| (v / base).round() * base);
+    }
+
+    /// The weight quantizer's learned step `α_w`.
+    pub fn weight_step(&self) -> f32 {
+        self.wq.step()
+    }
+
+    /// The input quantizer's learned step `α_x`, when calibrated.
+    pub fn input_step(&self) -> Option<f32> {
+        self.xq.as_ref().map(|q| q.step())
+    }
+
+    /// The weight/activation bit-width.
+    pub fn bits(&self) -> Bitwidth {
+        self.wq.bits()
+    }
+
+    /// The frozen PSUM range observers (EMA of per-step max |psum| in
+    /// product-scale units), one per accumulation step — empty until a
+    /// training forward or [`QuantLinear::calibrate`] warmed them.
+    pub fn psum_observers(&self) -> &[f32] {
+        &self.psum_obs
     }
 
     /// The product scale `α_x·α_w` the integer datapath would carry.
@@ -328,13 +403,16 @@ fn apsq_matmul(
                     (*obs * PSUM_EMA + need * (1.0 - PSUM_EMA)).max(need * 0.5)
                 };
             }
-            blended_schedule(o, &batch, bits)
+            blended_schedule(o, &batch, bits, false)
         }
         // Unwarmed observers (wrong length) contribute nothing — exactly
-        // the zero-filled state training would start from.
+        // the zero-filled state training would start from. Inference
+        // floors every scale at 1: a fractional PSUM scale is a left
+        // shift the integer datapath cannot perform, and flooring here is
+        // what lets `Int8Linear` reproduce this path bit-for-bit.
         Observers::Frozen(o) => {
             let o = if o.len() == scaled.len() { o } else { &[] };
-            blended_schedule(o, &batch, bits)
+            blended_schedule(o, &batch, bits, true)
         }
     };
     let out = grouped_apsq_f32(&scaled, &sched, GroupSize::new(gs));
@@ -343,19 +421,42 @@ fn apsq_matmul(
 
 /// Per-step scales from the EMA observers where warmed (`obs > 0`),
 /// falling back to the batch calibration; an empty/short `obs` slice means
-/// every remaining step uses the batch scale.
-fn blended_schedule(obs: &[f32], batch: &FloatScaleSchedule, bits: Bitwidth) -> FloatScaleSchedule {
+/// every remaining step uses the batch scale. `floor_unit` clamps every
+/// scale to ≥ 1 (the inference/export constraint: integer PSUMs only shift
+/// right).
+fn blended_schedule(
+    obs: &[f32],
+    batch: &FloatScaleSchedule,
+    bits: Bitwidth,
+    floor_unit: bool,
+) -> FloatScaleSchedule {
     let qp = bits.signed_range().qp as f32;
     let scales: Vec<f32> = batch
         .scales()
         .iter()
         .enumerate()
-        .map(|(i, &bs)| match obs.get(i) {
-            Some(&o) if o > 0.0 => (o / qp).log2().ceil().exp2(),
-            _ => bs,
+        .map(|(i, &bs)| {
+            let s = match obs.get(i) {
+                Some(&o) if o > 0.0 => observer_pow2_scale(o, qp),
+                _ => bs,
+            };
+            if floor_unit {
+                s.max(1.0)
+            } else {
+                s
+            }
         })
         .collect();
     FloatScaleSchedule::new(scales, bits)
+}
+
+/// The power-of-two scale a warmed observer value dictates:
+/// `2^⌈log₂(o / Qp)⌉`. `Int8Linear`'s conversion evaluates the **same
+/// float expression** when freezing its integer `ScaleSchedule`, which is
+/// what keeps the two datapaths bit-identical even at the boundary cases
+/// of `log2`'s rounding.
+pub(crate) fn observer_pow2_scale(o: f32, qp: f32) -> f32 {
+    (o / qp).log2().ceil().exp2()
 }
 
 impl HasParams for QuantLinear {

@@ -99,6 +99,26 @@ impl EncoderClassifier {
         }
     }
 
+    /// The model's pieces `(embed, blocks, ln, pooler, head)` — the PTQ
+    /// conversion's read-only view.
+    pub(crate) fn parts(
+        &self,
+    ) -> (
+        &Embedding,
+        &[TransformerBlock],
+        &LayerNorm,
+        &Linear,
+        &Linear,
+    ) {
+        (
+            &self.embed,
+            &self.blocks,
+            &self.ln,
+            &self.pooler,
+            &self.head,
+        )
+    }
+
     /// Forward: token ids → `[1, classes]` logits (mean-pooled).
     pub fn forward(&mut self, ids: &[usize]) -> Tensor {
         self.forward_with(ids, &ExecEngine::serial())
@@ -345,6 +365,12 @@ impl DecoderLm {
         for b in &mut self.blocks {
             b.apply_quantizer_grads(lr);
         }
+    }
+
+    /// The model's pieces `(embed, blocks, ln, lm_head)` — the PTQ
+    /// conversion's read-only view.
+    pub(crate) fn parts(&self) -> (&Embedding, &[TransformerBlock], &LayerNorm, &Linear) {
+        (&self.embed, &self.blocks, &self.ln, &self.lm_head)
     }
 
     /// Inference-only full-sequence forward: frozen quantizers, no

@@ -1,0 +1,156 @@
+//! Property tests pinning the true integer datapath (`Int8Linear`,
+//! `Int8DecoderLm`) **bit-exact** to the fake-quant `QuantLinear`
+//! reference under power-of-two scales, across random shapes, group
+//! sizes, K-tiles, and engine thread counts.
+//!
+//! The contract: snap a calibrated `QuantLinear`'s learned scales to
+//! powers of two (`snap_pow2` — the hardware-realizable
+//! reparameterization), PTQ-convert it, and the i8×i8→i32 GEMM with the
+//! `StreamingApsq` fold must reproduce the f32 fake-quant inference
+//! **bit for bit**: products and partial sums are exactly representable
+//! in f32, both paths derive the frozen PSUM schedule from the same
+//! float expression, and the integer and float APSQ recursions agree
+//! under pow2 scales. Any rounding-mode mismatch, schedule drift, or
+//! reduction-order dependence breaks these assertions.
+
+use apsq_nn::{DecoderLm, Int8DecoderLm, Int8Linear, ModelConfig, PsumMode, QuantLinear};
+use apsq_quant::Bitwidth;
+use apsq_tensor::{ExecEngine, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn psum_mode(apsq: bool, gs: usize, k_tile: usize) -> PsumMode {
+    if apsq {
+        PsumMode::Apsq {
+            bits: Bitwidth::INT8,
+            gs,
+            k_tile,
+        }
+    } else {
+        PsumMode::Exact
+    }
+}
+
+/// A calibrated, pow2-snapped layer plus a fresh input batch.
+fn snapped_layer(
+    seed: u64,
+    d_in: usize,
+    d_out: usize,
+    rows: usize,
+    mode: PsumMode,
+) -> (QuantLinear, Tensor) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ql = QuantLinear::new(d_in, d_out, Bitwidth::INT8, mode, &mut rng);
+    // Two calibration batches: the EMA observers move off their initial
+    // values, exercising the blended frozen schedule.
+    let eng = ExecEngine::serial();
+    let c1 = apsq_tensor::randn([3, d_in], 1.0, &mut rng);
+    let c2 = apsq_tensor::randn([2, d_in], 1.5, &mut rng);
+    ql.calibrate(&c1, &eng);
+    ql.calibrate(&c2, &eng);
+    ql.snap_pow2();
+    let x = apsq_tensor::randn([rows, d_in], 1.0, &mut rng);
+    (ql, x)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The integer layer reproduces the fake-quant inference forward bit
+    /// for bit — every shape, group size, K-tile, and thread count.
+    #[test]
+    fn int8_linear_is_bit_exact_to_fake_quant(
+        seed in any::<u64>(),
+        d_in in 4usize..64,
+        d_out in 1usize..24,
+        rows in 1usize..6,
+        apsq in any::<bool>(),
+        gs in 1usize..6,
+        k_tile in 2usize..17,
+        threads in 1usize..5,
+    ) {
+        let (ql, x) = snapped_layer(seed, d_in, d_out, rows, psum_mode(apsq, gs, k_tile));
+        let il = Int8Linear::from_quant_linear(&ql);
+        let eng = ExecEngine::with_threads(threads).with_spawn_threshold(0);
+        let want = ql.forward_inference_with(&x, &eng);
+        let got = il.forward_inference_with(&x, &eng);
+        prop_assert_eq!(got.dims(), want.dims());
+        for (i, (g, w)) in got.data().iter().zip(want.data()).enumerate() {
+            prop_assert!(
+                g.to_bits() == w.to_bits(),
+                "element {i}: int8 {g:?} != fake-quant {w:?} \
+                 (d_in={d_in} d_out={d_out} apsq={apsq} gs={gs} k_tile={k_tile} threads={threads})"
+            );
+        }
+    }
+
+    /// The integer layer is itself thread-invariant: every thread count
+    /// produces the serial engine's bits.
+    #[test]
+    fn int8_linear_is_thread_invariant(
+        seed in any::<u64>(),
+        d_in in 4usize..48,
+        d_out in 1usize..16,
+        gs in 1usize..5,
+        k_tile in 2usize..11,
+    ) {
+        let (ql, x) = snapped_layer(seed, d_in, d_out, 4, psum_mode(true, gs, k_tile));
+        let il = Int8Linear::from_quant_linear(&ql);
+        let want = il.forward_inference_with(&x, &ExecEngine::serial());
+        for threads in [2usize, 3, 8] {
+            let eng = ExecEngine::with_threads(threads).with_spawn_threshold(0);
+            prop_assert_eq!(&il.forward_inference_with(&x, &eng), &want, "threads={}", threads);
+        }
+    }
+
+    /// Model-level: batched integer decode returns, in row `b`, exactly
+    /// the bits that sequence gets decoding alone on a serial engine.
+    #[test]
+    fn int8_decoder_batched_decode_is_bit_identical_to_sequential(
+        seed in any::<u64>(),
+        heads in 1usize..3,
+        batch in 1usize..5,
+        steps in 1usize..4,
+        gs in 1usize..4,
+        threads in 1usize..4,
+    ) {
+        let cfg = ModelConfig {
+            vocab: 16,
+            max_len: 16,
+            d_model: 8 * heads,
+            heads,
+            d_ff: 16 * heads,
+            layers: 2,
+            bits: Bitwidth::INT8,
+            psum_mode: psum_mode(true, gs, 8),
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = DecoderLm::new(&cfg, &mut rng);
+        let prime: Vec<usize> = (0..cfg.max_len).map(|i| i % cfg.vocab).collect();
+        let _ = m.forward(&prime);
+        let im = Int8DecoderLm::from_decoder(&m, &prime, &ExecEngine::serial());
+
+        let eng = ExecEngine::with_threads(threads).with_spawn_threshold(0);
+        let serial = ExecEngine::serial();
+        let mut batched: Vec<_> = (0..batch).map(|_| im.new_kv_state_with_capacity()).collect();
+        let mut lone: Vec<_> = (0..batch).map(|_| im.new_kv_state_with_capacity()).collect();
+        for s in 0..steps {
+            let tokens: Vec<usize> =
+                (0..batch).map(|b| (seed as usize + s * 7 + b * 3) % cfg.vocab).collect();
+            let out = im.decode_batch_with(&tokens, &mut batched, &eng);
+            prop_assert_eq!(out.dims(), &[batch, cfg.vocab]);
+            for b in 0..batch {
+                let alone = im.decode_step_with(tokens[b], &mut lone[b], &serial);
+                for j in 0..cfg.vocab {
+                    prop_assert!(
+                        out.at(&[b, j]).to_bits() == alone.at(&[0, j]).to_bits(),
+                        "round {s} row {b} logit {j}: batched {:?} != alone {:?}",
+                        out.at(&[b, j]),
+                        alone.at(&[0, j])
+                    );
+                }
+            }
+        }
+    }
+}

@@ -77,6 +77,21 @@ impl LsqQuantizer {
         self.step
     }
 
+    /// Overrides the step size — the post-training hook that snaps a
+    /// learned step to a hardware-realizable value (e.g. the nearest
+    /// power of two before exporting to the integer datapath).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not finite and positive.
+    pub fn set_step(&mut self, step: f32) {
+        assert!(
+            step.is_finite() && step > 0.0,
+            "LSQ step must be positive and finite, got {step}"
+        );
+        self.step = step;
+    }
+
     /// The bit-width.
     pub fn bits(&self) -> Bitwidth {
         self.bits

@@ -62,6 +62,21 @@ impl Pow2Scale {
         Pow2Scale::new(exp, bits)
     }
 
+    /// Builds the scale from a float that is an exact non-negative power
+    /// of two (`1, 2, 4, …`). Returns `None` for fractional, non-pow2,
+    /// or out-of-range values — the same values
+    /// [`Pow2LsqQuantizer::to_pow2_scale`] rejects, since a fractional
+    /// PSUM scale cannot be realized as a right shift on integer PSUMs.
+    pub fn from_f32(scale: f32, bits: Bitwidth) -> Option<Self> {
+        if !(scale.is_finite() && scale > 0.0) || scale.log2().fract() != 0.0 {
+            return None;
+        }
+        let e = scale.log2();
+        (0.0..=30.0)
+            .contains(&e)
+            .then(|| Pow2Scale::new(e as u32, bits))
+    }
+
     /// The exponent `e` (so `α = 2^e`).
     pub fn exponent(&self) -> u32 {
         self.exp
@@ -258,6 +273,22 @@ mod tests {
                 assert!((r - x).abs() <= 8, "x={x}, r={r}"); // α/2
             }
         }
+    }
+
+    #[test]
+    fn from_f32_accepts_only_integer_exponents() {
+        assert_eq!(
+            Pow2Scale::from_f32(8.0, Bitwidth::INT8),
+            Some(Pow2Scale::new(3, Bitwidth::INT8))
+        );
+        assert_eq!(
+            Pow2Scale::from_f32(1.0, Bitwidth::INT8),
+            Some(Pow2Scale::new(0, Bitwidth::INT8))
+        );
+        assert_eq!(Pow2Scale::from_f32(0.5, Bitwidth::INT8), None);
+        assert_eq!(Pow2Scale::from_f32(3.0, Bitwidth::INT8), None);
+        assert_eq!(Pow2Scale::from_f32(0.0, Bitwidth::INT8), None);
+        assert_eq!(Pow2Scale::from_f32(f32::NAN, Bitwidth::INT8), None);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Server configuration: model spec, batching policy, session budget, and
 //! the knobs tying them together.
 
+use apsq_models::Precision;
 use apsq_nn::{DecoderLm, ModelConfig, PsumMode};
 use apsq_quant::Bitwidth;
 use rand::rngs::StdRng;
@@ -127,6 +128,14 @@ pub struct ServeConfig {
     /// `ExecEngine` worker threads per executor (1 = serial engine; the
     /// engine itself only spawns above its MAC threshold).
     pub engine_threads: usize,
+    /// Numeric datapath for decode and prefill execution:
+    /// [`Precision::F32`] runs the fake-quant f32 models,
+    /// [`Precision::Int8Apsq`] PTQ-converts the decode model to the true
+    /// integer datapath (`Int8DecoderLm`) at server start and runs
+    /// prefill inventories as int8+APSQ GEMMs. Responses are
+    /// deterministic within each precision; the two precisions produce
+    /// different (but individually reproducible) fingerprints.
+    pub precision: Precision,
     /// Dynamic batching policy for both lanes.
     pub batch: BatchPolicy,
     /// Admission-queue capacity; submits beyond it shed with
@@ -146,6 +155,7 @@ impl ServeConfig {
             model: ModelSpec::tiny_llama(),
             workers: 2,
             engine_threads: 1,
+            precision: Precision::F32,
             batch: BatchPolicy::batched(8),
             queue_capacity: 256,
             sessions: SessionConfig { max_sessions: 64 },
@@ -156,6 +166,12 @@ impl ServeConfig {
     /// Sets the worker count.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers;
+        self
+    }
+
+    /// Sets the numeric datapath.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
         self
     }
 

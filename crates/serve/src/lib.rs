@@ -65,6 +65,7 @@ mod request;
 mod server;
 mod session;
 
+pub use apsq_models::Precision;
 pub use batcher::{Batcher, Lane, Pending};
 pub use config::{BatchPolicy, ModelSpec, ServeConfig, SessionConfig};
 pub use error::ServeError;

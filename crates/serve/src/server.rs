@@ -14,8 +14,10 @@ use crate::error::ServeError;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::request::{fnv1a, Payload, Request, RequestKind, Response, SessionId, FNV_OFFSET};
 use apsq_dataflow::Workload;
-use apsq_models::{bert_base_128, execute_workloads, llama_prefill, segformer_b0_512, LlamaConfig};
-use apsq_nn::{DecoderKvState, DecoderLm};
+use apsq_models::{
+    bert_base_128, execute_workloads, llama_prefill, segformer_b0_512, LlamaConfig, Precision,
+};
+use apsq_nn::{DecoderKvState, DecoderLm, Int8DecoderLm};
 use apsq_tensor::ExecEngine;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
@@ -55,6 +57,56 @@ enum WorkItem {
     Prefill {
         items: Vec<Pending>,
     },
+}
+
+/// The decode model a server executes: the fake-quant f32 reference or
+/// its PTQ-converted integer twin. Both expose the same batched decode
+/// entry point with the same row-independence guarantee, so the batcher,
+/// sessions, and workers are precision-agnostic.
+enum DecodeModel {
+    F32(Box<DecoderLm>),
+    Int8(Box<Int8DecoderLm>),
+}
+
+impl DecodeModel {
+    /// Builds the configured precision's model from the spec (the f32
+    /// model is always built first — the integer model is its PTQ
+    /// conversion, calibrated on the same priming sequence the spec uses).
+    fn build(cfg: &ServeConfig) -> DecodeModel {
+        let f32_model = cfg.model.build();
+        match cfg.precision {
+            Precision::F32 => DecodeModel::F32(Box::new(f32_model)),
+            Precision::Int8Apsq => {
+                let prime: Vec<usize> = (0..cfg.model.max_len)
+                    .map(|i| i % cfg.model.vocab)
+                    .collect();
+                DecodeModel::Int8(Box::new(Int8DecoderLm::from_decoder(
+                    &f32_model,
+                    &prime,
+                    &ExecEngine::serial(),
+                )))
+            }
+        }
+    }
+
+    fn max_len(&self) -> usize {
+        match self {
+            DecodeModel::F32(m) => m.max_len(),
+            DecodeModel::Int8(m) => m.max_len(),
+        }
+    }
+
+    fn decode_batch_with(
+        &self,
+        tokens: &[usize],
+        states: &mut [DecoderKvState],
+        eng: &ExecEngine,
+    ) -> apsq_tensor::Tensor {
+        match self {
+            DecodeModel::F32(m) => m.decode_batch_with(tokens, states, eng),
+            DecodeModel::Int8(m) => m.decode_batch_with(tokens, states, eng),
+        }
+    }
 }
 
 /// The prefill inventories servable by this instance, built once.
@@ -168,7 +220,7 @@ impl Server {
     /// returns the server plus the response stream.
     pub fn start(cfg: &ServeConfig) -> (Server, Receiver<Response>) {
         cfg.validate();
-        let model = Arc::new(cfg.model.build());
+        let model = Arc::new(DecodeModel::build(cfg));
         let lib = Arc::new(PrefillLib::build());
         let (evt_tx, evt_rx) = mpsc::channel::<Event>();
         let (resp_tx, resp_rx) = mpsc::channel::<Response>();
@@ -188,8 +240,9 @@ impl Server {
                 let evt_tx = evt_tx.clone();
                 let eng = ExecEngine::with_threads(cfg.engine_threads);
                 let budget = cfg.prefill_max_macs;
+                let precision = cfg.precision;
                 std::thread::spawn(move || {
-                    worker_loop(&model, &lib, &work_rx, &evt_tx, eng, budget)
+                    worker_loop(&model, &lib, &work_rx, &evt_tx, eng, budget, precision)
                 })
             })
             .collect();
@@ -260,12 +313,13 @@ impl Drop for Server {
 /// Executor thread: pull a coalesced batch, run it on this worker's
 /// engine, report completion. Exits when the work channel closes.
 fn worker_loop(
-    model: &DecoderLm,
+    model: &DecodeModel,
     lib: &PrefillLib,
     work_rx: &Mutex<Receiver<WorkItem>>,
     evt_tx: &Sender<Event>,
     eng: ExecEngine,
     prefill_budget: u64,
+    precision: Precision,
 ) {
     loop {
         // Hold the lock only while pulling, never while executing.
@@ -275,7 +329,7 @@ fn worker_loop(
         };
         let done = match item {
             WorkItem::Decode { items, states } => run_decode(model, &eng, items, states),
-            WorkItem::Prefill { items } => run_prefill(lib, &eng, items, prefill_budget),
+            WorkItem::Prefill { items } => run_prefill(lib, &eng, items, prefill_budget, precision),
         };
         if evt_tx.send(Event::Done(done)).is_err() {
             return;
@@ -288,7 +342,7 @@ fn worker_loop(
 /// batch-of-one execution, so the response payload never depends on the
 /// batch composition.
 fn run_decode(
-    model: &DecoderLm,
+    model: &DecodeModel,
     eng: &ExecEngine,
     items: Vec<Pending>,
     states: Vec<(SessionId, DecoderKvState)>,
@@ -334,8 +388,15 @@ fn run_decode(
     }
 }
 
-/// Runs one coalesced prefill batch back-to-back on this worker's engine.
-fn run_prefill(lib: &PrefillLib, eng: &ExecEngine, items: Vec<Pending>, budget: u64) -> BatchDone {
+/// Runs one coalesced prefill batch back-to-back on this worker's engine
+/// at the server's configured precision.
+fn run_prefill(
+    lib: &PrefillLib,
+    eng: &ExecEngine,
+    items: Vec<Pending>,
+    budget: u64,
+    precision: Precision,
+) -> BatchDone {
     let batch: Vec<(&Workload, u64)> = items
         .iter()
         .map(|p| match p.req.kind {
@@ -343,7 +404,7 @@ fn run_prefill(lib: &PrefillLib, eng: &ExecEngine, items: Vec<Pending>, budget: 
             RequestKind::Decode { .. } => unreachable!("decode in prefill batch"),
         })
         .collect();
-    let runs = execute_workloads(eng, &batch);
+    let runs = execute_workloads(eng, &batch, precision);
     let occupancy = items.len();
     let done_items = items
         .into_iter()
@@ -634,6 +695,35 @@ mod tests {
         assert_eq!(snap.errors, 0);
         assert_eq!(snap.decode_tokens, 2);
         assert_eq!(snap.sessions_peak, 2);
+    }
+
+    #[test]
+    fn int8_precision_serves_decode_and_prefill_end_to_end() {
+        let cfg = tiny_cfg().with_precision(Precision::Int8Apsq);
+        let (server, rx) = Server::start(&cfg);
+        let h = server.handle();
+        h.submit(Request::decode(1, 100, 3)).unwrap();
+        h.submit(Request::decode(2, 100, 5)).unwrap();
+        h.submit(Request::prefill(3, PrefillModel::BertBase128))
+            .unwrap();
+        let mut got: Vec<Response> = (0..3).map(|_| rx.recv().unwrap()).collect();
+        got.sort_by_key(|r| r.id);
+        assert!(matches!(
+            got[0].result,
+            Ok(Payload::Decode {
+                session: 100,
+                position: 0,
+                ..
+            })
+        ));
+        assert!(matches!(
+            got[1].result,
+            Ok(Payload::Decode { position: 1, .. })
+        ));
+        assert!(matches!(got[2].result, Ok(Payload::Prefill { .. })));
+        let snap = server.shutdown();
+        assert_eq!(snap.completed, 3);
+        assert_eq!(snap.errors, 0);
     }
 
     #[test]

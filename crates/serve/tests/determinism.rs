@@ -8,7 +8,7 @@
 //! single bit of divergence anywhere in the quantized decode path
 //! compounds into a different token stream and a different fingerprint.
 
-use apsq_serve::{BatchPolicy, LoadGenerator, Scenario, ServeConfig};
+use apsq_serve::{BatchPolicy, LoadGenerator, Precision, Scenario, ServeConfig};
 use std::time::Duration;
 
 fn base_cfg() -> ServeConfig {
@@ -61,27 +61,43 @@ fn shapes() -> Vec<(ServeConfig, &'static str)> {
 }
 
 /// Pure decode traffic: every response in every configuration must hash
-/// to the same fingerprint, and every request must succeed.
+/// to the same fingerprint, and every request must succeed — separately
+/// for **both precisions**. The f32 fake-quant path and the int8+APSQ
+/// integer path each own one fingerprint per seed; batching, worker
+/// count, and wait policy may never perturb either.
 #[test]
 fn decode_traffic_is_bit_identical_across_server_shapes() {
     let scenario = Scenario::llama_decode(8, 8);
     let gen = LoadGenerator::new(42, scenario);
-    let mut fingerprints = Vec::new();
-    for (cfg, label) in shapes() {
-        let report = gen.run(&cfg);
-        assert_eq!(report.ok, 64, "{label}: not all requests succeeded");
-        assert_eq!(report.errors, 0, "{label}");
-        assert_eq!(report.client_shed, 0, "{label}");
-        fingerprints.push((report.fingerprint, label));
+    let mut per_precision = Vec::new();
+    for precision in [Precision::F32, Precision::Int8Apsq] {
+        let mut fingerprints = Vec::new();
+        for (cfg, label) in shapes() {
+            let report = gen.run(&cfg.with_precision(precision));
+            assert_eq!(report.ok, 64, "{label}: not all requests succeeded");
+            assert_eq!(report.errors, 0, "{label}");
+            assert_eq!(report.client_shed, 0, "{label}");
+            fingerprints.push((report.fingerprint, label));
+        }
+        let first = fingerprints[0].0;
+        for (fp, label) in &fingerprints {
+            assert_eq!(
+                *fp,
+                first,
+                "{} response payloads diverged between '{}' and '{}'",
+                precision.name(),
+                fingerprints[0].1,
+                label
+            );
+        }
+        per_precision.push(first);
     }
-    let first = fingerprints[0].0;
-    for (fp, label) in &fingerprints {
-        assert_eq!(
-            *fp, first,
-            "response payloads diverged between '{}' and '{}'",
-            fingerprints[0].1, label
-        );
-    }
+    // The integer datapath is a different (requantized) computation: its
+    // fingerprint must be reproducible, not equal to f32's.
+    assert_ne!(
+        per_precision[0], per_precision[1],
+        "f32 and int8 traffic produced identical fingerprints — the precision switch is dead"
+    );
 }
 
 /// Mixed decode + prefill traffic: same contract with both lanes active.

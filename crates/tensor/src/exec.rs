@@ -412,6 +412,141 @@ impl ExecEngine {
         self.gemm_i8_rows(a.data(), b.data(), out.data_mut(), m, k, n, 0, k);
     }
 
+    /// **Accumulates** `a · b` into `acc` (`acc += a·b`) — the integer
+    /// twin of [`ExecEngine::matmul_at_acc`]: residual/requantizing
+    /// epilogues add fresh partial products straight into a caller-owned
+    /// i32 accumulator instead of allocating per step. Addition is exact,
+    /// so results stay bit-identical for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/shape mismatches, including `acc`.
+    pub fn int8_matmul_acc(&self, a: &Int8Tensor, b: &Int8Tensor, acc: &mut Int32Tensor) {
+        let (m, k, n) = dims_i8(a, b);
+        assert_eq!(
+            acc.dims(),
+            &[m, n],
+            "int8_matmul_acc: acc must be [{m}, {n}]"
+        );
+        self.gemm_i8_rows(a.data(), b.data(), acc.data_mut(), m, k, n, 0, k);
+    }
+
+    /// Exact integer transposed-B matmul: `a` (`[M, K]` i8) × `bᵀ` (`b`
+    /// stored `[N, K]` i8) → `[M, N]` i32 — the weight layout a
+    /// weight-stationary datapath keeps resident, and the decode-path
+    /// `[B, d] × Wᵀ` primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operands are not rank-2 or the K dims disagree.
+    pub fn int8_matmul_bt(&self, a: &Int8Tensor, b: &Int8Tensor) -> Int32Tensor {
+        let (m, _, n) = dims_bt_i8(a, b);
+        let mut out = Int32Tensor::zeros([m, n]);
+        self.int8_matmul_bt_into(a, b, &mut out);
+        out
+    }
+
+    /// [`ExecEngine::int8_matmul_bt`] into a caller-owned buffer
+    /// (overwritten).
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/shape mismatches, including `out`.
+    pub fn int8_matmul_bt_into(&self, a: &Int8Tensor, b: &Int8Tensor, out: &mut Int32Tensor) {
+        let (m, k, n) = dims_bt_i8(a, b);
+        assert_eq!(
+            out.dims(),
+            &[m, n],
+            "int8_matmul_bt_into: out must be [{m}, {n}]"
+        );
+        out.data_mut().fill(0);
+        let (ad, bd) = (a.data(), b.data());
+        self.partition_rows(out.data_mut(), n, m, m * n * k, &|r0, r1, chunk| {
+            kernels::gemm_bt_i8(&ad[r0 * k..], k, bd, k, chunk, n, r1 - r0, n, 0, k);
+        });
+    }
+
+    /// Batched exact integer matmul: `[B, M, K]` i8 × `[B, K, N]` i8 →
+    /// `[B, M, N]` i32.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operands are not rank-3 or batch/inner dims disagree.
+    pub fn int8_batched_matmul(&self, a: &Int8Tensor, b: &Int8Tensor) -> Int32Tensor {
+        assert_eq!(
+            a.shape().rank(),
+            3,
+            "int8_batched_matmul: `a` must be rank-3"
+        );
+        assert_eq!(
+            b.shape().rank(),
+            3,
+            "int8_batched_matmul: `b` must be rank-3"
+        );
+        let (ba, m, k) = (a.dims()[0], a.dims()[1], a.dims()[2]);
+        let (bb, kb, n) = (b.dims()[0], b.dims()[1], b.dims()[2]);
+        assert_eq!(
+            ba, bb,
+            "int8_batched_matmul: batch sizes {ba} vs {bb} disagree"
+        );
+        assert_eq!(
+            k, kb,
+            "int8_batched_matmul: inner dims {k} vs {kb} disagree"
+        );
+        let mut out = Int32Tensor::zeros([ba, m, n]);
+        for batch in 0..ba {
+            self.gemm_i8_rows(
+                &a.data()[batch * m * k..(batch + 1) * m * k],
+                &b.data()[batch * k * n..(batch + 1) * k * n],
+                &mut out.data_mut()[batch * m * n..(batch + 1) * m * n],
+                m,
+                k,
+                n,
+                0,
+                k,
+            );
+        }
+        out
+    }
+
+    /// Streams the exact i32 PSUM tiles of `a · bᵀ` (`b` stored `[N, K]`)
+    /// along K to `f` — [`ExecEngine::int8_for_each_k_tile`] for the
+    /// transposed weight layout, so a requantizing APSQ fold can sit
+    /// directly inside the decode GEMM's K loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operands are not rank-2, K dims disagree, or
+    /// `k_tile == 0`.
+    pub fn int8_bt_for_each_k_tile(
+        &self,
+        a: &Int8Tensor,
+        b: &Int8Tensor,
+        k_tile: usize,
+        mut f: impl FnMut(usize, &Int32Tensor),
+    ) {
+        assert!(k_tile > 0, "k_tile must be positive");
+        let (m, k, n) = dims_bt_i8(a, b);
+        let np = k.div_ceil(k_tile);
+        let mut tile = Int32Tensor::zeros([m, n]);
+        let (ad, bd) = (a.data(), b.data());
+        for t in 0..np {
+            let k0 = t * k_tile;
+            let k1 = usize::min(k0 + k_tile, k);
+            tile.data_mut().fill(0);
+            self.partition_rows(
+                tile.data_mut(),
+                n,
+                m,
+                m * n * (k1 - k0),
+                &|r0, r1, chunk| {
+                    kernels::gemm_bt_i8(&ad[r0 * k..], k, bd, k, chunk, n, r1 - r0, n, k0, k1);
+                },
+            );
+            f(t, &tile);
+        }
+    }
+
     /// Streams the exact i32 PSUM tiles of `a · b` along K to `f`, one
     /// reusable buffer, no `Vec<Int32Tensor>` — the integration point for
     /// folding APSQ quantization directly into the K loop.
@@ -660,6 +795,18 @@ fn dims_i8(a: &Int8Tensor, b: &Int8Tensor) -> (usize, usize, usize) {
     (m, k, n)
 }
 
+fn dims_bt_i8(a: &Int8Tensor, b: &Int8Tensor) -> (usize, usize, usize) {
+    assert_eq!(a.shape().rank(), 2, "int8_matmul_bt: `a` must be rank-2");
+    assert_eq!(b.shape().rank(), 2, "int8_matmul_bt: `b` must be rank-2");
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (n, kb) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(
+        k, kb,
+        "int8_matmul_bt: inner dimensions {k} vs {kb} disagree"
+    );
+    (m, k, n)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -774,6 +921,81 @@ mod tests {
             steps += 1;
         });
         assert_eq!(steps, 23usize.div_ceil(7));
+    }
+
+    fn transpose_i8(b: &Int8Tensor) -> Int8Tensor {
+        let (k, n) = (b.dims()[0], b.dims()[1]);
+        let mut bt = vec![0i8; n * k];
+        for l in 0..k {
+            for j in 0..n {
+                bt[j * k + l] = b.data()[l * n + j];
+            }
+        }
+        Int8Tensor::from_vec(bt, [n, k])
+    }
+
+    #[test]
+    fn int8_bt_matches_plain_across_thread_counts() {
+        for (m, k, n) in [(1, 70, 31), (13, 128, 32)] {
+            let (a, b) = i8_pair(m, k, n);
+            let bt = transpose_i8(&b);
+            let want = ExecEngine::serial().int8_matmul(&a, &b);
+            for threads in [1, 3, 8] {
+                let eng = ExecEngine::with_threads(threads).with_spawn_threshold(0);
+                assert_eq!(eng.int8_matmul_bt(&a, &bt), want, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn int8_bt_k_tiles_match_kn_layout_tiles() {
+        let (a, b) = i8_pair(6, 33, 5);
+        let bt = transpose_i8(&b);
+        let eng = ExecEngine::with_threads(3).with_spawn_threshold(0);
+        let legacy = crate::int_tensor::int8_matmul_psum_tiles(&a, &b, 8);
+        let mut steps = 0;
+        eng.int8_bt_for_each_k_tile(&a, &bt, 8, |step, tile| {
+            assert_eq!(tile, &legacy[step], "step {step}");
+            steps += 1;
+        });
+        assert_eq!(steps, 33usize.div_ceil(8));
+    }
+
+    #[test]
+    fn int8_acc_accumulates_exactly() {
+        let (a, b) = i8_pair(5, 40, 6);
+        let eng = ExecEngine::with_threads(2).with_spawn_threshold(0);
+        let once = eng.int8_matmul(&a, &b);
+        let mut acc = once.clone();
+        eng.int8_matmul_acc(&a, &b, &mut acc);
+        for (x, y) in acc.data().iter().zip(once.data()) {
+            assert_eq!(*x, 2 * y);
+        }
+    }
+
+    #[test]
+    fn int8_batched_matches_per_batch() {
+        let (a0, b0) = i8_pair(3, 16, 5);
+        let (mut a1, mut b1) = i8_pair(3, 16, 5);
+        a1.data_mut()
+            .iter_mut()
+            .for_each(|v| *v = v.wrapping_add(3));
+        b1.data_mut()
+            .iter_mut()
+            .for_each(|v| *v = v.wrapping_sub(7));
+        let mut ad = a0.data().to_vec();
+        ad.extend_from_slice(a1.data());
+        let mut bd = b0.data().to_vec();
+        bd.extend_from_slice(b1.data());
+        let a = Int8Tensor::from_vec(ad, [2, 3, 16]);
+        let b = Int8Tensor::from_vec(bd, [2, 16, 5]);
+        let eng = ExecEngine::with_threads(2).with_spawn_threshold(0);
+        let out = eng.int8_batched_matmul(&a, &b);
+        assert_eq!(out.dims(), &[2, 3, 5]);
+        let want0 = eng.int8_matmul(&a0, &b0);
+        let want1 = eng.int8_matmul(&a1, &b1);
+        assert_eq!(&out.data()[..15], want0.data());
+        assert_eq!(&out.data()[15..], want1.data());
     }
 
     #[test]

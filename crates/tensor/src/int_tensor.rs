@@ -175,6 +175,112 @@ impl Int8Tensor {
             self.shape.clone(),
         )
     }
+
+    /// Quantizes a float tensor to i8 codes at a per-tensor power-of-two
+    /// scale: `q = clamp(round(x / scale), −128, 127)` — exactly the
+    /// rounding the fake-quant training path applies, so codes and
+    /// fake-quantized values stay on the same lattice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not a positive power of two.
+    pub fn quantize(x: &crate::tensor::Tensor, scale: f32) -> Int8Tensor {
+        assert_pow2(scale);
+        Int8Tensor::from_vec(
+            x.data()
+                .iter()
+                .map(|&v| (v / scale).round().clamp(-128.0, 127.0) as i8)
+                .collect(),
+            x.shape().clone(),
+        )
+    }
+
+    /// Dequantizes the codes back to floats: `x̃ = q · scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not a positive power of two.
+    pub fn dequantize(&self, scale: f32) -> crate::tensor::Tensor {
+        assert_pow2(scale);
+        crate::tensor::Tensor::from_vec(
+            self.data.iter().map(|&v| v as f32 * scale).collect(),
+            self.shape.clone(),
+        )
+    }
+
+    /// Relative L2 error of the quantize→dequantize round trip of `x` at a
+    /// per-tensor power-of-two scale — the one-liner benches and tests
+    /// previously hand-rolled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not a positive power of two.
+    pub fn roundtrip_rel_error(x: &crate::tensor::Tensor, scale: f32) -> f32 {
+        let back = Int8Tensor::quantize(x, scale).dequantize(scale);
+        rel_l2_error(x, &back)
+    }
+}
+
+impl Int32Tensor {
+    /// Quantizes a float tensor to i32 codes at a per-tensor power-of-two
+    /// scale (round + saturate to the i32 range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not a positive power of two.
+    pub fn quantize(x: &crate::tensor::Tensor, scale: f32) -> Int32Tensor {
+        assert_pow2(scale);
+        Int32Tensor::from_vec(
+            x.data()
+                .iter()
+                .map(|&v| (v / scale).round().clamp(i32::MIN as f32, i32::MAX as f32) as i32)
+                .collect(),
+            x.shape().clone(),
+        )
+    }
+
+    /// Dequantizes the codes back to floats: `x̃ = q · scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not a positive power of two.
+    pub fn dequantize(&self, scale: f32) -> crate::tensor::Tensor {
+        assert_pow2(scale);
+        crate::tensor::Tensor::from_vec(
+            self.data.iter().map(|&v| v as f32 * scale).collect(),
+            self.shape.clone(),
+        )
+    }
+
+    /// Relative L2 error of the i32 quantize→dequantize round trip at a
+    /// per-tensor power-of-two scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not a positive power of two.
+    pub fn roundtrip_rel_error(x: &crate::tensor::Tensor, scale: f32) -> f32 {
+        let back = Int32Tensor::quantize(x, scale).dequantize(scale);
+        rel_l2_error(x, &back)
+    }
+}
+
+/// Shared pow2-scale validation for the round-trip helpers.
+fn assert_pow2(scale: f32) {
+    assert!(
+        scale > 0.0 && scale.is_finite() && scale.log2().fract() == 0.0,
+        "scale {scale} is not a positive power of two"
+    );
+}
+
+/// `‖x − y‖₂ / max(‖x‖₂, ε)`.
+fn rel_l2_error(x: &crate::tensor::Tensor, y: &crate::tensor::Tensor) -> f32 {
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for (&a, &b) in x.data().iter().zip(y.data().iter()) {
+        num += ((a - b) as f64).powi(2);
+        den += (a as f64).powi(2);
+    }
+    (num.sqrt() / den.sqrt().max(1e-12)) as f32
 }
 
 /// Exact integer matmul: `a` (`[M, K]` i8) × `b` (`[K, N]` i8) → `[M, N]` i32.
@@ -240,6 +346,31 @@ mod tests {
         let b = Int8Tensor::from_vec(vec![-128i8; 512], [512, 1]);
         let c = int8_matmul(&a, &b);
         assert_eq!(c.data()[0], 512 * 16384);
+    }
+
+    #[test]
+    fn roundtrip_matches_fake_quant_lattice() {
+        let x = crate::tensor::Tensor::from_vec(vec![0.3, -0.8, 100.0, -0.05], [4]);
+        let q = Int8Tensor::quantize(&x, 0.5);
+        assert_eq!(q.data(), &[1, -2, 127, 0]);
+        assert_eq!(q.dequantize(0.5).data(), &[0.5, -1.0, 63.5, 0.0]);
+        // In-range values round-trip within half a step.
+        let err = Int8Tensor::roundtrip_rel_error(
+            &crate::tensor::Tensor::from_vec(vec![0.3, -0.8, 1.9], [3]),
+            0.5,
+        );
+        assert!(err > 0.0 && err < 0.2, "{err}");
+        // Exact lattice points round-trip losslessly.
+        let exact = crate::tensor::Tensor::from_vec(vec![1.0, -2.5, 3.5], [3]);
+        assert_eq!(Int8Tensor::roundtrip_rel_error(&exact, 0.5), 0.0);
+        assert_eq!(Int32Tensor::roundtrip_rel_error(&exact, 0.5), 0.0);
+        assert_eq!(Int32Tensor::quantize(&exact, 0.5).data(), &[2, -5, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a positive power of two")]
+    fn non_pow2_scale_rejected() {
+        Int8Tensor::quantize(&crate::tensor::Tensor::zeros([1]), 0.3);
     }
 
     #[test]

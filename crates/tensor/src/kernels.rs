@@ -253,6 +253,36 @@ pub(crate) fn gemm_i8(
     }
 }
 
+/// Exact integer transposed-B micro-kernel:
+/// `out[i, j] += Σ_{l ∈ [k0, k1)} a[i, l] · b[j, l]` — `b` stored `[N, K]`
+/// row-major, the layout a weight-stationary PE array keeps its filter
+/// rows in. Unit-stride dot products on both operands make this the
+/// decode-path (`[B, d] × Wᵀ`) primitive.
+pub(crate) fn gemm_bt_i8(
+    a: &[i8],
+    lda: usize,
+    b: &[i8],
+    ldb: usize,
+    out: &mut [i32],
+    ldo: usize,
+    m: usize,
+    n: usize,
+    k0: usize,
+    k1: usize,
+) {
+    for i in 0..m {
+        let arow = &a[i * lda + k0..i * lda + k1];
+        for j in 0..n {
+            let brow = &b[j * ldb + k0..j * ldb + k1];
+            let mut acc = 0i32;
+            for (&x, &y) in arow.iter().zip(brow.iter()) {
+                acc += x as i32 * y as i32;
+            }
+            out[i * ldo + j] += acc;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,5 +381,32 @@ mod tests {
         for (x, y) in out.iter().zip(plain.iter()) {
             assert!((x - y).abs() <= 1e-4 * (1.0 + y.abs()));
         }
+    }
+
+    #[test]
+    fn bt_i8_matches_plain_i8_and_partitions_k() {
+        let (m, k, n) = (5, 23, 7);
+        let a: Vec<i8> = (0..m * k).map(|x| ((x * 37 + 5) % 255) as i8).collect();
+        let b: Vec<i8> = (0..k * n).map(|x| ((x * 53 + 7) % 251) as i8).collect();
+        let mut plain = vec![0i32; m * n];
+        gemm_i8(&a, k, &b, n, &mut plain, n, m, n, 0, k);
+
+        // bᵀ stored [N, K].
+        let mut bt = vec![0i8; n * k];
+        for l in 0..k {
+            for j in 0..n {
+                bt[j * k + l] = b[l * n + j];
+            }
+        }
+        let mut out = vec![0i32; m * n];
+        gemm_bt_i8(&a, k, &bt, k, &mut out, n, m, n, 0, k);
+        assert_eq!(out, plain);
+
+        // K ranges partition the reduction exactly (integer addition).
+        let mut tiled = vec![0i32; m * n];
+        for (k0, k1) in [(0, 9), (9, 10), (10, 23)] {
+            gemm_bt_i8(&a, k, &bt, k, &mut tiled, n, m, n, k0, k1);
+        }
+        assert_eq!(tiled, plain);
     }
 }

@@ -186,6 +186,68 @@ proptest! {
         prop_assert_eq!(acc, exact);
     }
 
+    /// The transposed-weight int8 GEMM and its K-tile stream agree with
+    /// the `[K, N]`-layout path exactly, for every thread count.
+    #[test]
+    fn int8_bt_matches_kn_layout(
+        (m, k, n) in small_dims(),
+        k_tile in 1usize..16,
+        threads in 1usize..5,
+        seed in any::<u16>(),
+    ) {
+        let a = seeded_i8(m, k, seed as u32);
+        let b = seeded_i8(k, n, seed as u32 ^ 0x77aa);
+        // bᵀ stored [N, K].
+        let mut bt = vec![0i8; n * k];
+        for l in 0..k {
+            for j in 0..n {
+                bt[j * k + l] = b.data()[l * n + j];
+            }
+        }
+        let bt = Int8Tensor::from_vec(bt, [n, k]);
+        let eng = ExecEngine::with_threads(threads).with_spawn_threshold(0);
+        let want = int8_matmul(&a, &b);
+        prop_assert_eq!(&eng.int8_matmul_bt(&a, &bt), &want);
+        let tiles = int8_matmul_psum_tiles(&a, &b, k_tile);
+        let mut steps = 0usize;
+        eng.int8_bt_for_each_k_tile(&a, &bt, k_tile, |step, tile| {
+            prop_assert_eq!(tile, &tiles[step]);
+            steps += 1;
+        });
+        prop_assert_eq!(steps, k.div_ceil(k_tile));
+        // Accumulating entry point doubles the exact result.
+        let mut acc = want.clone();
+        eng.int8_matmul_acc(&a, &b, &mut acc);
+        for (x, y) in acc.data().iter().zip(want.data()) {
+            prop_assert_eq!(*x, 2 * y);
+        }
+    }
+
+    /// Quantize→dequantize round trips stay within half a step for
+    /// in-range values, and the reported relative error is consistent.
+    #[test]
+    fn int8_roundtrip_error_bounded(
+        exp in -6i32..7,
+        n in 1usize..64,
+        seed in any::<u16>(),
+    ) {
+        let scale = (exp as f32).exp2();
+        let vals: Vec<f32> = (0..n)
+            .map(|i| {
+                let r = ((i as u32).wrapping_mul(2654435761).wrapping_add(seed as u32) % 2000)
+                    as f32 / 1000.0 - 1.0;
+                r * 100.0 * scale // keep within the i8 code range
+            })
+            .collect();
+        let x = Tensor::from_vec(vals, [n]);
+        let back = Int8Tensor::quantize(&x, scale).dequantize(scale);
+        for (a, b) in x.data().iter().zip(back.data()) {
+            prop_assert!((a - b).abs() <= scale / 2.0 + 1e-6, "{a} vs {b} at scale {scale}");
+        }
+        let err = Int8Tensor::roundtrip_rel_error(&x, scale);
+        prop_assert!((0.0..=1.0).contains(&err));
+    }
+
     #[test]
     fn int8_psum_tiles_exact_partition(
         (m, k, n) in small_dims(),

@@ -4,22 +4,30 @@
 //! the batching win and the bit-identical-response guarantee.
 //!
 //! ```text
-//! cargo run --release --example serve_traffic [-- --quick]
+//! cargo run --release --example serve_traffic [-- --quick] [--int8]
 //! ```
+//!
+//! `--int8` serves the same traffic through the true integer datapath
+//! (PTQ-converted `Int8DecoderLm`, int8+APSQ prefill GEMMs).
 
 use apsq::bench::serve_report::{latency_table, occupancy_table, summary_table};
-use apsq::serve::{BatchPolicy, LoadGenerator, Scenario, ServeConfig};
+use apsq::serve::{BatchPolicy, LoadGenerator, Precision, Scenario, ServeConfig};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let int8 = std::env::args().any(|a| a == "--int8");
     let (clients, steps) = if quick { (6, 3) } else { (12, 12) };
     let seed = 7;
 
     let mut cfg = ServeConfig::smoke();
     cfg.prefill_max_macs = if quick { 20_000 } else { 100_000 };
+    if int8 {
+        cfg = cfg.with_precision(Precision::Int8Apsq);
+    }
 
     println!(
-        "== apsq-serve: mixed closed-loop traffic ({clients} clients x {steps} requests) ==\n"
+        "== apsq-serve: mixed closed-loop traffic ({clients} clients x {steps} requests, {}) ==\n",
+        cfg.precision.name()
     );
     let gen = LoadGenerator::new(seed, Scenario::mixed(seed, clients, steps));
     let batched = gen.run(&cfg);

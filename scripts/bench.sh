@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Runs the matmul benches and the serving load benchmark, recording both
-# as machine-readable JSON (BENCH_matmul.json / BENCH_serve.json at the
+# Runs the matmul benches, the serving load benchmark, and the f32-vs-
+# int8+APSQ precision benchmark, recording all three as machine-readable
+# JSON (BENCH_matmul.json / BENCH_serve.json / BENCH_quant.json at the
 # repo root) through the shared report emitter.
 #
 #   ./scripts/bench.sh            # full run: 1024^3 engine sweep + 16x48 serve load
@@ -26,4 +27,12 @@ if [[ "${1:-}" == "--quick" ]]; then
   cargo run -q --release -p apsq-bench --bin serve_bench -- --quick
 else
   cargo run -q --release -p apsq-bench --bin serve_bench
+fi
+
+echo
+echo "==> quant_bench ${1:-} (writes BENCH_quant.json)"
+if [[ "${1:-}" == "--quick" ]]; then
+  cargo run -q --release -p apsq-bench --bin quant_bench -- --quick
+else
+  cargo run -q --release -p apsq-bench --bin quant_bench
 fi

@@ -23,6 +23,9 @@ cargo test -q --workspace
 echo "==> cargo test -q --release -p apsq-nn --lib  (release-gated QAT tests)"
 cargo test -q --release -p apsq-nn --lib
 
+echo "==> cargo test -q --release -p apsq-nn --test proptest_int8  (int8 == fake-quant bit-identity)"
+cargo test -q --release -p apsq-nn --test proptest_int8
+
 echo "==> cargo test -q --release -p apsq-tensor  (engine kernels at release opt)"
 cargo test -q --release -p apsq-tensor
 
@@ -34,6 +37,9 @@ cargo run -q --release -p apsq-bench --bin engine_speedup -- --quick --out targe
 
 echo "==> bench smoke: serve_bench --quick (writes BENCH_serve.json)"
 cargo run -q --release -p apsq-bench --bin serve_bench -- --quick --out target/BENCH_serve.smoke.json
+
+echo "==> bench smoke: quant_bench --quick (writes BENCH_quant.json)"
+cargo run -q --release -p apsq-bench --bin quant_bench -- --quick --out target/BENCH_quant.smoke.json
 
 echo "==> serve example smoke"
 cargo run -q --release --example serve_traffic -- --quick

@@ -52,7 +52,8 @@ fn facade_remaining_modules_resolve() {
     let _ = apsq::rae::RaeConfig::int8(1);
     let _ = apsq::accel::PsumPath::ExactInt32;
     let _ = apsq::nn::PsumMode::Exact;
-    let _ = apsq::serve::ServeConfig::smoke();
+    let _ = apsq::models::Precision::Int8Apsq;
+    let _ = apsq::serve::ServeConfig::smoke().with_precision(apsq::serve::Precision::Int8Apsq);
     let _ = apsq::bench::report::Table::new(&["a"]).to_json();
 }
 
