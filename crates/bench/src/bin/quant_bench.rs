@@ -23,11 +23,21 @@ use apsq_bench::serve_report::summary_table;
 use apsq_dataflow::PsumFormat;
 use apsq_nn::{Int8DecoderLm, Int8Linear, PsumMode, QuantLinear};
 use apsq_quant::Bitwidth;
-use apsq_serve::{LoadGenerator, Precision, Scenario, ServeConfig};
+use apsq_serve::{LoadGenerator, ModelSpec, Precision, Scenario, ServeConfig};
 use apsq_tensor::ExecEngine;
 use std::time::Instant;
 
 const SEED: u64 = 0xA95C_0123;
+
+/// A serving-scale KV spec (head_dim 64) for the byte-budget scenario:
+/// per-head scale exponents amortize to a ≥ 3.9× per-token reduction.
+fn kv_spec() -> ModelSpec {
+    let mut spec = ModelSpec::tiny_llama();
+    spec.d_model = 256;
+    spec.d_ff = 256;
+    spec.seed = 0xCAB_5EED;
+    spec
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -73,7 +83,37 @@ fn main() {
     // Layer microbench: one llama-ish FFN GEMM, fake-quant vs integer.
     let (us_fakequant, us_int8) = layer_microbench(if quick { 20 } else { 100 });
 
-    let reports = vec![&r_f32, &r_int8];
+    // ── KV byte budget: the same budget, both precisions ──
+    // Capacity is the *real* admission path (SessionManager divides the
+    // budget by a fully grown session's bytes), and the closed-loop runs
+    // fill it: every client holds one resident session.
+    let kv = kv_spec();
+    let kv_budget = (if quick { 4 } else { 8 }) * kv.kv_bytes_per_session(Precision::F32);
+    let kv_base = {
+        let mut c = ServeConfig::smoke()
+            .with_workers(2)
+            .with_kv_budget(kv_budget);
+        c.model = kv;
+        c
+    };
+    let cap_f32 = kv_base.session_capacity();
+    let cap_int8 = kv_base
+        .clone()
+        .with_precision(Precision::Int8Apsq)
+        .session_capacity();
+    let bpt_f32 = Precision::F32.kv_bytes_per_token(kv.d_model, kv.heads);
+    let bpt_int8 = Precision::Int8Apsq.kv_bytes_per_token(kv.d_model, kv.heads);
+    let kv_byte_ratio = bpt_f32 as f64 / bpt_int8 as f64;
+    let kv_steps = if quick { 4 } else { 8 };
+    let mut r_kv_f32 = LoadGenerator::new(SEED ^ 0xB0B, Scenario::llama_decode(cap_f32, kv_steps))
+        .run(&kv_base.clone());
+    r_kv_f32.scenario.push_str("_kvbudget_f32");
+    let mut r_kv_int8 =
+        LoadGenerator::new(SEED ^ 0xB0B, Scenario::llama_decode(cap_int8, kv_steps))
+            .run(&kv_base.clone().with_precision(Precision::Int8Apsq));
+    r_kv_int8.scenario.push_str("_kvbudget_int8");
+
+    let reports = vec![&r_f32, &r_int8, &r_kv_f32, &r_kv_int8];
     println!("{}", summary_table(&reports).render());
     let mut layer_table = Table::new(&["path", "us_per_call"]);
     layer_table.row(vec!["fake_quant_f32".into(), f(us_fakequant, 1)]);
@@ -106,6 +146,29 @@ fn main() {
         us_int8 <= us_fakequant * layer_margin,
         "integer FFN layer ({us_int8:.1} us) slower than fake-quant ({us_fakequant:.1} us)"
     );
+    // KV acceptance contract: ≥ 3.9× fewer bytes per cached token, ≥ 3×
+    // the resident sessions at an equal byte budget, actually *held*
+    // resident by closed-loop traffic, at no decode-throughput loss.
+    println!(
+        "kv cache: {bpt_f32} B/token (f32) -> {bpt_int8} B/token (int8) = {kv_byte_ratio:.2}x; \
+         budget {kv_budget} B admits {cap_f32} f32 vs {cap_int8} int8 sessions \
+         (peaks {} vs {})",
+        r_kv_f32.snapshot.sessions_peak, r_kv_int8.snapshot.sessions_peak
+    );
+    assert!(
+        kv_byte_ratio >= 3.9,
+        "per-token KV bytes only dropped {kv_byte_ratio:.2}x"
+    );
+    assert!(
+        cap_int8 >= 3 * cap_f32,
+        "equal budget admits {cap_int8} int8 sessions < 3x the {cap_f32} f32 sessions"
+    );
+    assert_eq!(r_kv_f32.snapshot.sessions_peak, cap_f32);
+    assert_eq!(r_kv_int8.snapshot.sessions_peak, cap_int8);
+    assert!(
+        r_kv_int8.snapshot.sessions_peak >= 3 * r_kv_f32.snapshot.sessions_peak,
+        "int8 resident sessions did not reach 3x the f32 residency"
+    );
 
     let scenarios = apsq_bench::report::json_array(
         reports
@@ -131,6 +194,18 @@ fn main() {
             "psum_byte_reduction",
             PsumFormat::int32_baseline().beta() / PsumFormat::apsq_int8(gs).beta(),
         )
+        .int("kv_bytes_per_token_f32", bpt_f32 as i64)
+        .int("kv_bytes_per_token_int8", bpt_int8 as i64)
+        .num("kv_byte_reduction", kv_byte_ratio)
+        .int("kv_budget_bytes", kv_budget as i64)
+        .int("kv_sessions_at_budget_f32", cap_f32 as i64)
+        .int("kv_sessions_at_budget_int8", cap_int8 as i64)
+        .num(
+            "kv_session_multiplier",
+            cap_int8 as f64 / cap_f32.max(1) as f64,
+        )
+        .num("kv_tokens_per_s_f32", r_kv_f32.tokens_per_s)
+        .num("kv_tokens_per_s_int8", r_kv_int8.tokens_per_s)
         .str("fingerprint_f32", format!("{:016x}", r_f32.fingerprint))
         .str("fingerprint_int8", format!("{:016x}", r_int8.fingerprint))
         .raw("scenarios", scenarios)

@@ -70,6 +70,7 @@ pub fn report_json(report: &LoadReport) -> String {
         .int("shed_queue", s.shed_queue as i64)
         .int("evictions", s.evictions as i64)
         .int("sessions_peak", s.sessions_peak as i64)
+        .int("sessions_capacity", s.sessions_capacity as i64)
         .int("decode_tokens", s.decode_tokens as i64)
         .num("elapsed_s", report.elapsed_s)
         .num("tokens_per_s", report.tokens_per_s)

@@ -42,6 +42,18 @@ impl Precision {
             Precision::Int8Apsq => "int8_apsq",
         }
     }
+
+    /// Bytes one cached decode token occupies in a KV cache of this
+    /// precision, per layer: the f32 cache stores `2·d` floats, the int8
+    /// cache `2·d` codes plus `2·heads` per-(token, head) power-of-two
+    /// scale exponents (`apsq_nn::Int8AttentionKvCache`). The serve
+    /// layer's KV byte budget divides by this to size resident sessions.
+    pub fn kv_bytes_per_token(&self, width: usize, heads: usize) -> usize {
+        match self {
+            Precision::F32 => 2 * width * std::mem::size_of::<f32>(),
+            Precision::Int8Apsq => 2 * (width + heads),
+        }
+    }
 }
 
 /// APSQ group size used when executing inventory GEMMs at
@@ -308,6 +320,17 @@ mod tests {
             ffn: 64,
             tokens: 16,
         })
+    }
+
+    #[test]
+    fn kv_bytes_per_token_compresses_4x_at_serving_shapes() {
+        assert_eq!(Precision::F32.kv_bytes_per_token(128, 4), 1024);
+        assert_eq!(Precision::Int8Apsq.kv_bytes_per_token(128, 4), 264);
+        // head_dim 64: the per-head scale exponents amortize below the
+        // 3.9× acceptance floor's slack.
+        let f32_b = Precision::F32.kv_bytes_per_token(256, 4) as f64;
+        let i8_b = Precision::Int8Apsq.kv_bytes_per_token(256, 4) as f64;
+        assert!(f32_b / i8_b >= 3.9, "{}", f32_b / i8_b);
     }
 
     #[test]

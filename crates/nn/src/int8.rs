@@ -26,15 +26,14 @@
 //! property tests in `tests/proptest_int8.rs` pin this across random
 //! shapes/gs/k_tile/threads.
 
-use crate::attention::{apply_causal_mask, head_from_rows, slice_cols, write_cols};
 use crate::embedding::Embedding;
-use crate::kv_cache::{AttentionKvCache, DecoderKvState};
+use crate::kv_cache::{Int8AttentionKvCache, Int8DecoderKvState};
 use crate::linear::{observer_pow2_scale, Linear, PsumMode, QuantLinear};
 use crate::models::{DecoderLm, EncoderClassifier};
 use crate::norm::LayerNorm;
 use apsq_core::{ApsqConfig, BufferTraffic, GroupSize, ScaleSchedule, StreamingApsq};
 use apsq_quant::{Bitwidth, LsqQuantizer};
-use apsq_tensor::{gelu, softmax_rows, sum_axis0, ExecEngine, Int8Tensor, Tensor};
+use apsq_tensor::{gelu, softmax_rows, sum_axis0, ExecEngine, Int32Tensor, Int8Tensor, Tensor};
 
 /// Snaps a positive step to the nearest power of two (identity on values
 /// that already are).
@@ -170,7 +169,10 @@ impl Int8Linear {
             .iter()
             .map(|&v| {
                 let q = (v / base).round();
-                debug_assert!(
+                // A hard assert in every profile: a bias beyond the 2^23
+                // grid would silently wrap the i32 epilogue on adversarial
+                // inputs (construction-time check, cost-free at inference).
+                assert!(
                     q.abs() < (1 << 23) as f32,
                     "bias {v} overflows the i32 grid"
                 );
@@ -275,10 +277,25 @@ impl Int8Linear {
     }
 }
 
-/// Integer-datapath multi-head self-attention: the four projections run
-/// as [`Int8Linear`] GEMMs; the activation-activation score/context
-/// matmuls and the softmax stay in f32, as on an accelerator whose PE
-/// array serves the weight GEMMs.
+/// Integer-datapath multi-head self-attention, **integer end to end**:
+/// the four projections run as [`Int8Linear`] GEMMs, the KV cache stores
+/// i8 codes with per-(token, head) power-of-two scales
+/// ([`Int8AttentionKvCache`]), and both activation-activation GEMMs —
+/// `Q·Kᵀ` and `P·V` — execute as i8×i8→i32 batched kernels with grouped
+/// APSQ folded over their K loops. Only the softmax (and the row-level
+/// dequant/requant glue) stays f32, as on the paper's accelerator.
+///
+/// Q is quantized at a power-of-two scale **frozen at PTQ conversion**
+/// from a calibration sequence; K/V rows are quantized as they enter the
+/// cache at the tightest covering per-row scale. For `P·V` the softmax
+/// probabilities absorb each value row's scale before requantization, so
+/// the GEMM runs on one scale pair and APSQ folds over the **context
+/// dimension** — the PSUM traffic that dominates memory-bound decode.
+///
+/// Every step is deterministic pure-integer or per-row f32 arithmetic, so
+/// decode results are bit-identical across engine thread counts and batch
+/// shapes, and incremental decode is bit-identical to the full-sequence
+/// forward (both walk the same per-row cache math).
 #[derive(Clone, Debug)]
 pub struct Int8MultiHeadAttention {
     wq: Int8Linear,
@@ -287,58 +304,246 @@ pub struct Int8MultiHeadAttention {
     wo: Int8Linear,
     heads: usize,
     causal: bool,
+    /// Frozen power-of-two exponent of the Q quantizer (`α_q = 2^e`).
+    q_exp: i32,
+    /// APSQ config + k_tile for the score/context PSUM streams, inherited
+    /// from the source projections' PSUM mode (`None` = exact i32).
+    seq_apsq: Option<(ApsqConfig, usize)>,
 }
 
 impl Int8MultiHeadAttention {
-    /// PTQ-converts a trained attention layer (all four projections).
+    /// PTQ-converts a trained attention layer: all four projections plus
+    /// a frozen power-of-two Q scale calibrated from `calib` (the
+    /// layer-normed block input the conversion pass propagates).
     ///
     /// # Panics
     ///
-    /// Same conditions as [`Int8Linear::from_quant_linear`].
-    pub fn from_float(attn: &crate::MultiHeadAttention) -> Self {
+    /// Same conditions as [`Int8Linear::from_quant_linear`], plus an empty
+    /// or non-finite calibration batch.
+    pub fn from_float(attn: &crate::MultiHeadAttention, calib: &Tensor, eng: &ExecEngine) -> Self {
         let (wq, wk, wv, wo) = attn.projections();
+        let seq_apsq = match wq.psum_mode() {
+            PsumMode::Exact => None,
+            PsumMode::Apsq { bits, gs, k_tile } => Some((
+                ApsqConfig {
+                    bits,
+                    group_size: GroupSize::new(gs),
+                },
+                k_tile,
+            )),
+        };
+        let wq = Int8Linear::from_quant_linear(wq);
+        assert!(calib.dims()[0] > 0, "empty Q calibration batch");
+        let q = wq.forward_inference_with(calib, eng);
+        let max_abs = q.data().iter().fold(0.0f32, |m, &x| {
+            // `f32::max` would silently swallow NaN (freezing a Q scale
+            // unrelated to the data); check every element instead.
+            assert!(x.is_finite(), "non-finite Q calibration value {x}");
+            m.max(x.abs())
+        });
+        let q_exp = apsq_quant::covering_pow2_exponent(max_abs, 127.0);
         Int8MultiHeadAttention {
-            wq: Int8Linear::from_quant_linear(wq),
+            wq,
             wk: Int8Linear::from_quant_linear(wk),
             wv: Int8Linear::from_quant_linear(wv),
             wo: Int8Linear::from_quant_linear(wo),
             heads: attn.heads(),
             causal: attn.is_causal(),
+            q_exp,
+            seq_apsq,
         }
     }
 
+    /// The frozen power-of-two Q scale `α_q`.
+    pub fn q_scale(&self) -> f32 {
+        (self.q_exp as f32).exp2()
+    }
+
+    /// Quantizes one `[d]` query row at the frozen Q scale.
+    fn quantize_q_row(&self, row: &[f32]) -> Vec<i8> {
+        let scale = self.q_scale();
+        row.iter()
+            .map(|&x| (x / scale).round().clamp(-128.0, 127.0) as i8)
+            .collect()
+    }
+
+    /// Gathers one head-major `[H, t, dh]` code block from a `[t, d]`
+    /// row-major cache code slice.
+    fn gather_heads(codes: &[i8], t: usize, d: usize, heads: usize) -> Int8Tensor {
+        let dh = d / heads;
+        let mut out = vec![0i8; t * d];
+        for h in 0..heads {
+            for i in 0..t {
+                out[h * t * dh + i * dh..h * t * dh + (i + 1) * dh]
+                    .copy_from_slice(&codes[i * d + h * dh..i * d + h * dh + dh]);
+            }
+        }
+        Int8Tensor::from_vec(out, [heads, t, dh])
+    }
+
+    /// Runs Algorithm 1 over a collected per-head PSUM tile stream with a
+    /// schedule calibrated from that stream (deterministic: integer tiles
+    /// are thread-invariant and calibration is a pure function of them).
+    fn fold_apsq(
+        tiles: Vec<Int32Tensor>,
+        config: &ApsqConfig,
+        traffic: &mut BufferTraffic,
+    ) -> Int32Tensor {
+        let sched =
+            ScaleSchedule::calibrate(std::slice::from_ref(&tiles), config.bits, config.group_size);
+        let run = apsq_core::grouped_apsq(&tiles, &sched, config);
+        *traffic += run.traffic;
+        run.output
+    }
+
+    /// Attends one quantized query row over a cache prefix of length
+    /// `t = cache.len()`, returning the `[d]` context row and the PSUM
+    /// buffer traffic the two APSQ folds incurred.
+    fn attend_row(
+        &self,
+        qc: &[i8],
+        cache: &Int8AttentionKvCache,
+        eng: &ExecEngine,
+    ) -> (Vec<f32>, BufferTraffic) {
+        let d = cache.width();
+        let heads = self.heads;
+        let dh = d / heads;
+        let t = cache.len();
+        let inv_sqrt = 1.0 / (dh as f32).sqrt();
+        let q_scale = self.q_scale();
+        let mut traffic = BufferTraffic::new();
+
+        // Q·Kᵀ in the integer domain: [H, 1, dh] × [H, t, dh]ᵀ → [H, 1, t],
+        // dequantized with one scale per (head, cached token) — the key
+        // row's covering scale — and 1/√dh folded into the Q-side scale.
+        // No mask needed: the cache prefix *is* the causal window.
+        let qb = Int8Tensor::from_vec(qc.to_vec(), [heads, 1, dh]);
+        let kb = Self::gather_heads(cache.keys_codes(), t, d, heads);
+        let k_exps = cache.keys_exponents();
+        let row_scales: Vec<f32> = (0..heads * t)
+            .map(|i| (k_exps[(i % t) * heads + i / t] as f32).exp2())
+            .collect();
+        let scores = match &self.seq_apsq {
+            None => eng.int8_rowscaled_batched_matmul_bt(&qb, &kb, q_scale * inv_sqrt, &row_scales),
+            Some((config, k_tile)) => {
+                let mut tiles: Vec<Int32Tensor> = Vec::new();
+                eng.int8_batched_bt_for_each_k_tile(&qb, &kb, *k_tile, |_, tile| {
+                    tiles.push(tile.clone())
+                });
+                let mut out = vec![0.0f32; heads * t];
+                for h in 0..heads {
+                    let stream: Vec<Int32Tensor> = tiles
+                        .iter()
+                        .map(|tl| {
+                            Int32Tensor::from_vec(tl.data()[h * t..(h + 1) * t].to_vec(), [1, t])
+                        })
+                        .collect();
+                    let folded = Self::fold_apsq(stream, config, &mut traffic);
+                    for (j, &v) in folded.data().iter().enumerate() {
+                        out[h * t + j] = v as f32 * (q_scale * inv_sqrt) * row_scales[h * t + j];
+                    }
+                }
+                Tensor::from_vec(out, [heads, 1, t])
+            }
+        };
+
+        // Softmax in f32, per head.
+        let mut probs: Vec<Tensor> = Vec::with_capacity(heads);
+        for h in 0..heads {
+            let row = scores.data()[h * t..(h + 1) * t].to_vec();
+            probs.push(softmax_rows(&Tensor::from_vec(row, [1, t])));
+        }
+
+        // P·V: fold each value row's scale into the probabilities, then
+        // requantize so the GEMM runs on a single scale pair and APSQ can
+        // fold over the context (K) dimension.
+        let v_exps = cache.values_exponents();
+        let mut r_exps = vec![0i32; heads];
+        let mut rc = vec![0i8; heads * t];
+        for h in 0..heads {
+            let mut r = vec![0.0f32; t];
+            let mut max_abs = 0.0f32;
+            for (j, rj) in r.iter_mut().enumerate() {
+                *rj = probs[h].data()[j] * (v_exps[j * heads + h] as f32).exp2();
+                max_abs = max_abs.max(rj.abs());
+            }
+            let e = apsq_quant::covering_pow2_exponent(max_abs, 127.0);
+            let scale = (e as f32).exp2();
+            r_exps[h] = e;
+            for (j, rj) in r.iter().enumerate() {
+                rc[h * t + j] = (rj / scale).round().clamp(-128.0, 127.0) as i8;
+            }
+        }
+        let rb = Int8Tensor::from_vec(rc, [heads, 1, t]);
+        // Per head this is already the [t, dh] = K×N operand the context
+        // GEMM consumes.
+        let vb = Self::gather_heads(cache.values_codes(), t, d, heads);
+        let ctx_i32 = match &self.seq_apsq {
+            None => eng.int8_batched_matmul(&rb, &vb),
+            Some((config, k_tile)) => {
+                let mut tiles: Vec<Int32Tensor> = Vec::new();
+                eng.int8_batched_for_each_k_tile(&rb, &vb, *k_tile, |_, tile| {
+                    tiles.push(tile.clone())
+                });
+                let mut out = Int32Tensor::zeros([heads, 1, dh]);
+                for h in 0..heads {
+                    let stream: Vec<Int32Tensor> = tiles
+                        .iter()
+                        .map(|tl| {
+                            Int32Tensor::from_vec(tl.data()[h * dh..(h + 1) * dh].to_vec(), [1, dh])
+                        })
+                        .collect();
+                    let folded = Self::fold_apsq(stream, config, &mut traffic);
+                    out.data_mut()[h * dh..(h + 1) * dh].copy_from_slice(folded.data());
+                }
+                out
+            }
+        };
+        let mut ctx = vec![0.0f32; d];
+        for h in 0..heads {
+            let scale = (r_exps[h] as f32).exp2();
+            for j in 0..dh {
+                ctx[h * dh + j] = ctx_i32.data()[h * dh + j] as f32 * scale;
+            }
+        }
+        (ctx, traffic)
+    }
+
     /// Full-sequence inference over `[T, d]` — the integer twin of
-    /// [`crate::MultiHeadAttention::forward_inference_with`].
+    /// [`crate::MultiHeadAttention::forward_inference_with`], executed as
+    /// the same per-row cache walk the decode path uses, so incremental
+    /// decoding reproduces it **bit for bit**.
     pub fn forward_inference_with(&self, x: &Tensor, eng: &ExecEngine) -> Tensor {
-        let d = x.dims()[1];
-        let dh = d / self.heads;
-        let t = x.dims()[0];
+        let (t, d) = (x.dims()[0], x.dims()[1]);
         let q = self.wq.forward_inference_with(x, eng);
         let k = self.wk.forward_inference_with(x, eng);
         let v = self.wv.forward_inference_with(x, eng);
-
+        let mut cache = Int8AttentionKvCache::with_capacity(d, self.heads, t);
         let mut ctx = Tensor::zeros([t, d]);
-        for h in 0..self.heads {
-            let qh = slice_cols(&q, h * dh, dh);
-            let kh = slice_cols(&k, h * dh, dh);
-            let vh = slice_cols(&v, h * dh, dh);
-            let mut scores = eng.matmul_bt(&qh, &kh);
-            scores = &scores * (1.0 / (dh as f32).sqrt());
-            if self.causal {
-                apply_causal_mask(&mut scores);
+        if self.causal {
+            for i in 0..t {
+                cache.append_row(&k.data()[i * d..(i + 1) * d], &v.data()[i * d..(i + 1) * d]);
+                let qc = self.quantize_q_row(&q.data()[i * d..(i + 1) * d]);
+                let (row, _) = self.attend_row(&qc, &cache, eng);
+                ctx.data_mut()[i * d..(i + 1) * d].copy_from_slice(&row);
             }
-            let p = softmax_rows(&scores);
-            let ctx_h = eng.matmul(&p, &vh);
-            write_cols(&mut ctx, &ctx_h, h * dh);
+        } else {
+            for i in 0..t {
+                cache.append_row(&k.data()[i * d..(i + 1) * d], &v.data()[i * d..(i + 1) * d]);
+            }
+            for i in 0..t {
+                let qc = self.quantize_q_row(&q.data()[i * d..(i + 1) * d]);
+                let (row, _) = self.attend_row(&qc, &cache, eng);
+                ctx.data_mut()[i * d..(i + 1) * d].copy_from_slice(&row);
+            }
         }
         self.wo.forward_inference_with(&ctx, eng)
     }
 
-    /// Batched decode step over `[B, d]` with one KV cache per row — the
-    /// integer twin of
-    /// [`crate::MultiHeadAttention::forward_decode_batch_with`]; row `b`
-    /// is bit-identical to decoding that sequence alone (integer GEMMs
-    /// are row-independent, and the f32 attention math already is).
+    /// Batched decode step over `[B, d]` with one **int8** KV cache per
+    /// row; row `b` is bit-identical to decoding that sequence alone for
+    /// every engine thread count (integer GEMMs are exact and
+    /// row-independent, and all f32 glue is per-row).
     ///
     /// # Panics
     ///
@@ -346,38 +551,64 @@ impl Int8MultiHeadAttention {
     pub fn forward_decode_batch_with(
         &self,
         x: &Tensor,
-        caches: &mut [&mut AttentionKvCache],
+        caches: &mut [&mut Int8AttentionKvCache],
         eng: &ExecEngine,
     ) -> Tensor {
+        self.forward_decode_batch_traced(x, caches, eng).0
+    }
+
+    /// [`Self::forward_decode_batch_with`] also returning the PSUM buffer
+    /// traffic the attention APSQ folds incurred across the batch.
+    pub fn forward_decode_batch_traced(
+        &self,
+        x: &Tensor,
+        caches: &mut [&mut Int8AttentionKvCache],
+        eng: &ExecEngine,
+    ) -> (Tensor, BufferTraffic) {
         let b = x.dims()[0];
         assert_eq!(b, caches.len(), "one KV cache per batched sequence");
         let d = x.dims()[1];
-        let dh = d / self.heads;
         let q = self.wq.forward_inference_with(x, eng);
         let k = self.wk.forward_inference_with(x, eng);
         let v = self.wv.forward_inference_with(x, eng);
         for (i, cache) in caches.iter_mut().enumerate() {
             cache.append_row(&k.data()[i * d..(i + 1) * d], &v.data()[i * d..(i + 1) * d]);
         }
-
+        let mut traffic = BufferTraffic::new();
         let mut ctx = Tensor::zeros([b, d]);
         for (i, cache) in caches.iter().enumerate() {
-            let t = cache.len();
-            let qi = Tensor::from_vec(q.data()[i * d..(i + 1) * d].to_vec(), [1, d]);
-            let mut ctx_i = Tensor::zeros([1, d]);
-            for h in 0..self.heads {
-                let qh = slice_cols(&qi, h * dh, dh);
-                let kh = head_from_rows(cache.keys_data(), t, d, h * dh, dh);
-                let vh = head_from_rows(cache.values_data(), t, d, h * dh, dh);
-                let mut scores = eng.matmul_bt(&qh, &kh);
-                scores = &scores * (1.0 / (dh as f32).sqrt());
-                let p = softmax_rows(&scores);
-                let ctx_h = eng.matmul(&p, &vh);
-                write_cols(&mut ctx_i, &ctx_h, h * dh);
-            }
-            ctx.data_mut()[i * d..(i + 1) * d].copy_from_slice(ctx_i.data());
+            let qc = self.quantize_q_row(&q.data()[i * d..(i + 1) * d]);
+            let (row, row_traffic) = self.attend_row(&qc, cache, eng);
+            traffic += row_traffic;
+            ctx.data_mut()[i * d..(i + 1) * d].copy_from_slice(&row);
         }
-        self.wo.forward_inference_with(&ctx, eng)
+        (self.wo.forward_inference_with(&ctx, eng), traffic)
+    }
+
+    /// Analytic PSUM-buffer word counts (Algorithm-1 invariant: `np`
+    /// writes, `np − 1` reads per output element, independent of `gs`)
+    /// for one decode row attending a context of length `t` — `Q·Kᵀ`
+    /// streams `⌈dh/k_tile⌉` tiles over `t` scores, `P·V` streams
+    /// `⌈t/k_tile⌉` tiles over `dh` outputs, per head. Zero in exact mode
+    /// and at `t = 0` (no cached context, no attention GEMMs).
+    pub fn attn_psum_words(&self, t: usize) -> BufferTraffic {
+        if t == 0 {
+            return BufferTraffic::new();
+        }
+        match &self.seq_apsq {
+            None => BufferTraffic::new(),
+            Some((_, k_tile)) => {
+                let dh = (self.wq.d_out() / self.heads) as u64;
+                let h = self.heads as u64;
+                let np_qk = (self.wq.d_out() / self.heads).div_ceil(*k_tile) as u64;
+                let np_pv = t.div_ceil(*k_tile) as u64;
+                let t = t as u64;
+                BufferTraffic {
+                    writes: h * (np_qk * t + np_pv * dh),
+                    reads: h * ((np_qk - 1) * t + (np_pv - 1) * dh),
+                }
+            }
+        }
     }
 
     /// PSUM words for one `m`-row call across all four projections.
@@ -403,16 +634,19 @@ pub struct Int8TransformerBlock {
 }
 
 impl Int8TransformerBlock {
-    /// PTQ-converts a trained block.
+    /// PTQ-converts a trained block; `x` is the block's calibration input
+    /// (the conversion pass propagates activations layer by layer), used
+    /// to freeze the attention Q scale.
     ///
     /// # Panics
     ///
     /// Same conditions as [`Int8Linear::from_quant_linear`].
-    pub fn from_float(block: &crate::TransformerBlock) -> Self {
+    pub fn from_float(block: &crate::TransformerBlock, x: &Tensor, eng: &ExecEngine) -> Self {
         let (ln1, attn, ln2, fc1, fc2) = block.parts();
+        let a = ln1.forward_inference(x);
         Int8TransformerBlock {
             ln1: ln1.clone(),
-            attn: Int8MultiHeadAttention::from_float(attn),
+            attn: Int8MultiHeadAttention::from_float(attn, &a, eng),
             ln2: ln2.clone(),
             fc1: Int8Linear::from_quant_linear(fc1),
             fc2: Int8Linear::from_quant_linear(fc2),
@@ -427,18 +661,28 @@ impl Int8TransformerBlock {
         self.ffn_inference(&x1, eng)
     }
 
-    /// Batched decode step over `[B, d]` — one row and one KV cache per
-    /// sequence.
+    /// Batched decode step over `[B, d]` — one row and one **int8** KV
+    /// cache per sequence.
     pub fn forward_decode_batch_with(
         &self,
         x: &Tensor,
-        caches: &mut [&mut AttentionKvCache],
+        caches: &mut [&mut Int8AttentionKvCache],
         eng: &ExecEngine,
     ) -> Tensor {
         let a = self.ln1.forward_inference(x);
         let a = self.attn.forward_decode_batch_with(&a, caches, eng);
         let x1 = x + &a;
         self.ffn_inference(&x1, eng)
+    }
+
+    /// Attention heads of the block.
+    pub(crate) fn heads(&self) -> usize {
+        self.attn.heads
+    }
+
+    /// Analytic attention PSUM words for one decode row at context `t`.
+    fn attn_psum_words(&self, t: usize) -> BufferTraffic {
+        self.attn.attn_psum_words(t)
     }
 
     fn ffn_inference(&self, x1: &Tensor, eng: &ExecEngine) -> Tensor {
@@ -458,9 +702,11 @@ impl Int8TransformerBlock {
 }
 
 /// Integer-datapath causal decoder LM: the serving-path model. Embedding
-/// lookups, LayerNorms, and KV caches stay f32; every projection, FFN,
-/// and the LM head run as [`Int8Linear`] GEMMs with the APSQ fold active
-/// wherever the source model's PSUM mode was APSQ.
+/// lookups and LayerNorms stay f32; every projection, FFN, and the LM
+/// head run as [`Int8Linear`] GEMMs, and the KV caches hold **i8 codes
+/// with per-(token, head) power-of-two scales** so decode attention runs
+/// `Q·Kᵀ` and `P·V` in the integer domain with grouped APSQ folded over
+/// the context dimension ([`Int8MultiHeadAttention`]).
 #[derive(Clone, Debug)]
 pub struct Int8DecoderLm {
     embed: Embedding,
@@ -487,7 +733,7 @@ impl Int8DecoderLm {
         let mut h = embed.forward_inference(calib_ids);
         let mut int8_blocks = Vec::with_capacity(blocks.len());
         for b in blocks {
-            int8_blocks.push(Int8TransformerBlock::from_float(b));
+            int8_blocks.push(Int8TransformerBlock::from_float(b, &h, eng));
             h = b.forward_inference_with(&h, eng);
         }
         let hn = ln.forward_inference(&h);
@@ -502,6 +748,15 @@ impl Int8DecoderLm {
     /// Decoder depth (transformer blocks).
     pub fn num_layers(&self) -> usize {
         self.blocks.len()
+    }
+
+    /// Attention heads per block.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a depth-0 model (never produced by the conversion pass).
+    pub fn heads(&self) -> usize {
+        self.blocks.first().expect("decoder has no blocks").heads()
     }
 
     /// Hidden width `d_model`.
@@ -519,9 +774,16 @@ impl Int8DecoderLm {
         self.embed.positions.value.dims()[0]
     }
 
-    /// KV-cache state with every layer preallocated for `max_len`.
-    pub fn new_kv_state_with_capacity(&self) -> DecoderKvState {
-        DecoderKvState::for_layers_with_capacity(self.blocks.len(), self.width(), self.max_len())
+    /// Int8 KV-cache state with every layer preallocated for `max_len` —
+    /// `2·(d + heads)` bytes per cached token instead of the f32 cache's
+    /// `8·d`.
+    pub fn new_kv_state_with_capacity(&self) -> Int8DecoderKvState {
+        Int8DecoderKvState::for_layers_with_capacity(
+            self.blocks.len(),
+            self.width(),
+            self.heads(),
+            self.max_len(),
+        )
     }
 
     /// Full-sequence inference: token ids → `[T, vocab]` logits.
@@ -542,7 +804,7 @@ impl Int8DecoderLm {
     pub fn decode_step_with(
         &self,
         token: usize,
-        state: &mut DecoderKvState,
+        state: &mut Int8DecoderKvState,
         eng: &ExecEngine,
     ) -> Tensor {
         self.decode_batch_with(&[token], std::slice::from_mut(state), eng)
@@ -562,7 +824,7 @@ impl Int8DecoderLm {
     pub fn decode_batch_with(
         &self,
         tokens: &[usize],
-        states: &mut [DecoderKvState],
+        states: &mut [Int8DecoderKvState],
         eng: &ExecEngine,
     ) -> Tensor {
         assert_eq!(tokens.len(), states.len(), "one KV state per token");
@@ -576,7 +838,7 @@ impl Int8DecoderLm {
         }
         let mut h = x;
         for (l, b) in self.blocks.iter().enumerate() {
-            let mut caches: Vec<&mut AttentionKvCache> =
+            let mut caches: Vec<&mut Int8AttentionKvCache> =
                 states.iter_mut().map(|s| &mut s.layers[l]).collect();
             h = b.forward_decode_batch_with(&h, &mut caches, eng);
         }
@@ -588,9 +850,11 @@ impl Int8DecoderLm {
     }
 
     /// PSUM-buffer traffic (stored words) one decode token incurs across
-    /// every integer GEMM in the model — the Algorithm-1 invariant
-    /// counts, independent of `gs`. Multiply by the storage format's
-    /// bytes-per-word (`apsq_dataflow::PsumFormat::beta`) for bytes.
+    /// every integer **projection/FFN/head** GEMM in the model — the
+    /// Algorithm-1 invariant counts, independent of `gs`. Multiply by the
+    /// storage format's bytes-per-word (`apsq_dataflow::PsumFormat::beta`)
+    /// for bytes. Attention-GEMM traffic grows with the context; see
+    /// [`Int8DecoderLm::attn_psum_words_at`].
     pub fn psum_words_per_token(&self) -> BufferTraffic {
         let mut t = BufferTraffic::new();
         for b in &self.blocks {
@@ -598,6 +862,16 @@ impl Int8DecoderLm {
         }
         t += self.lm_head.psum_words(1);
         t
+    }
+
+    /// PSUM-buffer traffic the **attention** APSQ folds incur for one
+    /// decode token at context length `t`, summed over all layers.
+    pub fn attn_psum_words_at(&self, t: usize) -> BufferTraffic {
+        let mut words = BufferTraffic::new();
+        for b in &self.blocks {
+            words += b.attn_psum_words(t);
+        }
+        words
     }
 }
 
@@ -630,7 +904,7 @@ impl Int8EncoderClassifier {
         let mut h = embed.forward_inference(calib_ids);
         let mut int8_blocks = Vec::with_capacity(blocks.len());
         for b in blocks {
-            int8_blocks.push(Int8TransformerBlock::from_float(b));
+            int8_blocks.push(Int8TransformerBlock::from_float(b, &h, eng));
             h = b.forward_inference_with(&h, eng);
         }
         let hn = ln.forward_inference(&h);
@@ -773,10 +1047,13 @@ mod tests {
         for &t in &ids {
             dec = im.decode_step_with(t, &mut state, &eng);
         }
+        // Incremental int8 decode walks the exact per-row cache math of the
+        // full-sequence forward: bit-identical, not merely close.
         let last = ids.len() - 1;
         for j in 0..cfg.vocab {
-            assert!(
-                (full.at(&[last, j]) - dec.at(&[0, j])).abs() < 1e-4,
+            assert_eq!(
+                full.at(&[last, j]).to_bits(),
+                dec.at(&[0, j]).to_bits(),
                 "logit {j}: {} vs {}",
                 full.at(&[last, j]),
                 dec.at(&[0, j])
@@ -784,6 +1061,63 @@ mod tests {
         }
         let words = im.psum_words_per_token();
         assert!(words.writes > 0 && words.reads > 0);
+        let attn_words = im.attn_psum_words_at(ids.len());
+        assert!(attn_words.writes > 0);
+    }
+
+    #[test]
+    fn decode_attention_traffic_matches_analytic_counts() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let cfg = ModelConfig::tiny(apsq_mode(2, 4));
+        let mut m = crate::DecoderLm::new(&cfg, &mut rng);
+        let prime: Vec<usize> = (0..cfg.max_len).map(|i| i % cfg.vocab).collect();
+        let _ = m.forward(&prime);
+        let eng = ExecEngine::serial();
+        let im = Int8DecoderLm::from_decoder(&m, &prime, &eng);
+
+        // Drive one attention layer directly and compare traced traffic to
+        // the Algorithm-1 invariant counts.
+        let attn = &im.blocks[0].attn;
+        let d = im.width();
+        // Degenerate context: no cached rows means no attention GEMMs
+        // (and no u64 underflow in the `np − 1` read counts).
+        assert_eq!(attn.attn_psum_words(0), BufferTraffic::new());
+        let mut cache = Int8AttentionKvCache::with_capacity(d, im.heads(), 16);
+        for step in 0..9 {
+            let x = apsq_tensor::randn([1, d], 1.0, &mut rng);
+            let (_, traffic) = attn.forward_decode_batch_traced(&x, &mut [&mut cache], &eng);
+            let t = step + 1;
+            assert_eq!(
+                traffic,
+                attn.attn_psum_words(t),
+                "context length {t}: traced traffic diverged from the analytic counts"
+            );
+        }
+    }
+
+    #[test]
+    fn int8_kv_cache_is_4x_smaller_per_token() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let cfg = ModelConfig::tiny(apsq_mode(2, 16));
+        let mut m = crate::DecoderLm::new(&cfg, &mut rng);
+        let prime: Vec<usize> = (0..cfg.max_len).map(|i| i % cfg.vocab).collect();
+        let _ = m.forward(&prime);
+        let eng = ExecEngine::serial();
+        let im = Int8DecoderLm::from_decoder(&m, &prime, &eng);
+
+        let mut i8_state = im.new_kv_state_with_capacity();
+        let mut f32_state = m.new_kv_state_with_capacity();
+        for &t in &[1usize, 2, 3] {
+            let _ = im.decode_step_with(t, &mut i8_state, &eng);
+            let _ = m.decode_step_with(t, &mut f32_state, &eng);
+        }
+        let f32_bytes = f32_state.kv_bytes();
+        let i8_bytes = i8_state.kv_bytes();
+        assert!(i8_bytes > 0);
+        let ratio = f32_bytes as f64 / i8_bytes as f64;
+        // tiny config: d = 64, heads = 4 ⇒ 8·64 / (2·(64 + 4)) = 3.76;
+        // serving shapes with head_dim ≥ 40 exceed 3.9 (see kv_cache tests).
+        assert!(ratio > 3.7, "per-token KV ratio {ratio}");
     }
 
     #[test]
@@ -808,13 +1142,13 @@ mod tests {
             solo_logits.push(last);
         }
         // Batched: step through in lockstep while sequences remain.
-        let mut states: Vec<DecoderKvState> =
+        let mut states: Vec<Int8DecoderKvState> =
             (0..3).map(|_| im.new_kv_state_with_capacity()).collect();
         let mut batched_last: Vec<Option<Tensor>> = vec![None; 3];
         for step in 0..3 {
             let active: Vec<usize> = (0..3).filter(|&i| step < seqs[i].len()).collect();
             let tokens: Vec<usize> = active.iter().map(|&i| seqs[i][step]).collect();
-            let mut sts: Vec<DecoderKvState> = Vec::new();
+            let mut sts: Vec<Int8DecoderKvState> = Vec::new();
             for &i in &active {
                 sts.push(states[i].clone());
             }

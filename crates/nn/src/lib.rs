@@ -57,7 +57,7 @@ pub use embedding::Embedding;
 pub use int8::{
     Int8DecoderLm, Int8EncoderClassifier, Int8Linear, Int8MultiHeadAttention, Int8TransformerBlock,
 };
-pub use kv_cache::{AttentionKvCache, DecoderKvState};
+pub use kv_cache::{AttentionKvCache, DecoderKvState, Int8AttentionKvCache, Int8DecoderKvState};
 pub use linear::{Linear, PsumMode, QuantLinear};
 pub use loss::{cross_entropy, distillation_loss, mse_loss};
 pub use metrics::{accuracy, matthews_corr, mean_iou, pearson, spearman_rho};

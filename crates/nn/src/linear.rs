@@ -112,6 +112,11 @@ pub struct QuantLinear {
     psum_mode: PsumMode,
     /// EMA of per-step max |psum| in product-scale units.
     psum_obs: Vec<f32>,
+    /// How many training-forward PSUM scales were floored at 2^0 — the
+    /// hardware constraint (a fractional scale is a left shift integer
+    /// PSUMs can't do) is applied to the QAT fake-quant path too, and this
+    /// counter reports how often it bit.
+    psum_floor_clamps: u64,
     cache_xq: Option<Tensor>,
     cache_x: Option<Tensor>,
 }
@@ -145,6 +150,7 @@ impl QuantLinear {
             xq: None,
             psum_mode,
             psum_obs: Vec::new(),
+            psum_floor_clamps: 0,
             cache_xq: None,
             cache_x: None,
         }
@@ -213,23 +219,19 @@ impl QuantLinear {
     ///
     /// # Panics
     ///
-    /// Debug builds panic when the layer was never calibrated (the input
-    /// quantizer is uninitialized); release builds fall through to an f32
-    /// passthrough of the input, which silently misrepresents the W8A8
-    /// datapath — run one training forward or [`QuantLinear::calibrate`]
-    /// first.
+    /// Panics — in **every** build profile — when the layer was never
+    /// calibrated (the input quantizer is uninitialized): an f32
+    /// passthrough would silently misrepresent the W8A8 datapath. Run one
+    /// training forward or [`QuantLinear::calibrate`] first.
     pub fn forward_inference_with(&self, x: &Tensor, eng: &ExecEngine) -> Tensor {
-        let xq = match &self.xq {
-            Some(q) => q.forward(x),
-            None => {
-                debug_assert!(
-                    false,
-                    "QuantLinear inference before calibration: the input quantizer was never \
-                     initialized — run one training forward or QuantLinear::calibrate first"
-                );
-                x.clone()
-            }
-        };
+        let xq = self
+            .xq
+            .as_ref()
+            .expect(
+                "QuantLinear inference before calibration: the input quantizer was never \
+                 initialized — run one training forward or QuantLinear::calibrate first",
+            )
+            .forward(x);
         let wq = self.wq.forward(&self.inner.w.value);
         let y = self.matmul_psum_inference(&xq, &wq, eng);
         &y + &self.inner.b.value
@@ -292,9 +294,20 @@ impl QuantLinear {
                 gs,
                 k_tile,
                 eng,
-                Observers::Train(&mut self.psum_obs),
+                Observers::Train {
+                    obs: &mut self.psum_obs,
+                    floor_clamps: &mut self.psum_floor_clamps,
+                },
             ),
         }
+    }
+
+    /// How many PSUM scales the training forward floored at 2^0 so far.
+    /// Nonzero means the data drove sub-unit scales, which the integer
+    /// hardware cannot realize — the clamp keeps train-time and PTQ-time
+    /// accuracy modeling on the same schedule.
+    pub fn psum_floor_clamps(&self) -> u64 {
+        self.psum_floor_clamps
     }
 
     /// The read-only twin of [`Self::matmul_with_psum_path`] for inference:
@@ -363,9 +376,13 @@ impl QuantLinear {
 }
 
 /// Observer state handed to [`apsq_matmul`]: training resizes and
-/// EMA-updates the ranges; inference reads them frozen.
+/// EMA-updates the ranges (counting 2^0 floor clamps); inference reads
+/// them frozen.
 enum Observers<'a> {
-    Train(&'a mut Vec<f32>),
+    Train {
+        obs: &'a mut Vec<f32>,
+        floor_clamps: &'a mut u64,
+    },
     Frozen(&'a [f32]),
 }
 
@@ -389,8 +406,17 @@ fn apsq_matmul(
     let scaled: Vec<Tensor> = tiles.iter().map(|t| t * (1.0 / base)).collect();
     let batch =
         FloatScaleSchedule::calibrate_pow2(std::slice::from_ref(&scaled), bits, GroupSize::new(gs));
+    // Both paths floor every scale at 2^0: a fractional PSUM scale is a
+    // left shift the integer datapath cannot perform. Flooring the frozen
+    // path is what lets `Int8Linear` reproduce it bit-for-bit; flooring
+    // the training path keeps QAT's accuracy modeling on the schedule the
+    // hardware will actually run (the clamp count is reported via
+    // `QuantLinear::psum_floor_clamps`).
     let sched = match obs {
-        Observers::Train(o) => {
+        Observers::Train {
+            obs: o,
+            floor_clamps,
+        } => {
             if o.len() != scaled.len() {
                 *o = vec![0.0; scaled.len()];
             }
@@ -403,16 +429,15 @@ fn apsq_matmul(
                     (*obs * PSUM_EMA + need * (1.0 - PSUM_EMA)).max(need * 0.5)
                 };
             }
-            blended_schedule(o, &batch, bits, false)
+            let (sched, clamps) = blended_schedule(o, &batch, bits);
+            *floor_clamps += clamps;
+            sched
         }
         // Unwarmed observers (wrong length) contribute nothing — exactly
-        // the zero-filled state training would start from. Inference
-        // floors every scale at 1: a fractional PSUM scale is a left
-        // shift the integer datapath cannot perform, and flooring here is
-        // what lets `Int8Linear` reproduce this path bit-for-bit.
+        // the zero-filled state training would start from.
         Observers::Frozen(o) => {
             let o = if o.len() == scaled.len() { o } else { &[] };
-            blended_schedule(o, &batch, bits, true)
+            blended_schedule(o, &batch, bits).0
         }
     };
     let out = grouped_apsq_f32(&scaled, &sched, GroupSize::new(gs));
@@ -421,16 +446,16 @@ fn apsq_matmul(
 
 /// Per-step scales from the EMA observers where warmed (`obs > 0`),
 /// falling back to the batch calibration; an empty/short `obs` slice means
-/// every remaining step uses the batch scale. `floor_unit` clamps every
-/// scale to ≥ 1 (the inference/export constraint: integer PSUMs only shift
-/// right).
+/// every remaining step uses the batch scale. Every scale is floored at 1
+/// — integer PSUMs only shift right, in training and at inference alike —
+/// and the returned count says how many steps the floor clamped.
 fn blended_schedule(
     obs: &[f32],
     batch: &FloatScaleSchedule,
     bits: Bitwidth,
-    floor_unit: bool,
-) -> FloatScaleSchedule {
+) -> (FloatScaleSchedule, u64) {
     let qp = bits.signed_range().qp as f32;
+    let mut clamps = 0u64;
     let scales: Vec<f32> = batch
         .scales()
         .iter()
@@ -440,14 +465,13 @@ fn blended_schedule(
                 Some(&o) if o > 0.0 => observer_pow2_scale(o, qp),
                 _ => bs,
             };
-            if floor_unit {
-                s.max(1.0)
-            } else {
-                s
+            if s < 1.0 {
+                clamps += 1;
             }
+            s.max(1.0)
         })
         .collect();
-    FloatScaleSchedule::new(scales, bits)
+    (FloatScaleSchedule::new(scales, bits), clamps)
 }
 
 /// The power-of-two scale a warmed observer value dictates:
@@ -551,6 +575,68 @@ mod tests {
             "gs=1 noise {} should not be clearly smaller than gs=8 noise {}",
             errs[0].0,
             errs[1].0
+        );
+    }
+
+    /// This expect fires in **release** builds too (it replaced a
+    /// `debug_assert!` that compiled out and silently returned an f32
+    /// passthrough); the release CI test pass exercises exactly this.
+    #[test]
+    #[should_panic(expected = "inference before calibration")]
+    fn uncalibrated_inference_panics_in_every_profile() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let ql = QuantLinear::new(8, 4, Bitwidth::INT8, PsumMode::Exact, &mut rng);
+        assert!(!ql.is_calibrated());
+        let _ = ql.forward_inference(&Tensor::zeros([1, 8]));
+    }
+
+    /// The schedule blender floors every sub-unit scale at 2^0 and counts
+    /// the clamps — a fractional PSUM scale is a left shift integer
+    /// hardware can't do, in training and at inference alike.
+    #[test]
+    fn blended_schedule_floors_sub_unit_scales() {
+        let batch = FloatScaleSchedule::new(vec![0.25, 0.5, 2.0, 1.0], Bitwidth::INT8);
+        let (sched, clamps) = blended_schedule(&[], &batch, Bitwidth::INT8);
+        assert_eq!(sched.scales(), &[1.0, 1.0, 2.0, 1.0]);
+        assert_eq!(clamps, 2);
+        // Warmed observers below Qp also floor: o = 32 ⇒ 2^⌈log2(32/127)⌉
+        // = 0.5 ⇒ clamped to 1.
+        let (sched, clamps) = blended_schedule(&[32.0, 1024.0], &batch, Bitwidth::INT8);
+        assert_eq!(sched.scales()[0], 1.0);
+        assert_eq!(sched.scales()[1], 16.0, "2^ceil(log2(1024/127))");
+        assert_eq!(clamps, 1, "only the warmed sub-unit observer clamps");
+    }
+
+    /// The 2^0 PSUM floor applies to the *training* fake-quant schedule
+    /// too: under a distribution shift toward tiny PSUMs (sub-unit
+    /// scales) a training-mode forward and the frozen inference forward
+    /// must agree bit-for-bit, and the layer reports the clamps.
+    #[test]
+    fn training_psum_floor_matches_inference_floor() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let mode = PsumMode::Apsq {
+            bits: Bitwidth::INT8,
+            gs: 2,
+            k_tile: 4,
+        };
+        let mut ql = QuantLinear::new(16, 4, Bitwidth::INT8, mode, &mut rng);
+        // Initialize the activation quantizer at unit magnitude, then
+        // reset the observers (set_psum_mode clears them) and shift the
+        // data small: codes shrink, per-tile PSUMs in product-scale units
+        // fall below Qp, and the batch-calibrated scales go sub-unit.
+        let _ = ql.forward(&apsq_tensor::randn([3, 16], 1.0, &mut rng));
+        ql.set_psum_mode(mode);
+        let x = &apsq_tensor::randn([3, 16], 1.0, &mut rng) * 0.05;
+        let _warm = ql.forward(&x);
+        assert!(
+            ql.psum_floor_clamps() > 0,
+            "small activations should have driven sub-unit PSUM scales"
+        );
+        let y_train = ql.forward(&x);
+        let y_inf = ql.forward_inference(&x);
+        assert_eq!(
+            y_train, y_inf,
+            "train-time and frozen-inference PSUM schedules diverged"
         );
     }
 

@@ -13,7 +13,10 @@
 //! under pow2 scales. Any rounding-mode mismatch, schedule drift, or
 //! reduction-order dependence breaks these assertions.
 
-use apsq_nn::{DecoderLm, Int8DecoderLm, Int8Linear, ModelConfig, PsumMode, QuantLinear};
+use apsq_nn::{
+    AttentionKvCache, DecoderLm, Int8AttentionKvCache, Int8DecoderLm, Int8Linear,
+    Int8MultiHeadAttention, ModelConfig, MultiHeadAttention, PsumMode, QuantLinear,
+};
 use apsq_quant::Bitwidth;
 use apsq_tensor::{ExecEngine, Tensor};
 use proptest::prelude::*;
@@ -101,6 +104,116 @@ proptest! {
         for threads in [2usize, 3, 8] {
             let eng = ExecEngine::with_threads(threads).with_spawn_threshold(0);
             prop_assert_eq!(&il.forward_inference_with(&x, &eng), &want, "threads={}", threads);
+        }
+    }
+
+    /// The int8 KV cache's growth and quantization invariants: the width
+    /// is locked, `T` appends reallocate O(log T) times, preallocated
+    /// caches never reallocate within their bound, and dequantizing the
+    /// zero-copy code buffers reproduces every appended row within half a
+    /// quantization step of its per-(token, head) covering scale — while
+    /// requantizing the dequantized view is exactly lossless (the codes
+    /// sit on their own lattice).
+    #[test]
+    fn int8_kv_cache_growth_and_roundtrip_invariants(
+        seed in any::<u64>(),
+        heads in 1usize..5,
+        dh in 1usize..9,
+        rows in 1usize..48,
+        magnitude in 0.01f32..100.0,
+    ) {
+        let width = heads * dh;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut grown = Int8AttentionKvCache::new(width, heads);
+        let mut fixed = Int8AttentionKvCache::with_capacity(width, heads, rows);
+        let fixed_cap = fixed.capacity_rows();
+        let mut reallocs = 0usize;
+        let mut last_cap = grown.capacity_rows();
+        let mut appended: Vec<Vec<f32>> = Vec::new();
+        for _ in 0..rows {
+            let k = apsq_tensor::randn([1, width], magnitude, &mut rng);
+            let v = apsq_tensor::randn([1, width], magnitude, &mut rng);
+            grown.append_row(k.data(), v.data());
+            fixed.append_row(k.data(), v.data());
+            if grown.capacity_rows() != last_cap {
+                reallocs += 1;
+                last_cap = grown.capacity_rows();
+            }
+            appended.push(k.data().to_vec());
+        }
+        // O(log T) growth; preallocation eliminates growth entirely.
+        prop_assert!(
+            reallocs <= 2 + rows.ilog2() as usize + 1,
+            "{reallocs} reallocations for {rows} appends"
+        );
+        prop_assert_eq!(fixed.capacity_rows(), fixed_cap, "preallocated cache reallocated");
+        prop_assert_eq!(grown.len(), rows);
+        prop_assert_eq!(grown.keys_codes().len(), rows * width);
+        prop_assert_eq!(grown.keys_exponents().len(), rows * heads);
+
+        let deq = grown.dequant_keys();
+        prop_assert_eq!(deq.dims(), &[rows, width]);
+        for (t, row) in appended.iter().enumerate() {
+            for h in 0..heads {
+                let e = grown.keys_exponents()[t * heads + h] as f32;
+                let scale = e.exp2();
+                for j in 0..dh {
+                    let idx = t * width + h * dh + j;
+                    let src = row[h * dh + j];
+                    // Zero-copy codes dequantize to the stored view...
+                    let code = grown.keys_codes()[idx] as f32;
+                    prop_assert_eq!(deq.data()[idx], code * scale);
+                    // ...which sits within half a step of the source row.
+                    prop_assert!(
+                        (deq.data()[idx] - src).abs() <= scale * 0.5 + 1e-6,
+                        "row {t} head {h} lane {j}: {} vs {}", deq.data()[idx], src
+                    );
+                    // Covering scale: codes never saturate past the range.
+                    prop_assert!((-128.0..=127.0).contains(&code));
+                }
+            }
+        }
+    }
+
+    /// The integer attention decode tracks the f32 fake-quant attention
+    /// reference within a bounded relative error — the KV quantization
+    /// (per-row pow2 K/V scales, frozen Q scale, requantized P, APSQ
+    /// folds) adds noise but can never drift unboundedly.
+    #[test]
+    fn int8_attention_decode_is_bounded_error_vs_f32(
+        seed in any::<u64>(),
+        heads in 1usize..4,
+        steps in 1usize..6,
+        apsq in any::<bool>(),
+        gs in 1usize..4,
+        k_tile in 2usize..9,
+    ) {
+        let d = 8 * heads;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut attn = MultiHeadAttention::new(
+            d, heads, Bitwidth::INT8, psum_mode(apsq, gs, k_tile), true, &mut rng,
+        );
+        let prime = apsq_tensor::randn([6, d], 1.0, &mut rng);
+        let _ = attn.forward(&prime);
+        let eng = ExecEngine::serial();
+        let iattn = Int8MultiHeadAttention::from_float(&attn, &prime, &eng);
+
+        let mut f32_cache = AttentionKvCache::with_capacity(d, 16);
+        let mut i8_cache = Int8AttentionKvCache::with_capacity(d, heads, 16);
+        for step in 0..steps {
+            let x = apsq_tensor::randn([1, d], 1.0, &mut rng);
+            let want = attn.forward_decode_batch_with(&x, &mut [&mut f32_cache], &eng);
+            let got = iattn.forward_decode_batch_with(&x, &mut [&mut i8_cache], &eng);
+            // Softmax-averaged context rows can nearly cancel, so
+            // normalize by the activation scale as well as the output
+            // norm — the bound still catches any scale or schedule bug
+            // (which drifts by orders of magnitude, not fractions).
+            let rel = (&got - &want).norm() / want.norm().max(x.norm());
+            prop_assert!(
+                rel < 0.35,
+                "step {step}: int8 attention drifted {rel} from the f32 reference \
+                 (heads={heads} apsq={apsq} gs={gs} k_tile={k_tile})"
+            );
         }
     }
 

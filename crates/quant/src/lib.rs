@@ -45,5 +45,5 @@ pub use fixed::{
 pub use lsq::LsqQuantizer;
 pub use observer::{EmaObserver, MinMaxObserver};
 pub use per_channel::PerChannelLsq;
-pub use pow2::{Pow2LsqQuantizer, Pow2Scale};
+pub use pow2::{covering_pow2_exponent, Pow2LsqQuantizer, Pow2Scale};
 pub use uniform::{pow2_exponent_for, UniformQuantizer};

@@ -113,6 +113,33 @@ impl Pow2Scale {
     }
 }
 
+/// The tightest signed power-of-two exponent `e` such that values of
+/// magnitude `max_abs` quantize to codes within `±qp` at scale `2^e`:
+/// `e = ⌈log₂(max_abs / qp)⌉`, clamped to the f32-representable exponent
+/// range `[-126, 126]`. Unlike [`Pow2Scale`] (integer-domain PSUM shifts,
+/// `e ≥ 0`), this is the *activation* rule — per-row KV-cache scales and
+/// frozen attention input scales are fractional powers of two.
+///
+/// `max_abs == 0` (an all-zero row) returns 0: the codes are all zero and
+/// the scale is irrelevant, so the neutral exponent keeps dequantization
+/// exact.
+///
+/// # Panics
+///
+/// Panics if `max_abs` is negative or not finite, or `qp` is not positive.
+pub fn covering_pow2_exponent(max_abs: f32, qp: f32) -> i32 {
+    assert!(
+        max_abs.is_finite() && max_abs >= 0.0,
+        "max_abs {max_abs} must be finite and non-negative"
+    );
+    assert!(qp > 0.0, "qp {qp} must be positive");
+    if max_abs == 0.0 {
+        return 0;
+    }
+    let e = (max_abs / qp).log2().ceil() as i32;
+    e.clamp(-126, 126)
+}
+
 /// A QAT fake-quantizer whose step is constrained to a power of two.
 ///
 /// Internally stores a continuous `log₂ α`; the forward pass snaps it with
@@ -289,6 +316,43 @@ mod tests {
         assert_eq!(Pow2Scale::from_f32(3.0, Bitwidth::INT8), None);
         assert_eq!(Pow2Scale::from_f32(0.0, Bitwidth::INT8), None);
         assert_eq!(Pow2Scale::from_f32(f32::NAN, Bitwidth::INT8), None);
+    }
+
+    #[test]
+    fn covering_pow2_exponent_is_tight_and_covers() {
+        for &(max_abs, qp) in &[
+            (100.0f32, 127.0f32),
+            (127.0, 127.0),
+            (128.0, 127.0),
+            (1.0, 127.0),
+            (0.003, 127.0),
+            (1.0e6, 127.0),
+            (5.0, 7.0),
+        ] {
+            let e = covering_pow2_exponent(max_abs, qp);
+            let scale = (e as f32).exp2();
+            // Covers: |max_abs| quantizes without clipping.
+            assert!(
+                (max_abs / scale).round() <= qp,
+                "max_abs={max_abs} qp={qp} e={e}"
+            );
+            // Tight: the next-smaller exponent would clip.
+            if e > -126 {
+                let tighter = ((e - 1) as f32).exp2();
+                assert!(
+                    max_abs / tighter > qp,
+                    "max_abs={max_abs} qp={qp} e={e} not tight"
+                );
+            }
+        }
+        // All-zero rows get the neutral exponent.
+        assert_eq!(covering_pow2_exponent(0.0, 127.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn covering_pow2_exponent_rejects_nan() {
+        covering_pow2_exponent(f32::NAN, 127.0);
     }
 
     #[test]

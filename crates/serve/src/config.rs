@@ -78,6 +78,14 @@ impl ModelSpec {
         let _ = model.forward(&prime);
         model
     }
+
+    /// Bytes one fully grown session (KV caches preallocated for the
+    /// whole context window, across all layers) occupies at the given
+    /// decode precision — the unit [`ServeConfig::kv_budget_bytes`] is
+    /// divided by.
+    pub fn kv_bytes_per_session(&self, precision: Precision) -> usize {
+        self.layers * self.max_len * precision.kv_bytes_per_token(self.d_model, self.heads)
+    }
 }
 
 /// Dynamic batching policy, applied per lane.
@@ -109,15 +117,6 @@ impl BatchPolicy {
     }
 }
 
-/// Session (KV-cache) budget.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct SessionConfig {
-    /// Maximum resident sessions; beyond it, idle sessions are LRU-evicted
-    /// and, when none is evictable, new sessions are rejected with
-    /// [`crate::ServeError::SessionCapacity`].
-    pub max_sessions: usize,
-}
-
 /// Full server configuration.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ServeConfig {
@@ -141,31 +140,53 @@ pub struct ServeConfig {
     /// Admission-queue capacity; submits beyond it shed with
     /// [`crate::ServeError::QueueFull`].
     pub queue_capacity: usize,
-    /// Session budget.
-    pub sessions: SessionConfig,
+    /// KV-cache **byte** budget across all resident sessions. The session
+    /// capacity is derived as `kv_budget_bytes /
+    /// model.kv_bytes_per_session(precision)`, so the same budget admits
+    /// ~4× the sessions at [`Precision::Int8Apsq`] (whose cache stores i8
+    /// codes + per-row scale exponents instead of f32 rows). Beyond
+    /// capacity, idle sessions are LRU-evicted and, when none is
+    /// evictable, new sessions are rejected with
+    /// [`crate::ServeError::SessionCapacity`].
+    pub kv_budget_bytes: usize,
     /// Per-layer MAC budget for prefill inventories (0 = unlimited —
     /// do not use 0 with paper-scale inventories).
     pub prefill_max_macs: u64,
 }
 
 impl ServeConfig {
-    /// A small config for tests and smoke runs: 2 workers, batching on.
+    /// A small config for tests and smoke runs: 2 workers, batching on,
+    /// and a KV byte budget sized to 64 resident f32 sessions of the
+    /// tiny-llama spec (so the int8 cache admits ~4× that).
     pub fn smoke() -> Self {
+        let model = ModelSpec::tiny_llama();
         ServeConfig {
-            model: ModelSpec::tiny_llama(),
+            model,
             workers: 2,
             engine_threads: 1,
             precision: Precision::F32,
             batch: BatchPolicy::batched(8),
             queue_capacity: 256,
-            sessions: SessionConfig { max_sessions: 64 },
+            kv_budget_bytes: 64 * model.kv_bytes_per_session(Precision::F32),
             prefill_max_macs: 30_000,
         }
+    }
+
+    /// Resident sessions the KV byte budget admits at this config's
+    /// model shape and precision (the derived session capacity).
+    pub fn session_capacity(&self) -> usize {
+        self.kv_budget_bytes / self.model.kv_bytes_per_session(self.precision)
     }
 
     /// Sets the worker count.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers;
+        self
+    }
+
+    /// Sets the KV byte budget.
+    pub fn with_kv_budget(mut self, bytes: usize) -> Self {
+        self.kv_budget_bytes = bytes;
         self
     }
 
@@ -181,7 +202,8 @@ impl ServeConfig {
         self
     }
 
-    /// Validates invariants (non-zero workers, batch, queue, sessions).
+    /// Validates invariants (non-zero workers, batch, queue, and a KV
+    /// budget that admits at least one session).
     ///
     /// # Panics
     ///
@@ -192,8 +214,10 @@ impl ServeConfig {
         assert!(self.batch.max_batch > 0, "max_batch must be positive");
         assert!(self.queue_capacity > 0, "queue_capacity must be positive");
         assert!(
-            self.sessions.max_sessions > 0,
-            "max_sessions must be positive"
+            self.session_capacity() > 0,
+            "kv_budget_bytes {} below one session's KV bytes {}",
+            self.kv_budget_bytes,
+            self.model.kv_bytes_per_session(self.precision)
         );
     }
 }
@@ -232,5 +256,29 @@ mod tests {
         let mut c = ServeConfig::smoke();
         c.workers = 0;
         c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "below one session's KV bytes")]
+    fn starved_kv_budget_rejected() {
+        let mut c = ServeConfig::smoke();
+        c.kv_budget_bytes = c.model.kv_bytes_per_session(c.precision) - 1;
+        c.validate();
+    }
+
+    #[test]
+    fn byte_budget_admits_4x_sessions_at_int8() {
+        let cfg = ServeConfig::smoke();
+        let f32_cap = cfg.session_capacity();
+        let int8_cap = cfg
+            .clone()
+            .with_precision(Precision::Int8Apsq)
+            .session_capacity();
+        assert_eq!(f32_cap, 64);
+        // tiny_llama: 1024 B/token f32 vs 264 B/token int8 ⇒ 3.87×.
+        assert!(
+            int8_cap >= 3 * f32_cap,
+            "int8 capacity {int8_cap} below 3× the f32 capacity {f32_cap}"
+        );
     }
 }

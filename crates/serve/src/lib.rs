@@ -42,6 +42,23 @@
 //! silently restart from scratch). Closed-loop workloads sized within the
 //! configured budgets (as the [`LoadGenerator`] is) never shed at all.
 //!
+//! # KV byte budget
+//!
+//! Session capacity is a **byte** budget, not a session count:
+//! [`ServeConfig::kv_budget_bytes`] divided by one fully grown session's
+//! KV bytes at the serving precision. The f32 cache stores `8·d` bytes
+//! per cached token; [`Precision::Int8Apsq`]'s cache
+//! ([`apsq_nn::Int8AttentionKvCache`]) stores i8 codes plus
+//! per-(token, head) power-of-two scale exponents — `2·(d + heads)`
+//! bytes — so the same budget admits ~4× the resident sessions, and
+//! decode attention runs `Q·Kᵀ`/`P·V` in the integer domain with grouped
+//! APSQ folded over the context dimension.
+//!
+//! Eviction tombstones are **bounded**: the set of dead session ids is
+//! interval-compacted (exact membership, ranges merge), so a long-lived
+//! server's memory tracks the number of id *runs*, not the number of
+//! evictions — see `SessionManager::tombstone_spans`.
+//!
 //! # Quick start
 //!
 //! ```
@@ -67,10 +84,10 @@ mod session;
 
 pub use apsq_models::Precision;
 pub use batcher::{Batcher, Lane, Pending};
-pub use config::{BatchPolicy, ModelSpec, ServeConfig, SessionConfig};
+pub use config::{BatchPolicy, ModelSpec, ServeConfig};
 pub use error::ServeError;
 pub use loadgen::{ClientKind, LoadGenerator, LoadReport, Scenario};
 pub use metrics::{LatencyStats, Metrics, MetricsSnapshot};
 pub use request::{Payload, PrefillModel, Request, RequestId, Response, SessionId};
 pub use server::{Server, ServerHandle};
-pub use session::SessionManager;
+pub use session::{SessionKv, SessionManager};

@@ -155,10 +155,11 @@ impl LoadGenerator {
     /// timing-dependent and throughput comparisons meaningless:
     /// `queue_capacity` below the client count (a client shed at submit
     /// has no response to wake it and silently goes dead), or more decode
-    /// sessions than `max_sessions` (which session gets LRU-evicted
-    /// between a response and the resubmit depends on timing). Drive
-    /// overload/shed scenarios through [`crate::ServerHandle`] directly
-    /// instead.
+    /// sessions than the KV byte budget admits
+    /// ([`ServeConfig::session_capacity`] — which session gets
+    /// LRU-evicted between a response and the resubmit depends on
+    /// timing). Drive overload/shed scenarios through
+    /// [`crate::ServerHandle`] directly instead.
     pub fn run(&self, cfg: &ServeConfig) -> LoadReport {
         assert!(
             cfg.queue_capacity >= self.scenario.clients.len(),
@@ -167,9 +168,9 @@ impl LoadGenerator {
             self.scenario.clients.len()
         );
         assert!(
-            self.scenario.decode_clients() <= cfg.sessions.max_sessions,
-            "closed-loop load needs max_sessions >= decode clients ({} < {})",
-            cfg.sessions.max_sessions,
+            self.scenario.decode_clients() <= cfg.session_capacity(),
+            "closed-loop load needs the KV budget to admit every decode client ({} < {})",
+            cfg.session_capacity(),
             self.scenario.decode_clients()
         );
         let (server, resp_rx) = Server::start(cfg);

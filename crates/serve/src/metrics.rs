@@ -115,6 +115,7 @@ impl Metrics {
         shed_queue: u64,
         evictions: u64,
         sessions_peak: usize,
+        sessions_capacity: usize,
     ) -> MetricsSnapshot {
         let occupancy_hist = {
             let mut hist: Vec<(usize, u64)> = Vec::new();
@@ -139,6 +140,7 @@ impl Metrics {
             shed_queue,
             evictions,
             sessions_peak,
+            sessions_capacity,
             decode_tokens: self.decode_tokens,
             elapsed_s,
             latency: LatencyStats::from_samples(&mut self.all_us),
@@ -181,6 +183,10 @@ pub struct MetricsSnapshot {
     pub evictions: u64,
     /// Peak resident sessions.
     pub sessions_peak: usize,
+    /// Resident sessions the KV byte budget admits at the server's
+    /// precision ([`crate::ServeConfig::kv_budget_bytes`] ÷ bytes per
+    /// session).
+    pub sessions_capacity: usize,
     /// Successful decode steps (= tokens generated).
     pub decode_tokens: u64,
     /// Serving interval in seconds.
@@ -236,8 +242,9 @@ mod tests {
         m.record_batch(4);
         m.sample_queue_depth(3);
         m.sample_queue_depth(5);
-        let s = m.snapshot(2.0, 7, 1, 9);
+        let s = m.snapshot(2.0, 7, 1, 9, 16);
         assert_eq!(s.completed, 4);
+        assert_eq!(s.sessions_capacity, 16);
         assert_eq!(s.errors, 1);
         assert_eq!(s.decode_tokens, 2);
         assert_eq!(s.tokens_per_s, 1.0);
@@ -258,7 +265,7 @@ mod tests {
 
     #[test]
     fn empty_metrics_snapshot_is_all_zero() {
-        let s = Metrics::new().snapshot(0.0, 0, 0, 0);
+        let s = Metrics::new().snapshot(0.0, 0, 0, 0, 0);
         assert_eq!(s.latency, LatencyStats::default());
         assert_eq!(s.tokens_per_s, 0.0);
         assert_eq!(s.batch_occupancy_hist, vec![]);

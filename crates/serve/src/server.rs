@@ -13,11 +13,12 @@ use crate::config::ServeConfig;
 use crate::error::ServeError;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::request::{fnv1a, Payload, Request, RequestKind, Response, SessionId, FNV_OFFSET};
+use crate::session::SessionKv;
 use apsq_dataflow::Workload;
 use apsq_models::{
     bert_base_128, execute_workloads, llama_prefill, segformer_b0_512, LlamaConfig, Precision,
 };
-use apsq_nn::{DecoderKvState, DecoderLm, Int8DecoderLm};
+use apsq_nn::{DecoderKvState, DecoderLm, Int8DecoderKvState, Int8DecoderLm};
 use apsq_tensor::ExecEngine;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
@@ -45,14 +46,14 @@ struct BatchDone {
     occupancy: usize,
     items: Vec<DoneItem>,
     /// KV states to check back in (decode batches only).
-    states: Vec<(SessionId, DecoderKvState)>,
+    states: Vec<(SessionId, SessionKv)>,
 }
 
 /// A coalesced batch dispatched to the worker pool.
 enum WorkItem {
     Decode {
         items: Vec<Pending>,
-        states: Vec<(SessionId, DecoderKvState)>,
+        states: Vec<(SessionId, SessionKv)>,
     },
     Prefill {
         items: Vec<Pending>,
@@ -96,15 +97,45 @@ impl DecodeModel {
         }
     }
 
-    fn decode_batch_with(
+    /// Runs one decode batch over precision-matched session states: the
+    /// f32 model decodes f32 KV caches, the integer model decodes int8 KV
+    /// caches. The session manager is built at the same precision as the
+    /// model, so a mismatch is a server bug, not load-dependent.
+    fn decode_batch_states(
         &self,
         tokens: &[usize],
-        states: &mut [DecoderKvState],
+        states: &mut [SessionKv],
         eng: &ExecEngine,
     ) -> apsq_tensor::Tensor {
         match self {
-            DecodeModel::F32(m) => m.decode_batch_with(tokens, states, eng),
-            DecodeModel::Int8(m) => m.decode_batch_with(tokens, states, eng),
+            DecodeModel::F32(m) => {
+                let mut sts: Vec<DecoderKvState> = states
+                    .iter_mut()
+                    .map(|s| match s {
+                        SessionKv::F32(st) => std::mem::take(st),
+                        SessionKv::Int8(_) => unreachable!("int8 state handed to the f32 model"),
+                    })
+                    .collect();
+                let logits = m.decode_batch_with(tokens, &mut sts, eng);
+                for (slot, st) in states.iter_mut().zip(sts) {
+                    *slot = SessionKv::F32(st);
+                }
+                logits
+            }
+            DecodeModel::Int8(m) => {
+                let mut sts: Vec<Int8DecoderKvState> = states
+                    .iter_mut()
+                    .map(|s| match s {
+                        SessionKv::Int8(st) => std::mem::take(st),
+                        SessionKv::F32(_) => unreachable!("f32 state handed to the int8 model"),
+                    })
+                    .collect();
+                let logits = m.decode_batch_with(tokens, &mut sts, eng);
+                for (slot, st) in states.iter_mut().zip(sts) {
+                    *slot = SessionKv::Int8(st);
+                }
+                logits
+            }
         }
     }
 }
@@ -345,7 +376,7 @@ fn run_decode(
     model: &DecodeModel,
     eng: &ExecEngine,
     items: Vec<Pending>,
-    states: Vec<(SessionId, DecoderKvState)>,
+    states: Vec<(SessionId, SessionKv)>,
 ) -> BatchDone {
     let tokens: Vec<usize> = items
         .iter()
@@ -354,9 +385,9 @@ fn run_decode(
             RequestKind::Prefill { .. } => unreachable!("prefill in decode batch"),
         })
         .collect();
-    let (sids, mut sts): (Vec<SessionId>, Vec<DecoderKvState>) = states.into_iter().unzip();
-    let positions: Vec<usize> = sts.iter().map(|s| s.position).collect();
-    let logits = model.decode_batch_with(&tokens, &mut sts, eng);
+    let (sids, mut sts): (Vec<SessionId>, Vec<SessionKv>) = states.into_iter().unzip();
+    let positions: Vec<usize> = sts.iter().map(|s| s.position()).collect();
+    let logits = model.decode_batch_states(&tokens, &mut sts, eng);
     let vocab = logits.dims()[1];
     let next = apsq_tensor::argmax_axis1(&logits);
     let occupancy = items.len();
@@ -446,10 +477,12 @@ fn scheduler_loop(
     let started = Instant::now();
     let mut batcher = Batcher::new(cfg.batch);
     let mut sessions = crate::session::SessionManager::new(
-        cfg.sessions.max_sessions,
+        cfg.kv_budget_bytes,
         cfg.model.layers,
         cfg.model.d_model,
+        cfg.model.heads,
         cfg.model.max_len,
+        cfg.precision,
     );
     let mut metrics = Metrics::new();
     let mut idle = cfg.workers;
@@ -651,6 +684,7 @@ fn scheduler_loop(
         shared.shed_queue.load(Ordering::Relaxed),
         sessions.evictions(),
         sessions.peak(),
+        sessions.capacity(),
     )
 }
 
@@ -815,7 +849,8 @@ mod tests {
     #[test]
     fn session_capacity_rejection_reaches_the_client() {
         let mut cfg = tiny_cfg();
-        cfg.sessions.max_sessions = 1;
+        // Byte budget sized to exactly one resident session.
+        cfg.kv_budget_bytes = cfg.model.kv_bytes_per_session(cfg.precision);
         cfg.workers = 1;
         cfg.batch = BatchPolicy {
             max_batch: 64,

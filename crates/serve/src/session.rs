@@ -1,16 +1,131 @@
 //! Session lifecycle: per-session KV-cache ownership, LRU eviction, and
-//! capacity-based admission control.
+//! **byte-budget** admission control.
+//!
+//! # KV byte budget
+//!
+//! The manager is sized in bytes, not session counts: capacity is
+//! `kv_budget_bytes / bytes_per_session`, where a session's bytes are its
+//! fully grown per-layer KV caches at the configured decode precision.
+//! An f32 cache row costs `8·d` bytes per token; the int8 cache
+//! ([`apsq_nn::Int8AttentionKvCache`]) costs `2·(d + heads)` — so the
+//! same budget admits ~4× the resident sessions at
+//! [`Precision::Int8Apsq`].
+//!
+//! # Eviction tombstones are bounded
+//!
+//! An evicted session id must keep failing with a typed error forever
+//! (its KV lineage is gone; silently restarting from an empty context
+//! would return wrong continuations). The tombstone set is an
+//! interval-compacted id set ([`IdRanges`]): membership is exact — the
+//! guarantee is never weakened — while adjacent ids merge into single
+//! ranges, so the common dense id patterns (session-per-client counters,
+//! loadgen bases) hold O(1) memory no matter how many evictions occur.
+//! Worst-case adversarially sparse ids degrade to O(ranges), which a
+//! production deployment bounds by structuring its session ids.
 
 use crate::error::ServeError;
 use crate::request::SessionId;
-use apsq_nn::DecoderKvState;
-use std::collections::{HashMap, HashSet};
+use apsq_models::Precision;
+use apsq_nn::{DecoderKvState, Int8DecoderKvState};
+use std::collections::{BTreeMap, HashMap};
+
+/// A set of `u64` ids stored as disjoint inclusive ranges, merging
+/// neighbors on insert. Exact membership (no false positives or
+/// negatives); memory is proportional to the number of *runs* of ids,
+/// not the number of ids.
+#[derive(Debug, Default)]
+pub(crate) struct IdRanges {
+    /// start → inclusive end, disjoint and non-adjacent.
+    ranges: BTreeMap<u64, u64>,
+}
+
+impl IdRanges {
+    /// Inserts one id, merging with adjacent/overlapping ranges.
+    pub fn insert(&mut self, id: u64) {
+        // `id == u64::MAX` has no successor: `next` stays None and only
+        // the left-merge/insert paths below can apply (session ids are
+        // arbitrary client u64s, so the edge is reachable).
+        let next = id.checked_add(1);
+        // Find the closest range starting at or before `id`.
+        if let Some((&s, &e)) = self.ranges.range(..=id).next_back() {
+            if id <= e {
+                return; // already present
+            }
+            if e.checked_add(1) == Some(id) {
+                // Extend that range; maybe merge with the successor.
+                if let Some(n) = next {
+                    if let Some((&ns, &ne)) = self.ranges.range(n..).next() {
+                        if ns == n {
+                            self.ranges.remove(&ns);
+                            self.ranges.insert(s, ne);
+                            return;
+                        }
+                    }
+                }
+                self.ranges.insert(s, id);
+                return;
+            }
+        }
+        // No left merge; check a right-adjacent range.
+        if let Some(n) = next {
+            if let Some((&ns, &ne)) = self.ranges.range(n..).next() {
+                if ns == n {
+                    self.ranges.remove(&ns);
+                    self.ranges.insert(id, ne);
+                    return;
+                }
+            }
+        }
+        self.ranges.insert(id, id);
+    }
+
+    /// Exact membership test.
+    pub fn contains(&self, id: u64) -> bool {
+        self.ranges
+            .range(..=id)
+            .next_back()
+            .is_some_and(|(_, &e)| id <= e)
+    }
+
+    /// Number of stored ranges — the set's actual memory footprint.
+    pub fn span_count(&self) -> usize {
+        self.ranges.len()
+    }
+}
+
+/// A session's KV state at the server's decode precision.
+#[derive(Debug)]
+pub enum SessionKv {
+    /// f32 rows ([`DecoderKvState`]), `8·d` bytes per cached token.
+    F32(DecoderKvState),
+    /// i8 codes + per-(token, head) scale exponents
+    /// ([`Int8DecoderKvState`]), `2·(d + heads)` bytes per cached token.
+    Int8(Int8DecoderKvState),
+}
+
+impl SessionKv {
+    /// Next decode position (tokens consumed so far).
+    pub fn position(&self) -> usize {
+        match self {
+            SessionKv::F32(s) => s.position,
+            SessionKv::Int8(s) => s.position,
+        }
+    }
+
+    /// Bytes currently held across all layer KV buffers.
+    pub fn kv_bytes(&self) -> usize {
+        match self {
+            SessionKv::F32(s) => s.kv_bytes(),
+            SessionKv::Int8(s) => s.kv_bytes(),
+        }
+    }
+}
 
 /// One resident session.
 #[derive(Debug)]
 struct Entry {
     /// `Some` while idle; `None` while checked out to an executor.
-    state: Option<DecoderKvState>,
+    state: Option<SessionKv>,
     /// Logical LRU clock value of the last touch.
     last_used: u64,
     /// Requests admitted but not yet completed; pinned entries are never
@@ -18,8 +133,8 @@ struct Entry {
     pins: u32,
 }
 
-/// Owns every session's [`DecoderKvState`], hands states to executors for
-/// the duration of a batch, and enforces the session budget with LRU
+/// Owns every session's [`SessionKv`], hands states to executors for the
+/// duration of a batch, and enforces the **KV byte budget** with LRU
 /// eviction of idle, unpinned sessions.
 ///
 /// All methods run on the scheduler thread; no internal locking.
@@ -28,29 +143,50 @@ pub struct SessionManager {
     capacity: usize,
     layers: usize,
     width: usize,
+    heads: usize,
     max_len: usize,
+    precision: Precision,
     entries: HashMap<SessionId, Entry>,
-    /// Tombstones of evicted ids: a decode for one of these must fail with
-    /// a typed error, never silently restart from an empty context. Grows
-    /// with the number of *evicted* sessions (a production deployment
-    /// would age these out with generation counters).
-    evicted_ids: HashSet<SessionId>,
+    /// Tombstones of evicted ids: a decode for one of these must fail
+    /// with a typed error, never silently restart from an empty context.
+    /// Interval-compacted, so memory tracks id *runs*, not evictions.
+    evicted_ids: IdRanges,
     clock: u64,
     evictions: u64,
     peak: usize,
 }
 
 impl SessionManager {
-    /// A manager for models of the given depth/width/context, admitting at
-    /// most `capacity` resident sessions.
-    pub fn new(capacity: usize, layers: usize, width: usize, max_len: usize) -> Self {
+    /// A manager for models of the given depth/width/head-count/context,
+    /// admitting as many resident sessions as `kv_budget_bytes` covers at
+    /// `precision` (each session accounted at its fully grown size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget does not cover at least one session.
+    pub fn new(
+        kv_budget_bytes: usize,
+        layers: usize,
+        width: usize,
+        heads: usize,
+        max_len: usize,
+        precision: Precision,
+    ) -> Self {
+        let per_session = layers * max_len * precision.kv_bytes_per_token(width, heads);
+        let capacity = kv_budget_bytes / per_session.max(1);
+        assert!(
+            capacity > 0,
+            "kv budget {kv_budget_bytes} B below one session's {per_session} B"
+        );
         SessionManager {
             capacity,
             layers,
             width,
+            heads,
             max_len,
+            precision,
             entries: HashMap::new(),
-            evicted_ids: HashSet::new(),
+            evicted_ids: IdRanges::default(),
             clock: 0,
             evictions: 0,
             peak: 0,
@@ -60,6 +196,11 @@ impl SessionManager {
     /// Resident session count.
     pub fn active(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Sessions the byte budget admits.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Most sessions ever resident at once.
@@ -72,13 +213,36 @@ impl SessionManager {
         self.evictions
     }
 
-    /// Total floats held across all resident idle KV caches.
-    pub fn kv_floats(&self) -> usize {
+    /// Ranges the tombstone set currently occupies (its real memory
+    /// footprint; stays O(1) for dense id patterns).
+    pub fn tombstone_spans(&self) -> usize {
+        self.evicted_ids.span_count()
+    }
+
+    /// Total KV bytes held across all resident idle sessions.
+    pub fn kv_bytes(&self) -> usize {
         self.entries
             .values()
             .filter_map(|e| e.state.as_ref())
-            .map(|s| s.kv_floats())
+            .map(|s| s.kv_bytes())
             .sum()
+    }
+
+    /// A fresh, fully preallocated KV state at the manager's precision.
+    fn fresh_state(&self) -> SessionKv {
+        match self.precision {
+            Precision::F32 => SessionKv::F32(DecoderKvState::for_layers_with_capacity(
+                self.layers,
+                self.width,
+                self.max_len,
+            )),
+            Precision::Int8Apsq => SessionKv::Int8(Int8DecoderKvState::for_layers_with_capacity(
+                self.layers,
+                self.width,
+                self.heads,
+                self.max_len,
+            )),
+        }
     }
 
     /// Admits a request for `id`: touches the LRU clock, pins the session,
@@ -93,7 +257,7 @@ impl SessionManager {
     /// when the budget is exhausted and nothing is evictable.
     pub fn admit(&mut self, id: SessionId) -> Result<(), ServeError> {
         self.clock += 1;
-        if self.evicted_ids.contains(&id) {
+        if self.evicted_ids.contains(id) {
             return Err(ServeError::SessionEvicted { session: id });
         }
         if let Some(e) = self.entries.get_mut(&id) {
@@ -107,14 +271,11 @@ impl SessionManager {
                 capacity: self.capacity,
             });
         }
+        let state = Some(self.fresh_state());
         self.entries.insert(
             id,
             Entry {
-                state: Some(DecoderKvState::for_layers_with_capacity(
-                    self.layers,
-                    self.width,
-                    self.max_len,
-                )),
+                state,
                 last_used: self.clock,
                 pins: 1,
             },
@@ -141,7 +302,7 @@ impl SessionManager {
             .get(&id)
             .and_then(|e| e.state.as_ref())
             .expect("position of absent or busy session")
-            .position
+            .position()
     }
 
     /// Takes the session's KV state for a batch dispatch.
@@ -150,7 +311,7 @@ impl SessionManager {
     ///
     /// Panics if the session is absent or already checked out — the
     /// batcher guarantees one in-flight batch per session.
-    pub fn checkout(&mut self, id: SessionId) -> DecoderKvState {
+    pub fn checkout(&mut self, id: SessionId) -> SessionKv {
         self.entries
             .get_mut(&id)
             .expect("checkout of unknown session")
@@ -164,7 +325,7 @@ impl SessionManager {
     /// # Panics
     ///
     /// Panics if the session is absent or not checked out.
-    pub fn checkin(&mut self, id: SessionId, state: DecoderKvState) {
+    pub fn checkin(&mut self, id: SessionId, state: SessionKv) {
         let e = self
             .entries
             .get_mut(&id)
@@ -212,14 +373,27 @@ impl SessionManager {
 mod tests {
     use super::*;
 
+    /// A manager admitting exactly `cap` f32 sessions (budget = cap ×
+    /// bytes-per-session for a 2-layer, d=8, 2-head, 16-token model).
     fn mgr(cap: usize) -> SessionManager {
-        SessionManager::new(cap, 2, 8, 16)
+        let per_session = 2 * 16 * Precision::F32.kv_bytes_per_token(8, 2);
+        SessionManager::new(cap * per_session, 2, 8, 2, 16, Precision::F32)
     }
 
     /// Admit + complete immediately (no in-flight work).
     fn touch(m: &mut SessionManager, id: SessionId) {
         m.admit(id).unwrap();
         m.release(id);
+    }
+
+    #[test]
+    fn byte_budget_derives_capacity_per_precision() {
+        let budget = 4 * 2 * 16 * Precision::F32.kv_bytes_per_token(8, 2);
+        let f32_mgr = SessionManager::new(budget, 2, 8, 2, 16, Precision::F32);
+        let int8_mgr = SessionManager::new(budget, 2, 8, 2, 16, Precision::Int8Apsq);
+        assert_eq!(f32_mgr.capacity(), 4);
+        // 8·8 = 64 B/token f32 vs 2·(8+2) = 20 B/token int8 ⇒ 3.2×.
+        assert_eq!(int8_mgr.capacity(), 12);
     }
 
     #[test]
@@ -252,6 +426,76 @@ mod tests {
     }
 
     #[test]
+    fn tombstone_memory_does_not_grow_with_evictions() {
+        let mut m = mgr(2);
+        // Churn thousands of dense session ids through a 2-session
+        // manager: every admit evicts, yet the tombstone set stays a
+        // handful of ranges (the eviction order interleaves ids, so runs
+        // merge as neighbors arrive).
+        for id in 0..5_000u64 {
+            touch(&mut m, id);
+        }
+        assert_eq!(m.evictions(), 4_998);
+        assert!(
+            m.tombstone_spans() <= 4,
+            "tombstone set grew to {} spans after {} evictions",
+            m.tombstone_spans(),
+            m.evictions()
+        );
+        // The guarantee is exact: every evicted id still errors, the two
+        // resident ids still work.
+        assert_eq!(m.admit(17), Err(ServeError::SessionEvicted { session: 17 }));
+        assert_eq!(
+            m.admit(4_000),
+            Err(ServeError::SessionEvicted { session: 4_000 })
+        );
+        touch(&mut m, 4_998);
+        touch(&mut m, 4_999);
+    }
+
+    #[test]
+    fn id_ranges_merge_and_answer_exactly() {
+        let mut r = IdRanges::default();
+        for id in [5u64, 7, 6, 1, 2, 100, 3] {
+            r.insert(id);
+        }
+        // {1..=3, 5..=7, 100}
+        assert_eq!(r.span_count(), 3);
+        for present in [1u64, 2, 3, 5, 6, 7, 100] {
+            assert!(r.contains(present), "{present}");
+        }
+        for absent in [0u64, 4, 8, 99, 101, u64::MAX] {
+            assert!(!r.contains(absent), "{absent}");
+        }
+        r.insert(4); // bridges 1..=3 and 5..=7
+        assert_eq!(r.span_count(), 2);
+        assert!(r.contains(4));
+        r.insert(2); // idempotent
+        assert_eq!(r.span_count(), 2);
+    }
+
+    #[test]
+    fn id_ranges_handle_u64_extremes() {
+        // Session ids are arbitrary client u64s: the extremes must not
+        // overflow (the overflow-checked CI would panic) or mis-merge
+        // with ranges at the other end of the keyspace.
+        let mut r = IdRanges::default();
+        r.insert(0);
+        r.insert(u64::MAX);
+        assert_eq!(r.span_count(), 2);
+        assert!(r.contains(0));
+        assert!(r.contains(u64::MAX));
+        assert!(!r.contains(1));
+        assert!(!r.contains(u64::MAX - 1));
+        r.insert(u64::MAX - 1); // left-merges into the MAX range
+        assert_eq!(r.span_count(), 2);
+        assert!(r.contains(u64::MAX - 1));
+        r.insert(1); // extends the 0 range
+        assert_eq!(r.span_count(), 2);
+        assert!(r.contains(1));
+    }
+
+    #[test]
     fn pinned_and_busy_sessions_survive_eviction() {
         let mut m = mgr(2);
         m.admit(1).unwrap(); // pinned (in flight)
@@ -279,7 +523,10 @@ mod tests {
         m.admit(7).unwrap();
         let mut s = m.checkout(7);
         assert!(m.is_busy(7));
-        s.position = 5;
+        match &mut s {
+            SessionKv::F32(s) => s.position = 5,
+            SessionKv::Int8(s) => s.position = 5,
+        }
         m.checkin(7, s);
         m.release(7);
         assert!(!m.is_busy(7));
@@ -296,13 +543,27 @@ mod tests {
     }
 
     #[test]
-    fn kv_floats_tracks_resident_idle_caches() {
+    fn kv_bytes_tracks_resident_idle_caches() {
         let mut m = mgr(2);
         m.admit(1).unwrap();
-        assert_eq!(m.kv_floats(), 0); // empty caches
+        assert_eq!(m.kv_bytes(), 0); // empty caches
         let mut s = m.checkout(1);
-        s.layers[0].append_row(&[1.0; 8], &[2.0; 8]);
+        match &mut s {
+            SessionKv::F32(st) => st.layers[0].append_row(&[1.0; 8], &[2.0; 8]),
+            SessionKv::Int8(st) => st.layers[0].append_row(&[1.0; 8], &[2.0; 8]),
+        }
         m.checkin(1, s);
-        assert_eq!(m.kv_floats(), 16);
+        // One f32 row: 16 floats = 64 bytes.
+        assert_eq!(m.kv_bytes(), 64);
+    }
+
+    #[test]
+    fn int8_manager_hands_out_int8_states() {
+        let budget = 2 * 16 * Precision::Int8Apsq.kv_bytes_per_token(8, 2);
+        let mut m = SessionManager::new(budget, 2, 8, 2, 16, Precision::Int8Apsq);
+        m.admit(1).unwrap();
+        let s = m.checkout(1);
+        assert!(matches!(s, SessionKv::Int8(_)));
+        m.checkin(1, s);
     }
 }

@@ -509,6 +509,170 @@ impl ExecEngine {
         out
     }
 
+    /// Batched exact integer transposed-B matmul: `[B, M, K]` i8 × `bᵀ`
+    /// per batch (`b` stored `[B, N, K]` i8) → `[B, M, N]` i32 — the
+    /// decode-attention `Q·Kᵀ` primitive, where the batch axis is the head
+    /// and the cached key rows already sit in the `[N, K]` row-major
+    /// layout the KV cache appends them in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operands are not rank-3 or batch/K dims disagree.
+    pub fn int8_batched_matmul_bt(&self, a: &Int8Tensor, b: &Int8Tensor) -> Int32Tensor {
+        let (ba, m, k, n) = dims_batched_bt_i8(a, b);
+        let mut out = Int32Tensor::zeros([ba, m, n]);
+        for batch in 0..ba {
+            let ad = &a.data()[batch * m * k..(batch + 1) * m * k];
+            let bd = &b.data()[batch * n * k..(batch + 1) * n * k];
+            let od = &mut out.data_mut()[batch * m * n..(batch + 1) * m * n];
+            self.partition_rows(od, n, m, m * n * k, &|r0, r1, chunk| {
+                kernels::gemm_bt_i8(&ad[r0 * k..], k, bd, k, chunk, n, r1 - r0, n, 0, k);
+            });
+        }
+        out
+    }
+
+    /// [`ExecEngine::int8_batched_matmul_bt`] dequantized on the way out
+    /// with one scale per (batch, output column): `out[b, i, j] =
+    /// Σ_k a[b,i,k]·b[b,j,k] · a_scale · row_scales[b·N + j]` — the
+    /// per-row-scaled decode `Q·Kᵀ`, where every cached key row carries
+    /// its own (per-token, per-head) power-of-two scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/shape mismatches or if `row_scales.len() != B·N`.
+    pub fn int8_rowscaled_batched_matmul_bt(
+        &self,
+        a: &Int8Tensor,
+        b: &Int8Tensor,
+        a_scale: f32,
+        row_scales: &[f32],
+    ) -> Tensor {
+        let (ba, m, _, n) = dims_batched_bt_i8(a, b);
+        assert_eq!(
+            row_scales.len(),
+            ba * n,
+            "row_scales must provide one scale per (batch, row): {} != {}",
+            row_scales.len(),
+            ba * n
+        );
+        let acc = self.int8_batched_matmul_bt(a, b);
+        let mut out = vec![0.0f32; ba * m * n];
+        for batch in 0..ba {
+            for i in 0..m {
+                let base = batch * m * n + i * n;
+                for j in 0..n {
+                    out[base + j] =
+                        acc.data()[base + j] as f32 * a_scale * row_scales[batch * n + j];
+                }
+            }
+        }
+        Tensor::from_vec(out, [ba, m, n])
+    }
+
+    /// Streams the exact i32 PSUM tiles of the batched transposed-B matmul
+    /// along K to `f`: one reusable `[B, M, N]` buffer, tiles in fixed
+    /// accumulation order — the batched twin of
+    /// [`ExecEngine::int8_bt_for_each_k_tile`], so a per-batch APSQ fold
+    /// can sit inside the decode score GEMM's K loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operands are not rank-3, batch/K dims disagree, or
+    /// `k_tile == 0`.
+    pub fn int8_batched_bt_for_each_k_tile(
+        &self,
+        a: &Int8Tensor,
+        b: &Int8Tensor,
+        k_tile: usize,
+        mut f: impl FnMut(usize, &Int32Tensor),
+    ) {
+        assert!(k_tile > 0, "k_tile must be positive");
+        let (ba, m, k, n) = dims_batched_bt_i8(a, b);
+        let np = k.div_ceil(k_tile);
+        let mut tile = Int32Tensor::zeros([ba, m, n]);
+        for t in 0..np {
+            let k0 = t * k_tile;
+            let k1 = usize::min(k0 + k_tile, k);
+            tile.data_mut().fill(0);
+            for batch in 0..ba {
+                let ad = &a.data()[batch * m * k..(batch + 1) * m * k];
+                let bd = &b.data()[batch * n * k..(batch + 1) * n * k];
+                let od = &mut tile.data_mut()[batch * m * n..(batch + 1) * m * n];
+                self.partition_rows(od, n, m, m * n * (k1 - k0), &|r0, r1, chunk| {
+                    kernels::gemm_bt_i8(&ad[r0 * k..], k, bd, k, chunk, n, r1 - r0, n, k0, k1);
+                });
+            }
+            f(t, &tile);
+        }
+    }
+
+    /// Streams the exact i32 PSUM tiles of the batched `[B, M, K] ×
+    /// [B, K, N]` matmul along K to `f`: one reusable `[B, M, N]` buffer,
+    /// fixed accumulation order — the batched twin of
+    /// [`ExecEngine::int8_for_each_k_tile`]. In decode attention this is
+    /// the `P·V` GEMM whose K axis is the **context length**, so grouped
+    /// APSQ folds over the sequence dimension exactly where the KV-cache
+    /// PSUM traffic lives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operands are not rank-3, batch/inner dims disagree, or
+    /// `k_tile == 0`.
+    pub fn int8_batched_for_each_k_tile(
+        &self,
+        a: &Int8Tensor,
+        b: &Int8Tensor,
+        k_tile: usize,
+        mut f: impl FnMut(usize, &Int32Tensor),
+    ) {
+        assert!(k_tile > 0, "k_tile must be positive");
+        assert_eq!(
+            a.shape().rank(),
+            3,
+            "int8_batched_for_each_k_tile: `a` must be rank-3"
+        );
+        assert_eq!(
+            b.shape().rank(),
+            3,
+            "int8_batched_for_each_k_tile: `b` must be rank-3"
+        );
+        let (ba, m, k) = (a.dims()[0], a.dims()[1], a.dims()[2]);
+        let (bb, kb, n) = (b.dims()[0], b.dims()[1], b.dims()[2]);
+        assert_eq!(ba, bb, "batch sizes {ba} vs {bb} disagree");
+        assert_eq!(k, kb, "inner dimensions {k} vs {kb} disagree");
+        let np = k.div_ceil(k_tile);
+        let mut tile = Int32Tensor::zeros([ba, m, n]);
+        for t in 0..np {
+            let k0 = t * k_tile;
+            let k1 = usize::min(k0 + k_tile, k);
+            tile.data_mut().fill(0);
+            for batch in 0..ba {
+                self.partition_rows(
+                    &mut tile.data_mut()[batch * m * n..(batch + 1) * m * n],
+                    n,
+                    m,
+                    m * n * (k1 - k0),
+                    &|r0, r1, chunk| {
+                        kernels::gemm_i8(
+                            &a.data()[batch * m * k + r0 * k..],
+                            k,
+                            &b.data()[batch * k * n..(batch + 1) * k * n],
+                            n,
+                            chunk,
+                            n,
+                            r1 - r0,
+                            n,
+                            k0,
+                            k1,
+                        );
+                    },
+                );
+            }
+            f(t, &tile);
+        }
+    }
+
     /// Streams the exact i32 PSUM tiles of `a · bᵀ` (`b` stored `[N, K]`)
     /// along K to `f` — [`ExecEngine::int8_for_each_k_tile`] for the
     /// transposed weight layout, so a requantizing APSQ fold can sit
@@ -795,6 +959,30 @@ fn dims_i8(a: &Int8Tensor, b: &Int8Tensor) -> (usize, usize, usize) {
     (m, k, n)
 }
 
+fn dims_batched_bt_i8(a: &Int8Tensor, b: &Int8Tensor) -> (usize, usize, usize, usize) {
+    assert_eq!(
+        a.shape().rank(),
+        3,
+        "int8_batched_matmul_bt: `a` must be rank-3"
+    );
+    assert_eq!(
+        b.shape().rank(),
+        3,
+        "int8_batched_matmul_bt: `b` must be rank-3"
+    );
+    let (ba, m, k) = (a.dims()[0], a.dims()[1], a.dims()[2]);
+    let (bb, n, kb) = (b.dims()[0], b.dims()[1], b.dims()[2]);
+    assert_eq!(
+        ba, bb,
+        "int8_batched_matmul_bt: batch sizes {ba} vs {bb} disagree"
+    );
+    assert_eq!(
+        k, kb,
+        "int8_batched_matmul_bt: K dimensions {k} vs {kb} disagree"
+    );
+    (ba, m, k, n)
+}
+
 fn dims_bt_i8(a: &Int8Tensor, b: &Int8Tensor) -> (usize, usize, usize) {
     assert_eq!(a.shape().rank(), 2, "int8_matmul_bt: `a` must be rank-2");
     assert_eq!(b.shape().rank(), 2, "int8_matmul_bt: `b` must be rank-2");
@@ -959,6 +1147,111 @@ mod tests {
             steps += 1;
         });
         assert_eq!(steps, 33usize.div_ceil(8));
+    }
+
+    /// Builds a `[B, M, K] / [B, N, K]` batched pair whose per-batch
+    /// contents differ.
+    fn batched_i8_pair(bsz: usize, m: usize, k: usize, n: usize) -> (Int8Tensor, Int8Tensor) {
+        let a = Int8Tensor::from_vec(
+            (0..bsz * m * k)
+                .map(|x| ((x * 37 + 11) % 255) as i8)
+                .collect(),
+            [bsz, m, k],
+        );
+        let b = Int8Tensor::from_vec(
+            (0..bsz * n * k)
+                .map(|x| ((x * 73 + 5) % 251) as i8)
+                .collect(),
+            [bsz, n, k],
+        );
+        (a, b)
+    }
+
+    #[test]
+    fn int8_batched_bt_matches_per_batch_bt() {
+        let (bsz, m, k, n) = (3usize, 2usize, 33usize, 5usize);
+        let (a, b) = batched_i8_pair(bsz, m, k, n);
+        for threads in [1usize, 3] {
+            let eng = ExecEngine::with_threads(threads).with_spawn_threshold(0);
+            let out = eng.int8_batched_matmul_bt(&a, &b);
+            assert_eq!(out.dims(), &[bsz, m, n]);
+            for batch in 0..bsz {
+                let ab = Int8Tensor::from_vec(
+                    a.data()[batch * m * k..(batch + 1) * m * k].to_vec(),
+                    [m, k],
+                );
+                let bb = Int8Tensor::from_vec(
+                    b.data()[batch * n * k..(batch + 1) * n * k].to_vec(),
+                    [n, k],
+                );
+                let want = eng.int8_matmul_bt(&ab, &bb);
+                assert_eq!(
+                    &out.data()[batch * m * n..(batch + 1) * m * n],
+                    want.data(),
+                    "batch {batch} threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn int8_rowscaled_batched_bt_applies_per_row_scales() {
+        let (bsz, m, k, n) = (2usize, 1usize, 16usize, 4usize);
+        let (a, b) = batched_i8_pair(bsz, m, k, n);
+        let scales: Vec<f32> = (0..bsz * n).map(|i| ((i as i32) - 3) as f32).collect();
+        let eng = ExecEngine::serial();
+        let acc = eng.int8_batched_matmul_bt(&a, &b);
+        let out = eng.int8_rowscaled_batched_matmul_bt(&a, &b, 0.5, &scales);
+        assert_eq!(out.dims(), &[bsz, m, n]);
+        for batch in 0..bsz {
+            for j in 0..n {
+                let want = acc.data()[batch * n + j] as f32 * 0.5 * scales[batch * n + j];
+                assert_eq!(out.data()[batch * n + j], want, "batch {batch} col {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn int8_batched_bt_k_tiles_sum_to_full_gemm() {
+        let (bsz, m, k, n) = (2usize, 2usize, 23usize, 3usize);
+        let (a, b) = batched_i8_pair(bsz, m, k, n);
+        let eng = ExecEngine::with_threads(2).with_spawn_threshold(0);
+        let want = eng.int8_batched_matmul_bt(&a, &b);
+        let mut acc = Int32Tensor::zeros([bsz, m, n]);
+        let mut steps = 0;
+        eng.int8_batched_bt_for_each_k_tile(&a, &b, 7, |step, tile| {
+            assert_eq!(step, steps);
+            acc = acc.checked_add(tile).unwrap();
+            steps += 1;
+        });
+        assert_eq!(steps, 23usize.div_ceil(7));
+        assert_eq!(acc, want);
+    }
+
+    #[test]
+    fn int8_batched_kn_k_tiles_sum_to_batched_matmul() {
+        let (bsz, m, k, n) = (3usize, 1usize, 29usize, 6usize);
+        let a = Int8Tensor::from_vec(
+            (0..bsz * m * k)
+                .map(|x| ((x * 31 + 7) % 253) as i8)
+                .collect(),
+            [bsz, m, k],
+        );
+        let b = Int8Tensor::from_vec(
+            (0..bsz * k * n)
+                .map(|x| ((x * 41 + 13) % 249) as i8)
+                .collect(),
+            [bsz, k, n],
+        );
+        for threads in [1usize, 4] {
+            let eng = ExecEngine::with_threads(threads).with_spawn_threshold(0);
+            let want = eng.int8_batched_matmul(&a, &b);
+            let mut acc = Int32Tensor::zeros([bsz, m, n]);
+            eng.int8_batched_for_each_k_tile(&a, &b, 8, |_, tile| {
+                acc = acc.checked_add(tile).unwrap();
+            });
+            assert_eq!(acc, want, "threads={threads}");
+        }
     }
 
     #[test]

@@ -29,6 +29,11 @@ cargo test -q --release -p apsq-nn --test proptest_int8
 echo "==> cargo test -q --release -p apsq-tensor  (engine kernels at release opt)"
 cargo test -q --release -p apsq-tensor
 
+echo "==> overflow-checked release: tensor kernels + int8 datapath wrap loudly"
+RUSTFLAGS="-C overflow-checks" cargo test -q --release -p apsq-tensor
+RUSTFLAGS="-C overflow-checks" cargo test -q --release -p apsq-nn --test proptest_int8
+RUSTFLAGS="-C overflow-checks" cargo test -q --release -p apsq-nn --lib int8
+
 echo "==> cargo test -q --release -p apsq-serve  (server + determinism suite at release opt)"
 cargo test -q --release -p apsq-serve
 
