@@ -1,21 +1,28 @@
 //! Closed-loop serving benchmark over `apsq-serve`: the llama decode
 //! scenario at batch-size-1 vs dynamic batching (same resources, same
-//! seed, same traffic), plus a mixed bert/segformer/llama scenario —
-//! recorded as machine-readable JSON (`BENCH_serve.json`, or `--out PATH`)
-//! through the shared report emitter.
+//! seed, same traffic), continuous vs barrier-style batching, a mixed
+//! bert/segformer/llama scenario, and a shared-prefix residency run on
+//! the paged int8 KV cache — recorded as machine-readable JSON
+//! (`BENCH_serve.json`, or `--out PATH`) through the shared report
+//! emitter.
 //!
 //! ```text
 //! cargo run --release -p apsq-bench --bin serve_bench [-- --quick] [--out PATH]
 //! ```
 //!
-//! Because the two decode runs replay identical traffic, their response
-//! fingerprints must match — the benchmark doubles as an end-to-end check
-//! that batching never changes results — and the recorded
-//! `batched_speedup` is the pure dynamic-batching win.
+//! Because runs that replay identical traffic must produce identical
+//! response payloads, the benchmark doubles as an end-to-end check of the
+//! determinism contract: batch-1 vs batched and barrier vs continuous
+//! fingerprints are asserted equal. The shared-prefix run asserts the
+//! paged cache actually packs ≥1.5× the nominal worst-case session
+//! capacity without evicting or shedding.
 
 use apsq_bench::report::JsonObject;
-use apsq_bench::serve_report::{latency_table, occupancy_table, report_json, summary_table};
-use apsq_serve::{BatchPolicy, LoadGenerator, LoadReport, Scenario, ServeConfig};
+use apsq_bench::serve_report::{
+    kv_blocks_table, latency_table, occupancy_table, report_json, summary_table,
+};
+use apsq_serve::{BatchPolicy, LoadGenerator, LoadReport, Precision, Scenario, ServeConfig};
+use std::time::Duration;
 
 const SEED: u64 = 0xA95C_BEEF;
 
@@ -53,11 +60,71 @@ fn main() {
     assert_eq!(b1.errors + batched.errors, 0, "decode traffic errored");
     let speedup = batched.tokens_per_s / b1.tokens_per_s;
 
+    // Continuous vs barrier on the same traffic and one worker: the
+    // barrier policy's max_batch exceeds the client count, so every
+    // dispatch waits out the full coalescing window with the worker
+    // idle; continuous dispatches the moment the worker frees up and
+    // still coalesces whatever resubmitted meanwhile. Payloads must stay
+    // bit-identical either way.
+    let wide = 2 * clients;
+    let mut barrier = decode.run(&base.clone().with_workers(1).with_batch(BatchPolicy {
+        max_batch: wide,
+        max_wait: Duration::from_millis(2),
+        continuous: false,
+    }));
+    barrier.scenario.push_str("_barrier");
+    let mut continuous = decode.run(
+        &base
+            .clone()
+            .with_workers(1)
+            .with_batch(BatchPolicy::continuous(wide)),
+    );
+    continuous.scenario.push_str("_continuous");
+    assert_eq!(
+        barrier.fingerprint, continuous.fingerprint,
+        "continuous batching changed response payloads"
+    );
+    assert_eq!(barrier.fingerprint, b1.fingerprint, "traffic diverged");
+    let continuous_speedup = continuous.tokens_per_s / barrier.tokens_per_s;
+    assert!(
+        continuous.tokens_per_s >= barrier.tokens_per_s,
+        "continuous batching slower than the coalescing barrier: {:.1} < {:.1} tok/s",
+        continuous.tokens_per_s,
+        barrier.tokens_per_s
+    );
+
     let mixed = LoadGenerator::new(SEED, Scenario::mixed(SEED, clients, mixed_steps))
         .run(&base.clone().with_batch(BatchPolicy::batched(max_batch)));
 
-    let reports: Vec<&LoadReport> = vec![&b1, &batched, &mixed];
+    // Shared-prefix residency on the paged int8 cache: a byte budget
+    // sized for clients/2 worst-case sessions carries all `clients`
+    // sessions because their identical prompts collapse onto shared
+    // blocks. `sessions_peak / sessions_capacity` is the residency win.
+    let int8_sessions = clients / 2;
+    let shared_cfg = base
+        .clone()
+        .with_precision(Precision::Int8Apsq)
+        .with_batch(BatchPolicy::continuous(max_batch))
+        .with_kv_block_tokens(4)
+        .with_kv_budget(int8_sessions * base.model.kv_bytes_per_session(Precision::Int8Apsq));
+    let shared = LoadGenerator::new(SEED, Scenario::shared_prefix_decode(clients, steps, steps))
+        .run(&shared_cfg);
+    assert_eq!(
+        shared.errors + shared.snapshot.evictions,
+        0,
+        "shared-prefix overcommit shed or evicted"
+    );
+    let resident_ratio =
+        shared.snapshot.sessions_peak as f64 / shared.snapshot.sessions_capacity as f64;
+    assert!(
+        resident_ratio >= 1.5,
+        "shared-prefix residency {resident_ratio:.2}x below the 1.5x floor"
+    );
+
+    let reports: Vec<&LoadReport> = vec![&b1, &batched, &barrier, &continuous, &mixed, &shared];
     println!("{}", summary_table(&reports).render());
+    println!("KV block pool:");
+    println!("{}", kv_blocks_table(&reports).render());
     println!("batched decode latency by lane:");
     println!("{}", latency_table(&batched).render());
     println!("batched decode batch occupancy:");
@@ -65,6 +132,14 @@ fn main() {
     println!(
         "llama decode throughput: {:.1} tok/s (batch 1) -> {:.1} tok/s (batch {max_batch}) = {speedup:.2}x",
         b1.tokens_per_s, batched.tokens_per_s
+    );
+    println!(
+        "continuous vs barrier: {:.1} vs {:.1} tok/s = {continuous_speedup:.2}x",
+        continuous.tokens_per_s, barrier.tokens_per_s
+    );
+    println!(
+        "shared-prefix int8 residency: {} sessions in a {}-session budget = {resident_ratio:.2}x",
+        shared.snapshot.sessions_peak, shared.snapshot.sessions_capacity
     );
     println!(
         "fingerprints identical across batching configs: {:016x}",
@@ -82,6 +157,14 @@ fn main() {
         .num("tokens_per_s_batch1", b1.tokens_per_s)
         .num("tokens_per_s_batched", batched.tokens_per_s)
         .num("batched_speedup", speedup)
+        .num("tokens_per_s_barrier", barrier.tokens_per_s)
+        .num("tokens_per_s_continuous", continuous.tokens_per_s)
+        .num("continuous_speedup", continuous_speedup)
+        .num("shared_prefix_resident_ratio", resident_ratio)
+        .int(
+            "shared_prefix_hits",
+            shared.snapshot.shared_prefix_hits as i64,
+        )
         .bool("fingerprints_match_across_batching", true)
         .raw("scenarios", scenarios)
         .render();

@@ -29,6 +29,37 @@ pub fn summary_table(reports: &[&LoadReport]) -> Table {
     t
 }
 
+/// One row per scenario: KV block-pool behavior — pool size, peak
+/// residency, sharing, and fill efficiency of the paged cache.
+pub fn kv_blocks_table(reports: &[&LoadReport]) -> Table {
+    let mut t = Table::new(&[
+        "scenario",
+        "sessions peak",
+        "sessions cap",
+        "blocks cap",
+        "blocks peak",
+        "shared peak",
+        "util mean",
+        "prefix hits",
+        "evictions",
+    ]);
+    for r in reports {
+        let s = &r.snapshot;
+        t.row(vec![
+            r.scenario.clone(),
+            s.sessions_peak.to_string(),
+            s.sessions_capacity.to_string(),
+            s.blocks_capacity.to_string(),
+            s.blocks_peak.to_string(),
+            s.blocks_shared_peak.to_string(),
+            f(s.block_utilization_mean, 2),
+            s.shared_prefix_hits.to_string(),
+            s.evictions.to_string(),
+        ]);
+    }
+    t
+}
+
 /// Per-lane latency breakdown for one run.
 pub fn latency_table(report: &LoadReport) -> Table {
     let mut t = Table::new(&[
@@ -68,9 +99,17 @@ pub fn report_json(report: &LoadReport) -> String {
         .int("ok", report.ok as i64)
         .int("errors", report.errors as i64)
         .int("shed_queue", s.shed_queue as i64)
+        .int("shed_session_capacity", s.shed_session_capacity as i64)
+        .int("shed_context_overflow", s.shed_context_overflow as i64)
+        .int("shed_session_evicted", s.shed_session_evicted as i64)
         .int("evictions", s.evictions as i64)
         .int("sessions_peak", s.sessions_peak as i64)
         .int("sessions_capacity", s.sessions_capacity as i64)
+        .int("blocks_capacity", s.blocks_capacity as i64)
+        .int("blocks_peak", s.blocks_peak as i64)
+        .int("blocks_shared_peak", s.blocks_shared_peak as i64)
+        .num("block_utilization_mean", s.block_utilization_mean)
+        .int("shared_prefix_hits", s.shared_prefix_hits as i64)
         .int("decode_tokens", s.decode_tokens as i64)
         .num("elapsed_s", report.elapsed_s)
         .num("tokens_per_s", report.tokens_per_s)
@@ -112,9 +151,12 @@ mod tests {
         assert!(summary.render().contains("tok/s"));
         assert_eq!(latency_table(&r).len(), 3);
         assert!(!occupancy_table(&r).is_empty());
+        assert_eq!(kv_blocks_table(&[&r]).len(), 1);
         let json = report_json(&r);
         assert!(json.contains("\"scenario\""));
         assert!(json.contains("\"tokens_per_s\""));
+        assert!(json.contains("\"blocks_capacity\""));
+        assert!(json.contains("\"shared_prefix_hits\""));
         assert!(json.contains("\"occupancy_table\""));
     }
 }

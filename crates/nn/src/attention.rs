@@ -288,6 +288,69 @@ impl MultiHeadAttention {
         }
         self.wo.forward_inference_with(&ctx, eng)
     }
+
+    /// Paged twin of [`Self::forward_decode_batch_with`]: each sequence's
+    /// K/V live in `layer`'s block table of its [`crate::PagedKvState`] instead
+    /// of one contiguous cache. This step's K/V rows are appended first
+    /// (allocating or copy-on-writing blocks as needed), then each
+    /// sequence's blocks are **gathered in token order** into the same
+    /// flat `[t·d]` layout the contiguous cache exposes — the GEMM
+    /// operands are byte-identical, so the result is bit-identical to the
+    /// contiguous path for every block size and thread count.
+    ///
+    /// Positions are read from the states but **not** advanced — the
+    /// caller advances once after all layers of the step (see
+    /// [`crate::DecoderLm::decode_batch_paged_with`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[B, d]` with one state per row, or the block
+    /// pool is exhausted.
+    pub fn forward_decode_batch_paged_with(
+        &self,
+        x: &Tensor,
+        layer: usize,
+        alloc: &mut crate::paged::BlockAllocator,
+        states: &mut [&mut crate::paged::PagedKvState],
+        eng: &ExecEngine,
+    ) -> Tensor {
+        let b = x.dims()[0];
+        assert_eq!(b, states.len(), "one paged KV state per batched sequence");
+        let d = x.dims()[1];
+        let dh = self.head_dim(d);
+        let q = self.wq.forward_inference_with(x, eng);
+        let k = self.wk.forward_inference_with(x, eng);
+        let v = self.wv.forward_inference_with(x, eng);
+        for (i, state) in states.iter_mut().enumerate() {
+            state.append_row(
+                layer,
+                alloc,
+                &k.data()[i * d..(i + 1) * d],
+                &v.data()[i * d..(i + 1) * d],
+            );
+        }
+
+        let mut ctx = Tensor::zeros([b, d]);
+        let (mut k_flat, mut v_flat) = (Vec::new(), Vec::new());
+        for (i, state) in states.iter().enumerate() {
+            let t = state.position() + 1; // this step's row is appended
+            alloc.gather_f32(state.layer_blocks(layer), t, &mut k_flat, &mut v_flat);
+            let qi = Tensor::from_vec(q.data()[i * d..(i + 1) * d].to_vec(), [1, d]);
+            let mut ctx_i = Tensor::zeros([1, d]);
+            for h in 0..self.heads {
+                let qh = slice_cols(&qi, h * dh, dh);
+                let kh = head_from_rows(&k_flat, t, d, h * dh, dh);
+                let vh = head_from_rows(&v_flat, t, d, h * dh, dh);
+                let mut scores = eng.matmul_bt(&qh, &kh); // [1, t]
+                scores = &scores * (1.0 / (dh as f32).sqrt());
+                let p = softmax_rows(&scores);
+                let ctx_h = eng.matmul(&p, &vh); // [1, dh]
+                write_cols(&mut ctx_i, &ctx_h, h * dh);
+            }
+            ctx.data_mut()[i * d..(i + 1) * d].copy_from_slice(ctx_i.data());
+        }
+        self.wo.forward_inference_with(&ctx, eng)
+    }
 }
 
 impl HasParams for MultiHeadAttention {

@@ -163,6 +163,26 @@ impl TransformerBlock {
         self.ffn_inference(&x1, eng)
     }
 
+    /// Paged twin of [`Self::forward_decode_batch_with`]: each sequence's
+    /// K/V for this block live in `layer`'s block table of its
+    /// [`crate::PagedKvState`]. Bit-identical to the contiguous path (see
+    /// [`crate::MultiHeadAttention::forward_decode_batch_paged_with`]).
+    pub fn forward_decode_batch_paged_with(
+        &self,
+        x: &Tensor,
+        layer: usize,
+        alloc: &mut crate::paged::BlockAllocator,
+        states: &mut [&mut crate::paged::PagedKvState],
+        eng: &ExecEngine,
+    ) -> Tensor {
+        let a = self.ln1.forward_inference(x);
+        let a = self
+            .attn
+            .forward_decode_batch_paged_with(&a, layer, alloc, states, eng);
+        let x1 = x + &a;
+        self.ffn_inference(&x1, eng)
+    }
+
     /// The shared post-attention half of every inference path: pre-LN FFN
     /// with residual.
     fn ffn_inference(&self, x1: &Tensor, eng: &ExecEngine) -> Tensor {

@@ -41,6 +41,34 @@ fn pow2_snap(step: f32) -> f32 {
     step.log2().round().exp2()
 }
 
+/// A borrowed flat view over int8 KV storage: `[t, d]` row-major i8 codes
+/// plus `[t, heads]` per-(token, head) power-of-two exponents. Both the
+/// contiguous [`Int8AttentionKvCache`] and a gather from paged
+/// [`crate::BlockAllocator`] blocks produce byte-identical views, which is
+/// what makes the paged decode path bit-identical to the contiguous one:
+/// the attention kernel only ever sees this view.
+struct Int8KvView<'a> {
+    width: usize,
+    len: usize,
+    k_codes: &'a [i8],
+    v_codes: &'a [i8],
+    k_exps: &'a [i8],
+    v_exps: &'a [i8],
+}
+
+impl<'a> Int8KvView<'a> {
+    fn from_cache(cache: &'a Int8AttentionKvCache) -> Self {
+        Int8KvView {
+            width: cache.width(),
+            len: cache.len(),
+            k_codes: cache.keys_codes(),
+            v_codes: cache.values_codes(),
+            k_exps: cache.keys_exponents(),
+            v_exps: cache.values_exponents(),
+        }
+    }
+}
+
 /// How an [`Int8Linear`] treats its i32 PSUM stream.
 #[derive(Clone, Debug)]
 enum Int8PsumPath {
@@ -405,10 +433,21 @@ impl Int8MultiHeadAttention {
         cache: &Int8AttentionKvCache,
         eng: &ExecEngine,
     ) -> (Vec<f32>, BufferTraffic) {
-        let d = cache.width();
+        self.attend_row_view(qc, &Int8KvView::from_cache(cache), eng)
+    }
+
+    /// [`Self::attend_row`] over a flat KV view — the single attention
+    /// kernel both the contiguous and the paged decode paths funnel into.
+    fn attend_row_view(
+        &self,
+        qc: &[i8],
+        kv: &Int8KvView<'_>,
+        eng: &ExecEngine,
+    ) -> (Vec<f32>, BufferTraffic) {
+        let d = kv.width;
         let heads = self.heads;
         let dh = d / heads;
-        let t = cache.len();
+        let t = kv.len;
         let inv_sqrt = 1.0 / (dh as f32).sqrt();
         let q_scale = self.q_scale();
         let mut traffic = BufferTraffic::new();
@@ -418,8 +457,8 @@ impl Int8MultiHeadAttention {
         // row's covering scale — and 1/√dh folded into the Q-side scale.
         // No mask needed: the cache prefix *is* the causal window.
         let qb = Int8Tensor::from_vec(qc.to_vec(), [heads, 1, dh]);
-        let kb = Self::gather_heads(cache.keys_codes(), t, d, heads);
-        let k_exps = cache.keys_exponents();
+        let kb = Self::gather_heads(kv.k_codes, t, d, heads);
+        let k_exps = kv.k_exps;
         let row_scales: Vec<f32> = (0..heads * t)
             .map(|i| (k_exps[(i % t) * heads + i / t] as f32).exp2())
             .collect();
@@ -457,7 +496,7 @@ impl Int8MultiHeadAttention {
         // P·V: fold each value row's scale into the probabilities, then
         // requantize so the GEMM runs on a single scale pair and APSQ can
         // fold over the context (K) dimension.
-        let v_exps = cache.values_exponents();
+        let v_exps = kv.v_exps;
         let mut r_exps = vec![0i32; heads];
         let mut rc = vec![0i8; heads * t];
         for h in 0..heads {
@@ -477,7 +516,7 @@ impl Int8MultiHeadAttention {
         let rb = Int8Tensor::from_vec(rc, [heads, 1, t]);
         // Per head this is already the [t, dh] = K×N operand the context
         // GEMM consumes.
-        let vb = Self::gather_heads(cache.values_codes(), t, d, heads);
+        let vb = Self::gather_heads(kv.v_codes, t, d, heads);
         let ctx_i32 = match &self.seq_apsq {
             None => eng.int8_batched_matmul(&rb, &vb),
             Some((config, k_tile)) => {
@@ -585,6 +624,90 @@ impl Int8MultiHeadAttention {
         (self.wo.forward_inference_with(&ctx, eng), traffic)
     }
 
+    /// Paged twin of [`Self::forward_decode_batch_with`]: each sequence's
+    /// K/V rows for this layer live in fixed-size blocks owned by `alloc`
+    /// (an **int8** [`crate::BlockAllocator`]) and addressed through the
+    /// sequence's [`crate::PagedKvState`] block table. Appends quantize
+    /// through the same per-(token, head) covering-scale recipe as
+    /// [`Int8AttentionKvCache`], and attention gathers the table back into
+    /// the same flat view the contiguous path reads — so the result is
+    /// **bit-identical** to the contiguous path for every block size and
+    /// engine thread count.
+    ///
+    /// Positions are read but **not** advanced; the model driver calls
+    /// [`crate::PagedKvState::advance`] once per step after all layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[B, d]` with one state per row, or the block
+    /// pool is exhausted.
+    pub fn forward_decode_batch_paged_with(
+        &self,
+        x: &Tensor,
+        layer: usize,
+        alloc: &mut crate::BlockAllocator,
+        states: &mut [&mut crate::PagedKvState],
+        eng: &ExecEngine,
+    ) -> Tensor {
+        self.forward_decode_batch_paged_traced(x, layer, alloc, states, eng)
+            .0
+    }
+
+    /// [`Self::forward_decode_batch_paged_with`] also returning the PSUM
+    /// buffer traffic the attention APSQ folds incurred across the batch.
+    pub fn forward_decode_batch_paged_traced(
+        &self,
+        x: &Tensor,
+        layer: usize,
+        alloc: &mut crate::BlockAllocator,
+        states: &mut [&mut crate::PagedKvState],
+        eng: &ExecEngine,
+    ) -> (Tensor, BufferTraffic) {
+        let b = x.dims()[0];
+        assert_eq!(b, states.len(), "one paged KV state per batched sequence");
+        let d = x.dims()[1];
+        let q = self.wq.forward_inference_with(x, eng);
+        let k = self.wk.forward_inference_with(x, eng);
+        let v = self.wv.forward_inference_with(x, eng);
+        for (i, state) in states.iter_mut().enumerate() {
+            state.append_row(
+                layer,
+                alloc,
+                &k.data()[i * d..(i + 1) * d],
+                &v.data()[i * d..(i + 1) * d],
+            );
+        }
+        let mut traffic = BufferTraffic::new();
+        let mut ctx = Tensor::zeros([b, d]);
+        let (mut kc, mut vc) = (Vec::new(), Vec::new());
+        let (mut ke, mut ve) = (Vec::new(), Vec::new());
+        for (i, state) in states.iter().enumerate() {
+            // This step's row was just appended but `advance` has not run.
+            let t = state.position() + 1;
+            alloc.gather_int8(
+                state.layer_blocks(layer),
+                t,
+                &mut kc,
+                &mut vc,
+                &mut ke,
+                &mut ve,
+            );
+            let kv = Int8KvView {
+                width: d,
+                len: t,
+                k_codes: &kc,
+                v_codes: &vc,
+                k_exps: &ke,
+                v_exps: &ve,
+            };
+            let qc = self.quantize_q_row(&q.data()[i * d..(i + 1) * d]);
+            let (row, row_traffic) = self.attend_row_view(&qc, &kv, eng);
+            traffic += row_traffic;
+            ctx.data_mut()[i * d..(i + 1) * d].copy_from_slice(&row);
+        }
+        (self.wo.forward_inference_with(&ctx, eng), traffic)
+    }
+
     /// Analytic PSUM-buffer word counts (Algorithm-1 invariant: `np`
     /// writes, `np − 1` reads per output element, independent of `gs`)
     /// for one decode row attending a context of length `t` — `Q·Kᵀ`
@@ -671,6 +794,26 @@ impl Int8TransformerBlock {
     ) -> Tensor {
         let a = self.ln1.forward_inference(x);
         let a = self.attn.forward_decode_batch_with(&a, caches, eng);
+        let x1 = x + &a;
+        self.ffn_inference(&x1, eng)
+    }
+
+    /// Paged twin of [`Self::forward_decode_batch_with`]: K/V for this
+    /// block live in `layer`'s block table of each sequence's
+    /// [`crate::PagedKvState`]. Bit-identical to the contiguous path (see
+    /// [`Int8MultiHeadAttention::forward_decode_batch_paged_with`]).
+    pub fn forward_decode_batch_paged_with(
+        &self,
+        x: &Tensor,
+        layer: usize,
+        alloc: &mut crate::BlockAllocator,
+        states: &mut [&mut crate::PagedKvState],
+        eng: &ExecEngine,
+    ) -> Tensor {
+        let a = self.ln1.forward_inference(x);
+        let a = self
+            .attn
+            .forward_decode_batch_paged_with(&a, layer, alloc, states, eng);
         let x1 = x + &a;
         self.ffn_inference(&x1, eng)
     }
@@ -845,6 +988,53 @@ impl Int8DecoderLm {
         let h = self.ln.forward_inference(&h);
         for s in states.iter_mut() {
             s.position += 1;
+        }
+        self.lm_head.forward_inference_with(&h, eng)
+    }
+
+    /// An empty paged KV state with one block table per decoder layer.
+    /// Pair with an **int8** [`crate::BlockAllocator`] sized by
+    /// [`crate::BlockAllocator::int8`] from the model's `width()` and
+    /// `heads()`.
+    pub fn new_paged_state(&self) -> crate::PagedKvState {
+        crate::PagedKvState::for_layers(self.blocks.len())
+    }
+
+    /// Paged twin of [`Int8DecoderLm::decode_batch_with`]: every
+    /// sequence's KV lives in fixed-size blocks carved from `alloc`'s
+    /// byte budget instead of per-session contiguous buffers.
+    /// Bit-identical to the contiguous path for every block size and
+    /// engine thread count (see
+    /// [`Int8MultiHeadAttention::forward_decode_batch_paged_with`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` and `states` lengths differ, the batch is
+    /// empty, a state was built for a different depth, a position exceeds
+    /// `max_len`, or the block pool is exhausted.
+    pub fn decode_batch_paged_with(
+        &self,
+        tokens: &[usize],
+        states: &mut [&mut crate::PagedKvState],
+        alloc: &mut crate::BlockAllocator,
+        eng: &ExecEngine,
+    ) -> Tensor {
+        assert_eq!(tokens.len(), states.len(), "one KV state per token");
+        assert!(!tokens.is_empty(), "empty decode batch");
+        let d = self.width();
+        let mut x = Tensor::zeros([tokens.len(), d]);
+        for (i, (&t, s)) in tokens.iter().zip(states.iter()).enumerate() {
+            assert_eq!(s.num_layers(), self.blocks.len(), "KV state depth mismatch");
+            let row = self.embed.embed_one(t, s.position());
+            x.data_mut()[i * d..(i + 1) * d].copy_from_slice(row.data());
+        }
+        let mut h = x;
+        for (l, b) in self.blocks.iter().enumerate() {
+            h = b.forward_decode_batch_paged_with(&h, l, alloc, states, eng);
+        }
+        let h = self.ln.forward_inference(&h);
+        for s in states.iter_mut() {
+            s.advance();
         }
         self.lm_head.forward_inference_with(&h, eng)
     }
@@ -1164,6 +1354,49 @@ mod tests {
         }
         for (i, solo) in solo_logits.iter().enumerate() {
             assert_eq!(batched_last[i].as_ref().unwrap(), solo, "sequence {i}");
+        }
+    }
+
+    #[test]
+    fn int8_paged_decode_is_bit_identical_to_contiguous() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let cfg = ModelConfig::tiny(apsq_mode(2, 8));
+        let mut m = crate::DecoderLm::new(&cfg, &mut rng);
+        let prime: Vec<usize> = (0..cfg.max_len).map(|i| i % cfg.vocab).collect();
+        let _ = m.forward(&prime);
+        let im = Int8DecoderLm::from_decoder(&m, &prime, &ExecEngine::serial());
+
+        let ids = [3usize, 7, 1, 12, 5, 9, 2];
+        // Contiguous reference.
+        let mut ref_state = im.new_kv_state_with_capacity();
+        let mut reference = Tensor::zeros([1, 1]);
+        for &t in &ids {
+            reference = im.decode_step_with(t, &mut ref_state, &ExecEngine::serial());
+        }
+        for block_tokens in [1usize, 3, 8] {
+            for threads in [1usize, 4] {
+                let eng = ExecEngine::with_threads(threads).with_spawn_threshold(0);
+                let budget = im.num_layers()
+                    * ids.len().div_ceil(block_tokens)
+                    * crate::BlockAllocator::int8_bytes_per_block(
+                        block_tokens,
+                        im.width(),
+                        im.heads(),
+                    );
+                let mut alloc =
+                    crate::BlockAllocator::int8(budget, block_tokens, im.width(), im.heads());
+                let mut state = im.new_paged_state();
+                let mut paged = Tensor::zeros([1, 1]);
+                for &t in &ids {
+                    paged = im.decode_batch_paged_with(&[t], &mut [&mut state], &mut alloc, &eng);
+                }
+                assert_eq!(
+                    paged, reference,
+                    "block_tokens={block_tokens} threads={threads}"
+                );
+                state.release(&mut alloc);
+                assert_eq!(alloc.blocks_in_use(), 0);
+            }
         }
     }
 

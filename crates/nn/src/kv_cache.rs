@@ -4,6 +4,39 @@
 
 use apsq_tensor::Tensor;
 
+/// Quantizes one `d`-length KV row per head at the tightest covering
+/// power-of-two scale ([`apsq_quant::covering_pow2_exponent`]), writing i8
+/// codes into `codes` (`d` long) and one exponent per head into `exps`
+/// (`heads` long).
+///
+/// This is the **single** KV quantization recipe in the crate: the
+/// contiguous [`Int8AttentionKvCache`] and the paged
+/// [`crate::BlockAllocator`] both call it, so block-granular storage is
+/// byte-identical to the flat cache by construction — the root of the
+/// paged ⇔ contiguous bit-identity guarantee.
+///
+/// # Panics
+///
+/// Panics if a value is not finite.
+pub(crate) fn quantize_int8_kv_row(row: &[f32], heads: usize, codes: &mut [i8], exps: &mut [i8]) {
+    debug_assert_eq!(codes.len(), row.len());
+    debug_assert_eq!(exps.len(), heads);
+    let dh = row.len() / heads;
+    for h in 0..heads {
+        let slice = &row[h * dh..(h + 1) * dh];
+        let max_abs = slice.iter().fold(0.0f32, |m, &x| {
+            assert!(x.is_finite(), "non-finite KV value {x}");
+            m.max(x.abs())
+        });
+        let e = apsq_quant::covering_pow2_exponent(max_abs, 127.0);
+        let scale = (e as f32).exp2();
+        exps[h] = e as i8;
+        for (c, &x) in codes[h * dh..(h + 1) * dh].iter_mut().zip(slice) {
+            *c = (x / scale).round().clamp(-128.0, 127.0) as i8;
+        }
+    }
+}
+
 /// Growing key/value cache for one attention layer.
 ///
 /// Rows are time steps; columns are the model width (heads are sliced at
@@ -239,26 +272,15 @@ impl Int8AttentionKvCache {
             self.k_exps.reserve(rows * self.heads);
             self.v_exps.reserve(rows * self.heads);
         }
-        let dh = self.width / self.heads;
         for (codes, exps, row) in [
             (&mut self.k_codes, &mut self.k_exps, k),
             (&mut self.v_codes, &mut self.v_exps, v),
         ] {
-            for h in 0..self.heads {
-                let slice = &row[h * dh..(h + 1) * dh];
-                let max_abs = slice.iter().fold(0.0f32, |m, &x| {
-                    assert!(x.is_finite(), "non-finite KV value {x}");
-                    m.max(x.abs())
-                });
-                let e = apsq_quant::covering_pow2_exponent(max_abs, 127.0);
-                let scale = (e as f32).exp2();
-                exps.push(e as i8);
-                codes.extend(
-                    slice
-                        .iter()
-                        .map(|&x| (x / scale).round().clamp(-128.0, 127.0) as i8),
-                );
-            }
+            let cs = codes.len();
+            let es = exps.len();
+            codes.resize(cs + self.width, 0);
+            exps.resize(es + self.heads, 0);
+            quantize_int8_kv_row(row, self.heads, &mut codes[cs..], &mut exps[es..]);
         }
         self.len += 1;
     }

@@ -15,6 +15,11 @@
 //!   **true integer inference datapath**: i8×i8→i32 GEMMs with grouped
 //!   APSQ folded into the K loop, produced by a PTQ conversion pass and
 //!   bit-identical to the fake-quant path under power-of-two scales;
+//! - [`BlockAllocator`], [`PagedKvState`] — paged KV storage: fixed-size
+//!   token blocks carved from one byte budget with refcounted
+//!   copy-on-write sharing, plus `*_paged_with` decode entry points on
+//!   the models that walk block tables bit-identically to the contiguous
+//!   caches;
 //! - [`GlueTask`], [`SegTask`], [`LmFamily`] — synthetic stand-ins for
 //!   GLUE / ADE20K / zero-shot-reasoning benchmarks (see DESIGN.md for the
 //!   substitution argument);
@@ -47,6 +52,7 @@ mod loss;
 mod metrics;
 mod models;
 mod norm;
+mod paged;
 mod param;
 mod qat;
 
@@ -63,6 +69,7 @@ pub use loss::{cross_entropy, distillation_loss, mse_loss};
 pub use metrics::{accuracy, matthews_corr, mean_iou, pearson, spearman_rho};
 pub use models::{DecoderLm, EncoderClassifier, ModelConfig, TokenTagger};
 pub use norm::LayerNorm;
+pub use paged::{BlockAllocator, BlockId, PagedKvState};
 pub use param::{HasParams, Param};
 pub use qat::{
     evaluate_glue, evaluate_lm, evaluate_seg, train_glue, train_lm, train_seg, with_psum_mode,

@@ -496,6 +496,57 @@ impl DecoderLm {
         self.lm_head.forward_inference_with(&h, eng)
     }
 
+    /// Initializes **paged** KV state for this model's depth: one block
+    /// table per layer, growing block-by-block from a shared
+    /// [`crate::BlockAllocator`] instead of one preallocated buffer per
+    /// session.
+    pub fn new_paged_state(&self) -> crate::paged::PagedKvState {
+        crate::paged::PagedKvState::for_layers(self.blocks.len())
+    }
+
+    /// Paged twin of [`Self::decode_batch_with`]: each sequence's KV rows
+    /// live in fixed-size blocks referenced by its state's per-layer
+    /// block tables, carved from `alloc`. Appends allocate a block per
+    /// layer at each `block_tokens` boundary and copy-on-write shared
+    /// tail blocks; reads gather blocks in token order into the flat
+    /// layout of the contiguous cache, so row `b` is **bit-identical** to
+    /// [`Self::decode_batch_with`] on a contiguous state — for every
+    /// block size, batch composition, and engine thread count (pinned by
+    /// `tests/proptest_paged.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` and `states` lengths differ, the batch is
+    /// empty, a state was built for a different depth, a position exceeds
+    /// `max_len`, or the allocator is exhausted (reserve
+    /// [`crate::PagedKvState::blocks_needed_for_next_append`] first).
+    pub fn decode_batch_paged_with(
+        &self,
+        tokens: &[usize],
+        states: &mut [&mut crate::paged::PagedKvState],
+        alloc: &mut crate::paged::BlockAllocator,
+        eng: &ExecEngine,
+    ) -> Tensor {
+        assert_eq!(tokens.len(), states.len(), "one KV state per token");
+        assert!(!tokens.is_empty(), "empty decode batch");
+        let d = self.width();
+        let mut x = Tensor::zeros([tokens.len(), d]);
+        for (i, (&t, s)) in tokens.iter().zip(states.iter()).enumerate() {
+            assert_eq!(s.num_layers(), self.blocks.len(), "KV state depth mismatch");
+            let row = self.embed.embed_one(t, s.position());
+            x.data_mut()[i * d..(i + 1) * d].copy_from_slice(row.data());
+        }
+        let mut h = x;
+        for (l, b) in self.blocks.iter().enumerate() {
+            h = b.forward_decode_batch_paged_with(&h, l, alloc, states, eng);
+        }
+        let h = self.ln.forward_inference(&h);
+        for s in states.iter_mut() {
+            s.advance();
+        }
+        self.lm_head.forward_inference_with(&h, eng)
+    }
+
     /// Greedy generation: consumes `prompt`, then emits `new_tokens`
     /// argmax continuations.
     ///

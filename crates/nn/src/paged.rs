@@ -1,0 +1,825 @@
+//! Paged KV storage: fixed-size token blocks carved from one byte budget.
+//!
+//! The contiguous caches in [`crate::AttentionKvCache`] /
+//! [`crate::Int8AttentionKvCache`] preallocate one buffer per session, so
+//! a serving byte budget admits `budget / bytes_per_session` sessions no
+//! matter how short their contexts actually are. This module replaces
+//! that with the vLLM-style paged layout:
+//!
+//! - [`BlockAllocator`] carves the budget into **blocks** of
+//!   `block_tokens` tokens each (f32 rows, or i8 codes + per-(token, head)
+//!   power-of-two exponents — the same storage recipe as the contiguous
+//!   caches, produced by the same quantization function), managed through
+//!   a free list and per-block reference counts;
+//! - [`PagedKvState`] is one session's per-layer **block tables**: block
+//!   ids in token order plus the decode position. Appending a row
+//!   allocates a block at each `block_tokens` boundary and performs
+//!   **copy-on-write** when the tail block is shared (refcount > 1);
+//! - [`PagedKvState::fork`] shares every block of a prefix refcounted, and
+//!   [`PagedKvState::adopt_tail_block`] lets a caller that can prove two
+//!   blocks hold identical bytes (e.g. a server hash-consing on token-id
+//!   prefixes — the decoder is deterministic, so equal prefixes produce
+//!   equal KV bytes) deduplicate them.
+//!
+//! Reads **gather** block contents in token order into the same flat
+//! `[t·d]` layouts the contiguous caches expose
+//! ([`BlockAllocator::gather_f32`] / [`BlockAllocator::gather_int8`]), so
+//! the attention entry points that walk a block table feed byte-identical
+//! operands to the same engine kernels — results are bit-identical across
+//! block sizes, thread counts, and vs. the contiguous path.
+//!
+//! # Example
+//!
+//! ```
+//! use apsq_nn::{BlockAllocator, PagedKvState};
+//!
+//! // 1 KiB budget, 4-token blocks, width 8, 2 heads → int8 blocks of
+//! // 4 · 2 · (8 + 2) = 80 bytes each, so the budget holds 12 blocks.
+//! let mut alloc = BlockAllocator::int8(1024, 4, 8, 2);
+//! assert_eq!(alloc.blocks_capacity(), 12);
+//!
+//! // One single-layer session; append five rows (allocates two blocks).
+//! let mut s = PagedKvState::for_layers(1);
+//! for i in 0..5 {
+//!     let row = [i as f32; 8];
+//!     s.append_row(0, &mut alloc, &row, &row);
+//!     s.advance();
+//! }
+//! assert_eq!(s.position(), 5);
+//! assert_eq!(alloc.blocks_in_use(), 2);
+//!
+//! // Fork shares both blocks copy-on-write; the forked session's next
+//! // append copies only the partially filled tail block.
+//! let mut fork = s.fork(&mut alloc);
+//! assert_eq!(alloc.blocks_in_use(), 2);
+//! fork.append_row(0, &mut alloc, &[9.0; 8], &[9.0; 8]);
+//! fork.advance();
+//! assert_eq!(alloc.blocks_in_use(), 3); // CoW copy of the tail
+//!
+//! // Gathered reads are flat `[t·d]` slices, same layout as the
+//! // contiguous cache.
+//! let mut k = Vec::new();
+//! let (mut v, mut ke, mut ve) = (Vec::new(), Vec::new(), Vec::new());
+//! alloc.gather_int8(s.layer_blocks(0), 5, &mut k, &mut v, &mut ke, &mut ve);
+//! assert_eq!(k.len(), 5 * 8);
+//!
+//! s.release(&mut alloc);
+//! fork.release(&mut alloc);
+//! assert_eq!(alloc.blocks_in_use(), 0);
+//! ```
+
+use crate::kv_cache::quantize_int8_kv_row;
+
+/// Index of one fixed-size KV block inside a [`BlockAllocator`].
+pub type BlockId = u32;
+
+/// Backing storage for every block, one arena per K/V component.
+#[derive(Clone, Debug)]
+enum BlockStore {
+    /// f32 rows: per block `block_tokens · width` floats for K and for V.
+    F32 { k: Vec<f32>, v: Vec<f32> },
+    /// i8 codes (`block_tokens · width` per block) plus per-(token, head)
+    /// power-of-two exponents (`block_tokens · heads` per block).
+    Int8 {
+        k_codes: Vec<i8>,
+        v_codes: Vec<i8>,
+        k_exps: Vec<i8>,
+        v_exps: Vec<i8>,
+    },
+}
+
+/// Carves a KV byte budget into fixed-size token blocks with a free list
+/// and per-block reference counts — the storage behind every paged
+/// session's block tables.
+///
+/// One allocator serves **all** sessions and layers of a server: a block
+/// holds `block_tokens` consecutive tokens of one layer's K and V
+/// (interleaving layers across blocks would break the flat-gather
+/// layout). `alloc` pops the free list at refcount 1; `retain`/`release`
+/// adjust sharing; a block returns to the free list when its refcount
+/// reaches zero. See the module docs above for the whole lifecycle.
+#[derive(Clone, Debug)]
+pub struct BlockAllocator {
+    store: BlockStore,
+    block_tokens: usize,
+    width: usize,
+    heads: usize,
+    refcounts: Vec<u32>,
+    /// Tokens written into each block so far (for utilization gauges and
+    /// copy-on-write copies of partially filled blocks).
+    filled: Vec<u32>,
+    free: Vec<BlockId>,
+    in_use: usize,
+}
+
+impl BlockAllocator {
+    /// Bytes one f32 block occupies (K + V rows).
+    pub fn f32_bytes_per_block(block_tokens: usize, width: usize) -> usize {
+        block_tokens * 2 * 4 * width
+    }
+
+    /// Bytes one int8 block occupies (K + V codes and exponents).
+    pub fn int8_bytes_per_block(block_tokens: usize, width: usize, heads: usize) -> usize {
+        block_tokens * 2 * (width + heads)
+    }
+
+    /// An f32 allocator holding as many `block_tokens`-token blocks of
+    /// width `width` as fit in `budget_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget holds no block, or `block_tokens`/`width` is 0.
+    pub fn f32(budget_bytes: usize, block_tokens: usize, width: usize) -> Self {
+        assert!(block_tokens > 0, "need at least one token per block");
+        assert!(width > 0, "need a positive width");
+        let bpb = Self::f32_bytes_per_block(block_tokens, width);
+        let capacity = budget_bytes / bpb;
+        assert!(capacity > 0, "budget {budget_bytes} below one block {bpb}");
+        BlockAllocator {
+            store: BlockStore::F32 {
+                k: vec![0.0; capacity * block_tokens * width],
+                v: vec![0.0; capacity * block_tokens * width],
+            },
+            block_tokens,
+            width,
+            heads: 0,
+            refcounts: vec![0; capacity],
+            filled: vec![0; capacity],
+            free: (0..capacity as BlockId).rev().collect(),
+            in_use: 0,
+        }
+    }
+
+    /// An int8 allocator holding as many `block_tokens`-token blocks of
+    /// width `width` / `heads` heads as fit in `budget_bytes`. Rows are
+    /// quantized per head at the tightest covering power-of-two scale —
+    /// the exact recipe of [`crate::Int8AttentionKvCache::append_row`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget holds no block, `width` is not divisible by
+    /// `heads`, or a dimension is 0.
+    pub fn int8(budget_bytes: usize, block_tokens: usize, width: usize, heads: usize) -> Self {
+        assert!(block_tokens > 0, "need at least one token per block");
+        assert!(heads > 0, "need at least one head");
+        assert!(
+            width > 0 && width.is_multiple_of(heads),
+            "width {width} not divisible by heads {heads}"
+        );
+        let bpb = Self::int8_bytes_per_block(block_tokens, width, heads);
+        let capacity = budget_bytes / bpb;
+        assert!(capacity > 0, "budget {budget_bytes} below one block {bpb}");
+        BlockAllocator {
+            store: BlockStore::Int8 {
+                k_codes: vec![0; capacity * block_tokens * width],
+                v_codes: vec![0; capacity * block_tokens * width],
+                k_exps: vec![0; capacity * block_tokens * heads],
+                v_exps: vec![0; capacity * block_tokens * heads],
+            },
+            block_tokens,
+            width,
+            heads,
+            refcounts: vec![0; capacity],
+            filled: vec![0; capacity],
+            free: (0..capacity as BlockId).rev().collect(),
+            in_use: 0,
+        }
+    }
+
+    /// Tokens per block.
+    pub fn block_tokens(&self) -> usize {
+        self.block_tokens
+    }
+
+    /// Row width `d` of the stored K/V rows.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Bytes one block occupies in this allocator's precision.
+    pub fn bytes_per_block(&self) -> usize {
+        match self.store {
+            BlockStore::F32 { .. } => Self::f32_bytes_per_block(self.block_tokens, self.width),
+            BlockStore::Int8 { .. } => {
+                Self::int8_bytes_per_block(self.block_tokens, self.width, self.heads)
+            }
+        }
+    }
+
+    /// Total blocks the budget carved out.
+    pub fn blocks_capacity(&self) -> usize {
+        self.refcounts.len()
+    }
+
+    /// Blocks on the free list.
+    pub fn blocks_free(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Blocks currently allocated (refcount ≥ 1).
+    pub fn blocks_in_use(&self) -> usize {
+        self.in_use
+    }
+
+    /// Allocated blocks referenced by more than one holder — the sharing
+    /// the serve layer's prefix hash-consing creates.
+    pub fn blocks_shared(&self) -> usize {
+        self.refcounts.iter().filter(|&&r| r > 1).count()
+    }
+
+    /// Token slots actually written across all allocated blocks.
+    pub fn tokens_stored(&self) -> usize {
+        self.refcounts
+            .iter()
+            .zip(&self.filled)
+            .filter(|(&r, _)| r > 0)
+            .map(|(_, &f)| f as usize)
+            .sum()
+    }
+
+    /// Written slots over allocated slots, in `[0, 1]` (1.0 when nothing
+    /// is allocated): the block-utilization gauge — its complement is
+    /// internal fragmentation from partially filled tail blocks.
+    pub fn utilization(&self) -> f64 {
+        if self.in_use == 0 {
+            return 1.0;
+        }
+        self.tokens_stored() as f64 / (self.in_use * self.block_tokens) as f64
+    }
+
+    /// Pops a free block at refcount 1, or `None` when the budget is
+    /// exhausted.
+    pub fn alloc(&mut self) -> Option<BlockId> {
+        let id = self.free.pop()?;
+        self.refcounts[id as usize] = 1;
+        self.filled[id as usize] = 0;
+        self.in_use += 1;
+        Some(id)
+    }
+
+    /// Adds one reference to an allocated block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is not allocated.
+    pub fn retain(&mut self, id: BlockId) {
+        assert!(self.refcounts[id as usize] > 0, "retain of free block {id}");
+        self.refcounts[id as usize] += 1;
+    }
+
+    /// Drops one reference; returns the block to the free list (and
+    /// returns `true`) when the count reaches zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is not allocated.
+    pub fn release(&mut self, id: BlockId) -> bool {
+        let rc = &mut self.refcounts[id as usize];
+        assert!(*rc > 0, "release of free block {id}");
+        *rc -= 1;
+        if *rc == 0 {
+            self.free.push(id);
+            self.in_use -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current reference count of a block (0 = free).
+    pub fn refcount(&self, id: BlockId) -> u32 {
+        self.refcounts[id as usize]
+    }
+
+    /// Writes one K row and V row into `slot` of block `id`, quantizing
+    /// per head first in an int8 allocator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is shared (callers must copy-on-write first —
+    /// [`PagedKvState::append_row`] does), free, the slot is out of range
+    /// or not the next unwritten slot, or the row width is wrong.
+    pub fn write_row(&mut self, id: BlockId, slot: usize, k: &[f32], v: &[f32]) {
+        assert_eq!(
+            self.refcounts[id as usize], 1,
+            "write to shared or free block {id} (refcount {}) — copy-on-write it first",
+            self.refcounts[id as usize]
+        );
+        assert!(slot < self.block_tokens, "slot {slot} out of range");
+        assert_eq!(
+            self.filled[id as usize] as usize, slot,
+            "block {id} slots must fill in order"
+        );
+        assert_eq!(k.len(), self.width, "K row width mismatch");
+        assert_eq!(v.len(), self.width, "V row width mismatch");
+        let b = id as usize;
+        let d = self.width;
+        let row = b * self.block_tokens + slot;
+        match &mut self.store {
+            BlockStore::F32 { k: ks, v: vs } => {
+                ks[row * d..(row + 1) * d].copy_from_slice(k);
+                vs[row * d..(row + 1) * d].copy_from_slice(v);
+            }
+            BlockStore::Int8 {
+                k_codes,
+                v_codes,
+                k_exps,
+                v_exps,
+            } => {
+                let h = self.heads;
+                quantize_int8_kv_row(
+                    k,
+                    h,
+                    &mut k_codes[row * d..(row + 1) * d],
+                    &mut k_exps[row * h..(row + 1) * h],
+                );
+                quantize_int8_kv_row(
+                    v,
+                    h,
+                    &mut v_codes[row * d..(row + 1) * d],
+                    &mut v_exps[row * h..(row + 1) * h],
+                );
+            }
+        }
+        self.filled[b] = (slot + 1) as u32;
+    }
+
+    /// Copies the first `slots` token slots of `src` into `dst` — the
+    /// copy half of copy-on-write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is shared or free, or `slots` exceeds what `src`
+    /// holds.
+    pub fn copy_block(&mut self, src: BlockId, dst: BlockId, slots: usize) {
+        assert_eq!(self.refcounts[dst as usize], 1, "copy into shared block");
+        assert!(
+            slots <= self.filled[src as usize] as usize,
+            "copy past fill"
+        );
+        let d = self.width;
+        let (s0, d0) = (
+            src as usize * self.block_tokens,
+            dst as usize * self.block_tokens,
+        );
+        match &mut self.store {
+            BlockStore::F32 { k, v } => {
+                k.copy_within(s0 * d..(s0 + slots) * d, d0 * d);
+                v.copy_within(s0 * d..(s0 + slots) * d, d0 * d);
+            }
+            BlockStore::Int8 {
+                k_codes,
+                v_codes,
+                k_exps,
+                v_exps,
+            } => {
+                let h = self.heads;
+                k_codes.copy_within(s0 * d..(s0 + slots) * d, d0 * d);
+                v_codes.copy_within(s0 * d..(s0 + slots) * d, d0 * d);
+                k_exps.copy_within(s0 * h..(s0 + slots) * h, d0 * h);
+                v_exps.copy_within(s0 * h..(s0 + slots) * h, d0 * h);
+            }
+        }
+        self.filled[dst as usize] = slots as u32;
+    }
+
+    /// Whether two allocated blocks hold identical bytes over their first
+    /// `slots` token slots — the safety check behind prefix
+    /// deduplication.
+    pub fn blocks_equal(&self, a: BlockId, b: BlockId, slots: usize) -> bool {
+        let d = self.width;
+        let (a0, b0) = (
+            a as usize * self.block_tokens,
+            b as usize * self.block_tokens,
+        );
+        match &self.store {
+            BlockStore::F32 { k, v } => {
+                k[a0 * d..(a0 + slots) * d] == k[b0 * d..(b0 + slots) * d]
+                    && v[a0 * d..(a0 + slots) * d] == v[b0 * d..(b0 + slots) * d]
+            }
+            BlockStore::Int8 {
+                k_codes,
+                v_codes,
+                k_exps,
+                v_exps,
+            } => {
+                let h = self.heads;
+                k_codes[a0 * d..(a0 + slots) * d] == k_codes[b0 * d..(b0 + slots) * d]
+                    && v_codes[a0 * d..(a0 + slots) * d] == v_codes[b0 * d..(b0 + slots) * d]
+                    && k_exps[a0 * h..(a0 + slots) * h] == k_exps[b0 * h..(b0 + slots) * h]
+                    && v_exps[a0 * h..(a0 + slots) * h] == v_exps[b0 * h..(b0 + slots) * h]
+            }
+        }
+    }
+
+    /// Gathers `len` f32 K and V rows from a block table in token order
+    /// into flat `[len · d]` buffers — byte-identical to what
+    /// [`crate::AttentionKvCache::keys_data`] /
+    /// [`crate::AttentionKvCache::values_data`] would hold after the same
+    /// appends, which is what makes paged attention bit-identical to the
+    /// contiguous path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an f32 gather from an int8 allocator or a table too
+    /// short for `len`.
+    pub fn gather_f32(
+        &self,
+        blocks: &[BlockId],
+        len: usize,
+        k_out: &mut Vec<f32>,
+        v_out: &mut Vec<f32>,
+    ) {
+        let BlockStore::F32 { k, v } = &self.store else {
+            panic!("f32 gather from an int8 allocator");
+        };
+        let d = self.width;
+        k_out.clear();
+        v_out.clear();
+        k_out.reserve(len * d);
+        v_out.reserve(len * d);
+        let mut remaining = len;
+        for &b in blocks {
+            if remaining == 0 {
+                break;
+            }
+            let take = remaining.min(self.block_tokens);
+            let r0 = b as usize * self.block_tokens;
+            k_out.extend_from_slice(&k[r0 * d..(r0 + take) * d]);
+            v_out.extend_from_slice(&v[r0 * d..(r0 + take) * d]);
+            remaining -= take;
+        }
+        assert_eq!(remaining, 0, "block table shorter than {len} tokens");
+    }
+
+    /// Gathers `len` int8 K/V code rows and per-(token, head) exponents
+    /// from a block table in token order into the flat layouts of
+    /// [`crate::Int8AttentionKvCache`] (`[len · d]` codes, `[len · heads]`
+    /// exponents).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an int8 gather from an f32 allocator or a table too
+    /// short for `len`.
+    pub fn gather_int8(
+        &self,
+        blocks: &[BlockId],
+        len: usize,
+        k_codes_out: &mut Vec<i8>,
+        v_codes_out: &mut Vec<i8>,
+        k_exps_out: &mut Vec<i8>,
+        v_exps_out: &mut Vec<i8>,
+    ) {
+        let BlockStore::Int8 {
+            k_codes,
+            v_codes,
+            k_exps,
+            v_exps,
+        } = &self.store
+        else {
+            panic!("int8 gather from an f32 allocator");
+        };
+        let (d, h) = (self.width, self.heads);
+        for out in [&mut *k_codes_out, &mut *v_codes_out] {
+            out.clear();
+            out.reserve(len * d);
+        }
+        for out in [&mut *k_exps_out, &mut *v_exps_out] {
+            out.clear();
+            out.reserve(len * h);
+        }
+        let mut remaining = len;
+        for &b in blocks {
+            if remaining == 0 {
+                break;
+            }
+            let take = remaining.min(self.block_tokens);
+            let r0 = b as usize * self.block_tokens;
+            k_codes_out.extend_from_slice(&k_codes[r0 * d..(r0 + take) * d]);
+            v_codes_out.extend_from_slice(&v_codes[r0 * d..(r0 + take) * d]);
+            k_exps_out.extend_from_slice(&k_exps[r0 * h..(r0 + take) * h]);
+            v_exps_out.extend_from_slice(&v_exps[r0 * h..(r0 + take) * h]);
+            remaining -= take;
+        }
+        assert_eq!(remaining, 0, "block table shorter than {len} tokens");
+    }
+}
+
+/// One session's paged KV state: a block table per decoder layer plus the
+/// decode position, replacing the contiguous
+/// [`crate::DecoderKvState`]/[`crate::Int8DecoderKvState`] buffers.
+///
+/// The state does not own its blocks — every mutation takes the shared
+/// [`BlockAllocator`]. Callers must [`Self::release`] before dropping a
+/// state they are done with, or its blocks stay allocated.
+#[derive(Clone, Debug, Default)]
+pub struct PagedKvState {
+    tables: Vec<Vec<BlockId>>,
+    position: usize,
+}
+
+impl PagedKvState {
+    /// Empty state for a stack of `layers` decoder blocks.
+    pub fn for_layers(layers: usize) -> Self {
+        PagedKvState {
+            tables: vec![Vec::new(); layers],
+            position: 0,
+        }
+    }
+
+    /// Decoder layers this state spans.
+    pub fn num_layers(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Next position index (= tokens appended and advanced so far).
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// The block table of one layer, in token order.
+    pub fn layer_blocks(&self, layer: usize) -> &[BlockId] {
+        &self.tables[layer]
+    }
+
+    /// Distinct block references across all layers (shared blocks count
+    /// once per table that references them).
+    pub fn block_refs(&self) -> usize {
+        self.tables.iter().map(Vec::len).sum()
+    }
+
+    /// Fresh blocks the next [`Self::append_row`]+[`Self::advance`] step
+    /// will demand across all layers: one per layer at a `block_tokens`
+    /// boundary, one per layer whose tail block is shared (copy-on-write).
+    /// Schedulers reserve this many before dispatching so appends can
+    /// never hit an exhausted pool mid-batch.
+    pub fn blocks_needed_for_next_append(&self, alloc: &BlockAllocator) -> usize {
+        if self.position.is_multiple_of(alloc.block_tokens()) {
+            return self.num_layers();
+        }
+        self.tables
+            .iter()
+            .filter(|t| t.last().is_some_and(|&b| alloc.refcount(b) > 1))
+            .count()
+    }
+
+    /// Appends one K/V row for `layer` at the current position:
+    /// allocates a block at each `block_tokens` boundary, copies a shared
+    /// tail block first (**copy-on-write**: the copy is written, the
+    /// shared original's refcount drops by one), then writes the row.
+    /// Call once per layer per step, then [`Self::advance`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the allocator is exhausted — serve-layer schedulers
+    /// reserve [`Self::blocks_needed_for_next_append`] blocks up front so
+    /// this cannot happen mid-batch.
+    pub fn append_row(&mut self, layer: usize, alloc: &mut BlockAllocator, k: &[f32], v: &[f32]) {
+        let slot = self.position % alloc.block_tokens();
+        let table = &mut self.tables[layer];
+        if slot == 0 {
+            let id = alloc.alloc().expect("KV block pool exhausted at boundary");
+            table.push(id);
+        } else {
+            let tail = *table.last().expect("append past an empty table");
+            if alloc.refcount(tail) > 1 {
+                let copy = alloc.alloc().expect("KV block pool exhausted at CoW");
+                alloc.copy_block(tail, copy, slot);
+                alloc.release(tail);
+                *table.last_mut().unwrap() = copy;
+            }
+        }
+        alloc.write_row(*table.last().unwrap(), slot, k, v);
+    }
+
+    /// Advances the position by one token — call after every layer has
+    /// appended its row for the step.
+    pub fn advance(&mut self) {
+        self.position += 1;
+    }
+
+    /// A copy-on-write fork: the new state references the same blocks
+    /// (each retained), so it costs zero bytes until either side appends
+    /// past a shared tail block.
+    pub fn fork(&self, alloc: &mut BlockAllocator) -> PagedKvState {
+        for t in &self.tables {
+            for &b in t {
+                alloc.retain(b);
+            }
+        }
+        self.clone()
+    }
+
+    /// Swaps this state's tail block for `layer` to `shared` (retained),
+    /// releasing its own — prefix deduplication, used by the serve layer
+    /// after hash-consing a just-filled block against older sessions with
+    /// the same token-id prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty, `shared` is free, or (debug) the two
+    /// blocks do not hold identical filled bytes.
+    pub fn adopt_tail_block(&mut self, layer: usize, alloc: &mut BlockAllocator, shared: BlockId) {
+        let own = *self.tables[layer].last().expect("adopt into empty table");
+        if own == shared {
+            return;
+        }
+        debug_assert!(
+            alloc.blocks_equal(own, shared, alloc.block_tokens().min(self.position)),
+            "adopting a block with different contents"
+        );
+        alloc.retain(shared);
+        alloc.release(own);
+        *self.tables[layer].last_mut().unwrap() = shared;
+    }
+
+    /// Releases every block reference and clears the tables; the position
+    /// resets to 0.
+    pub fn release(&mut self, alloc: &mut BlockAllocator) {
+        for t in &mut self.tables {
+            for &b in t.iter() {
+                alloc.release(b);
+            }
+            t.clear();
+        }
+        self.position = 0;
+    }
+
+    /// Bytes of pool storage this state references across all layers
+    /// (shared blocks counted once per referencing table).
+    pub fn kv_bytes(&self, alloc: &BlockAllocator) -> usize {
+        self.block_refs() * alloc.bytes_per_block()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(x: f32, d: usize) -> Vec<f32> {
+        (0..d).map(|j| x + j as f32 * 0.25).collect()
+    }
+
+    #[test]
+    fn f32_capacity_and_free_list() {
+        let mut a = BlockAllocator::f32(4 * BlockAllocator::f32_bytes_per_block(4, 8), 4, 8);
+        assert_eq!(a.blocks_capacity(), 4);
+        assert_eq!(a.blocks_free(), 4);
+        let b0 = a.alloc().unwrap();
+        let b1 = a.alloc().unwrap();
+        assert_ne!(b0, b1);
+        assert_eq!(a.blocks_in_use(), 2);
+        assert!(a.release(b0));
+        assert_eq!(a.blocks_free(), 3);
+        assert_eq!(a.refcount(b0), 0);
+        assert_eq!(a.refcount(b1), 1);
+    }
+
+    #[test]
+    fn alloc_exhaustion_returns_none() {
+        let mut a = BlockAllocator::f32(BlockAllocator::f32_bytes_per_block(2, 4), 2, 4);
+        assert!(a.alloc().is_some());
+        assert!(a.alloc().is_none());
+    }
+
+    #[test]
+    fn refcounts_share_and_release() {
+        let mut a = BlockAllocator::f32(1 << 16, 4, 8);
+        let b = a.alloc().unwrap();
+        a.retain(b);
+        assert_eq!(a.refcount(b), 2);
+        assert_eq!(a.blocks_shared(), 1);
+        assert!(!a.release(b));
+        assert_eq!(a.blocks_shared(), 0);
+        assert!(a.release(b));
+        assert_eq!(a.blocks_in_use(), 0);
+    }
+
+    #[test]
+    fn paged_f32_gather_matches_contiguous_cache() {
+        let d = 8;
+        let mut a = BlockAllocator::f32(1 << 16, 3, d);
+        let mut s = PagedKvState::for_layers(1);
+        let mut c = crate::AttentionKvCache::new();
+        for i in 0..7 {
+            let (k, v) = (row(i as f32, d), row(-(i as f32), d));
+            s.append_row(0, &mut a, &k, &v);
+            s.advance();
+            c.append_row(&k, &v);
+        }
+        let (mut gk, mut gv) = (Vec::new(), Vec::new());
+        a.gather_f32(s.layer_blocks(0), 7, &mut gk, &mut gv);
+        assert_eq!(gk, c.keys_data());
+        assert_eq!(gv, c.values_data());
+        // 7 tokens at 3-token blocks = 3 blocks, 2 slack slots.
+        assert_eq!(s.layer_blocks(0).len(), 3);
+        assert!((a.utilization() - 7.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paged_int8_gather_is_byte_identical_to_contiguous_cache() {
+        let (d, h) = (8, 2);
+        let mut a = BlockAllocator::int8(1 << 16, 4, d, h);
+        let mut s = PagedKvState::for_layers(1);
+        let mut c = crate::Int8AttentionKvCache::new(d, h);
+        for i in 0..9 {
+            let (k, v) = (row(0.1 * i as f32, d), row(100.0 - i as f32, d));
+            s.append_row(0, &mut a, &k, &v);
+            s.advance();
+            c.append_row(&k, &v);
+        }
+        let (mut kc, mut vc, mut ke, mut ve) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        a.gather_int8(s.layer_blocks(0), 9, &mut kc, &mut vc, &mut ke, &mut ve);
+        assert_eq!(kc, c.keys_codes());
+        assert_eq!(vc, c.values_codes());
+        assert_eq!(ke, c.keys_exponents());
+        assert_eq!(ve, c.values_exponents());
+    }
+
+    #[test]
+    fn fork_is_zero_copy_until_write_then_cow() {
+        let d = 4;
+        let mut a = BlockAllocator::f32(1 << 16, 4, d);
+        let mut s = PagedKvState::for_layers(2);
+        for i in 0..6 {
+            for l in 0..2 {
+                s.append_row(l, &mut a, &row(i as f32, d), &row(i as f32, d));
+            }
+            s.advance();
+        }
+        // 6 tokens / 4-token blocks = 2 blocks per layer.
+        assert_eq!(a.blocks_in_use(), 4);
+        let mut f = s.fork(&mut a);
+        assert_eq!(a.blocks_in_use(), 4, "fork must not copy");
+        assert_eq!(a.blocks_shared(), 4);
+        assert_eq!(f.blocks_needed_for_next_append(&a), 2, "two shared tails");
+
+        // The fork's next append copies only the partially filled tails.
+        for l in 0..2 {
+            f.append_row(l, &mut a, &row(9.0, d), &row(9.0, d));
+        }
+        f.advance();
+        assert_eq!(a.blocks_in_use(), 6);
+        assert_eq!(a.blocks_shared(), 2, "full prefix blocks stay shared");
+
+        // Original still reads its own bytes: positions 0..6 unchanged.
+        let (mut gk, mut gv) = (Vec::new(), Vec::new());
+        a.gather_f32(s.layer_blocks(0), 6, &mut gk, &mut gv);
+        assert_eq!(&gk[5 * d..6 * d], row(5.0, d).as_slice());
+
+        f.release(&mut a);
+        s.release(&mut a);
+        assert_eq!(a.blocks_in_use(), 0);
+        assert_eq!(a.blocks_free(), a.blocks_capacity());
+    }
+
+    #[test]
+    fn adopt_tail_block_dedups_identical_blocks() {
+        let d = 4;
+        let mut a = BlockAllocator::f32(1 << 16, 2, d);
+        let (mut s1, mut s2) = (PagedKvState::for_layers(1), PagedKvState::for_layers(1));
+        for i in 0..2 {
+            let r = row(i as f32, d);
+            s1.append_row(0, &mut a, &r, &r);
+            s1.advance();
+            s2.append_row(0, &mut a, &r, &r);
+            s2.advance();
+        }
+        assert_eq!(a.blocks_in_use(), 2);
+        let shared = s1.layer_blocks(0)[0];
+        s2.adopt_tail_block(0, &mut a, shared);
+        assert_eq!(a.blocks_in_use(), 1);
+        assert_eq!(a.refcount(shared), 2);
+        assert_eq!(s2.layer_blocks(0), &[shared]);
+        // Idempotent when already adopted.
+        s2.adopt_tail_block(0, &mut a, shared);
+        assert_eq!(a.refcount(shared), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "copy-on-write it first")]
+    fn writing_a_shared_block_is_rejected() {
+        let mut a = BlockAllocator::f32(1 << 16, 4, 4);
+        let b = a.alloc().unwrap();
+        a.retain(b);
+        a.write_row(b, 0, &[0.0; 4], &[0.0; 4]);
+    }
+
+    #[test]
+    fn blocks_needed_accounts_boundaries() {
+        let a = BlockAllocator::f32(1 << 16, 4, 4);
+        let mut s = PagedKvState::for_layers(3);
+        assert_eq!(s.blocks_needed_for_next_append(&a), 3, "first step");
+        s.position = 3;
+        assert_eq!(s.blocks_needed_for_next_append(&a), 0);
+        s.position = 4;
+        assert_eq!(s.blocks_needed_for_next_append(&a), 3, "boundary");
+    }
+
+    #[test]
+    fn utilization_is_one_when_empty() {
+        let a = BlockAllocator::int8(1 << 12, 4, 8, 2);
+        assert!((a.utilization() - 1.0).abs() < 1e-12);
+        assert_eq!(a.tokens_stored(), 0);
+    }
+}

@@ -97,11 +97,15 @@ impl Batcher {
 
     /// Whether `lane` should dispatch now: a full batch is ready, the
     /// oldest pending request has waited out the coalescing deadline, or
-    /// the server is `draining`.
+    /// the server is `draining`. Under
+    /// [`BatchPolicy::continuous`](crate::BatchPolicy::continuous)
+    /// batching any non-empty lane is dispatchable — there is no
+    /// coalescing barrier, so work flows to an idle worker immediately.
     pub fn dispatchable(&self, lane: Lane, now: Instant, draining: bool) -> bool {
         let q = self.lane(lane);
         match q.front() {
             None => false,
+            Some(_) if self.policy.continuous => true,
             Some(oldest) => {
                 q.len() >= self.policy.max_batch
                     || draining
@@ -122,8 +126,13 @@ impl Batcher {
     }
 
     /// Earliest instant at which a currently-waiting partial batch becomes
-    /// dispatchable by deadline — the scheduler's sleep bound.
+    /// dispatchable by deadline — the scheduler's sleep bound. Continuous
+    /// batching has no deadlines (anything pending dispatches as soon as
+    /// a worker frees up), so this returns `None` there.
     pub fn next_deadline(&self) -> Option<Instant> {
+        if self.policy.continuous {
+            return None;
+        }
         [&self.decode, &self.prefill]
             .into_iter()
             .filter_map(|q| q.front())
@@ -184,6 +193,7 @@ mod tests {
         Batcher::new(BatchPolicy {
             max_batch,
             max_wait,
+            continuous: false,
         })
     }
 
@@ -247,6 +257,21 @@ mod tests {
         b.take(Lane::Decode);
         assert_eq!(b.next_lane(Instant::now(), false), Some(Lane::Prefill));
         assert_eq!(b.take(Lane::Prefill).len(), 1);
+    }
+
+    #[test]
+    fn continuous_mode_dispatches_partials_without_a_deadline() {
+        let mut b = Batcher::new(BatchPolicy::continuous(8));
+        assert!(b.next_deadline().is_none());
+        b.push(Pending {
+            req: Request::decode(1, 1, 0),
+            submitted: Instant::now() + Duration::from_secs(3600),
+        });
+        // One pending request, submitted "in the future": a barrier policy
+        // would hold it for the coalescing window, continuous does not.
+        assert!(b.dispatchable(Lane::Decode, Instant::now(), false));
+        assert!(b.next_deadline().is_none());
+        assert_eq!(b.take(Lane::Decode).len(), 1);
     }
 
     #[test]

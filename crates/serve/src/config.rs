@@ -96,7 +96,15 @@ pub struct BatchPolicy {
     /// How long the oldest pending request may wait for co-batchable
     /// traffic before a partial batch is dispatched to an idle worker.
     /// `ZERO` disables coalescing-by-waiting (dispatch immediately).
+    /// Ignored in [`continuous`](Self::continuous) mode.
     pub max_wait: Duration,
+    /// Continuous batching: a lane dispatches to an idle worker the
+    /// moment anything is pending — there is no coalescing barrier, so a
+    /// new session joins the running decode stream at the very next step
+    /// and prefill chunks interleave with decode instead of waiting out
+    /// `max_wait`. Occupancy still grows up to `max_batch` whenever
+    /// requests are already queued.
+    pub continuous: bool,
 }
 
 impl BatchPolicy {
@@ -105,19 +113,49 @@ impl BatchPolicy {
         BatchPolicy {
             max_batch: 1,
             max_wait: Duration::ZERO,
+            continuous: false,
         }
     }
 
-    /// Batch up to `max_batch`, holding partial batches up to 2 ms.
+    /// Batch up to `max_batch`, holding partial batches up to 2 ms (a
+    /// barrier-style coalescing window).
     pub fn batched(max_batch: usize) -> Self {
         BatchPolicy {
             max_batch,
             max_wait: Duration::from_millis(2),
+            continuous: false,
+        }
+    }
+
+    /// Continuous batching up to `max_batch`: dispatch whenever a worker
+    /// is idle and work is pending, never waiting for co-batchable
+    /// traffic. Batches still coalesce opportunistically from whatever is
+    /// queued at dispatch time.
+    pub fn continuous(max_batch: usize) -> Self {
+        BatchPolicy {
+            max_batch,
+            max_wait: Duration::ZERO,
+            continuous: true,
         }
     }
 }
 
 /// Full server configuration.
+///
+/// # Example
+///
+/// ```
+/// use apsq_serve::{BatchPolicy, Precision, ServeConfig};
+///
+/// let cfg = ServeConfig::smoke()                 // 64 f32 sessions' bytes
+///     .with_precision(Precision::Int8Apsq)       // i8 codes + pow2 scales
+///     .with_batch(BatchPolicy::continuous(8))    // no coalescing barrier
+///     .with_kv_block_tokens(8);                  // KV paging granularity
+/// cfg.validate();
+/// // The same byte budget admits ~4x the worst-case sessions at int8,
+/// // and block-granular accounting packs short sessions denser still.
+/// assert!(cfg.session_capacity() >= 3 * 64);
+/// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ServeConfig {
     /// The decode model served.
@@ -140,15 +178,24 @@ pub struct ServeConfig {
     /// Admission-queue capacity; submits beyond it shed with
     /// [`crate::ServeError::QueueFull`].
     pub queue_capacity: usize,
-    /// KV-cache **byte** budget across all resident sessions. The session
-    /// capacity is derived as `kv_budget_bytes /
-    /// model.kv_bytes_per_session(precision)`, so the same budget admits
-    /// ~4× the sessions at [`Precision::Int8Apsq`] (whose cache stores i8
-    /// codes + per-row scale exponents instead of f32 rows). Beyond
-    /// capacity, idle sessions are LRU-evicted and, when none is
-    /// evictable, new sessions are rejected with
+    /// KV-cache **byte** budget across all resident sessions. The budget
+    /// is carved into fixed-size KV blocks of
+    /// [`kv_block_tokens`](Self::kv_block_tokens) tokens each, handed out
+    /// on demand by a shared block allocator — a session holds only the
+    /// blocks its current length needs, so short sessions overcommit well
+    /// past the nominal [`session_capacity`](Self::session_capacity)
+    /// (which still assumes worst-case, fully grown sessions), and the
+    /// same budget holds ~4× the tokens at [`Precision::Int8Apsq`] (i8
+    /// codes + per-row scale exponents instead of f32 rows). Under block
+    /// pressure the scheduler reclaims shared-prefix blocks, then
+    /// LRU-evicts idle sessions, and only then sheds with
     /// [`crate::ServeError::SessionCapacity`].
     pub kv_budget_bytes: usize,
+    /// Tokens per KV block — the granularity the byte budget is carved
+    /// at. Smaller blocks waste fewer bytes on partially filled tails but
+    /// grow the per-session block tables; decode output is bit-identical
+    /// across every block size.
+    pub kv_block_tokens: usize,
     /// Per-layer MAC budget for prefill inventories (0 = unlimited —
     /// do not use 0 with paper-scale inventories).
     pub prefill_max_macs: u64,
@@ -168,6 +215,7 @@ impl ServeConfig {
             batch: BatchPolicy::batched(8),
             queue_capacity: 256,
             kv_budget_bytes: 64 * model.kv_bytes_per_session(Precision::F32),
+            kv_block_tokens: 16,
             prefill_max_macs: 30_000,
         }
     }
@@ -202,6 +250,12 @@ impl ServeConfig {
         self
     }
 
+    /// Sets the KV block size in tokens.
+    pub fn with_kv_block_tokens(mut self, tokens: usize) -> Self {
+        self.kv_block_tokens = tokens;
+        self
+    }
+
     /// Validates invariants (non-zero workers, batch, queue, and a KV
     /// budget that admits at least one session).
     ///
@@ -213,6 +267,13 @@ impl ServeConfig {
         assert!(self.engine_threads > 0, "need at least one engine thread");
         assert!(self.batch.max_batch > 0, "max_batch must be positive");
         assert!(self.queue_capacity > 0, "queue_capacity must be positive");
+        assert!(self.kv_block_tokens > 0, "kv_block_tokens must be positive");
+        assert!(
+            self.kv_block_tokens <= self.model.max_len,
+            "kv_block_tokens {} exceeds the context window {}",
+            self.kv_block_tokens,
+            self.model.max_len
+        );
         assert!(
             self.session_capacity() > 0,
             "kv_budget_bytes {} below one session's KV bytes {}",

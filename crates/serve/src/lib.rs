@@ -7,16 +7,18 @@
 //! ```text
 //!  clients ── submit ──▶ RequestQueue ──▶ scheduler thread
 //!                         (admission:      │  Batcher: prefill / decode
-//!                          shed typed      │  lanes, max-batch + max-wait
-//!                          errors over     │  coalescing
-//!                          budget)         ▼
+//!                          shed typed      │  lanes; barrier (max-batch +
+//!                          errors over     │  max-wait) or continuous
+//!                          budget)         │  dispatch
+//!                                          ▼
 //!                                    worker pool (ExecEngine each)
 //!                                     │          │
-//!                decode lane: DecoderLm::decode_batch_with over the
-//!                sessions' KV caches   │          │
+//!                decode lane: decode_batch_paged_with over the sessions'
+//!                KV block tables      │          │
 //!                prefill lane: execute_workloads on bert / segformer /
-//!                llama inventories     ▼          ▼
+//!                llama inventories    ▼          ▼
 //!                                SessionManager checkin ── responses ──▶
+//!                                (block tables ──▶ shared BlockAllocator)
 //! ```
 //!
 //! Std-only: threads are [`std::thread`], channels are [`std::sync::mpsc`],
@@ -30,9 +32,12 @@
 //! of a coalesced decode GEMM equals the batch-size-1 result exactly (see
 //! `DecoderLm::decode_batch_with`), and prefill requests execute
 //! independently inside a coalesced task. Scheduling changes *when* a
-//! request runs and *with whom* — never what it returns. The end-to-end
-//! property is pinned by `tests/determinism.rs`: one seed, many server
-//! shapes, one response fingerprint.
+//! request runs and *with whom* — never what it returns. Paged attention
+//! gathers a session's blocks back into flat token order before reducing,
+//! so the KV block size (and whether blocks are shared) is equally
+//! payload-invisible. The end-to-end property is pinned by
+//! `tests/determinism.rs`: one seed, many server shapes and block sizes,
+//! one response fingerprint.
 //!
 //! Load-dependent shedding ([`ServeError::QueueFull`],
 //! [`ServeError::SessionCapacity`], and LRU eviction surfacing as
@@ -42,17 +47,31 @@
 //! silently restart from scratch). Closed-loop workloads sized within the
 //! configured budgets (as the [`LoadGenerator`] is) never shed at all.
 //!
-//! # KV byte budget
+//! # Paged KV cache
 //!
-//! Session capacity is a **byte** budget, not a session count:
-//! [`ServeConfig::kv_budget_bytes`] divided by one fully grown session's
-//! KV bytes at the serving precision. The f32 cache stores `8·d` bytes
-//! per cached token; [`Precision::Int8Apsq`]'s cache
-//! ([`apsq_nn::Int8AttentionKvCache`]) stores i8 codes plus
-//! per-(token, head) power-of-two scale exponents — `2·(d + heads)`
-//! bytes — so the same budget admits ~4× the resident sessions, and
-//! decode attention runs `Q·Kᵀ`/`P·V` in the integer domain with grouped
-//! APSQ folded over the context dimension.
+//! Session KV state lives in **fixed-size blocks** of
+//! [`ServeConfig::kv_block_tokens`] tokens, carved out of the
+//! [`ServeConfig::kv_budget_bytes`] byte budget by one shared
+//! [`apsq_nn::BlockAllocator`] (free list + refcounts). A session holds
+//! only the blocks its current length needs, so short sessions pack well
+//! past the nominal worst-case [`ServeConfig::session_capacity`]. The
+//! f32 cache stores `8·d` bytes per cached token;
+//! [`Precision::Int8Apsq`] stores i8 codes plus per-(token, head)
+//! power-of-two scale exponents — `2·(d + heads)` bytes — so the same
+//! budget holds ~4× the tokens, and decode attention runs `Q·Kᵀ`/`P·V`
+//! in the integer domain with grouped APSQ folded over the context
+//! dimension.
+//!
+//! Filled blocks are **hash-consed on the session's token-id prefix**:
+//! when two sessions have decoded the same leading tokens, their filled
+//! blocks are byte-identical (same inputs, same deterministic kernels),
+//! and the later session's copy is swapped for a refcounted reference to
+//! the first (after an exact byte-equality check, so a hash collision
+//! degrades to a missed dedup, never a wrong read). Appending past a
+//! shared block allocates fresh — copy-on-write, so sharing is invisible
+//! to payloads. Under block pressure the scheduler reclaims unshared
+//! prefix blocks, then LRU-evicts idle sessions, and only then sheds
+//! with [`ServeError::SessionCapacity`].
 //!
 //! Eviction tombstones are **bounded**: the set of dead session ids is
 //! interval-compacted (exact membership, ranges merge), so a long-lived
@@ -87,7 +106,7 @@ pub use batcher::{Batcher, Lane, Pending};
 pub use config::{BatchPolicy, ModelSpec, ServeConfig};
 pub use error::ServeError;
 pub use loadgen::{ClientKind, LoadGenerator, LoadReport, Scenario};
-pub use metrics::{LatencyStats, Metrics, MetricsSnapshot};
+pub use metrics::{LatencyStats, Metrics, MetricsSnapshot, ShedCause};
 pub use request::{Payload, PrefillModel, Request, RequestId, Response, SessionId};
 pub use server::{Server, ServerHandle};
 pub use session::{SessionKv, SessionManager};

@@ -57,6 +57,17 @@ pub struct Scenario {
     pub clients: Vec<ClientKind>,
     /// Requests each client issues before stopping.
     pub requests_per_client: usize,
+    /// Decode clients send this many **identical** leading tokens (a
+    /// fixed, seed-independent prompt) before switching to greedy
+    /// feedback — the shared prefix the paged KV cache dedups across
+    /// sessions. `0` keeps every stream independent from token one.
+    pub shared_prefix: usize,
+    /// Allow more decode clients than the nominal
+    /// [`ServeConfig::session_capacity`]: block-granular accounting and
+    /// prefix sharing are expected to carry the overcommit without
+    /// evictions, and [`LoadGenerator::run`] skips its capacity
+    /// assertion.
+    pub overcommit: bool,
 }
 
 impl Scenario {
@@ -66,6 +77,8 @@ impl Scenario {
             name: format!("llama_decode_c{clients}_s{steps}"),
             clients: vec![ClientKind::LlamaDecode; clients],
             requests_per_client: steps,
+            shared_prefix: 0,
+            overcommit: false,
         }
     }
 
@@ -85,6 +98,22 @@ impl Scenario {
             name: format!("mixed_c{clients}_s{requests_per_client}"),
             clients: kinds,
             requests_per_client,
+            shared_prefix: 0,
+            overcommit: false,
+        }
+    }
+
+    /// Decode traffic where every client opens with the same
+    /// `prefix_len`-token prompt — the block-dedup stress scenario. Runs
+    /// with [`overcommit`](Self::overcommit) set: the point is packing
+    /// more sessions than the worst-case byte budget nominally admits.
+    pub fn shared_prefix_decode(clients: usize, prefix_len: usize, steps: usize) -> Self {
+        Scenario {
+            name: format!("shared_prefix_c{clients}_p{prefix_len}_s{steps}"),
+            clients: vec![ClientKind::LlamaDecode; clients],
+            requests_per_client: steps,
+            shared_prefix: prefix_len,
+            overcommit: true,
         }
     }
 
@@ -168,7 +197,7 @@ impl LoadGenerator {
             self.scenario.clients.len()
         );
         assert!(
-            self.scenario.decode_clients() <= cfg.session_capacity(),
+            self.scenario.overcommit || self.scenario.decode_clients() <= cfg.session_capacity(),
             "closed-loop load needs the KV budget to admit every decode client ({} < {})",
             cfg.session_capacity(),
             self.scenario.decode_clients()
@@ -198,9 +227,10 @@ impl LoadGenerator {
         let started = Instant::now();
 
         let per_client = self.scenario.requests_per_client;
+        let shared_prefix = self.scenario.shared_prefix;
         if per_client > 0 {
             for (i, c) in clients.iter_mut().enumerate() {
-                if submit_next(&handle, c, i, vocab) {
+                if submit_next(&handle, c, i, vocab, shared_prefix) {
                     outstanding += 1;
                 } else {
                     client_shed += 1;
@@ -224,7 +254,7 @@ impl LoadGenerator {
             }
             let ci = (r.id / CLIENT_STRIDE) as usize;
             if clients[ci].issued < per_client {
-                if submit_next(&handle, &mut clients[ci], ci, vocab) {
+                if submit_next(&handle, &mut clients[ci], ci, vocab, shared_prefix) {
                     outstanding += 1;
                 } else {
                     client_shed += 1;
@@ -262,17 +292,23 @@ impl LoadGenerator {
 }
 
 /// Submits client `ci`'s next request; returns whether it was admitted.
+/// The first `shared_prefix` decode steps send a fixed prompt common to
+/// every client; afterwards the stream is the client's own (seeded first
+/// token, then greedy feedback).
 fn submit_next(
     handle: &crate::server::ServerHandle,
     c: &mut ClientState,
     ci: usize,
     vocab: usize,
+    shared_prefix: usize,
 ) -> bool {
     let id = ci as u64 * CLIENT_STRIDE + c.issued as u64;
     let req = match c.kind.prefill_model() {
         Some(model) => Request::prefill(id, model),
         None => {
-            let token = if c.issued == 0 {
+            let token = if c.issued < shared_prefix {
+                (c.issued * 7 + 3) % vocab
+            } else if c.issued == 0 {
                 c.rng.gen_range(0..vocab)
             } else {
                 c.last_token
@@ -297,6 +333,30 @@ mod tests {
         assert_ne!(a.clients, c.clients);
         assert!(a.decode_clients() > 0);
         assert!(a.decode_clients() < 12);
+    }
+
+    #[test]
+    fn shared_prefix_overcommit_packs_past_nominal_capacity() {
+        let mut cfg = ServeConfig::smoke();
+        cfg.model.d_model = 32;
+        cfg.model.d_ff = 64;
+        cfg.model.heads = 2;
+        cfg.model.vocab = 16;
+        cfg.model.max_len = 16;
+        cfg.prefill_max_macs = 5_000;
+        cfg.kv_block_tokens = 4;
+        // Worst-case budget for 3 sessions; 6 clients run anyway because
+        // identical streams collapse onto shared blocks.
+        cfg.kv_budget_bytes = 3 * cfg.model.kv_bytes_per_session(cfg.precision);
+        let scenario = Scenario::shared_prefix_decode(6, 8, 8);
+        assert!(scenario.decode_clients() > cfg.session_capacity());
+        let report = LoadGenerator::new(9, scenario).run(&cfg);
+        assert_eq!(report.ok, 48);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.client_shed, 0);
+        assert_eq!(report.snapshot.evictions, 0);
+        assert!(report.snapshot.shared_prefix_hits > 0);
+        assert!(report.snapshot.sessions_peak > cfg.session_capacity());
     }
 
     #[test]

@@ -1,11 +1,29 @@
 //! Serving metrics: latency percentiles per lane, queue depth, batch
-//! occupancy, throughput, and shed/eviction counters.
+//! occupancy, throughput, per-cause shed counters, and KV block-pool
+//! gauges (utilization, sharing, fragmentation).
 //!
 //! The [`Metrics`] accumulator is owned by the scheduler thread (no
 //! locks); only the submit-side shed counter is shared, via an atomic in
 //! the server handle. A [`MetricsSnapshot`] is computed once at shutdown.
 
 use crate::batcher::Lane;
+
+/// Why the scheduler shed an already-admitted request. Submit-side
+/// [`crate::ServeError::QueueFull`] sheds are counted separately (they
+/// never reach the scheduler).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedCause {
+    /// The KV block pool could not reserve the session's next block even
+    /// after prefix-block GC and LRU eviction
+    /// ([`crate::ServeError::SessionCapacity`]).
+    SessionCapacity,
+    /// The session reached the model's context window
+    /// ([`crate::ServeError::ContextOverflow`]).
+    ContextOverflow,
+    /// The request targeted a session that had been LRU-evicted
+    /// ([`crate::ServeError::SessionEvicted`]).
+    SessionEvicted,
+}
 
 /// Percentile summary of a latency population.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -68,6 +86,13 @@ pub struct Metrics {
     completed: u64,
     errors: u64,
     decode_tokens: u64,
+    shed_session_capacity: u64,
+    shed_context_overflow: u64,
+    shed_session_evicted: u64,
+    blocks_peak: usize,
+    blocks_shared_peak: usize,
+    util_sum: f64,
+    util_samples: u64,
 }
 
 impl Metrics {
@@ -106,9 +131,39 @@ impl Metrics {
         self.queue_samples += 1;
     }
 
+    /// Records one scheduler-side shed, by cause.
+    pub fn record_shed(&mut self, cause: ShedCause) {
+        match cause {
+            ShedCause::SessionCapacity => self.shed_session_capacity += 1,
+            ShedCause::ContextOverflow => self.shed_context_overflow += 1,
+            ShedCause::SessionEvicted => self.shed_session_evicted += 1,
+        }
+    }
+
+    /// Samples the KV block pool: blocks in use, blocks referenced by more
+    /// than one holder, and tokens actually stored. Utilization — tokens
+    /// stored over the token capacity of the in-use blocks — measures
+    /// internal fragmentation from partially filled tail blocks; samples
+    /// with an empty pool are skipped.
+    pub fn sample_blocks(
+        &mut self,
+        in_use: usize,
+        shared: usize,
+        tokens: usize,
+        block_tokens: usize,
+    ) {
+        self.blocks_peak = self.blocks_peak.max(in_use);
+        self.blocks_shared_peak = self.blocks_shared_peak.max(shared);
+        if in_use > 0 {
+            self.util_sum += tokens as f64 / (in_use * block_tokens) as f64;
+            self.util_samples += 1;
+        }
+    }
+
     /// Freezes the accumulator into a snapshot. `elapsed_s` is the
     /// measured serving interval; shed/eviction/session counters come from
     /// the server's shared state.
+    #[allow(clippy::too_many_arguments)]
     pub fn snapshot(
         mut self,
         elapsed_s: f64,
@@ -116,6 +171,8 @@ impl Metrics {
         evictions: u64,
         sessions_peak: usize,
         sessions_capacity: usize,
+        blocks_capacity: usize,
+        shared_prefix_hits: u64,
     ) -> MetricsSnapshot {
         let occupancy_hist = {
             let mut hist: Vec<(usize, u64)> = Vec::new();
@@ -138,9 +195,21 @@ impl Metrics {
             completed: self.completed,
             errors: self.errors,
             shed_queue,
+            shed_session_capacity: self.shed_session_capacity,
+            shed_context_overflow: self.shed_context_overflow,
+            shed_session_evicted: self.shed_session_evicted,
             evictions,
             sessions_peak,
             sessions_capacity,
+            blocks_capacity,
+            blocks_peak: self.blocks_peak,
+            blocks_shared_peak: self.blocks_shared_peak,
+            block_utilization_mean: if self.util_samples == 0 {
+                0.0
+            } else {
+                self.util_sum / self.util_samples as f64
+            },
+            shared_prefix_hits,
             decode_tokens: self.decode_tokens,
             elapsed_s,
             latency: LatencyStats::from_samples(&mut self.all_us),
@@ -179,14 +248,40 @@ pub struct MetricsSnapshot {
     pub errors: u64,
     /// Submits shed at admission ([`crate::ServeError::QueueFull`]).
     pub shed_queue: u64,
+    /// Scheduler sheds from KV block exhaustion
+    /// ([`crate::ServeError::SessionCapacity`]).
+    pub shed_session_capacity: u64,
+    /// Scheduler sheds from context-window overflow
+    /// ([`crate::ServeError::ContextOverflow`]).
+    pub shed_context_overflow: u64,
+    /// Scheduler sheds targeting evicted sessions
+    /// ([`crate::ServeError::SessionEvicted`]).
+    pub shed_session_evicted: u64,
     /// Sessions LRU-evicted.
     pub evictions: u64,
-    /// Peak resident sessions.
+    /// Peak resident sessions. With block-granular allocation this can
+    /// exceed [`sessions_capacity`](Self::sessions_capacity): short
+    /// sessions hold only the blocks they filled, so more of them fit in
+    /// the same byte budget.
     pub sessions_peak: usize,
-    /// Resident sessions the KV byte budget admits at the server's
-    /// precision ([`crate::ServeConfig::kv_budget_bytes`] ÷ bytes per
-    /// session).
+    /// Worst-case (fully grown) sessions the KV byte budget holds at the
+    /// server's precision ([`crate::ServeConfig::kv_budget_bytes`] ÷
+    /// bytes per session).
     pub sessions_capacity: usize,
+    /// KV blocks the byte budget carves out.
+    pub blocks_capacity: usize,
+    /// Peak KV blocks in use.
+    pub blocks_peak: usize,
+    /// Peak KV blocks shared (refcount > 1) across sessions or the
+    /// prefix index.
+    pub blocks_shared_peak: usize,
+    /// Mean of tokens-stored ÷ token-capacity-of-in-use-blocks across
+    /// scheduler samples — 1.0 means no internal fragmentation from
+    /// partial tail blocks.
+    pub block_utilization_mean: f64,
+    /// Times a freshly filled block was deduplicated onto an existing
+    /// shared-prefix block.
+    pub shared_prefix_hits: u64,
     /// Successful decode steps (= tokens generated).
     pub decode_tokens: u64,
     /// Serving interval in seconds.
@@ -242,9 +337,23 @@ mod tests {
         m.record_batch(4);
         m.sample_queue_depth(3);
         m.sample_queue_depth(5);
-        let s = m.snapshot(2.0, 7, 1, 9, 16);
+        m.record_shed(ShedCause::SessionCapacity);
+        m.record_shed(ShedCause::ContextOverflow);
+        m.record_shed(ShedCause::ContextOverflow);
+        m.sample_blocks(4, 1, 32, 16); // utilization 0.5
+        m.sample_blocks(2, 0, 32, 16); // utilization 1.0
+        m.sample_blocks(0, 0, 0, 16); // empty pool: skipped
+        let s = m.snapshot(2.0, 7, 1, 9, 16, 64, 3);
         assert_eq!(s.completed, 4);
         assert_eq!(s.sessions_capacity, 16);
+        assert_eq!(s.shed_session_capacity, 1);
+        assert_eq!(s.shed_context_overflow, 2);
+        assert_eq!(s.shed_session_evicted, 0);
+        assert_eq!(s.blocks_capacity, 64);
+        assert_eq!(s.blocks_peak, 4);
+        assert_eq!(s.blocks_shared_peak, 1);
+        assert!((s.block_utilization_mean - 0.75).abs() < 1e-12);
+        assert_eq!(s.shared_prefix_hits, 3);
         assert_eq!(s.errors, 1);
         assert_eq!(s.decode_tokens, 2);
         assert_eq!(s.tokens_per_s, 1.0);
@@ -265,9 +374,10 @@ mod tests {
 
     #[test]
     fn empty_metrics_snapshot_is_all_zero() {
-        let s = Metrics::new().snapshot(0.0, 0, 0, 0, 0);
+        let s = Metrics::new().snapshot(0.0, 0, 0, 0, 0, 0, 0);
         assert_eq!(s.latency, LatencyStats::default());
         assert_eq!(s.tokens_per_s, 0.0);
         assert_eq!(s.batch_occupancy_hist, vec![]);
+        assert_eq!(s.block_utilization_mean, 0.0);
     }
 }

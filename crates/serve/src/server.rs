@@ -1,24 +1,29 @@
 //! The server runtime: admission handle, scheduler thread, and the
-//! `ExecEngine`-backed worker pool.
+//! `ExecEngine`-backed worker pool over one shared paged KV pool.
 //!
-//! One scheduler thread owns the [`Batcher`], the [`SessionManager`], and
-//! the [`Metrics`] accumulator; `workers` executor threads pull coalesced
-//! batches from a shared work channel and run them on their own engines.
-//! All communication is `std::sync::mpsc` — submissions and batch
+//! One scheduler thread owns the [`Batcher`], the
+//! [`SessionManager`](crate::SessionManager), and the [`Metrics`]
+//! accumulator; `workers` executor threads pull coalesced batches from a
+//! shared work channel and run them on their own engines. All KV storage
+//! lives in a single [`BlockAllocator`] behind a mutex: the scheduler
+//! locks it to reserve blocks, evict, and hash-cons shared prefixes; a
+//! worker locks it for the duration of one decode batch. All
+//! communication is `std::sync::mpsc` — submissions and batch
 //! completions multiplex onto a single event channel so the scheduler can
-//! block on one receiver with a batching deadline.
+//! block on one receiver with a batching deadline (or none, under
+//! continuous batching).
 
 use crate::batcher::{Batcher, Lane, Pending};
 use crate::config::ServeConfig;
 use crate::error::ServeError;
-use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::metrics::{Metrics, MetricsSnapshot, ShedCause};
 use crate::request::{fnv1a, Payload, Request, RequestKind, Response, SessionId, FNV_OFFSET};
 use crate::session::SessionKv;
 use apsq_dataflow::Workload;
 use apsq_models::{
     bert_base_128, execute_workloads, llama_prefill, segformer_b0_512, LlamaConfig, Precision,
 };
-use apsq_nn::{DecoderKvState, DecoderLm, Int8DecoderKvState, Int8DecoderLm};
+use apsq_nn::{BlockAllocator, DecoderLm, Int8DecoderLm, PagedKvState};
 use apsq_tensor::ExecEngine;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
@@ -47,6 +52,9 @@ struct BatchDone {
     items: Vec<DoneItem>,
     /// KV states to check back in (decode batches only).
     states: Vec<(SessionId, SessionKv)>,
+    /// KV blocks the scheduler reserved for this batch, now consumed —
+    /// echoed back so the outstanding-reservation count can shrink.
+    reserved: usize,
 }
 
 /// A coalesced batch dispatched to the worker pool.
@@ -54,6 +62,9 @@ enum WorkItem {
     Decode {
         items: Vec<Pending>,
         states: Vec<(SessionId, SessionKv)>,
+        /// Blocks reserved for this batch's appends (echoed in
+        /// [`BatchDone::reserved`]).
+        reserved: usize,
     },
     Prefill {
         items: Vec<Pending>,
@@ -97,45 +108,22 @@ impl DecodeModel {
         }
     }
 
-    /// Runs one decode batch over precision-matched session states: the
-    /// f32 model decodes f32 KV caches, the integer model decodes int8 KV
-    /// caches. The session manager is built at the same precision as the
-    /// model, so a mismatch is a server bug, not load-dependent.
+    /// Runs one decode batch over paged session states. The states are
+    /// precision-agnostic block tables; the allocator (built at the
+    /// server's precision) owns the storage, so the f32 model walks f32
+    /// blocks and the integer model walks int8 blocks — a mismatch is a
+    /// server bug, not load-dependent.
     fn decode_batch_states(
         &self,
         tokens: &[usize],
         states: &mut [SessionKv],
+        alloc: &mut BlockAllocator,
         eng: &ExecEngine,
     ) -> apsq_tensor::Tensor {
+        let mut paged: Vec<&mut PagedKvState> = states.iter_mut().map(|s| s.state_mut()).collect();
         match self {
-            DecodeModel::F32(m) => {
-                let mut sts: Vec<DecoderKvState> = states
-                    .iter_mut()
-                    .map(|s| match s {
-                        SessionKv::F32(st) => std::mem::take(st),
-                        SessionKv::Int8(_) => unreachable!("int8 state handed to the f32 model"),
-                    })
-                    .collect();
-                let logits = m.decode_batch_with(tokens, &mut sts, eng);
-                for (slot, st) in states.iter_mut().zip(sts) {
-                    *slot = SessionKv::F32(st);
-                }
-                logits
-            }
-            DecodeModel::Int8(m) => {
-                let mut sts: Vec<Int8DecoderKvState> = states
-                    .iter_mut()
-                    .map(|s| match s {
-                        SessionKv::Int8(st) => std::mem::take(st),
-                        SessionKv::F32(_) => unreachable!("f32 state handed to the int8 model"),
-                    })
-                    .collect();
-                let logits = m.decode_batch_with(tokens, &mut sts, eng);
-                for (slot, st) in states.iter_mut().zip(sts) {
-                    *slot = SessionKv::Int8(st);
-                }
-                logits
-            }
+            DecodeModel::F32(m) => m.decode_batch_paged_with(tokens, &mut paged, alloc, eng),
+            DecodeModel::Int8(m) => m.decode_batch_paged_with(tokens, &mut paged, alloc, eng),
         }
     }
 }
@@ -198,6 +186,25 @@ impl ServerHandle {
     ///
     /// Panics if a decode request's token is outside the model vocabulary
     /// (a client programming error, not load-dependent).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use apsq_serve::{Payload, Request, ServeConfig, Server};
+    ///
+    /// let mut cfg = ServeConfig::smoke();
+    /// cfg.workers = 1;
+    /// let (server, responses) = Server::start(&cfg);
+    /// let handle = server.handle();
+    ///
+    /// // One decode step for session 42; the response carries the
+    /// // greedy next token to feed back.
+    /// handle.submit(Request::decode(1, 42, 7)).unwrap();
+    /// let resp = responses.recv().unwrap();
+    /// assert_eq!(resp.id, 1);
+    /// assert!(matches!(resp.result, Ok(Payload::Decode { .. })));
+    /// server.shutdown();
+    /// ```
     pub fn submit(&self, req: Request) -> Result<(), ServeError> {
         if let RequestKind::Decode { token, .. } = req.kind {
             assert!(
@@ -253,6 +260,20 @@ impl Server {
         cfg.validate();
         let model = Arc::new(DecodeModel::build(cfg));
         let lib = Arc::new(PrefillLib::build());
+        // One paged KV pool for every session and layer, at the decode
+        // precision: the byte budget is carved into kv_block_tokens-sized
+        // blocks handed out on demand.
+        let alloc = Arc::new(Mutex::new(match cfg.precision {
+            Precision::F32 => {
+                BlockAllocator::f32(cfg.kv_budget_bytes, cfg.kv_block_tokens, cfg.model.d_model)
+            }
+            Precision::Int8Apsq => BlockAllocator::int8(
+                cfg.kv_budget_bytes,
+                cfg.kv_block_tokens,
+                cfg.model.d_model,
+                cfg.model.heads,
+            ),
+        }));
         let (evt_tx, evt_rx) = mpsc::channel::<Event>();
         let (resp_tx, resp_rx) = mpsc::channel::<Response>();
         let (work_tx, work_rx) = mpsc::channel::<WorkItem>();
@@ -267,13 +288,16 @@ impl Server {
             .map(|_| {
                 let model = Arc::clone(&model);
                 let lib = Arc::clone(&lib);
+                let alloc = Arc::clone(&alloc);
                 let work_rx = Arc::clone(&work_rx);
                 let evt_tx = evt_tx.clone();
                 let eng = ExecEngine::with_threads(cfg.engine_threads);
                 let budget = cfg.prefill_max_macs;
                 let precision = cfg.precision;
                 std::thread::spawn(move || {
-                    worker_loop(&model, &lib, &work_rx, &evt_tx, eng, budget, precision)
+                    worker_loop(
+                        &model, &lib, &alloc, &work_rx, &evt_tx, eng, budget, precision,
+                    )
                 })
             })
             .collect();
@@ -283,7 +307,7 @@ impl Server {
             let shared = Arc::clone(&shared);
             let max_len = model.max_len();
             std::thread::spawn(move || {
-                scheduler_loop(&cfg, max_len, shared, evt_rx, work_tx, resp_tx)
+                scheduler_loop(&cfg, max_len, alloc, shared, evt_rx, work_tx, resp_tx)
             })
         };
 
@@ -343,9 +367,11 @@ impl Drop for Server {
 
 /// Executor thread: pull a coalesced batch, run it on this worker's
 /// engine, report completion. Exits when the work channel closes.
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     model: &DecodeModel,
     lib: &PrefillLib,
+    alloc: &Mutex<BlockAllocator>,
     work_rx: &Mutex<Receiver<WorkItem>>,
     evt_tx: &Sender<Event>,
     eng: ExecEngine,
@@ -359,7 +385,11 @@ fn worker_loop(
             Err(_) => return,
         };
         let done = match item {
-            WorkItem::Decode { items, states } => run_decode(model, &eng, items, states),
+            WorkItem::Decode {
+                items,
+                states,
+                reserved,
+            } => run_decode(model, &eng, alloc, items, states, reserved),
             WorkItem::Prefill { items } => run_prefill(lib, &eng, items, prefill_budget, precision),
         };
         if evt_tx.send(Event::Done(done)).is_err() {
@@ -369,14 +399,17 @@ fn worker_loop(
 }
 
 /// Runs one decode batch: every request's token row goes through one
-/// GEMM-stacked `decode_batch_with` call; each row is bit-identical to a
+/// GEMM-stacked paged decode call; each row is bit-identical to a
 /// batch-of-one execution, so the response payload never depends on the
-/// batch composition.
+/// batch composition. The block pool is locked for the duration of the
+/// batch — appends consume blocks the scheduler already reserved.
 fn run_decode(
     model: &DecodeModel,
     eng: &ExecEngine,
+    alloc: &Mutex<BlockAllocator>,
     items: Vec<Pending>,
     states: Vec<(SessionId, SessionKv)>,
+    reserved: usize,
 ) -> BatchDone {
     let tokens: Vec<usize> = items
         .iter()
@@ -387,7 +420,10 @@ fn run_decode(
         .collect();
     let (sids, mut sts): (Vec<SessionId>, Vec<SessionKv>) = states.into_iter().unzip();
     let positions: Vec<usize> = sts.iter().map(|s| s.position()).collect();
-    let logits = model.decode_batch_states(&tokens, &mut sts, eng);
+    let logits = {
+        let mut alloc = alloc.lock().expect("block allocator poisoned");
+        model.decode_batch_states(&tokens, &mut sts, &mut alloc, eng)
+    };
     let vocab = logits.dims()[1];
     let next = apsq_tensor::argmax_axis1(&logits);
     let occupancy = items.len();
@@ -416,6 +452,7 @@ fn run_decode(
         occupancy,
         items: done_items,
         states: sids.into_iter().zip(sts).collect(),
+        reserved,
     }
 }
 
@@ -461,6 +498,7 @@ fn run_prefill(
         occupancy,
         items: done_items,
         states: Vec::new(),
+        reserved: 0,
     }
 }
 
@@ -469,6 +507,7 @@ fn run_prefill(
 fn scheduler_loop(
     cfg: &ServeConfig,
     max_len: usize,
+    alloc: Arc<Mutex<BlockAllocator>>,
     shared: Arc<Shared>,
     evt_rx: Receiver<Event>,
     work_tx: Sender<WorkItem>,
@@ -476,17 +515,14 @@ fn scheduler_loop(
 ) -> MetricsSnapshot {
     let started = Instant::now();
     let mut batcher = Batcher::new(cfg.batch);
-    let mut sessions = crate::session::SessionManager::new(
-        cfg.kv_budget_bytes,
-        cfg.model.layers,
-        cfg.model.d_model,
-        cfg.model.heads,
-        cfg.model.max_len,
-        cfg.precision,
-    );
+    let mut sessions =
+        crate::session::SessionManager::new(alloc, cfg.session_capacity(), cfg.model.layers);
     let mut metrics = Metrics::new();
     let mut idle = cfg.workers;
     let mut inflight = 0usize;
+    // Blocks promised to dispatched-but-uncompleted decode batches; new
+    // reservations must leave room for these.
+    let mut reserved_outstanding = 0usize;
     let mut draining = false;
 
     let respond = |metrics: &mut Metrics,
@@ -535,17 +571,23 @@ fn scheduler_loop(
                 continue;
             }
             // Decode batches coalesce greedily — stacked rows share one
-            // GEMM, so occupancy is pure win.
+            // GEMM, so occupancy is pure win. Each item's KV block demand
+            // is reserved before checkout: the reservation reclaims
+            // unreferenced prefix blocks and LRU-evicts idle sessions
+            // under pressure, and sheds the item when even that fails —
+            // so a dispatched batch can never exhaust the pool mid-step.
             let items = batcher.take(lane);
             let work = match lane {
                 Lane::Decode => {
                     let mut batch = Vec::with_capacity(items.len());
                     let mut states = Vec::with_capacity(items.len());
+                    let mut batch_reserved = 0usize;
                     for p in items {
                         let session = p.req.session().expect("decode lane request has a session");
                         let position = sessions.position(session);
                         if position >= max_len {
                             shared.depth.fetch_sub(1, Ordering::Relaxed);
+                            metrics.record_shed(ShedCause::ContextOverflow);
                             respond(
                                 &mut metrics,
                                 p,
@@ -561,17 +603,30 @@ fn scheduler_loop(
                             batcher.on_session_done(session);
                             continue;
                         }
+                        match sessions.reserve(session, reserved_outstanding + batch_reserved) {
+                            Ok(blocks) => batch_reserved += blocks,
+                            Err(e) => {
+                                shared.depth.fetch_sub(1, Ordering::Relaxed);
+                                metrics.record_shed(ShedCause::SessionCapacity);
+                                respond(&mut metrics, p, Err(e), 0, Lane::Decode);
+                                sessions.release(session);
+                                batcher.on_session_done(session);
+                                continue;
+                            }
+                        }
                         states.push((session, sessions.checkout(session)));
                         batch.push(p);
                     }
                     if batch.is_empty() {
                         continue;
                     }
+                    reserved_outstanding += batch_reserved;
                     shared.depth.fetch_sub(batch.len(), Ordering::Relaxed);
                     metrics.record_batch(batch.len());
                     WorkItem::Decode {
                         items: batch,
                         states,
+                        reserved: batch_reserved,
                     }
                 }
                 Lane::Prefill => unreachable!("prefill dispatches through the spread loop"),
@@ -618,6 +673,7 @@ fn scheduler_loop(
                         Ok(()) => batcher.push(p),
                         Err(e) => {
                             shared.depth.fetch_sub(1, Ordering::Relaxed);
+                            metrics.record_shed(ShedCause::SessionEvicted);
                             respond(&mut metrics, p, Err(e), 0, Lane::Decode);
                         }
                     },
@@ -626,11 +682,19 @@ fn scheduler_loop(
                 Event::Done(done) => {
                     idle += 1;
                     inflight -= 1;
+                    reserved_outstanding -= done.reserved;
                     for (sid, st) in done.states {
                         sessions.checkin(sid, st);
                     }
                     for item in done.items {
                         let session = item.req.session();
+                        // A successful decode folds its token into the
+                        // session's prefix chain and may hash-cons a
+                        // just-filled block against older sessions.
+                        let decoded = match (&item.result, &item.req.kind) {
+                            (Ok(_), &RequestKind::Decode { token, .. }) => Some(token),
+                            _ => None,
+                        };
                         respond(
                             &mut metrics,
                             Pending {
@@ -642,9 +706,16 @@ fn scheduler_loop(
                             done.lane,
                         );
                         if let Some(s) = session {
+                            if let Some(token) = decoded {
+                                sessions.note_decoded(s, token);
+                            }
                             sessions.release(s);
                             batcher.on_session_done(s);
                         }
+                    }
+                    if done.lane == Lane::Decode {
+                        let (in_use, shared_blocks, tokens, block_tokens) = sessions.block_gauges();
+                        metrics.sample_blocks(in_use, shared_blocks, tokens, block_tokens);
                     }
                 }
                 Event::Shutdown => {
@@ -685,6 +756,8 @@ fn scheduler_loop(
         sessions.evictions(),
         sessions.peak(),
         sessions.capacity(),
+        sessions.blocks_capacity(),
+        sessions.shared_prefix_hits(),
     )
 }
 
@@ -787,6 +860,7 @@ mod tests {
     fn context_overflow_is_a_typed_error_response() {
         let mut cfg = tiny_cfg();
         cfg.model.max_len = 4;
+        cfg.kv_block_tokens = 2;
         cfg.batch = BatchPolicy::single();
         let (server, rx) = Server::start(&cfg);
         let h = server.handle();
@@ -827,6 +901,7 @@ mod tests {
         cfg.batch = BatchPolicy {
             max_batch: 64,
             max_wait: std::time::Duration::from_secs(5),
+            continuous: false,
         };
         let (server, rx) = Server::start(&cfg);
         let h = server.handle();
@@ -849,16 +924,20 @@ mod tests {
     #[test]
     fn session_capacity_rejection_reaches_the_client() {
         let mut cfg = tiny_cfg();
-        // Byte budget sized to exactly one resident session.
+        // Byte budget sized to exactly one worst-case session (= 2 blocks
+        // at the 16-token block size: one per layer).
         cfg.kv_budget_bytes = cfg.model.kv_bytes_per_session(cfg.precision);
         cfg.workers = 1;
         cfg.batch = BatchPolicy {
             max_batch: 64,
             max_wait: std::time::Duration::from_secs(5),
+            continuous: false,
         };
         let (server, rx) = Server::start(&cfg);
         let h = server.handle();
-        // Session 1 queued (pinned); session 2 cannot be admitted.
+        // Both sessions admit (admission is free), but the co-batched
+        // reservation for session 2 finds the pool promised away to
+        // session 1 and nothing evictable (both are pinned).
         h.submit(Request::decode(1, 1, 0)).unwrap();
         h.submit(Request::decode(2, 2, 0)).unwrap();
         let mut results: Vec<Response> = (0..2).map(|_| rx.recv().unwrap()).collect();
@@ -867,11 +946,13 @@ mod tests {
         assert!(matches!(
             results[1].result,
             Err(ServeError::SessionCapacity {
-                active: 1,
+                active: 2,
                 capacity: 1
             })
         ));
-        server.shutdown();
+        let snap = server.shutdown();
+        assert_eq!(snap.shed_session_capacity, 1);
+        assert_eq!(snap.blocks_capacity, 2);
     }
 
     #[test]
@@ -884,6 +965,7 @@ mod tests {
         cfg.batch = BatchPolicy {
             max_batch: 4,
             max_wait: std::time::Duration::from_secs(5),
+            continuous: false,
         };
         let (server, rx) = Server::start(&cfg);
         let h = server.handle();
@@ -899,6 +981,60 @@ mod tests {
             snap.batch_occupancy_hist,
             vec![(2, 2)],
             "4-request prefill burst should split 2+2 over 2 idle workers"
+        );
+    }
+
+    #[test]
+    fn continuous_batching_serves_and_joins_late_sessions() {
+        let mut cfg = tiny_cfg();
+        cfg.workers = 1;
+        cfg.batch = BatchPolicy::continuous(8);
+        let (server, rx) = Server::start(&cfg);
+        let h = server.handle();
+        // First wave dispatches immediately (no coalescing wait); the
+        // late session joins the running decode stream on completion of
+        // whatever batch is in flight.
+        h.submit(Request::decode(1, 100, 3)).unwrap();
+        h.submit(Request::decode(2, 101, 5)).unwrap();
+        assert!(rx.recv().unwrap().result.is_ok());
+        h.submit(Request::decode(3, 102, 7)).unwrap();
+        for _ in 0..2 {
+            assert!(rx.recv().unwrap().result.is_ok());
+        }
+        let snap = server.shutdown();
+        assert_eq!(snap.completed, 3);
+        assert_eq!(snap.errors, 0);
+        assert_eq!(snap.sessions_peak, 3);
+    }
+
+    #[test]
+    fn shared_prefixes_dedup_blocks_across_sessions() {
+        let mut cfg = tiny_cfg();
+        cfg.workers = 1;
+        cfg.batch = BatchPolicy::single();
+        cfg.kv_block_tokens = 2;
+        let (server, rx) = Server::start(&cfg);
+        let h = server.handle();
+        // Two sessions decode the same 4-token stream; each filled block
+        // (every 2 tokens) hash-conses onto the first session's copy.
+        let mut id = 0;
+        for session in [100u64, 200] {
+            for token in [3usize, 5, 7, 2] {
+                h.submit(Request::decode(id, session, token)).unwrap();
+                assert!(rx.recv().unwrap().result.is_ok(), "id {id}");
+                id += 1;
+            }
+        }
+        let snap = server.shutdown();
+        // 2 layers × 2 filled blocks for the second session.
+        assert_eq!(snap.shared_prefix_hits, 4);
+        assert_eq!(snap.errors, 0);
+        // The pool never held more than one session's worth of blocks
+        // plus the in-progress private tail.
+        assert!(
+            snap.blocks_peak <= 6,
+            "blocks_peak {} — prefix sharing not effective",
+            snap.blocks_peak
         );
     }
 

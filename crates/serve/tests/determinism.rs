@@ -51,11 +51,16 @@ fn shapes() -> Vec<(ServeConfig, &'static str)> {
             "4 workers, batch 8",
         ),
         (
-            base.with_workers(3).with_batch(BatchPolicy {
+            base.clone().with_workers(3).with_batch(BatchPolicy {
                 max_batch: 2,
                 max_wait: Duration::from_micros(200),
+                continuous: false,
             }),
             "3 workers, batch 2, 200us wait",
+        ),
+        (
+            base.with_workers(2).with_batch(BatchPolicy::continuous(4)),
+            "2 workers, continuous batch 4",
         ),
     ]
 }
@@ -100,6 +105,37 @@ fn decode_traffic_is_bit_identical_across_server_shapes() {
     );
 }
 
+/// KV block size is a pure memory-layout knob: replaying one seed across
+/// block sizes (including sizes that do not divide the context window)
+/// must yield a single fingerprint per precision. Paged attention
+/// gathers blocks back into the same flat token order the contiguous
+/// caches used, so the reduction order — and every bit of every logit —
+/// is invariant under the paging granularity.
+#[test]
+fn decode_traffic_is_bit_identical_across_kv_block_sizes() {
+    let scenario = Scenario::llama_decode(6, 8);
+    let gen = LoadGenerator::new(42, scenario);
+    for precision in [Precision::F32, Precision::Int8Apsq] {
+        let mut fingerprints = Vec::new();
+        for block_tokens in [2usize, 5, 16] {
+            let cfg = base_cfg()
+                .with_precision(precision)
+                .with_workers(2)
+                .with_batch(BatchPolicy::batched(4))
+                .with_kv_block_tokens(block_tokens);
+            let report = gen.run(&cfg);
+            assert_eq!(report.ok, 48, "block size {block_tokens}");
+            assert_eq!(report.errors, 0, "block size {block_tokens}");
+            fingerprints.push((report.fingerprint, block_tokens));
+        }
+        assert!(
+            fingerprints.iter().all(|(fp, _)| *fp == fingerprints[0].0),
+            "{} fingerprints diverged across KV block sizes: {fingerprints:?}",
+            precision.name()
+        );
+    }
+}
+
 /// Mixed decode + prefill traffic: same contract with both lanes active.
 #[test]
 fn mixed_traffic_is_bit_identical_across_server_shapes() {
@@ -136,6 +172,7 @@ fn fingerprint_depends_on_seed() {
 fn context_overflow_errors_are_deterministic_too() {
     let mut base = base_cfg();
     base.model.max_len = 6;
+    base.kv_block_tokens = 3;
     let scenario = Scenario::llama_decode(3, 9); // 3 steps past the window
     let gen = LoadGenerator::new(5, scenario);
     let mut fingerprints = Vec::new();

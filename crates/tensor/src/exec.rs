@@ -67,7 +67,7 @@ const PARALLEL_THRESHOLD_MACS: usize = 1 << 21;
 ///
 /// The engine is `Copy` and trivially cheap to pass by reference; hold one
 /// per training/inference context and thread it through call chains instead
-/// of configuring per-call globals. See the [module docs](self) for the
+/// of configuring per-call globals. See the module docs above for the
 /// determinism contract.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ExecEngine {

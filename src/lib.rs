@@ -13,7 +13,7 @@
 //! | [`nn`] | `apsq-nn` | transformer layers with manual backprop, W8A8 QAT with the APSQ PSUM path, synthetic tasks, and the `Int8*` integer inference datapath + PTQ conversion |
 //! | [`models`] | `apsq-models` | BERT / Segformer / EfficientViT / LLaMA2-7B workload inventories, runnable at f32 or int8+APSQ precision |
 //! | [`serve`] | `apsq-serve` | dynamic-batching inference server: request queue, prefill/decode lanes, KV-cache sessions, metrics, load generator |
-//! | [`bench`] | `apsq-bench` | experiment drivers, table/JSON report emitters, serve-report rendering |
+//! | [`mod@bench`] | `apsq-bench` | experiment drivers, table/JSON report emitters, serve-report rendering |
 //!
 //! ## Quick start
 //!

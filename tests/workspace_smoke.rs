@@ -66,6 +66,7 @@ fn facade_serve_path_resolves_and_serves() {
     cfg.model.heads = 2;
     cfg.model.vocab = 16;
     cfg.model.max_len = 8;
+    cfg.kv_block_tokens = 4;
     let (server, rx) = Server::start(&cfg);
     server.handle().submit(Request::decode(1, 5, 3)).unwrap();
     let resp = rx.recv().unwrap();
