@@ -13,13 +13,13 @@
 
 use apsq_bench::baseline::matmul_reference;
 use apsq_bench::report::{JsonObject, Table};
-use apsq_tensor::{ExecEngine, Tensor};
+use apsq_tensor::{ExecEngine, Int8Tensor, KernelBackend, Tensor};
 use std::time::Instant;
 
 const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
 const REPS: usize = 3;
 
-fn best_seconds(mut f: impl FnMut() -> Tensor) -> (Tensor, f64) {
+fn best_seconds<T>(mut f: impl FnMut() -> T) -> (T, f64) {
     let mut best = f64::MAX;
     let mut out = None;
     for _ in 0..REPS {
@@ -29,6 +29,55 @@ fn best_seconds(mut f: impl FnMut() -> Tensor) -> (Tensor, f64) {
         out = Some(y);
     }
     (out.expect("REPS > 0"), best)
+}
+
+/// Single-thread scalar-vs-SIMD micro-sweep over every backend the host
+/// supports: f32 GFLOP/s and i8 GIOP/s at the same cubic size, with a
+/// bitwise check of each backend against the scalar kernels.
+fn backend_sweep(n: usize) -> (Table, String, bool) {
+    let a = Tensor::from_vec(
+        (0..n * n).map(|x| ((x % 97) as f32) * 0.01 - 0.3).collect(),
+        [n, n],
+    );
+    let b = Tensor::from_vec(
+        (0..n * n).map(|x| ((x % 89) as f32) * 0.01 - 0.3).collect(),
+        [n, n],
+    );
+    let ai = Int8Tensor::from_vec((0..n * n).map(|x| (x % 255) as i8).collect(), [n, n]);
+    let bi = Int8Tensor::from_vec((0..n * n).map(|x| (x % 253) as i8).collect(), [n, n]);
+    let gop = 2.0 * (n as f64).powi(3) / 1e9;
+
+    let scalar = ExecEngine::serial().with_backend(KernelBackend::Scalar);
+    let want_f32 = scalar.matmul(&a, &b);
+    let want_i8 = scalar.int8_matmul(&ai, &bi);
+
+    let mut table = Table::new(&["backend", "f32 GFLOP/s", "i8 GIOP/s", "bit-identical"]);
+    let mut rows = Vec::new();
+    let mut all_identical = true;
+    for bk in KernelBackend::supported() {
+        let eng = ExecEngine::serial().with_backend(bk);
+        let (yf, tf) = best_seconds(|| eng.matmul(&a, &b));
+        let (yi, ti) = best_seconds(|| eng.int8_matmul(&ai, &bi));
+        let identical = yf == want_f32 && yi == want_i8;
+        all_identical &= identical;
+        table.row(vec![
+            bk.name().into(),
+            format!("{:.2}", gop / tf),
+            format!("{:.2}", gop / ti),
+            identical.to_string(),
+        ]);
+        rows.push(
+            JsonObject::new()
+                .str("backend", bk.name())
+                .num("f32_gflops", gop / tf)
+                .num("i8_giops", gop / ti)
+                .bool("bit_identical_to_scalar", identical)
+                .render()
+                .trim_end()
+                .to_string(),
+        );
+    }
+    (table, apsq_bench::report::json_array(rows), all_identical)
 }
 
 fn main() {
@@ -59,7 +108,9 @@ fn main() {
     );
     let gflop = 2.0 * (n as f64).powi(3) / 1e9;
 
-    println!("== ExecEngine speedup at {n}x{n}x{n} (best of {REPS}) ==\n");
+    println!("== ExecEngine speedup at {n}x{n}x{n} (best of {REPS}) ==");
+    let detected = KernelBackend::detect();
+    println!("kernel backend: {detected} (runtime-detected)\n");
     let (_, t_ref) = best_seconds(|| matmul_reference(&a, &b));
 
     let mut table = Table::new(&["kernel", "seconds", "GFLOP/s", "speedup"]);
@@ -100,8 +151,16 @@ fn main() {
         bit_identical
     );
 
+    // Scalar-vs-SIMD kernel micro-sweep at a size that fits the sweep's
+    // single-thread budget.
+    let micro_n = size.min(512);
+    println!("\n== kernel backend sweep at {micro_n}x{micro_n}x{micro_n} (1 thread) ==\n");
+    let (backend_table, backends_json, backends_identical) = backend_sweep(micro_n);
+    println!("{}", backend_table.render());
+
     let json = JsonObject::new()
         .str("bench", "matmul_exec_engine")
+        .str("kernel_backend", detected.name())
         .raw(
             "shape",
             JsonObject::new()
@@ -114,7 +173,9 @@ fn main() {
         )
         .num("reference_serial_seconds", t_ref)
         .raw("engine", sweep.to_json())
+        .raw("backends", backends_json)
         .bool("bit_identical_across_threads", bit_identical)
+        .bool("bit_identical_across_backends", backends_identical)
         .num("speedup_at_4_threads", speedup_at_4)
         .render();
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
@@ -122,5 +183,9 @@ fn main() {
     assert!(
         bit_identical,
         "parallel engine output diverged from serial — determinism contract broken"
+    );
+    assert!(
+        backends_identical,
+        "a SIMD backend diverged from the scalar kernels — bit-identity contract broken"
     );
 }

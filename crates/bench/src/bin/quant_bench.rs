@@ -24,7 +24,7 @@ use apsq_dataflow::PsumFormat;
 use apsq_nn::{Int8DecoderLm, Int8Linear, PsumMode, QuantLinear};
 use apsq_quant::Bitwidth;
 use apsq_serve::{LoadGenerator, ModelSpec, Precision, Scenario, ServeConfig};
-use apsq_tensor::ExecEngine;
+use apsq_tensor::{ExecEngine, KernelBackend};
 use std::time::Instant;
 
 const SEED: u64 = 0xA95C_0123;
@@ -51,10 +51,12 @@ fn main() {
     let (clients, steps) = if quick { (8, 8) } else { (16, 48) };
     let base = ServeConfig::smoke().with_workers(2);
 
+    let backend = KernelBackend::detect();
     println!(
-        "== f32 vs int8+APSQ decode benchmark ({clients} clients x {steps} steps{}) ==\n",
+        "== f32 vs int8+APSQ decode benchmark ({clients} clients x {steps} steps{}) ==",
         if quick { ", --quick" } else { "" }
     );
+    println!("kernel backend: {backend} (runtime-detected)\n");
 
     // Same seed and traffic through both datapaths.
     let gen = LoadGenerator::new(SEED, Scenario::llama_decode(clients, steps));
@@ -130,21 +132,30 @@ fn main() {
         bytes_int32,
         bytes_int8
     );
-    // Acceptance contract: the integer datapath must not be slower. The
-    // --quick smoke keeps a small noise margin (tiny runs are dominated
-    // by scheduling, not GEMMs); the recorded full run asserts ≥ 1.0.
-    let floor = if quick { 0.85 } else { 1.0 };
+    // Acceptance contract: the integer datapath must beat the fake-quant
+    // path outright. The --quick smoke keeps a small noise margin (tiny
+    // runs are dominated by scheduling, not GEMMs); the recorded full run
+    // asserts strictly above 1.13×.
+    let floor = if quick { 0.85 } else { 1.13 };
     assert!(
-        speedup >= floor,
-        "int8+APSQ decode ({:.1} tok/s) fell below the f32 fake-quant path ({:.1} tok/s)",
+        speedup > floor,
+        "int8+APSQ decode ({:.1} tok/s) fell below {floor}x the f32 fake-quant path ({:.1} tok/s)",
         r_int8.tokens_per_s,
         r_f32.tokens_per_s
     );
-    // Same quick-mode noise margin: 20 reps on a shared CPU jitter.
-    let layer_margin = if quick { 1.15 } else { 1.0 };
+    // Layer contract: with a SIMD backend the integer GEMM + APSQ fold
+    // must run the FFN layer at ≥ 3× the fake-quant path (the scalar
+    // fallback only has to break even; --quick keeps a noise margin).
+    let layer_speedup = us_fakequant / us_int8;
+    let layer_floor = match (backend, quick) {
+        (KernelBackend::Scalar, _) => 0.85,
+        (_, true) => 2.5,
+        (_, false) => 3.0,
+    };
     assert!(
-        us_int8 <= us_fakequant * layer_margin,
-        "integer FFN layer ({us_int8:.1} us) slower than fake-quant ({us_fakequant:.1} us)"
+        layer_speedup >= layer_floor,
+        "integer FFN layer ({us_int8:.1} us) only {layer_speedup:.2}x the fake-quant path \
+         ({us_fakequant:.1} us) on the {backend} backend — floor is {layer_floor}x"
     );
     // KV acceptance contract: ≥ 3.9× fewer bytes per cached token, ≥ 3×
     // the resident sessions at an equal byte budget, actually *held*
@@ -177,6 +188,7 @@ fn main() {
     );
     let json = JsonObject::new()
         .str("bench", "apsq_quant_decode")
+        .str("kernel_backend", backend.name())
         .bool("quick", quick)
         .int("decode_clients", clients as i64)
         .int("decode_steps", steps as i64)
@@ -187,6 +199,7 @@ fn main() {
         .num("int8_speedup", speedup)
         .num("layer_us_fake_quant", us_fakequant)
         .num("layer_us_int8_apsq", us_int8)
+        .num("layer_int8_speedup", us_fakequant / us_int8)
         .int("psum_words_per_token", words.total() as i64)
         .num("psum_bytes_per_token_int32_baseline", bytes_int32)
         .num("psum_bytes_per_token_int8_apsq", bytes_int8)

@@ -92,10 +92,19 @@ pub fn occupancy_table(report: &LoadReport) -> Table {
 }
 
 /// One scenario's JSON object for `BENCH_serve.json`.
+///
+/// Records the kernel backend the process resolved at startup
+/// (`KernelBackend::detect`, honoring `APSQ_KERNEL_BACKEND`) — the serve
+/// engines dispatch through the same detection, so this names the GEMM
+/// code that produced the scenario's numbers.
 pub fn report_json(report: &LoadReport) -> String {
     let s = &report.snapshot;
     JsonObject::new()
         .str("scenario", &report.scenario)
+        .str(
+            "kernel_backend",
+            apsq_tensor::KernelBackend::detect().name(),
+        )
         .int("ok", report.ok as i64)
         .int("errors", report.errors as i64)
         .int("shed_queue", s.shed_queue as i64)
@@ -154,6 +163,7 @@ mod tests {
         assert_eq!(kv_blocks_table(&[&r]).len(), 1);
         let json = report_json(&r);
         assert!(json.contains("\"scenario\""));
+        assert!(json.contains("\"kernel_backend\""));
         assert!(json.contains("\"tokens_per_s\""));
         assert!(json.contains("\"blocks_capacity\""));
         assert!(json.contains("\"shared_prefix_hits\""));

@@ -2,7 +2,7 @@
 //! engines that produce PSUM tiles one accumulation step at a time.
 
 use crate::config::ApsqConfig;
-use crate::grouped::{clamp_i64, ApsqRun};
+use crate::grouped::ApsqRun;
 use crate::schedule::ScaleSchedule;
 use crate::traffic::BufferTraffic;
 use apsq_tensor::{ExecEngine, Int32Tensor, Int8Tensor};
@@ -97,22 +97,25 @@ impl StreamingApsq {
         let is_final = i == np - 1;
         let scale = self.schedule.scale(i);
 
+        // The per-tile inner loops below all run through the branch-free
+        // slice epilogues in `apsq-quant` (`quantize_clamped_i64_into`,
+        // `dequantize_accumulate`), which are bit-identical to the scalar
+        // `quantize`/`dequantize` maps — `apsq_recursion_reference` stays
+        // scalar on purpose as the cross-check.
         if is_apsq_step {
             // Lines 4–7: accumulate the previous group (if any) + Tp_i.
-            let mut acc: Vec<i64> = vec![0; numel];
+            // Seeding the accumulator from the tile instead of zeroing it
+            // saves a whole pass; integer adds make the regrouping exact.
+            let mut acc: Vec<i64> = tile.data().iter().map(|&t| t as i64).collect();
             if i > 0 {
                 for l in i - gs..i {
                     let ls = self.schedule.scale(l);
-                    for (a, &c) in acc.iter_mut().zip(self.stored_codes[l].iter()) {
-                        *a += ls.dequantize(c) as i64;
-                    }
+                    ls.dequantize_accumulate(&self.stored_codes[l], &mut acc);
                     self.traffic.reads += numel as u64;
                 }
             }
-            for (a, &t) in acc.iter_mut().zip(tile.data().iter()) {
-                *a += t as i64;
-            }
-            let codes: Vec<i32> = acc.iter().map(|&v| scale.quantize(clamp_i64(v))).collect();
+            let mut codes = Vec::new();
+            scale.quantize_clamped_i64_into(&acc, &mut codes);
             self.traffic.writes += numel as u64;
             if is_final {
                 self.output = Some(dequant_tile(&codes, scale, tile));
@@ -120,25 +123,22 @@ impl StreamingApsq {
             self.stored_codes.push(codes);
         } else if !is_final {
             // Lines 9–11: plain PSUM quantization of Tp_i.
-            let codes: Vec<i32> = tile.data().iter().map(|&v| scale.quantize(v)).collect();
+            let mut codes = Vec::new();
+            scale.quantize_slice_into(tile.data(), &mut codes);
             self.traffic.writes += numel as u64;
             self.stored_codes.push(codes);
         } else {
             // Lines 13–14: final tile inside a group — fold the stored
             // group prefix with Tp_{np−1} and produce To.
             let group_start = (i / gs) * gs;
-            let mut acc: Vec<i64> = vec![0; numel];
+            let mut acc: Vec<i64> = tile.data().iter().map(|&t| t as i64).collect();
             for l in group_start..i {
                 let ls = self.schedule.scale(l);
-                for (a, &c) in acc.iter_mut().zip(self.stored_codes[l].iter()) {
-                    *a += ls.dequantize(c) as i64;
-                }
+                ls.dequantize_accumulate(&self.stored_codes[l], &mut acc);
                 self.traffic.reads += numel as u64;
             }
-            for (a, &t) in acc.iter_mut().zip(tile.data().iter()) {
-                *a += t as i64;
-            }
-            let codes: Vec<i32> = acc.iter().map(|&v| scale.quantize(clamp_i64(v))).collect();
+            let mut codes = Vec::new();
+            scale.quantize_clamped_i64_into(&acc, &mut codes);
             self.traffic.writes += numel as u64;
             self.output = Some(dequant_tile(&codes, scale, tile));
             self.stored_codes.push(codes);
@@ -170,10 +170,9 @@ impl StreamingApsq {
 }
 
 fn dequant_tile(codes: &[i32], scale: apsq_quant::Pow2Scale, like: &Int32Tensor) -> Int32Tensor {
-    Int32Tensor::from_vec(
-        codes.iter().map(|&c| scale.dequantize(c)).collect(),
-        like.shape().clone(),
-    )
+    let mut out = Vec::new();
+    scale.dequantize_slice_into(codes, &mut out);
+    Int32Tensor::from_vec(out, like.shape().clone())
 }
 
 /// Grouped APSQ folded directly into the K loop of an INT8 GEMM: the

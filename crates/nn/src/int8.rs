@@ -276,11 +276,14 @@ impl Int8Linear {
         let base = self.x_scale * self.w_scale;
         let (m, d_out) = (x.dims()[0], self.d_out());
         let mut y = vec![0.0f32; m * d_out];
-        for i in 0..m {
-            for j in 0..d_out {
+        for (yrow, arow) in y
+            .chunks_exact_mut(d_out)
+            .zip(acc.data().chunks_exact(d_out))
+        {
+            for ((yv, &av), &bf) in yrow.iter_mut().zip(arow).zip(&self.bias_f) {
                 // Multiply-then-add in the same order as the fake-quant
                 // epilogue (`out * base` then `+ b`), preserving bit-identity.
-                y[i * d_out + j] = acc.data()[i * d_out + j] as f32 * base + self.bias_f[j];
+                *yv = av as f32 * base + bf;
             }
         }
         (Tensor::from_vec(y, [m, d_out]), traffic)

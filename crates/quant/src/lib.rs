@@ -40,7 +40,8 @@ mod uniform;
 pub use bitwidth::{Bitwidth, QRange};
 pub use fixed::{
     rounding_shift_right, saturating_add_in_range, saturating_shift_left, shift_dequantize,
-    shift_quantize,
+    shift_dequantize_accumulate, shift_dequantize_slice, shift_quantize, shift_quantize_i64_slice,
+    shift_quantize_slice,
 };
 pub use lsq::LsqQuantizer;
 pub use observer::{EmaObserver, MinMaxObserver};

@@ -111,6 +111,36 @@ impl Pow2Scale {
     pub fn requantize(&self, x: i32) -> i32 {
         self.dequantize(self.quantize(x))
     }
+
+    /// Slice form of [`Pow2Scale::quantize`] into a reusable buffer
+    /// (cleared first) — branch-free ([`crate::shift_quantize_slice`]),
+    /// bit-identical to mapping `quantize` over the slice.
+    pub fn quantize_slice_into(&self, xs: &[i32], out: &mut Vec<i32>) {
+        crate::fixed::shift_quantize_slice(xs, self.exp, self.range, out);
+    }
+
+    /// Fused clamp-to-i32 + [`Pow2Scale::quantize`] over a 64-bit running
+    /// group accumulator — the Algorithm-1 fold epilogue
+    /// `Qᵢ(clamp(Σ αₗ·APₗ + Tpᵢ))` as one branch-free pass.
+    pub fn quantize_clamped_i64_into(&self, acc: &[i64], out: &mut Vec<i32>) {
+        crate::fixed::shift_quantize_i64_slice(acc, self.exp, self.range, out);
+    }
+
+    /// Adds the dequantized codes into a 64-bit group accumulator
+    /// (`acc[j] += dequantize(codes[j])`), branch-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn dequantize_accumulate(&self, codes: &[i32], acc: &mut [i64]) {
+        crate::fixed::shift_dequantize_accumulate(codes, self.exp, acc);
+    }
+
+    /// Slice form of [`Pow2Scale::dequantize`] into a reusable buffer
+    /// (cleared first).
+    pub fn dequantize_slice_into(&self, codes: &[i32], out: &mut Vec<i32>) {
+        crate::fixed::shift_dequantize_slice(codes, self.exp, out);
+    }
 }
 
 /// The tightest signed power-of-two exponent `e` such that values of

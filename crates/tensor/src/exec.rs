@@ -16,9 +16,13 @@
 //! a fixed K order. Results are therefore **bit-identical for every thread
 //! count** — integer paths trivially (integer addition is exact), float
 //! paths because the reduction order per element depends only on the
-//! kernel, never on the partition. The golden-model tests that pin the
-//! integer APSQ path keep passing unchanged no matter how the engine is
-//! configured.
+//! kernel, never on the partition. The same contract extends across
+//! **kernel backends**: every [`crate::KernelBackend`] (scalar reference,
+//! SSE2, AVX2) implements the identical per-element reduction order, so an
+//! engine produces the same bits whichever backend it dispatches (see the
+//! `kernels` module docs for the lane-reduction-order rule). The
+//! golden-model tests that pin the integer APSQ path keep passing
+//! unchanged no matter how the engine is configured.
 //!
 //! # Thread-scaling example
 //!
@@ -73,6 +77,7 @@ const PARALLEL_THRESHOLD_MACS: usize = 1 << 21;
 pub struct ExecEngine {
     threads: usize,
     spawn_threshold: usize,
+    backend: kernels::KernelBackend,
 }
 
 impl Default for ExecEngine {
@@ -98,6 +103,7 @@ impl ExecEngine {
         ExecEngine {
             threads,
             spawn_threshold: PARALLEL_THRESHOLD_MACS,
+            backend: kernels::KernelBackend::detect(),
         }
     }
 
@@ -124,6 +130,31 @@ impl ExecEngine {
     pub fn with_spawn_threshold(mut self, macs: usize) -> Self {
         self.spawn_threshold = macs;
         self
+    }
+
+    /// Overrides the micro-kernel backend. Every backend produces
+    /// bit-identical results (the kernels pin the per-element reduction
+    /// order); forcing one is for perf attribution and for tests that must
+    /// exercise the scalar fallback on SIMD hosts. Process-wide forcing is
+    /// also available via the `APSQ_KERNEL_BACKEND` env var
+    /// ([`crate::kernels::BACKEND_ENV`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backend` is not supported on this CPU.
+    pub fn with_backend(mut self, backend: kernels::KernelBackend) -> Self {
+        assert!(
+            backend.is_supported(),
+            "kernel backend {backend} is not supported on this CPU"
+        );
+        self.backend = backend;
+        self
+    }
+
+    /// The micro-kernel backend this engine dispatches
+    /// ([`crate::KernelBackend::detect`] unless overridden).
+    pub fn backend(&self) -> kernels::KernelBackend {
+        self.backend
     }
 
     /// Partitions `out` (rows of `ld` elements, `m` rows total) into
@@ -218,7 +249,19 @@ impl ExecEngine {
         out.data_mut().fill(0.0);
         let (ad, bd) = (a.data(), b.data());
         self.partition_rows(out.data_mut(), n, m, m * n * k, &|r0, r1, chunk| {
-            kernels::gemm_bt_f32(&ad[r0 * k..], k, bd, k, chunk, n, r1 - r0, n, 0, k);
+            kernels::gemm_bt_f32(
+                self.backend,
+                &ad[r0 * k..],
+                k,
+                bd,
+                k,
+                chunk,
+                n,
+                r1 - r0,
+                n,
+                0,
+                k,
+            );
         });
     }
 
@@ -264,7 +307,7 @@ impl ExecEngine {
         assert_eq!(acc.dims(), &[m, n], "matmul_at_acc: acc must be [{m}, {n}]");
         let (ad, bd) = (a.data(), b.data());
         self.partition_rows(acc.data_mut(), n, m, m * n * k, &|r0, r1, chunk| {
-            kernels::gemm_at_f32(ad, m, bd, n, chunk, n, r0, r1, n, 0, k);
+            kernels::gemm_at_f32(self.backend, ad, m, bd, n, chunk, n, r0, r1, n, 0, k);
         });
     }
 
@@ -376,7 +419,19 @@ impl ExecEngine {
         k1: usize,
     ) {
         self.partition_rows(out, n, m, m * n * (k1 - k0), &|r0, r1, chunk| {
-            kernels::gemm_f32(&a[r0 * k..], k, b, n, chunk, n, r1 - r0, n, k0, k1);
+            kernels::gemm_f32(
+                self.backend,
+                &a[r0 * k..],
+                k,
+                b,
+                n,
+                chunk,
+                n,
+                r1 - r0,
+                n,
+                k0,
+                k1,
+            );
         });
     }
 
@@ -462,7 +517,19 @@ impl ExecEngine {
         out.data_mut().fill(0);
         let (ad, bd) = (a.data(), b.data());
         self.partition_rows(out.data_mut(), n, m, m * n * k, &|r0, r1, chunk| {
-            kernels::gemm_bt_i8(&ad[r0 * k..], k, bd, k, chunk, n, r1 - r0, n, 0, k);
+            kernels::gemm_bt_i8(
+                self.backend,
+                &ad[r0 * k..],
+                k,
+                bd,
+                k,
+                chunk,
+                n,
+                r1 - r0,
+                n,
+                0,
+                k,
+            );
         });
     }
 
@@ -526,7 +593,19 @@ impl ExecEngine {
             let bd = &b.data()[batch * n * k..(batch + 1) * n * k];
             let od = &mut out.data_mut()[batch * m * n..(batch + 1) * m * n];
             self.partition_rows(od, n, m, m * n * k, &|r0, r1, chunk| {
-                kernels::gemm_bt_i8(&ad[r0 * k..], k, bd, k, chunk, n, r1 - r0, n, 0, k);
+                kernels::gemm_bt_i8(
+                    self.backend,
+                    &ad[r0 * k..],
+                    k,
+                    bd,
+                    k,
+                    chunk,
+                    n,
+                    r1 - r0,
+                    n,
+                    0,
+                    k,
+                );
             });
         }
         out
@@ -600,7 +679,19 @@ impl ExecEngine {
                 let bd = &b.data()[batch * n * k..(batch + 1) * n * k];
                 let od = &mut tile.data_mut()[batch * m * n..(batch + 1) * m * n];
                 self.partition_rows(od, n, m, m * n * (k1 - k0), &|r0, r1, chunk| {
-                    kernels::gemm_bt_i8(&ad[r0 * k..], k, bd, k, chunk, n, r1 - r0, n, k0, k1);
+                    kernels::gemm_bt_i8(
+                        self.backend,
+                        &ad[r0 * k..],
+                        k,
+                        bd,
+                        k,
+                        chunk,
+                        n,
+                        r1 - r0,
+                        n,
+                        k0,
+                        k1,
+                    );
                 });
             }
             f(t, &tile);
@@ -655,6 +746,7 @@ impl ExecEngine {
                     m * n * (k1 - k0),
                     &|r0, r1, chunk| {
                         kernels::gemm_i8(
+                            self.backend,
                             &a.data()[batch * m * k + r0 * k..],
                             k,
                             &b.data()[batch * k * n..(batch + 1) * k * n],
@@ -704,7 +796,19 @@ impl ExecEngine {
                 m,
                 m * n * (k1 - k0),
                 &|r0, r1, chunk| {
-                    kernels::gemm_bt_i8(&ad[r0 * k..], k, bd, k, chunk, n, r1 - r0, n, k0, k1);
+                    kernels::gemm_bt_i8(
+                        self.backend,
+                        &ad[r0 * k..],
+                        k,
+                        bd,
+                        k,
+                        chunk,
+                        n,
+                        r1 - r0,
+                        n,
+                        k0,
+                        k1,
+                    );
                 },
             );
             f(t, &tile);
@@ -783,7 +887,19 @@ impl ExecEngine {
         k1: usize,
     ) {
         self.partition_rows(out, ldo, m, m * n * (k1 - k0), &|r0, r1, chunk| {
-            kernels::gemm_i8(&a[r0 * lda..], lda, b, ldb, chunk, ldo, r1 - r0, n, k0, k1);
+            kernels::gemm_i8(
+                self.backend,
+                &a[r0 * lda..],
+                lda,
+                b,
+                ldb,
+                chunk,
+                ldo,
+                r1 - r0,
+                n,
+                k0,
+                k1,
+            );
         });
     }
 
@@ -800,7 +916,19 @@ impl ExecEngine {
         k1: usize,
     ) {
         self.partition_rows(out, n, m, m * n * (k1 - k0), &|r0, r1, chunk| {
-            kernels::gemm_i8(&a[r0 * k..], k, b, n, chunk, n, r1 - r0, n, k0, k1);
+            kernels::gemm_i8(
+                self.backend,
+                &a[r0 * k..],
+                k,
+                b,
+                n,
+                chunk,
+                n,
+                r1 - r0,
+                n,
+                k0,
+                k1,
+            );
         });
     }
 

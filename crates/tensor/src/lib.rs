@@ -14,7 +14,10 @@
 //!   GEMM/conv entry point: cache-blocked micro-kernels dispatched over a
 //!   scoped thread pool, bit-identical results for any thread count, plus
 //!   the buffer-reusing `*_into` variants and the `for_each_k_tile`
-//!   PSUM-streaming API.
+//!   PSUM-streaming API;
+//! - [`KernelBackend`] — the explicit-width SIMD micro-kernel tiers
+//!   (scalar reference, SSE2, AVX2) behind the engine, runtime-detected
+//!   and bit-identical to each other by construction.
 //!
 //! # Example
 //!
@@ -55,6 +58,7 @@ pub use conv::{conv2d_i8_gemm, conv2d_i8_reference, im2col, im2col_i8};
 pub use exec::ExecEngine;
 pub use init::{kaiming_normal, rand_uniform, randn, xavier_uniform};
 pub use int_tensor::{int8_matmul, int8_matmul_psum_tiles, Int32Tensor, Int8Tensor};
+pub use kernels::{KernelBackend, BACKEND_ENV};
 pub use matmul::{
     batched_matmul, matmul, matmul_at, matmul_at_into, matmul_bt, matmul_bt_into, matmul_into,
     matmul_psum_tiles, matmul_tiled_fold,

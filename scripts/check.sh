@@ -37,6 +37,11 @@ RUSTFLAGS="-C overflow-checks" cargo test -q --release -p apsq-tensor
 RUSTFLAGS="-C overflow-checks" cargo test -q --release -p apsq-nn --test proptest_int8
 RUSTFLAGS="-C overflow-checks" cargo test -q --release -p apsq-nn --lib int8
 
+echo "==> scalar-forced backend: tensor + int8 suites on the portable fallback"
+APSQ_KERNEL_BACKEND=scalar cargo test -q --release -p apsq-tensor
+APSQ_KERNEL_BACKEND=scalar cargo test -q --release -p apsq-nn --test proptest_int8
+APSQ_KERNEL_BACKEND=scalar cargo test -q --release -p apsq-nn --lib int8
+
 echo "==> cargo test -q --release -p apsq-serve  (server + determinism suite at release opt)"
 cargo test -q --release -p apsq-serve
 
