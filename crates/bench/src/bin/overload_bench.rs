@@ -1,0 +1,194 @@
+//! Open-loop overload benchmark over `apsq-serve`: sweeps offered load
+//! across the saturation knee of a virtual-time server and records
+//! goodput (SLO-met completions per tick), the per-priority latency tail
+//! (p50/p99/p99.9), and every shed attributed to its typed cause —
+//! written as `BENCH_overload.json` (or `--out PATH`).
+//!
+//! ```text
+//! cargo run --release -p apsq-bench --bin overload_bench [-- --quick] [--out PATH]
+//! ```
+//!
+//! The sweep doubles as an acceptance check of the SLO machinery:
+//!
+//! - **Knee protection** — at ≥2× capacity, high-priority goodput per
+//!   tick must hold ≥80% of its pre-knee (≤1× capacity) value, while
+//!   best-effort traffic absorbs the sheds.
+//! - **Shed accounting** — per-cause scheduler shed counters must sum
+//!   exactly to the server-side error count, and client-side admission
+//!   refusals must equal the server's `shed_queue` counter. Nothing is
+//!   dropped silently.
+//! - **Determinism** — re-running one sweep point with a different
+//!   worker count must reproduce its completion-set fingerprint.
+
+use apsq_bench::report::{json_array, JsonObject};
+use apsq_bench::serve_report::{
+    overload_json, overload_priority_table, overload_summary_table, OverloadPoint,
+};
+use apsq_serve::{
+    ArrivalProcess, OpenLoopGenerator, OverloadScenario, Precision, ServeConfig, SloPolicy,
+};
+
+const SEED: u64 = 0xA95C_10AD;
+
+fn base_cfg(quick: bool) -> ServeConfig {
+    let mut cfg = ServeConfig::smoke();
+    cfg.workers = 2;
+    cfg.engine_threads = 1;
+    cfg.prefill_max_macs = if quick { 5_000 } else { 30_000 };
+    cfg.queue_capacity = 32;
+    cfg.slo = SloPolicy::virtual_time(8, 2, cfg.queue_capacity);
+    cfg
+}
+
+/// Offered load at `multiplier`× the server's decode-unit capacity,
+/// expressed as a Poisson arrival rate over the scenario's mix.
+fn scenario_at(cfg: &ServeConfig, multiplier: f64, horizon: u64) -> OverloadScenario {
+    let probe = OverloadScenario::mixed_slo(ArrivalProcess::Poisson { lambda: 1.0 }, horizon);
+    let units = probe.mean_units_per_arrival();
+    let lambda = multiplier * cfg.slo.decode_units_per_tick as f64 / units;
+    OverloadScenario::mixed_slo(ArrivalProcess::Poisson { lambda }, horizon)
+}
+
+fn run_point(cfg: &ServeConfig, multiplier: f64, horizon: u64, label: &str) -> OverloadPoint {
+    let scenario = scenario_at(cfg, multiplier, horizon);
+    let report = OpenLoopGenerator::new(SEED, scenario).run(cfg);
+    OverloadPoint {
+        label: label.to_string(),
+        multiplier,
+        report,
+    }
+}
+
+fn goodput_per_tick(p: &OverloadPoint, rank: usize) -> f64 {
+    p.report.snapshot.priority[rank].goodput as f64 / p.report.ticks.max(1) as f64
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_overload.json".to_string());
+
+    let horizon: u64 = if quick { 60 } else { 200 };
+    let multipliers: &[f64] = if quick {
+        &[1.0, 2.0]
+    } else {
+        &[0.5, 1.0, 2.0, 3.0]
+    };
+    let cfg = base_cfg(quick);
+
+    println!(
+        "== apsq-serve open-loop overload sweep (horizon {horizon} ticks, capacity {} decode units/tick{}) ==",
+        cfg.slo.decode_units_per_tick,
+        if quick { ", --quick" } else { "" }
+    );
+    println!(
+        "kernel backend: {} (runtime-detected)\n",
+        apsq_tensor::KernelBackend::detect()
+    );
+
+    let mut points: Vec<OverloadPoint> = Vec::new();
+    for &m in multipliers {
+        let point = run_point(&cfg, m, horizon, &format!("f32 x{m:.1}"));
+        // Shed accounting identity: every server-side error traces to a
+        // typed scheduler shed cause; every client refusal is counted.
+        let s = &point.report.snapshot;
+        let typed = s.shed_session_capacity
+            + s.shed_context_overflow
+            + s.shed_session_evicted
+            + s.shed_deadline
+            + s.shed_degraded;
+        assert_eq!(
+            typed, point.report.errors,
+            "x{m}: typed shed causes do not sum to the error count"
+        );
+        assert_eq!(
+            point.report.client_shed, s.shed_queue,
+            "x{m}: client-side sheds diverge from the admission counter"
+        );
+        points.push(point);
+    }
+
+    // Knee check: high-priority goodput holds past 2x capacity.
+    let pre_knee = points
+        .iter()
+        .filter(|p| p.multiplier <= 1.0)
+        .map(|p| goodput_per_tick(p, 0))
+        .fold(0.0f64, f64::max);
+    let at_2x = points
+        .iter()
+        .find(|p| p.multiplier >= 2.0)
+        .expect("sweep includes a >=2x point");
+    let hi_2x = goodput_per_tick(at_2x, 0);
+    let knee_mult = at_2x.multiplier;
+    let knee_fingerprint = at_2x.report.fingerprint;
+    assert!(
+        hi_2x >= 0.8 * pre_knee,
+        "high-priority goodput collapsed past the knee: {hi_2x:.2}/tick at x{knee_mult} vs {pre_knee:.2}/tick pre-knee"
+    );
+    // Best-effort absorbs the overload: at 2x the sub-High classes carry
+    // the sheds, not the interactive class.
+    let hi = &at_2x.report.per_priority[0];
+    let lo: u64 = at_2x.report.per_priority[1..]
+        .iter()
+        .map(|c| c.client_shed + c.errors)
+        .sum();
+    assert!(
+        lo > hi.client_shed + hi.errors,
+        "best-effort classes did not absorb the overload sheds"
+    );
+
+    // Int8 sessions need ~4x fewer KV blocks per token: the same byte
+    // budget under the same overload keeps the KV-pressure rungs quiet
+    // longer. Recorded as its own sweep point.
+    let int8_cfg = cfg.clone().with_precision(Precision::Int8Apsq);
+    let int8_point = run_point(&int8_cfg, 2.0, horizon, "int8 x2.0");
+    points.push(int8_point);
+
+    // Determinism under overload: same seed, different worker count,
+    // same completion-set fingerprint.
+    let again = run_point(&cfg.clone().with_workers(4), 2.0, horizon, "f32 x2.0 w4");
+    assert_eq!(
+        again.report.fingerprint, knee_fingerprint,
+        "overload fingerprint diverged across worker counts"
+    );
+
+    println!("{}", overload_summary_table(&points).render());
+    for p in &points {
+        println!("{} by priority class:", p.label);
+        println!("{}", overload_priority_table(p).render());
+    }
+    println!(
+        "high-priority goodput: {pre_knee:.2}/tick pre-knee -> {hi_2x:.2}/tick at x{knee_mult:.1} ({:.0}% held)",
+        100.0 * hi_2x / pre_knee.max(f64::MIN_POSITIVE)
+    );
+    println!("fingerprint stable across worker counts at x2.0: {knee_fingerprint:016x}");
+
+    let json = JsonObject::new()
+        .str("bench", "apsq_serve_overload")
+        .str(
+            "kernel_backend",
+            apsq_tensor::KernelBackend::detect().name(),
+        )
+        .bool("quick", quick)
+        .int("horizon_ticks", horizon as i64)
+        .int(
+            "decode_units_per_tick",
+            cfg.slo.decode_units_per_tick as i64,
+        )
+        .int(
+            "prefill_units_per_tick",
+            cfg.slo.prefill_units_per_tick as i64,
+        )
+        .int("queue_capacity", cfg.queue_capacity as i64)
+        .num("pre_knee_high_goodput_per_tick", pre_knee)
+        .num("high_goodput_per_tick_at_2x", hi_2x)
+        .bool("fingerprint_stable_across_workers", true)
+        .raw("sweep", json_array(points.iter().map(overload_json)))
+        .render();
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("\nwrote {out_path}");
+}

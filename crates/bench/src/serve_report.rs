@@ -3,7 +3,7 @@
 //! through the shared [`report`](crate::report) emitter.
 
 use crate::report::{f, JsonObject, Table};
-use apsq_serve::{LatencyStats, LoadReport};
+use apsq_serve::{LatencyStats, LoadReport, OverloadReport, Priority};
 
 /// One row per scenario: volume, throughput, latency percentiles, and
 /// batching behavior side by side.
@@ -136,6 +136,138 @@ pub fn report_json(report: &LoadReport) -> String {
         .render()
 }
 
+/// One point of an offered-load sweep: the open-loop run plus the load
+/// multiplier (offered decode+prefill units relative to capacity) it ran at.
+pub struct OverloadPoint {
+    /// Display label (e.g. `"f32 x2.0"`).
+    pub label: String,
+    /// Offered load as a multiple of the server's per-tick unit capacity.
+    pub multiplier: f64,
+    /// The open-loop run.
+    pub report: OverloadReport,
+}
+
+/// One row per sweep point: offered load, goodput, and where the sheds
+/// went — the saturation-knee view.
+pub fn overload_summary_table(points: &[OverloadPoint]) -> Table {
+    let mut t = Table::new(&[
+        "run",
+        "x cap",
+        "offered u/t",
+        "arrivals",
+        "ok",
+        "goodput/t",
+        "hi goodput/t",
+        "shed adm",
+        "shed ddl",
+        "shed degr",
+        "lvl2 ticks",
+    ]);
+    for p in points {
+        let s = &p.report.snapshot;
+        let ticks = p.report.ticks.max(1) as f64;
+        t.row(vec![
+            p.label.clone(),
+            f(p.multiplier, 2),
+            f(p.report.offered_units_per_tick, 2),
+            p.report.arrivals.to_string(),
+            p.report.ok.to_string(),
+            f(s.goodput as f64 / ticks, 2),
+            f(s.priority[0].goodput as f64 / ticks, 2),
+            s.shed_queue.to_string(),
+            s.shed_deadline.to_string(),
+            s.shed_degraded.to_string(),
+            s.ticks_at_level[2].to_string(),
+        ]);
+    }
+    t
+}
+
+/// Per-priority-class breakdown of one sweep point: completions,
+/// goodput, deadline misses, and the latency tail out to p99.9.
+pub fn overload_priority_table(point: &OverloadPoint) -> Table {
+    let mut t = Table::new(&[
+        "class",
+        "submitted",
+        "ok",
+        "goodput",
+        "misses",
+        "shed adm",
+        "p50 ms",
+        "p99 ms",
+        "p99.9 ms",
+    ]);
+    for pr in Priority::ALL {
+        let r = pr.rank();
+        let c = &point.report.snapshot.priority[r];
+        let drv = &point.report.per_priority[r];
+        t.row(vec![
+            pr.name().to_string(),
+            drv.submitted.to_string(),
+            c.ok.to_string(),
+            c.goodput.to_string(),
+            c.deadline_misses.to_string(),
+            drv.client_shed.to_string(),
+            f(c.latency.p50_us as f64 / 1e3, 3),
+            f(c.latency.p99_us as f64 / 1e3, 3),
+            f(c.latency.p999_us as f64 / 1e3, 3),
+        ]);
+    }
+    t
+}
+
+/// One sweep point's JSON object for `BENCH_overload.json`.
+pub fn overload_json(point: &OverloadPoint) -> String {
+    let r = &point.report;
+    let s = &r.snapshot;
+    let ticks = r.ticks.max(1) as f64;
+    let classes = crate::report::json_array(Priority::ALL.iter().map(|pr| {
+        let c = &s.priority[pr.rank()];
+        let drv = &r.per_priority[pr.rank()];
+        JsonObject::new()
+            .str("class", pr.name())
+            .int("submitted", drv.submitted as i64)
+            .int("client_shed", drv.client_shed as i64)
+            .int("ok", c.ok as i64)
+            .int("errors", drv.errors as i64)
+            .int("goodput", c.goodput as i64)
+            .num("goodput_per_tick", c.goodput as f64 / ticks)
+            .int("deadline_misses", c.deadline_misses as i64)
+            .int("latency_p50_us", c.latency.p50_us as i64)
+            .int("latency_p99_us", c.latency.p99_us as i64)
+            .int("latency_p999_us", c.latency.p999_us as i64)
+            .render()
+    }));
+    JsonObject::new()
+        .str("label", &point.label)
+        .str("scenario", r.scenario)
+        .num("load_multiplier", point.multiplier)
+        .num("offered_units_per_tick", r.offered_units_per_tick)
+        .int("horizon_plus_drain_ticks", r.ticks as i64)
+        .int("arrivals", r.arrivals as i64)
+        .int("submitted", r.submitted as i64)
+        .int("ok", r.ok as i64)
+        .int("errors", r.errors as i64)
+        .int("client_shed", r.client_shed as i64)
+        .int("goodput", s.goodput as i64)
+        .num("goodput_per_tick", s.goodput as f64 / ticks)
+        .int("deadline_misses", s.deadline_misses as i64)
+        .int("shed_queue", s.shed_queue as i64)
+        .int("shed_deadline", s.shed_deadline as i64)
+        .int("shed_degraded", s.shed_degraded as i64)
+        .int("shed_session_capacity", s.shed_session_capacity as i64)
+        .int("shed_context_overflow", s.shed_context_overflow as i64)
+        .int("shed_session_evicted", s.shed_session_evicted as i64)
+        .int("sessions_completed", r.sessions_completed as i64)
+        .int("sessions_aborted", r.sessions_aborted as i64)
+        .int("degrade_escalations", s.degrade_escalations as i64)
+        .int("ticks_at_level1", s.ticks_at_level[1] as i64)
+        .int("ticks_at_level2", s.ticks_at_level[2] as i64)
+        .str("fingerprint", format!("{:016x}", r.fingerprint))
+        .raw("classes", classes)
+        .render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,5 +300,35 @@ mod tests {
         assert!(json.contains("\"blocks_capacity\""));
         assert!(json.contains("\"shared_prefix_hits\""));
         assert!(json.contains("\"occupancy_table\""));
+    }
+
+    #[test]
+    fn overload_tables_and_json_render() {
+        use apsq_serve::{ArrivalProcess, OpenLoopGenerator, OverloadScenario, SloPolicy};
+        let mut cfg = ServeConfig::smoke();
+        cfg.model.d_model = 32;
+        cfg.model.d_ff = 64;
+        cfg.model.heads = 2;
+        cfg.model.vocab = 16;
+        cfg.model.max_len = 16;
+        cfg.prefill_max_macs = 5_000;
+        cfg.queue_capacity = 8;
+        cfg.slo = SloPolicy::virtual_time(4, 1, 8);
+        let scenario = OverloadScenario::mixed_slo(ArrivalProcess::Poisson { lambda: 2.0 }, 24);
+        let report = OpenLoopGenerator::new(9, scenario).run(&cfg);
+        let point = OverloadPoint {
+            label: "f32 x2.0".to_string(),
+            multiplier: 2.0,
+            report,
+        };
+        let summary = overload_summary_table(std::slice::from_ref(&point));
+        assert_eq!(summary.len(), 1);
+        assert!(summary.render().contains("goodput/t"));
+        assert_eq!(overload_priority_table(&point).len(), 3);
+        let json = overload_json(&point);
+        assert!(json.contains("\"load_multiplier\""));
+        assert!(json.contains("\"shed_deadline\""));
+        assert!(json.contains("\"classes\""));
+        assert!(json.contains("\"latency_p999_us\""));
     }
 }

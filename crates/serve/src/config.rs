@@ -140,6 +140,129 @@ impl BatchPolicy {
     }
 }
 
+/// Graceful-degradation ladder: what the scheduler gives up, and in what
+/// order, under **sustained** overload. Overload level is derived from the
+/// batcher depth each virtual tick: depth ≥ `severe_depth` for
+/// `sustain_ticks` consecutive ticks ⇒ level 2, depth ≥ `elevate_depth`
+/// sustained ⇒ level 1, otherwise the level decays one rung per sustained
+/// calm streak. Rungs (all count into [`crate::MetricsSnapshot`]):
+///
+/// 1. **Level ≥ 1 — cap best-effort decode lengths.** Low-priority decode
+///    steps past `low_decode_cap` tokens shed with
+///    [`crate::ServeError::Degraded`] (`"decode-length-cap"`).
+/// 2. **Level ≥ 1 — KV admission guard.** When free KV blocks fall below
+///    `kv_guard_free_blocks`, *new* low-priority sessions are refused
+///    (`"kv-guard"`) so interactive sessions keep headroom to grow. Int8
+///    sessions need ~4× fewer blocks, so an int8 server holds this rung
+///    off far longer at an equal byte budget.
+/// 3. **Level ≥ 2 — shed prefill before decode.** Queued sub-interactive
+///    prefill is dropped (`"prefill-shed"`) when `shed_prefill_first` is
+///    set: batch encoder traffic is retryable, decode sessions hold state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DegradationPolicy {
+    /// Batcher depth that (sustained) raises the level to 1.
+    pub elevate_depth: usize,
+    /// Batcher depth that (sustained) raises the level to 2.
+    pub severe_depth: usize,
+    /// Consecutive ticks a depth must hold before the level moves (both
+    /// directions — hysteresis against burst flapping).
+    pub sustain_ticks: u64,
+    /// Max decode position for low-priority sessions at level ≥ 1.
+    pub low_decode_cap: usize,
+    /// Shed queued sub-High prefill at level ≥ 2.
+    pub shed_prefill_first: bool,
+    /// Free-block floor under which new low-priority sessions are refused
+    /// at level ≥ 1 (0 disables the rung).
+    pub kv_guard_free_blocks: usize,
+}
+
+impl DegradationPolicy {
+    /// Ladder disabled: thresholds no queue can reach.
+    pub fn disabled() -> Self {
+        DegradationPolicy {
+            elevate_depth: usize::MAX,
+            severe_depth: usize::MAX,
+            sustain_ticks: 1,
+            low_decode_cap: usize::MAX,
+            shed_prefill_first: false,
+            kv_guard_free_blocks: 0,
+        }
+    }
+}
+
+/// SLO scheduling policy: virtual-time lockstep mode, per-tick dispatch
+/// budgets, priority-tiered admission, and the degradation ladder.
+///
+/// With `virtual_time` set, the server stops self-dispatching and instead
+/// advances only when [`crate::ServerHandle::tick`] is called: each tick
+/// sheds expired deadlines, applies the degradation ladder, dispatches at
+/// most `decode_units_per_tick` decode steps and `prefill_units_per_tick`
+/// prefills, and returns once every dispatched batch has completed. That
+/// lockstep barrier is what makes overload scheduling deterministic: every
+/// shed/dispatch decision happens on a quiesced system, so it is a pure
+/// function of the submitted traffic — independent of worker count and
+/// batch policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SloPolicy {
+    /// Drive the server by explicit virtual-time ticks instead of
+    /// wall-clock self-dispatch.
+    pub virtual_time: bool,
+    /// Decode steps dispatched per tick (the server's modeled decode
+    /// capacity; must be ≥ 1 in virtual-time mode).
+    pub decode_units_per_tick: usize,
+    /// Prefill requests dispatched per tick.
+    pub prefill_units_per_tick: usize,
+    /// Admission-queue thresholds per priority rank (High, Normal, Low):
+    /// a submit at rank `r` is refused with [`crate::ServeError::QueueFull`]
+    /// once the pending depth reaches `min(admit_depth[r],
+    /// queue_capacity)`. Descending values make best-effort work shed
+    /// first as the queue fills.
+    pub admit_depth: [usize; 3],
+    /// The graceful-degradation ladder.
+    pub degrade: DegradationPolicy,
+}
+
+impl SloPolicy {
+    /// Wall-clock serving with no SLO machinery: the pre-SLO scheduler,
+    /// bit-for-bit (uniform admission at `queue_capacity`, no deadlines,
+    /// ladder disabled).
+    pub fn wall_clock() -> Self {
+        SloPolicy {
+            virtual_time: false,
+            decode_units_per_tick: 0,
+            prefill_units_per_tick: 0,
+            admit_depth: [usize::MAX; 3],
+            degrade: DegradationPolicy::disabled(),
+        }
+    }
+
+    /// Virtual-time lockstep serving with capacity `decode_units` decode
+    /// steps and `prefill_units` prefills per tick, tiered admission
+    /// derived from `queue_capacity` (High gets the full queue, Normal
+    /// 3/4, Low 1/2), and a ladder that elevates at half queue depth and
+    /// turns severe at 3/4, sustained for 3 ticks.
+    pub fn virtual_time(decode_units: usize, prefill_units: usize, queue_capacity: usize) -> Self {
+        SloPolicy {
+            virtual_time: true,
+            decode_units_per_tick: decode_units,
+            prefill_units_per_tick: prefill_units,
+            admit_depth: [
+                queue_capacity,
+                (queue_capacity * 3).div_ceil(4),
+                queue_capacity.div_ceil(2),
+            ],
+            degrade: DegradationPolicy {
+                elevate_depth: queue_capacity.div_ceil(2),
+                severe_depth: (queue_capacity * 3).div_ceil(4),
+                sustain_ticks: 3,
+                low_decode_cap: 8,
+                shed_prefill_first: true,
+                kv_guard_free_blocks: 4,
+            },
+        }
+    }
+}
+
 /// Full server configuration.
 ///
 /// # Example
@@ -199,6 +322,10 @@ pub struct ServeConfig {
     /// Per-layer MAC budget for prefill inventories (0 = unlimited —
     /// do not use 0 with paper-scale inventories).
     pub prefill_max_macs: u64,
+    /// SLO scheduling policy (virtual time, priorities, deadlines,
+    /// degradation). [`SloPolicy::wall_clock`] reproduces pre-SLO
+    /// behavior exactly.
+    pub slo: SloPolicy,
 }
 
 impl ServeConfig {
@@ -217,6 +344,7 @@ impl ServeConfig {
             kv_budget_bytes: 64 * model.kv_bytes_per_session(Precision::F32),
             kv_block_tokens: 16,
             prefill_max_macs: 30_000,
+            slo: SloPolicy::wall_clock(),
         }
     }
 
@@ -256,6 +384,12 @@ impl ServeConfig {
         self
     }
 
+    /// Sets the SLO scheduling policy.
+    pub fn with_slo(mut self, slo: SloPolicy) -> Self {
+        self.slo = slo;
+        self
+    }
+
     /// Validates invariants (non-zero workers, batch, queue, and a KV
     /// budget that admits at least one session).
     ///
@@ -280,6 +414,16 @@ impl ServeConfig {
             self.kv_budget_bytes,
             self.model.kv_bytes_per_session(self.precision)
         );
+        if self.slo.virtual_time {
+            assert!(
+                self.slo.decode_units_per_tick > 0,
+                "virtual-time serving needs decode_units_per_tick >= 1"
+            );
+            assert!(
+                self.slo.degrade.sustain_ticks > 0,
+                "degradation sustain_ticks must be positive"
+            );
+        }
     }
 }
 
@@ -325,6 +469,29 @@ mod tests {
         let mut c = ServeConfig::smoke();
         c.kv_budget_bytes = c.model.kv_bytes_per_session(c.precision) - 1;
         c.validate();
+    }
+
+    #[test]
+    fn virtual_time_policy_tiers_and_validates() {
+        let slo = SloPolicy::virtual_time(4, 1, 16);
+        assert_eq!(slo.admit_depth, [16, 12, 8], "descending by priority");
+        assert_eq!(slo.degrade.elevate_depth, 8);
+        assert_eq!(slo.degrade.severe_depth, 12);
+        let cfg = ServeConfig::smoke().with_slo(slo);
+        cfg.validate();
+        // Wall-clock default leaves every threshold inert.
+        let wall = SloPolicy::wall_clock();
+        assert!(!wall.virtual_time);
+        assert_eq!(wall.admit_depth, [usize::MAX; 3]);
+        assert_eq!(wall.degrade, DegradationPolicy::disabled());
+    }
+
+    #[test]
+    #[should_panic(expected = "decode_units_per_tick")]
+    fn virtual_time_without_decode_budget_rejected() {
+        let mut slo = SloPolicy::virtual_time(4, 1, 16);
+        slo.decode_units_per_tick = 0;
+        ServeConfig::smoke().with_slo(slo).validate();
     }
 
     #[test]

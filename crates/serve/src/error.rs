@@ -43,6 +43,24 @@ pub enum ServeError {
     },
     /// The server is draining and no longer accepts work.
     ShuttingDown,
+    /// The request's virtual-tick deadline passed while it was still
+    /// queued: dispatching it could no longer meet the SLO, so the
+    /// scheduler shed it instead of wasting capacity on a late answer.
+    DeadlineExceeded {
+        /// The request's absolute deadline (virtual ticks).
+        deadline: u64,
+        /// The virtual clock when the scheduler gave up on it.
+        now: u64,
+    },
+    /// Shed by the graceful-degradation ladder under sustained overload
+    /// (best-effort decode past the length cap, best-effort work refused
+    /// to protect KV headroom, or sub-interactive prefill shed outright).
+    Degraded {
+        /// Overload level when the shed happened (1 = elevated, 2 = severe).
+        level: u8,
+        /// Which rung of the ladder fired.
+        reason: &'static str,
+    },
 }
 
 impl ServeError {
@@ -56,6 +74,8 @@ impl ServeError {
             ServeError::ContextOverflow { .. } => 3,
             ServeError::ShuttingDown => 4,
             ServeError::SessionEvicted { .. } => 5,
+            ServeError::DeadlineExceeded { .. } => 6,
+            ServeError::Degraded { .. } => 7,
         }
     }
 }
@@ -83,6 +103,15 @@ impl std::fmt::Display for ServeError {
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::SessionEvicted { session } => {
                 write!(f, "session {session} was evicted; its KV context is gone")
+            }
+            ServeError::DeadlineExceeded { deadline, now } => {
+                write!(
+                    f,
+                    "deadline exceeded: due tick {deadline}, virtual clock already at {now}"
+                )
+            }
+            ServeError::Degraded { level, reason } => {
+                write!(f, "shed by degradation ladder (level {level}: {reason})")
             }
         }
     }
@@ -112,11 +141,21 @@ mod tests {
             },
             ServeError::ShuttingDown,
             ServeError::SessionEvicted { session: 7 },
+            ServeError::DeadlineExceeded {
+                deadline: 4,
+                now: 6,
+            },
+            ServeError::Degraded {
+                level: 2,
+                reason: "decode-length-cap",
+            },
         ];
         let mut codes: Vec<u8> = errs.iter().map(|e| e.code()).collect();
         codes.dedup();
         assert_eq!(codes.len(), errs.len());
         assert!(errs[0].to_string().contains("queue full"));
         assert!(errs[2].to_string().contains("overflow"));
+        assert!(errs[5].to_string().contains("deadline exceeded"));
+        assert!(errs[6].to_string().contains("degradation"));
     }
 }

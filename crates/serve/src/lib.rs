@@ -47,6 +47,26 @@
 //! silently restart from scratch). Closed-loop workloads sized within the
 //! configured budgets (as the [`LoadGenerator`] is) never shed at all.
 //!
+//! # Overload: SLOs, virtual time, and graceful degradation
+//!
+//! Under a **virtual-time** [`SloPolicy`], the server stops racing the
+//! wall clock: the driver advances a tick counter via
+//! [`ServerHandle::tick`], and the scheduler dispatches within fixed
+//! per-tick decode/prefill unit budgets, sheds requests whose absolute
+//! tick [`Slo::deadline`] already passed (typed
+//! [`ServeError::DeadlineExceeded`]), and orders each lane
+//! earliest-deadline-first within [`Priority`] class. Admission applies
+//! per-priority queue-depth thresholds so best-effort work sheds first,
+//! and a [`DegradationPolicy`] ladder — armed by sustained backlog —
+//! caps low-priority decode lengths, guards KV headroom against new
+//! best-effort sessions, and sheds sub-high prefill before touching
+//! decode (typed [`ServeError::Degraded`] with the rung named).
+//! Because ticks only run on a quiesced system, every shed and dispatch
+//! decision is a pure function of the seed: the [`OpenLoopGenerator`]
+//! drives seeded Poisson/bursty arrival schedules *past* capacity and
+//! still fingerprints identically across worker counts and batch
+//! policies — see `tests/overload.rs` and `tests/determinism.rs`.
+//!
 //! # Paged KV cache
 //!
 //! Session KV state lives in **fixed-size blocks** of
@@ -100,13 +120,18 @@ mod metrics;
 mod request;
 mod server;
 mod session;
+mod trafficgen;
 
 pub use apsq_models::Precision;
 pub use batcher::{Batcher, Lane, Pending};
-pub use config::{BatchPolicy, ModelSpec, ServeConfig};
+pub use config::{BatchPolicy, DegradationPolicy, ModelSpec, ServeConfig, SloPolicy};
 pub use error::ServeError;
 pub use loadgen::{ClientKind, LoadGenerator, LoadReport, Scenario};
-pub use metrics::{LatencyStats, Metrics, MetricsSnapshot, ShedCause};
-pub use request::{Payload, PrefillModel, Request, RequestId, Response, SessionId};
-pub use server::{Server, ServerHandle};
+pub use metrics::{LatencyStats, Metrics, MetricsSnapshot, PriorityClassStats, ShedCause};
+pub use request::{Payload, PrefillModel, Priority, Request, RequestId, Response, SessionId, Slo};
+pub use server::{Server, ServerHandle, TickDone};
 pub use session::{SessionKv, SessionManager};
+pub use trafficgen::{
+    Arrival, ArrivalProcess, ClassCounts, ClassKind, OpenLoopGenerator, OverloadReport,
+    OverloadScenario, TrafficClass,
+};

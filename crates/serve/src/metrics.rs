@@ -7,6 +7,7 @@
 //! the server handle. A [`MetricsSnapshot`] is computed once at shutdown.
 
 use crate::batcher::Lane;
+use crate::request::Priority;
 
 /// Why the scheduler shed an already-admitted request. Submit-side
 /// [`crate::ServeError::QueueFull`] sheds are counted separately (they
@@ -23,6 +24,12 @@ pub enum ShedCause {
     /// The request targeted a session that had been LRU-evicted
     /// ([`crate::ServeError::SessionEvicted`]).
     SessionEvicted,
+    /// The request's virtual-tick deadline passed while it was queued
+    /// ([`crate::ServeError::DeadlineExceeded`]).
+    DeadlineExceeded,
+    /// Shed by a rung of the graceful-degradation ladder
+    /// ([`crate::ServeError::Degraded`]).
+    Degraded,
 }
 
 /// Percentile summary of a latency population.
@@ -38,12 +45,18 @@ pub struct LatencyStats {
     pub p95_us: u64,
     /// 99th percentile (nearest-rank), microseconds.
     pub p99_us: u64,
+    /// 99.9th percentile (nearest-rank), microseconds — the tail the
+    /// overload bench watches per priority class.
+    pub p999_us: u64,
     /// Maximum, microseconds.
     pub max_us: u64,
 }
 
 impl LatencyStats {
-    fn from_samples(samples: &mut [u64]) -> Self {
+    /// Sorts `samples` in place and summarizes them. An empty population
+    /// yields the all-zero default (no panic) — the boundary the overload
+    /// bench hits for priority classes that shed everything.
+    pub fn from_samples(samples: &mut [u64]) -> Self {
         if samples.is_empty() {
             return LatencyStats::default();
         }
@@ -56,6 +69,7 @@ impl LatencyStats {
             p50_us: percentile_nearest_rank(samples, 0.50),
             p95_us: percentile_nearest_rank(samples, 0.95),
             p99_us: percentile_nearest_rank(samples, 0.99),
+            p999_us: percentile_nearest_rank(samples, 0.999),
             max_us: *samples.last().expect("non-empty"),
         }
     }
@@ -73,22 +87,52 @@ pub(crate) fn percentile_nearest_rank(sorted: &[u64], q: f64) -> u64 {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
+/// Per-priority-class counters and latency, reported per class in the
+/// overload bench (goodput and tail latency are only meaningful split by
+/// class — the whole point of SLO scheduling is that they diverge).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PriorityClassStats {
+    /// Responses emitted for this class (ok + error).
+    pub completed: u64,
+    /// Successful responses.
+    pub ok: u64,
+    /// SLO-met successful responses (no-deadline requests count as met).
+    pub goodput: u64,
+    /// Responses whose deadline had passed (shed or completed late).
+    pub deadline_misses: u64,
+    /// Latency over all of this class's responses.
+    pub latency: LatencyStats,
+}
+
 /// Scheduler-owned metrics accumulator.
 #[derive(Debug, Default)]
 pub struct Metrics {
     all_us: Vec<u64>,
     decode_us: Vec<u64>,
     prefill_us: Vec<u64>,
+    priority_us: [Vec<u64>; 3],
+    priority_completed: [u64; 3],
+    priority_ok: [u64; 3],
+    priority_goodput: [u64; 3],
+    priority_deadline_misses: [u64; 3],
     batch_sizes: Vec<usize>,
     queue_depth_sum: u64,
     queue_depth_max: usize,
     queue_samples: u64,
     completed: u64,
     errors: u64,
+    goodput: u64,
+    deadline_misses: u64,
     decode_tokens: u64,
     shed_session_capacity: u64,
     shed_context_overflow: u64,
     shed_session_evicted: u64,
+    shed_deadline: u64,
+    shed_degraded: u64,
+    ticks: u64,
+    ticks_at_level: [u64; 3],
+    degrade_escalations: u64,
+    degrade_deescalations: u64,
     blocks_peak: usize,
     blocks_shared_peak: usize,
     util_sum: f64,
@@ -101,13 +145,35 @@ impl Metrics {
         Metrics::default()
     }
 
-    /// Records one completed request.
-    pub fn record_response(&mut self, lane: Lane, latency_us: u64, is_error: bool) {
+    /// Records one completed request. `deadline_met` is `None` for
+    /// requests without a deadline (they always count toward goodput when
+    /// successful), `Some(met)` otherwise.
+    pub fn record_response(
+        &mut self,
+        lane: Lane,
+        priority: Priority,
+        latency_us: u64,
+        is_error: bool,
+        deadline_met: Option<bool>,
+    ) {
         self.completed += 1;
+        let rank = priority.rank();
+        self.priority_completed[rank] += 1;
         if is_error {
             self.errors += 1;
+        } else {
+            self.priority_ok[rank] += 1;
+            if deadline_met != Some(false) {
+                self.goodput += 1;
+                self.priority_goodput[rank] += 1;
+            }
+        }
+        if deadline_met == Some(false) {
+            self.deadline_misses += 1;
+            self.priority_deadline_misses[rank] += 1;
         }
         self.all_us.push(latency_us);
+        self.priority_us[rank].push(latency_us);
         match lane {
             Lane::Decode => {
                 if !is_error {
@@ -116,6 +182,22 @@ impl Metrics {
                 self.decode_us.push(latency_us);
             }
             Lane::Prefill => self.prefill_us.push(latency_us),
+        }
+    }
+
+    /// Records one virtual-time tick spent at the given overload level
+    /// (0 = normal, 1 = elevated, 2 = severe).
+    pub fn record_tick(&mut self, level: u8) {
+        self.ticks += 1;
+        self.ticks_at_level[(level as usize).min(2)] += 1;
+    }
+
+    /// Records a degradation-ladder transition (`up` = escalation).
+    pub fn record_degrade_transition(&mut self, up: bool) {
+        if up {
+            self.degrade_escalations += 1;
+        } else {
+            self.degrade_deescalations += 1;
         }
     }
 
@@ -137,6 +219,8 @@ impl Metrics {
             ShedCause::SessionCapacity => self.shed_session_capacity += 1,
             ShedCause::ContextOverflow => self.shed_context_overflow += 1,
             ShedCause::SessionEvicted => self.shed_session_evicted += 1,
+            ShedCause::DeadlineExceeded => self.shed_deadline += 1,
+            ShedCause::Degraded => self.shed_degraded += 1,
         }
     }
 
@@ -191,13 +275,35 @@ impl Metrics {
         } else {
             self.batch_sizes.iter().sum::<usize>() as f64 / self.batch_sizes.len() as f64
         };
+        let priority = {
+            let mut per = <[PriorityClassStats; 3]>::default();
+            for (rank, stats) in per.iter_mut().enumerate() {
+                *stats = PriorityClassStats {
+                    completed: self.priority_completed[rank],
+                    ok: self.priority_ok[rank],
+                    goodput: self.priority_goodput[rank],
+                    deadline_misses: self.priority_deadline_misses[rank],
+                    latency: LatencyStats::from_samples(&mut self.priority_us[rank]),
+                };
+            }
+            per
+        };
         MetricsSnapshot {
             completed: self.completed,
             errors: self.errors,
+            goodput: self.goodput,
+            deadline_misses: self.deadline_misses,
             shed_queue,
             shed_session_capacity: self.shed_session_capacity,
             shed_context_overflow: self.shed_context_overflow,
             shed_session_evicted: self.shed_session_evicted,
+            shed_deadline: self.shed_deadline,
+            shed_degraded: self.shed_degraded,
+            ticks: self.ticks,
+            ticks_at_level: self.ticks_at_level,
+            degrade_escalations: self.degrade_escalations,
+            degrade_deescalations: self.degrade_deescalations,
+            priority,
             evictions,
             sessions_peak,
             sessions_capacity,
@@ -246,6 +352,13 @@ pub struct MetricsSnapshot {
     pub completed: u64,
     /// Error responses among `completed`.
     pub errors: u64,
+    /// Successful responses that met their SLO (no-deadline successes
+    /// count). Goodput-per-second — the overload bench's y-axis — is
+    /// this over [`elapsed_s`](Self::elapsed_s).
+    pub goodput: u64,
+    /// Responses whose deadline had passed (shed as late or answered
+    /// after their due tick).
+    pub deadline_misses: u64,
     /// Submits shed at admission ([`crate::ServeError::QueueFull`]).
     pub shed_queue: u64,
     /// Scheduler sheds from KV block exhaustion
@@ -257,6 +370,22 @@ pub struct MetricsSnapshot {
     /// Scheduler sheds targeting evicted sessions
     /// ([`crate::ServeError::SessionEvicted`]).
     pub shed_session_evicted: u64,
+    /// Scheduler sheds of requests whose deadline had already passed
+    /// ([`crate::ServeError::DeadlineExceeded`]).
+    pub shed_deadline: u64,
+    /// Scheduler sheds by the graceful-degradation ladder
+    /// ([`crate::ServeError::Degraded`]).
+    pub shed_degraded: u64,
+    /// Virtual-time ticks processed (0 for wall-clock servers).
+    pub ticks: u64,
+    /// Ticks spent at each overload level (normal / elevated / severe).
+    pub ticks_at_level: [u64; 3],
+    /// Degradation-ladder escalations (level increases).
+    pub degrade_escalations: u64,
+    /// Degradation-ladder de-escalations (level decreases).
+    pub degrade_deescalations: u64,
+    /// Per-priority-class stats, indexed by [`Priority::rank`].
+    pub priority: [PriorityClassStats; 3],
     /// Sessions LRU-evicted.
     pub evictions: u64,
     /// Peak resident sessions. With block-granular allocation this can
@@ -328,10 +457,11 @@ mod tests {
     #[test]
     fn snapshot_aggregates_lanes_and_occupancy() {
         let mut m = Metrics::new();
-        m.record_response(Lane::Decode, 100, false);
-        m.record_response(Lane::Decode, 300, false);
-        m.record_response(Lane::Prefill, 1000, false);
-        m.record_response(Lane::Decode, 200, true); // errored decode: no token
+        m.record_response(Lane::Decode, Priority::High, 100, false, None);
+        m.record_response(Lane::Decode, Priority::Normal, 300, false, Some(true));
+        m.record_response(Lane::Prefill, Priority::Low, 1000, false, Some(false));
+        // errored decode: no token
+        m.record_response(Lane::Decode, Priority::High, 200, true, None);
         m.record_batch(2);
         m.record_batch(2);
         m.record_batch(4);
@@ -340,6 +470,14 @@ mod tests {
         m.record_shed(ShedCause::SessionCapacity);
         m.record_shed(ShedCause::ContextOverflow);
         m.record_shed(ShedCause::ContextOverflow);
+        m.record_shed(ShedCause::DeadlineExceeded);
+        m.record_shed(ShedCause::Degraded);
+        m.record_tick(0);
+        m.record_tick(1);
+        m.record_tick(2);
+        m.record_degrade_transition(true);
+        m.record_degrade_transition(true);
+        m.record_degrade_transition(false);
         m.sample_blocks(4, 1, 32, 16); // utilization 0.5
         m.sample_blocks(2, 0, 32, 16); // utilization 1.0
         m.sample_blocks(0, 0, 0, 16); // empty pool: skipped
@@ -349,6 +487,27 @@ mod tests {
         assert_eq!(s.shed_session_capacity, 1);
         assert_eq!(s.shed_context_overflow, 2);
         assert_eq!(s.shed_session_evicted, 0);
+        assert_eq!(s.shed_deadline, 1);
+        assert_eq!(s.shed_degraded, 1);
+        assert_eq!(s.ticks, 3);
+        assert_eq!(s.ticks_at_level, [1, 1, 1]);
+        assert_eq!(s.degrade_escalations, 2);
+        assert_eq!(s.degrade_deescalations, 1);
+        // Goodput: 3 successes, one missed its deadline.
+        assert_eq!(s.goodput, 2);
+        assert_eq!(s.deadline_misses, 1);
+        let high = &s.priority[Priority::High.rank()];
+        assert_eq!(high.completed, 2);
+        assert_eq!(high.ok, 1);
+        assert_eq!(high.goodput, 1);
+        assert_eq!(high.deadline_misses, 0);
+        assert_eq!(high.latency.count, 2);
+        let normal = &s.priority[Priority::Normal.rank()];
+        assert_eq!((normal.ok, normal.goodput), (1, 1));
+        let low = &s.priority[Priority::Low.rank()];
+        assert_eq!(low.ok, 1);
+        assert_eq!(low.goodput, 0, "late success is not goodput");
+        assert_eq!(low.deadline_misses, 1);
         assert_eq!(s.blocks_capacity, 64);
         assert_eq!(s.blocks_peak, 4);
         assert_eq!(s.blocks_shared_peak, 1);
@@ -379,5 +538,50 @@ mod tests {
         assert_eq!(s.tokens_per_s, 0.0);
         assert_eq!(s.batch_occupancy_hist, vec![]);
         assert_eq!(s.block_utilization_mean, 0.0);
+        assert_eq!(s.goodput, 0);
+        assert_eq!(s.priority, <[PriorityClassStats; 3]>::default());
+        assert_eq!(s.ticks_at_level, [0, 0, 0]);
+    }
+
+    // Satellite: percentile boundary semantics pinned before the overload
+    // bench depends on them.
+
+    #[test]
+    fn empty_lane_latency_is_default_without_panic() {
+        let mut none: Vec<u64> = vec![];
+        assert_eq!(
+            LatencyStats::from_samples(&mut none),
+            LatencyStats::default()
+        );
+    }
+
+    #[test]
+    fn single_sample_latency_is_that_sample_at_every_percentile() {
+        let mut one = vec![42u64];
+        let s = LatencyStats::from_samples(&mut one);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean_us, 42.0);
+        assert_eq!(
+            (s.p50_us, s.p95_us, s.p99_us, s.p999_us, s.max_us),
+            (42, 42, 42, 42, 42)
+        );
+    }
+
+    #[test]
+    fn exact_quantile_index_uses_nearest_rank_not_interpolation() {
+        // 1000 samples: rank(q) = ceil(q * 1000) exactly, so p50 = sample
+        // #500, p99 = #990, p99.9 = #999 — no interpolation between ranks.
+        let mut v: Vec<u64> = (1..=1000).collect();
+        let s = LatencyStats::from_samples(&mut v);
+        assert_eq!(s.p50_us, 500);
+        assert_eq!(s.p95_us, 950);
+        assert_eq!(s.p99_us, 990);
+        assert_eq!(s.p999_us, 999);
+        assert_eq!(s.max_us, 1000);
+        // 10 samples: p99.9 rank = ceil(9.99) = 10 → max.
+        let mut w: Vec<u64> = (1..=10).collect();
+        let t = LatencyStats::from_samples(&mut w);
+        assert_eq!(t.p999_us, 10);
+        assert_eq!(t.p50_us, 5);
     }
 }

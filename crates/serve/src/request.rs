@@ -32,6 +32,82 @@ impl PrefillModel {
     }
 }
 
+/// Scheduling class of a request: which queue position it competes for
+/// and which work sheds first under overload.
+///
+/// Within the [`Batcher`](crate::Batcher), lanes order by `(priority,
+/// deadline)` — earliest-deadline-first inside each class — and the
+/// admission threshold shrinks with descending priority so best-effort
+/// work sheds before interactive work when the queue fills.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Interactive traffic: largest admission share, dispatches first.
+    #[default]
+    High,
+    /// Standard traffic.
+    Normal,
+    /// Best-effort traffic: first to shed under queue pressure and first
+    /// to be degraded under sustained overload.
+    Low,
+}
+
+impl Priority {
+    /// All classes, descending priority (index = [`Self::rank`]).
+    pub const ALL: [Priority; 3] = [Priority::High, Priority::Normal, Priority::Low];
+
+    /// Dense index for per-class counters: High = 0, Normal = 1, Low = 2.
+    pub fn rank(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+
+    /// Display name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
+}
+
+/// A request's service-level objective: its priority class and an
+/// optional completion deadline in **virtual-time ticks** (the clock a
+/// virtual-time server advances via [`crate::ServerHandle::tick`]).
+///
+/// Deadlines are absolute ticks: a request dispatched at tick `t` meets
+/// its SLO iff `t <= deadline`. Wall-clock servers never advance the
+/// virtual clock, so deadlines are inert there; the default SLO
+/// (high priority, no deadline) reproduces pre-SLO scheduling exactly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Slo {
+    /// Scheduling class.
+    pub priority: Priority,
+    /// Absolute virtual-tick completion deadline (`None` = no deadline).
+    pub deadline: Option<u64>,
+}
+
+impl Slo {
+    /// An SLO with both fields set.
+    pub fn new(priority: Priority, deadline: u64) -> Self {
+        Slo {
+            priority,
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Best-effort: low priority, no deadline.
+    pub fn best_effort() -> Self {
+        Slo {
+            priority: Priority::Low,
+            deadline: None,
+        }
+    }
+}
+
 /// What a request asks the server to compute.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum RequestKind {
@@ -56,23 +132,46 @@ pub struct Request {
     pub id: RequestId,
     /// The work to perform.
     pub kind: RequestKind,
+    /// Scheduling class and deadline. Defaults to high priority with no
+    /// deadline, which reproduces pre-SLO FIFO scheduling exactly.
+    pub slo: Slo,
 }
 
 impl Request {
-    /// A decode-step request.
+    /// A decode-step request (default SLO: high priority, no deadline).
     pub fn decode(id: RequestId, session: SessionId, token: usize) -> Self {
         Request {
             id,
             kind: RequestKind::Decode { session, token },
+            slo: Slo::default(),
         }
     }
 
-    /// A prefill request.
+    /// A prefill request (default SLO: high priority, no deadline).
     pub fn prefill(id: RequestId, model: PrefillModel) -> Self {
         Request {
             id,
             kind: RequestKind::Prefill { model },
+            slo: Slo::default(),
         }
+    }
+
+    /// Sets the priority class.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.slo.priority = priority;
+        self
+    }
+
+    /// Sets the absolute virtual-tick deadline.
+    pub fn with_deadline(mut self, deadline: u64) -> Self {
+        self.slo.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the whole SLO.
+    pub fn with_slo(mut self, slo: Slo) -> Self {
+        self.slo = slo;
+        self
     }
 
     /// The session this request touches, if any.
@@ -232,6 +331,26 @@ mod tests {
             batch_size: 0,
         };
         assert_ne!(ok.digest(), err.digest());
+    }
+
+    #[test]
+    fn slo_builders_and_ranks() {
+        let r = Request::decode(1, 42, 0)
+            .with_priority(Priority::Low)
+            .with_deadline(17);
+        assert_eq!(r.slo.priority, Priority::Low);
+        assert_eq!(r.slo.deadline, Some(17));
+        // Default SLO is the legacy behavior: high priority, no deadline.
+        let d = Request::prefill(2, PrefillModel::BertBase128);
+        assert_eq!(d.slo, Slo::default());
+        assert_eq!(d.slo.priority, Priority::High);
+        assert_eq!(d.slo.deadline, None);
+        for (i, p) in Priority::ALL.iter().enumerate() {
+            assert_eq!(p.rank(), i);
+        }
+        assert!(Priority::High < Priority::Low, "rank order drives EDF keys");
+        assert_eq!(Slo::new(Priority::Normal, 3).deadline, Some(3));
+        assert_eq!(Slo::best_effort().priority, Priority::Low);
     }
 
     #[test]

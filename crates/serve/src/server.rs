@@ -17,7 +17,9 @@ use crate::batcher::{Batcher, Lane, Pending};
 use crate::config::ServeConfig;
 use crate::error::ServeError;
 use crate::metrics::{Metrics, MetricsSnapshot, ShedCause};
-use crate::request::{fnv1a, Payload, Request, RequestKind, Response, SessionId, FNV_OFFSET};
+use crate::request::{
+    fnv1a, Payload, Priority, Request, RequestKind, Response, SessionId, FNV_OFFSET,
+};
 use crate::session::SessionKv;
 use apsq_dataflow::Workload;
 use apsq_models::{
@@ -35,7 +37,30 @@ use std::time::Instant;
 enum Event {
     Submit(Pending),
     Done(BatchDone),
+    /// Advance the virtual clock to `now` and run one lockstep scheduling
+    /// round; `ack` fires once every batch dispatched this tick completed.
+    Tick {
+        now: u64,
+        ack: Sender<TickDone>,
+    },
     Shutdown,
+}
+
+/// What one virtual-time tick accomplished, returned by
+/// [`ServerHandle::tick`] after the system quiesced again.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TickDone {
+    /// The virtual clock value this tick ran at.
+    pub now: u64,
+    /// Decode steps dispatched (and completed) this tick.
+    pub dispatched_decode: usize,
+    /// Prefill requests dispatched (and completed) this tick.
+    pub dispatched_prefill: usize,
+    /// Requests shed during this tick's scheduling round (deadline,
+    /// degradation, overflow, and capacity sheds combined).
+    pub shed: usize,
+    /// Degradation-ladder level in force this tick (0 = normal).
+    pub level: u8,
 }
 
 /// One request's outcome inside a completed batch.
@@ -168,7 +193,10 @@ struct Shared {
 pub struct ServerHandle {
     tx: Sender<Event>,
     shared: Arc<Shared>,
-    queue_capacity: usize,
+    /// Per-priority admission thresholds (already clamped to the queue
+    /// capacity): rank `r` submits shed once the pending depth reaches
+    /// `admit_depth[r]`.
+    admit_depth: [usize; 3],
     vocab: usize,
 }
 
@@ -216,13 +244,16 @@ impl ServerHandle {
         if !self.shared.accepting.load(Ordering::Acquire) {
             return Err(ServeError::ShuttingDown);
         }
+        // Priority-aware admission: lower classes see a smaller queue, so
+        // best-effort traffic sheds first as the queue fills.
+        let threshold = self.admit_depth[req.slo.priority.rank()];
         let mut depth = self.shared.depth.load(Ordering::Relaxed);
         loop {
-            if depth >= self.queue_capacity {
+            if depth >= threshold {
                 self.shared.shed_queue.fetch_add(1, Ordering::Relaxed);
                 return Err(ServeError::QueueFull {
                     depth,
-                    capacity: self.queue_capacity,
+                    capacity: threshold,
                 });
             }
             match self.shared.depth.compare_exchange_weak(
@@ -243,6 +274,29 @@ impl ServerHandle {
             self.shared.depth.fetch_sub(1, Ordering::Relaxed);
             ServeError::ShuttingDown
         })
+    }
+
+    /// Advances the virtual clock to `now` and runs one lockstep
+    /// scheduling round, blocking until every batch dispatched this tick
+    /// has completed (the system is fully quiesced when this returns).
+    ///
+    /// The lockstep barrier is the determinism backbone of overload
+    /// scheduling: because each tick starts and ends with zero requests
+    /// in flight, every shed and dispatch decision is a pure function of
+    /// the submitted traffic — independent of worker count, batch policy,
+    /// and thread timing. Only meaningful on a server configured with
+    /// [`crate::SloPolicy::virtual_time`]; a wall-clock server processes
+    /// the tick (deadline sheds still run) but dispatches nothing from it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShuttingDown`] if the scheduler has exited.
+    pub fn tick(&self, now: u64) -> Result<TickDone, ServeError> {
+        let (ack_tx, ack_rx) = mpsc::channel();
+        self.tx
+            .send(Event::Tick { now, ack: ack_tx })
+            .map_err(|_| ServeError::ShuttingDown)?;
+        ack_rx.recv().map_err(|_| ServeError::ShuttingDown)
     }
 }
 
@@ -314,7 +368,11 @@ impl Server {
         let handle = ServerHandle {
             tx: evt_tx,
             shared,
-            queue_capacity: cfg.queue_capacity,
+            admit_depth: [
+                cfg.slo.admit_depth[0].min(cfg.queue_capacity),
+                cfg.slo.admit_depth[1].min(cfg.queue_capacity),
+                cfg.slo.admit_depth[2].min(cfg.queue_capacity),
+            ],
             vocab: cfg.model.vocab,
         };
         (
@@ -514,6 +572,8 @@ fn scheduler_loop(
     resp_tx: Sender<Response>,
 ) -> MetricsSnapshot {
     let started = Instant::now();
+    let virtual_mode = cfg.slo.virtual_time;
+    let degrade = cfg.slo.degrade;
     let mut batcher = Batcher::new(cfg.batch);
     let mut sessions =
         crate::session::SessionManager::new(alloc, cfg.session_capacity(), cfg.model.layers);
@@ -524,14 +584,42 @@ fn scheduler_loop(
     // reservations must leave room for these.
     let mut reserved_outstanding = 0usize;
     let mut draining = false;
+    // Virtual-time state: the lockstep clock, the degradation-ladder
+    // level with its hysteresis streaks, and the ack deferred until the
+    // tick's dispatched batches complete.
+    let mut vnow = 0u64;
+    let mut level = 0u8;
+    let mut hot_streak = 0u64;
+    let mut calm_streak = 0u64;
+    let mut pending_ack: Option<(Sender<TickDone>, TickDone)> = None;
+    // Depth decrements for admit-time sheds, deferred to the next tick in
+    // virtual mode: decrementing immediately would race the client's
+    // sequential admission reads and make QueueFull decisions depend on
+    // scheduler timing.
+    let mut deferred_depth_subs = 0usize;
 
     let respond = |metrics: &mut Metrics,
                    p: Pending,
                    result: Result<Payload, ServeError>,
                    occupancy: usize,
-                   lane: Lane| {
+                   lane: Lane,
+                   now: u64| {
         let latency_us = p.submitted.elapsed().as_micros() as u64;
-        metrics.record_response(lane, latency_us, result.is_err());
+        // In virtual time a request dispatched at tick T completes at T,
+        // so the SLO is met iff T has not passed the deadline. A shed for
+        // an expired deadline is by definition a miss.
+        let deadline_met = match (&result, p.req.slo.deadline) {
+            (Err(ServeError::DeadlineExceeded { .. }), _) => Some(false),
+            (_, Some(d)) => Some(now <= d),
+            (_, None) => None,
+        };
+        metrics.record_response(
+            lane,
+            p.req.slo.priority,
+            latency_us,
+            result.is_err(),
+            deadline_met,
+        );
         let _ = resp_tx.send(Response {
             id: p.req.id,
             result,
@@ -543,8 +631,10 @@ fn scheduler_loop(
     loop {
         metrics.sample_queue_depth(batcher.depth());
 
-        // Dispatch to idle workers while a lane is ready.
-        while idle > 0 {
+        // Dispatch to idle workers while a lane is ready. Virtual-time
+        // servers never self-dispatch — all dispatch happens inside the
+        // Tick handler, within per-tick budgets.
+        while !virtual_mode && idle > 0 {
             let now = Instant::now();
             let Some(lane) = batcher.next_lane(now, draining) else {
                 break;
@@ -598,6 +688,7 @@ fn scheduler_loop(
                                 }),
                                 0,
                                 Lane::Decode,
+                                vnow,
                             );
                             sessions.release(session);
                             batcher.on_session_done(session);
@@ -608,7 +699,7 @@ fn scheduler_loop(
                             Err(e) => {
                                 shared.depth.fetch_sub(1, Ordering::Relaxed);
                                 metrics.record_shed(ShedCause::SessionCapacity);
-                                respond(&mut metrics, p, Err(e), 0, Lane::Decode);
+                                respond(&mut metrics, p, Err(e), 0, Lane::Decode, vnow);
                                 sessions.release(session);
                                 batcher.on_session_done(session);
                                 continue;
@@ -641,8 +732,15 @@ fn scheduler_loop(
         }
 
         // Block for the next event; with a partial batch pending and an
-        // idle worker, wake at the coalescing deadline instead.
-        let first = if idle > 0 {
+        // idle worker, wake at the coalescing deadline instead. A
+        // virtual-time server has no coalescing deadlines — it sleeps
+        // until the next submit, tick, or completion.
+        let first = if virtual_mode {
+            match evt_rx.recv() {
+                Ok(e) => Some(e),
+                Err(_) => break,
+            }
+        } else if idle > 0 {
             match batcher.next_deadline() {
                 Some(deadline) => {
                     let timeout = deadline.saturating_duration_since(Instant::now());
@@ -672,9 +770,13 @@ fn scheduler_loop(
                     RequestKind::Decode { session, .. } => match sessions.admit(session) {
                         Ok(()) => batcher.push(p),
                         Err(e) => {
-                            shared.depth.fetch_sub(1, Ordering::Relaxed);
+                            if virtual_mode {
+                                deferred_depth_subs += 1;
+                            } else {
+                                shared.depth.fetch_sub(1, Ordering::Relaxed);
+                            }
                             metrics.record_shed(ShedCause::SessionEvicted);
-                            respond(&mut metrics, p, Err(e), 0, Lane::Decode);
+                            respond(&mut metrics, p, Err(e), 0, Lane::Decode, vnow);
                         }
                     },
                     RequestKind::Prefill { .. } => batcher.push(p),
@@ -704,6 +806,7 @@ fn scheduler_loop(
                             item.result,
                             done.occupancy,
                             done.lane,
+                            vnow,
                         );
                         if let Some(s) = session {
                             if let Some(token) = decoded {
@@ -717,10 +820,287 @@ fn scheduler_loop(
                         let (in_use, shared_blocks, tokens, block_tokens) = sessions.block_gauges();
                         metrics.sample_blocks(in_use, shared_blocks, tokens, block_tokens);
                     }
+                    // The lockstep barrier: the tick's ack fires only
+                    // once everything it dispatched has drained.
+                    if inflight == 0 {
+                        if let Some((ack, td)) = pending_ack.take() {
+                            let _ = ack.send(td);
+                        }
+                    }
+                }
+                Event::Tick { now, ack } => {
+                    // Lockstep protocol: the driver waits for each ack
+                    // before ticking again, so the system is quiesced —
+                    // every decision below is a pure function of the
+                    // submitted traffic.
+                    debug_assert_eq!(inflight, 0, "tick on a non-quiesced server");
+                    vnow = now;
+                    let mut tick_shed = 0usize;
+                    if deferred_depth_subs > 0 {
+                        shared
+                            .depth
+                            .fetch_sub(deferred_depth_subs, Ordering::Relaxed);
+                        deferred_depth_subs = 0;
+                    }
+
+                    // 1. Degradation-ladder level from sustained batcher
+                    // depth (hysteresis both ways).
+                    let depth = batcher.depth();
+                    let target: u8 = if depth >= degrade.severe_depth {
+                        2
+                    } else if depth >= degrade.elevate_depth {
+                        1
+                    } else {
+                        0
+                    };
+                    if target > level {
+                        hot_streak += 1;
+                        calm_streak = 0;
+                        if hot_streak >= degrade.sustain_ticks {
+                            level = target;
+                            hot_streak = 0;
+                            metrics.record_degrade_transition(true);
+                        }
+                    } else if target < level {
+                        calm_streak += 1;
+                        hot_streak = 0;
+                        if calm_streak >= degrade.sustain_ticks {
+                            level -= 1;
+                            calm_streak = 0;
+                            metrics.record_degrade_transition(false);
+                        }
+                    } else {
+                        hot_streak = 0;
+                        calm_streak = 0;
+                    }
+                    metrics.record_tick(level);
+
+                    // 2. Severe overload: shed queued sub-interactive
+                    // prefill before touching any decode work.
+                    if level >= 2 && degrade.shed_prefill_first {
+                        for p in batcher.shed_prefill_below(Priority::High) {
+                            shared.depth.fetch_sub(1, Ordering::Relaxed);
+                            metrics.record_shed(ShedCause::Degraded);
+                            tick_shed += 1;
+                            respond(
+                                &mut metrics,
+                                p,
+                                Err(ServeError::Degraded {
+                                    level,
+                                    reason: "prefill-shed",
+                                }),
+                                0,
+                                Lane::Prefill,
+                                vnow,
+                            );
+                        }
+                    }
+
+                    // 3. Shed everything whose deadline has passed —
+                    // dispatching it could no longer meet the SLO.
+                    for p in batcher.shed_expired(now) {
+                        shared.depth.fetch_sub(1, Ordering::Relaxed);
+                        metrics.record_shed(ShedCause::DeadlineExceeded);
+                        tick_shed += 1;
+                        let lane = match p.req.kind {
+                            RequestKind::Decode { .. } => Lane::Decode,
+                            RequestKind::Prefill { .. } => Lane::Prefill,
+                        };
+                        let deadline = p.req.slo.deadline.unwrap_or(0);
+                        if let Some(s) = p.req.session() {
+                            sessions.release(s);
+                        }
+                        respond(
+                            &mut metrics,
+                            p,
+                            Err(ServeError::DeadlineExceeded { deadline, now }),
+                            0,
+                            lane,
+                            vnow,
+                        );
+                    }
+
+                    // 4. Budgeted dispatch, two-phase: plan every batch
+                    // (reservations + checkouts) while the workers are
+                    // idle, then send them all — allocator state during
+                    // planning is race-free by construction.
+                    let mut planned: Vec<WorkItem> = Vec::new();
+                    let mut dispatched_decode = 0usize;
+                    let mut dispatched_prefill = 0usize;
+                    let mut budget = cfg.slo.decode_units_per_tick;
+                    while budget > 0 {
+                        let items = batcher.take_up_to(Lane::Decode, budget);
+                        if items.is_empty() {
+                            break;
+                        }
+                        let mut batch = Vec::with_capacity(items.len());
+                        let mut states = Vec::with_capacity(items.len());
+                        let mut batch_reserved = 0usize;
+                        for p in items {
+                            let session =
+                                p.req.session().expect("decode lane request has a session");
+                            let position = sessions.position(session);
+                            let is_low = p.req.slo.priority == Priority::Low;
+                            // Ladder rung: cap best-effort decode lengths.
+                            if level >= 1 && is_low && position >= degrade.low_decode_cap {
+                                shared.depth.fetch_sub(1, Ordering::Relaxed);
+                                metrics.record_shed(ShedCause::Degraded);
+                                tick_shed += 1;
+                                respond(
+                                    &mut metrics,
+                                    p,
+                                    Err(ServeError::Degraded {
+                                        level,
+                                        reason: "decode-length-cap",
+                                    }),
+                                    0,
+                                    Lane::Decode,
+                                    vnow,
+                                );
+                                sessions.release(session);
+                                batcher.on_session_done(session);
+                                continue;
+                            }
+                            // Ladder rung: refuse *new* best-effort
+                            // sessions when KV headroom is thin, so
+                            // interactive sessions keep room to grow.
+                            if level >= 1
+                                && is_low
+                                && position == 0
+                                && degrade.kv_guard_free_blocks > 0
+                                && sessions
+                                    .blocks_free()
+                                    .saturating_sub(reserved_outstanding + batch_reserved)
+                                    < degrade.kv_guard_free_blocks
+                            {
+                                shared.depth.fetch_sub(1, Ordering::Relaxed);
+                                metrics.record_shed(ShedCause::Degraded);
+                                tick_shed += 1;
+                                respond(
+                                    &mut metrics,
+                                    p,
+                                    Err(ServeError::Degraded {
+                                        level,
+                                        reason: "kv-guard",
+                                    }),
+                                    0,
+                                    Lane::Decode,
+                                    vnow,
+                                );
+                                sessions.release(session);
+                                batcher.on_session_done(session);
+                                continue;
+                            }
+                            if position >= max_len {
+                                shared.depth.fetch_sub(1, Ordering::Relaxed);
+                                metrics.record_shed(ShedCause::ContextOverflow);
+                                tick_shed += 1;
+                                respond(
+                                    &mut metrics,
+                                    p,
+                                    Err(ServeError::ContextOverflow {
+                                        session,
+                                        position,
+                                        max_len,
+                                    }),
+                                    0,
+                                    Lane::Decode,
+                                    vnow,
+                                );
+                                sessions.release(session);
+                                batcher.on_session_done(session);
+                                continue;
+                            }
+                            match sessions.reserve(session, reserved_outstanding + batch_reserved) {
+                                Ok(blocks) => batch_reserved += blocks,
+                                Err(e) => {
+                                    shared.depth.fetch_sub(1, Ordering::Relaxed);
+                                    metrics.record_shed(ShedCause::SessionCapacity);
+                                    tick_shed += 1;
+                                    respond(&mut metrics, p, Err(e), 0, Lane::Decode, vnow);
+                                    sessions.release(session);
+                                    batcher.on_session_done(session);
+                                    continue;
+                                }
+                            }
+                            states.push((session, sessions.checkout(session)));
+                            batch.push(p);
+                        }
+                        if batch.is_empty() {
+                            continue;
+                        }
+                        budget -= batch.len().min(budget);
+                        dispatched_decode += batch.len();
+                        reserved_outstanding += batch_reserved;
+                        shared.depth.fetch_sub(batch.len(), Ordering::Relaxed);
+                        metrics.record_batch(batch.len());
+                        planned.push(WorkItem::Decode {
+                            items: batch,
+                            states,
+                            reserved: batch_reserved,
+                        });
+                    }
+                    let mut pbudget = cfg.slo.prefill_units_per_tick;
+                    while pbudget > 0 {
+                        let items = batcher.take_up_to(Lane::Prefill, pbudget);
+                        if items.is_empty() {
+                            break;
+                        }
+                        pbudget -= items.len().min(pbudget);
+                        dispatched_prefill += items.len();
+                        shared.depth.fetch_sub(items.len(), Ordering::Relaxed);
+                        metrics.record_batch(items.len());
+                        planned.push(WorkItem::Prefill { items });
+                    }
+
+                    let td = TickDone {
+                        now,
+                        dispatched_decode,
+                        dispatched_prefill,
+                        shed: tick_shed,
+                        level,
+                    };
+                    if planned.is_empty() {
+                        let _ = ack.send(td);
+                    } else {
+                        for work in planned {
+                            inflight += 1;
+                            work_tx.send(work).expect("worker pool alive");
+                        }
+                        pending_ack = Some((ack, td));
+                    }
                 }
                 Event::Shutdown => {
                     shared.accepting.store(false, Ordering::Release);
                     draining = true;
+                    if deferred_depth_subs > 0 {
+                        shared
+                            .depth
+                            .fetch_sub(deferred_depth_subs, Ordering::Relaxed);
+                        deferred_depth_subs = 0;
+                    }
+                    // A virtual-time server never self-drains its queue —
+                    // answer everything still waiting with ShuttingDown.
+                    if virtual_mode {
+                        for p in batcher.drain_all() {
+                            shared.depth.fetch_sub(1, Ordering::Relaxed);
+                            let lane = match p.req.kind {
+                                RequestKind::Decode { .. } => Lane::Decode,
+                                RequestKind::Prefill { .. } => Lane::Prefill,
+                            };
+                            if let Some(s) = p.req.session() {
+                                sessions.release(s);
+                            }
+                            respond(
+                                &mut metrics,
+                                p,
+                                Err(ServeError::ShuttingDown),
+                                0,
+                                lane,
+                                vnow,
+                            );
+                        }
+                    }
                 }
             }
             next = evt_rx.try_recv().ok();
@@ -746,7 +1126,14 @@ fn scheduler_loop(
                 RequestKind::Decode { .. } => Lane::Decode,
                 RequestKind::Prefill { .. } => Lane::Prefill,
             };
-            respond(&mut metrics, p, Err(ServeError::ShuttingDown), 0, lane);
+            respond(
+                &mut metrics,
+                p,
+                Err(ServeError::ShuttingDown),
+                0,
+                lane,
+                vnow,
+            );
         }
     }
 

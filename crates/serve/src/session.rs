@@ -277,6 +277,15 @@ impl SessionManager {
             .blocks_capacity()
     }
 
+    /// Blocks currently on the free list — the headroom gauge the
+    /// degradation ladder's KV admission guard watches.
+    pub fn blocks_free(&self) -> usize {
+        self.alloc
+            .lock()
+            .expect("block allocator poisoned")
+            .blocks_free()
+    }
+
     /// Admits a request for `id`: touches the LRU clock, pins the
     /// session, and creates an empty entry if absent. Admission is cheap —
     /// an empty session holds zero blocks — so it never sheds for

@@ -185,3 +185,87 @@ fn context_overflow_errors_are_deterministic_too() {
     }
     assert_eq!(fingerprints[0], fingerprints[1]);
 }
+
+/// The overload determinism contract: an **open-loop** scenario whose
+/// offered load exceeds capacity — so admission sheds, deadline sheds,
+/// and degradation sheds all fire — must still produce one completion-set
+/// fingerprint per (seed, precision) across server shapes. The lockstep
+/// virtual clock quiesces the system before every scheduling decision,
+/// making each shed a pure function of the submitted traffic; worker
+/// count and batch policy may change timing only.
+#[test]
+fn open_loop_overload_is_deterministic_across_server_shapes() {
+    use apsq_serve::{ArrivalProcess, OpenLoopGenerator, OverloadScenario, SloPolicy};
+
+    let scenario = OverloadScenario::mixed_slo(
+        ArrivalProcess::Bursty {
+            on_ticks: 6,
+            off_ticks: 6,
+            lambda_on: 3.0,
+            lambda_off: 0.5,
+        },
+        36,
+    );
+    let gen = OpenLoopGenerator::new(23, scenario);
+    let shapes: Vec<(ServeConfig, &str)> = vec![
+        (
+            base_cfg().with_workers(1).with_batch(BatchPolicy::single()),
+            "1 worker, batch 1",
+        ),
+        (
+            base_cfg()
+                .with_workers(2)
+                .with_batch(BatchPolicy::batched(4)),
+            "2 workers, batch 4",
+        ),
+        (
+            base_cfg()
+                .with_workers(4)
+                .with_batch(BatchPolicy::continuous(8)),
+            "4 workers, continuous batch 8",
+        ),
+    ];
+    let mut per_precision = Vec::new();
+    for precision in [Precision::F32, Precision::Int8Apsq] {
+        let mut runs = Vec::new();
+        for (cfg, label) in &shapes {
+            let cfg = cfg
+                .clone()
+                .with_precision(precision)
+                .with_slo(SloPolicy::virtual_time(4, 1, 12));
+            let report = gen.run(&cfg);
+            assert!(
+                report.errors + report.client_shed > 0,
+                "{label}: the scenario never overloaded — the test is vacuous"
+            );
+            runs.push((report, *label));
+        }
+        let first = &runs[0].0;
+        for (report, label) in &runs[1..] {
+            assert_eq!(
+                report.fingerprint,
+                first.fingerprint,
+                "{} overload fingerprints diverged between '{}' and '{}'",
+                precision.name(),
+                runs[0].1,
+                label
+            );
+            // Shed *attribution* must match too, cause by cause.
+            assert_eq!(report.client_shed, first.client_shed, "{label}");
+            assert_eq!(report.ok, first.ok, "{label}");
+            assert_eq!(report.errors, first.errors, "{label}");
+            let (a, b) = (&report.snapshot, &first.snapshot);
+            assert_eq!(a.shed_queue, b.shed_queue, "{label}");
+            assert_eq!(a.shed_deadline, b.shed_deadline, "{label}");
+            assert_eq!(a.shed_degraded, b.shed_degraded, "{label}");
+            assert_eq!(a.shed_session_capacity, b.shed_session_capacity, "{label}");
+            assert_eq!(a.shed_context_overflow, b.shed_context_overflow, "{label}");
+            assert_eq!(a.goodput, b.goodput, "{label}");
+        }
+        per_precision.push(first.fingerprint);
+    }
+    assert_ne!(
+        per_precision[0], per_precision[1],
+        "f32 and int8 overload runs produced identical fingerprints"
+    );
+}

@@ -1,0 +1,140 @@
+//! Property tests for the open-loop traffic generator and the EDF
+//! batcher: seeded schedules must be reproducible and statistically
+//! honest (Poisson rate, bursty duty cycle), and dispatch may never
+//! prefer a later deadline over an earlier one within a priority class.
+
+use apsq_serve::{
+    Arrival, ArrivalProcess, BatchPolicy, Batcher, Lane, OpenLoopGenerator, OverloadScenario,
+    Pending, Priority, Request, Slo,
+};
+use proptest::prelude::*;
+use std::time::Instant;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// One seed ⇒ one schedule, bit for bit — including the class
+    /// assignment — and every arrival lands inside the horizon.
+    #[test]
+    fn same_seed_same_schedule(
+        seed in 0u64..1_000_000,
+        lambda in 1u32..40,
+        horizon in 20u64..200,
+    ) {
+        let process = ArrivalProcess::Poisson { lambda: lambda as f64 / 10.0 };
+        let scenario = OverloadScenario::mixed_slo(process, horizon);
+        let a: Vec<Arrival> = OpenLoopGenerator::new(seed, scenario.clone()).arrivals();
+        let b: Vec<Arrival> = OpenLoopGenerator::new(seed, scenario).arrivals();
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.iter().all(|x| x.tick < horizon));
+        prop_assert!(a.windows(2).all(|w| w[0].tick <= w[1].tick));
+    }
+
+    /// Empirical Poisson inter-arrival rate tracks λ: over a horizon of
+    /// ~600 expected arrivals the observed count stays within 20% of
+    /// λ·horizon (≈5σ for a Poisson count, so seed-stable).
+    #[test]
+    fn poisson_interarrival_mean_matches_lambda(
+        seed in 0u64..1_000_000,
+        lambda_tenths in 2u32..30,
+    ) {
+        let lambda = lambda_tenths as f64 / 10.0;
+        let horizon = (600.0 / lambda).ceil() as u64;
+        let n = ArrivalProcess::Poisson { lambda }
+            .schedule(seed, horizon)
+            .len() as f64;
+        let expected = lambda * horizon as f64;
+        prop_assert!(
+            (n - expected).abs() < 0.2 * expected,
+            "observed {} arrivals vs expected {}", n, expected
+        );
+    }
+
+    /// Bursty duty cycle: with silent OFF windows every arrival falls in
+    /// an ON window, and the per-ON-window rate tracks λ_on.
+    #[test]
+    fn bursty_duty_cycle_matches_config(
+        seed in 0u64..1_000_000,
+        on in 4u64..20,
+        off in 4u64..20,
+        lambda_on_tenths in 10u32..40,
+    ) {
+        let lambda_on = lambda_on_tenths as f64 / 10.0;
+        let p = ArrivalProcess::Bursty {
+            on_ticks: on,
+            off_ticks: off,
+            lambda_on,
+            lambda_off: 0.0,
+        };
+        let period = on + off;
+        // Enough periods for ~400 expected arrivals.
+        let periods = (400.0 / (lambda_on * on as f64)).ceil() as u64;
+        let horizon = periods * period;
+        let sched = p.schedule(seed, horizon);
+        prop_assert!(
+            sched.iter().all(|&t| t % period < on),
+            "arrival inside a silent OFF window"
+        );
+        let expected = lambda_on * (on * periods) as f64;
+        let n = sched.len() as f64;
+        prop_assert!(
+            (n - expected).abs() < 0.25 * expected,
+            "observed {} arrivals vs expected {}", n, expected
+        );
+        // The mean-rate accessor agrees with the duty cycle.
+        let duty = on as f64 / period as f64;
+        prop_assert!((p.mean_rate() - lambda_on * duty).abs() < 1e-9);
+    }
+
+    /// EDF ordering invariant: feed a random SLO mix through the
+    /// [`Batcher`], dispatch some, shed the rest at a random virtual
+    /// time. No dispatched request may carry a later deadline than a
+    /// shed request of the same priority class (sheds are exactly the
+    /// expired deadlines, and dispatch drains earliest-deadline-first).
+    #[test]
+    fn no_dispatched_request_outlives_a_shed_peer(
+        specs in proptest::collection::vec((0u8..3, 0u64..20), 1..24),
+        take in 1usize..16,
+        now in 5u64..15,
+    ) {
+        let mut b = Batcher::new(BatchPolicy::batched(64));
+        for (i, &(rank, deadline)) in specs.iter().enumerate() {
+            let priority = Priority::ALL[rank as usize];
+            // Distinct sessions: no holdback, pure lane ordering.
+            let req = Request::decode(i as u64, 1000 + i as u64, 0)
+                .with_slo(Slo { priority, deadline: Some(deadline) });
+            b.push(Pending { req, submitted: Instant::now() });
+        }
+        let shed = b.shed_expired(now);
+        let dispatched = b.take_up_to(Lane::Decode, take);
+        // Sheds are exactly the expired deadlines…
+        for p in &shed {
+            prop_assert!(p.req.slo.deadline.unwrap() < now);
+        }
+        for p in &dispatched {
+            prop_assert!(p.req.slo.deadline.unwrap() >= now);
+        }
+        // …and within each priority class, dispatch is EDF: nothing
+        // left queued has an earlier deadline than anything dispatched.
+        let remaining = b.take_up_to(Lane::Decode, usize::MAX);
+        for d in &dispatched {
+            for r in &remaining {
+                if d.req.slo.priority == r.req.slo.priority {
+                    prop_assert!(
+                        d.req.slo.deadline.unwrap() <= r.req.slo.deadline.unwrap(),
+                        "dispatched deadline {:?} after queued deadline {:?}",
+                        d.req.slo.deadline, r.req.slo.deadline
+                    );
+                }
+            }
+        }
+        // Priority dominates deadline across classes in dispatch order.
+        for w in dispatched.windows(2) {
+            let (a, b) = (&w[0].req.slo, &w[1].req.slo);
+            prop_assert!(
+                (a.priority.rank(), a.deadline) <= (b.priority.rank(), b.deadline),
+                "dispatch order violated: {:?} before {:?}", a, b
+            );
+        }
+    }
+}

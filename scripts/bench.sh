@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Runs the matmul benches, the serving load benchmark, and the f32-vs-
-# int8+APSQ precision benchmark, recording all three as machine-readable
-# JSON (BENCH_matmul.json / BENCH_serve.json / BENCH_quant.json at the
-# repo root) through the shared report emitter.
+# Runs the matmul benches, the serving load benchmark, the f32-vs-
+# int8+APSQ precision benchmark, and the open-loop overload sweep,
+# recording all four as machine-readable JSON (BENCH_matmul.json /
+# BENCH_serve.json / BENCH_quant.json / BENCH_overload.json at the repo
+# root) through the shared report emitter.
 #
 #   ./scripts/bench.sh            # full run: 1024^3 engine sweep + 16x48 serve load
 #   ./scripts/bench.sh --quick    # CI smoke: 256^3 + 8x8 serve load
@@ -35,4 +36,12 @@ if [[ "${1:-}" == "--quick" ]]; then
   cargo run -q --release -p apsq-bench --bin quant_bench -- --quick
 else
   cargo run -q --release -p apsq-bench --bin quant_bench
+fi
+
+echo
+echo "==> overload_bench ${1:-} (writes BENCH_overload.json)"
+if [[ "${1:-}" == "--quick" ]]; then
+  cargo run -q --release -p apsq-bench --bin overload_bench -- --quick
+else
+  cargo run -q --release -p apsq-bench --bin overload_bench
 fi

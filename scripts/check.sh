@@ -45,16 +45,22 @@ APSQ_KERNEL_BACKEND=scalar cargo test -q --release -p apsq-nn --lib int8
 echo "==> cargo test -q --release -p apsq-serve  (server + determinism suite at release opt)"
 cargo test -q --release -p apsq-serve
 
+echo "==> cargo test -q --release -p apsq-serve --test overload  (SLO sheds + degradation ladder)"
+cargo test -q --release -p apsq-serve --test overload
+
 echo "==> bench smoke: engine_speedup --quick (writes BENCH_matmul.json)"
 cargo run -q --release -p apsq-bench --bin engine_speedup -- --quick --out target/BENCH_matmul.smoke.json
 
 echo "==> bench smoke: serve_bench --quick (writes BENCH_serve.json)"
 cargo run -q --release -p apsq-bench --bin serve_bench -- --quick --out target/BENCH_serve.smoke.json
 
+echo "==> bench smoke: overload_bench --quick (open-loop SLO sweep + knee/accounting asserts)"
+cargo run -q --release -p apsq-bench --bin overload_bench -- --quick --out target/BENCH_overload.smoke.json
+
 echo "==> bench smoke: quant_bench --quick (writes BENCH_quant.json)"
 cargo run -q --release -p apsq-bench --bin quant_bench -- --quick --out target/BENCH_quant.smoke.json
 
-echo "==> serve example smoke"
-cargo run -q --release --example serve_traffic -- --quick
+echo "==> serve example smoke (with the overload burst demo)"
+cargo run -q --release --example serve_traffic -- --quick --overload
 
 echo "All checks passed."
