@@ -19,7 +19,7 @@
 
 use apsq_bench::report::JsonObject;
 use apsq_bench::serve_report::{
-    kv_blocks_table, latency_table, occupancy_table, report_json, summary_table,
+    contention_table, kv_blocks_table, latency_table, occupancy_table, report_json, summary_table,
 };
 use apsq_serve::{BatchPolicy, LoadGenerator, LoadReport, Precision, Scenario, ServeConfig};
 use std::time::Duration;
@@ -64,43 +64,99 @@ fn main() {
     assert_eq!(b1.errors + batched.errors, 0, "decode traffic errored");
     let speedup = batched.tokens_per_s / b1.tokens_per_s;
 
-    // Continuous vs barrier on the same traffic and one worker: the
-    // barrier policy's max_batch exceeds the client count, so every
-    // dispatch waits out the full coalescing window with the worker
-    // idle; continuous dispatches the moment the worker frees up and
-    // still coalesces whatever resubmitted meanwhile. Payloads must stay
-    // bit-identical either way.
+    // Continuous vs barrier on the same traffic, swept across worker
+    // counts: at every point the barrier policy's max_batch exceeds the
+    // client count, so every dispatch waits out the full coalescing
+    // window with workers idle; continuous dispatches the moment a
+    // worker frees up and still coalesces whatever resubmitted
+    // meanwhile. Since decode gathers and GEMMs run with no allocator
+    // lock held, adding workers lets continuous batches overlap —
+    // payloads must stay bit-identical at every point regardless.
     let wide = 2 * clients;
-    let mut barrier = decode.run(&base.clone().with_workers(1).with_batch(BatchPolicy {
-        max_batch: wide,
-        max_wait: Duration::from_millis(2),
-        continuous: false,
-    }));
-    barrier.scenario.push_str("_barrier");
-    let mut continuous = decode.run(
-        &base
-            .clone()
-            .with_workers(1)
-            .with_batch(BatchPolicy::continuous(wide)),
-    );
-    continuous.scenario.push_str("_continuous");
-    assert_eq!(
-        barrier.fingerprint, continuous.fingerprint,
-        "continuous batching changed response payloads"
-    );
-    assert_eq!(barrier.fingerprint, b1.fingerprint, "traffic diverged");
-    let continuous_speedup = continuous.tokens_per_s / barrier.tokens_per_s;
-    // Continuous does ~2× the dispatches of the wide barrier, so now that
-    // the SIMD kernels shrank per-step GEMM time the structural gap is
-    // narrower and single-CPU scheduling noise can briefly flip the two
-    // — hence the small noise floor. Recorded runs keep continuous ahead
-    // (the ratio lands in BENCH_serve.json).
-    assert!(
-        continuous.tokens_per_s >= 0.9 * barrier.tokens_per_s,
-        "continuous batching fell well behind the coalescing barrier: {:.1} < {:.1} tok/s",
-        continuous.tokens_per_s,
-        barrier.tokens_per_s
-    );
+    struct SweepPoint {
+        workers: usize,
+        barrier: LoadReport,
+        continuous: LoadReport,
+    }
+    let parallel_hw = std::thread::available_parallelism()
+        .map(|n| n.get() >= 2)
+        .unwrap_or(false);
+    let mut sweep: Vec<SweepPoint> = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let mut barrier = decode.run(&base.clone().with_workers(workers).with_batch(BatchPolicy {
+            max_batch: wide,
+            max_wait: Duration::from_millis(2),
+            continuous: false,
+        }));
+        barrier.scenario.push_str(&format!("_barrier_w{workers}"));
+        let mut continuous = decode.run(
+            &base
+                .clone()
+                .with_workers(workers)
+                .with_batch(BatchPolicy::continuous(wide)),
+        );
+        continuous
+            .scenario
+            .push_str(&format!("_continuous_w{workers}"));
+        assert_eq!(
+            barrier.fingerprint, continuous.fingerprint,
+            "continuous batching changed response payloads at {workers} workers"
+        );
+        assert_eq!(
+            barrier.fingerprint, b1.fingerprint,
+            "traffic diverged at {workers} workers"
+        );
+        // Continuous does ~2× the dispatches of the wide barrier, so now
+        // that the SIMD kernels shrank per-step GEMM time the structural
+        // gap is narrower and scheduling noise can briefly flip the two
+        // — hence the small noise floor. On a single hardware thread,
+        // multiple workers only add time-slicing overhead that falls
+        // disproportionately on continuous's extra dispatches, so the
+        // multi-worker floor loosens there. Recorded runs keep
+        // continuous ahead (the per-point ratio lands in
+        // BENCH_serve.json).
+        let floor = if workers == 1 || parallel_hw {
+            0.9
+        } else {
+            0.7
+        };
+        assert!(
+            continuous.tokens_per_s >= floor * barrier.tokens_per_s,
+            "continuous batching fell well behind the coalescing barrier at {workers} workers: \
+             {:.1} < {:.1} tok/s (floor {floor})",
+            continuous.tokens_per_s,
+            barrier.tokens_per_s
+        );
+        sweep.push(SweepPoint {
+            workers,
+            barrier,
+            continuous,
+        });
+    }
+    let continuous_1w = sweep[0].continuous.tokens_per_s;
+    let best_multi = sweep[1..]
+        .iter()
+        .map(|p| p.continuous.tokens_per_s)
+        .fold(f64::MIN, f64::max);
+    let multi_worker_scaling = best_multi / continuous_1w;
+    if parallel_hw {
+        // Lock-free gathers mean multi-worker continuous decode must
+        // actually scale once the hardware can run workers in parallel.
+        assert!(
+            multi_worker_scaling >= 1.3,
+            "multi-worker continuous decode scaled only {multi_worker_scaling:.2}x over 1 worker \
+             (floor 1.3x on parallel hardware)"
+        );
+    } else {
+        // A single hardware thread time-slices the workers, so extra
+        // workers cannot add throughput; require they don't collapse it.
+        assert!(
+            multi_worker_scaling >= 0.85,
+            "multi-worker continuous decode regressed to {multi_worker_scaling:.2}x of 1 worker \
+             on serial hardware (floor 0.85x)"
+        );
+    }
+    let continuous_speedup = sweep[0].continuous.tokens_per_s / sweep[0].barrier.tokens_per_s;
 
     let mixed = LoadGenerator::new(SEED, Scenario::mixed(SEED, clients, mixed_steps))
         .run(&base.clone().with_batch(BatchPolicy::batched(max_batch)));
@@ -130,10 +186,18 @@ fn main() {
         "shared-prefix residency {resident_ratio:.2}x below the 1.5x floor"
     );
 
-    let reports: Vec<&LoadReport> = vec![&b1, &batched, &barrier, &continuous, &mixed, &shared];
+    let mut reports: Vec<&LoadReport> = vec![&b1, &batched];
+    for p in &sweep {
+        reports.push(&p.barrier);
+        reports.push(&p.continuous);
+    }
+    reports.push(&mixed);
+    reports.push(&shared);
     println!("{}", summary_table(&reports).render());
     println!("KV block pool:");
     println!("{}", kv_blocks_table(&reports).render());
+    println!("block-pool lock contention:");
+    println!("{}", contention_table(&reports).render());
     println!("batched decode latency by lane:");
     println!("{}", latency_table(&batched).render());
     println!("batched decode batch occupancy:");
@@ -142,9 +206,23 @@ fn main() {
         "llama decode throughput: {:.1} tok/s (batch 1) -> {:.1} tok/s (batch {max_batch}) = {speedup:.2}x",
         b1.tokens_per_s, batched.tokens_per_s
     );
+    for p in &sweep {
+        println!(
+            "continuous vs barrier @ {} worker(s): {:.1} vs {:.1} tok/s = {:.2}x",
+            p.workers,
+            p.continuous.tokens_per_s,
+            p.barrier.tokens_per_s,
+            p.continuous.tokens_per_s / p.barrier.tokens_per_s
+        );
+    }
     println!(
-        "continuous vs barrier: {:.1} vs {:.1} tok/s = {continuous_speedup:.2}x",
-        continuous.tokens_per_s, barrier.tokens_per_s
+        "multi-worker continuous scaling: best {best_multi:.1} vs {continuous_1w:.1} tok/s at 1 \
+         worker = {multi_worker_scaling:.2}x ({})",
+        if parallel_hw {
+            "parallel hardware"
+        } else {
+            "serial hardware"
+        }
     );
     println!(
         "shared-prefix int8 residency: {} sessions in a {}-session budget = {resident_ratio:.2}x",
@@ -156,6 +234,33 @@ fn main() {
     );
 
     let scenarios = apsq_bench::report::json_array(reports.iter().map(|r| report_json(r)));
+    let worker_sweep = apsq_bench::report::json_array(sweep.iter().map(|p| {
+        JsonObject::new()
+            .int("workers", p.workers as i64)
+            .num("tokens_per_s_barrier", p.barrier.tokens_per_s)
+            .num("tokens_per_s_continuous", p.continuous.tokens_per_s)
+            .num(
+                "continuous_speedup",
+                p.continuous.tokens_per_s / p.barrier.tokens_per_s,
+            )
+            .int(
+                "alloc_lock_acquisitions",
+                p.continuous.snapshot.alloc_lock_acquisitions as i64,
+            )
+            .int(
+                "alloc_lock_wait_us",
+                p.continuous.snapshot.alloc_lock_wait_us as i64,
+            )
+            .int(
+                "alloc_lock_hold_max_us",
+                p.continuous.snapshot.alloc_lock_hold_max_us as i64,
+            )
+            .int(
+                "gathered_bytes",
+                p.continuous.snapshot.gathered_bytes as i64,
+            )
+            .render()
+    }));
     let json = JsonObject::new()
         .str("bench", "apsq_serve_loadgen")
         .str(
@@ -170,9 +275,12 @@ fn main() {
         .num("tokens_per_s_batch1", b1.tokens_per_s)
         .num("tokens_per_s_batched", batched.tokens_per_s)
         .num("batched_speedup", speedup)
-        .num("tokens_per_s_barrier", barrier.tokens_per_s)
-        .num("tokens_per_s_continuous", continuous.tokens_per_s)
+        .num("tokens_per_s_barrier", sweep[0].barrier.tokens_per_s)
+        .num("tokens_per_s_continuous", sweep[0].continuous.tokens_per_s)
         .num("continuous_speedup", continuous_speedup)
+        .num("multi_worker_scaling", multi_worker_scaling)
+        .bool("parallel_hardware", parallel_hw)
+        .raw("worker_sweep", worker_sweep)
         .num("shared_prefix_resident_ratio", resident_ratio)
         .int(
             "shared_prefix_hits",

@@ -60,6 +60,33 @@ pub fn kv_blocks_table(reports: &[&LoadReport]) -> Table {
     t
 }
 
+/// One row per scenario: block-pool lock contention and gather volume —
+/// how often the allocator's mutation lock was taken, how long callers
+/// waited on it, the longest hold, and how many bytes the lock-free
+/// gathers moved into decode GEMMs.
+pub fn contention_table(reports: &[&LoadReport]) -> Table {
+    let mut t = Table::new(&[
+        "scenario",
+        "lock acq",
+        "wait ms",
+        "hold max us",
+        "gathered MB",
+        "gather/batch KB",
+    ]);
+    for r in reports {
+        let s = &r.snapshot;
+        t.row(vec![
+            r.scenario.clone(),
+            s.alloc_lock_acquisitions.to_string(),
+            f(s.alloc_lock_wait_us as f64 / 1e3, 3),
+            s.alloc_lock_hold_max_us.to_string(),
+            f(s.gathered_bytes as f64 / 1e6, 3),
+            f(s.gathered_bytes_per_batch_mean / 1e3, 2),
+        ]);
+    }
+    t
+}
+
 /// Per-lane latency breakdown for one run.
 pub fn latency_table(report: &LoadReport) -> Table {
     let mut t = Table::new(&[
@@ -119,6 +146,18 @@ pub fn report_json(report: &LoadReport) -> String {
         .int("blocks_shared_peak", s.blocks_shared_peak as i64)
         .num("block_utilization_mean", s.block_utilization_mean)
         .int("shared_prefix_hits", s.shared_prefix_hits as i64)
+        .int("alloc_lock_acquisitions", s.alloc_lock_acquisitions as i64)
+        .int("alloc_lock_wait_us", s.alloc_lock_wait_us as i64)
+        .int("alloc_lock_hold_max_us", s.alloc_lock_hold_max_us as i64)
+        .int("gathered_bytes", s.gathered_bytes as i64)
+        .num(
+            "gathered_bytes_per_batch_mean",
+            s.gathered_bytes_per_batch_mean,
+        )
+        .int(
+            "gathered_bytes_per_batch_max",
+            s.gathered_bytes_per_batch_max as i64,
+        )
         .int("decode_tokens", s.decode_tokens as i64)
         .num("elapsed_s", report.elapsed_s)
         .num("tokens_per_s", report.tokens_per_s)
@@ -293,12 +332,16 @@ mod tests {
         assert_eq!(latency_table(&r).len(), 3);
         assert!(!occupancy_table(&r).is_empty());
         assert_eq!(kv_blocks_table(&[&r]).len(), 1);
+        assert_eq!(contention_table(&[&r]).len(), 1);
+        assert!(contention_table(&[&r]).render().contains("lock acq"));
         let json = report_json(&r);
         assert!(json.contains("\"scenario\""));
         assert!(json.contains("\"kernel_backend\""));
         assert!(json.contains("\"tokens_per_s\""));
         assert!(json.contains("\"blocks_capacity\""));
         assert!(json.contains("\"shared_prefix_hits\""));
+        assert!(json.contains("\"alloc_lock_acquisitions\""));
+        assert!(json.contains("\"gathered_bytes_per_batch_mean\""));
         assert!(json.contains("\"occupancy_table\""));
     }
 

@@ -292,11 +292,15 @@ impl MultiHeadAttention {
     /// Paged twin of [`Self::forward_decode_batch_with`]: each sequence's
     /// K/V live in `layer`'s block table of its [`crate::PagedKvState`] instead
     /// of one contiguous cache. This step's K/V rows are appended first
-    /// (allocating or copy-on-writing blocks as needed), then each
-    /// sequence's blocks are **gathered in token order** into the same
-    /// flat `[t·d]` layout the contiguous cache exposes — the GEMM
-    /// operands are byte-identical, so the result is bit-identical to the
-    /// contiguous path for every block size and thread count.
+    /// (allocating or copy-on-writing blocks as needed) under **one short
+    /// lock** on the shared [`crate::BlockPool`], then each sequence's
+    /// blocks are **gathered in token order** into the same flat `[t·d]`
+    /// layout the contiguous cache exposes — via the pool's lock-free
+    /// gather, so no allocator lock is held during the attention GEMMs
+    /// and decode batches on other workers proceed concurrently. The GEMM
+    /// operands are byte-identical to the contiguous cache's, so the
+    /// result is bit-identical to the contiguous path for every block
+    /// size, thread count, and worker count.
     ///
     /// Positions are read from the states but **not** advanced — the
     /// caller advances once after all layers of the step (see
@@ -310,7 +314,7 @@ impl MultiHeadAttention {
         &self,
         x: &Tensor,
         layer: usize,
-        alloc: &mut crate::paged::BlockAllocator,
+        pool: &crate::paged::BlockPool,
         states: &mut [&mut crate::paged::PagedKvState],
         eng: &ExecEngine,
     ) -> Tensor {
@@ -321,20 +325,23 @@ impl MultiHeadAttention {
         let q = self.wq.forward_inference_with(x, eng);
         let k = self.wk.forward_inference_with(x, eng);
         let v = self.wv.forward_inference_with(x, eng);
-        for (i, state) in states.iter_mut().enumerate() {
-            state.append_row(
-                layer,
-                alloc,
-                &k.data()[i * d..(i + 1) * d],
-                &v.data()[i * d..(i + 1) * d],
-            );
+        {
+            let mut alloc = pool.lock();
+            for (i, state) in states.iter_mut().enumerate() {
+                state.append_row(
+                    layer,
+                    &mut alloc,
+                    &k.data()[i * d..(i + 1) * d],
+                    &v.data()[i * d..(i + 1) * d],
+                );
+            }
         }
 
         let mut ctx = Tensor::zeros([b, d]);
         let (mut k_flat, mut v_flat) = (Vec::new(), Vec::new());
         for (i, state) in states.iter().enumerate() {
             let t = state.position() + 1; // this step's row is appended
-            alloc.gather_f32(state.layer_blocks(layer), t, &mut k_flat, &mut v_flat);
+            pool.gather_f32(state.layer_blocks(layer), t, &mut k_flat, &mut v_flat);
             let qi = Tensor::from_vec(q.data()[i * d..(i + 1) * d].to_vec(), [1, d]);
             let mut ctx_i = Tensor::zeros([1, d]);
             for h in 0..self.heads {

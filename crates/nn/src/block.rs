@@ -171,14 +171,14 @@ impl TransformerBlock {
         &self,
         x: &Tensor,
         layer: usize,
-        alloc: &mut crate::paged::BlockAllocator,
+        pool: &crate::paged::BlockPool,
         states: &mut [&mut crate::paged::PagedKvState],
         eng: &ExecEngine,
     ) -> Tensor {
         let a = self.ln1.forward_inference(x);
         let a = self
             .attn
-            .forward_decode_batch_paged_with(&a, layer, alloc, states, eng);
+            .forward_decode_batch_paged_with(&a, layer, pool, states, eng);
         let x1 = x + &a;
         self.ffn_inference(&x1, eng)
     }

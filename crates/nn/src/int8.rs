@@ -628,14 +628,16 @@ impl Int8MultiHeadAttention {
     }
 
     /// Paged twin of [`Self::forward_decode_batch_with`]: each sequence's
-    /// K/V rows for this layer live in fixed-size blocks owned by `alloc`
-    /// (an **int8** [`crate::BlockAllocator`]) and addressed through the
+    /// K/V rows for this layer live in fixed-size blocks owned by the
+    /// shared **int8** [`crate::BlockPool`] and addressed through the
     /// sequence's [`crate::PagedKvState`] block table. Appends quantize
     /// through the same per-(token, head) covering-scale recipe as
-    /// [`Int8AttentionKvCache`], and attention gathers the table back into
-    /// the same flat view the contiguous path reads — so the result is
-    /// **bit-identical** to the contiguous path for every block size and
-    /// engine thread count.
+    /// [`Int8AttentionKvCache`] under one short pool lock; attention
+    /// gathers the table back into the same flat view the contiguous path
+    /// reads via the pool's lock-free gather, so no allocator lock is
+    /// held during the integer GEMMs — and the result is **bit-identical**
+    /// to the contiguous path for every block size, engine thread count,
+    /// and worker count.
     ///
     /// Positions are read but **not** advanced; the model driver calls
     /// [`crate::PagedKvState::advance`] once per step after all layers.
@@ -648,11 +650,11 @@ impl Int8MultiHeadAttention {
         &self,
         x: &Tensor,
         layer: usize,
-        alloc: &mut crate::BlockAllocator,
+        pool: &crate::BlockPool,
         states: &mut [&mut crate::PagedKvState],
         eng: &ExecEngine,
     ) -> Tensor {
-        self.forward_decode_batch_paged_traced(x, layer, alloc, states, eng)
+        self.forward_decode_batch_paged_traced(x, layer, pool, states, eng)
             .0
     }
 
@@ -662,7 +664,7 @@ impl Int8MultiHeadAttention {
         &self,
         x: &Tensor,
         layer: usize,
-        alloc: &mut crate::BlockAllocator,
+        pool: &crate::BlockPool,
         states: &mut [&mut crate::PagedKvState],
         eng: &ExecEngine,
     ) -> (Tensor, BufferTraffic) {
@@ -672,13 +674,16 @@ impl Int8MultiHeadAttention {
         let q = self.wq.forward_inference_with(x, eng);
         let k = self.wk.forward_inference_with(x, eng);
         let v = self.wv.forward_inference_with(x, eng);
-        for (i, state) in states.iter_mut().enumerate() {
-            state.append_row(
-                layer,
-                alloc,
-                &k.data()[i * d..(i + 1) * d],
-                &v.data()[i * d..(i + 1) * d],
-            );
+        {
+            let mut alloc = pool.lock();
+            for (i, state) in states.iter_mut().enumerate() {
+                state.append_row(
+                    layer,
+                    &mut alloc,
+                    &k.data()[i * d..(i + 1) * d],
+                    &v.data()[i * d..(i + 1) * d],
+                );
+            }
         }
         let mut traffic = BufferTraffic::new();
         let mut ctx = Tensor::zeros([b, d]);
@@ -687,7 +692,7 @@ impl Int8MultiHeadAttention {
         for (i, state) in states.iter().enumerate() {
             // This step's row was just appended but `advance` has not run.
             let t = state.position() + 1;
-            alloc.gather_int8(
+            pool.gather_int8(
                 state.layer_blocks(layer),
                 t,
                 &mut kc,
@@ -809,14 +814,14 @@ impl Int8TransformerBlock {
         &self,
         x: &Tensor,
         layer: usize,
-        alloc: &mut crate::BlockAllocator,
+        pool: &crate::BlockPool,
         states: &mut [&mut crate::PagedKvState],
         eng: &ExecEngine,
     ) -> Tensor {
         let a = self.ln1.forward_inference(x);
         let a = self
             .attn
-            .forward_decode_batch_paged_with(&a, layer, alloc, states, eng);
+            .forward_decode_batch_paged_with(&a, layer, pool, states, eng);
         let x1 = x + &a;
         self.ffn_inference(&x1, eng)
     }
@@ -996,18 +1001,20 @@ impl Int8DecoderLm {
     }
 
     /// An empty paged KV state with one block table per decoder layer.
-    /// Pair with an **int8** [`crate::BlockAllocator`] sized by
-    /// [`crate::BlockAllocator::int8`] from the model's `width()` and
+    /// Pair with an **int8** [`crate::BlockPool`] over an allocator sized
+    /// by [`crate::BlockAllocator::int8`] from the model's `width()` and
     /// `heads()`.
     pub fn new_paged_state(&self) -> crate::PagedKvState {
         crate::PagedKvState::for_layers(self.blocks.len())
     }
 
     /// Paged twin of [`Int8DecoderLm::decode_batch_with`]: every
-    /// sequence's KV lives in fixed-size blocks carved from `alloc`'s
-    /// byte budget instead of per-session contiguous buffers.
-    /// Bit-identical to the contiguous path for every block size and
-    /// engine thread count (see
+    /// sequence's KV lives in fixed-size blocks carved from the shared
+    /// pool's byte budget instead of per-session contiguous buffers. The
+    /// pool lock covers only appends; gathers are lock-free, so batches
+    /// on other workers decode concurrently. Bit-identical to the
+    /// contiguous path for every block size, engine thread count, and
+    /// worker count (see
     /// [`Int8MultiHeadAttention::forward_decode_batch_paged_with`]).
     ///
     /// # Panics
@@ -1019,7 +1026,7 @@ impl Int8DecoderLm {
         &self,
         tokens: &[usize],
         states: &mut [&mut crate::PagedKvState],
-        alloc: &mut crate::BlockAllocator,
+        pool: &crate::BlockPool,
         eng: &ExecEngine,
     ) -> Tensor {
         assert_eq!(tokens.len(), states.len(), "one KV state per token");
@@ -1033,7 +1040,7 @@ impl Int8DecoderLm {
         }
         let mut h = x;
         for (l, b) in self.blocks.iter().enumerate() {
-            h = b.forward_decode_batch_paged_with(&h, l, alloc, states, eng);
+            h = b.forward_decode_batch_paged_with(&h, l, pool, states, eng);
         }
         let h = self.ln.forward_inference(&h);
         for s in states.iter_mut() {
@@ -1386,17 +1393,22 @@ mod tests {
                         im.width(),
                         im.heads(),
                     );
-                let mut alloc =
-                    crate::BlockAllocator::int8(budget, block_tokens, im.width(), im.heads());
+                let pool = crate::BlockPool::new(crate::BlockAllocator::int8(
+                    budget,
+                    block_tokens,
+                    im.width(),
+                    im.heads(),
+                ));
                 let mut state = im.new_paged_state();
                 let mut paged = Tensor::zeros([1, 1]);
                 for &t in &ids {
-                    paged = im.decode_batch_paged_with(&[t], &mut [&mut state], &mut alloc, &eng);
+                    paged = im.decode_batch_paged_with(&[t], &mut [&mut state], &pool, &eng);
                 }
                 assert_eq!(
                     paged, reference,
                     "block_tokens={block_tokens} threads={threads}"
                 );
+                let mut alloc = pool.lock();
                 state.release(&mut alloc);
                 assert_eq!(alloc.blocks_in_use(), 0);
             }

@@ -506,13 +506,15 @@ impl DecoderLm {
 
     /// Paged twin of [`Self::decode_batch_with`]: each sequence's KV rows
     /// live in fixed-size blocks referenced by its state's per-layer
-    /// block tables, carved from `alloc`. Appends allocate a block per
-    /// layer at each `block_tokens` boundary and copy-on-write shared
-    /// tail blocks; reads gather blocks in token order into the flat
-    /// layout of the contiguous cache, so row `b` is **bit-identical** to
-    /// [`Self::decode_batch_with`] on a contiguous state — for every
-    /// block size, batch composition, and engine thread count (pinned by
-    /// `tests/proptest_paged.rs`).
+    /// block tables, carved from the shared [`crate::BlockPool`]. Appends
+    /// take one short pool lock per layer, allocate a block per layer at
+    /// each `block_tokens` boundary, and copy-on-write shared tail
+    /// blocks; reads gather blocks in token order into the flat layout of
+    /// the contiguous cache **without holding the pool lock**, so decode
+    /// batches on other workers run concurrently and row `b` is
+    /// **bit-identical** to [`Self::decode_batch_with`] on a contiguous
+    /// state — for every block size, batch composition, engine thread
+    /// count, and worker count (pinned by `tests/proptest_paged.rs`).
     ///
     /// # Panics
     ///
@@ -524,7 +526,7 @@ impl DecoderLm {
         &self,
         tokens: &[usize],
         states: &mut [&mut crate::paged::PagedKvState],
-        alloc: &mut crate::paged::BlockAllocator,
+        pool: &crate::paged::BlockPool,
         eng: &ExecEngine,
     ) -> Tensor {
         assert_eq!(tokens.len(), states.len(), "one KV state per token");
@@ -538,7 +540,7 @@ impl DecoderLm {
         }
         let mut h = x;
         for (l, b) in self.blocks.iter().enumerate() {
-            h = b.forward_decode_batch_paged_with(&h, l, alloc, states, eng);
+            h = b.forward_decode_batch_paged_with(&h, l, pool, states, eng);
         }
         let h = self.ln.forward_inference(&h);
         for s in states.iter_mut() {

@@ -28,6 +28,34 @@
 //! operands to the same engine kernels — results are bit-identical across
 //! block sizes, thread counts, and vs. the contiguous path.
 //!
+//! # Concurrency: the block pool
+//!
+//! Each block's payload lives in its own [`Arc`], so a reader can pin a
+//! block's bytes without holding any lock. [`BlockPool`] wraps the
+//! allocator in a mutex whose critical sections are **short**: appends,
+//! allocation, release, and hash-cons bookkeeping. Its gather entry
+//! points ([`BlockPool::gather_f32`] / [`BlockPool::gather_int8`]) clone
+//! the table's payload `Arc`s under the lock, then copy the rows into the
+//! caller's flat buffers **after unlocking** — so the attention GEMMs
+//! that follow never run under the allocator lock, and decode batches on
+//! different workers proceed concurrently. Why this is safe:
+//!
+//! - a block with refcount > 1 is **immutable** ([`BlockAllocator::write_row`]
+//!   rejects shared blocks; appends copy-on-write first), so concurrent
+//!   readers of shared prefix blocks can never observe a write;
+//! - a block with refcount 1 belongs to exactly one session's table, and
+//!   the serve layer checks out a session to at most one in-flight batch,
+//!   so its appends and gathers are sequenced on one worker thread;
+//! - a freed-and-reused block cannot race a stale reader: the reader's
+//!   `Arc` clone keeps the *old* payload alive only for the duration of
+//!   the copy, and writes to the reused block go through
+//!   [`Arc::get_mut`], which panics — loudly, never silently corrupting —
+//!   if a reader still held the payload.
+//!
+//! The pool also counts lock acquisitions, total wait, maximum hold time,
+//! and gathered bytes ([`BlockPool::contention`]) so serving metrics can
+//! report allocator contention.
+//!
 //! # Example
 //!
 //! ```
@@ -69,17 +97,30 @@
 //! ```
 
 use crate::kv_cache::quantize_int8_kv_row;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
 
 /// Index of one fixed-size KV block inside a [`BlockAllocator`].
 pub type BlockId = u32;
 
-/// Backing storage for every block, one arena per K/V component.
-#[derive(Clone, Debug)]
-enum BlockStore {
-    /// f32 rows: per block `block_tokens · width` floats for K and for V.
+/// Storage precision of a pool, fixed at construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BlockKind {
+    F32,
+    Int8,
+}
+
+/// Payload of one block. Each block owns its own vectors behind an
+/// [`Arc`], so readers can pin a block's bytes without the allocator
+/// lock; filled blocks shared across sessions are immutable (writes
+/// require refcount 1 and go through [`Arc::get_mut`]).
+#[derive(Debug)]
+enum BlockData {
+    /// f32 rows: `block_tokens · width` floats for K and for V.
     F32 { k: Vec<f32>, v: Vec<f32> },
-    /// i8 codes (`block_tokens · width` per block) plus per-(token, head)
-    /// power-of-two exponents (`block_tokens · heads` per block).
+    /// i8 codes (`block_tokens · width`) plus per-(token, head)
+    /// power-of-two exponents (`block_tokens · heads`).
     Int8 {
         k_codes: Vec<i8>,
         v_codes: Vec<i8>,
@@ -98,9 +139,16 @@ enum BlockStore {
 /// layout). `alloc` pops the free list at refcount 1; `retain`/`release`
 /// adjust sharing; a block returns to the free list when its refcount
 /// reaches zero. See the module docs above for the whole lifecycle.
-#[derive(Clone, Debug)]
+///
+/// Gauge counters (`blocks_shared`, `tokens_stored`, and the `*_peak`
+/// accessors) are maintained **incrementally** on every mutation, so a
+/// sample is O(1), exact at any instant, and peaks can never be missed
+/// between samples — which is what makes them race-safe to read while
+/// concurrent decode batches mutate the pool under [`BlockPool`]'s lock.
+#[derive(Debug)]
 pub struct BlockAllocator {
-    store: BlockStore,
+    payloads: Vec<Arc<BlockData>>,
+    kind: BlockKind,
     block_tokens: usize,
     width: usize,
     heads: usize,
@@ -110,6 +158,13 @@ pub struct BlockAllocator {
     filled: Vec<u32>,
     free: Vec<BlockId>,
     in_use: usize,
+    /// Blocks with refcount > 1, maintained on retain/release.
+    shared: usize,
+    /// Token slots written across allocated blocks, maintained on
+    /// write/copy/free.
+    tokens: usize,
+    peak_in_use: usize,
+    peak_shared: usize,
 }
 
 impl BlockAllocator {
@@ -135,11 +190,17 @@ impl BlockAllocator {
         let bpb = Self::f32_bytes_per_block(block_tokens, width);
         let capacity = budget_bytes / bpb;
         assert!(capacity > 0, "budget {budget_bytes} below one block {bpb}");
+        let rows = block_tokens * width;
         BlockAllocator {
-            store: BlockStore::F32 {
-                k: vec![0.0; capacity * block_tokens * width],
-                v: vec![0.0; capacity * block_tokens * width],
-            },
+            payloads: (0..capacity)
+                .map(|_| {
+                    Arc::new(BlockData::F32 {
+                        k: vec![0.0; rows],
+                        v: vec![0.0; rows],
+                    })
+                })
+                .collect(),
+            kind: BlockKind::F32,
             block_tokens,
             width,
             heads: 0,
@@ -147,6 +208,10 @@ impl BlockAllocator {
             filled: vec![0; capacity],
             free: (0..capacity as BlockId).rev().collect(),
             in_use: 0,
+            shared: 0,
+            tokens: 0,
+            peak_in_use: 0,
+            peak_shared: 0,
         }
     }
 
@@ -169,13 +234,20 @@ impl BlockAllocator {
         let bpb = Self::int8_bytes_per_block(block_tokens, width, heads);
         let capacity = budget_bytes / bpb;
         assert!(capacity > 0, "budget {budget_bytes} below one block {bpb}");
+        let codes = block_tokens * width;
+        let exps = block_tokens * heads;
         BlockAllocator {
-            store: BlockStore::Int8 {
-                k_codes: vec![0; capacity * block_tokens * width],
-                v_codes: vec![0; capacity * block_tokens * width],
-                k_exps: vec![0; capacity * block_tokens * heads],
-                v_exps: vec![0; capacity * block_tokens * heads],
-            },
+            payloads: (0..capacity)
+                .map(|_| {
+                    Arc::new(BlockData::Int8 {
+                        k_codes: vec![0; codes],
+                        v_codes: vec![0; codes],
+                        k_exps: vec![0; exps],
+                        v_exps: vec![0; exps],
+                    })
+                })
+                .collect(),
+            kind: BlockKind::Int8,
             block_tokens,
             width,
             heads,
@@ -183,6 +255,10 @@ impl BlockAllocator {
             filled: vec![0; capacity],
             free: (0..capacity as BlockId).rev().collect(),
             in_use: 0,
+            shared: 0,
+            tokens: 0,
+            peak_in_use: 0,
+            peak_shared: 0,
         }
     }
 
@@ -198,9 +274,9 @@ impl BlockAllocator {
 
     /// Bytes one block occupies in this allocator's precision.
     pub fn bytes_per_block(&self) -> usize {
-        match self.store {
-            BlockStore::F32 { .. } => Self::f32_bytes_per_block(self.block_tokens, self.width),
-            BlockStore::Int8 { .. } => {
+        match self.kind {
+            BlockKind::F32 => Self::f32_bytes_per_block(self.block_tokens, self.width),
+            BlockKind::Int8 => {
                 Self::int8_bytes_per_block(self.block_tokens, self.width, self.heads)
             }
         }
@@ -222,19 +298,28 @@ impl BlockAllocator {
     }
 
     /// Allocated blocks referenced by more than one holder — the sharing
-    /// the serve layer's prefix hash-consing creates.
+    /// the serve layer's prefix hash-consing creates. O(1): maintained on
+    /// every retain/release.
     pub fn blocks_shared(&self) -> usize {
-        self.refcounts.iter().filter(|&&r| r > 1).count()
+        self.shared
     }
 
-    /// Token slots actually written across all allocated blocks.
+    /// Most blocks ever allocated at once. Updated inside [`Self::alloc`]
+    /// itself, so the peak is exact no matter when a sampler looks.
+    pub fn blocks_peak(&self) -> usize {
+        self.peak_in_use
+    }
+
+    /// Most blocks ever shared (refcount > 1) at once — exact, updated at
+    /// each retain.
+    pub fn blocks_shared_peak(&self) -> usize {
+        self.peak_shared
+    }
+
+    /// Token slots actually written across all allocated blocks. O(1):
+    /// maintained on every write, copy, and free.
     pub fn tokens_stored(&self) -> usize {
-        self.refcounts
-            .iter()
-            .zip(&self.filled)
-            .filter(|(&r, _)| r > 0)
-            .map(|(_, &f)| f as usize)
-            .sum()
+        self.tokens
     }
 
     /// Written slots over allocated slots, in `[0, 1]` (1.0 when nothing
@@ -244,7 +329,7 @@ impl BlockAllocator {
         if self.in_use == 0 {
             return 1.0;
         }
-        self.tokens_stored() as f64 / (self.in_use * self.block_tokens) as f64
+        self.tokens as f64 / (self.in_use * self.block_tokens) as f64
     }
 
     /// Pops a free block at refcount 1, or `None` when the budget is
@@ -254,6 +339,7 @@ impl BlockAllocator {
         self.refcounts[id as usize] = 1;
         self.filled[id as usize] = 0;
         self.in_use += 1;
+        self.peak_in_use = self.peak_in_use.max(self.in_use);
         Some(id)
     }
 
@@ -263,8 +349,13 @@ impl BlockAllocator {
     ///
     /// Panics if the block is not allocated.
     pub fn retain(&mut self, id: BlockId) {
-        assert!(self.refcounts[id as usize] > 0, "retain of free block {id}");
-        self.refcounts[id as usize] += 1;
+        let rc = &mut self.refcounts[id as usize];
+        assert!(*rc > 0, "retain of free block {id}");
+        if *rc == 1 {
+            self.shared += 1;
+            self.peak_shared = self.peak_shared.max(self.shared);
+        }
+        *rc += 1;
     }
 
     /// Drops one reference; returns the block to the free list (and
@@ -276,10 +367,14 @@ impl BlockAllocator {
     pub fn release(&mut self, id: BlockId) -> bool {
         let rc = &mut self.refcounts[id as usize];
         assert!(*rc > 0, "release of free block {id}");
+        if *rc == 2 {
+            self.shared -= 1;
+        }
         *rc -= 1;
         if *rc == 0 {
             self.free.push(id);
             self.in_use -= 1;
+            self.tokens -= self.filled[id as usize] as usize;
             true
         } else {
             false
@@ -289,6 +384,14 @@ impl BlockAllocator {
     /// Current reference count of a block (0 = free).
     pub fn refcount(&self, id: BlockId) -> u32 {
         self.refcounts[id as usize]
+    }
+
+    /// Exclusive access to a block's payload for writing. Shared (or
+    /// concurrently read) payloads trip the `Arc::get_mut` panic rather
+    /// than silently racing.
+    fn payload_mut(&mut self, id: BlockId) -> &mut BlockData {
+        Arc::get_mut(&mut self.payloads[id as usize])
+            .expect("KV block written while a reader still pins its payload")
     }
 
     /// Writes one K row and V row into `slot` of block `id`, quantizing
@@ -312,36 +415,35 @@ impl BlockAllocator {
         );
         assert_eq!(k.len(), self.width, "K row width mismatch");
         assert_eq!(v.len(), self.width, "V row width mismatch");
-        let b = id as usize;
         let d = self.width;
-        let row = b * self.block_tokens + slot;
-        match &mut self.store {
-            BlockStore::F32 { k: ks, v: vs } => {
-                ks[row * d..(row + 1) * d].copy_from_slice(k);
-                vs[row * d..(row + 1) * d].copy_from_slice(v);
+        let h = self.heads;
+        match self.payload_mut(id) {
+            BlockData::F32 { k: ks, v: vs } => {
+                ks[slot * d..(slot + 1) * d].copy_from_slice(k);
+                vs[slot * d..(slot + 1) * d].copy_from_slice(v);
             }
-            BlockStore::Int8 {
+            BlockData::Int8 {
                 k_codes,
                 v_codes,
                 k_exps,
                 v_exps,
             } => {
-                let h = self.heads;
                 quantize_int8_kv_row(
                     k,
                     h,
-                    &mut k_codes[row * d..(row + 1) * d],
-                    &mut k_exps[row * h..(row + 1) * h],
+                    &mut k_codes[slot * d..(slot + 1) * d],
+                    &mut k_exps[slot * h..(slot + 1) * h],
                 );
                 quantize_int8_kv_row(
                     v,
                     h,
-                    &mut v_codes[row * d..(row + 1) * d],
-                    &mut v_exps[row * h..(row + 1) * h],
+                    &mut v_codes[slot * d..(slot + 1) * d],
+                    &mut v_exps[slot * h..(slot + 1) * h],
                 );
             }
         }
-        self.filled[b] = (slot + 1) as u32;
+        self.filled[id as usize] = (slot + 1) as u32;
+        self.tokens += 1;
     }
 
     /// Copies the first `slots` token slots of `src` into `dst` — the
@@ -358,29 +460,40 @@ impl BlockAllocator {
             "copy past fill"
         );
         let d = self.width;
-        let (s0, d0) = (
-            src as usize * self.block_tokens,
-            dst as usize * self.block_tokens,
-        );
-        match &mut self.store {
-            BlockStore::F32 { k, v } => {
-                k.copy_within(s0 * d..(s0 + slots) * d, d0 * d);
-                v.copy_within(s0 * d..(s0 + slots) * d, d0 * d);
+        let h = self.heads;
+        // Pin the (possibly shared, immutable) source payload so the
+        // destination can be borrowed mutably from the same vector.
+        let src_data = Arc::clone(&self.payloads[src as usize]);
+        match (&*src_data, self.payload_mut(dst)) {
+            (BlockData::F32 { k: sk, v: sv }, BlockData::F32 { k: dk, v: dv }) => {
+                dk[..slots * d].copy_from_slice(&sk[..slots * d]);
+                dv[..slots * d].copy_from_slice(&sv[..slots * d]);
             }
-            BlockStore::Int8 {
-                k_codes,
-                v_codes,
-                k_exps,
-                v_exps,
-            } => {
-                let h = self.heads;
-                k_codes.copy_within(s0 * d..(s0 + slots) * d, d0 * d);
-                v_codes.copy_within(s0 * d..(s0 + slots) * d, d0 * d);
-                k_exps.copy_within(s0 * h..(s0 + slots) * h, d0 * h);
-                v_exps.copy_within(s0 * h..(s0 + slots) * h, d0 * h);
+            (
+                BlockData::Int8 {
+                    k_codes: skc,
+                    v_codes: svc,
+                    k_exps: ske,
+                    v_exps: sve,
+                },
+                BlockData::Int8 {
+                    k_codes: dkc,
+                    v_codes: dvc,
+                    k_exps: dke,
+                    v_exps: dve,
+                },
+            ) => {
+                dkc[..slots * d].copy_from_slice(&skc[..slots * d]);
+                dvc[..slots * d].copy_from_slice(&svc[..slots * d]);
+                dke[..slots * h].copy_from_slice(&ske[..slots * h]);
+                dve[..slots * h].copy_from_slice(&sve[..slots * h]);
             }
+            _ => unreachable!("mixed-precision payloads in one pool"),
         }
+        let old = self.filled[dst as usize] as usize;
         self.filled[dst as usize] = slots as u32;
+        self.tokens -= old;
+        self.tokens += slots;
     }
 
     /// Whether two allocated blocks hold identical bytes over their first
@@ -388,27 +501,31 @@ impl BlockAllocator {
     /// deduplication.
     pub fn blocks_equal(&self, a: BlockId, b: BlockId, slots: usize) -> bool {
         let d = self.width;
-        let (a0, b0) = (
-            a as usize * self.block_tokens,
-            b as usize * self.block_tokens,
-        );
-        match &self.store {
-            BlockStore::F32 { k, v } => {
-                k[a0 * d..(a0 + slots) * d] == k[b0 * d..(b0 + slots) * d]
-                    && v[a0 * d..(a0 + slots) * d] == v[b0 * d..(b0 + slots) * d]
+        let h = self.heads;
+        match (&*self.payloads[a as usize], &*self.payloads[b as usize]) {
+            (BlockData::F32 { k: ak, v: av }, BlockData::F32 { k: bk, v: bv }) => {
+                ak[..slots * d] == bk[..slots * d] && av[..slots * d] == bv[..slots * d]
             }
-            BlockStore::Int8 {
-                k_codes,
-                v_codes,
-                k_exps,
-                v_exps,
-            } => {
-                let h = self.heads;
-                k_codes[a0 * d..(a0 + slots) * d] == k_codes[b0 * d..(b0 + slots) * d]
-                    && v_codes[a0 * d..(a0 + slots) * d] == v_codes[b0 * d..(b0 + slots) * d]
-                    && k_exps[a0 * h..(a0 + slots) * h] == k_exps[b0 * h..(b0 + slots) * h]
-                    && v_exps[a0 * h..(a0 + slots) * h] == v_exps[b0 * h..(b0 + slots) * h]
+            (
+                BlockData::Int8 {
+                    k_codes: akc,
+                    v_codes: avc,
+                    k_exps: ake,
+                    v_exps: ave,
+                },
+                BlockData::Int8 {
+                    k_codes: bkc,
+                    v_codes: bvc,
+                    k_exps: bke,
+                    v_exps: bve,
+                },
+            ) => {
+                akc[..slots * d] == bkc[..slots * d]
+                    && avc[..slots * d] == bvc[..slots * d]
+                    && ake[..slots * h] == bke[..slots * h]
+                    && ave[..slots * h] == bve[..slots * h]
             }
+            _ => unreachable!("mixed-precision payloads in one pool"),
         }
     }
 
@@ -430,9 +547,11 @@ impl BlockAllocator {
         k_out: &mut Vec<f32>,
         v_out: &mut Vec<f32>,
     ) {
-        let BlockStore::F32 { k, v } = &self.store else {
-            panic!("f32 gather from an int8 allocator");
-        };
+        assert_eq!(
+            self.kind,
+            BlockKind::F32,
+            "f32 gather from an int8 allocator"
+        );
         let d = self.width;
         k_out.clear();
         v_out.clear();
@@ -444,9 +563,11 @@ impl BlockAllocator {
                 break;
             }
             let take = remaining.min(self.block_tokens);
-            let r0 = b as usize * self.block_tokens;
-            k_out.extend_from_slice(&k[r0 * d..(r0 + take) * d]);
-            v_out.extend_from_slice(&v[r0 * d..(r0 + take) * d]);
+            let BlockData::F32 { k, v } = &*self.payloads[b as usize] else {
+                unreachable!("mixed-precision payloads in one pool");
+            };
+            k_out.extend_from_slice(&k[..take * d]);
+            v_out.extend_from_slice(&v[..take * d]);
             remaining -= take;
         }
         assert_eq!(remaining, 0, "block table shorter than {len} tokens");
@@ -470,15 +591,11 @@ impl BlockAllocator {
         k_exps_out: &mut Vec<i8>,
         v_exps_out: &mut Vec<i8>,
     ) {
-        let BlockStore::Int8 {
-            k_codes,
-            v_codes,
-            k_exps,
-            v_exps,
-        } = &self.store
-        else {
-            panic!("int8 gather from an f32 allocator");
-        };
+        assert_eq!(
+            self.kind,
+            BlockKind::Int8,
+            "int8 gather from an f32 allocator"
+        );
         let (d, h) = (self.width, self.heads);
         for out in [&mut *k_codes_out, &mut *v_codes_out] {
             out.clear();
@@ -494,14 +611,250 @@ impl BlockAllocator {
                 break;
             }
             let take = remaining.min(self.block_tokens);
-            let r0 = b as usize * self.block_tokens;
-            k_codes_out.extend_from_slice(&k_codes[r0 * d..(r0 + take) * d]);
-            v_codes_out.extend_from_slice(&v_codes[r0 * d..(r0 + take) * d]);
-            k_exps_out.extend_from_slice(&k_exps[r0 * h..(r0 + take) * h]);
-            v_exps_out.extend_from_slice(&v_exps[r0 * h..(r0 + take) * h]);
+            let BlockData::Int8 {
+                k_codes,
+                v_codes,
+                k_exps,
+                v_exps,
+            } = &*self.payloads[b as usize]
+            else {
+                unreachable!("mixed-precision payloads in one pool");
+            };
+            k_codes_out.extend_from_slice(&k_codes[..take * d]);
+            v_codes_out.extend_from_slice(&v_codes[..take * d]);
+            k_exps_out.extend_from_slice(&k_exps[..take * h]);
+            v_exps_out.extend_from_slice(&v_exps[..take * h]);
             remaining -= take;
         }
         assert_eq!(remaining, 0, "block table shorter than {len} tokens");
+    }
+}
+
+/// Allocator-contention counters accumulated by a [`BlockPool`] since
+/// construction. All totals are monotone; deltas between two snapshots
+/// attribute activity to an interval.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolContention {
+    /// Times the pool mutex was acquired (appends, alloc/release rounds,
+    /// gather handle clones, gauge reads).
+    pub lock_acquisitions: u64,
+    /// Total nanoseconds spent *waiting* for the mutex across all
+    /// acquisitions — the contention signal.
+    pub lock_wait_ns: u64,
+    /// Longest single critical section in nanoseconds.
+    pub lock_hold_max_ns: u64,
+    /// Bytes copied out of blocks by [`BlockPool::gather_f32`] /
+    /// [`BlockPool::gather_int8`] (the copies happen outside the lock).
+    pub gathered_bytes: u64,
+}
+
+/// The shared, instrumented handle to one [`BlockAllocator`]: a mutex
+/// whose critical sections are short (append / alloc / release /
+/// bookkeeping) plus **lock-free block reads** for the decode hot path.
+///
+/// [`Self::gather_f32`] / [`Self::gather_int8`] clone the block table's
+/// payload `Arc`s under the lock — O(blocks), no byte copies — then
+/// materialize the flat `[t·d]` buffers after unlocking. The attention
+/// GEMMs that consume those buffers therefore never hold the allocator
+/// lock, which is what lets decode batches on different workers run
+/// truly concurrently. See the module docs for the safety argument.
+///
+/// Every acquisition is timed; [`Self::contention`] exposes the counters.
+#[derive(Debug)]
+pub struct BlockPool {
+    inner: Mutex<BlockAllocator>,
+    kind: BlockKind,
+    block_tokens: usize,
+    width: usize,
+    heads: usize,
+    lock_acquisitions: AtomicU64,
+    lock_wait_ns: AtomicU64,
+    lock_hold_max_ns: AtomicU64,
+    gathered_bytes: AtomicU64,
+}
+
+/// A timed lock guard over the pool's [`BlockAllocator`]; dereferences to
+/// the allocator. Dropping it records the critical section's hold time.
+pub struct PoolGuard<'a> {
+    pool: &'a BlockPool,
+    acquired: Instant,
+    guard: MutexGuard<'a, BlockAllocator>,
+}
+
+impl std::ops::Deref for PoolGuard<'_> {
+    type Target = BlockAllocator;
+    fn deref(&self) -> &BlockAllocator {
+        &self.guard
+    }
+}
+
+impl std::ops::DerefMut for PoolGuard<'_> {
+    fn deref_mut(&mut self) -> &mut BlockAllocator {
+        &mut self.guard
+    }
+}
+
+impl Drop for PoolGuard<'_> {
+    fn drop(&mut self) {
+        let held = self.acquired.elapsed().as_nanos() as u64;
+        self.pool
+            .lock_hold_max_ns
+            .fetch_max(held, Ordering::Relaxed);
+    }
+}
+
+impl BlockPool {
+    /// Wraps an allocator for shared use.
+    pub fn new(alloc: BlockAllocator) -> Self {
+        BlockPool {
+            kind: alloc.kind,
+            block_tokens: alloc.block_tokens,
+            width: alloc.width,
+            heads: alloc.heads,
+            inner: Mutex::new(alloc),
+            lock_acquisitions: AtomicU64::new(0),
+            lock_wait_ns: AtomicU64::new(0),
+            lock_hold_max_ns: AtomicU64::new(0),
+            gathered_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Tokens per block (immutable, readable without the lock).
+    pub fn block_tokens(&self) -> usize {
+        self.block_tokens
+    }
+
+    /// Locks the allocator for a short mutation (append, alloc, release,
+    /// hash-cons, gauge read). The wait and hold times are recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder panicked (poisoned lock).
+    pub fn lock(&self) -> PoolGuard<'_> {
+        let t0 = Instant::now();
+        let guard = self.inner.lock().expect("block pool poisoned");
+        let waited = t0.elapsed().as_nanos() as u64;
+        self.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
+        self.lock_wait_ns.fetch_add(waited, Ordering::Relaxed);
+        PoolGuard {
+            pool: self,
+            acquired: Instant::now(),
+            guard,
+        }
+    }
+
+    /// Contention counters accumulated so far.
+    pub fn contention(&self) -> PoolContention {
+        PoolContention {
+            lock_acquisitions: self.lock_acquisitions.load(Ordering::Relaxed),
+            lock_wait_ns: self.lock_wait_ns.load(Ordering::Relaxed),
+            lock_hold_max_ns: self.lock_hold_max_ns.load(Ordering::Relaxed),
+            gathered_bytes: self.gathered_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Clones the payload handles covering `len` tokens of a block table.
+    /// The only locked step of a gather: O(blocks) `Arc` bumps, no byte
+    /// copies.
+    fn pin_payloads(&self, blocks: &[BlockId], len: usize) -> Vec<Arc<BlockData>> {
+        let need = len.div_ceil(self.block_tokens);
+        assert!(
+            blocks.len() >= need,
+            "block table shorter than {len} tokens"
+        );
+        let guard = self.lock();
+        blocks[..need]
+            .iter()
+            .map(|&b| Arc::clone(&guard.payloads[b as usize]))
+            .collect()
+    }
+
+    /// Lock-free twin of [`BlockAllocator::gather_f32`]: pins the table's
+    /// payloads under a short lock, then copies the rows into `k_out` /
+    /// `v_out` **outside** the lock. The output bytes are identical to
+    /// the locked gather, so results stay bit-identical; the caller runs
+    /// its GEMMs on the owned flat buffers with no lock held.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an f32 gather from an int8 pool or a table too short
+    /// for `len`.
+    pub fn gather_f32(
+        &self,
+        blocks: &[BlockId],
+        len: usize,
+        k_out: &mut Vec<f32>,
+        v_out: &mut Vec<f32>,
+    ) {
+        assert_eq!(self.kind, BlockKind::F32, "f32 gather from an int8 pool");
+        let pinned = self.pin_payloads(blocks, len);
+        let d = self.width;
+        k_out.clear();
+        v_out.clear();
+        k_out.reserve(len * d);
+        v_out.reserve(len * d);
+        let mut remaining = len;
+        for data in &pinned {
+            let take = remaining.min(self.block_tokens);
+            let BlockData::F32 { k, v } = &**data else {
+                unreachable!("mixed-precision payloads in one pool");
+            };
+            k_out.extend_from_slice(&k[..take * d]);
+            v_out.extend_from_slice(&v[..take * d]);
+            remaining -= take;
+        }
+        self.gathered_bytes
+            .fetch_add((2 * len * d * size_of::<f32>()) as u64, Ordering::Relaxed);
+    }
+
+    /// Lock-free twin of [`BlockAllocator::gather_int8`]: pins the
+    /// table's payloads under a short lock, then copies codes and
+    /// exponents outside it. Byte-identical to the locked gather.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an int8 gather from an f32 pool or a table too short
+    /// for `len`.
+    pub fn gather_int8(
+        &self,
+        blocks: &[BlockId],
+        len: usize,
+        k_codes_out: &mut Vec<i8>,
+        v_codes_out: &mut Vec<i8>,
+        k_exps_out: &mut Vec<i8>,
+        v_exps_out: &mut Vec<i8>,
+    ) {
+        assert_eq!(self.kind, BlockKind::Int8, "int8 gather from an f32 pool");
+        let pinned = self.pin_payloads(blocks, len);
+        let (d, h) = (self.width, self.heads);
+        for out in [&mut *k_codes_out, &mut *v_codes_out] {
+            out.clear();
+            out.reserve(len * d);
+        }
+        for out in [&mut *k_exps_out, &mut *v_exps_out] {
+            out.clear();
+            out.reserve(len * h);
+        }
+        let mut remaining = len;
+        for data in &pinned {
+            let take = remaining.min(self.block_tokens);
+            let BlockData::Int8 {
+                k_codes,
+                v_codes,
+                k_exps,
+                v_exps,
+            } = &**data
+            else {
+                unreachable!("mixed-precision payloads in one pool");
+            };
+            k_codes_out.extend_from_slice(&k_codes[..take * d]);
+            v_codes_out.extend_from_slice(&v_codes[..take * d]);
+            k_exps_out.extend_from_slice(&k_exps[..take * h]);
+            v_exps_out.extend_from_slice(&v_exps[..take * h]);
+            remaining -= take;
+        }
+        self.gathered_bytes
+            .fetch_add((2 * len * (d + h)) as u64, Ordering::Relaxed);
     }
 }
 
@@ -821,5 +1174,128 @@ mod tests {
         let a = BlockAllocator::int8(1 << 12, 4, 8, 2);
         assert!((a.utilization() - 1.0).abs() < 1e-12);
         assert_eq!(a.tokens_stored(), 0);
+    }
+
+    #[test]
+    fn incremental_gauges_track_every_mutation_exactly() {
+        let d = 4;
+        let mut a = BlockAllocator::f32(1 << 16, 2, d);
+        let mut s = PagedKvState::for_layers(1);
+        for i in 0..3 {
+            s.append_row(0, &mut a, &row(i as f32, d), &row(i as f32, d));
+            s.advance();
+        }
+        assert_eq!(a.tokens_stored(), 3);
+        assert_eq!(a.blocks_peak(), 2);
+        let f = s.fork(&mut a);
+        assert_eq!(a.blocks_shared_peak(), 2);
+        // CoW on the fork: shared tail drops, tokens re-counted for the
+        // copy (2 copied slots released with the original's reference).
+        let mut f = f;
+        f.append_row(0, &mut a, &row(9.0, d), &row(9.0, d));
+        assert_eq!(a.tokens_stored(), 3 + 2, "original 3 + CoW copy 1+1");
+        assert_eq!(a.blocks_shared(), 1, "only the full first block");
+        f.release(&mut a);
+        s.release(&mut a);
+        assert_eq!(a.tokens_stored(), 0);
+        assert_eq!(a.blocks_shared(), 0);
+        // Peaks are high-water marks: they survive the release.
+        assert_eq!(a.blocks_peak(), 3);
+        assert_eq!(a.blocks_shared_peak(), 2);
+    }
+
+    #[test]
+    fn pool_gather_is_byte_identical_to_locked_gather() {
+        let d = 8;
+        let pool = BlockPool::new(BlockAllocator::f32(1 << 16, 3, d));
+        let mut s = PagedKvState::for_layers(1);
+        {
+            let mut a = pool.lock();
+            for i in 0..7 {
+                s.append_row(0, &mut a, &row(i as f32, d), &row(-(i as f32), d));
+                s.advance();
+            }
+        }
+        let (mut pk, mut pv) = (Vec::new(), Vec::new());
+        pool.gather_f32(s.layer_blocks(0), 7, &mut pk, &mut pv);
+        let (mut lk, mut lv) = (Vec::new(), Vec::new());
+        pool.lock()
+            .gather_f32(s.layer_blocks(0), 7, &mut lk, &mut lv);
+        assert_eq!(pk, lk);
+        assert_eq!(pv, lv);
+        let c = pool.contention();
+        assert!(c.lock_acquisitions >= 2);
+        assert_eq!(c.gathered_bytes, (2 * 7 * d * 4) as u64);
+        s.release(&mut pool.lock());
+    }
+
+    #[test]
+    fn pool_gather_int8_is_byte_identical_to_locked_gather() {
+        let (d, h) = (8, 2);
+        let pool = BlockPool::new(BlockAllocator::int8(1 << 16, 4, d, h));
+        let mut s = PagedKvState::for_layers(1);
+        {
+            let mut a = pool.lock();
+            for i in 0..9 {
+                s.append_row(0, &mut a, &row(0.1 * i as f32, d), &row(50.0 - i as f32, d));
+                s.advance();
+            }
+        }
+        let (mut kc, mut vc, mut ke, mut ve) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        pool.gather_int8(s.layer_blocks(0), 9, &mut kc, &mut vc, &mut ke, &mut ve);
+        let (mut lkc, mut lvc, mut lke, mut lve) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        pool.lock()
+            .gather_int8(s.layer_blocks(0), 9, &mut lkc, &mut lvc, &mut lke, &mut lve);
+        assert_eq!(kc, lkc);
+        assert_eq!(vc, lvc);
+        assert_eq!(ke, lke);
+        assert_eq!(ve, lve);
+        assert_eq!(pool.contention().gathered_bytes, (2 * 9 * (d + h)) as u64);
+        s.release(&mut pool.lock());
+    }
+
+    #[test]
+    fn concurrent_sessions_append_and_gather_without_interference() {
+        // Two threads drive independent sessions through one pool; each
+        // gathers its own rows with no lock held during the verification
+        // reads. Contents must come back exactly as appended.
+        let d = 4;
+        let pool = std::sync::Arc::new(BlockPool::new(BlockAllocator::f32(1 << 18, 3, d)));
+        let handles: Vec<_> = (0..2)
+            .map(|t| {
+                let pool = std::sync::Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    let mut s = PagedKvState::for_layers(1);
+                    let base = (t * 1000) as f32;
+                    for step in 0..25 {
+                        let r = row(base + step as f32, d);
+                        {
+                            let mut a = pool.lock();
+                            s.append_row(0, &mut a, &r, &r);
+                        }
+                        s.advance();
+                        let (mut k, mut v) = (Vec::new(), Vec::new());
+                        pool.gather_f32(s.layer_blocks(0), step + 1, &mut k, &mut v);
+                        for (i, want) in (0..=step).map(|i| row(base + i as f32, d)).enumerate() {
+                            assert_eq!(&k[i * d..(i + 1) * d], want.as_slice());
+                        }
+                        let _ = v;
+                    }
+                    s.release(&mut pool.lock());
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let a = pool.lock();
+        assert_eq!(a.blocks_in_use(), 0);
+        assert_eq!(a.tokens_stored(), 0);
+        // One session alone holds ⌈25/3⌉ blocks; the peak is at least
+        // that and at most both sessions' blocks (threads may not
+        // overlap fully, so the exact value is schedule-dependent).
+        let per_session = 25usize.div_ceil(3);
+        assert!(a.blocks_peak() >= per_session);
+        assert!(a.blocks_peak() <= 2 * per_session);
     }
 }

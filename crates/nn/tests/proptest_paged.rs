@@ -12,7 +12,7 @@
 //! reordered tokens, a block boundary that split a reduction, or a CoW
 //! copy that dropped filled rows would all break these assertions.
 
-use apsq_nn::{BlockAllocator, DecoderLm, Int8DecoderLm, ModelConfig, PsumMode};
+use apsq_nn::{BlockAllocator, BlockPool, DecoderLm, Int8DecoderLm, ModelConfig, PsumMode};
 use apsq_quant::Bitwidth;
 use apsq_tensor::{ExecEngine, Tensor};
 use proptest::prelude::*;
@@ -63,14 +63,14 @@ fn psum_mode(apsq: bool, gs: usize, k_tile: usize) -> PsumMode {
     }
 }
 
-/// An f32 allocator with room for `sessions` sequences of `len` tokens.
-fn f32_pool(m: &DecoderLm, block_tokens: usize, len: usize, sessions: usize) -> BlockAllocator {
+/// An f32 block pool with room for `sessions` sequences of `len` tokens.
+fn f32_pool(m: &DecoderLm, block_tokens: usize, len: usize, sessions: usize) -> BlockPool {
     let blocks = sessions * m.num_layers() * len.div_ceil(block_tokens);
-    BlockAllocator::f32(
+    BlockPool::new(BlockAllocator::f32(
         blocks * BlockAllocator::f32_bytes_per_block(block_tokens, m.width()),
         block_tokens,
         m.width(),
-    )
+    ))
 }
 
 proptest! {
@@ -95,14 +95,15 @@ proptest! {
         let eng = ExecEngine::with_threads(threads).with_spawn_threshold(0);
 
         let mut cont = m.new_kv_state_with_capacity();
-        let mut alloc = f32_pool(&m, block_tokens, len, 1);
+        let pool = f32_pool(&m, block_tokens, len, 1);
         let mut paged = m.new_paged_state();
         for &tok in &ids {
             let want = m.decode_step_with(tok, &mut cont, &eng);
-            let got = m.decode_batch_paged_with(&[tok], &mut [&mut paged], &mut alloc, &eng);
+            let got = m.decode_batch_paged_with(&[tok], &mut [&mut paged], &pool, &eng);
             prop_assert_eq!(&got, &want, "token {tok}");
         }
         prop_assert_eq!(paged.position(), ids.len());
+        let mut alloc = pool.lock();
         prop_assert_eq!(alloc.tokens_stored(), m.num_layers() * ids.len());
         paged.release(&mut alloc);
         prop_assert_eq!(alloc.blocks_in_use(), 0);
@@ -130,18 +131,19 @@ proptest! {
 
         let mut cont = im.new_kv_state_with_capacity();
         let blocks = im.num_layers() * len.div_ceil(block_tokens);
-        let mut alloc = BlockAllocator::int8(
+        let pool = BlockPool::new(BlockAllocator::int8(
             blocks * BlockAllocator::int8_bytes_per_block(block_tokens, im.width(), im.heads()),
             block_tokens,
             im.width(),
             im.heads(),
-        );
+        ));
         let mut paged = im.new_paged_state();
         for &tok in &ids {
             let want = im.decode_step_with(tok, &mut cont, &eng);
-            let got = im.decode_batch_paged_with(&[tok], &mut [&mut paged], &mut alloc, &eng);
+            let got = im.decode_batch_paged_with(&[tok], &mut [&mut paged], &pool, &eng);
             prop_assert_eq!(&got, &want, "token {tok}");
         }
+        let mut alloc = pool.lock();
         paged.release(&mut alloc);
         prop_assert_eq!(alloc.blocks_in_use(), 0);
     }
@@ -178,21 +180,21 @@ proptest! {
         }
 
         // Paged: decode the prefix once, fork, decode both suffixes.
-        let mut alloc = f32_pool(&m, block_tokens, total, 2);
-        let capacity = alloc.blocks_capacity();
+        let pool = f32_pool(&m, block_tokens, total, 2);
+        let capacity = pool.lock().blocks_capacity();
         let mut sess_a = m.new_paged_state();
         for &tok in &prefix {
-            let _ = m.decode_batch_paged_with(&[tok], &mut [&mut sess_a], &mut alloc, &eng);
+            let _ = m.decode_batch_paged_with(&[tok], &mut [&mut sess_a], &pool, &eng);
         }
-        let before_fork = alloc.blocks_in_use();
-        let mut sess_b = sess_a.fork(&mut alloc);
+        let before_fork = pool.lock().blocks_in_use();
+        let mut sess_b = sess_a.fork(&mut pool.lock());
         // The fork itself allocates nothing: every block is shared.
-        prop_assert_eq!(alloc.blocks_in_use(), before_fork);
+        prop_assert_eq!(pool.lock().blocks_in_use(), before_fork);
         let mut last_a = Tensor::zeros([1, 1]);
         let mut last_b = Tensor::zeros([1, 1]);
         for i in 0..suffix_len {
-            last_a = m.decode_batch_paged_with(&[sfx_a[i]], &mut [&mut sess_a], &mut alloc, &eng);
-            last_b = m.decode_batch_paged_with(&[sfx_b[i]], &mut [&mut sess_b], &mut alloc, &eng);
+            last_a = m.decode_batch_paged_with(&[sfx_a[i]], &mut [&mut sess_a], &pool, &eng);
+            last_b = m.decode_batch_paged_with(&[sfx_b[i]], &mut [&mut sess_b], &pool, &eng);
         }
         prop_assert_eq!(&last_a, &refs[0], "forked session A diverged");
         prop_assert_eq!(&last_b, &refs[1], "forked session B diverged");
@@ -201,6 +203,7 @@ proptest! {
         // layer; the forked pair still shares every full prefix block.
         let per_layer_indep = 2 * total.div_ceil(block_tokens);
         let shared_full = prefix_len / block_tokens;
+        let mut alloc = pool.lock();
         prop_assert_eq!(
             alloc.blocks_in_use(),
             m.num_layers() * (per_layer_indep - shared_full),

@@ -127,7 +127,9 @@ pub use batcher::{Batcher, Lane, Pending};
 pub use config::{BatchPolicy, DegradationPolicy, ModelSpec, ServeConfig, SloPolicy};
 pub use error::ServeError;
 pub use loadgen::{ClientKind, LoadGenerator, LoadReport, Scenario};
-pub use metrics::{LatencyStats, Metrics, MetricsSnapshot, PriorityClassStats, ShedCause};
+pub use metrics::{
+    LatencyStats, Metrics, MetricsSnapshot, PoolReport, PriorityClassStats, ShedCause,
+};
 pub use request::{Payload, PrefillModel, Priority, Request, RequestId, Response, SessionId, Slo};
 pub use server::{Server, ServerHandle, TickDone};
 pub use session::{SessionKv, SessionManager};

@@ -8,6 +8,25 @@
 
 use crate::batcher::Lane;
 use crate::request::Priority;
+use apsq_nn::PoolContention;
+
+/// End-of-run report from the KV block pool, folded into the snapshot:
+/// capacity, the allocator's own exact peak gauges, and the accumulated
+/// lock-contention counters. The peaks are maintained *inside* the
+/// allocator's alloc/retain critical sections, so they are exact under
+/// concurrent decode — a scheduler-side sampler alone could miss a spike
+/// between two samples.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PoolReport {
+    /// KV blocks the byte budget carves out.
+    pub blocks_capacity: usize,
+    /// Exact peak blocks in use (allocator-maintained).
+    pub blocks_peak: usize,
+    /// Exact peak blocks shared (allocator-maintained).
+    pub blocks_shared_peak: usize,
+    /// Pool-lock contention and gather-traffic counters.
+    pub contention: PoolContention,
+}
 
 /// Why the scheduler shed an already-admitted request. Submit-side
 /// [`crate::ServeError::QueueFull`] sheds are counted separately (they
@@ -137,6 +156,9 @@ pub struct Metrics {
     blocks_shared_peak: usize,
     util_sum: f64,
     util_samples: u64,
+    gathered_bytes_sum: u64,
+    gathered_bytes_max: u64,
+    gathered_batches: u64,
 }
 
 impl Metrics {
@@ -224,6 +246,15 @@ impl Metrics {
         }
     }
 
+    /// Records the KV bytes one decode batch gathered out of the block
+    /// pool (the lock-free copies feeding that batch's attention GEMMs).
+    /// Sampled per decode batch, like [`Self::sample_blocks`].
+    pub fn sample_gathered_bytes(&mut self, delta: u64) {
+        self.gathered_bytes_sum += delta;
+        self.gathered_bytes_max = self.gathered_bytes_max.max(delta);
+        self.gathered_batches += 1;
+    }
+
     /// Samples the KV block pool: blocks in use, blocks referenced by more
     /// than one holder, and tokens actually stored. Utilization — tokens
     /// stored over the token capacity of the in-use blocks — measures
@@ -246,7 +277,8 @@ impl Metrics {
 
     /// Freezes the accumulator into a snapshot. `elapsed_s` is the
     /// measured serving interval; shed/eviction/session counters come from
-    /// the server's shared state.
+    /// the server's shared state, and `pool` from the block pool itself
+    /// (exact peaks + contention).
     #[allow(clippy::too_many_arguments)]
     pub fn snapshot(
         mut self,
@@ -255,7 +287,7 @@ impl Metrics {
         evictions: u64,
         sessions_peak: usize,
         sessions_capacity: usize,
-        blocks_capacity: usize,
+        pool: PoolReport,
         shared_prefix_hits: u64,
     ) -> MetricsSnapshot {
         let occupancy_hist = {
@@ -307,15 +339,27 @@ impl Metrics {
             evictions,
             sessions_peak,
             sessions_capacity,
-            blocks_capacity,
-            blocks_peak: self.blocks_peak,
-            blocks_shared_peak: self.blocks_shared_peak,
+            blocks_capacity: pool.blocks_capacity,
+            // The allocator's exact peaks dominate the scheduler-sampled
+            // ones; keeping the max also covers direct-sample-only tests.
+            blocks_peak: self.blocks_peak.max(pool.blocks_peak),
+            blocks_shared_peak: self.blocks_shared_peak.max(pool.blocks_shared_peak),
             block_utilization_mean: if self.util_samples == 0 {
                 0.0
             } else {
                 self.util_sum / self.util_samples as f64
             },
             shared_prefix_hits,
+            alloc_lock_acquisitions: pool.contention.lock_acquisitions,
+            alloc_lock_wait_us: pool.contention.lock_wait_ns / 1_000,
+            alloc_lock_hold_max_us: pool.contention.lock_hold_max_ns / 1_000,
+            gathered_bytes: pool.contention.gathered_bytes,
+            gathered_bytes_per_batch_mean: if self.gathered_batches == 0 {
+                0.0
+            } else {
+                self.gathered_bytes_sum as f64 / self.gathered_batches as f64
+            },
+            gathered_bytes_per_batch_max: self.gathered_bytes_max,
             decode_tokens: self.decode_tokens,
             elapsed_s,
             latency: LatencyStats::from_samples(&mut self.all_us),
@@ -411,6 +455,20 @@ pub struct MetricsSnapshot {
     /// Times a freshly filled block was deduplicated onto an existing
     /// shared-prefix block.
     pub shared_prefix_hits: u64,
+    /// Times the block-pool mutex was acquired (appends, alloc/release,
+    /// gather pins, gauge reads).
+    pub alloc_lock_acquisitions: u64,
+    /// Total microseconds spent waiting for the pool mutex — the
+    /// allocator-contention signal under concurrent decode.
+    pub alloc_lock_wait_us: u64,
+    /// Longest single pool critical section, microseconds.
+    pub alloc_lock_hold_max_us: u64,
+    /// Total KV bytes copied out of blocks by lock-free gathers.
+    pub gathered_bytes: u64,
+    /// Mean gathered KV bytes per decode batch.
+    pub gathered_bytes_per_batch_mean: f64,
+    /// Largest single decode batch's gathered KV bytes.
+    pub gathered_bytes_per_batch_max: u64,
     /// Successful decode steps (= tokens generated).
     pub decode_tokens: u64,
     /// Serving interval in seconds.
@@ -481,7 +539,20 @@ mod tests {
         m.sample_blocks(4, 1, 32, 16); // utilization 0.5
         m.sample_blocks(2, 0, 32, 16); // utilization 1.0
         m.sample_blocks(0, 0, 0, 16); // empty pool: skipped
-        let s = m.snapshot(2.0, 7, 1, 9, 16, 64, 3);
+        m.sample_gathered_bytes(1_000);
+        m.sample_gathered_bytes(3_000);
+        let pool = PoolReport {
+            blocks_capacity: 64,
+            blocks_peak: 3, // below the sampled peak: the max wins
+            blocks_shared_peak: 1,
+            contention: PoolContention {
+                lock_acquisitions: 11,
+                lock_wait_ns: 5_000,
+                lock_hold_max_ns: 2_500,
+                gathered_bytes: 4_000,
+            },
+        };
+        let s = m.snapshot(2.0, 7, 1, 9, 16, pool, 3);
         assert_eq!(s.completed, 4);
         assert_eq!(s.sessions_capacity, 16);
         assert_eq!(s.shed_session_capacity, 1);
@@ -513,6 +584,12 @@ mod tests {
         assert_eq!(s.blocks_shared_peak, 1);
         assert!((s.block_utilization_mean - 0.75).abs() < 1e-12);
         assert_eq!(s.shared_prefix_hits, 3);
+        assert_eq!(s.alloc_lock_acquisitions, 11);
+        assert_eq!(s.alloc_lock_wait_us, 5);
+        assert_eq!(s.alloc_lock_hold_max_us, 2);
+        assert_eq!(s.gathered_bytes, 4_000);
+        assert!((s.gathered_bytes_per_batch_mean - 2_000.0).abs() < 1e-12);
+        assert_eq!(s.gathered_bytes_per_batch_max, 3_000);
         assert_eq!(s.errors, 1);
         assert_eq!(s.decode_tokens, 2);
         assert_eq!(s.tokens_per_s, 1.0);
@@ -533,14 +610,34 @@ mod tests {
 
     #[test]
     fn empty_metrics_snapshot_is_all_zero() {
-        let s = Metrics::new().snapshot(0.0, 0, 0, 0, 0, 0, 0);
+        let s = Metrics::new().snapshot(0.0, 0, 0, 0, 0, PoolReport::default(), 0);
         assert_eq!(s.latency, LatencyStats::default());
+        assert_eq!(s.alloc_lock_acquisitions, 0);
+        assert_eq!(s.gathered_bytes_per_batch_mean, 0.0);
         assert_eq!(s.tokens_per_s, 0.0);
         assert_eq!(s.batch_occupancy_hist, vec![]);
         assert_eq!(s.block_utilization_mean, 0.0);
         assert_eq!(s.goodput, 0);
         assert_eq!(s.priority, <[PriorityClassStats; 3]>::default());
         assert_eq!(s.ticks_at_level, [0, 0, 0]);
+    }
+
+    #[test]
+    fn allocator_exact_peaks_dominate_scheduler_samples() {
+        // A spike between two scheduler samples is invisible to
+        // sample_blocks but recorded by the allocator's own peak gauge;
+        // the snapshot must report the exact (higher) value.
+        let mut m = Metrics::new();
+        m.sample_blocks(2, 0, 8, 16);
+        let pool = PoolReport {
+            blocks_capacity: 64,
+            blocks_peak: 9,
+            blocks_shared_peak: 4,
+            contention: PoolContention::default(),
+        };
+        let s = m.snapshot(1.0, 0, 0, 0, 0, pool, 0);
+        assert_eq!(s.blocks_peak, 9);
+        assert_eq!(s.blocks_shared_peak, 4);
     }
 
     // Satellite: percentile boundary semantics pinned before the overload

@@ -5,13 +5,15 @@
 //! [`SessionManager`](crate::SessionManager), and the [`Metrics`]
 //! accumulator; `workers` executor threads pull coalesced batches from a
 //! shared work channel and run them on their own engines. All KV storage
-//! lives in a single [`BlockAllocator`] behind a mutex: the scheduler
-//! locks it to reserve blocks, evict, and hash-cons shared prefixes; a
-//! worker locks it for the duration of one decode batch. All
-//! communication is `std::sync::mpsc` — submissions and batch
-//! completions multiplex onto a single event channel so the scheduler can
-//! block on one receiver with a batching deadline (or none, under
-//! continuous batching).
+//! lives in a single [`BlockPool`]: the scheduler takes its short
+//! mutation lock to reserve blocks, evict, and hash-cons shared
+//! prefixes; a worker takes it only for the per-layer appends of a
+//! decode step — the gathers feeding each GEMM pin `Arc`-backed block
+//! payloads and read them with **no lock held**, so decode batches on
+//! different workers overlap their matmuls. All communication is
+//! `std::sync::mpsc` — submissions and batch completions multiplex onto
+//! a single event channel so the scheduler can block on one receiver
+//! with a batching deadline (or none, under continuous batching).
 
 use crate::batcher::{Batcher, Lane, Pending};
 use crate::config::ServeConfig;
@@ -25,7 +27,7 @@ use apsq_dataflow::Workload;
 use apsq_models::{
     bert_base_128, execute_workloads, llama_prefill, segformer_b0_512, LlamaConfig, Precision,
 };
-use apsq_nn::{BlockAllocator, DecoderLm, Int8DecoderLm, PagedKvState};
+use apsq_nn::{BlockAllocator, BlockPool, DecoderLm, Int8DecoderLm, PagedKvState};
 use apsq_tensor::ExecEngine;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
@@ -134,21 +136,23 @@ impl DecodeModel {
     }
 
     /// Runs one decode batch over paged session states. The states are
-    /// precision-agnostic block tables; the allocator (built at the
-    /// server's precision) owns the storage, so the f32 model walks f32
-    /// blocks and the integer model walks int8 blocks — a mismatch is a
-    /// server bug, not load-dependent.
+    /// precision-agnostic block tables; the pool (built at the server's
+    /// precision) owns the storage, so the f32 model walks f32 blocks
+    /// and the integer model walks int8 blocks — a mismatch is a server
+    /// bug, not load-dependent. The pool's mutation lock is held only
+    /// for the per-layer appends; every gather feeding a GEMM runs
+    /// lock-free on pinned block payloads.
     fn decode_batch_states(
         &self,
         tokens: &[usize],
         states: &mut [SessionKv],
-        alloc: &mut BlockAllocator,
+        pool: &BlockPool,
         eng: &ExecEngine,
     ) -> apsq_tensor::Tensor {
         let mut paged: Vec<&mut PagedKvState> = states.iter_mut().map(|s| s.state_mut()).collect();
         match self {
-            DecodeModel::F32(m) => m.decode_batch_paged_with(tokens, &mut paged, alloc, eng),
-            DecodeModel::Int8(m) => m.decode_batch_paged_with(tokens, &mut paged, alloc, eng),
+            DecodeModel::F32(m) => m.decode_batch_paged_with(tokens, &mut paged, pool, eng),
+            DecodeModel::Int8(m) => m.decode_batch_paged_with(tokens, &mut paged, pool, eng),
         }
     }
 }
@@ -317,7 +321,7 @@ impl Server {
         // One paged KV pool for every session and layer, at the decode
         // precision: the byte budget is carved into kv_block_tokens-sized
         // blocks handed out on demand.
-        let alloc = Arc::new(Mutex::new(match cfg.precision {
+        let alloc = Arc::new(BlockPool::new(match cfg.precision {
             Precision::F32 => {
                 BlockAllocator::f32(cfg.kv_budget_bytes, cfg.kv_block_tokens, cfg.model.d_model)
             }
@@ -429,7 +433,7 @@ impl Drop for Server {
 fn worker_loop(
     model: &DecodeModel,
     lib: &PrefillLib,
-    alloc: &Mutex<BlockAllocator>,
+    pool: &BlockPool,
     work_rx: &Mutex<Receiver<WorkItem>>,
     evt_tx: &Sender<Event>,
     eng: ExecEngine,
@@ -447,7 +451,7 @@ fn worker_loop(
                 items,
                 states,
                 reserved,
-            } => run_decode(model, &eng, alloc, items, states, reserved),
+            } => run_decode(model, &eng, pool, items, states, reserved),
             WorkItem::Prefill { items } => run_prefill(lib, &eng, items, prefill_budget, precision),
         };
         if evt_tx.send(Event::Done(done)).is_err() {
@@ -459,12 +463,14 @@ fn worker_loop(
 /// Runs one decode batch: every request's token row goes through one
 /// GEMM-stacked paged decode call; each row is bit-identical to a
 /// batch-of-one execution, so the response payload never depends on the
-/// batch composition. The block pool is locked for the duration of the
-/// batch — appends consume blocks the scheduler already reserved.
+/// batch composition. The pool's mutation lock is taken only for the
+/// per-layer appends (consuming blocks the scheduler already reserved);
+/// the gathers and GEMMs run lock-free, so decode batches on different
+/// workers execute truly concurrently.
 fn run_decode(
     model: &DecodeModel,
     eng: &ExecEngine,
-    alloc: &Mutex<BlockAllocator>,
+    pool: &BlockPool,
     items: Vec<Pending>,
     states: Vec<(SessionId, SessionKv)>,
     reserved: usize,
@@ -478,10 +484,7 @@ fn run_decode(
         .collect();
     let (sids, mut sts): (Vec<SessionId>, Vec<SessionKv>) = states.into_iter().unzip();
     let positions: Vec<usize> = sts.iter().map(|s| s.position()).collect();
-    let logits = {
-        let mut alloc = alloc.lock().expect("block allocator poisoned");
-        model.decode_batch_states(&tokens, &mut sts, &mut alloc, eng)
-    };
+    let logits = model.decode_batch_states(&tokens, &mut sts, pool, eng);
     let vocab = logits.dims()[1];
     let next = apsq_tensor::argmax_axis1(&logits);
     let occupancy = items.len();
@@ -565,7 +568,7 @@ fn run_prefill(
 fn scheduler_loop(
     cfg: &ServeConfig,
     max_len: usize,
-    alloc: Arc<Mutex<BlockAllocator>>,
+    alloc: Arc<BlockPool>,
     shared: Arc<Shared>,
     evt_rx: Receiver<Event>,
     work_tx: Sender<WorkItem>,
@@ -575,9 +578,13 @@ fn scheduler_loop(
     let virtual_mode = cfg.slo.virtual_time;
     let degrade = cfg.slo.degrade;
     let mut batcher = Batcher::new(cfg.batch);
+    let pool = Arc::clone(&alloc);
     let mut sessions =
         crate::session::SessionManager::new(alloc, cfg.session_capacity(), cfg.model.layers);
     let mut metrics = Metrics::new();
+    // Gathered-bytes watermark: the pool counter is cumulative, so each
+    // completed decode batch samples the delta since the last one.
+    let mut last_gathered = 0u64;
     let mut idle = cfg.workers;
     let mut inflight = 0usize;
     // Blocks promised to dispatched-but-uncompleted decode batches; new
@@ -819,6 +826,9 @@ fn scheduler_loop(
                     if done.lane == Lane::Decode {
                         let (in_use, shared_blocks, tokens, block_tokens) = sessions.block_gauges();
                         metrics.sample_blocks(in_use, shared_blocks, tokens, block_tokens);
+                        let gathered = pool.contention().gathered_bytes;
+                        metrics.sample_gathered_bytes(gathered - last_gathered);
+                        last_gathered = gathered;
                     }
                     // The lockstep barrier: the tick's ack fires only
                     // once everything it dispatched has drained.
@@ -1143,7 +1153,7 @@ fn scheduler_loop(
         sessions.evictions(),
         sessions.peak(),
         sessions.capacity(),
-        sessions.blocks_capacity(),
+        sessions.pool_report(),
         sessions.shared_prefix_hits(),
     )
 }

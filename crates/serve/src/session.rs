@@ -44,9 +44,9 @@
 
 use crate::error::ServeError;
 use crate::request::{fnv1a, SessionId, FNV_OFFSET};
-use apsq_nn::{BlockAllocator, BlockId, PagedKvState};
+use apsq_nn::{BlockAllocator, BlockId, BlockPool, PagedKvState};
 use std::collections::{BTreeMap, HashMap};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// A set of `u64` ids stored as disjoint inclusive ranges, merging
 /// neighbors on insert. Exact membership (no false positives or
@@ -169,10 +169,12 @@ struct Entry {
 /// prefix.
 ///
 /// All methods run on the scheduler thread; the only lock taken is the
-/// shared [`BlockAllocator`]'s (also held briefly by decode executors).
+/// shared [`BlockPool`]'s, whose critical sections are short — decode
+/// executors on worker threads lock it only to append rows, never across
+/// a GEMM.
 #[derive(Debug)]
 pub struct SessionManager {
-    alloc: Arc<Mutex<BlockAllocator>>,
+    alloc: Arc<BlockPool>,
     /// Nominal capacity: worst-case fully grown sessions the byte budget
     /// holds. Residency may exceed it (block-granular overcommit); it is
     /// reported in metrics as the contiguous-allocation baseline.
@@ -198,7 +200,7 @@ impl SessionManager {
     /// worst-case session count the budget covers (reported in metrics;
     /// block-granular residency can exceed it) and `layers` the decoder
     /// depth every session spans.
-    pub fn new(alloc: Arc<Mutex<BlockAllocator>>, nominal_capacity: usize, layers: usize) -> Self {
+    pub fn new(alloc: Arc<BlockPool>, nominal_capacity: usize, layers: usize) -> Self {
         SessionManager {
             alloc,
             capacity: nominal_capacity,
@@ -248,7 +250,7 @@ impl SessionManager {
     /// Total KV bytes referenced by resident idle sessions (shared blocks
     /// counted once per referencing layer table).
     pub fn kv_bytes(&self) -> usize {
-        let alloc = self.alloc.lock().expect("block allocator poisoned");
+        let alloc = self.alloc.lock();
         self.entries
             .values()
             .filter_map(|e| e.state.as_ref())
@@ -260,7 +262,7 @@ impl SessionManager {
     /// block_tokens)` — the scheduler samples this into the metrics
     /// gauges each iteration.
     pub fn block_gauges(&self) -> (usize, usize, usize, usize) {
-        let alloc = self.alloc.lock().expect("block allocator poisoned");
+        let alloc = self.alloc.lock();
         (
             alloc.blocks_in_use(),
             alloc.blocks_shared(),
@@ -269,21 +271,30 @@ impl SessionManager {
         )
     }
 
+    /// End-of-run pool report: capacity, the allocator's own exact peak
+    /// gauges (maintained inside alloc/retain, so they can never miss a
+    /// spike between scheduler samples), and the accumulated contention
+    /// counters.
+    pub fn pool_report(&self) -> crate::metrics::PoolReport {
+        let contention = self.alloc.contention();
+        let alloc = self.alloc.lock();
+        crate::metrics::PoolReport {
+            blocks_capacity: alloc.blocks_capacity(),
+            blocks_peak: alloc.blocks_peak(),
+            blocks_shared_peak: alloc.blocks_shared_peak(),
+            contention,
+        }
+    }
+
     /// Total blocks the pool carved out of the byte budget.
     pub fn blocks_capacity(&self) -> usize {
-        self.alloc
-            .lock()
-            .expect("block allocator poisoned")
-            .blocks_capacity()
+        self.alloc.lock().blocks_capacity()
     }
 
     /// Blocks currently on the free list — the headroom gauge the
     /// degradation ladder's KV admission guard watches.
     pub fn blocks_free(&self) -> usize {
-        self.alloc
-            .lock()
-            .expect("block allocator poisoned")
-            .blocks_free()
+        self.alloc.lock().blocks_free()
     }
 
     /// Admits a request for `id`: touches the LRU clock, pins the
@@ -336,7 +347,7 @@ impl SessionManager {
     /// Panics if the session is absent or checked out.
     pub fn reserve(&mut self, id: SessionId, outstanding: usize) -> Result<usize, ServeError> {
         let pool = Arc::clone(&self.alloc);
-        let mut alloc = pool.lock().expect("block allocator poisoned");
+        let mut alloc = pool.lock();
         let needed = self
             .entries
             .get(&id)
@@ -443,7 +454,7 @@ impl SessionManager {
             return;
         };
         let pool = Arc::clone(&self.alloc);
-        let mut alloc = pool.lock().expect("block allocator poisoned");
+        let mut alloc = pool.lock();
         let block_tokens = alloc.block_tokens();
         let pos = kv.position();
         if pos == 0 || !pos.is_multiple_of(block_tokens) {
@@ -524,8 +535,8 @@ mod tests {
     const BT: usize = 4;
 
     /// A pool of exactly `blocks` f32 blocks (4 tokens × width 8).
-    fn pool(blocks: usize) -> Arc<Mutex<BlockAllocator>> {
-        Arc::new(Mutex::new(BlockAllocator::f32(
+    fn pool(blocks: usize) -> Arc<BlockPool> {
+        Arc::new(BlockPool::new(BlockAllocator::f32(
             blocks * BlockAllocator::f32_bytes_per_block(BT, D),
             BT,
             D,
@@ -550,7 +561,7 @@ mod tests {
         m.reserve(id, 0).unwrap();
         let mut s = m.checkout(id);
         {
-            let mut alloc = m.alloc.lock().unwrap();
+            let mut alloc = m.alloc.lock();
             let row: Vec<f32> = (0..D).map(|j| (token * D + j) as f32).collect();
             for layer in 0..LAYERS {
                 s.state_mut().append_row(layer, &mut alloc, &row, &row);
@@ -563,7 +574,7 @@ mod tests {
     }
 
     fn blocks_in_use(m: &SessionManager) -> usize {
-        m.alloc.lock().unwrap().blocks_in_use()
+        m.alloc.lock().blocks_in_use()
     }
 
     #[test]

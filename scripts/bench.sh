@@ -23,7 +23,7 @@ else
 fi
 
 echo
-echo "==> serve_bench ${1:-} (writes BENCH_serve.json)"
+echo "==> serve_bench ${1:-} (writes BENCH_serve.json, incl. the 1/2/4-worker continuous-vs-barrier sweep + allocator contention stats)"
 if [[ "${1:-}" == "--quick" ]]; then
   cargo run -q --release -p apsq-bench --bin serve_bench -- --quick
 else

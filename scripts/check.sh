@@ -45,6 +45,12 @@ APSQ_KERNEL_BACKEND=scalar cargo test -q --release -p apsq-nn --lib int8
 echo "==> cargo test -q --release -p apsq-serve  (server + determinism suite at release opt)"
 cargo test -q --release -p apsq-serve
 
+echo "==> block-pool contention: stress + determinism at 8 workers, overflow-checked"
+RUSTFLAGS="-C overflow-checks" APSQ_STRESS_WORKERS=8 cargo test -q --release -p apsq-serve --test stress_concurrent
+RUSTFLAGS="-C overflow-checks" APSQ_STRESS_WORKERS=8 cargo test -q --release -p apsq-serve --test determinism
+RUSTFLAGS="-C overflow-checks" cargo test -q --release -p apsq-nn --lib paged
+RUSTFLAGS="-C overflow-checks" cargo test -q --release -p apsq-nn --test proptest_paged
+
 echo "==> cargo test -q --release -p apsq-serve --test overload  (SLO sheds + degradation ladder)"
 cargo test -q --release -p apsq-serve --test overload
 
