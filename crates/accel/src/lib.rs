@@ -31,6 +31,7 @@
 //! assert_eq!(r.output, int8_matmul(&a, &w));
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod mem;

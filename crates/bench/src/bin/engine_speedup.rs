@@ -23,6 +23,8 @@ fn best_seconds<T>(mut f: impl FnMut() -> T) -> (T, f64) {
     let mut best = f64::MAX;
     let mut out = None;
     for _ in 0..REPS {
+        // Benchmark timing — wall-clock by design.
+        #[allow(clippy::disallowed_methods)]
         let t = Instant::now();
         let y = std::hint::black_box(f());
         best = best.min(t.elapsed().as_secs_f64());

@@ -250,6 +250,8 @@ fn layer_microbench(reps: usize) -> (f64, f64) {
     let time = |body: &dyn Fn() -> f32| -> f64 {
         let mut sink = 0.0f32;
         sink += body(); // warm up
+                        // Benchmark timing — wall-clock by design.
+        #[allow(clippy::disallowed_methods)]
         let t0 = Instant::now();
         for _ in 0..reps {
             sink += body();

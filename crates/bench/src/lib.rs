@@ -15,6 +15,7 @@
 //!
 //! Training-based generators accept `--quick` for a reduced smoke run.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baseline;

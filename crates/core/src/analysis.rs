@@ -1,5 +1,7 @@
 //! Error analysis utilities and synthetic PSUM-stream generators.
 
+// lint: allow-file(float-reduction-outside-kernels) -- offline error-analysis helpers; sequential fixed-order loops, never on the worker-parallel datapath
+
 use crate::config::{ApsqConfig, GroupSize};
 use crate::grouped::grouped_apsq;
 use crate::reference::exact_accumulate;

@@ -42,6 +42,7 @@
 //! assert!(sweep.last().unwrap().sqnr_db >= sweep[0].sqnr_db - 1.0);
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod analysis;

@@ -23,6 +23,8 @@
 //! because large `gs` lets most events use the *small per-tile scales*
 //! instead of the large running-sum scales.
 
+// lint: allow-file(float-reduction-outside-kernels) -- analytic noise-model sums; sequential fixed-order, single-threaded by construction
+
 use crate::config::GroupSize;
 use crate::schedule::ScaleSchedule;
 

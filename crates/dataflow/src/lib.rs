@@ -37,6 +37,7 @@
 //! assert!(r < 1.0); // APSQ saves energy under WS
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod access;

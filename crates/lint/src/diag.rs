@@ -1,0 +1,26 @@
+//! Diagnostics: what a rule reports and how it renders.
+
+use std::fmt;
+
+/// One finding: a rule fired at a file:line.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-indexed line the finding anchors to.
+    pub line: u32,
+    /// Rule name (stable, documented in `docs/ARCHITECTURE.md`).
+    pub rule: &'static str,
+    /// Human-readable explanation with the fix direction.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}

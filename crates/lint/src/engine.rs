@@ -1,0 +1,466 @@
+//! File analysis context and the lint driver: lexes each file once,
+//! precomputes line classifications, allow directives, `#[cfg(test)]`
+//! spans, `macro_rules!` spans and brace structure, then runs every
+//! in-scope rule.
+
+use crate::config::LintConfig;
+use crate::diag::Diagnostic;
+use crate::lexer::{lex, Token};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Per-line classification (1-indexed; index 0 unused).
+#[derive(Clone, Debug, Default)]
+pub struct LineInfo {
+    /// Any non-comment token starts or spans this line.
+    pub has_code: bool,
+    /// The line is inside an outer attribute (`#[...]`).
+    pub is_attr: bool,
+    /// Concatenated comment text on this line (block comments attach to
+    /// every line they span).
+    pub comments: String,
+}
+
+/// Parsed allow directives for one file.
+///
+/// Grammar, anywhere in a comment:
+/// `lint: allow(rule-a, rule-b) -- reason` covers the next code line
+/// (or the comment's own line when it trails code);
+/// `lint: allow-file(rule) -- reason` covers the whole file.
+#[derive(Clone, Debug, Default)]
+pub struct Allows {
+    file_rules: BTreeSet<String>,
+    /// rule -> set of covered lines.
+    site: BTreeMap<String, BTreeSet<u32>>,
+}
+
+impl Allows {
+    /// Whether a diagnostic for `rule` at `line` is suppressed.
+    pub fn suppressed(&self, rule: &str, line: u32) -> bool {
+        self.file_rules.contains(rule)
+            || self
+                .site
+                .get(rule)
+                .is_some_and(|lines| lines.contains(&line))
+    }
+}
+
+/// Everything a rule needs to analyze one file.
+pub struct FileCtx {
+    /// Workspace-relative path, forward slashes.
+    pub rel: String,
+    /// The full token stream, comments included.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of the non-comment tokens, in order.
+    pub code: Vec<usize>,
+    /// Per-line info; `lines[line as usize]` (1-indexed).
+    pub lines: Vec<LineInfo>,
+    /// Allow directives.
+    pub allows: Allows,
+    /// For each `code` position: inside a `#[cfg(test)] mod` body or a
+    /// `#[test]` fn body.
+    pub in_test: Vec<bool>,
+    /// For each `code` position: inside a `macro_rules!` definition body
+    /// (pattern-matching territory — skipped by every rule).
+    pub in_macro_def: Vec<bool>,
+    /// For each `code` position holding `{`, the `code` position of the
+    /// matching `}` (and vice versa); `usize::MAX` if unbalanced.
+    pub brace_match: Vec<usize>,
+    /// For each `code` position, the `code` position of the innermost
+    /// enclosing `{` (`usize::MAX` at top level).
+    pub enclosing_open: Vec<usize>,
+}
+
+impl FileCtx {
+    /// Builds the context for one file's source.
+    pub fn new(rel: &str, src: &str) -> (Self, Vec<Diagnostic>) {
+        let tokens = lex(src);
+        let code: Vec<usize> = (0..tokens.len())
+            .filter(|&i| !tokens[i].is_comment())
+            .collect();
+
+        let mut last_line = 1u32;
+        for t in &tokens {
+            last_line = last_line.max(t.end_line);
+        }
+        let mut lines = vec![LineInfo::default(); last_line as usize + 2];
+        for t in &tokens {
+            if t.is_comment() {
+                for l in t.line..=t.end_line {
+                    let entry = &mut lines[l as usize];
+                    if !entry.comments.is_empty() {
+                        entry.comments.push(' ');
+                    }
+                    entry.comments.push_str(&t.text);
+                }
+            } else {
+                for l in t.line..=t.end_line {
+                    lines[l as usize].has_code = true;
+                }
+            }
+        }
+
+        let mut ctx = FileCtx {
+            rel: rel.to_string(),
+            tokens,
+            code,
+            lines,
+            allows: Allows::default(),
+            in_test: Vec::new(),
+            in_macro_def: Vec::new(),
+            brace_match: Vec::new(),
+            enclosing_open: Vec::new(),
+        };
+        ctx.mark_attr_lines();
+        ctx.compute_braces();
+        ctx.compute_skip_spans();
+        let directive_diags = ctx.parse_allows();
+        (ctx, directive_diags)
+    }
+
+    /// Token (full-stream) behind a `code` position.
+    pub fn ct(&self, code_pos: usize) -> &Token {
+        &self.tokens[self.code[code_pos]]
+    }
+
+    /// Number of code tokens.
+    pub fn code_len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// The comment text attached to `line` (empty if none).
+    pub fn comments_on(&self, line: u32) -> &str {
+        self.lines
+            .get(line as usize)
+            .map(|l| l.comments.as_str())
+            .unwrap_or("")
+    }
+
+    /// Marks every line spanned by an outer attribute `#[...]` so the
+    /// SAFETY-comment scan can look past attributes between the comment
+    /// and the `unsafe` item.
+    fn mark_attr_lines(&mut self) {
+        let mut i = 0;
+        while i < self.code.len() {
+            if self.ct(i).is_punct("#") && i + 1 < self.code.len() && self.ct(i + 1).is_punct("[") {
+                let start_line = self.ct(i).line;
+                let mut depth = 0usize;
+                let mut j = i + 1;
+                while j < self.code.len() {
+                    let t = self.ct(j);
+                    if t.is_punct("[") {
+                        depth += 1;
+                    } else if t.is_punct("]") {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                let end_line = if j < self.code.len() {
+                    self.ct(j).end_line
+                } else {
+                    start_line
+                };
+                for l in start_line..=end_line {
+                    if let Some(entry) = self.lines.get_mut(l as usize) {
+                        entry.is_attr = true;
+                    }
+                }
+                i = j + 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn compute_braces(&mut self) {
+        let n = self.code.len();
+        self.brace_match = vec![usize::MAX; n];
+        self.enclosing_open = vec![usize::MAX; n];
+        let mut stack: Vec<usize> = Vec::new();
+        for i in 0..n {
+            self.enclosing_open[i] = stack.last().copied().unwrap_or(usize::MAX);
+            let t = self.ct(i);
+            if t.is_punct("{") {
+                stack.push(i);
+            } else if t.is_punct("}") {
+                if let Some(open) = stack.pop() {
+                    self.brace_match[open] = i;
+                    self.brace_match[i] = open;
+                }
+            }
+        }
+    }
+
+    /// The `code` position of the `}` matching the `{` at `open`, or the
+    /// end of the stream if unbalanced.
+    pub fn close_of(&self, open: usize) -> usize {
+        let m = self.brace_match[open];
+        if m == usize::MAX {
+            self.code.len().saturating_sub(1)
+        } else {
+            m
+        }
+    }
+
+    /// Marks `#[cfg(test)] mod`/`#[test] fn` bodies and `macro_rules!`
+    /// bodies.
+    fn compute_skip_spans(&mut self) {
+        let n = self.code.len();
+        self.in_test = vec![false; n];
+        self.in_macro_def = vec![false; n];
+
+        let mut i = 0;
+        while i < n {
+            // macro_rules! name { ... }
+            if self.ct(i).is_ident("macro_rules") && i + 1 < n && self.ct(i + 1).is_punct("!") {
+                if let Some(open) = self.find_next_open_brace(i + 2) {
+                    let close = self.close_of(open);
+                    for k in open..=close {
+                        self.in_macro_def[k] = true;
+                    }
+                    i = close + 1;
+                    continue;
+                }
+            }
+            // #[cfg(test)] or #[test]: mark the following item's body.
+            if self.ct(i).is_punct("#") && i + 1 < n && self.ct(i + 1).is_punct("[") {
+                let (attr_end, is_test_attr) = self.scan_attr(i + 1);
+                if is_test_attr {
+                    if let Some(open) = self.find_next_open_brace(attr_end + 1) {
+                        let close = self.close_of(open);
+                        for k in open..=close {
+                            self.in_test[k] = true;
+                        }
+                    }
+                }
+                i = attr_end + 1;
+                continue;
+            }
+            i += 1;
+        }
+    }
+
+    /// Scans an attribute group starting at the `[`; returns (position of
+    /// the matching `]`, whether it is `#[test]` or `#[cfg(test)]`).
+    fn scan_attr(&self, open_bracket: usize) -> (usize, bool) {
+        let n = self.code.len();
+        let mut depth = 0usize;
+        let mut body = Vec::new();
+        let mut j = open_bracket;
+        while j < n {
+            let t = self.ct(j);
+            if t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct("]") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                body.push(t.text.as_str());
+            }
+            j += 1;
+        }
+        let is_test =
+            body == ["test"] || (body.len() >= 4 && body[0] == "cfg" && body.contains(&"test"));
+        (j.min(n.saturating_sub(1)), is_test)
+    }
+
+    /// First `{` at or after `from`, skipping to it across the item
+    /// header (fn signature, mod name, ...). Stops at `;` (bodyless
+    /// items).
+    fn find_next_open_brace(&self, from: usize) -> Option<usize> {
+        let mut j = from;
+        while j < self.code.len() {
+            let t = self.ct(j);
+            if t.is_punct("{") {
+                return Some(j);
+            }
+            if t.is_punct(";") {
+                return None;
+            }
+            j += 1;
+        }
+        None
+    }
+
+    /// Parses allow directives out of every plain (non-doc) comment;
+    /// returns diagnostics
+    /// for malformed ones (missing `-- reason`, unknown rule names).
+    fn parse_allows(&mut self) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        let mut allows = Allows::default();
+        let comment_idxs: Vec<usize> = (0..self.tokens.len())
+            .filter(|&i| self.tokens[i].is_comment() && !self.tokens[i].is_doc_comment())
+            .collect();
+        for idx in comment_idxs {
+            let tok = &self.tokens[idx];
+            let text = tok.text.clone();
+            let line = tok.line;
+            let end_line = tok.end_line;
+            for (needle, is_file) in [("lint: allow-file(", true), ("lint: allow(", false)] {
+                let mut search = 0usize;
+                while let Some(at) = text[search..].find(needle) {
+                    let args_start = search + at + needle.len();
+                    search = args_start;
+                    let Some(close) = text[args_start..].find(')') else {
+                        diags.push(self.directive_diag(line, "unclosed rule list"));
+                        break;
+                    };
+                    let rules_str = &text[args_start..args_start + close];
+                    let rest = &text[args_start + close + 1..];
+                    let reason = rest
+                        .trim_start()
+                        .strip_prefix("--")
+                        .map(str::trim)
+                        .unwrap_or("");
+                    if reason.is_empty() {
+                        diags.push(self.directive_diag(
+                            line,
+                            "missing `-- <reason>` (every allow must say why)",
+                        ));
+                        continue;
+                    }
+                    for rule in rules_str
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|r| !r.is_empty())
+                    {
+                        if !crate::rules::is_known_rule(rule) {
+                            diags.push(self.directive_diag(
+                                line,
+                                &format!("unknown rule `{rule}` in allow directive"),
+                            ));
+                            continue;
+                        }
+                        if is_file {
+                            allows.file_rules.insert(rule.to_string());
+                        } else {
+                            let covered = self.covered_line(line, end_line);
+                            allows
+                                .site
+                                .entry(rule.to_string())
+                                .or_default()
+                                .extend(covered);
+                        }
+                    }
+                }
+            }
+        }
+        self.allows = allows;
+        diags
+    }
+
+    fn directive_diag(&self, line: u32, msg: &str) -> Diagnostic {
+        Diagnostic {
+            file: self.rel.clone(),
+            line,
+            rule: "allow-directive",
+            message: msg.to_string(),
+        }
+    }
+
+    /// Lines a site allow on `line..=end_line` covers: the directive's
+    /// own line (trailing-comment form), everything down to the next
+    /// code line (blanks, further comments, and attributes — so a
+    /// directive above `#[target_feature]` covers the attribute too),
+    /// and that code line itself.
+    fn covered_line(&self, line: u32, end_line: u32) -> Vec<u32> {
+        let mut covered = vec![line];
+        let mut l = end_line + 1;
+        let cap = end_line + 12;
+        while (l as usize) < self.lines.len() && l <= cap {
+            let info = &self.lines[l as usize];
+            covered.push(l);
+            if info.has_code && !info.is_attr {
+                break;
+            }
+            l += 1;
+        }
+        covered
+    }
+}
+
+/// Lints one in-memory source file (fixture tests and unit tests).
+pub fn lint_source(rel: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut scan = crate::rules::CrateScan::default();
+    lint_one(rel, src, cfg, &mut diags, &mut scan);
+    crate::rules::intrinsics::check_crate_coverage(&scan, &mut diags);
+    diags.sort();
+    diags
+}
+
+fn lint_one(
+    rel: &str,
+    src: &str,
+    cfg: &LintConfig,
+    diags: &mut Vec<Diagnostic>,
+    scan: &mut crate::rules::CrateScan,
+) {
+    let (ctx, directive_diags) = FileCtx::new(rel, src);
+    diags.extend(directive_diags);
+    for rule in crate::rules::RULES {
+        if cfg.in_scope(rule.name, rel) {
+            let mut found = Vec::new();
+            (rule.check)(&ctx, &mut found);
+            for d in found {
+                if !ctx.allows.suppressed(d.rule, d.line) {
+                    diags.push(d);
+                }
+            }
+        }
+    }
+    if cfg.in_scope("intrinsics-gating", rel) {
+        crate::rules::intrinsics::collect_crate_facts(&ctx, scan);
+    }
+}
+
+/// Walks `root` for `.rs` files (skip list applied), returning sorted
+/// `(absolute, relative)` pairs.
+pub fn walk_workspace(root: &Path) -> Vec<(PathBuf, String)> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            if path.is_dir() {
+                if !LintConfig::skip_dir(&rel) {
+                    stack.push(path);
+                }
+            } else if rel.ends_with(".rs") {
+                files.push((path, rel));
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// Lints every workspace file under `root`; the main entry point for the
+/// binary and the tree-clean test.
+pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut scan = crate::rules::CrateScan::default();
+    for (abs, rel) in walk_workspace(root) {
+        let Ok(src) = fs::read_to_string(&abs) else {
+            continue;
+        };
+        lint_one(&rel, &src, cfg, &mut diags, &mut scan);
+    }
+    crate::rules::intrinsics::check_crate_coverage(&scan, &mut diags);
+    diags.sort();
+    diags
+}

@@ -1,0 +1,506 @@
+//! A hand-rolled Rust lexer: just enough token structure for the rule
+//! engine, with exact handling of the constructs that make naive
+//! grep-style linting unsound — strings (including raw strings with
+//! arbitrary `#` fences and byte strings), nested block comments, raw
+//! `r#`-identifiers, lifetimes vs char literals, and numeric literals
+//! with type suffixes.
+//!
+//! The lexer never fails: unterminated constructs consume to end of
+//! input and produce a best-effort token, so a syntactically broken
+//! file degrades to weaker linting instead of a crash.
+
+/// What a token is, at the granularity the rules need.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unsafe`, `HashMap`, `fn`, ...).
+    Ident,
+    /// A raw identifier (`r#unsafe`) — never matches keyword rules.
+    RawIdent,
+    /// A lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// An integer literal (any base, any suffix).
+    Int,
+    /// A float literal (decimal point, exponent, or f32/f64 suffix).
+    Float,
+    /// Any string-like literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// A char or byte literal: `'x'`, `b'\n'`.
+    Char,
+    /// A `// …` comment (doc comments included).
+    LineComment,
+    /// A `/* … */` comment, nesting handled (doc comments included).
+    BlockComment,
+    /// An operator or delimiter, multi-char ops fused (`::`, `+=`, `=>`).
+    Punct,
+}
+
+/// One lexed token with its source text and line span (1-indexed).
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    /// Line the token starts on.
+    pub line: u32,
+    /// Line the token ends on (differs for multi-line comments/strings).
+    pub end_line: u32,
+}
+
+impl Token {
+    /// Whether this token is a comment of either flavor.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// Whether this is a doc comment (`///`, `//!`, `/**`, `/*!`).
+    /// Allow directives live in plain comments; doc comments are prose
+    /// *about* the tool and never carry directives.
+    pub fn is_doc_comment(&self) -> bool {
+        match self.kind {
+            TokenKind::LineComment => self.text.starts_with("///") || self.text.starts_with("//!"),
+            TokenKind::BlockComment => {
+                (self.text.starts_with("/**") && self.text != "/**/")
+                    || self.text.starts_with("/*!")
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether this is an identifier with exactly this text (raw
+    /// identifiers intentionally never match — `r#unsafe` is not the
+    /// keyword `unsafe`).
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// Whether this is punctuation with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == text
+    }
+}
+
+/// Lexes a whole source file into a token stream.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+/// Multi-char operators, longest first so maximal munch wins.
+const OPS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+impl Lexer {
+    fn new(src: &str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.push(Token {
+            kind,
+            text,
+            line,
+            end_line: self.line,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line),
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string(line);
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.char_lit(line);
+                }
+                'b' if self.peek(1) == Some('r') && self.raw_string_ahead(2) => {
+                    self.bump();
+                    self.bump();
+                    self.raw_string(line);
+                }
+                'r' if self.raw_string_ahead(1) => {
+                    self.bump();
+                    self.raw_string(line);
+                }
+                'r' if self.peek(1) == Some('#') && Self::ident_start(self.peek(2)) => {
+                    self.bump();
+                    self.bump();
+                    let name = self.ident_text();
+                    self.push(TokenKind::RawIdent, name, line);
+                }
+                '\'' => self.lifetime_or_char(line),
+                c if Self::ident_start(Some(c)) => {
+                    let name = self.ident_text();
+                    self.push(TokenKind::Ident, name, line);
+                }
+                c if c.is_ascii_digit() => self.number(line),
+                _ => self.punct(line),
+            }
+        }
+        self.out
+    }
+
+    fn ident_start(c: Option<char>) -> bool {
+        c.is_some_and(|c| c == '_' || c.is_alphabetic())
+    }
+
+    fn ident_text(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+
+    /// Whether `r`/`br` at the current position starts a raw string:
+    /// zero or more `#` then `"`.
+    fn raw_string_ahead(&self, from: usize) -> bool {
+        let mut i = from;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::LineComment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokenKind::BlockComment, text, line);
+    }
+
+    fn string(&mut self, line: u32) {
+        let mut text = String::new();
+        text.push('"');
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            text.push(c);
+            match c {
+                '\\' => {
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    /// Raw string starting at the first `#` or `"` (the `r`/`br` prefix
+    /// already consumed): counts the fence, then scans for `"` followed
+    /// by the same number of `#`.
+    fn raw_string(&mut self, line: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut matched = 0usize;
+                while matched < hashes && self.peek(0) == Some('#') {
+                    matched += 1;
+                    self.bump();
+                }
+                if matched == hashes {
+                    break;
+                }
+                text.push('"');
+                for _ in 0..matched {
+                    text.push('#');
+                }
+            } else {
+                text.push(c);
+            }
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    fn char_lit(&mut self, line: u32) {
+        let mut text = String::new();
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    text.push(c);
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                '\'' => break,
+                _ => text.push(c),
+            }
+        }
+        self.push(TokenKind::Char, text, line);
+    }
+
+    /// Disambiguates `'a` (lifetime) from `'a'` (char literal): a
+    /// lifetime is `'` + ident with no closing quote right after.
+    fn lifetime_or_char(&mut self, line: u32) {
+        if Self::ident_start(self.peek(1)) {
+            // `'x'` is a char; `'x` followed by non-quote is a lifetime.
+            // Multi-char bodies (`'ab`, `'static`) are always lifetimes
+            // unless a quote closes them (`'\u{..}'` starts with `\`).
+            let mut i = 2;
+            while Self::ident_start(self.peek(i)) || self.peek(i).is_some_and(|c| c.is_numeric()) {
+                i += 1;
+            }
+            if self.peek(i) != Some('\'') {
+                self.bump(); // `'`
+                let name = self.ident_text();
+                self.push(TokenKind::Lifetime, name, line);
+                return;
+            }
+        }
+        self.char_lit(line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut is_float = false;
+        // Leading digits (any base — 0x/0b/0o bodies are alphanumeric).
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                let numeric_so_far = text
+                    .chars()
+                    .all(|ch| ch.is_ascii_digit() || ch == '_' || ch == '.');
+                let exponent_body = match self.peek(1) {
+                    Some(d) if d.is_ascii_digit() => true,
+                    Some('+') | Some('-') => self.peek(2).is_some_and(|d| d.is_ascii_digit()),
+                    _ => false,
+                };
+                if (c == 'e' || c == 'E') && numeric_so_far && exponent_body {
+                    // A real exponent (`1e3`, `1.0e-3`) — not the `e` of a
+                    // suffix like `3usize` or a hex digit in `0xfe`.
+                    is_float = true;
+                    text.push(c);
+                    self.bump();
+                    if let Some(s) = self.peek(0) {
+                        if s == '+' || s == '-' {
+                            text.push(s);
+                            self.bump();
+                        }
+                    }
+                    continue;
+                }
+                text.push(c);
+                self.bump();
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) && !is_float {
+                // `1.5` — but never swallow `..` range syntax.
+                is_float = true;
+                text.push(c);
+                self.bump();
+            } else if c == '.'
+                && !is_float
+                && self.peek(1) != Some('.')
+                && !Self::ident_start(self.peek(1))
+            {
+                // Trailing-dot float `1.` (not `1..n`, not `1.method()`).
+                is_float = true;
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if text.ends_with("f32") || text.ends_with("f64") {
+            is_float = true;
+        }
+        let kind = if is_float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        };
+        self.push(kind, text, line);
+    }
+
+    fn punct(&mut self, line: u32) {
+        for op in OPS {
+            if self.starts_with(op) {
+                for _ in 0..op.len() {
+                    self.bump();
+                }
+                self.push(TokenKind::Punct, (*op).to_string(), line);
+                return;
+            }
+        }
+        let c = self.bump().expect("punct called at end of input");
+        self.push(TokenKind::Punct, c.to_string(), line);
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        s.chars().enumerate().all(|(i, c)| self.peek(i) == Some(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_keywords_and_raw_idents() {
+        let t = kinds("unsafe fn r#unsafe");
+        assert_eq!(t[0], (TokenKind::Ident, "unsafe".into()));
+        assert_eq!(t[1], (TokenKind::Ident, "fn".into()));
+        assert_eq!(t[2], (TokenKind::RawIdent, "unsafe".into()));
+    }
+
+    #[test]
+    fn raw_strings_with_fences_do_not_leak_tokens() {
+        let t = kinds(r####"let x = r#"unsafe { HashMap }"#;"####);
+        assert!(t
+            .iter()
+            .all(|(k, s)| *k != TokenKind::Ident || s != "HashMap"));
+        assert!(t.iter().any(|(k, _)| *k == TokenKind::Str));
+    }
+
+    #[test]
+    fn raw_string_embedded_quote_hash_below_fence() {
+        let toks = lex(r#####"r##"has "# inside"##"#####);
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].text, r##"has "# inside"##);
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_matching_depth() {
+        let t = kinds("/* a /* b */ c */ fn");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].0, TokenKind::BlockComment);
+        assert_eq!(t[1], (TokenKind::Ident, "fn".into()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let t = kinds("'a 'static 'x' '\\n' b'z'");
+        assert_eq!(t[0], (TokenKind::Lifetime, "a".into()));
+        assert_eq!(t[1], (TokenKind::Lifetime, "static".into()));
+        assert_eq!(t[2].0, TokenKind::Char);
+        assert_eq!(t[3].0, TokenKind::Char);
+        assert_eq!(t[4].0, TokenKind::Char);
+    }
+
+    #[test]
+    fn numbers_classify_floats() {
+        let t = kinds("1 1.5 1e3 0x1f 2f32 3usize 1..4 1.0e-3");
+        assert_eq!(t[0].0, TokenKind::Int);
+        assert_eq!(t[1].0, TokenKind::Float);
+        assert_eq!(t[2].0, TokenKind::Float);
+        assert_eq!(t[3].0, TokenKind::Int);
+        assert_eq!(t[4].0, TokenKind::Float);
+        assert_eq!(t[5].0, TokenKind::Int);
+        assert_eq!(t[6], (TokenKind::Int, "1".into()));
+        assert_eq!(t[7], (TokenKind::Punct, "..".into()));
+        assert_eq!(t[8], (TokenKind::Int, "4".into()));
+        assert_eq!(t[9].0, TokenKind::Float);
+    }
+
+    #[test]
+    fn multichar_ops_fuse() {
+        let t = kinds("a += b :: c => d ..= e");
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::Punct && s == "+="));
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::Punct && s == "::"));
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::Punct && s == "=>"));
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::Punct && s == "..="));
+    }
+
+    #[test]
+    fn line_spans_cover_multiline_comments() {
+        let toks = lex("/* one\ntwo\nthree */ fn f() {}");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[0].end_line, 3);
+        assert_eq!(toks[1].line, 3);
+    }
+
+    #[test]
+    fn string_escapes_do_not_end_early() {
+        let t = kinds(r#""a \" b" ident"#);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[1], (TokenKind::Ident, "ident".into()));
+    }
+
+    #[test]
+    fn byte_strings_and_raw_byte_strings() {
+        let t = kinds(r###"b"bytes" br#"raw bytes"# b'x'"###);
+        assert_eq!(t[0].0, TokenKind::Str);
+        assert_eq!(t[1].0, TokenKind::Str);
+        assert_eq!(t[2].0, TokenKind::Char);
+    }
+}

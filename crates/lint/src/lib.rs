@@ -1,0 +1,34 @@
+//! `apsq-lint` — repo-invariant static analysis for the APSQ workspace.
+//!
+//! The reproduction's value rests on invariants that tests can only
+//! sample: bit-identical results across thread counts, kernel backends,
+//! block sizes and workers; the soundness of the `Arc::get_mut` write
+//! discipline over the KV block pool; and never holding the pool
+//! mutation lock across a GEMM. This crate walks the workspace source
+//! with a hand-rolled lexer and *statically rejects* code that would
+//! silently break those disciplines — before any test runs.
+//!
+//! Run it as `cargo run -p apsq-lint --release` (CI and
+//! `scripts/check.sh` do). The rules, their scoping, and the invariant
+//! each guards are documented in `docs/ARCHITECTURE.md`
+//! ("Statically-enforced invariants"); `--list-rules` prints the same
+//! table's source of truth.
+//!
+//! Escape hatch: `// lint: allow(<rule>) -- <reason>` on (or directly
+//! above) the offending line, or `// lint: allow-file(<rule>) --
+//! <reason>` anywhere in a file. The reason is mandatory — an allow
+//! without one is itself a diagnostic.
+//!
+//! Std-only by design: the tool gates every other crate, so it depends
+//! on nothing.
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use config::LintConfig;
+pub use diag::Diagnostic;
+pub use engine::{lint_source, lint_workspace, walk_workspace, FileCtx};

@@ -1,0 +1,119 @@
+//! CLI driver: walks the workspace, prints diagnostics, exits nonzero
+//! on violations.
+
+use apsq_lint::{lint_workspace, rules, LintConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "apsq-lint — repo-invariant static analysis
+
+USAGE:
+    cargo run -p apsq-lint --release [-- OPTIONS]
+
+OPTIONS:
+    --root <DIR>    workspace root (default: nearest ancestor with a
+                    [workspace] Cargo.toml, starting at the cwd)
+    --rules <a,b>   only run the named rules
+    --list-rules    print every rule name and description, then exit
+    --help          this text";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    let mut only: Option<Vec<String>> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list-rules" => {
+                for r in rules::RULES {
+                    println!(
+                        "{:<34} {}",
+                        r.name,
+                        r.desc.split_whitespace().collect::<Vec<_>>().join(" ")
+                    );
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("--root needs a directory\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                root = Some(PathBuf::from(dir));
+            }
+            "--rules" => {
+                let Some(list) = args.next() else {
+                    eprintln!("--rules needs a comma-separated list\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                let names: Vec<String> = list.split(',').map(|s| s.trim().to_string()).collect();
+                for n in &names {
+                    if !rules::is_known_rule(n) {
+                        eprintln!("unknown rule `{n}` (see --list-rules)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                only = Some(names);
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => match find_workspace_root() {
+            Some(r) => r,
+            None => {
+                eprintln!("no [workspace] Cargo.toml found above the cwd; pass --root");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    let diags = lint_workspace(&root, &LintConfig::repo());
+    let diags: Vec<_> = match &only {
+        Some(names) => diags
+            .into_iter()
+            .filter(|d| names.iter().any(|n| n == d.rule))
+            .collect(),
+        None => diags,
+    };
+
+    if diags.is_empty() {
+        let files = apsq_lint::walk_workspace(&root).len();
+        println!("apsq-lint: {files} files clean");
+        ExitCode::SUCCESS
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        println!(
+            "apsq-lint: {} violation{} — fix, or annotate with `// lint: allow(<rule>) -- <reason>`",
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" }
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Nearest ancestor of the cwd whose Cargo.toml declares a workspace.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Rule `nondeterministic-collections`: `std::collections::HashMap` /
+//! `HashSet` iterate in randomized order, which must never reach a
+//! response, fingerprint, eviction decision, or metrics count in the
+//! fingerprint-affecting modules. Use `BTreeMap`/`BTreeSet` (ordered,
+//! deterministic) or seeded hashing; a per-site allow must argue that
+//! iteration order never escapes.
+
+use crate::diag::Diagnostic;
+use crate::engine::FileCtx;
+use crate::lexer::TokenKind;
+
+const RULE: &str = "nondeterministic-collections";
+
+pub fn check(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    let rule = crate::rules::by_name(RULE);
+    for i in 0..ctx.code_len() {
+        if crate::rules::skipped(ctx, rule, i) {
+            continue;
+        }
+        let t = ctx.ct(i);
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        if t.text == "HashMap" || t.text == "HashSet" {
+            out.push(Diagnostic {
+                file: ctx.rel.clone(),
+                line: t.line,
+                rule: RULE,
+                message: format!(
+                    "`{}` in a fingerprint-affecting module — iteration order is randomized; use \
+                     `BTree{}` or allow the site with a proof that iteration never escapes",
+                    t.text,
+                    t.text.trim_start_matches("Hash")
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Rule `float-reduction-outside-kernels`: floating-point accumulation
+//! order is only pinned inside the kernel modules (and explicitly
+//! annotated helpers). Elsewhere, an f32/f64 reduction is a latent
+//! cross-backend/thread-count bit-identity hazard, so the rule flags:
+//!
+//! 1. `.sum::<f32>()` / `.sum::<f64>()` (and `product`) — iterator
+//!    reductions with an explicit float turbofish;
+//! 2. `.fold(<float literal>, …)` whose closure body adds (`+`/`+=`) —
+//!    additive folds; max/min folds are order-insensitive and pass;
+//! 3. `var += …` / `var -= …` inside `for`/`while`/`loop` bodies where
+//!    `var` was `let`-declared as `f32`/`f64` (by annotation or float
+//!    literal initializer).
+//!
+//! Untyped `.sum()` on a float iterator and accumulation into struct
+//! fields are outside a lexer's reach — the clippy `disallowed-methods`
+//! mirror and review cover those; this rule makes the common shapes
+//! machine-checked.
+
+use crate::diag::Diagnostic;
+use crate::engine::FileCtx;
+use crate::lexer::TokenKind;
+use std::collections::BTreeSet;
+
+const RULE: &str = "float-reduction-outside-kernels";
+
+pub fn check(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    let rule = crate::rules::by_name(RULE);
+    let n = ctx.code_len();
+    let tok = |i: usize| ctx.ct(i);
+
+    // Pass 1: float-typed `let` accumulators.
+    let mut float_vars: BTreeSet<String> = BTreeSet::new();
+    for i in 0..n {
+        if !tok(i).is_ident("let") {
+            continue;
+        }
+        let mut j = i + 1;
+        if j < n && tok(j).is_ident("mut") {
+            j += 1;
+        }
+        if j >= n || tok(j).kind != TokenKind::Ident {
+            continue;
+        }
+        let name = tok(j).text.clone();
+        // `: f32` / `: f64` annotation?
+        if j + 2 < n && tok(j + 1).is_punct(":") {
+            let ty = &tok(j + 2).text;
+            if ty == "f32" || ty == "f64" {
+                float_vars.insert(name);
+                continue;
+            }
+        }
+        // `= <float literal>` initializer?
+        if j + 2 < n && tok(j + 1).is_punct("=") && tok(j + 2).kind == TokenKind::Float {
+            float_vars.insert(name);
+        }
+    }
+
+    // Pass 2: loop body spans (code-position ranges).
+    let mut loop_spans: Vec<(usize, usize)> = Vec::new();
+    for i in 0..n {
+        let t = tok(i);
+        let is_loop_kw = t.is_ident("for") || t.is_ident("while") || t.is_ident("loop");
+        if !is_loop_kw {
+            continue;
+        }
+        if t.is_ident("for") {
+            // `impl Trait for Type` / `for<'a>` are not loops.
+            if i > 0 && (tok(i - 1).kind == TokenKind::Ident || tok(i - 1).is_punct(">")) {
+                continue;
+            }
+            if i + 1 < n && tok(i + 1).is_punct("<") {
+                continue;
+            }
+        }
+        // Find the body's `{`: first open brace after the header.
+        let mut j = i + 1;
+        let mut open = None;
+        while j < n {
+            if tok(j).is_punct("{") {
+                open = Some(j);
+                break;
+            }
+            if tok(j).is_punct(";") || tok(j).is_punct("}") {
+                break;
+            }
+            j += 1;
+        }
+        if let Some(open) = open {
+            loop_spans.push((open, ctx.close_of(open)));
+        }
+    }
+    let in_loop = |i: usize| loop_spans.iter().any(|&(a, b)| i > a && i < b);
+
+    for i in 0..n {
+        if crate::rules::skipped(ctx, rule, i) {
+            continue;
+        }
+        let t = tok(i);
+
+        // Shape 1: `.sum::<f32>()` / `.product::<f64>()`.
+        if t.is_punct(".")
+            && i + 4 < n
+            && (tok(i + 1).is_ident("sum") || tok(i + 1).is_ident("product"))
+            && tok(i + 2).is_punct("::")
+            && tok(i + 3).is_punct("<")
+            && (tok(i + 4).is_ident("f32") || tok(i + 4).is_ident("f64"))
+        {
+            push(
+                ctx,
+                out,
+                tok(i + 1).line,
+                format!(
+                    "`.{}::<{}>()` reduction outside the pinned-order kernels — route through the \
+                 engine's fixed reduction or annotate the module",
+                    tok(i + 1).text,
+                    tok(i + 4).text
+                ),
+            );
+        }
+
+        // Shape 2: additive `.fold(<float>, |..| .. + ..)`.
+        if t.is_punct(".") && i + 2 < n && tok(i + 1).is_ident("fold") && tok(i + 2).is_punct("(") {
+            let open = i + 2;
+            let mut depth = 0usize;
+            let mut close = open;
+            for j in open..n {
+                if tok(j).is_punct("(") {
+                    depth += 1;
+                } else if tok(j).is_punct(")") {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = j;
+                        break;
+                    }
+                }
+            }
+            let init_is_float = tok(open + 1).kind == TokenKind::Float;
+            let adds = (open + 1..close).any(|j| tok(j).is_punct("+") || tok(j).is_punct("+="));
+            if init_is_float && adds {
+                push(ctx, out, tok(i + 1).line, "additive float `.fold(…)` outside the pinned-order kernels — the closure's `+` order is unpinned".to_string());
+            }
+        }
+
+        // Shape 3: `acc += …` on a float-declared var inside a loop.
+        if t.kind == TokenKind::Ident
+            && float_vars.contains(&t.text)
+            && i + 1 < n
+            && (tok(i + 1).is_punct("+=") || tok(i + 1).is_punct("-="))
+            && in_loop(i)
+        {
+            push(
+                ctx,
+                out,
+                t.line,
+                format!(
+                    "float accumulator `{} {}` in a loop outside the pinned-order kernels — a \
+                 reduction whose order nothing pins",
+                    t.text,
+                    tok(i + 1).text
+                ),
+            );
+        }
+    }
+}
+
+fn push(ctx: &FileCtx, out: &mut Vec<Diagnostic>, line: u32, message: String) {
+    out.push(Diagnostic {
+        file: ctx.rel.clone(),
+        line,
+        rule: RULE,
+        message,
+    });
+}

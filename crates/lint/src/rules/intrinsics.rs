@@ -1,0 +1,212 @@
+//! Rule `intrinsics-gating`: a `core::arch` intrinsic executed on a CPU
+//! without the feature is undefined behavior, so (a) every intrinsic
+//! call must sit in a `#[target_feature(enable = "…")]` function, and
+//! (b) every enabled feature must have a runtime
+//! `is_x86_feature_detected!` dispatch site somewhere in the same crate
+//! — a gated kernel nobody guards is one refactor away from executing
+//! unguarded. Features in the x86-64 baseline (`sse`, `sse2`) are
+//! exempt from (b): they are architecturally guaranteed.
+
+use crate::diag::Diagnostic;
+use crate::engine::FileCtx;
+use crate::lexer::TokenKind;
+use crate::rules::CrateScan;
+
+const RULE: &str = "intrinsics-gating";
+
+/// Features every x86-64 CPU has; no runtime detect required.
+const BASELINE: &[&str] = &["sse", "sse2"];
+
+/// Per-file check (a): intrinsic calls outside `#[target_feature]` fns.
+pub fn check(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    let rule = crate::rules::by_name(RULE);
+    for f in functions(ctx) {
+        if f.has_target_feature {
+            continue;
+        }
+        for j in f.body {
+            if crate::rules::skipped(ctx, rule, j) {
+                continue;
+            }
+            let t = ctx.ct(j);
+            if t.kind == TokenKind::Ident
+                && t.text.starts_with("_mm")
+                && j + 1 < ctx.code_len()
+                && ctx.ct(j + 1).is_punct("(")
+            {
+                out.push(Diagnostic {
+                    file: ctx.rel.clone(),
+                    line: t.line,
+                    rule: RULE,
+                    message: format!(
+                        "intrinsic `{}` called in a function without `#[target_feature]` — move \
+                         it into a feature-gated kernel fn",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Crate-facts pass for check (b): enabled features (allow-filtered at
+/// collection so suppression works per site) and detect sites.
+pub fn collect_crate_facts(ctx: &FileCtx, scan: &mut CrateScan) {
+    let crate_key = crate::rules::crate_of(&ctx.rel);
+    for f in functions(ctx) {
+        for (feature, line) in &f.features {
+            if ctx.allows.suppressed(RULE, *line) {
+                continue;
+            }
+            scan.enabled
+                .entry(crate_key.clone())
+                .or_default()
+                .entry(feature.clone())
+                .or_insert_with(|| (ctx.rel.clone(), *line));
+        }
+    }
+    // `is_x86_feature_detected!("feat")` sites.
+    let n = ctx.code_len();
+    for i in 0..n {
+        if ctx.ct(i).is_ident("is_x86_feature_detected")
+            && i + 2 < n
+            && ctx.ct(i + 1).is_punct("!")
+            && ctx.ct(i + 2).is_punct("(")
+        {
+            if let Some(j) = (i + 3..n.min(i + 5)).find(|&j| ctx.ct(j).kind == TokenKind::Str) {
+                let feat = ctx.ct(j).text.trim_matches('"').to_string();
+                scan.detected
+                    .entry(crate_key.clone())
+                    .or_default()
+                    .insert(feat);
+            }
+        }
+    }
+}
+
+/// Check (b): every enabled feature has a detect site in its crate.
+pub fn check_crate_coverage(scan: &CrateScan, out: &mut Vec<Diagnostic>) {
+    for (crate_key, features) in &scan.enabled {
+        let detected = scan.detected.get(crate_key);
+        for (feature, (file, line)) in features {
+            if BASELINE.contains(&feature.as_str()) {
+                continue;
+            }
+            if detected.is_some_and(|d| d.contains(feature)) {
+                continue;
+            }
+            out.push(Diagnostic {
+                file: file.clone(),
+                line: *line,
+                rule: RULE,
+                message: format!(
+                    "`#[target_feature(enable = \"{feature}\")]` has no \
+                     `is_x86_feature_detected!(\"{feature}\")` dispatch site in this crate — \
+                     nothing guards the gated kernels at runtime"
+                ),
+            });
+        }
+    }
+}
+
+/// One parsed function: its target-feature attributes and body span.
+struct FnInfo {
+    has_target_feature: bool,
+    /// (feature, line of the enabling attribute).
+    features: Vec<(String, u32)>,
+    /// Code-position range of the body (empty for bodyless fns).
+    body: std::ops::Range<usize>,
+}
+
+/// Walks the code tokens, attaching pending outer attributes to each
+/// `fn` and brace-matching its body.
+fn functions(ctx: &FileCtx) -> Vec<FnInfo> {
+    let n = ctx.code_len();
+    let tok = |i: usize| ctx.ct(i);
+    let mut fns = Vec::new();
+    let mut pending: Vec<(String, u32)> = Vec::new(); // attr text, line
+    let mut i = 0;
+    while i < n {
+        let t = tok(i);
+        if t.is_punct("#") && i + 1 < n && tok(i + 1).is_punct("[") {
+            // Capture the attribute group's tokens.
+            let line = t.line;
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            let mut text = String::new();
+            while j < n {
+                let a = tok(j);
+                if a.is_punct("[") {
+                    depth += 1;
+                } else if a.is_punct("]") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                text.push_str(&a.text);
+                text.push(' ');
+                j += 1;
+            }
+            pending.push((text, line));
+            i = j + 1;
+            continue;
+        }
+        if t.is_ident("fn") {
+            let mut info = FnInfo {
+                has_target_feature: false,
+                features: Vec::new(),
+                body: 0..0,
+            };
+            for (attr, line) in &pending {
+                if attr.contains("target_feature") {
+                    info.has_target_feature = true;
+                    for feat in extract_features(attr) {
+                        info.features.push((feat, *line));
+                    }
+                }
+            }
+            pending.clear();
+            // Body: first `{` before a `;` ends the signature.
+            let mut j = i + 1;
+            while j < n {
+                if tok(j).is_punct("{") {
+                    info.body = j + 1..ctx.close_of(j);
+                    break;
+                }
+                if tok(j).is_punct(";") {
+                    break;
+                }
+                j += 1;
+            }
+            fns.push(info);
+            i = j + 1;
+            continue;
+        }
+        if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+            pending.clear();
+        }
+        i += 1;
+    }
+    fns
+}
+
+/// Pulls the quoted feature names out of a captured
+/// `target_feature ( enable = "a" ) `-style attribute text (comma lists
+/// inside one string split too).
+fn extract_features(attr: &str) -> Vec<String> {
+    let mut feats = Vec::new();
+    let mut rest = attr;
+    while let Some(q) = rest.find('"') {
+        let after = &rest[q + 1..];
+        let Some(close) = after.find('"') else { break };
+        for f in after[..close].split(',') {
+            let f = f.trim();
+            if !f.is_empty() {
+                feats.push(f.to_string());
+            }
+        }
+        rest = &after[close + 1..];
+    }
+    feats
+}

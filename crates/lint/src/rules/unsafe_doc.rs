@@ -1,0 +1,80 @@
+//! Rule `undocumented-unsafe`: every `unsafe` keyword introducing an
+//! unsafe block, fn, impl, or trait must carry a justification — a
+//! comment containing `SAFETY:` (or a rustdoc `# Safety` section) on
+//! the same line or in the contiguous comment/attribute block above.
+
+use crate::diag::Diagnostic;
+use crate::engine::FileCtx;
+
+const RULE: &str = "undocumented-unsafe";
+
+/// How far above the `unsafe` line the comment scan reaches (contiguous
+/// comment/attribute/blank lines only — the first code line stops it).
+const MAX_SCAN_LINES: u32 = 16;
+
+pub fn check(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    let rule = crate::rules::by_name(RULE);
+    for i in 0..ctx.code_len() {
+        if crate::rules::skipped(ctx, rule, i) {
+            continue;
+        }
+        let t = ctx.ct(i);
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        let line = t.line;
+        if has_safety_comment(ctx, line) {
+            continue;
+        }
+        let what = ctx
+            .code
+            .get(i + 1)
+            .map(|&j| ctx.tokens[j].text.clone())
+            .unwrap_or_default();
+        let form = match what.as_str() {
+            "fn" => "unsafe fn",
+            "impl" => "unsafe impl",
+            "trait" => "unsafe trait",
+            _ => "unsafe block",
+        };
+        out.push(Diagnostic {
+            file: ctx.rel.clone(),
+            line,
+            rule: RULE,
+            message: format!(
+                "{form} without a `// SAFETY:` comment — state the invariant that makes it sound \
+                 (or `# Safety` in the doc comment for unsafe fns)"
+            ),
+        });
+    }
+}
+
+fn has_safety_comment(ctx: &FileCtx, line: u32) -> bool {
+    if mentions_safety(ctx.comments_on(line)) {
+        return true;
+    }
+    let mut l = line.saturating_sub(1);
+    let floor = line.saturating_sub(MAX_SCAN_LINES);
+    while l >= 1 && l >= floor {
+        let info = match ctx.lines.get(l as usize) {
+            Some(i) => i,
+            None => return false,
+        };
+        if info.has_code && !info.is_attr {
+            // First code line above: the contiguous comment block ended.
+            return false;
+        }
+        if mentions_safety(&info.comments) {
+            return true;
+        }
+        if l == 1 {
+            break;
+        }
+        l -= 1;
+    }
+    false
+}
+
+fn mentions_safety(comment: &str) -> bool {
+    comment.contains("SAFETY:") || comment.contains("# Safety") || comment.contains("Safety:")
+}

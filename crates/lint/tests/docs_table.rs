@@ -1,0 +1,33 @@
+//! `docs/ARCHITECTURE.md` documents every rule in its
+//! "Statically-enforced invariants" table; this test keeps the table
+//! and the registry from drifting apart (the same pairing
+//! `--list-rules` prints).
+
+use std::fs;
+use std::path::Path;
+
+#[test]
+fn every_rule_is_documented() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let docs =
+        fs::read_to_string(root.join("docs/ARCHITECTURE.md")).expect("docs/ARCHITECTURE.md exists");
+    assert!(
+        docs.contains("Statically-enforced invariants"),
+        "docs/ARCHITECTURE.md lost its lint section"
+    );
+    for rule in apsq_lint::rules::RULES {
+        assert!(
+            docs.contains(rule.name),
+            "rule `{}` missing from docs/ARCHITECTURE.md",
+            rule.name
+        );
+    }
+    // The directive meta-rule (malformed allows) is documented too.
+    assert!(
+        docs.contains("allow-directive"),
+        "`allow-directive` missing from docs/ARCHITECTURE.md"
+    );
+}

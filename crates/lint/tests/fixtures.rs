@@ -1,0 +1,126 @@
+//! Fixture harness: every `.rs` file under `tests/fixtures/` is linted
+//! in fixture mode (all rules, any path) and its diagnostics must match
+//! the `//~ <rule-name>` markers in the file, as a multiset of
+//! `(line, rule)` pairs. Files with no markers (the lexer edge-case
+//! corpus) must therefore produce zero diagnostics.
+
+use apsq_lint::{lint_source, LintConfig};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+type Multiset = BTreeMap<(u32, String), usize>;
+
+fn expected_markers(src: &str) -> Multiset {
+    let mut out = Multiset::new();
+    for (i, line) in src.lines().enumerate() {
+        let lineno = (i + 1) as u32;
+        let mut rest = line;
+        while let Some(at) = rest.find("//~") {
+            rest = &rest[at + 3..];
+            let rule: String = rest
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '-')
+                .collect();
+            assert!(!rule.is_empty(), "bare //~ marker with no rule name");
+            *out.entry((lineno, rule)).or_insert(0) += 1;
+        }
+    }
+    out
+}
+
+fn actual_diags(rel: &str, src: &str) -> Multiset {
+    let mut out = Multiset::new();
+    for d in lint_source(rel, src, &LintConfig::fixture()) {
+        *out.entry((d.line, d.rule.to_string())).or_insert(0) += 1;
+    }
+    out
+}
+
+fn fixture_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in fs::read_dir(dir).expect("fixtures dir readable") {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            fixture_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn fixtures_match_markers() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut files = Vec::new();
+    fixture_files(&root, &mut files);
+    files.sort();
+    assert!(
+        files.len() >= 16,
+        "fixture corpus shrank: found {} files",
+        files.len()
+    );
+
+    let mut failures = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap()
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(path).expect("fixture readable");
+        let expected = expected_markers(&src);
+        let actual = actual_diags(&rel, &src);
+        if expected != actual {
+            let mut msg = format!("fixture {rel}: diagnostics do not match markers\n");
+            for (k, n) in &expected {
+                if actual.get(k) != Some(n) {
+                    msg.push_str(&format!(
+                        "  expected {}x line {} [{}], got {}x\n",
+                        n,
+                        k.0,
+                        k.1,
+                        actual.get(k).copied().unwrap_or(0)
+                    ));
+                }
+            }
+            for (k, n) in &actual {
+                if !expected.contains_key(k) {
+                    msg.push_str(&format!("  unexpected {}x line {} [{}]\n", n, k.0, k.1));
+                }
+            }
+            failures.push(msg);
+        }
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+}
+
+#[test]
+fn every_rule_has_fire_and_allowed_fixtures() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    for rule in apsq_lint::rules::RULES {
+        let dir = root.join(rule.name);
+        assert!(
+            dir.join("fire.rs").is_file(),
+            "rule `{}` has no fire.rs fixture",
+            rule.name
+        );
+        assert!(
+            dir.join("allowed.rs").is_file(),
+            "rule `{}` has no allowed.rs fixture",
+            rule.name
+        );
+        let fire = fs::read_to_string(dir.join("fire.rs")).unwrap();
+        assert!(
+            fire.contains(&format!("//~ {}", rule.name)),
+            "rule `{}` fire.rs carries no marker for itself",
+            rule.name
+        );
+        let allowed = fs::read_to_string(dir.join("allowed.rs")).unwrap();
+        assert!(
+            allowed.contains("lint: allow"),
+            "rule `{}` allowed.rs exercises no allow directive",
+            rule.name
+        );
+    }
+}

@@ -1,0 +1,14 @@
+// Fixture: malformed allow directives are themselves diagnostics.
+
+pub fn missing_reason(p: *const u8) -> u8 {
+    // lint: allow(undocumented-unsafe) //~ allow-directive
+    unsafe { *p } //~ undocumented-unsafe
+}
+
+pub fn unknown_rule() {
+    // lint: allow(no-such-rule) -- testing the unknown-rule diagnostic //~ allow-directive
+}
+
+pub fn unclosed_list() {
+    // lint: allow(undocumented-unsafe -- the list never closes //~ allow-directive
+}

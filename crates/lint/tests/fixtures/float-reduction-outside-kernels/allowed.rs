@@ -1,0 +1,21 @@
+// Fixture: an annotated helper module and order-insensitive folds pass.
+
+// lint: allow-file(float-reduction-outside-kernels) -- fixture: exercising the file-level annotation path
+
+pub fn annotated(xs: &[f32]) -> f32 {
+    xs.iter().copied().sum::<f32>()
+}
+
+pub fn max_fold(xs: &[f32]) -> f32 {
+    // Max folds are order-insensitive and would not fire anyway.
+    xs.iter().fold(f32::MIN, |m, &x| if x > m { x } else { m })
+}
+
+pub fn integer_loop(xs: &[u32]) -> u32 {
+    // Integer accumulation is exact and never fires.
+    let mut total = 0u32;
+    for x in xs {
+        total += x;
+    }
+    total
+}

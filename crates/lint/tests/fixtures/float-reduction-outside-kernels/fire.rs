@@ -1,0 +1,25 @@
+// Fixture: each float-reduction shape fires.
+
+pub fn shapes(xs: &[f32]) -> f32 {
+    let a = xs.iter().copied().sum::<f32>(); //~ float-reduction-outside-kernels
+    let b = xs.iter().fold(0.0f32, |acc, x| acc + x); //~ float-reduction-outside-kernels
+    let mut c: f32 = 0.0;
+    for x in xs {
+        c += x; //~ float-reduction-outside-kernels
+    }
+    a + b + c
+}
+
+pub fn doubles(xs: &[f64]) -> f64 {
+    xs.iter().map(|x| x * x).sum::<f64>() //~ float-reduction-outside-kernels
+}
+
+pub fn literal_typed(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    let mut i = 0;
+    while i < xs.len() {
+        acc += xs[i]; //~ float-reduction-outside-kernels
+        i += 1;
+    }
+    acc
+}

@@ -1,0 +1,26 @@
+// Fixture: gated kernels with a runtime dispatch site pass; baseline
+// features need no detection; an allow can cover an enabled feature.
+
+#[target_feature(enable = "avx2")]
+pub fn gated(x: i32) -> i32 {
+    x
+}
+
+#[target_feature(enable = "sse2")]
+pub fn baseline_gated(x: i32) -> i32 {
+    x
+}
+
+// lint: allow(intrinsics-gating) -- fixture: test-only kernel, dispatch lives in the caller crate
+#[target_feature(enable = "fma")]
+pub fn allowed_feature(x: i32) -> i32 {
+    x
+}
+
+pub fn dispatch(x: i32) -> i32 {
+    if is_x86_feature_detected!("avx2") {
+        gated(x)
+    } else {
+        x
+    }
+}

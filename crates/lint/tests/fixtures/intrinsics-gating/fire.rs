@@ -1,0 +1,11 @@
+// Fixture: ungated intrinsic calls and undetected enabled features fire.
+
+#[target_feature(enable = "avx2")] //~ intrinsics-gating
+pub fn gated_but_never_detected(x: i32) -> i32 {
+    x
+}
+
+pub fn ungated(x: i64) -> i64 {
+    let _v = _mm_set1_epi32(3); //~ intrinsics-gating
+    x
+}

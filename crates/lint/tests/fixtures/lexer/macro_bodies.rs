@@ -1,0 +1,21 @@
+// Fixture: macro_rules! bodies are patterns, not code — spellings that
+// would fire as code are skipped inside them.
+
+macro_rules! hazard_soup {
+    ($p:expr) => {
+        unsafe { *$p }
+    };
+    (map) => {
+        std::collections::HashMap::new()
+    };
+    (clock) => {
+        std::time::Instant::now()
+    };
+    (reduce $xs:expr) => {
+        $xs.iter().sum::<f32>()
+    };
+}
+
+pub fn real_code(xs: &[u32]) -> usize {
+    xs.len()
+}

@@ -1,0 +1,12 @@
+// Fixture: nested block comments swallow rule-triggering text.
+
+/* Outer comment.
+   /* Inner comment with unsafe { *p } and HashMap<u64, u32>. */
+   Still inside the outer comment: Instant::now() and SystemTime.
+   .sum::<f32>() here is prose, not code.
+*/
+
+pub fn after_comments(xs: &[u32]) -> u32 {
+    /* inline /* nested */ comment */
+    xs.len() as u32
+}

@@ -1,0 +1,21 @@
+// Fixture: raw identifiers are not keywords — `r#unsafe` must not be
+// treated as the `unsafe` keyword, `r#for` opens no loop body.
+
+pub fn r#unsafe(x: u32) -> u32 {
+    x + 1
+}
+
+pub fn r#for(acc: f32) -> f32 {
+    acc
+}
+
+pub struct Record {
+    pub r#unsafe: bool,
+    pub r#loop: u8,
+}
+
+pub fn caller() -> u32 {
+    let r = Record { r#unsafe: true, r#loop: 0 };
+    let _ = r.r#unsafe;
+    r#unsafe(r#for(1.0) as u32)
+}

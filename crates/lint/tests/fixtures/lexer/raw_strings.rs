@@ -1,0 +1,24 @@
+// Fixture: rule-triggering spellings inside string literals must not
+// fire — the lexer classifies them as string tokens, not code.
+
+pub fn strings() -> Vec<&'static str> {
+    vec![
+        "unsafe { *p } and HashMap<u64, u32>",
+        r"Instant::now() in a plain raw string",
+        r#"raw with fence: .sum::<f32>() and SystemTime::now()"#,
+        r##"outer fence holding an inner "# quote and HashSet"##,
+        "escaped \" quote then unsafe fn f()",
+    ]
+}
+
+pub fn bytes() -> Vec<&'static [u8]> {
+    vec![
+        b"HashMap in a byte string",
+        br#"unsafe impl Sync for T and Instant::now()"#,
+    ]
+}
+
+pub fn chars() -> (char, char) {
+    // A quote char and a lifetime-lookalike must not open a string.
+    ('"', '\'')
+}

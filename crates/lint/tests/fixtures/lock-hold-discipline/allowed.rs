@@ -1,0 +1,28 @@
+// Fixture: scoped guards, early drops, and allowed sites pass.
+
+pub fn scoped(pool: &Pool) -> Vec<f32> {
+    let ids = {
+        let guard = pool.lock();
+        guard.block_ids()
+    };
+    gather_f32(&ids, 0)
+}
+
+pub fn early_drop(pool: &Pool) {
+    let guard = pool.lock();
+    let ids = guard.block_ids();
+    drop(guard);
+    decode_step(&ids);
+}
+
+pub fn allowed_site(pool: &Pool) {
+    let guard = pool.lock();
+    // lint: allow(lock-hold-discipline) -- fixture: gather reads a snapshot here, the guard covers no GEMM
+    let _ = gather_f32(&guard, 1);
+    drop(guard);
+}
+
+fn gather_f32(ids: &[u64], k: u32) -> Vec<f32> {
+    // Declaring a banned-prefix fn is not calling one.
+    Vec::new()
+}

@@ -1,0 +1,11 @@
+// Fixture: ordered collections pass; an allowed site argues that
+// iteration order never escapes.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap; // lint: allow(nondeterministic-collections) -- fixture: probed by key only, iteration never escapes
+
+pub struct State {
+    pub ordered: BTreeMap<u64, u32>,
+    // lint: allow(nondeterministic-collections) -- fixture: counts drain through a sorted Vec before use
+    pub counts: HashMap<u64, u32>,
+}

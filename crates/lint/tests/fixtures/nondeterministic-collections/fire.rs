@@ -1,0 +1,9 @@
+// Fixture: hash collections fire wherever they appear.
+
+use std::collections::HashMap; //~ nondeterministic-collections
+use std::collections::HashSet; //~ nondeterministic-collections
+
+pub struct State {
+    pub seen: HashSet<u64>, //~ nondeterministic-collections
+    pub held: HashMap<u64, u32>, //~ nondeterministic-collections
+}

@@ -1,0 +1,21 @@
+// Fixture: documented or explicitly allowed unsafe does not fire.
+
+/// Dereference helper.
+///
+/// # Safety
+/// Caller must pass a valid, aligned, live pointer.
+unsafe fn documented(p: *const u8) -> u8 {
+    // SAFETY: the caller contract (doc comment) guarantees validity.
+    unsafe { *p }
+}
+
+pub fn caller() -> u8 {
+    let x = 3u8;
+    // SAFETY: `p` is derived from a live local reference just above.
+    unsafe { documented(&x as *const u8) }
+}
+
+pub fn allowed_site(p: *const u8) -> u8 {
+    // lint: allow(undocumented-unsafe) -- fixture: exercising the site-allow path
+    unsafe { *p }
+}

@@ -1,0 +1,18 @@
+// Fixture: every undocumented unsafe form fires.
+
+unsafe fn no_doc(p: *const u8) -> u8 { //~ undocumented-unsafe
+    *p
+}
+
+pub fn caller() -> u8 {
+    let x = 3u8;
+    let p = &x as *const u8;
+    unsafe { no_doc(p) } //~ undocumented-unsafe
+}
+
+unsafe trait Marker {} //~ undocumented-unsafe
+
+struct S;
+
+// A plain comment that is not a justification.
+unsafe impl Marker for S {} //~ undocumented-unsafe

@@ -1,0 +1,12 @@
+// Fixture: parameter-passed time and allowed metrics sampling pass.
+
+use std::time::Instant;
+
+pub fn dispatch_at(now: Instant) -> Instant {
+    now
+}
+
+pub fn sample_metrics() -> Instant {
+    // lint: allow(wall-clock-in-scheduling) -- fixture: metrics sampling only, never reaches a scheduling decision
+    Instant::now()
+}

@@ -1,0 +1,12 @@
+// Fixture: wall-clock reads in scheduling code fire.
+
+use std::time::Instant;
+use std::time::SystemTime; //~ wall-clock-in-scheduling
+
+pub fn dispatch() -> Instant {
+    Instant::now() //~ wall-clock-in-scheduling
+}
+
+pub fn stamp() -> SystemTime { //~ wall-clock-in-scheduling
+    SystemTime::now() //~ wall-clock-in-scheduling
+}

@@ -1,0 +1,62 @@
+//! The real workspace must lint clean: zero violations, with every
+//! exception carried by an explicit, reasoned allow directive. This is
+//! the same check CI's `cargo run -p apsq-lint --release` performs,
+//! kept as a test so `cargo test` alone catches regressions.
+
+use apsq_lint::{lint_workspace, walk_workspace, LintConfig};
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels under the workspace root")
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let root = workspace_root();
+    assert!(
+        root.join("Cargo.toml").is_file(),
+        "workspace root not found at {}",
+        root.display()
+    );
+    let diags = lint_workspace(root, &LintConfig::repo());
+    assert!(
+        diags.is_empty(),
+        "workspace has lint violations:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn walk_sees_the_workspace() {
+    let files = walk_workspace(workspace_root());
+    // The workspace has well over a hundred Rust files; a walker bug
+    // that silently skipped most of the tree would make `clean` hollow.
+    assert!(
+        files.len() >= 100,
+        "workspace walk found only {} files",
+        files.len()
+    );
+    assert!(
+        files.iter().any(|(_, rel)| rel == "crates/nn/src/paged.rs"),
+        "walk missed a known file"
+    );
+    assert!(
+        files
+            .iter()
+            .all(|(_, rel)| !rel.starts_with("crates/vendor/")),
+        "walk descended into vendored stubs"
+    );
+    assert!(
+        files
+            .iter()
+            .all(|(_, rel)| !rel.starts_with("crates/lint/tests/fixtures/")),
+        "walk descended into the fixture corpus"
+    );
+}

@@ -19,6 +19,7 @@
 //! assert!(w.total_macs() > 1e10); // ~11 GMACs at 128 tokens
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bert;

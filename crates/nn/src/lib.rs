@@ -39,6 +39,7 @@
 //! println!("MRPC accuracy: {acc:.1}%");
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod attention;

@@ -1,6 +1,8 @@
 //! Losses: cross-entropy, MSE, and the distillation loss used by the
 //! paper's QAT recipe (full-precision teacher).
 
+// lint: allow-file(float-reduction-outside-kernels) -- training-loss accumulation in fixed row-major order; QAT is single-threaded, not in the serving datapath
+
 use apsq_tensor::{softmax_rows, Tensor};
 
 /// Softmax cross-entropy over `[n, classes]` logits with integer labels.

@@ -2,6 +2,8 @@
 //! Matthews correlation (CoLA), Spearman rank correlation (STS-B), and
 //! mean IoU (ADE20K).
 
+// lint: allow-file(float-reduction-outside-kernels) -- evaluation metrics; sequential fixed-order sums over a single slice, single-threaded
+
 /// Classification accuracy in `[0, 1]`.
 ///
 /// # Panics

@@ -27,6 +27,7 @@
 //! assert_eq!(s.dequantize(code), 1008); // |error| ≤ α/2 = 8
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bitwidth;

@@ -1,6 +1,8 @@
 //! Learned Step-size Quantization (LSQ, Esser et al., ICLR 2020) with the
 //! straight-through-estimator gradients used for QAT in the paper.
 
+// lint: allow-file(float-reduction-outside-kernels) -- STE gradient accumulation in fixed element order; QAT is single-threaded, not in the serving datapath
+
 use crate::bitwidth::{Bitwidth, QRange};
 use apsq_tensor::Tensor;
 

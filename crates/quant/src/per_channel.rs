@@ -6,6 +6,8 @@
 //! This module provides the per-channel twin of [`crate::LsqQuantizer`]
 //! for `[in, out]` weight matrices.
 
+// lint: allow-file(float-reduction-outside-kernels) -- per-channel step/gradient sums in fixed row order; QAT is single-threaded, not in the serving datapath
+
 use crate::bitwidth::{Bitwidth, QRange};
 use apsq_tensor::Tensor;
 

@@ -35,6 +35,7 @@
 //! assert_eq!(to.dims(), &[2]);
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod area;

@@ -15,7 +15,7 @@
 
 use crate::config::BatchPolicy;
 use crate::request::{Priority, Request, RequestKind, SessionId};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::time::Instant;
 
 /// A request waiting to be batched, stamped with its submit time.
@@ -56,9 +56,11 @@ pub struct Batcher {
     seq: u64,
     /// Sessions with a request already queued in `decode` or in flight;
     /// their later requests wait in `held` to preserve per-session order
-    /// and the one-in-flight-batch-per-session invariant.
-    queued_or_busy: HashSet<SessionId>,
-    held: HashMap<SessionId, VecDeque<Pending>>,
+    /// and the one-in-flight-batch-per-session invariant. Ordered maps:
+    /// `shed_expired`/`drain_all` iterate these, and that order reaches
+    /// response ordering — it must not depend on a hash seed.
+    queued_or_busy: BTreeSet<SessionId>,
+    held: BTreeMap<SessionId, VecDeque<Pending>>,
 }
 
 impl Batcher {
@@ -69,8 +71,8 @@ impl Batcher {
             decode: Vec::new(),
             prefill: Vec::new(),
             seq: 0,
-            queued_or_busy: HashSet::new(),
-            held: HashMap::new(),
+            queued_or_busy: BTreeSet::new(),
+            held: BTreeMap::new(),
         }
     }
 
@@ -206,12 +208,9 @@ impl Batcher {
     pub fn drain_all(&mut self) -> Vec<Pending> {
         let mut all: Vec<Pending> = self.decode.drain(..).map(|q| q.p).collect();
         all.extend(self.prefill.drain(..).map(|q| q.p));
-        let mut sessions: Vec<SessionId> = self.held.keys().copied().collect();
-        sessions.sort_unstable();
-        for s in sessions {
-            if let Some(q) = self.held.remove(&s) {
-                all.extend(q);
-            }
+        // BTreeMap drains in session order — deterministic by type.
+        for (_, q) in std::mem::take(&mut self.held) {
+            all.extend(q);
         }
         self.queued_or_busy.clear();
         all
@@ -300,6 +299,9 @@ impl Batcher {
 }
 
 #[cfg(test)]
+// Tests drive the pure batcher with real instants; nothing here is a
+// scheduling decision inside the server.
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use crate::request::PrefillModel;

@@ -110,6 +110,7 @@
 //! assert!(report.tokens_per_s > 0.0);
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod batcher;

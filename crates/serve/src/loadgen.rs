@@ -224,6 +224,9 @@ impl LoadGenerator {
         let mut errors = 0u64;
         let mut tokens = 0u64;
         let mut outstanding = 0usize;
+        // The closed-loop load generator paces real submissions by design;
+        // wall-clock here measures the run, it never steers scheduling.
+        #[allow(clippy::disallowed_methods)]
         let started = Instant::now();
 
         let per_client = self.scenario.requests_per_client;

@@ -272,6 +272,8 @@ impl ServerHandle {
         }
         let pending = Pending {
             req,
+            // lint: allow(wall-clock-in-scheduling) -- client-side submit stamp for latency accounting; virtual-time deadlines use ticks, never this
+            #[allow(clippy::disallowed_methods)]
             submitted: Instant::now(),
         };
         self.tx.send(Event::Submit(pending)).map_err(|_| {
@@ -574,6 +576,8 @@ fn scheduler_loop(
     work_tx: Sender<WorkItem>,
     resp_tx: Sender<Response>,
 ) -> MetricsSnapshot {
+    // lint: allow(wall-clock-in-scheduling) -- metrics only: serve-loop uptime anchor, reported in the snapshot, never read by scheduling
+    #[allow(clippy::disallowed_methods)]
     let started = Instant::now();
     let virtual_mode = cfg.slo.virtual_time;
     let degrade = cfg.slo.degrade;
@@ -642,6 +646,8 @@ fn scheduler_loop(
         // servers never self-dispatch — all dispatch happens inside the
         // Tick handler, within per-tick budgets.
         while !virtual_mode && idle > 0 {
+            // lint: allow(wall-clock-in-scheduling) -- wall-clock-mode-only branch (guarded by !virtual_mode); virtual-time dispatch happens in the Tick handler
+            #[allow(clippy::disallowed_methods)]
             let now = Instant::now();
             let Some(lane) = batcher.next_lane(now, draining) else {
                 break;
@@ -750,6 +756,8 @@ fn scheduler_loop(
         } else if idle > 0 {
             match batcher.next_deadline() {
                 Some(deadline) => {
+                    // lint: allow(wall-clock-in-scheduling) -- wall-clock-mode sleep bound: converts the coalescing deadline into a channel timeout; virtual mode never sets one
+                    #[allow(clippy::disallowed_methods)]
                     let timeout = deadline.saturating_duration_since(Instant::now());
                     match evt_rx.recv_timeout(timeout) {
                         Ok(e) => Some(e),

@@ -45,7 +45,7 @@
 use crate::error::ServeError;
 use crate::request::{fnv1a, SessionId, FNV_OFFSET};
 use apsq_nn::{BlockAllocator, BlockId, BlockPool, PagedKvState};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// A set of `u64` ids stored as disjoint inclusive ranges, merging
@@ -180,11 +180,11 @@ pub struct SessionManager {
     /// reported in metrics as the contiguous-allocation baseline.
     capacity: usize,
     layers: usize,
-    entries: HashMap<SessionId, Entry>,
+    entries: BTreeMap<SessionId, Entry>,
     /// Hash-consed prefix index: `(token-chain, layer)` FNV key → the
     /// canonical filled block for that prefix. Each entry holds one
     /// refcount on its block; reclaiming an entry releases it.
-    prefix_index: HashMap<u64, BlockId>,
+    prefix_index: BTreeMap<u64, BlockId>,
     /// Tombstones of evicted ids: a decode for one of these must fail
     /// with a typed error, never silently restart from an empty context.
     /// Interval-compacted, so memory tracks id *runs*, not evictions.
@@ -205,8 +205,8 @@ impl SessionManager {
             alloc,
             capacity: nominal_capacity,
             layers,
-            entries: HashMap::new(),
-            prefix_index: HashMap::new(),
+            entries: BTreeMap::new(),
+            prefix_index: BTreeMap::new(),
             evicted_ids: IdRanges::default(),
             clock: 0,
             evictions: 0,
@@ -503,6 +503,9 @@ impl SessionManager {
     /// its block references and tombstoning its id. Returns whether
     /// anything was evicted.
     fn evict_lru_idle(&mut self, alloc: &mut BlockAllocator) -> bool {
+        // `entries` is a BTreeMap, so among `last_used` ties
+        // `min_by_key` picks the lowest session id — the victim choice
+        // is deterministic, never a function of a hash seed.
         let victim = self
             .entries
             .iter()

@@ -171,6 +171,7 @@ impl ArrivalProcess {
                     continue;
                 }
             }
+            // lint: allow(float-reduction-outside-kernels) -- seeded Poisson arrival-time accumulation; sequential and single-threaded, part of the deterministic scenario
             t += gap;
             if (t as u64) < horizon {
                 out.push(t as u64);
@@ -437,8 +438,10 @@ impl OpenLoopGenerator {
 
         let mut sessions: Vec<LiveSession> = Vec::new();
         // request id -> session index, for routing decode responses.
-        let mut by_request: std::collections::HashMap<RequestId, usize> =
-            std::collections::HashMap::new();
+        // Ordered map: probed by key only, but keeping it BTree means no
+        // hash-seed-dependent state exists anywhere in the generator.
+        let mut by_request: std::collections::BTreeMap<RequestId, usize> =
+            std::collections::BTreeMap::new();
         let mut digests: Vec<(RequestId, u64)> = Vec::new();
         let mut per_priority = [ClassCounts::default(); 3];
         let mut submitted = 0u64;

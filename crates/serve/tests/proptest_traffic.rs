@@ -103,6 +103,8 @@ proptest! {
             // Distinct sessions: no holdback, pure lane ordering.
             let req = Request::decode(i as u64, 1000 + i as u64, 0)
                 .with_slo(Slo { priority, deadline: Some(deadline) });
+            // Test stamp only; shed/dispatch order under test is virtual-tick EDF.
+            #[allow(clippy::disallowed_methods)]
             b.push(Pending { req, submitted: Instant::now() });
         }
         let shed = b.shed_expired(now);

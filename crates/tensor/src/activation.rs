@@ -71,6 +71,7 @@ pub fn softmax_rows(x: &Tensor) -> Tensor {
         for (j, &v) in row.iter().enumerate() {
             let e = (v - mx).exp();
             out[i * n + j] = e;
+            // lint: allow(float-reduction-outside-kernels) -- softmax row sum in fixed left-to-right order; this IS the blessed order
             sum += e;
         }
         for v in &mut out[i * n..(i + 1) * n] {

@@ -277,8 +277,8 @@ fn rel_l2_error(x: &crate::tensor::Tensor, y: &crate::tensor::Tensor) -> f32 {
     let mut num = 0.0f64;
     let mut den = 0.0f64;
     for (&a, &b) in x.data().iter().zip(y.data().iter()) {
-        num += ((a - b) as f64).powi(2);
-        den += (a as f64).powi(2);
+        num += ((a - b) as f64).powi(2); // lint: allow(float-reduction-outside-kernels) -- diagnostic norm, fixed zip order, single-threaded
+        den += (a as f64).powi(2); // lint: allow(float-reduction-outside-kernels) -- diagnostic norm, fixed zip order, single-threaded
     }
     (num.sqrt() / den.sqrt().max(1e-12)) as f32
 }

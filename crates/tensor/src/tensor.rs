@@ -286,6 +286,7 @@ impl Tensor {
         if self.data.is_empty() {
             0.0
         } else {
+            // lint: allow(float-reduction-outside-kernels) -- slice-order sum over the tensor's own storage; the storage order is the blessed order
             self.data.iter().map(|&x| x * x).sum::<f32>() / self.data.len() as f32
         }
     }
@@ -308,6 +309,7 @@ impl Tensor {
 
     /// Frobenius (L2) norm.
     pub fn norm(&self) -> f32 {
+        // lint: allow(float-reduction-outside-kernels) -- slice-order sum over the tensor's own storage; the storage order is the blessed order
         self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
     }
 }

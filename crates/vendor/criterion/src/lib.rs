@@ -8,6 +8,10 @@
 //! throughput when configured. There is no outlier analysis, no HTML report,
 //! and no baseline comparison.
 
+// A benchmark harness exists to read the wall clock; the workspace-wide
+// disallowed-methods mirror of `wall-clock-in-scheduling` does not apply.
+#![allow(clippy::disallowed_methods)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

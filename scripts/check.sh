@@ -8,8 +8,12 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --all -- --check"
 cargo fmt --all -- --check
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+echo "==> cargo clippy --workspace --all-targets -- -D warnings -W clippy::undocumented_unsafe_blocks"
+cargo clippy --workspace --all-targets -- -D warnings -W clippy::undocumented_unsafe_blocks
+
+echo "==> apsq-lint: fixture suite + repo-invariant walk"
+cargo test -q --release -p apsq-lint
+cargo run -p apsq-lint --release
 
 echo "==> cargo doc --workspace --no-deps  (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps

@@ -64,6 +64,8 @@
 //! assert!(report.snapshot.tokens_per_s > 0.0);
 //! ```
 
+#![deny(unsafe_code)]
+
 pub use apsq_accel as accel;
 pub use apsq_bench as bench;
 pub use apsq_core as core;
